@@ -1,0 +1,69 @@
+//! Criterion benches of the behavioural analog engine — the wall-clock cost
+//! of regenerating one Fig. 5 data point at each fidelity-relevant length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mda_core::analog::graph::builders;
+use mda_core::analog::{AnalogEngine, ErrorModel};
+use mda_core::AcceleratorConfig;
+use mda_distance::dtw::Band;
+
+fn series_volts(config: &AcceleratorConfig, len: usize, phase: f64) -> Vec<f64> {
+    (0..len)
+        .map(|i| config.value_to_voltage(((i as f64) * 0.31 + phase).sin() * 2.0))
+        .collect()
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let config = AcceleratorConfig::paper_defaults();
+    let engine = AnalogEngine::new();
+    let mut group = c.benchmark_group("analog_engine");
+    group.sample_size(10);
+    for len in [10usize, 20, 40] {
+        let p = series_volts(&config, len, 0.0);
+        let q = series_volts(&config, len, 0.9);
+        group.bench_with_input(BenchmarkId::new("DTW", len), &len, |b, _| {
+            b.iter(|| {
+                let g = builders::dtw(
+                    &config,
+                    black_box(&p),
+                    black_box(&q),
+                    1.0,
+                    Band::Full,
+                    &mut ErrorModel::new(1),
+                );
+                engine.simulate(&g).final_voltage
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("MD", len), &len, |b, _| {
+            let w = vec![1.0; len];
+            b.iter(|| {
+                let g = builders::manhattan(
+                    &config,
+                    black_box(&p),
+                    black_box(&q),
+                    &w,
+                    &mut ErrorModel::new(1),
+                );
+                engine.simulate(&g).final_voltage
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("HauD", len), &len, |b, _| {
+            b.iter(|| {
+                let g = builders::hausdorff(
+                    &config,
+                    black_box(&p),
+                    black_box(&q),
+                    1.0,
+                    &mut ErrorModel::new(1),
+                );
+                engine.simulate(&g).final_voltage
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

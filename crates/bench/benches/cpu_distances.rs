@@ -1,0 +1,49 @@
+//! Criterion benches of the digital CPU implementations — the measured
+//! baseline behind Fig. 6(b).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mda_distance::{boxed_distance, DistanceKind};
+
+fn series(len: usize, phase: f64) -> Vec<f64> {
+    (0..len)
+        .map(|i| (i as f64 * 0.31 + phase).sin() * 2.0)
+        .collect()
+}
+
+fn bench_cpu_distances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cpu_distance");
+    for kind in DistanceKind::ALL {
+        let d = boxed_distance(kind);
+        for len in [10usize, 20, 30, 40] {
+            let p = series(len, 0.0);
+            let q = series(len, 0.9);
+            group.bench_with_input(BenchmarkId::new(kind.abbrev(), len), &len, |b, _| {
+                b.iter(|| d.evaluate(black_box(&p), black_box(&q)).expect("valid"))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_cpu_scaling(c: &mut Criterion) {
+    // Longer sweeps establishing the O(n) vs O(n²) scaling split.
+    let mut group = c.benchmark_group("cpu_scaling");
+    for len in [64usize, 256, 1024] {
+        let p = series(len, 0.0);
+        let q = series(len, 0.9);
+        let dtw = boxed_distance(DistanceKind::Dtw);
+        let md = boxed_distance(DistanceKind::Manhattan);
+        group.bench_with_input(BenchmarkId::new("DTW", len), &len, |b, _| {
+            b.iter(|| dtw.evaluate(black_box(&p), black_box(&q)).expect("valid"))
+        });
+        group.bench_with_input(BenchmarkId::new("MD", len), &len, |b, _| {
+            b.iter(|| md.evaluate(black_box(&p), black_box(&q)).expect("valid"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cpu_distances, bench_cpu_scaling);
+criterion_main!(benches);

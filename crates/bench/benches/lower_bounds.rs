@@ -1,0 +1,41 @@
+//! Criterion benches of DTW lower-bound pruning — the software optimization
+//! (Rakthanmanon et al.) that the paper's related work deploys on CPUs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mda_distance::mining::SubsequenceSearch;
+
+fn haystack(len: usize) -> Vec<f64> {
+    (0..len)
+        .map(|i| (i as f64 * 0.23).sin() * (1.0 + (i as f64 / len as f64)))
+        .collect()
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subsequence_search");
+    group.sample_size(20);
+    for hay_len in [512usize, 2048] {
+        let hay = haystack(hay_len);
+        let query: Vec<f64> = hay[hay_len / 3..hay_len / 3 + 32].to_vec();
+        let search = SubsequenceSearch::new(32, 3);
+        group.bench_with_input(BenchmarkId::new("cascading", hay_len), &hay_len, |b, _| {
+            b.iter(|| search.run(black_box(&query), black_box(&hay)).expect("ok"))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("brute_force", hay_len),
+            &hay_len,
+            |b, _| {
+                b.iter(|| {
+                    search
+                        .run_brute_force(black_box(&query), black_box(&hay))
+                        .expect("ok")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benches of device-level PE circuit solves — what one "SPICE"
+//! validation run costs at each circuit size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mda_core::{pe, AcceleratorConfig};
+
+fn bench_pe_dc(c: &mut Criterion) {
+    let config = AcceleratorConfig::paper_defaults();
+    let mut group = c.benchmark_group("spice_pe_dc");
+    group.sample_size(10);
+
+    group.bench_function("dtw_1x1", |b| {
+        b.iter(|| pe::dtw::evaluate_dc(&config, black_box(&[1.5]), black_box(&[0.5]), 1.0))
+    });
+    group.bench_function("dtw_3x3", |b| {
+        let p = [0.0, 1.0, 3.0];
+        let q = [0.5, 1.5, 2.5];
+        b.iter(|| pe::dtw::evaluate_dc(&config, black_box(&p), black_box(&q), 1.0))
+    });
+    group.bench_function("lcs_2x2", |b| {
+        let p = [0.0, 1.0];
+        let q = [0.0, 1.1];
+        b.iter(|| pe::lcs::evaluate_dc(&config, black_box(&p), black_box(&q), 0.2, 1.0))
+    });
+    group.bench_function("edit_2x2", |b| {
+        let p = [0.0, 2.0];
+        let q = [0.0, -2.0];
+        b.iter(|| pe::edit::evaluate_dc(&config, black_box(&p), black_box(&q), 0.2))
+    });
+    group.bench_function("hausdorff_2x3", |b| {
+        let p = [0.0, 4.0];
+        let q = [1.0, 3.5, 6.0];
+        b.iter(|| pe::hausdorff::evaluate_dc(&config, black_box(&p), black_box(&q), 1.0))
+    });
+    for n in [4usize, 8] {
+        group.bench_with_input(BenchmarkId::new("manhattan_row", n), &n, |b, &n| {
+            let p: Vec<f64> = (0..n).map(|i| i as f64 * 0.25).collect();
+            let q = vec![0.0; n];
+            let w = vec![1.0; n];
+            b.iter(|| pe::manhattan::evaluate_dc(&config, black_box(&p), black_box(&q), &w))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pe_dc);
+criterion_main!(benches);

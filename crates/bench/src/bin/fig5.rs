@@ -1,0 +1,66 @@
+//! Fig. 5: convergence time and relative error of the six distance
+//! functions vs sequence length, over the three (synthetic stand-in)
+//! datasets.
+//!
+//! Usage: `fig5 [pairs_per_kind]` (default 5, matching the paper's 10
+//! computations per dataset).
+
+use mda_bench::runners::{run_fig5, PAPER_LENGTHS};
+use mda_bench::table::fmt_time;
+use mda_bench::Table;
+use mda_distance::DistanceKind;
+
+fn main() {
+    let pairs_per_kind: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(5);
+    eprintln!(
+        "running fig5 sweep: lengths {PAPER_LENGTHS:?}, {} pairs per dataset/length ...",
+        pairs_per_kind * 2
+    );
+    let rows = run_fig5(&PAPER_LENGTHS, pairs_per_kind);
+
+    for kind in DistanceKind::ALL {
+        println!("Fig. 5 ({kind}): convergence time and relative error\n");
+        let mut t = Table::new([
+            "dataset",
+            "pair kind",
+            "length",
+            "convergence",
+            "relative error",
+            "pairs",
+        ]);
+        for row in rows.iter().filter(|r| r.kind == kind) {
+            t.row([
+                row.dataset.clone(),
+                format!("{:?}", row.pair_kind),
+                row.length.to_string(),
+                fmt_time(row.mean_convergence_s),
+                format!("{:.3}%", row.mean_relative_error * 100.0),
+                row.pairs.to_string(),
+            ]);
+        }
+        println!("{t}");
+    }
+
+    // The paper's headline observations, checked over the aggregate.
+    let mean = |kind: DistanceKind, len: usize| {
+        let v: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.kind == kind && r.length == len)
+            .map(|r| r.mean_convergence_s)
+            .collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    println!("Shape checks:");
+    for kind in DistanceKind::ALL {
+        let ratio = mean(kind, 40) / mean(kind, 10);
+        let shape = if ratio > 2.0 {
+            "grows with length"
+        } else {
+            "~constant"
+        };
+        println!("  {kind}: t(40)/t(10) = {ratio:.2} ({shape})");
+    }
+}

@@ -1,0 +1,42 @@
+//! Fig. 6(a): per-element performance of the accelerator against the
+//! published FPGA/GPU accelerators (paper headline: 3.5x-376x).
+//!
+//! Usage: `fig6a [n]` (array size; default 128, the paper's configuration).
+
+use mda_bench::runners::run_fig6a;
+use mda_bench::Table;
+use mda_power::baselines::baseline_for;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(128);
+    eprintln!("running fig6a at array size {n} ...");
+    let rows = run_fig6a(n);
+
+    println!("Fig. 6(a): performance comparison with existing works (n = {n})\n");
+    let mut t = Table::new([
+        "function",
+        "baseline",
+        "baseline t/elem",
+        "ours t/elem",
+        "speedup",
+    ]);
+    let mut min_speedup = f64::INFINITY;
+    let mut max_speedup = 0.0f64;
+    for row in &rows {
+        let b = baseline_for(row.kind);
+        t.row([
+            row.kind.to_string(),
+            format!("{} {}", row.platform, b.citation),
+            format!("{:.2} ns", row.baseline_per_element_s * 1.0e9),
+            format!("{:.3} ns", row.ours_per_element_s * 1.0e9),
+            format!("{:.1}x", row.speedup),
+        ]);
+        min_speedup = min_speedup.min(row.speedup);
+        max_speedup = max_speedup.max(row.speedup);
+    }
+    println!("{t}");
+    println!("Speedup range: {min_speedup:.1}x - {max_speedup:.1}x  (paper: 3.5x - 376x)");
+}

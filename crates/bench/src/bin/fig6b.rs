@@ -1,0 +1,53 @@
+//! Fig. 6(b): accelerator runtime and speedup against an optimized CPU
+//! implementation at the paper's sequence lengths (paper headline:
+//! 20x-1000x, growing with length, smaller for the O(n) HamD/MD).
+
+use mda_bench::runners::{run_fig6b, PAPER_LENGTHS};
+use mda_bench::table::fmt_time;
+use mda_bench::Table;
+use mda_distance::DistanceKind;
+
+fn main() {
+    eprintln!("running fig6b at lengths {PAPER_LENGTHS:?} (CPU measured on this host) ...");
+    let rows = run_fig6b(&PAPER_LENGTHS);
+
+    println!("Fig. 6(b): accelerator vs CPU implementation\n");
+    let mut t = Table::new(["function", "length", "CPU", "accelerator", "speedup"]);
+    for row in &rows {
+        t.row([
+            row.kind.to_string(),
+            row.length.to_string(),
+            fmt_time(row.cpu_s),
+            fmt_time(row.analog_s),
+            format!("{:.0}x", row.speedup),
+        ]);
+    }
+    println!("{t}");
+
+    // Shape checks mirrored from the paper's discussion.
+    let speedup = |kind: DistanceKind, len: usize| {
+        rows.iter()
+            .find(|r| r.kind == kind && r.length == len)
+            .map(|r| r.speedup)
+            .expect("row exists")
+    };
+    println!("Shape checks:");
+    for kind in DistanceKind::ALL {
+        let s10 = speedup(kind, 10);
+        let s40 = speedup(kind, 40);
+        println!(
+            "  {kind}: speedup {s10:.0}x @10 -> {s40:.0}x @40 ({})",
+            if s40 > s10 { "grows" } else { "flat/shrinks" }
+        );
+    }
+    let dp40 = speedup(DistanceKind::Dtw, 40);
+    let md40 = speedup(DistanceKind::Manhattan, 40);
+    println!(
+        "  O(n^2) vs O(n) at length 40: DTW {dp40:.0}x vs MD {md40:.0}x ({})",
+        if dp40 > md40 {
+            "DP functions benefit more, as in the paper"
+        } else {
+            "UNEXPECTED"
+        }
+    );
+}

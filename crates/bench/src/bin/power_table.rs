@@ -1,0 +1,71 @@
+//! Section 4.3: per-configuration power budgets and energy-efficiency
+//! comparison (paper headline: 1-3 orders of magnitude, 26.7x-8767x).
+//!
+//! Usage: `power_table [n]` (array size for the per-element timing; default
+//! 128).
+
+use mda_bench::runners::run_power_table;
+use mda_bench::Table;
+use mda_core::AcceleratorConfig;
+use mda_distance::DistanceKind;
+use mda_power::budget::{PowerBudget, PAPER_ELEMENT_RATE};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(128);
+    eprintln!("running power analysis at array size {n} ...");
+
+    println!("Power breakdown per configuration (128-PE array, 6.5 GS/s interface)\n");
+    let budget = PowerBudget::new(AcceleratorConfig::paper_defaults());
+    let mut t = Table::new([
+        "function",
+        "op-amps",
+        "memristors",
+        "DAC",
+        "ADC",
+        "total",
+        "paper",
+    ]);
+    for kind in DistanceKind::ALL {
+        let b = budget.breakdown(kind, 128, PAPER_ELEMENT_RATE);
+        t.row([
+            kind.to_string(),
+            format!("{:.2} W", b.opamps_w),
+            format!("{:.2} W", b.memristors_w),
+            format!("{:.2} W", b.dac_w),
+            format!("{:.3} W", b.adc_w),
+            format!("{:.2} W", b.total_w()),
+            format!("{:.2} W", mda_power::budget::paper_reported_power(kind)),
+        ]);
+    }
+    println!("{t}");
+
+    println!("Energy-efficiency comparison\n");
+    let rows = run_power_table(n);
+    let mut t = Table::new([
+        "function",
+        "baseline",
+        "baseline power",
+        "ours power",
+        "speedup",
+        "efficiency gain",
+    ]);
+    let mut min_gain = f64::INFINITY;
+    let mut max_gain = 0.0f64;
+    for row in &rows {
+        t.row([
+            row.kind.to_string(),
+            row.platform.to_string(),
+            format!("{:.1} W", row.baseline_w),
+            format!("{:.2} W", row.ours_w),
+            format!("{:.1}x", row.speedup),
+            format!("{:.0}x", row.efficiency_gain),
+        ]);
+        min_gain = min_gain.min(row.efficiency_gain);
+        max_gain = max_gain.max(row.efficiency_gain);
+    }
+    println!("{t}");
+    println!("Efficiency gain range: {min_gain:.0}x - {max_gain:.0}x  (paper: 26.7x - 8767x)");
+}

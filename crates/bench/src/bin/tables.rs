@@ -1,0 +1,51 @@
+//! Regenerates Tables 1 and 2 of the paper from the configuration the
+//! reproduction actually uses.
+
+use mda_bench::Table;
+use mda_core::AcceleratorConfig;
+use mda_memristor::{BiolekParams, StochasticParams};
+
+fn main() {
+    let c = AcceleratorConfig::paper_defaults();
+    println!("Table 1: SPICE parameters for distance accelerator setup\n");
+    let mut t1 = Table::new(["Parameter", "Configuration"]);
+    t1.row(["Open loop gain of op-amp", &format!("{:.0e}", c.opamp_gain)]);
+    t1.row([
+        "Gain-bandwidth product of op-amp (GHz)",
+        &format!("{:.0}", c.opamp_gbw / 1.0e9),
+    ]);
+    t1.row(["Vcc (V)", &format!("{:.1}", c.vcc)]);
+    t1.row([
+        "Voltage resolution",
+        &format!("{:.0} mV for 1", c.voltage_resolution * 1.0e3),
+    ]);
+    t1.row([
+        "Threshold voltage of diodes (V)",
+        "0 (near-ideal exponential)",
+    ]);
+    t1.row([
+        "Parasitic capacitance per net (fF)",
+        &format!("{:.0}", c.parasitic_capacitance * 1.0e15),
+    ]);
+    t1.row(["Vstep (mV)", &format!("{:.0}", c.v_step * 1.0e3)]);
+    t1.row(["PE array", &c.array.to_string()]);
+    println!("{t1}");
+
+    let s = StochasticParams::table2();
+    let b = BiolekParams::paper_defaults();
+    println!("Table 2: Parameters for stochastic Biolek's model\n");
+    let mut t2 = Table::new(["Parameter", "Value"]);
+    t2.row(["V0 (V)", &format!("{:.3}", s.v0)]);
+    t2.row(["tau (s)", &format!("{:.2e}", s.tau)]);
+    t2.row(["VT0 (V)", &format!("{:.1}", s.vt0)]);
+    t2.row(["dV (V)", &format!("{:.1}", s.delta_v)]);
+    t2.row(["Roff (kOhm)", &format!("{:.0}", b.r_off / 1.0e3)]);
+    t2.row(["Ron (kOhm)", &format!("{:.0}", b.r_on / 1.0e3)]);
+    t2.row(["dRon/off", &format!("{:.0}%", s.delta_r * 100.0)]);
+    println!("{t2}");
+
+    println!(
+        "Sub-threshold disturb check (Section 4.2): P(switch | 0.25 V, 10 ns) = {:.2e}",
+        s.switching_probability(0.25, 10.0e-9)
+    );
+}

@@ -1,0 +1,106 @@
+//! Ablation: impact of process variation on solution quality and the two
+//! mitigations of Section 3.3(3) — tolerance-control layout and
+//! post-fabrication resistance tuning.
+//!
+//! A weighted Manhattan distance is computed with its adder ratios
+//! (`M0/Mk = w_k`) perturbed three ways: raw ±25 % fabrication spread,
+//! matched-pair layout (<1 % ratio mismatch), and the full tuning loop.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mda_bench::Table;
+use mda_core::analog::graph::builders;
+use mda_core::analog::{AnalogEngine, ErrorModel};
+use mda_core::{AcceleratorConfig, ConfigurationLib};
+use mda_distance::{Distance, DistanceKind, Manhattan, Weights};
+use mda_memristor::{pair_with_tolerance_control, ProcessVariation};
+
+fn weighted_md_error(config: &AcceleratorConfig, weights: &[f64], intended: &[f64]) -> f64 {
+    // Fixed probe pair; the weights carry the perturbation under test.
+    let p: Vec<f64> = (0..weights.len())
+        .map(|i| (i as f64 * 0.7).sin() * 2.0)
+        .collect();
+    let q: Vec<f64> = (0..weights.len())
+        .map(|i| (i as f64 * 0.7 + 1.0).sin() * 2.0)
+        .collect();
+    let reference = Manhattan::new()
+        .with_weights(Weights::per_element(intended.to_vec()).expect("valid"))
+        .evaluate(&p, &q)
+        .expect("valid");
+    let volts =
+        |xs: &[f64]| -> Vec<f64> { xs.iter().map(|&x| config.value_to_voltage(x)).collect() };
+    let graph = builders::manhattan(
+        config,
+        &volts(&p),
+        &volts(&q),
+        weights,
+        &mut ErrorModel::ideal(), // isolate the ratio error from other noise
+    );
+    let got = config.voltage_to_value(AnalogEngine::new().simulate(&graph).final_voltage);
+    ((got - reference) / reference).abs()
+}
+
+fn main() {
+    let config = AcceleratorConfig::paper_defaults();
+    let variation = ProcessVariation::paper_defaults();
+    let lib = ConfigurationLib::paper_library();
+    let mut rng = StdRng::seed_from_u64(2017);
+    let n = 16;
+    let intended: Vec<f64> = (0..n).map(|i| 0.6 + 0.05 * i as f64).collect();
+
+    // 1. Raw fabrication spread: each ratio is two independent ±25 % draws.
+    let untuned: Vec<f64> = intended
+        .iter()
+        .map(|&w| {
+            use rand::Rng;
+            let a = variation.sample(30.0e3, &mut rng);
+            let b = variation.sample(30.0e3 / w, &mut rng);
+            let _ = rng.gen::<bool>();
+            a / b // realised M0/Mk ratio
+        })
+        .collect();
+
+    // 2. Tolerance-control layout: matched pairs, ratio mismatch < 1 %.
+    let matched: Vec<f64> = intended
+        .iter()
+        .map(|&w| {
+            let (a, b, _) = pair_with_tolerance_control(&variation, 30.0e3, 30.0e3 / w, &mut rng);
+            a / b
+        })
+        .collect();
+
+    // 3. Full resistance tuning via the configuration library.
+    let cfg = lib.configuration(DistanceKind::Manhattan);
+    let tuned: Vec<f64> = intended
+        .iter()
+        .map(|&w| cfg.program_weight(w, &mut rng).expect("programmable ratio")[0].achieved)
+        .collect();
+
+    let ratio_err = |ws: &[f64]| -> f64 {
+        ws.iter()
+            .zip(&intended)
+            .map(|(got, want)| (got / want - 1.0).abs())
+            .fold(0.0f64, f64::max)
+    };
+
+    println!("Process-variation ablation (weighted MD, n = {n})\n");
+    let mut t = Table::new(["configuration", "worst ratio error", "distance error"]);
+    for (label, ws) in [
+        ("as-fabricated (±25%)", &untuned),
+        ("tolerance control", &matched),
+        ("resistance tuning", &tuned),
+    ] {
+        t.row([
+            label.to_string(),
+            format!("{:.2}%", ratio_err(ws) * 100.0),
+            format!("{:.2}%", weighted_md_error(&config, ws, &intended) * 100.0),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "Section 3.3(3): \"the solution quality is only the ratio of memristors\" —\n\
+         tolerance control and tuning both push the ratio (and hence distance)\n\
+         error to the ~1% level despite the ±25% fabrication spread."
+    );
+}

@@ -1,0 +1,122 @@
+//! Plain-text table rendering for the harness binaries.
+
+/// A simple left-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width doesn't match the header.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for c in 0..cols {
+                line.push(' ');
+                line.push_str(&cells[c]);
+                line.push_str(&" ".repeat(widths[c] - cells[c].len() + 1));
+                line.push('|');
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('|');
+        for w in &widths {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('|');
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a time in engineering notation (ns/µs/ms).
+pub fn fmt_time(seconds: f64) -> String {
+    if seconds < 1.0e-6 {
+        format!("{:.2} ns", seconds * 1.0e9)
+    } else if seconds < 1.0e-3 {
+        format!("{:.2} us", seconds * 1.0e6)
+    } else {
+        format!("{:.2} ms", seconds * 1.0e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new(["a", "header"]);
+        t.row(["1", "2"]);
+        t.row(["long cell", "x"]);
+        let s = t.render();
+        assert!(s.contains("| a "));
+        assert!(s.contains("| long cell | x"));
+        assert_eq!(s.lines().count(), 4);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_width_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(fmt_time(5.0e-9), "5.00 ns");
+        assert_eq!(fmt_time(2.5e-6), "2.50 us");
+        assert_eq!(fmt_time(1.0e-3), "1.00 ms");
+    }
+}

@@ -1,0 +1,510 @@
+//! The top-level accelerator facade: configure a distance function, push
+//! sequences through the DAC array, run the analog fabric, read the result
+//! back through the ADC array.
+
+use mda_distance::dtw::Band;
+use mda_distance::{
+    Distance, DistanceKind, Dtw, EditDistance, Hamming, Hausdorff, Lcs, Manhattan, Weights,
+};
+use mda_spice::Trace;
+
+use crate::analog::graph::builders;
+use crate::analog::{AnalogEngine, ErrorModel};
+use crate::array::Structure;
+use crate::config::AcceleratorConfig;
+use crate::controller::ConfigurationLib;
+use crate::encode::VoltageEncoder;
+use crate::error::AcceleratorError;
+use crate::tiling::TilingPlan;
+
+/// Parameters of the currently configured function.
+#[derive(Debug, Clone)]
+pub struct FunctionParams {
+    /// Match threshold in sequence units (LCS/EdD/HamD).
+    pub threshold: f64,
+    /// Per-element/pair weight (uniform value; full weight matrices are
+    /// programmed through `mda_memristor::tuning` and applied digitally in
+    /// the reference comparison).
+    pub weight: f64,
+    /// Sakoe–Chiba band for DTW.
+    pub band: Band,
+}
+
+impl Default for FunctionParams {
+    fn default() -> Self {
+        FunctionParams {
+            threshold: 0.1,
+            weight: 1.0,
+            band: Band::Full,
+        }
+    }
+}
+
+/// Outcome of one accelerated distance computation.
+#[derive(Debug, Clone)]
+pub struct AnalogOutcome {
+    /// The decoded distance value (sequence units / step counts).
+    pub value: f64,
+    /// The exact digital reference value for the same inputs.
+    pub reference: f64,
+    /// `|value − reference| / |reference|` (absolute error if the reference
+    /// is zero).
+    pub relative_error: f64,
+    /// The paper's convergence-time measurement, s.
+    pub convergence_time_s: f64,
+    /// PEs powered for this computation.
+    pub active_pes: usize,
+    /// Tiling plan (passes > 1 when the sequences exceed the array).
+    pub tiling: TilingPlan,
+    /// The raw analog output waveform (for early determination).
+    pub output_trace: Trace,
+}
+
+/// The reconfigurable memristor-based distance accelerator.
+///
+/// See the crate-level docs for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct DistanceAccelerator {
+    config: AcceleratorConfig,
+    encoder: VoltageEncoder,
+    lib: ConfigurationLib,
+    engine: AnalogEngine,
+    configured: Option<(DistanceKind, FunctionParams)>,
+    /// Count of reconfigurations performed (for reporting).
+    reconfigurations: usize,
+}
+
+impl DistanceAccelerator {
+    /// A new accelerator with the given configuration, not yet configured
+    /// for any distance function.
+    pub fn new(config: AcceleratorConfig) -> Self {
+        DistanceAccelerator {
+            encoder: VoltageEncoder::new(config.clone()),
+            config,
+            lib: ConfigurationLib::paper_library(),
+            engine: AnalogEngine::new(),
+            configured: None,
+            reconfigurations: 0,
+        }
+    }
+
+    /// The accelerator configuration.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// The configuration library.
+    pub fn library(&self) -> &ConfigurationLib {
+        &self.lib
+    }
+
+    /// Configures the fabric for `kind` with default parameters.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for all six kinds; returns `Err` only for
+    /// invalid parameter combinations via [`Self::configure_with`].
+    pub fn configure(&mut self, kind: DistanceKind) -> Result<(), AcceleratorError> {
+        self.configure_with(kind, FunctionParams::default())
+    }
+
+    /// Configures the fabric for `kind` with explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcceleratorError::InvalidConfig`] for non-positive
+    /// thresholds or weights outside the memristor-ratio domain.
+    pub fn configure_with(
+        &mut self,
+        kind: DistanceKind,
+        params: FunctionParams,
+    ) -> Result<(), AcceleratorError> {
+        if !params.threshold.is_finite() || params.threshold < 0.0 {
+            return Err(AcceleratorError::InvalidConfig {
+                reason: format!("threshold must be non-negative, got {}", params.threshold),
+            });
+        }
+        // Validate the weight maps onto memristor ratios.
+        self.lib.configuration(kind).weight_ratios(params.weight)?;
+        self.configured = Some((kind, params));
+        self.reconfigurations += 1;
+        Ok(())
+    }
+
+    /// The currently configured function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcceleratorError::NotConfigured`] before the first
+    /// [`Self::configure`].
+    pub fn configured_kind(&self) -> Result<DistanceKind, AcceleratorError> {
+        self.configured
+            .as_ref()
+            .map(|(k, _)| *k)
+            .ok_or(AcceleratorError::NotConfigured)
+    }
+
+    /// Number of reconfigurations performed so far.
+    pub fn reconfigurations(&self) -> usize {
+        self.reconfigurations
+    }
+
+    /// The digital reference for the configured function (used for the
+    /// relative-error measurement and available to applications that want
+    /// to cross-check).
+    fn reference_distance(
+        kind: DistanceKind,
+        params: &FunctionParams,
+        p: &[f64],
+        q: &[f64],
+    ) -> Result<f64, AcceleratorError> {
+        let weights = Weights::Uniform;
+        let d: Box<dyn Distance + Send + Sync> = match kind {
+            DistanceKind::Dtw => Box::new(Dtw::new().with_band(params.band).with_weights(weights)),
+            DistanceKind::Lcs => Box::new(Lcs::new(params.threshold)),
+            DistanceKind::Edit => Box::new(EditDistance::new(params.threshold)),
+            DistanceKind::Hausdorff => Box::new(Hausdorff::new()),
+            DistanceKind::Hamming => Box::new(Hamming::new(params.threshold)),
+            DistanceKind::Manhattan => Box::new(Manhattan::new()),
+        };
+        let mut v = d.evaluate(p, q)?;
+        if (params.weight - 1.0).abs() > 1e-12 {
+            // Uniform non-unit weight scales every function linearly.
+            v *= params.weight;
+        }
+        Ok(v)
+    }
+
+    /// Runs one distance computation through the analog model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcceleratorError::NotConfigured`] before configuration,
+    /// [`AcceleratorError::EncodingRange`] for unencodable values, or
+    /// [`AcceleratorError::Distance`] for inputs the function rejects
+    /// (empty, length mismatch).
+    pub fn compute(&self, p: &[f64], q: &[f64]) -> Result<AnalogOutcome, AcceleratorError> {
+        let (kind, params) = self
+            .configured
+            .as_ref()
+            .ok_or(AcceleratorError::NotConfigured)?;
+        let kind = *kind;
+        // Validate inputs via the digital reference first (shape errors).
+        let reference = Self::reference_distance(kind, params, p, q)?;
+
+        // DAC encoding.
+        let p_volts = self.encoder.encode(p)?;
+        let q_volts = self.encoder.encode(q)?;
+        let thr_volts = self.config.value_to_voltage(params.threshold);
+
+        let mut errors = ErrorModel::new(self.config.noise_seed);
+        let graph = match kind {
+            DistanceKind::Dtw => builders::dtw(
+                &self.config,
+                &p_volts,
+                &q_volts,
+                params.weight,
+                params.band,
+                &mut errors,
+            ),
+            DistanceKind::Lcs => builders::lcs(
+                &self.config,
+                &p_volts,
+                &q_volts,
+                thr_volts,
+                params.weight,
+                &mut errors,
+            ),
+            DistanceKind::Edit => {
+                builders::edit(&self.config, &p_volts, &q_volts, thr_volts, &mut errors)
+            }
+            DistanceKind::Hausdorff => {
+                builders::hausdorff(&self.config, &p_volts, &q_volts, params.weight, &mut errors)
+            }
+            DistanceKind::Hamming => builders::hamming(
+                &self.config,
+                &p_volts,
+                &q_volts,
+                thr_volts,
+                &vec![params.weight; p.len().min(q.len())],
+                &mut errors,
+            ),
+            DistanceKind::Manhattan => builders::manhattan(
+                &self.config,
+                &p_volts,
+                &q_volts,
+                &vec![params.weight; p.len().min(q.len())],
+                &mut errors,
+            ),
+        };
+
+        let sim = self.engine.simulate(&graph);
+
+        // ADC read-out and decoding.
+        let quantized = self.config.adc.quantize(sim.final_voltage);
+        let value = match kind {
+            // Step-counting functions decode in Vstep units.
+            DistanceKind::Lcs | DistanceKind::Edit | DistanceKind::Hamming => {
+                quantized / self.config.v_step
+            }
+            _ => self.config.voltage_to_value(quantized),
+        };
+
+        let relative_error = if reference.abs() > 1e-12 {
+            ((value - reference) / reference).abs()
+        } else {
+            value.abs()
+        };
+
+        let band = if kind == DistanceKind::Dtw {
+            Some(params.band)
+        } else {
+            None
+        };
+        let structure = Structure::for_kind(kind);
+        let tiling = TilingPlan::plan(structure, self.config.array, p.len(), q.len());
+        let active_pes = self.config.array.active_pes(kind, p.len(), q.len(), band);
+
+        // Tiling multiplies the wall-clock time by the number of passes.
+        let convergence_time_s = sim.convergence_time_s * tiling.passes as f64;
+
+        Ok(AnalogOutcome {
+            value,
+            reference,
+            relative_error,
+            convergence_time_s,
+            active_pes,
+            tiling,
+            output_trace: sim.output_trace,
+        })
+    }
+}
+
+/// Outcome of a batched row-structure run.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Per-candidate outcomes, in input order.
+    pub outcomes: Vec<AnalogOutcome>,
+    /// Array passes needed (`ceil(candidates / array rows)`).
+    pub passes: usize,
+    /// Wall-clock analog time for the whole batch: the slowest convergence
+    /// in each pass, summed over passes — the concurrency the Section 4.3
+    /// power analysis assumes (one candidate per array row).
+    pub batch_time_s: f64,
+}
+
+impl DistanceAccelerator {
+    /// Computes a row-structure distance between `query` and every
+    /// candidate, exploiting the array's row-level parallelism: up to
+    /// `array.rows` candidates are processed concurrently per pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcceleratorError::InvalidConfig`] if the configured
+    /// function is not a row-structure one (matrix functions occupy the
+    /// whole array for a single pair), plus any per-pair computation error.
+    pub fn compute_batch(
+        &self,
+        query: &[f64],
+        candidates: &[Vec<f64>],
+    ) -> Result<BatchOutcome, AcceleratorError> {
+        let kind = self.configured_kind()?;
+        if kind.uses_matrix_structure() {
+            return Err(AcceleratorError::InvalidConfig {
+                reason: format!(
+                    "batched execution needs a row-structure function (HamD/MD), got {kind}"
+                ),
+            });
+        }
+        let rows = self.config.array.rows;
+        let mut outcomes = Vec::with_capacity(candidates.len());
+        let mut batch_time_s = 0.0;
+        let mut passes = 0usize;
+        for chunk in candidates.chunks(rows.max(1)) {
+            passes += 1;
+            let mut slowest = 0.0f64;
+            for candidate in chunk {
+                let outcome = self.compute(query, candidate)?;
+                slowest = slowest.max(outcome.convergence_time_s);
+                outcomes.push(outcome);
+            }
+            batch_time_s += slowest;
+        }
+        Ok(BatchOutcome {
+            outcomes,
+            passes,
+            batch_time_s,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn accelerator(kind: DistanceKind) -> DistanceAccelerator {
+        let mut acc = DistanceAccelerator::new(AcceleratorConfig::paper_defaults());
+        acc.configure(kind).unwrap();
+        acc
+    }
+
+    fn series(len: usize, phase: f64) -> Vec<f64> {
+        (0..len)
+            .map(|i| (i as f64 * 0.4 + phase).sin() * 2.0)
+            .collect()
+    }
+
+    #[test]
+    fn unconfigured_compute_fails() {
+        let acc = DistanceAccelerator::new(AcceleratorConfig::paper_defaults());
+        assert!(matches!(
+            acc.compute(&[0.0], &[0.0]),
+            Err(AcceleratorError::NotConfigured)
+        ));
+    }
+
+    #[test]
+    fn all_six_functions_compute_with_small_error() {
+        // Match margins must be decisive relative to the 8-bit DAC LSB
+        // (3.9 mV = 0.195 units): element differences are either ~0.02
+        // units (clear match at a 0.5-unit threshold) or ~3 units (clear
+        // mismatch) — the regime the thresholded functions are designed for.
+        let p = series(8, 0.0);
+        let q: Vec<f64> = p
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| if i % 2 == 0 { v + 0.02 } else { v + 3.0 })
+            .collect();
+        for kind in DistanceKind::ALL {
+            let mut acc = DistanceAccelerator::new(AcceleratorConfig::paper_defaults());
+            acc.configure_with(
+                kind,
+                FunctionParams {
+                    threshold: 0.5,
+                    ..FunctionParams::default()
+                },
+            )
+            .unwrap();
+            let outcome = acc.compute(&p, &q).unwrap();
+            assert!(
+                outcome.relative_error < 0.25,
+                "{kind}: value {} vs reference {} (rel {})",
+                outcome.value,
+                outcome.reference,
+                outcome.relative_error
+            );
+            assert!(outcome.convergence_time_s > 0.0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn reconfiguration_switches_function() {
+        let mut acc = accelerator(DistanceKind::Manhattan);
+        let p = [0.0, 1.0, 2.0];
+        let q = [1.0, 1.0, 1.0];
+        let md = acc.compute(&p, &q).unwrap();
+        assert!((md.reference - 2.0).abs() < 1e-12);
+        acc.configure(DistanceKind::Hamming).unwrap();
+        let hd = acc.compute(&p, &q).unwrap();
+        assert!((hd.reference - 2.0).abs() < 1e-12);
+        assert_eq!(acc.reconfigurations(), 2);
+    }
+
+    #[test]
+    fn length_mismatch_propagates() {
+        let acc = accelerator(DistanceKind::Manhattan);
+        assert!(matches!(
+            acc.compute(&[0.0], &[0.0, 1.0]),
+            Err(AcceleratorError::Distance(_))
+        ));
+    }
+
+    #[test]
+    fn banded_dtw_configuration() {
+        let mut acc = DistanceAccelerator::new(AcceleratorConfig::paper_defaults());
+        acc.configure_with(
+            DistanceKind::Dtw,
+            FunctionParams {
+                band: Band::SakoeChiba(2),
+                ..FunctionParams::default()
+            },
+        )
+        .unwrap();
+        let p = series(12, 0.0);
+        let q = series(12, 0.3);
+        let outcome = acc.compute(&p, &q).unwrap();
+        assert!(outcome.relative_error < 0.25);
+        // The band shrinks the active-PE count below the full square.
+        assert!(outcome.active_pes < 12 * 12);
+    }
+
+    #[test]
+    fn tiling_kicks_in_beyond_array_size() {
+        let mut config = AcceleratorConfig::paper_defaults();
+        config.array = crate::array::ArrayDimensions::new(8, 8);
+        let mut acc = DistanceAccelerator::new(config);
+        acc.configure(DistanceKind::Manhattan).unwrap();
+        let p = series(20, 0.0);
+        let q = series(20, 0.4);
+        let outcome = acc.compute(&p, &q).unwrap();
+        assert_eq!(outcome.tiling.passes, 3); // ceil(20/8)
+        assert!(outcome.relative_error < 0.2);
+    }
+
+    #[test]
+    fn invalid_threshold_rejected() {
+        let mut acc = DistanceAccelerator::new(AcceleratorConfig::paper_defaults());
+        assert!(acc
+            .configure_with(
+                DistanceKind::Lcs,
+                FunctionParams {
+                    threshold: -1.0,
+                    ..FunctionParams::default()
+                },
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn batch_exploits_row_parallelism() {
+        let mut config = AcceleratorConfig::paper_defaults();
+        config.array = crate::array::ArrayDimensions::new(4, 64);
+        let mut acc = DistanceAccelerator::new(config);
+        acc.configure(DistanceKind::Manhattan).unwrap();
+        let query = series(8, 0.0);
+        let candidates: Vec<Vec<f64>> = (0..10).map(|i| series(8, 0.1 * i as f64)).collect();
+        let batch = acc.compute_batch(&query, &candidates).unwrap();
+        assert_eq!(batch.outcomes.len(), 10);
+        assert_eq!(batch.passes, 3); // ceil(10 / 4 rows)
+                                     // Batch wall time is far below the sum of individual runs.
+        let serial: f64 = batch.outcomes.iter().map(|o| o.convergence_time_s).sum();
+        assert!(batch.batch_time_s < serial / 2.0);
+    }
+
+    #[test]
+    fn batch_rejects_matrix_functions() {
+        let acc = accelerator(DistanceKind::Dtw);
+        assert!(matches!(
+            acc.compute_batch(&[0.0, 1.0], &[vec![0.0, 1.0]]),
+            Err(AcceleratorError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn weighted_computation_scales() {
+        let mut acc = DistanceAccelerator::new(AcceleratorConfig::paper_defaults());
+        acc.configure_with(
+            DistanceKind::Manhattan,
+            FunctionParams {
+                weight: 0.5,
+                ..FunctionParams::default()
+            },
+        )
+        .unwrap();
+        let p = [2.0, 4.0];
+        let q = [0.0, 0.0];
+        let outcome = acc.compute(&p, &q).unwrap();
+        assert!((outcome.reference - 3.0).abs() < 1e-12);
+        assert!(outcome.relative_error < 0.1);
+    }
+}

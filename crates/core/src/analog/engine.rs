@@ -1,0 +1,389 @@
+//! The behavioural ODE engine: integrates the first-order-lag network and
+//! measures the paper's convergence time and relative error.
+
+use mda_spice::Trace;
+
+use crate::analog::graph::{AnalogGraph, NodeOp, NodeRef};
+
+/// Result of one analog simulation.
+#[derive(Debug, Clone)]
+pub struct SimulationOutcome {
+    /// The settled output voltage, V.
+    pub final_voltage: f64,
+    /// The paper's convergence time: output within 0.1 % of its final
+    /// value, measured from the input edge, s.
+    pub convergence_time_s: f64,
+    /// The recorded output waveform.
+    pub output_trace: Trace,
+    /// Number of integration steps taken.
+    pub steps: usize,
+}
+
+/// Integrates an [`AnalogGraph`].
+///
+/// Each node follows `dy/dt = (f(inputs) + offset − y)/τ`, discretized with
+/// the exact exponential update `y ← target + (y − target)·e^(−dt/τ)`
+/// (unconditionally stable; the decay factor is precomputed per node). Fast
+/// diode/TG stages (τ below half a step) are treated as combinational and
+/// updated in topological order within the step, so a 40-deep diode max
+/// chain doesn't accrue an artificial step-per-stage latency.
+#[derive(Debug, Clone)]
+pub struct AnalogEngine {
+    /// Convergence band as a fraction of the final value (paper: 0.001).
+    pub convergence_fraction: f64,
+    /// Hard cap on integration steps.
+    pub max_steps: usize,
+}
+
+impl Default for AnalogEngine {
+    fn default() -> Self {
+        AnalogEngine {
+            convergence_fraction: 0.001,
+            max_steps: 2_000_000,
+        }
+    }
+}
+
+/// Precompiled per-node stepping plan.
+struct StepPlan {
+    /// Indices of non-const nodes in topological order.
+    active: Vec<usize>,
+    /// Per-node decay factor `e^(−dt/τ)`; 0.0 marks a fast/combinational
+    /// node that snaps to its target.
+    decay: Vec<f64>,
+    dt: f64,
+}
+
+impl StepPlan {
+    fn build(graph: &AnalogGraph, max_steps_hint: usize) -> StepPlan {
+        let min_slow_tau = graph
+            .nodes
+            .iter()
+            .map(|nd| nd.tau)
+            .filter(|&t| t > 1.0e-10)
+            .fold(f64::INFINITY, f64::min);
+        let dt = if min_slow_tau.is_finite() {
+            min_slow_tau / 8.0
+        } else {
+            1.0e-10
+        };
+        let fast_cutoff = dt / 2.0;
+        let mut active = Vec::with_capacity(graph.len());
+        let mut decay = vec![0.0; graph.len()];
+        for (i, node) in graph.nodes.iter().enumerate() {
+            if matches!(node.op, NodeOp::Const(_)) {
+                continue;
+            }
+            active.push(i);
+            decay[i] = if node.tau <= fast_cutoff {
+                0.0
+            } else {
+                (-dt / node.tau).exp()
+            };
+        }
+        let _ = max_steps_hint;
+        StepPlan { active, decay, dt }
+    }
+}
+
+impl AnalogEngine {
+    /// An engine with the paper's 0.1 % convergence criterion.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Core stepping loop shared by [`Self::simulate`] and
+    /// [`Self::simulate_with_probes`].
+    fn run(&self, graph: &AnalogGraph, probes: &[NodeRef]) -> (SimulationOutcome, Vec<Trace>) {
+        let n = graph.len();
+        let steady = graph.steady_state();
+        let out = graph.output().0;
+        let plan = StepPlan::build(graph, self.max_steps);
+        let vcc = graph.vcc();
+
+        let mut y = vec![0.0; n];
+        for (i, node) in graph.nodes.iter().enumerate() {
+            if let NodeOp::Const(v) = node.op {
+                y[i] = v;
+            }
+        }
+
+        let mut times = vec![0.0];
+        let mut values = vec![y[out]];
+        let mut probe_values: Vec<Vec<f64>> = probes.iter().map(|p| vec![y[p.0]]).collect();
+
+        let band: Vec<f64> = steady
+            .iter()
+            .map(|s| (s.abs() * self.convergence_fraction).max(1.0e-6))
+            .collect();
+
+        let mut t = 0.0;
+        let mut steps = 0usize;
+        let mut scratch: Vec<f64> = Vec::with_capacity(8);
+        // Checking the settle condition is as expensive as a step; only do
+        // it periodically.
+        const SETTLE_CHECK_INTERVAL: usize = 8;
+        loop {
+            steps += 1;
+            t += plan.dt;
+            for &i in &plan.active {
+                let node = &graph.nodes[i];
+                scratch.clear();
+                scratch.extend(node.inputs.iter().map(|r| y[r.0]));
+                let target =
+                    (node.op.evaluate(&scratch, node.weight) + node.offset).clamp(-vcc, vcc);
+                let d = plan.decay[i];
+                y[i] = if d == 0.0 {
+                    target
+                } else {
+                    target + (y[i] - target) * d
+                };
+            }
+            times.push(t);
+            values.push(y[out]);
+            for (k, p) in probes.iter().enumerate() {
+                probe_values[k].push(y[p.0]);
+            }
+            if steps % SETTLE_CHECK_INTERVAL == 0 || steps >= self.max_steps {
+                let all_settled = plan
+                    .active
+                    .iter()
+                    .all(|&i| (y[i] - steady[i]).abs() <= band[i]);
+                if all_settled || steps >= self.max_steps {
+                    break;
+                }
+            }
+        }
+
+        let trace = Trace::new(times.clone(), values);
+        let convergence_time_s = trace
+            .convergence_time(self.convergence_fraction)
+            .unwrap_or(t);
+        let outcome = SimulationOutcome {
+            final_voltage: y[out],
+            convergence_time_s,
+            output_trace: trace,
+            steps,
+        };
+        let probe_traces = probe_values
+            .into_iter()
+            .map(|vals| Trace::new(times.clone(), vals))
+            .collect();
+        (outcome, probe_traces)
+    }
+
+    /// Runs the simulation from all-zero initial state (inputs step at
+    /// t = 0) until every node is inside the convergence band of its steady
+    /// state, then reports the output's convergence time.
+    pub fn simulate(&self, graph: &AnalogGraph) -> SimulationOutcome {
+        self.run(graph, &[]).0
+    }
+
+    /// Simulates and additionally records the full waveform of a set of
+    /// nodes (used by the early-determination analysis).
+    pub fn simulate_with_probes(
+        &self,
+        graph: &AnalogGraph,
+        probes: &[NodeRef],
+    ) -> (SimulationOutcome, Vec<Trace>) {
+        self.run(graph, probes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analog::error_model::ErrorModel;
+    use crate::analog::graph::builders;
+    use crate::config::AcceleratorConfig;
+    use mda_distance::dtw::Band;
+    use mda_distance::{Distance, Dtw, Manhattan};
+
+    fn cfg() -> AcceleratorConfig {
+        AcceleratorConfig::paper_defaults()
+    }
+
+    fn volts(config: &AcceleratorConfig, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| config.value_to_voltage(x)).collect()
+    }
+
+    fn series(len: usize, phase: f64) -> Vec<f64> {
+        (0..len)
+            .map(|i| (i as f64 * 0.4 + phase).sin() * 2.0)
+            .collect()
+    }
+
+    #[test]
+    fn simulation_settles_to_steady_state() {
+        let config = cfg();
+        let p = series(6, 0.0);
+        let q = series(6, 0.3);
+        let g = builders::dtw(
+            &config,
+            &volts(&config, &p),
+            &volts(&config, &q),
+            1.0,
+            Band::Full,
+            &mut ErrorModel::ideal(),
+        );
+        let outcome = AnalogEngine::new().simulate(&g);
+        let expected = Dtw::new().evaluate(&p, &q).unwrap();
+        let got = config.voltage_to_value(outcome.final_voltage);
+        assert!(
+            (got - expected).abs() < 0.05,
+            "settled {got} vs digital {expected}"
+        );
+        assert!(outcome.convergence_time_s > 0.0);
+    }
+
+    #[test]
+    fn dtw_convergence_grows_with_length() {
+        let config = cfg();
+        let engine = AnalogEngine::new();
+        let mut last = 0.0;
+        for len in [4, 8, 16] {
+            let p = series(len, 0.0);
+            let q = series(len, 0.5);
+            let g = builders::dtw(
+                &config,
+                &volts(&config, &p),
+                &volts(&config, &q),
+                1.0,
+                Band::Full,
+                &mut ErrorModel::ideal(),
+            );
+            let tc = engine.simulate(&g).convergence_time_s;
+            assert!(tc > last, "len {len}: {tc} not > {last}");
+            last = tc;
+        }
+    }
+
+    #[test]
+    fn hausdorff_convergence_saturates_with_length() {
+        // The paper's Section 4.2 observation: HauD's convergence time is
+        // roughly constant once the length exceeds ~10.
+        let config = cfg();
+        let engine = AnalogEngine::new();
+        let tc = |len: usize| {
+            let p = series(len, 0.0);
+            let q = series(len, 0.5);
+            let g = builders::hausdorff(
+                &config,
+                &volts(&config, &p),
+                &volts(&config, &q),
+                1.0,
+                &mut ErrorModel::ideal(),
+            );
+            engine.simulate(&g).convergence_time_s
+        };
+        let t10 = tc(10);
+        let t40 = tc(40);
+        assert!(
+            t40 < t10 * 2.0,
+            "HauD convergence should be ~flat: t10 = {t10:.3e}, t40 = {t40:.3e}"
+        );
+    }
+
+    #[test]
+    fn manhattan_convergence_grows_with_length() {
+        // Row structure: the adder's summing-node capacitance grows with n.
+        let config = cfg();
+        let engine = AnalogEngine::new();
+        let tc = |len: usize| {
+            let p = series(len, 0.0);
+            let q = series(len, 0.5);
+            let g = builders::manhattan(
+                &config,
+                &volts(&config, &p),
+                &volts(&config, &q),
+                &vec![1.0; len],
+                &mut ErrorModel::ideal(),
+            );
+            engine.simulate(&g).convergence_time_s
+        };
+        let t10 = tc(10);
+        let t40 = tc(40);
+        assert!(
+            t40 > t10 * 1.5,
+            "MD convergence should grow: t10 = {t10:.3e}, t40 = {t40:.3e}"
+        );
+    }
+
+    #[test]
+    fn noisy_run_relative_error_is_small() {
+        let config = cfg();
+        let p = series(8, 0.0);
+        let q = series(8, 0.7);
+        let g = builders::manhattan(
+            &config,
+            &volts(&config, &p),
+            &volts(&config, &q),
+            &vec![1.0; 8],
+            &mut ErrorModel::new(config.noise_seed),
+        );
+        let outcome = AnalogEngine::new().simulate(&g);
+        let expected = Manhattan::new().evaluate(&p, &q).unwrap();
+        let got = config.voltage_to_value(outcome.final_voltage);
+        let rel = ((got - expected) / expected).abs();
+        assert!(rel < 0.05, "relative error {rel}");
+    }
+
+    #[test]
+    fn output_trace_is_monotone_charging_for_md() {
+        // A row-structure output charges monotonically (single lag chain),
+        // which is what makes early determination possible.
+        let config = cfg();
+        let p = [1.0, 2.0, 0.5, 1.5];
+        let q = [0.0, 0.0, 0.0, 0.0];
+        let g = builders::manhattan(
+            &config,
+            &volts(&config, &p),
+            &volts(&config, &q),
+            &[1.0; 4],
+            &mut ErrorModel::ideal(),
+        );
+        let outcome = AnalogEngine::new().simulate(&g);
+        let vals = outcome.output_trace.values();
+        for w in vals.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "non-monotone output");
+        }
+    }
+
+    #[test]
+    fn probes_record_waveforms() {
+        let config = cfg();
+        let p = [1.0, 2.0];
+        let q = [0.0, 0.0];
+        let g = builders::manhattan(
+            &config,
+            &volts(&config, &p),
+            &volts(&config, &q),
+            &[1.0; 2],
+            &mut ErrorModel::ideal(),
+        );
+        let probe = g.output();
+        let (outcome, traces) = AnalogEngine::new().simulate_with_probes(&g, &[probe]);
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].len(), outcome.output_trace.len());
+        assert!((traces[0].last() - outcome.final_voltage).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simulate_and_probe_runs_agree() {
+        let config = cfg();
+        let p = series(5, 0.0);
+        let q = series(5, 0.6);
+        let g = builders::dtw(
+            &config,
+            &volts(&config, &p),
+            &volts(&config, &q),
+            1.0,
+            Band::Full,
+            &mut ErrorModel::new(1),
+        );
+        let a = AnalogEngine::new().simulate(&g);
+        let (b, _) = AnalogEngine::new().simulate_with_probes(&g, &[]);
+        assert_eq!(a.final_voltage, b.final_voltage);
+        assert_eq!(a.convergence_time_s, b.convergence_time_s);
+    }
+}

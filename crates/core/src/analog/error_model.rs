@@ -1,0 +1,155 @@
+//! Per-module analog error model.
+//!
+//! Every analog stage contributes a small systematic output offset:
+//!
+//! * op-amp **zero drift** (input offset voltage amplified by the closed
+//!   loop) — the paper attributes the larger DTW/EdD errors to "larger zero
+//!   drift exists \[in\] PEs for DTW and EdD";
+//! * **diode forward drop** at the µA currents of the min/max networks;
+//! * **finite open-loop gain** (1e4), a ~0.01 % signal-dependent shortfall.
+//!
+//! Offsets are drawn deterministically from the accelerator's noise seed so
+//! runs are reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::analog::graph::NodeOp;
+
+/// Deterministic per-instance offset generator.
+#[derive(Debug, Clone)]
+pub struct ErrorModel {
+    rng: StdRng,
+    /// Scale multiplier (1.0 = nominal; 0.0 disables all analog error).
+    scale: f64,
+}
+
+impl ErrorModel {
+    /// A model seeded from the accelerator configuration.
+    pub fn new(seed: u64) -> Self {
+        ErrorModel {
+            rng: StdRng::seed_from_u64(seed),
+            scale: 1.0,
+        }
+    }
+
+    /// An idealized model that injects no error (for calibration runs).
+    pub fn ideal() -> Self {
+        ErrorModel {
+            rng: StdRng::seed_from_u64(0),
+            scale: 0.0,
+        }
+    }
+
+    /// Scales every offset by `scale` (1.0 = nominal). Used by the noise
+    /// ablation to sweep "how good do the analog components have to be".
+    #[must_use]
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Systematic bias (V) for a module type: negative for diode-drop
+    /// dominated stages, positive drift for the complement/restore pairs of
+    /// the DTW/EdD minimum modules.
+    fn bias(op: &NodeOp) -> f64 {
+        match op {
+            NodeOp::Const(_) => 0.0,
+            NodeOp::Sub => -0.10e-3,
+            NodeOp::Abs => -0.20e-3,
+            // Min is implemented as complement + diode max + restore: two
+            // extra subtractor stages -> the "larger zero drift" of DTW/EdD.
+            NodeOp::Min => 0.90e-3,
+            NodeOp::Max => -0.30e-3,
+            NodeOp::Add => -0.15e-3,
+            NodeOp::AddWeighted(_) => -0.15e-3,
+            NodeOp::SelectMatch { .. } => -0.20e-3,
+            NodeOp::Mismatch { .. } => -0.10e-3,
+        }
+    }
+
+    /// Random per-instance spread (standard deviation, V).
+    fn sigma(op: &NodeOp) -> f64 {
+        match op {
+            NodeOp::Const(_) => 0.0,
+            NodeOp::Sub | NodeOp::Mismatch { .. } => 0.15e-3,
+            NodeOp::Abs | NodeOp::Max => 0.25e-3,
+            NodeOp::Min => 0.40e-3,
+            NodeOp::Add | NodeOp::AddWeighted(_) => 0.15e-3,
+            NodeOp::SelectMatch { .. } => 0.25e-3,
+        }
+    }
+
+    /// Draws the offset for one module instance.
+    pub fn offset_for(&mut self, op: &NodeOp) -> f64 {
+        let bias = Self::bias(op);
+        let sigma = Self::sigma(op);
+        // Box–Muller gaussian.
+        let u1: f64 = self.rng.gen_range(1e-12..1.0);
+        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.scale * (bias + sigma * g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_model_injects_nothing() {
+        let mut m = ErrorModel::ideal();
+        for _ in 0..10 {
+            assert_eq!(m.offset_for(&NodeOp::Abs), 0.0);
+        }
+    }
+
+    #[test]
+    fn offsets_are_sub_millivolt_scale() {
+        let mut m = ErrorModel::new(42);
+        for _ in 0..100 {
+            let o = m.offset_for(&NodeOp::Min);
+            assert!(o.abs() < 3.0e-3, "offset {o} out of scale");
+        }
+    }
+
+    #[test]
+    fn min_stages_drift_more_than_add_stages() {
+        // The statistical property behind "relative error of DTW and EdD is
+        // larger than others'".
+        let mut m = ErrorModel::new(7);
+        let min_mean: f64 = (0..500).map(|_| m.offset_for(&NodeOp::Min)).sum::<f64>() / 500.0;
+        let add_mean: f64 = (0..500).map(|_| m.offset_for(&NodeOp::Add)).sum::<f64>() / 500.0;
+        assert!(min_mean.abs() > add_mean.abs());
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = ErrorModel::new(9);
+        let mut b = ErrorModel::new(9);
+        for _ in 0..20 {
+            assert_eq!(a.offset_for(&NodeOp::Abs), b.offset_for(&NodeOp::Abs));
+        }
+    }
+
+    #[test]
+    fn scale_multiplies_offsets() {
+        let base: Vec<f64> = {
+            let mut m = ErrorModel::new(5);
+            (0..10).map(|_| m.offset_for(&NodeOp::Abs)).collect()
+        };
+        let doubled: Vec<f64> = {
+            let mut m = ErrorModel::new(5).with_scale(2.0);
+            (0..10).map(|_| m.offset_for(&NodeOp::Abs)).collect()
+        };
+        for (b, d) in base.iter().zip(&doubled) {
+            assert!((d - 2.0 * b).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn const_nodes_never_drift() {
+        let mut m = ErrorModel::new(3);
+        assert_eq!(m.offset_for(&NodeOp::Const(0.5)), 0.0);
+    }
+}

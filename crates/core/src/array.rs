@@ -1,0 +1,157 @@
+//! Inter-PE structures: the matrix and row organisations of Fig. 1, and the
+//! active-PE accounting the power analysis depends on.
+
+use mda_distance::dtw::Band;
+use mda_distance::DistanceKind;
+
+/// Which inter-PE wiring a distance function uses (Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Structure {
+    /// 2-D mesh with diagonal dependencies — DTW, LCS, EdD, HauD.
+    Matrix,
+    /// 1-D row of independent PEs feeding one analog adder — HamD, MD.
+    Row,
+}
+
+impl Structure {
+    /// The structure used by a distance function.
+    pub fn for_kind(kind: DistanceKind) -> Structure {
+        if kind.uses_matrix_structure() {
+            Structure::Matrix
+        } else {
+            Structure::Row
+        }
+    }
+}
+
+/// PE array geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArrayDimensions {
+    /// PEs per column.
+    pub rows: usize,
+    /// PEs per row.
+    pub cols: usize,
+}
+
+impl ArrayDimensions {
+    /// A `rows x cols` array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "array dimensions must be positive");
+        ArrayDimensions { rows, cols }
+    }
+
+    /// Total PE count.
+    pub fn pe_count(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Whether an `m x n` matrix-structure computation fits without tiling.
+    pub fn fits_matrix(&self, m: usize, n: usize) -> bool {
+        m <= self.rows && n <= self.cols
+    }
+
+    /// Whether a length-`n` row-structure computation fits without tiling.
+    pub fn fits_row(&self, n: usize) -> bool {
+        n <= self.cols
+    }
+
+    /// Number of PEs that must be active for a computation, which drives the
+    /// op-amp/memristor power budget (Section 4.3).
+    ///
+    /// For DTW the paper powers only the Sakoe–Chiba band:
+    /// `7R(2n − R)` op-amps with `R = 5% n` — here we count the actual
+    /// admissible cells. Other matrix functions power the full `m x n`
+    /// rectangle; row functions power `n` PEs.
+    pub fn active_pes(&self, kind: DistanceKind, m: usize, n: usize, band: Option<Band>) -> usize {
+        match Structure::for_kind(kind) {
+            Structure::Row => n.min(self.cols),
+            Structure::Matrix => {
+                let m = m.min(self.rows);
+                let n = n.min(self.cols);
+                match (kind, band) {
+                    (DistanceKind::Dtw, Some(b)) => b.active_cells(m, n),
+                    _ => m * n,
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for ArrayDimensions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_for_kind_matches_fig1() {
+        assert_eq!(Structure::for_kind(DistanceKind::Dtw), Structure::Matrix);
+        assert_eq!(Structure::for_kind(DistanceKind::Lcs), Structure::Matrix);
+        assert_eq!(Structure::for_kind(DistanceKind::Edit), Structure::Matrix);
+        assert_eq!(
+            Structure::for_kind(DistanceKind::Hausdorff),
+            Structure::Matrix
+        );
+        assert_eq!(Structure::for_kind(DistanceKind::Hamming), Structure::Row);
+        assert_eq!(Structure::for_kind(DistanceKind::Manhattan), Structure::Row);
+    }
+
+    #[test]
+    fn fits_checks() {
+        let a = ArrayDimensions::new(128, 128);
+        assert!(a.fits_matrix(128, 128));
+        assert!(!a.fits_matrix(129, 1));
+        assert!(a.fits_row(128));
+        assert!(!a.fits_row(129));
+        assert_eq!(a.pe_count(), 16384);
+    }
+
+    #[test]
+    fn active_pes_row_is_length() {
+        let a = ArrayDimensions::new(128, 128);
+        assert_eq!(a.active_pes(DistanceKind::Manhattan, 40, 40, None), 40);
+        assert_eq!(a.active_pes(DistanceKind::Hamming, 200, 200, None), 128);
+    }
+
+    #[test]
+    fn active_pes_full_matrix() {
+        let a = ArrayDimensions::new(128, 128);
+        assert_eq!(a.active_pes(DistanceKind::Lcs, 40, 40, None), 1600);
+        assert_eq!(a.active_pes(DistanceKind::Edit, 10, 20, None), 200);
+    }
+
+    #[test]
+    fn active_pes_dtw_band_is_much_smaller() {
+        let a = ArrayDimensions::new(128, 128);
+        let n = 128;
+        let banded = a.active_pes(DistanceKind::Dtw, n, n, Some(Band::five_percent(n)));
+        let full = a.active_pes(DistanceKind::Dtw, n, n, None);
+        assert!(banded < full / 5, "banded {banded} vs full {full}");
+        // The paper's closed form 7R(2n−R)/7 ~ R(2n−R) cells with R = 7:
+        // R(2n - R) = 7 * (256 - 7) = 1743; actual band area ~ (2R+1)n.
+        let expected = (2 * 7 + 1) * n;
+        assert!(
+            (banded as i64 - expected as i64).unsigned_abs() < 200,
+            "banded {banded} vs ~{expected}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dims_panic() {
+        let _ = ArrayDimensions::new(0, 4);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(ArrayDimensions::new(128, 64).to_string(), "128x64");
+    }
+}

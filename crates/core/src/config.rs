@@ -1,0 +1,134 @@
+//! Global accelerator configuration — the paper's Table 1 plus the array
+//! geometry of Section 4.3.
+
+use crate::array::ArrayDimensions;
+use crate::converters::{AdcSpec, DacSpec};
+
+/// Configuration of one accelerator instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceleratorConfig {
+    /// Supply voltage, V. Table 1: 1.0 V.
+    pub vcc: f64,
+    /// Voltage resolution: volts per unit of sequence value. Table 1:
+    /// 20 mV for a value of 1 ("1.2 and −0.5 are translated to 24 mV and
+    /// −10 mV").
+    pub voltage_resolution: f64,
+    /// Unit voltage `Vstep` for LCS/EdD/HamD contributions. Section 4.1:
+    /// 10 mV, chosen so outputs don't overflow at length 40.
+    pub v_step: f64,
+    /// Threshold voltage `Vthre` for the thresholded functions (in volts,
+    /// application-specific per Section 4.1).
+    pub v_thre: f64,
+    /// Op-amp open-loop gain. Table 1: 1e4.
+    pub opamp_gain: f64,
+    /// Op-amp gain–bandwidth product, Hz. Table 1: 50 GHz.
+    pub opamp_gbw: f64,
+    /// Parasitic capacitance per circuit net, F. Table 1: 20 fF.
+    pub parasitic_capacitance: f64,
+    /// Nominal memristor resistance used for the unit-ratio (HRS-programmed)
+    /// analog resistors, Ω — drives the static power accounting (Section
+    /// 4.3 assumes "at least one memristor is set to HRS from the source to
+    /// the ground").
+    pub nominal_resistance: f64,
+    /// Effective resistance of the signal propagation paths, Ω. The
+    /// RC product with the per-net parasitic capacitance sets the analog
+    /// settling speed; LRS-level paths (~1 kΩ × 20 fF = 20 ps/net) are what
+    /// make the paper's "several nanoseconds" runtimes possible.
+    pub signal_path_resistance: f64,
+    /// PE array geometry. Section 4.3: 128 × 128.
+    pub array: ArrayDimensions,
+    /// DAC array specification.
+    pub dac: DacSpec,
+    /// ADC array specification.
+    pub adc: AdcSpec,
+    /// Seed for the deterministic per-instance analog error model.
+    pub noise_seed: u64,
+}
+
+impl AcceleratorConfig {
+    /// The experimental setup of the paper (Tables 1–2 and Section 4.3).
+    pub fn paper_defaults() -> Self {
+        AcceleratorConfig {
+            vcc: 1.0,
+            voltage_resolution: 20.0e-3,
+            v_step: 10.0e-3,
+            v_thre: 2.0e-3,
+            opamp_gain: 1.0e4,
+            opamp_gbw: 50.0e9,
+            parasitic_capacitance: 20.0e-15,
+            nominal_resistance: 100.0e3,
+            signal_path_resistance: 1.0e3,
+            array: ArrayDimensions::new(128, 128),
+            dac: DacSpec::paper_reference(),
+            adc: AdcSpec::paper_reference(),
+            noise_seed: 0x6d64_6121,
+        }
+    }
+
+    /// Converts a sequence value to its encoded voltage.
+    pub fn value_to_voltage(&self, value: f64) -> f64 {
+        value * self.voltage_resolution
+    }
+
+    /// Converts a measured voltage back to a sequence value.
+    pub fn voltage_to_value(&self, voltage: f64) -> f64 {
+        voltage / self.voltage_resolution
+    }
+
+    /// The largest value magnitude encodable: bounded by both `Vcc/2`
+    /// (keeping every memristor far below the 3 V switching threshold) and
+    /// the DAC's programmable full-scale range.
+    pub fn max_encodable_value(&self) -> f64 {
+        let rail_bound = self.vcc / 2.0;
+        let dac_bound = self.dac.full_scale / 2.0;
+        rail_bound.min(dac_bound) / self.voltage_resolution
+    }
+}
+
+impl Default for AcceleratorConfig {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_table1() {
+        let c = AcceleratorConfig::paper_defaults();
+        assert_eq!(c.vcc, 1.0);
+        assert_eq!(c.voltage_resolution, 0.02);
+        assert_eq!(c.v_step, 0.01);
+        assert_eq!(c.opamp_gain, 1.0e4);
+        assert_eq!(c.opamp_gbw, 50.0e9);
+        assert_eq!(c.parasitic_capacitance, 20.0e-15);
+        assert_eq!(c.array.rows, 128);
+        assert_eq!(c.array.cols, 128);
+    }
+
+    #[test]
+    fn paper_translation_examples() {
+        // Section 4.1: "1.2 and −0.5 are translated to 24 mV and −10 mV".
+        let c = AcceleratorConfig::paper_defaults();
+        assert!((c.value_to_voltage(1.2) - 24.0e-3).abs() < 1e-12);
+        assert!((c.value_to_voltage(-0.5) - (-10.0e-3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn voltage_roundtrip() {
+        let c = AcceleratorConfig::paper_defaults();
+        for v in [-2.0, -0.1, 0.0, 0.7, 3.3] {
+            assert!((c.voltage_to_value(c.value_to_voltage(v)) - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn max_encodable_value_stays_subthreshold() {
+        let c = AcceleratorConfig::paper_defaults();
+        // DAC full scale ±125 mV at 20 mV/unit -> 6.25 units.
+        assert_eq!(c.max_encodable_value(), 6.25);
+        assert!(c.value_to_voltage(c.max_encodable_value()) < 3.0);
+    }
+}

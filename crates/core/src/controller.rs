@@ -1,0 +1,416 @@
+//! The control-and-configuration module and its configuration library
+//! (Fig. 1): for each distance function, which inter-PE structure is used,
+//! which of the PE's shared resources are active, and how a weight value
+//! maps onto memristor resistance ratios (Section 3.2).
+
+use crate::array::Structure;
+use crate::error::AcceleratorError;
+use mda_distance::DistanceKind;
+
+/// A single memristor-ratio assignment produced when configuring a weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatioAssignment {
+    /// Which memristor pair the ratio applies to, e.g. `"M1/M2"`.
+    pub pair: &'static str,
+    /// The target resistance ratio.
+    pub ratio: f64,
+}
+
+/// The per-function PE configuration stored in the configuration lib.
+///
+/// Resource counts describe which of the shared PE primitives (Section 3.1:
+/// nine subtractors, two TGs, five diodes, one comparator, one buffer, one
+/// converter) a given function activates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeConfiguration {
+    /// The distance function this configuration implements.
+    pub kind: DistanceKind,
+    /// Inter-PE wiring.
+    pub structure: Structure,
+    /// Active op-amps (subtractors/adders/buffers/converters) per PE.
+    pub opamps_per_pe: usize,
+    /// Active diodes per PE.
+    pub diodes_per_pe: usize,
+    /// Active transmission gates per PE.
+    pub tgs_per_pe: usize,
+    /// Whether the comparator is used.
+    pub uses_comparator: bool,
+    /// Whether the thresholded matching (`Vthre`) is used.
+    pub uses_threshold: bool,
+    /// Whether the step voltage (`Vstep`) is used.
+    pub uses_v_step: bool,
+}
+
+impl PeConfiguration {
+    /// Memristor ratio assignments that realise weight `w` for this
+    /// function (Section 3.2):
+    ///
+    /// * DTW: `M1/M2 = (2 − w)/w`;
+    /// * LCS: with `M1/M2 = k1`, `M3 = w·k1·M2` and `M5/M4 = (1 + k1)·w`;
+    /// * EdD: same configuration as LCS around op-amps A3–A5;
+    /// * HauD: `M2/M1 = M3/M4 = w`;
+    /// * HamD/MD: row-adder ratios `M0/Mk = w`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcceleratorError::InvalidConfig`] for non-positive weights,
+    /// or weights ≥ 2 for DTW (whose `(2 − w)/w` mapping requires `w < 2`).
+    pub fn weight_ratios(&self, w: f64) -> Result<Vec<RatioAssignment>, AcceleratorError> {
+        if !w.is_finite() || w <= 0.0 {
+            return Err(AcceleratorError::InvalidConfig {
+                reason: format!("weight must be positive and finite, got {w}"),
+            });
+        }
+        let asg = |pair, ratio| RatioAssignment { pair, ratio };
+        match self.kind {
+            DistanceKind::Dtw => {
+                if w >= 2.0 {
+                    return Err(AcceleratorError::InvalidConfig {
+                        reason: format!("DTW weight must be < 2 for the (2−w)/w mapping, got {w}"),
+                    });
+                }
+                Ok(vec![asg("M1/M2", (2.0 - w) / w)])
+            }
+            DistanceKind::Lcs | DistanceKind::Edit => {
+                // k1 = 1 when M1 and M2 are both HRS.
+                let k1 = 1.0;
+                Ok(vec![
+                    asg("M1/M2", k1),
+                    asg("M3/M2", w * k1),
+                    asg("M5/M4", (1.0 + k1) * w),
+                ])
+            }
+            DistanceKind::Hausdorff => Ok(vec![asg("M2/M1", w), asg("M3/M4", w)]),
+            DistanceKind::Hamming | DistanceKind::Manhattan => Ok(vec![asg("M0/Mk", w)]),
+        }
+    }
+
+    /// For the general (unweighted) functions all ratios are 1 and only
+    /// HRS/LRS programming is needed.
+    pub fn unit_weight_needs_analog_programming(&self) -> bool {
+        self.weight_ratios(1.0)
+            .map(|rs| rs.iter().any(|r| (r.ratio - 1.0).abs() > 1e-12))
+            .unwrap_or(false)
+    }
+
+    /// Physically programs the weight `w` onto as-fabricated memristor
+    /// devices using the Section 3.3 tuning loops, returning the achieved
+    /// ratio and the programming effort per assignment.
+    ///
+    /// Each ratio pair is realised as one device tuned against an in-place
+    /// reference, both sampled from the process-variation distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcceleratorError::InvalidConfig`] for invalid weights, or
+    /// if any tuning loop fails to converge (a ratio outside the
+    /// memristor's dynamic range).
+    pub fn program_weight<R: rand::Rng + ?Sized>(
+        &self,
+        w: f64,
+        rng: &mut R,
+    ) -> Result<Vec<ProgrammedRatio>, AcceleratorError> {
+        use mda_memristor::tuning::{tune_ratio, PulseSchedule};
+        use mda_memristor::{BiolekParams, Memristor, ProcessVariation};
+
+        let assignments = self.weight_ratios(w)?;
+        let variation = ProcessVariation::paper_defaults();
+        let params = BiolekParams::paper_defaults();
+        assignments
+            .into_iter()
+            .map(|asg| {
+                // Nominal mid-range devices; the reference stays as
+                // fabricated, the target device is tuned against it.
+                let reference = Memristor::at_resistance(params, variation.sample(30.0e3, rng));
+                let mut device = Memristor::at_resistance(
+                    params,
+                    variation.sample(30.0e3 * asg.ratio.clamp(0.1, 3.0), rng),
+                );
+                let report = tune_ratio(
+                    &mut device,
+                    reference.resistance(),
+                    asg.ratio,
+                    0.01,
+                    PulseSchedule::default(),
+                    500,
+                    1.0e-3,
+                    rng,
+                );
+                if !report.converged() {
+                    return Err(AcceleratorError::InvalidConfig {
+                        reason: format!(
+                            "ratio {} = {:.3} not programmable (final error {:.3})",
+                            asg.pair, asg.ratio, report.final_error
+                        ),
+                    });
+                }
+                Ok(ProgrammedRatio {
+                    pair: asg.pair,
+                    target: asg.ratio,
+                    achieved: device.resistance() / reference.resistance(),
+                    tuning_iterations: report.iterations,
+                })
+            })
+            .collect()
+    }
+}
+
+/// The outcome of physically programming one memristor ratio.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgrammedRatio {
+    /// Which memristor pair was programmed.
+    pub pair: &'static str,
+    /// The target resistance ratio.
+    pub target: f64,
+    /// The ratio achieved after tuning.
+    pub achieved: f64,
+    /// Modulate/verify iterations spent.
+    pub tuning_iterations: usize,
+}
+
+impl ProgrammedRatio {
+    /// Relative error of the achieved ratio.
+    pub fn ratio_error(&self) -> f64 {
+        (self.achieved / self.target - 1.0).abs()
+    }
+}
+
+/// The configuration library: one entry per supported distance function.
+#[derive(Debug, Clone)]
+pub struct ConfigurationLib {
+    entries: Vec<PeConfiguration>,
+}
+
+impl ConfigurationLib {
+    /// The six-entry library of the paper.
+    pub fn paper_library() -> Self {
+        use DistanceKind::*;
+        let entry = |kind,
+                     opamps_per_pe,
+                     diodes_per_pe,
+                     tgs_per_pe,
+                     uses_comparator,
+                     uses_threshold,
+                     uses_v_step| PeConfiguration {
+            kind,
+            structure: Structure::for_kind(kind),
+            opamps_per_pe,
+            diodes_per_pe,
+            tgs_per_pe,
+            uses_comparator,
+            uses_threshold,
+            uses_v_step,
+        };
+        ConfigurationLib {
+            entries: vec![
+                // DTW (Fig. 2a): absolution (2 subtractors) + minimum
+                // (3 subtractors) + addition (1) + output buffer = 7 op-amps,
+                // 2 + 3 diodes.
+                entry(Dtw, 7, 5, 0, false, false, false),
+                // LCS (Fig. 2b): selecting module (2 subtractors for |P−Q|,
+                // comparator) + computing module (adder, max diodes) = 5
+                // op-amps, 2 TGs.
+                entry(Lcs, 5, 4, 2, true, true, true),
+                // EdD (Fig. 2c): three computing paths + minimum module with
+                // buffer = 9 op-amps (the PE superset), 5 diodes, 2 TGs.
+                entry(Edit, 9, 5, 2, true, true, true),
+                // HauD (Fig. 2d): computing (2 subtractors) + complement +
+                // comparing-module buffer = 4 op-amps.
+                entry(Hausdorff, 4, 4, 0, false, false, false),
+                // HamD (Fig. 2e): absolution (2 subtractors + buffer) +
+                // comparator, with the TG pair gating Vstep.
+                entry(Hamming, 4, 2, 2, true, true, true),
+                // MD (Fig. 2f): absolution module only (subset of HamD).
+                entry(Manhattan, 3, 2, 0, false, false, false),
+            ],
+        }
+    }
+
+    /// Looks up the configuration for a function.
+    pub fn configuration(&self, kind: DistanceKind) -> &PeConfiguration {
+        self.entries
+            .iter()
+            .find(|e| e.kind == kind)
+            .expect("library covers all six functions")
+    }
+
+    /// All configurations.
+    pub fn iter(&self) -> impl Iterator<Item = &PeConfiguration> {
+        self.entries.iter()
+    }
+
+    /// A simple reconfiguration-cost metric between two functions: the
+    /// number of per-PE resource deltas (op-amps, diodes, TGs, comparator)
+    /// whose activation must change. Switching within the same structure is
+    /// cheap; crossing structures re-routes the inter-PE connections too.
+    pub fn reconfiguration_cost(&self, from: DistanceKind, to: DistanceKind) -> usize {
+        let a = self.configuration(from);
+        let b = self.configuration(to);
+        let mut cost = a.opamps_per_pe.abs_diff(b.opamps_per_pe)
+            + a.diodes_per_pe.abs_diff(b.diodes_per_pe)
+            + a.tgs_per_pe.abs_diff(b.tgs_per_pe)
+            + usize::from(a.uses_comparator != b.uses_comparator);
+        if a.structure != b.structure {
+            cost += 8; // inter-PE re-routing
+        }
+        cost
+    }
+}
+
+impl Default for ConfigurationLib {
+    fn default() -> Self {
+        Self::paper_library()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_covers_all_six() {
+        let lib = ConfigurationLib::paper_library();
+        for kind in DistanceKind::ALL {
+            let cfg = lib.configuration(kind);
+            assert_eq!(cfg.kind, kind);
+            assert!(cfg.opamps_per_pe >= 1);
+            // The PE superset has 9 subtracters (Section 3.1).
+            assert!(cfg.opamps_per_pe <= 9);
+            assert!(cfg.diodes_per_pe <= 5);
+            assert!(cfg.tgs_per_pe <= 2);
+        }
+    }
+
+    #[test]
+    fn dtw_weight_ratio_formula() {
+        let lib = ConfigurationLib::paper_library();
+        let cfg = lib.configuration(DistanceKind::Dtw);
+        // w = 1 -> ratio 1 (HRS/HRS).
+        let r = cfg.weight_ratios(1.0).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].ratio, 1.0);
+        // w = 0.5 -> (2 - 0.5)/0.5 = 3.
+        assert_eq!(cfg.weight_ratios(0.5).unwrap()[0].ratio, 3.0);
+        // w >= 2 invalid.
+        assert!(cfg.weight_ratios(2.0).is_err());
+    }
+
+    #[test]
+    fn lcs_weight_ratio_formulas() {
+        let lib = ConfigurationLib::paper_library();
+        let cfg = lib.configuration(DistanceKind::Lcs);
+        let r = cfg.weight_ratios(0.8).unwrap();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0].pair, "M1/M2");
+        assert_eq!(r[1].ratio, 0.8); // w * k1
+        assert_eq!(r[2].ratio, 1.6); // (1 + k1) * w
+    }
+
+    #[test]
+    fn hausdorff_symmetric_ratios() {
+        let lib = ConfigurationLib::paper_library();
+        let r = lib
+            .configuration(DistanceKind::Hausdorff)
+            .weight_ratios(1.3)
+            .unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(r.iter().all(|a| (a.ratio - 1.3).abs() < 1e-12));
+    }
+
+    #[test]
+    fn unit_weights_use_only_hrs_lrs() {
+        // Section 3.1: "For general computation ... the ratio of 1 is
+        // adopted, and only the HRS and LRS of memristors are used."
+        let lib = ConfigurationLib::paper_library();
+        for kind in [
+            DistanceKind::Dtw,
+            DistanceKind::Hausdorff,
+            DistanceKind::Hamming,
+            DistanceKind::Manhattan,
+        ] {
+            assert!(
+                !lib.configuration(kind)
+                    .unit_weight_needs_analog_programming(),
+                "{kind} at w = 1 should need no analog programming"
+            );
+        }
+        // LCS/EdD at unit weight: M5/M4 = 2, which IS an analog ratio.
+        assert!(lib
+            .configuration(DistanceKind::Lcs)
+            .unit_weight_needs_analog_programming());
+    }
+
+    #[test]
+    fn invalid_weights_rejected() {
+        let lib = ConfigurationLib::paper_library();
+        for kind in DistanceKind::ALL {
+            assert!(lib.configuration(kind).weight_ratios(0.0).is_err());
+            assert!(lib.configuration(kind).weight_ratios(-1.0).is_err());
+            assert!(lib.configuration(kind).weight_ratios(f64::NAN).is_err());
+        }
+    }
+
+    #[test]
+    fn reconfiguration_cost_structure_change_dominates() {
+        let lib = ConfigurationLib::paper_library();
+        let same_structure = lib.reconfiguration_cost(DistanceKind::Dtw, DistanceKind::Lcs);
+        let cross_structure = lib.reconfiguration_cost(DistanceKind::Dtw, DistanceKind::Manhattan);
+        assert!(cross_structure > same_structure);
+        // Identity reconfiguration is free.
+        assert_eq!(
+            lib.reconfiguration_cost(DistanceKind::Dtw, DistanceKind::Dtw),
+            0
+        );
+    }
+
+    #[test]
+    fn programming_weights_achieves_one_percent_ratios() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(77);
+        let lib = ConfigurationLib::paper_library();
+        for kind in DistanceKind::ALL {
+            let w = if kind == DistanceKind::Dtw { 0.8 } else { 1.3 };
+            let programmed = lib
+                .configuration(kind)
+                .program_weight(w, &mut rng)
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            for p in &programmed {
+                assert!(
+                    p.ratio_error() < 0.02,
+                    "{kind} {}: achieved {:.4} vs target {:.4}",
+                    p.pair,
+                    p.achieved,
+                    p.target
+                );
+                assert!(p.tuning_iterations >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn unprogrammable_ratio_reports_error() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(78);
+        let lib = ConfigurationLib::paper_library();
+        // DTW weight near zero demands a ratio (2-w)/w -> huge, beyond the
+        // Roff/Ron dynamic range against a mid-range reference.
+        let result = lib
+            .configuration(DistanceKind::Dtw)
+            .program_weight(0.01, &mut rng);
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn md_is_subset_of_hamd() {
+        // Section 3.2.6: "the PE circuit structure of MD ... is the subset
+        // of that of HamD".
+        let lib = ConfigurationLib::paper_library();
+        let md = lib.configuration(DistanceKind::Manhattan);
+        let hamd = lib.configuration(DistanceKind::Hamming);
+        assert!(md.opamps_per_pe <= hamd.opamps_per_pe);
+        assert!(md.diodes_per_pe <= hamd.diodes_per_pe);
+        assert!(!md.uses_comparator && hamd.uses_comparator);
+    }
+}

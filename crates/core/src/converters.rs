@@ -1,0 +1,156 @@
+//! DAC/ADC array models.
+//!
+//! Section 4.3 of the paper adopts a published 8-bit 1.6 GS/s DAC (Tseng et
+//! al.) and a 35 mW 8-bit 8.8 GS/s SAR ADC (Kull et al.). Here we model
+//! their *functional* effect — quantization of the analog interface — and
+//! carry their throughput/power figures for the power analysis in
+//! `mda-power`.
+
+/// Specification of one digital-to-analog converter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DacSpec {
+    /// Resolution in bits.
+    pub bits: u32,
+    /// Sample rate, samples/s.
+    pub sample_rate: f64,
+    /// Power per converter at full rate, W.
+    pub power: f64,
+    /// Full-scale range, V (symmetric: ±`full_scale/2`).
+    pub full_scale: f64,
+}
+
+impl DacSpec {
+    /// The paper's reference DAC: 8-bit, 1.6 GS/s, 32 mW (projected to
+    /// 32 nm). The programmable reference is set to a ±125 mV full scale —
+    /// just covering the ±6-sigma range of z-normalized inputs at the
+    /// 20 mV/unit encoding — so the 8-bit grid resolves 0.98 mV
+    /// (~0.05 sequence units) instead of wasting codes on unreachable
+    /// voltages.
+    pub fn paper_reference() -> Self {
+        DacSpec {
+            bits: 8,
+            sample_rate: 1.6e9,
+            power: 32.0e-3,
+            full_scale: 0.25,
+        }
+    }
+
+    /// Quantizes a voltage to the DAC's output grid (mid-tread, clamped to
+    /// full scale).
+    pub fn quantize(&self, v: f64) -> f64 {
+        quantize(v, self.bits, self.full_scale)
+    }
+
+    /// The LSB step size, V.
+    pub fn lsb(&self) -> f64 {
+        self.full_scale / (1u64 << self.bits) as f64
+    }
+}
+
+/// Specification of one analog-to-digital converter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdcSpec {
+    /// Resolution in bits.
+    pub bits: u32,
+    /// Sample rate, samples/s.
+    pub sample_rate: f64,
+    /// Power per converter at full rate, W.
+    pub power: f64,
+    /// Full-scale range, V.
+    pub full_scale: f64,
+}
+
+impl AdcSpec {
+    /// The paper's reference ADC: 8-bit, 8.8 GS/s, 35 mW in 32 nm SOI,
+    /// ±0.5 V full scale.
+    pub fn paper_reference() -> Self {
+        AdcSpec {
+            bits: 8,
+            sample_rate: 8.8e9,
+            power: 35.0e-3,
+            full_scale: 1.0,
+        }
+    }
+
+    /// Quantizes a sampled voltage to the ADC's code grid.
+    pub fn quantize(&self, v: f64) -> f64 {
+        quantize(v, self.bits, self.full_scale)
+    }
+
+    /// The LSB step size, V.
+    pub fn lsb(&self) -> f64 {
+        self.full_scale / (1u64 << self.bits) as f64
+    }
+}
+
+/// Mid-tread uniform quantization over `[-full_scale/2, full_scale/2]`.
+fn quantize(v: f64, bits: u32, full_scale: f64) -> f64 {
+    let half = full_scale / 2.0;
+    let lsb = full_scale / (1u64 << bits) as f64;
+    let clamped = v.clamp(-half, half);
+    (clamped / lsb).round() * lsb
+}
+
+/// Number of converters needed to stream `lanes` parallel analog lanes at
+/// `lane_rate` samples/s each through converters of `converter_rate`.
+pub fn converters_required(lanes: usize, lane_rate: f64, converter_rate: f64) -> usize {
+    let total = lanes as f64 * lane_rate;
+    (total / converter_rate).ceil().max(1.0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_specs() {
+        let d = DacSpec::paper_reference();
+        assert_eq!(d.bits, 8);
+        assert_eq!(d.sample_rate, 1.6e9);
+        let a = AdcSpec::paper_reference();
+        assert_eq!(a.bits, 8);
+        assert_eq!(a.sample_rate, 8.8e9);
+    }
+
+    #[test]
+    fn lsb_values() {
+        let d = DacSpec::paper_reference();
+        assert!((d.lsb() - 0.25 / 256.0).abs() < 1e-12);
+        let a = AdcSpec::paper_reference();
+        assert!((a.lsb() - 1.0 / 256.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_half_lsb() {
+        let d = DacSpec::paper_reference();
+        for i in 0..100 {
+            let v = -0.12 + i as f64 * 0.002;
+            let q = d.quantize(v);
+            assert!((q - v).abs() <= d.lsb() / 2.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantization_clamps_to_full_scale() {
+        let a = AdcSpec::paper_reference();
+        assert!(a.quantize(3.0) <= 0.5);
+        assert!(a.quantize(-3.0) >= -0.5);
+    }
+
+    #[test]
+    fn quantization_is_idempotent() {
+        let a = AdcSpec::paper_reference();
+        for v in [-0.37, 0.0, 0.123, 0.499] {
+            let q = a.quantize(v);
+            assert_eq!(a.quantize(q), q);
+        }
+    }
+
+    #[test]
+    fn converter_count_ceils() {
+        // 128 lanes at 50 MS/s = 6.4 GS/s over 1.6 GS/s DACs -> 4 DACs.
+        assert_eq!(converters_required(128, 50.0e6, 1.6e9), 4);
+        // Minimum of one converter.
+        assert_eq!(converters_required(1, 1.0, 1.6e9), 1);
+    }
+}

@@ -1,0 +1,154 @@
+//! Early determination (Section 3.3(1), Fig. 3).
+//!
+//! In the row structure every input is symmetric, so the *relative ordering*
+//! of several candidates' outputs is already correct long before any of them
+//! converges: "The sequence with the minimum value obtained at the Early
+//! Point is also the one with the minimum value obtained in the convergence
+//! state." The paper exploits this to read HamD/MD classifications at one
+//! tenth of the convergence time.
+
+use crate::accelerator::DistanceAccelerator;
+use crate::error::AcceleratorError;
+use mda_spice::Trace;
+
+/// Result of an early-determination comparison of several candidates.
+#[derive(Debug, Clone)]
+pub struct EarlyDecision {
+    /// Index of the winning (minimum-distance) candidate at the early point.
+    pub early_winner: usize,
+    /// Index of the winner at full convergence.
+    pub converged_winner: usize,
+    /// The early read-out time, s.
+    pub early_time_s: f64,
+    /// The slowest candidate's convergence time, s.
+    pub convergence_time_s: f64,
+    /// Speedup of the early read-out (`convergence / early`).
+    pub speedup: f64,
+}
+
+impl EarlyDecision {
+    /// `true` if the early read-out agrees with the converged answer.
+    pub fn consistent(&self) -> bool {
+        self.early_winner == self.converged_winner
+    }
+}
+
+/// Finds the argmin across traces at a given time.
+fn argmin_at(traces: &[Trace], t: f64) -> usize {
+    traces
+        .iter()
+        .enumerate()
+        .min_by(|a, b| {
+            a.1.at_time(t)
+                .partial_cmp(&b.1.at_time(t))
+                .expect("finite voltages")
+        })
+        .map(|(i, _)| i)
+        .expect("at least one trace")
+}
+
+/// Runs the configured (row-structure) accelerator against every candidate
+/// and reads the winner at `fraction` of the slowest convergence time
+/// (the paper uses one tenth).
+///
+/// # Errors
+///
+/// Propagates accelerator errors; returns
+/// [`AcceleratorError::InvalidConfig`] if no candidates are supplied or the
+/// configured function is not a row-structure one.
+pub fn early_determination(
+    accelerator: &DistanceAccelerator,
+    query: &[f64],
+    candidates: &[Vec<f64>],
+    fraction: f64,
+) -> Result<EarlyDecision, AcceleratorError> {
+    if candidates.is_empty() {
+        return Err(AcceleratorError::InvalidConfig {
+            reason: "early determination needs at least one candidate".into(),
+        });
+    }
+    let kind = accelerator.configured_kind()?;
+    if kind.uses_matrix_structure() {
+        return Err(AcceleratorError::InvalidConfig {
+            reason: format!("early determination applies to row-structure functions, not {kind}"),
+        });
+    }
+    let mut traces = Vec::with_capacity(candidates.len());
+    let mut slowest = 0.0f64;
+    for candidate in candidates {
+        let outcome = accelerator.compute(query, candidate)?;
+        slowest = slowest.max(outcome.convergence_time_s);
+        traces.push(outcome.output_trace);
+    }
+    let early_time = slowest * fraction;
+    let early_winner = argmin_at(&traces, early_time);
+    let converged_winner = argmin_at(&traces, slowest * 2.0);
+    Ok(EarlyDecision {
+        early_winner,
+        converged_winner,
+        early_time_s: early_time,
+        convergence_time_s: slowest,
+        speedup: if early_time > 0.0 {
+            slowest / early_time
+        } else {
+            1.0
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accelerator::DistanceAccelerator;
+    use crate::config::AcceleratorConfig;
+    use mda_distance::DistanceKind;
+
+    fn candidates() -> (Vec<f64>, Vec<Vec<f64>>) {
+        let query = vec![0.0, 0.5, 1.0, 0.5, 0.0, -0.5];
+        let near = vec![0.1, 0.55, 0.9, 0.45, 0.05, -0.4];
+        let mid = vec![0.5, 1.0, 1.5, 1.0, 0.5, 0.0];
+        let far = vec![3.0, 3.5, 4.0, 3.5, 3.0, 2.5];
+        (query, vec![far, near, mid])
+    }
+
+    #[test]
+    fn early_point_agrees_with_convergence_md() {
+        let mut acc = DistanceAccelerator::new(AcceleratorConfig::paper_defaults());
+        acc.configure(DistanceKind::Manhattan).unwrap();
+        let (query, cands) = candidates();
+        let decision = early_determination(&acc, &query, &cands, 0.1).unwrap();
+        assert!(decision.consistent(), "{decision:?}");
+        assert_eq!(decision.converged_winner, 1); // the "near" candidate
+        assert!(decision.speedup > 5.0, "speedup {}", decision.speedup);
+    }
+
+    #[test]
+    fn early_point_agrees_with_convergence_hamd() {
+        let mut acc = DistanceAccelerator::new(AcceleratorConfig::paper_defaults());
+        acc.configure(DistanceKind::Hamming).unwrap();
+        let (query, cands) = candidates();
+        let decision = early_determination(&acc, &query, &cands, 0.1).unwrap();
+        assert!(decision.consistent(), "{decision:?}");
+    }
+
+    #[test]
+    fn matrix_functions_rejected() {
+        let mut acc = DistanceAccelerator::new(AcceleratorConfig::paper_defaults());
+        acc.configure(DistanceKind::Dtw).unwrap();
+        let (query, cands) = candidates();
+        assert!(matches!(
+            early_determination(&acc, &query, &cands, 0.1),
+            Err(AcceleratorError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_candidates_rejected() {
+        let mut acc = DistanceAccelerator::new(AcceleratorConfig::paper_defaults());
+        acc.configure(DistanceKind::Manhattan).unwrap();
+        assert!(matches!(
+            early_determination(&acc, &[0.0], &[], 0.1),
+            Err(AcceleratorError::InvalidConfig { .. })
+        ));
+    }
+}

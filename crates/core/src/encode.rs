@@ -1,0 +1,143 @@
+//! Value ↔ voltage encoding through the DAC/ADC arrays.
+
+use crate::config::AcceleratorConfig;
+use crate::error::AcceleratorError;
+
+/// Encodes sequence values into PE input voltages through the DAC array and
+/// decodes measured output voltages back through the ADC array.
+///
+/// ```
+/// use mda_core::{AcceleratorConfig, VoltageEncoder};
+///
+/// # fn main() -> Result<(), mda_core::AcceleratorError> {
+/// let enc = VoltageEncoder::new(AcceleratorConfig::paper_defaults());
+/// let volts = enc.encode(&[1.0, -0.5])?;
+/// assert!((volts[0] - 0.020).abs() < 2e-3); // 20 mV per unit, 8-bit DAC
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct VoltageEncoder {
+    config: AcceleratorConfig,
+}
+
+impl VoltageEncoder {
+    /// An encoder for the given configuration.
+    pub fn new(config: AcceleratorConfig) -> Self {
+        VoltageEncoder { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// Encodes one value: scale by the voltage resolution, then quantize
+    /// through the 8-bit DAC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcceleratorError::EncodingRange`] if the value exceeds the
+    /// encodable range (`Vcc/2` over the resolution).
+    pub fn encode_value(&self, value: f64) -> Result<f64, AcceleratorError> {
+        let max = self.config.max_encodable_value();
+        if !value.is_finite() || value.abs() > max {
+            return Err(AcceleratorError::EncodingRange { value, max });
+        }
+        Ok(self
+            .config
+            .dac
+            .quantize(self.config.value_to_voltage(value)))
+    }
+
+    /// Encodes a whole sequence.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`VoltageEncoder::encode_value`].
+    pub fn encode(&self, values: &[f64]) -> Result<Vec<f64>, AcceleratorError> {
+        values.iter().map(|&v| self.encode_value(v)).collect()
+    }
+
+    /// Decodes a measured output voltage through the ADC, returning the
+    /// reconstructed value in sequence units (dividing by the voltage
+    /// resolution).
+    pub fn decode_value(&self, voltage: f64) -> f64 {
+        self.config
+            .voltage_to_value(self.config.adc.quantize(voltage))
+    }
+
+    /// Decodes a voltage that represents counts of `Vstep` (LCS/EdD/HamD
+    /// outputs): "the exact result can be obtained by dividing E(m,n) by
+    /// Vstep".
+    pub fn decode_steps(&self, voltage: f64) -> f64 {
+        self.config.adc.quantize(voltage) / self.config.v_step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encoder() -> VoltageEncoder {
+        VoltageEncoder::new(AcceleratorConfig::paper_defaults())
+    }
+
+    #[test]
+    fn encode_scales_and_quantizes() {
+        let e = encoder();
+        let v = e.encode_value(1.0).unwrap();
+        // 20 mV, quantized to the nearest 1/256 V = 3.90625 mV grid.
+        assert!((v - 0.02).abs() <= e.config().dac.lsb() / 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let e = encoder();
+        assert!(matches!(
+            e.encode_value(7.0),
+            Err(AcceleratorError::EncodingRange { .. })
+        ));
+        assert!(matches!(
+            e.encode_value(f64::NAN),
+            Err(AcceleratorError::EncodingRange { .. })
+        ));
+        assert!(e.encode_value(6.25).is_ok());
+    }
+
+    #[test]
+    fn roundtrip_error_bounded_by_quantization() {
+        let e = encoder();
+        let lsb_values = e.config().adc.lsb() / e.config().voltage_resolution;
+        for i in -20..=20 {
+            let value = i as f64 * 0.37;
+            if value.abs() > e.config().max_encodable_value() {
+                continue;
+            }
+            let volts = e.encode_value(value).unwrap();
+            let back = e.decode_value(volts);
+            assert!(
+                (back - value).abs() <= lsb_values + 1e-9,
+                "value {value} -> {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_steps_counts_vstep_units() {
+        let e = encoder();
+        // 3 steps of 10 mV = 30 mV (exactly on no grid point, so allow the
+        // quantization error of half an ADC LSB = ~1.95 mV -> 0.2 steps).
+        let steps = e.decode_steps(0.030);
+        assert!((steps - 3.0).abs() < 0.2, "steps {steps}");
+    }
+
+    #[test]
+    fn encode_sequence() {
+        let e = encoder();
+        let v = e.encode(&[0.0, 1.0, -1.0]).unwrap();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[0], 0.0);
+        assert!((v[1] + v[2]).abs() < 1e-12, "symmetric encoding");
+    }
+}

@@ -1,0 +1,94 @@
+//! Accelerator error type.
+
+use std::error::Error;
+use std::fmt;
+
+use mda_distance::DistanceError;
+use mda_spice::SpiceError;
+
+/// Error returned by the accelerator model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AcceleratorError {
+    /// No distance function has been configured yet.
+    NotConfigured,
+    /// The input sequences were rejected by the underlying distance
+    /// definition (empty, length mismatch, bad weights).
+    Distance(DistanceError),
+    /// Device-level circuit simulation failed.
+    Spice(SpiceError),
+    /// An input value fell outside the encodable voltage range.
+    EncodingRange {
+        /// The offending value.
+        value: f64,
+        /// The maximum encodable magnitude.
+        max: f64,
+    },
+    /// An invalid configuration parameter.
+    InvalidConfig {
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for AcceleratorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AcceleratorError::NotConfigured => {
+                write!(f, "no distance function configured; call configure() first")
+            }
+            AcceleratorError::Distance(e) => write!(f, "distance definition rejected input: {e}"),
+            AcceleratorError::Spice(e) => write!(f, "circuit simulation failed: {e}"),
+            AcceleratorError::EncodingRange { value, max } => write!(
+                f,
+                "value {value} outside encodable range (max magnitude {max})"
+            ),
+            AcceleratorError::InvalidConfig { reason } => {
+                write!(f, "invalid accelerator configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for AcceleratorError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AcceleratorError::Distance(e) => Some(e),
+            AcceleratorError::Spice(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<DistanceError> for AcceleratorError {
+    fn from(e: DistanceError) -> Self {
+        AcceleratorError::Distance(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<SpiceError> for AcceleratorError {
+    fn from(e: SpiceError) -> Self {
+        AcceleratorError::Spice(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = AcceleratorError::Distance(DistanceError::EmptySequence);
+        assert!(e.to_string().contains("empty"));
+        assert!(e.source().is_some());
+        assert!(AcceleratorError::NotConfigured.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Send + Sync + std::error::Error>() {}
+        assert_traits::<AcceleratorError>();
+    }
+}

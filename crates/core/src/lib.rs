@@ -1,0 +1,66 @@
+//! # mda-core
+//!
+//! The DAC'17 **reconfigurable memristor-based distance accelerator**: a
+//! single analog fabric that computes six time-series distance functions
+//! (DTW, LCS, EdD, HauD, HamD, MD) by reconfiguring the connections inside
+//! and between its processing elements (PEs).
+//!
+//! The crate models the accelerator at two levels of fidelity:
+//!
+//! * **Device level** ([`pe`]): every PE circuit of the paper's Fig. 2 is
+//!   synthesized as an `mda-spice` netlist — op-amp subtractors and adders
+//!   built from memristors, diode min/max networks, comparators and
+//!   transmission gates — and validated against the digital reference in
+//!   `mda-distance`.
+//! * **Array level** ([`analog`]): a behavioural analog network in which
+//!   each module is a first-order lag with an RC time constant derived from
+//!   its load capacitance (Table 1: 20 fF per net). This reproduces the
+//!   paper's Fig. 5 convergence-time and relative-error trends at any
+//!   sequence length in milliseconds of wall clock, where transistor-level
+//!   SPICE took the authors ~20 hours per run.
+//!
+//! Supporting architecture pieces: the DAC/ADC arrays ([`converters`]), the
+//! control-and-configuration module with its configuration library
+//! ([`controller`]), the matrix/row inter-PE structures ([`mod@array`]), tiling
+//! for sequences longer than the array ([`tiling`]), and the
+//! early-determination optimization for row-structure functions ([`early`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mda_core::{AcceleratorConfig, DistanceAccelerator};
+//! use mda_distance::DistanceKind;
+//!
+//! # fn main() -> Result<(), mda_core::AcceleratorError> {
+//! let mut acc = DistanceAccelerator::new(AcceleratorConfig::paper_defaults());
+//! acc.configure(DistanceKind::Dtw)?;
+//! let p = [0.0, 2.0, 4.0, 2.0];
+//! let q = [0.0, 2.4, 3.6, 1.6];
+//! let outcome = acc.compute(&p, &q)?;
+//! assert!(outcome.relative_error < 0.15); // ADC LSB dominates small outputs
+//! assert!(outcome.convergence_time_s > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod accelerator;
+pub mod analog;
+pub mod array;
+pub mod config;
+pub mod controller;
+pub mod converters;
+pub mod early;
+pub mod encode;
+pub mod error;
+pub mod pe;
+pub mod pipeline;
+pub mod tiling;
+
+pub use accelerator::{AnalogOutcome, DistanceAccelerator};
+pub use array::{ArrayDimensions, Structure};
+pub use config::AcceleratorConfig;
+pub use controller::{ConfigurationLib, PeConfiguration};
+pub use converters::{AdcSpec, DacSpec};
+pub use encode::VoltageEncoder;
+pub use error::AcceleratorError;
+pub use pipeline::ThroughputReport;

@@ -1,0 +1,408 @@
+//! Shared analog sub-circuits used by every PE (Section 3.1: the PE is a
+//! superset of nine analog subtractors, two transmission gates, five diodes,
+//! one comparator, one buffer and one converter).
+//!
+//! All resistances are memristors programmed to the nominal HRS value, or to
+//! analog ratios for the weighted variants.
+
+use mda_spice::{DiodeModel, Netlist, NodeId, OpampModel, Waveform};
+
+/// The diode model used inside PEs: a higher saturation current than the
+/// generic default shrinks the forward drop at the µA-level currents the
+/// memristor networks draw (~0.5 mV at 5 µA), approximating the paper's
+/// ideal zero-threshold diode while keeping Newton stable.
+pub fn pe_diode_model() -> DiodeModel {
+    DiodeModel {
+        is_sat: 1.0e-6,
+        vt: 0.3e-3,
+        gmin: 1.0e-12,
+    }
+}
+
+/// Shared rail nodes every PE connects to.
+#[derive(Debug, Clone, Copy)]
+pub struct Rails {
+    /// Supply voltage, V.
+    pub vcc: f64,
+    /// The `Vcc` rail node.
+    pub vcc_node: NodeId,
+    /// The `Vcc/2` rail node.
+    pub vcc_half_node: NodeId,
+    /// The `Vstep` rail node.
+    pub v_step_node: NodeId,
+    /// The `Vthre` rail node.
+    pub v_thre_node: NodeId,
+    /// Nominal memristor resistance, Ω.
+    pub r: f64,
+}
+
+impl Rails {
+    /// Creates the rail sources in a netlist.
+    pub fn install(net: &mut Netlist, vcc: f64, v_step: f64, v_thre: f64, r: f64) -> Self {
+        let vcc_node = net.node("rail_vcc");
+        net.voltage_source(vcc_node, Netlist::GROUND, Waveform::Dc(vcc));
+        let vcc_half_node = net.node("rail_vcc_half");
+        net.voltage_source(vcc_half_node, Netlist::GROUND, Waveform::Dc(vcc / 2.0));
+        let v_step_node = net.node("rail_vstep");
+        net.voltage_source(v_step_node, Netlist::GROUND, Waveform::Dc(v_step));
+        let v_thre_node = net.node("rail_vthre");
+        net.voltage_source(v_thre_node, Netlist::GROUND, Waveform::Dc(v_thre));
+        Rails {
+            vcc,
+            vcc_node,
+            vcc_half_node,
+            v_step_node,
+            v_thre_node,
+            r,
+        }
+    }
+
+    /// The op-amp model used for PE subtractors/adders (Table 1).
+    pub fn opamp(&self) -> OpampModel {
+        OpampModel {
+            gain: 1.0e4,
+            gbw: 50.0e9,
+            vmin: -self.vcc,
+            vmax: self.vcc,
+            input_offset: 0.0,
+        }
+    }
+
+    /// The comparator model (rails `[0, Vcc]`).
+    pub fn comparator(&self) -> OpampModel {
+        OpampModel::comparator(self.vcc)
+    }
+}
+
+/// Unity-gain analog subtractor: `out = v1 − v2` (difference amplifier with
+/// four equal memristors).
+pub fn subtractor(net: &mut Netlist, rails: &Rails, v1: NodeId, v2: NodeId) -> NodeId {
+    weighted_subtractor(net, rails, v1, v2, 1.0)
+}
+
+/// Weighted analog subtractor: `out = w·(v1 − v2)`.
+///
+/// Realised with memristor ratios `R1/R2 = 1/w` on the non-inverting divider
+/// and `R4/R3 = w` on the feedback pair (our difference-amp topology's
+/// equivalent of the paper's `M1/M2 = (2 − w)/w` configuration).
+///
+/// # Panics
+///
+/// Panics if `w` is not positive/finite.
+pub fn weighted_subtractor(
+    net: &mut Netlist,
+    rails: &Rails,
+    v1: NodeId,
+    v2: NodeId,
+    w: f64,
+) -> NodeId {
+    assert!(w.is_finite() && w > 0.0, "weight must be positive");
+    let vp = net.node("sub_vp");
+    let vm = net.node("sub_vm");
+    let out = net.node("sub_out");
+    let r = rails.r;
+    // Non-inverting divider: R1 = r/w from v1, R2 = r to ground.
+    net.memristor(v1, vp, r / w);
+    net.memristor(vp, Netlist::GROUND, r);
+    // Inverting path: R3 = r from v2, R4 = w*r feedback.
+    net.memristor(v2, vm, r);
+    net.memristor(vm, out, w * r);
+    net.opamp(vp, vm, out, rails.opamp());
+    out
+}
+
+/// Two-input non-inverting summer with a subtracted term:
+/// `out = a + b − c` (the DTW/EdD "addition module" shape).
+pub fn sum_minus(net: &mut Netlist, rails: &Rails, a: NodeId, b: NodeId, c: NodeId) -> NodeId {
+    let vp = net.node("sum_vp");
+    let vm = net.node("sum_vm");
+    let out = net.node("sum_out");
+    let r = rails.r;
+    // V+ = (a + b)/2 through two equal memristors.
+    net.memristor(a, vp, r);
+    net.memristor(b, vp, r);
+    // V− path: c through r, feedback r -> gain 2 on V+, −1 on c.
+    net.memristor(c, vm, r);
+    net.memristor(vm, out, r);
+    net.opamp(vp, vm, out, rails.opamp());
+    out
+}
+
+/// Two-input adder: `out = a + b`.
+pub fn adder2(net: &mut Netlist, rails: &Rails, a: NodeId, b: NodeId) -> NodeId {
+    sum_minus(net, rails, a, b, Netlist::GROUND)
+}
+
+/// Diode OR: `out ≈ max(inputs…)` with a memristor pull-down load, followed
+/// by a unity-gain buffer.
+///
+/// The buffer is essential: the diode node is high-impedance (diodes block
+/// reverse current), so a downstream resistive divider would back-drive it —
+/// this is the buffer the paper draws inside the PE of Fig. 2.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty.
+pub fn diode_max(net: &mut Netlist, rails: &Rails, inputs: &[NodeId]) -> NodeId {
+    let raw = diode_max_unbuffered(net, rails, inputs);
+    buffer(net, rails, raw)
+}
+
+/// Diode OR without the output buffer — for nodes that only feed other
+/// diodes (the HauD column chain) where the extra op-amp is unnecessary.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty.
+pub fn diode_max_unbuffered(net: &mut Netlist, rails: &Rails, inputs: &[NodeId]) -> NodeId {
+    assert!(!inputs.is_empty(), "diode max needs at least one input");
+    let out = net.node("max_out");
+    for &input in inputs {
+        net.diode_with(input, out, pe_diode_model());
+    }
+    net.memristor(out, Netlist::GROUND, rails.r);
+    out
+}
+
+/// The absolution module (Fig. 2): `out = w·|p − q|`, built from two
+/// opposed weighted subtractors whose outputs are diode-ORed.
+pub fn abs_module(net: &mut Netlist, rails: &Rails, p: NodeId, q: NodeId, w: f64) -> NodeId {
+    let pq = weighted_subtractor(net, rails, p, q, w);
+    let qp = weighted_subtractor(net, rails, q, p, w);
+    diode_max(net, rails, &[pq, qp])
+}
+
+/// A comparator producing `Vcc` when `v(plus) > v(minus)`, else 0.
+pub fn comparator(net: &mut Netlist, rails: &Rails, plus: NodeId, minus: NodeId) -> NodeId {
+    let out = net.node("cmp_out");
+    net.opamp(plus, minus, out, rails.comparator());
+    net.memristor(out, Netlist::GROUND, rails.r);
+    out
+}
+
+/// A unity-gain buffer (Table 1 op-amp in voltage-follower connection).
+pub fn buffer(net: &mut Netlist, rails: &Rails, input: NodeId) -> NodeId {
+    net.buffer(input, rails.opamp())
+}
+
+/// The row structure's analog adder (Fig. 4(b)): an inverting summer over
+/// weighted memristors followed by a unity inverter, so
+/// `out = Σ wᵢ·vᵢ`. The weights are the `M0/Mk` ratios of Section 3.2.5.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty or weights don't align with inputs.
+pub fn analog_adder(
+    net: &mut Netlist,
+    rails: &Rails,
+    inputs: &[NodeId],
+    weights: &[f64],
+) -> NodeId {
+    assert!(!inputs.is_empty(), "adder needs at least one input");
+    assert_eq!(inputs.len(), weights.len(), "one weight per input");
+    let r = rails.r;
+    // Stage 1: inverting summer, virtual ground at vm.
+    let vm = net.node("add_vm");
+    let stage1 = net.node("add_stage1");
+    for (&input, &w) in inputs.iter().zip(weights) {
+        assert!(w.is_finite() && w > 0.0, "weights must be positive");
+        net.memristor(input, vm, r / w);
+    }
+    net.memristor(vm, stage1, r);
+    net.opamp(Netlist::GROUND, vm, stage1, rails.opamp());
+    // Stage 2: unity inverter.
+    let vm2 = net.node("inv_vm");
+    let out = net.node("add_out");
+    net.memristor(stage1, vm2, r);
+    net.memristor(vm2, out, r);
+    net.opamp(Netlist::GROUND, vm2, out, rails.opamp());
+    out
+}
+
+/// A 2-way transmission-gate multiplexer: `out = a` when the control is
+/// high, `b` otherwise.
+pub fn tg_mux(net: &mut Netlist, rails: &Rails, a: NodeId, b: NodeId, ctrl: NodeId) -> NodeId {
+    let out = net.node("mux_out");
+    let mid = rails.vcc / 2.0;
+    net.vc_switch(a, out, ctrl, mid, true);
+    net.vc_switch(b, out, ctrl, mid, false);
+    net.memristor(out, Netlist::GROUND, rails.r * 10.0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_spice::Waveform;
+
+    fn setup() -> (Netlist, Rails) {
+        let mut net = Netlist::new();
+        let rails = Rails::install(&mut net, 1.0, 10.0e-3, 2.0e-3, 100.0e3);
+        (net, rails)
+    }
+
+    fn dc_input(net: &mut Netlist, name: &str, v: f64) -> NodeId {
+        let n = net.node(name);
+        net.voltage_source(n, Netlist::GROUND, Waveform::Dc(v));
+        n
+    }
+
+    #[test]
+    fn subtractor_unity() {
+        let (mut net, rails) = setup();
+        let a = dc_input(&mut net, "a", 0.40);
+        let b = dc_input(&mut net, "b", 0.15);
+        let out = subtractor(&mut net, &rails, a, b);
+        let v = net.dc().unwrap();
+        assert!(
+            (v[out.index()] - 0.25).abs() < 2e-3,
+            "sub = {}",
+            v[out.index()]
+        );
+    }
+
+    #[test]
+    fn subtractor_weighted() {
+        let (mut net, rails) = setup();
+        let a = dc_input(&mut net, "a", 0.30);
+        let b = dc_input(&mut net, "b", 0.10);
+        let out = weighted_subtractor(&mut net, &rails, a, b, 0.5);
+        let v = net.dc().unwrap();
+        assert!(
+            (v[out.index()] - 0.10).abs() < 2e-3,
+            "w*sub = {}",
+            v[out.index()]
+        );
+    }
+
+    #[test]
+    fn sum_minus_three_terms() {
+        let (mut net, rails) = setup();
+        let a = dc_input(&mut net, "a", 0.20);
+        let b = dc_input(&mut net, "b", 0.30);
+        let c = dc_input(&mut net, "c", 0.15);
+        let out = sum_minus(&mut net, &rails, a, b, c);
+        let v = net.dc().unwrap();
+        assert!(
+            (v[out.index()] - 0.35).abs() < 2e-3,
+            "a+b-c = {}",
+            v[out.index()]
+        );
+    }
+
+    #[test]
+    fn diode_max_selects_largest() {
+        let (mut net, rails) = setup();
+        let xs = [0.12, 0.31, 0.07];
+        let nodes: Vec<NodeId> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| dc_input(&mut net, &format!("x{i}"), x))
+            .collect();
+        let out = diode_max(&mut net, &rails, &nodes);
+        let v = net.dc().unwrap();
+        assert!(
+            (v[out.index()] - 0.31).abs() < 6e-3,
+            "max = {}",
+            v[out.index()]
+        );
+    }
+
+    #[test]
+    fn abs_module_both_signs() {
+        let (mut net, rails) = setup();
+        let p = dc_input(&mut net, "p", 0.10);
+        let q = dc_input(&mut net, "q", 0.34);
+        let out = abs_module(&mut net, &rails, p, q, 1.0);
+        let v = net.dc().unwrap();
+        assert!(
+            (v[out.index()] - 0.24).abs() < 6e-3,
+            "|p-q| = {}",
+            v[out.index()]
+        );
+
+        let (mut net, rails) = setup();
+        let p = dc_input(&mut net, "p", 0.34);
+        let q = dc_input(&mut net, "q", 0.10);
+        let out = abs_module(&mut net, &rails, p, q, 1.0);
+        let v = net.dc().unwrap();
+        assert!(
+            (v[out.index()] - 0.24).abs() < 6e-3,
+            "|p-q| = {}",
+            v[out.index()]
+        );
+    }
+
+    #[test]
+    fn abs_module_equal_inputs_is_zero() {
+        let (mut net, rails) = setup();
+        let p = dc_input(&mut net, "p", 0.22);
+        let q = dc_input(&mut net, "q", 0.22);
+        let out = abs_module(&mut net, &rails, p, q, 1.0);
+        let v = net.dc().unwrap();
+        assert!(v[out.index()].abs() < 5e-3, "|0| = {}", v[out.index()]);
+    }
+
+    #[test]
+    fn comparator_and_mux() {
+        let (mut net, rails) = setup();
+        let hi = dc_input(&mut net, "hi", 0.30);
+        let lo = dc_input(&mut net, "lo", 0.10);
+        let a = dc_input(&mut net, "a", 0.41);
+        let b = dc_input(&mut net, "b", 0.13);
+        let cmp = comparator(&mut net, &rails, hi, lo);
+        let out = tg_mux(&mut net, &rails, a, b, cmp);
+        let v = net.dc().unwrap();
+        assert!(
+            (v[out.index()] - 0.41).abs() < 3e-3,
+            "mux = {}",
+            v[out.index()]
+        );
+    }
+
+    #[test]
+    fn analog_adder_weighted_sum() {
+        let (mut net, rails) = setup();
+        let xs = [0.05, 0.10, 0.02];
+        let ws = [1.0, 2.0, 1.0];
+        let nodes: Vec<NodeId> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| dc_input(&mut net, &format!("x{i}"), x))
+            .collect();
+        let out = analog_adder(&mut net, &rails, &nodes, &ws);
+        let v = net.dc().unwrap();
+        // 0.05 + 0.20 + 0.02 = 0.27.
+        assert!(
+            (v[out.index()] - 0.27).abs() < 3e-3,
+            "sum = {}",
+            v[out.index()]
+        );
+    }
+
+    #[test]
+    fn abs_module_transfer_curve_is_v_shaped() {
+        // DC-sweep the P input across ±0.4 V with Q fixed at 0: the output
+        // must trace |P| — the absolution module's defining transfer curve.
+        let (mut net, rails) = setup();
+        let p = net.node("p");
+        let src = net.voltage_source(p, Netlist::GROUND, Waveform::Dc(0.0));
+        let q = dc_input(&mut net, "q", 0.0);
+        let out = abs_module(&mut net, &rails, p, q, 1.0);
+        let values: Vec<f64> = (-8..=8).map(|i| i as f64 * 0.05).collect();
+        let sweep = mda_spice::dc_sweep(&net, src, &values).expect("sweepable");
+        for (v, sol) in values.iter().zip(&sweep) {
+            let got = sol[out.index()];
+            assert!((got - v.abs()).abs() < 6e-3, "abs({v}) read {got}");
+        }
+    }
+
+    #[test]
+    fn buffer_follows() {
+        let (mut net, rails) = setup();
+        let a = dc_input(&mut net, "a", 0.27);
+        let out = buffer(&mut net, &rails, a);
+        let v = net.dc().unwrap();
+        assert!((v[out.index()] - 0.27).abs() < 1e-3);
+    }
+}

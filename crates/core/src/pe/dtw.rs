@@ -1,0 +1,208 @@
+//! The DTW PE circuit (Fig. 2(a)) and its matrix-structure assembly.
+//!
+//! Per Eq. 8 of the paper the minimum of the three neighbour costs is
+//! computed as a *maximum* (which diodes solve naturally) of the
+//! complemented values `Vcc/2 − D`:
+//!
+//! ```text
+//! D[i][j] = w·|P − Q| + Vcc/2 − max(Vcc/2 − D_left, Vcc/2 − D_up, Vcc/2 − D_diag)
+//! ```
+
+use mda_spice::{Netlist, NodeId, Waveform};
+
+use super::common::{abs_module, diode_max, subtractor, sum_minus, Rails};
+use crate::config::AcceleratorConfig;
+use crate::error::AcceleratorError;
+
+/// Input nodes of one DTW PE.
+#[derive(Debug, Clone, Copy)]
+pub struct DtwPeInputs {
+    /// Voltage encoding `P[i]`.
+    pub p: NodeId,
+    /// Voltage encoding `Q[j]`.
+    pub q: NodeId,
+    /// Neighbour cost `D[i][j−1]`.
+    pub d_left: NodeId,
+    /// Neighbour cost `D[i−1][j]`.
+    pub d_up: NodeId,
+    /// Neighbour cost `D[i−1][j−1]`.
+    pub d_diag: NodeId,
+}
+
+/// Builds one DTW PE; returns the `D[i][j]` output node.
+///
+/// Uses 6 op-amps (2 absolution, 3 complement subtractors, 1 addition) and
+/// 5 diodes, matching the Fig. 2(a) module inventory.
+pub fn build_pe(net: &mut Netlist, rails: &Rails, inputs: DtwPeInputs, w: f64) -> NodeId {
+    // Absolution module: w·|P − Q|.
+    let abs = abs_module(net, rails, inputs.p, inputs.q, w);
+    // Minimum module: complement each neighbour then diode-max.
+    let c_left = subtractor(net, rails, rails.vcc_half_node, inputs.d_left);
+    let c_up = subtractor(net, rails, rails.vcc_half_node, inputs.d_up);
+    let c_diag = subtractor(net, rails, rails.vcc_half_node, inputs.d_diag);
+    let vmax = diode_max(net, rails, &[c_left, c_up, c_diag]);
+    // Addition module: |PQ| + Vcc/2 − vmax = |PQ| + min(D…).
+    sum_minus(net, rails, abs, rails.vcc_half_node, vmax)
+}
+
+/// Builds the full matrix-structure DTW circuit for two (short) sequences
+/// and returns `(netlist, output node)`. Boundary "infinity" is represented
+/// by the `Vcc/2` rail — the largest representable cost, which never wins
+/// the complemented maximum.
+///
+/// Intended for device-level validation at small lengths; array-scale runs
+/// use the behavioural engine in [`crate::analog`].
+///
+/// # Errors
+///
+/// Returns [`AcceleratorError::EncodingRange`] if a value exceeds the
+/// encodable range.
+pub fn build_matrix(
+    config: &AcceleratorConfig,
+    p: &[f64],
+    q: &[f64],
+    w: f64,
+) -> Result<(Netlist, NodeId), AcceleratorError> {
+    let mut net = Netlist::new();
+    let rails = Rails::install(
+        &mut net,
+        config.vcc,
+        config.v_step,
+        config.v_thre,
+        config.nominal_resistance,
+    );
+    let encode = |net: &mut Netlist, name: &str, value: f64| -> Result<NodeId, AcceleratorError> {
+        let max = config.max_encodable_value();
+        if !value.is_finite() || value.abs() > max {
+            return Err(AcceleratorError::EncodingRange { value, max });
+        }
+        let node = net.node(name);
+        net.voltage_source(
+            node,
+            Netlist::GROUND,
+            Waveform::Dc(config.value_to_voltage(value)),
+        );
+        Ok(node)
+    };
+    let p_nodes: Vec<NodeId> = p
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| encode(&mut net, &format!("p{i}"), v))
+        .collect::<Result<_, _>>()?;
+    let q_nodes: Vec<NodeId> = q
+        .iter()
+        .enumerate()
+        .map(|(j, &v)| encode(&mut net, &format!("q{j}"), v))
+        .collect::<Result<_, _>>()?;
+
+    let inf = rails.vcc_half_node;
+    let zero = Netlist::GROUND;
+    let (m, n) = (p.len(), q.len());
+    // d[i][j] for the DP boundary: row/col 0.
+    let mut d = vec![vec![zero; n + 1]; m + 1];
+    for j in 1..=n {
+        d[0][j] = inf;
+    }
+    for row in d.iter_mut().skip(1) {
+        row[0] = inf;
+    }
+    d[0][0] = zero;
+    for i in 1..=m {
+        for j in 1..=n {
+            d[i][j] = build_pe(
+                &mut net,
+                &rails,
+                DtwPeInputs {
+                    p: p_nodes[i - 1],
+                    q: q_nodes[j - 1],
+                    d_left: d[i][j - 1],
+                    d_up: d[i - 1][j],
+                    d_diag: d[i - 1][j - 1],
+                },
+                w,
+            );
+        }
+    }
+    Ok((net, d[m][n]))
+}
+
+/// Convenience: evaluates the device-level DTW circuit at DC and decodes
+/// the distance value.
+///
+/// # Errors
+///
+/// Propagates encoding and simulation errors.
+pub fn evaluate_dc(
+    config: &AcceleratorConfig,
+    p: &[f64],
+    q: &[f64],
+    w: f64,
+) -> Result<f64, AcceleratorError> {
+    let (net, out) = build_matrix(config, p, q, w)?;
+    let v = net.dc()?;
+    Ok(config.voltage_to_value(v[out.index()]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_distance::{Distance, Dtw};
+
+    fn config() -> AcceleratorConfig {
+        AcceleratorConfig::paper_defaults()
+    }
+
+    #[test]
+    fn single_pe_matches_recurrence() {
+        // A 1x1 DTW: D = |p - q| + min(inf, inf, 0) = |p - q|.
+        let d = evaluate_dc(&config(), &[1.5], &[0.5], 1.0).unwrap();
+        assert!((d - 1.0).abs() < 0.2, "DTW(1x1) = {d}");
+    }
+
+    #[test]
+    fn two_by_two_matches_digital() {
+        let p = [0.0, 2.0];
+        let q = [1.0, 2.0];
+        let expected = Dtw::new().evaluate(&p, &q).unwrap();
+        let got = evaluate_dc(&config(), &p, &q, 1.0).unwrap();
+        assert!(
+            (got - expected).abs() < 0.35,
+            "analog {got} vs digital {expected}"
+        );
+    }
+
+    #[test]
+    fn three_by_three_matches_digital() {
+        let p = [0.0, 1.0, 3.0];
+        let q = [0.5, 1.5, 2.5];
+        let expected = Dtw::new().evaluate(&p, &q).unwrap();
+        let got = evaluate_dc(&config(), &p, &q, 1.0).unwrap();
+        let rel = (got - expected).abs() / expected.max(1.0);
+        assert!(rel < 0.1, "analog {got} vs digital {expected} (rel {rel})");
+    }
+
+    #[test]
+    fn identical_sequences_near_zero() {
+        let p = [0.5, 1.0, 0.5];
+        let got = evaluate_dc(&config(), &p, &p, 1.0).unwrap();
+        assert!(got.abs() < 0.5, "DTW(p, p) = {got}");
+    }
+
+    #[test]
+    fn weighted_pe_scales_cost() {
+        let unweighted = evaluate_dc(&config(), &[2.0], &[0.0], 1.0).unwrap();
+        let half = evaluate_dc(&config(), &[2.0], &[0.0], 0.5).unwrap();
+        assert!(
+            (half - unweighted / 2.0).abs() < 0.3,
+            "w=1: {unweighted}, w=0.5: {half}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_value_rejected() {
+        assert!(matches!(
+            evaluate_dc(&config(), &[30.0], &[0.0], 1.0),
+            Err(AcceleratorError::EncodingRange { .. })
+        ));
+    }
+}

@@ -1,0 +1,190 @@
+//! The edit-distance PE circuit (Fig. 2(c)) and its matrix-structure
+//! assembly.
+//!
+//! Three computing paths produce the candidate costs, a comparator decides
+//! whether the substitution path pays `Vstep`, and the minimum module picks
+//! the smallest through the complement-and-diode-max trick (with the output
+//! buffer the paper adds so values below `Vcc/2` are representable).
+
+use mda_spice::{Netlist, NodeId, Waveform};
+
+use super::common::{abs_module, adder2, comparator, diode_max, subtractor, tg_mux, Rails};
+use crate::config::AcceleratorConfig;
+use crate::error::AcceleratorError;
+
+/// Input nodes of one EdD PE.
+#[derive(Debug, Clone, Copy)]
+pub struct EditPeInputs {
+    /// Voltage encoding `P[i]`.
+    pub p: NodeId,
+    /// Voltage encoding `Q[j]`.
+    pub q: NodeId,
+    /// Neighbour cost `E[i][j−1]`.
+    pub e_left: NodeId,
+    /// Neighbour cost `E[i−1][j]`.
+    pub e_up: NodeId,
+    /// Neighbour cost `E[i−1][j−1]`.
+    pub e_diag: NodeId,
+}
+
+/// Builds one EdD PE; returns the `E[i][j]` output node.
+pub fn build_pe(net: &mut Netlist, rails: &Rails, inputs: EditPeInputs) -> NodeId {
+    // Match detection (shared with the first computing path).
+    let abs = abs_module(net, rails, inputs.p, inputs.q, 1.0);
+    let is_match = comparator(net, rails, rails.v_thre_node, abs);
+    // Path 1 (substitution): E_diag on a match, E_diag + Vstep otherwise.
+    let diag_plus = adder2(net, rails, inputs.e_diag, rails.v_step_node);
+    let p1 = tg_mux(net, rails, inputs.e_diag, diag_plus, is_match);
+    // Paths 2 and 3 (delete/insert): always pay Vstep.
+    let p2 = adder2(net, rails, inputs.e_up, rails.v_step_node);
+    let p3 = adder2(net, rails, inputs.e_left, rails.v_step_node);
+    // Minimum module: complement, diode-max (internally buffered), restore.
+    let c1 = subtractor(net, rails, rails.vcc_half_node, p1);
+    let c2 = subtractor(net, rails, rails.vcc_half_node, p2);
+    let c3 = subtractor(net, rails, rails.vcc_half_node, p3);
+    let vmax = diode_max(net, rails, &[c1, c2, c3]);
+    subtractor(net, rails, rails.vcc_half_node, vmax)
+}
+
+/// Builds the full matrix-structure EdD circuit; returns
+/// `(netlist, output node)`. Boundary costs `E[i][0] = i·Vstep` and
+/// `E[0][j] = j·Vstep` are driven by dedicated sources.
+///
+/// # Errors
+///
+/// Returns [`AcceleratorError::EncodingRange`] if a value exceeds the
+/// encodable range.
+pub fn build_matrix(
+    config: &AcceleratorConfig,
+    p: &[f64],
+    q: &[f64],
+    threshold: f64,
+) -> Result<(Netlist, NodeId), AcceleratorError> {
+    let mut net = Netlist::new();
+    let rails = Rails::install(
+        &mut net,
+        config.vcc,
+        config.v_step,
+        config.value_to_voltage(threshold),
+        config.nominal_resistance,
+    );
+    let max = config.max_encodable_value();
+    let encode = |net: &mut Netlist, name: &str, value: f64| {
+        if !value.is_finite() || value.abs() > max {
+            return Err(AcceleratorError::EncodingRange { value, max });
+        }
+        let node = net.node(name);
+        net.voltage_source(
+            node,
+            Netlist::GROUND,
+            Waveform::Dc(config.value_to_voltage(value)),
+        );
+        Ok(node)
+    };
+    let p_nodes: Vec<NodeId> = p
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| encode(&mut net, &format!("p{i}"), v))
+        .collect::<Result<_, _>>()?;
+    let q_nodes: Vec<NodeId> = q
+        .iter()
+        .enumerate()
+        .map(|(j, &v)| encode(&mut net, &format!("q{j}"), v))
+        .collect::<Result<_, _>>()?;
+
+    let (m, n) = (p.len(), q.len());
+    let boundary = |net: &mut Netlist, name: String, steps: usize| {
+        let node = net.node(&name);
+        net.voltage_source(
+            node,
+            Netlist::GROUND,
+            Waveform::Dc(steps as f64 * config.v_step),
+        );
+        node
+    };
+    let mut e = vec![vec![Netlist::GROUND; n + 1]; m + 1];
+    for j in 1..=n {
+        e[0][j] = boundary(&mut net, format!("b_top{j}"), j);
+    }
+    for i in 1..=m {
+        e[i][0] = boundary(&mut net, format!("b_left{i}"), i);
+    }
+    for i in 1..=m {
+        for j in 1..=n {
+            e[i][j] = build_pe(
+                &mut net,
+                &rails,
+                EditPeInputs {
+                    p: p_nodes[i - 1],
+                    q: q_nodes[j - 1],
+                    e_left: e[i][j - 1],
+                    e_up: e[i - 1][j],
+                    e_diag: e[i - 1][j - 1],
+                },
+            );
+        }
+    }
+    Ok((net, e[m][n]))
+}
+
+/// Evaluates the device-level EdD circuit at DC, decoding the operation
+/// count by dividing by `Vstep`.
+///
+/// # Errors
+///
+/// Propagates encoding and simulation errors.
+pub fn evaluate_dc(
+    config: &AcceleratorConfig,
+    p: &[f64],
+    q: &[f64],
+    threshold: f64,
+) -> Result<f64, AcceleratorError> {
+    let (net, out) = build_matrix(config, p, q, threshold)?;
+    let v = net.dc()?;
+    Ok(v[out.index()] / config.v_step)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_distance::EditDistance;
+
+    fn config() -> AcceleratorConfig {
+        AcceleratorConfig::paper_defaults()
+    }
+
+    #[test]
+    fn equal_elements_cost_zero() {
+        let got = evaluate_dc(&config(), &[1.0], &[1.0], 0.2).unwrap();
+        assert!(got.abs() < 0.35, "EdD(match) = {got}");
+    }
+
+    #[test]
+    fn substitution_costs_one() {
+        let got = evaluate_dc(&config(), &[1.0], &[5.0], 0.2).unwrap();
+        assert!((got - 1.0).abs() < 0.35, "EdD(sub) = {got}");
+    }
+
+    #[test]
+    fn two_by_three_matches_digital() {
+        let p = [0.0, 1.0];
+        let q = [0.0, 1.0, 2.0];
+        let expected = EditDistance::new(0.2).distance(&p, &q).unwrap();
+        assert_eq!(expected, 1.0); // one insertion
+        let got = evaluate_dc(&config(), &p, &q, 0.2).unwrap();
+        assert!((got - 1.0).abs() < 0.5, "EdD = {got}");
+    }
+
+    #[test]
+    fn three_by_three_matches_digital() {
+        let p = [0.0, 2.0, 4.0];
+        let q = [0.0, 2.0, -4.0];
+        let expected = EditDistance::new(0.2).distance(&p, &q).unwrap();
+        assert_eq!(expected, 1.0);
+        let got = evaluate_dc(&config(), &p, &q, 0.2).unwrap();
+        assert!(
+            (got - expected).abs() < 0.5,
+            "analog {got} vs digital {expected}"
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! The Hamming-distance PE circuit (Fig. 2(e)) and its row-structure
+//! assembly.
+//!
+//! Each PE compares `|P[i] − Q[i]|` against `Vthre`; on a mismatch a TG
+//! connects `Vstep` to the PE output, otherwise the output is grounded.
+//! The row structure's analog adder sums all PE outputs with the
+//! `M0/Mk = w_k` weighted-memristor ratios.
+
+use mda_spice::{Netlist, NodeId, Waveform};
+
+use super::common::{abs_module, analog_adder, comparator, tg_mux, Rails};
+use crate::config::AcceleratorConfig;
+use crate::error::AcceleratorError;
+
+/// Builds one HamD PE; returns the `Ham[i]` output node (`Vstep` on a
+/// mismatch, 0 otherwise).
+pub fn build_pe(net: &mut Netlist, rails: &Rails, p: NodeId, q: NodeId) -> NodeId {
+    let abs = abs_module(net, rails, p, q, 1.0);
+    // Comparator is HIGH on a mismatch (|P − Q| > Vthre).
+    let mismatch = comparator(net, rails, abs, rails.v_thre_node);
+    tg_mux(net, rails, rails.v_step_node, Netlist::GROUND, mismatch)
+}
+
+/// Builds the full row-structure HamD circuit; returns
+/// `(netlist, output node)` whose voltage is `Σ w_i·Vstep·[mismatch_i]`.
+///
+/// # Errors
+///
+/// Returns [`AcceleratorError::EncodingRange`] for unencodable values or
+/// [`AcceleratorError::Distance`]-style shape problems via panics upstream
+/// (lengths are asserted equal).
+///
+/// # Panics
+///
+/// Panics if `p` and `q` have different lengths or weights don't align.
+pub fn build_row(
+    config: &AcceleratorConfig,
+    p: &[f64],
+    q: &[f64],
+    threshold: f64,
+    weights: &[f64],
+) -> Result<(Netlist, NodeId), AcceleratorError> {
+    assert_eq!(p.len(), q.len(), "row structure requires equal lengths");
+    assert_eq!(p.len(), weights.len(), "one weight per element");
+    let mut net = Netlist::new();
+    let rails = Rails::install(
+        &mut net,
+        config.vcc,
+        config.v_step,
+        config.value_to_voltage(threshold),
+        config.nominal_resistance,
+    );
+    let max = config.max_encodable_value();
+    let encode = |net: &mut Netlist, name: &str, value: f64| {
+        if !value.is_finite() || value.abs() > max {
+            return Err(AcceleratorError::EncodingRange { value, max });
+        }
+        let node = net.node(name);
+        net.voltage_source(
+            node,
+            Netlist::GROUND,
+            Waveform::Dc(config.value_to_voltage(value)),
+        );
+        Ok(node)
+    };
+    let mut pe_outputs = Vec::with_capacity(p.len());
+    for (i, (&pv, &qv)) in p.iter().zip(q).enumerate() {
+        let pn = encode(&mut net, &format!("p{i}"), pv)?;
+        let qn = encode(&mut net, &format!("q{i}"), qv)?;
+        pe_outputs.push(build_pe(&mut net, &rails, pn, qn));
+    }
+    let out = analog_adder(&mut net, &rails, &pe_outputs, weights);
+    Ok((net, out))
+}
+
+/// Evaluates the device-level HamD circuit at DC, decoding the mismatch
+/// count by dividing by `Vstep`.
+///
+/// # Errors
+///
+/// Propagates encoding and simulation errors.
+pub fn evaluate_dc(
+    config: &AcceleratorConfig,
+    p: &[f64],
+    q: &[f64],
+    threshold: f64,
+    weights: &[f64],
+) -> Result<f64, AcceleratorError> {
+    let (net, out) = build_row(config, p, q, threshold, weights)?;
+    let v = net.dc()?;
+    Ok(v[out.index()] / config.v_step)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_distance::Hamming;
+
+    fn config() -> AcceleratorConfig {
+        AcceleratorConfig::paper_defaults()
+    }
+
+    #[test]
+    fn counts_mismatches() {
+        let p = [0.0, 1.0, 2.0, 3.0];
+        let q = [0.0, 5.0, 2.0, -3.0];
+        let expected = Hamming::new(0.2).distance(&p, &q).unwrap();
+        assert_eq!(expected, 2.0);
+        let w = vec![1.0; 4];
+        let got = evaluate_dc(&config(), &p, &q, 0.2, &w).unwrap();
+        assert!((got - 2.0).abs() < 0.4, "HamD = {got}");
+    }
+
+    #[test]
+    fn identical_sequences_count_zero() {
+        let p = [0.3, -0.7, 1.2];
+        let w = vec![1.0; 3];
+        let got = evaluate_dc(&config(), &p, &p, 0.2, &w).unwrap();
+        assert!(got.abs() < 0.3, "HamD(p, p) = {got}");
+    }
+
+    #[test]
+    fn all_mismatches_count_length() {
+        let p = [5.0, 5.0, 5.0];
+        let q = [-5.0, -5.0, -5.0];
+        let w = vec![1.0; 3];
+        let got = evaluate_dc(&config(), &p, &q, 0.2, &w).unwrap();
+        assert!((got - 3.0).abs() < 0.4, "HamD = {got}");
+    }
+
+    #[test]
+    fn weighted_mismatches() {
+        // Mismatch at positions 0 and 2, weights 2 and 0.5 -> 2.5.
+        let p = [5.0, 0.0, 5.0];
+        let q = [-5.0, 0.0, -5.0];
+        let w = vec![2.0, 1.0, 0.5];
+        let got = evaluate_dc(&config(), &p, &q, 0.2, &w).unwrap();
+        assert!((got - 2.5).abs() < 0.4, "weighted HamD = {got}");
+    }
+}

@@ -1,0 +1,164 @@
+//! The Hausdorff-distance PE circuit (Fig. 2(d1)) and the column/converter
+//! connection of Fig. 2(d2).
+//!
+//! Column `j` chains PEs computing `Hau(i, j) = max(Hau(i−1, j),
+//! Vcc − w·|P[i] − Q[j]|)`; the converter restores
+//! `Vcc − Hau(m, j) = min_i w·|P[i] − Q[j]|`, and the final diode stage
+//! outputs the maximum over the columns — the directed Hausdorff distance.
+
+use mda_spice::{Netlist, NodeId, Waveform};
+
+use super::common::{abs_module, diode_max, diode_max_unbuffered, subtractor, Rails};
+use crate::config::AcceleratorConfig;
+use crate::error::AcceleratorError;
+
+/// Builds one HauD PE; returns the `Hau(i, j)` output node.
+///
+/// `hau_prev` is the previous PE's output in the column (ground for the
+/// first row — `Vcc − w·|PQ|` is always positive, so it wins the max).
+pub fn build_pe(
+    net: &mut Netlist,
+    rails: &Rails,
+    p: NodeId,
+    q: NodeId,
+    hau_prev: NodeId,
+    w: f64,
+) -> NodeId {
+    // Computing module: Vcc − w·|P − Q|.
+    let abs = abs_module(net, rails, p, q, w);
+    let complement = subtractor(net, rails, rails.vcc_node, abs);
+    // Comparing module: running maximum along the column.
+    diode_max(net, rails, &[hau_prev, complement])
+}
+
+/// Builds the full HauD circuit per Fig. 2(d2); returns
+/// `(netlist, output node)` where the output voltage encodes
+/// `max_j min_i w·|P[i] − Q[j]|`.
+///
+/// # Errors
+///
+/// Returns [`AcceleratorError::EncodingRange`] if a value exceeds the
+/// encodable range.
+pub fn build_matrix(
+    config: &AcceleratorConfig,
+    p: &[f64],
+    q: &[f64],
+    w: f64,
+) -> Result<(Netlist, NodeId), AcceleratorError> {
+    let mut net = Netlist::new();
+    let rails = Rails::install(
+        &mut net,
+        config.vcc,
+        config.v_step,
+        config.v_thre,
+        config.nominal_resistance,
+    );
+    let max = config.max_encodable_value();
+    let encode = |net: &mut Netlist, name: &str, value: f64| {
+        if !value.is_finite() || value.abs() > max {
+            return Err(AcceleratorError::EncodingRange { value, max });
+        }
+        let node = net.node(name);
+        net.voltage_source(
+            node,
+            Netlist::GROUND,
+            Waveform::Dc(config.value_to_voltage(value)),
+        );
+        Ok(node)
+    };
+    let p_nodes: Vec<NodeId> = p
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| encode(&mut net, &format!("p{i}"), v))
+        .collect::<Result<_, _>>()?;
+    let q_nodes: Vec<NodeId> = q
+        .iter()
+        .enumerate()
+        .map(|(j, &v)| encode(&mut net, &format!("q{j}"), v))
+        .collect::<Result<_, _>>()?;
+
+    // One column per Q element; chain the comparing modules down the column.
+    let mut column_minima = Vec::with_capacity(q_nodes.len());
+    for &qn in &q_nodes {
+        let mut hau = Netlist::GROUND;
+        for &pn in &p_nodes {
+            hau = build_pe(&mut net, &rails, pn, qn, hau, w);
+        }
+        // Converter: Vcc − Hau(m, j) = min_i w·|P[i] − Q[j]|.
+        let min_j = subtractor(&mut net, &rails, rails.vcc_node, hau);
+        column_minima.push(min_j);
+    }
+    // Final maximum over the column minima. The unbuffered variant is fine
+    // here because the ADC presents a high-impedance load, but we buffer for
+    // measurement uniformity.
+    let _ = diode_max_unbuffered; // see doc note above
+    let out = diode_max(&mut net, &rails, &column_minima);
+    Ok((net, out))
+}
+
+/// Evaluates the device-level HauD circuit at DC and decodes the distance.
+///
+/// # Errors
+///
+/// Propagates encoding and simulation errors.
+pub fn evaluate_dc(
+    config: &AcceleratorConfig,
+    p: &[f64],
+    q: &[f64],
+    w: f64,
+) -> Result<f64, AcceleratorError> {
+    let (net, out) = build_matrix(config, p, q, w)?;
+    let v = net.dc()?;
+    Ok(config.voltage_to_value(v[out.index()]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_distance::Hausdorff;
+
+    fn config() -> AcceleratorConfig {
+        AcceleratorConfig::paper_defaults()
+    }
+
+    #[test]
+    fn identical_sets_have_zero_distance() {
+        let p = [0.5, 1.0];
+        let got = evaluate_dc(&config(), &p, &p, 1.0).unwrap();
+        assert!(got.abs() < 0.4, "HauD(p, p) = {got}");
+    }
+
+    #[test]
+    fn single_pair_is_absolute_difference() {
+        let got = evaluate_dc(&config(), &[2.0], &[0.5], 1.0).unwrap();
+        assert!((got - 1.5).abs() < 0.4, "HauD = {got}");
+    }
+
+    #[test]
+    fn matches_digital_directed_hausdorff() {
+        let p = [0.0, 4.0];
+        let q = [1.0, 3.5, 6.0];
+        let expected = Hausdorff::new().distance(&p, &q).unwrap();
+        assert_eq!(expected, 2.0);
+        let got = evaluate_dc(&config(), &p, &q, 1.0).unwrap();
+        assert!(
+            (got - expected).abs() < 0.6,
+            "analog {got} vs digital {expected}"
+        );
+    }
+
+    #[test]
+    fn subset_has_near_zero_distance() {
+        let p = [0.0, 1.0, 2.0];
+        let q = [1.0];
+        let got = evaluate_dc(&config(), &p, &q, 1.0).unwrap();
+        assert!(got.abs() < 0.4, "HauD(subset) = {got}");
+    }
+
+    #[test]
+    fn weights_scale_distance() {
+        let w1 = evaluate_dc(&config(), &[2.0], &[0.0], 1.0).unwrap();
+        let w05 = evaluate_dc(&config(), &[2.0], &[0.0], 0.5).unwrap();
+        assert!((w05 - w1 / 2.0).abs() < 0.4, "w=1: {w1}, w=0.5: {w05}");
+    }
+}

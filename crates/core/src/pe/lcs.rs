@@ -1,0 +1,184 @@
+//! The LCS PE circuit (Fig. 2(b)) and its matrix-structure assembly.
+//!
+//! The selecting module compares `|P − Q|` with `Vthre` and routes either
+//! the match path (`L_diag + w·Vstep`) or the no-match path
+//! (`max(L_left, L_up)`) to the output through a pair of transmission gates.
+
+use mda_spice::{Netlist, NodeId, Waveform};
+
+use super::common::{
+    abs_module, adder2, comparator, diode_max, tg_mux, weighted_subtractor, Rails,
+};
+use crate::config::AcceleratorConfig;
+use crate::error::AcceleratorError;
+
+/// Input nodes of one LCS PE.
+#[derive(Debug, Clone, Copy)]
+pub struct LcsPeInputs {
+    /// Voltage encoding `P[i]`.
+    pub p: NodeId,
+    /// Voltage encoding `Q[j]`.
+    pub q: NodeId,
+    /// Neighbour value `L[i][j−1]`.
+    pub l_left: NodeId,
+    /// Neighbour value `L[i−1][j]`.
+    pub l_up: NodeId,
+    /// Neighbour value `L[i−1][j−1]`.
+    pub l_diag: NodeId,
+}
+
+/// Builds one LCS PE; returns the `L[i][j]` output node.
+pub fn build_pe(net: &mut Netlist, rails: &Rails, inputs: LcsPeInputs, w: f64) -> NodeId {
+    // Selecting module: |P − Q| vs Vthre. Comparator is HIGH on a match.
+    let abs = abs_module(net, rails, inputs.p, inputs.q, 1.0);
+    let is_match = comparator(net, rails, rails.v_thre_node, abs);
+    // Computing module, match path: L_diag + w·Vstep.
+    let step = if (w - 1.0).abs() < 1e-12 {
+        rails.v_step_node
+    } else {
+        weighted_subtractor(net, rails, rails.v_step_node, Netlist::GROUND, w)
+    };
+    let match_path = adder2(net, rails, inputs.l_diag, step);
+    // No-match path: max(L_left, L_up) through diodes.
+    let no_match_path = diode_max(net, rails, &[inputs.l_left, inputs.l_up]);
+    // TG pair selects the active path.
+    tg_mux(net, rails, match_path, no_match_path, is_match)
+}
+
+/// Builds the full matrix-structure LCS circuit; returns
+/// `(netlist, output node)`. The DP boundary `L = 0` is the ground rail.
+///
+/// # Errors
+///
+/// Returns [`AcceleratorError::EncodingRange`] if a value exceeds the
+/// encodable range.
+pub fn build_matrix(
+    config: &AcceleratorConfig,
+    p: &[f64],
+    q: &[f64],
+    threshold: f64,
+    w: f64,
+) -> Result<(Netlist, NodeId), AcceleratorError> {
+    let mut net = Netlist::new();
+    let rails = Rails::install(
+        &mut net,
+        config.vcc,
+        config.v_step,
+        config.value_to_voltage(threshold),
+        config.nominal_resistance,
+    );
+    let max = config.max_encodable_value();
+    let encode = |net: &mut Netlist, name: &str, value: f64| {
+        if !value.is_finite() || value.abs() > max {
+            return Err(AcceleratorError::EncodingRange { value, max });
+        }
+        let node = net.node(name);
+        net.voltage_source(
+            node,
+            Netlist::GROUND,
+            Waveform::Dc(config.value_to_voltage(value)),
+        );
+        Ok(node)
+    };
+    let p_nodes: Vec<NodeId> = p
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| encode(&mut net, &format!("p{i}"), v))
+        .collect::<Result<_, _>>()?;
+    let q_nodes: Vec<NodeId> = q
+        .iter()
+        .enumerate()
+        .map(|(j, &v)| encode(&mut net, &format!("q{j}"), v))
+        .collect::<Result<_, _>>()?;
+
+    let (m, n) = (p.len(), q.len());
+    let zero = Netlist::GROUND;
+    let mut l = vec![vec![zero; n + 1]; m + 1];
+    for i in 1..=m {
+        for j in 1..=n {
+            l[i][j] = build_pe(
+                &mut net,
+                &rails,
+                LcsPeInputs {
+                    p: p_nodes[i - 1],
+                    q: q_nodes[j - 1],
+                    l_left: l[i][j - 1],
+                    l_up: l[i - 1][j],
+                    l_diag: l[i - 1][j - 1],
+                },
+                w,
+            );
+        }
+    }
+    Ok((net, l[m][n]))
+}
+
+/// Evaluates the device-level LCS circuit at DC, decoding the match count
+/// by dividing the output voltage by `Vstep`.
+///
+/// # Errors
+///
+/// Propagates encoding and simulation errors.
+pub fn evaluate_dc(
+    config: &AcceleratorConfig,
+    p: &[f64],
+    q: &[f64],
+    threshold: f64,
+    w: f64,
+) -> Result<f64, AcceleratorError> {
+    let (net, out) = build_matrix(config, p, q, threshold, w)?;
+    let v = net.dc()?;
+    Ok(v[out.index()] / config.v_step)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_distance::Lcs;
+
+    fn config() -> AcceleratorConfig {
+        AcceleratorConfig::paper_defaults()
+    }
+
+    #[test]
+    fn single_match_counts_one() {
+        let got = evaluate_dc(&config(), &[1.0], &[1.0], 0.2, 1.0).unwrap();
+        assert!((got - 1.0).abs() < 0.3, "LCS(match) = {got}");
+    }
+
+    #[test]
+    fn single_mismatch_counts_zero() {
+        let got = evaluate_dc(&config(), &[1.0], &[5.0], 0.2, 1.0).unwrap();
+        assert!(got.abs() < 0.3, "LCS(mismatch) = {got}");
+    }
+
+    #[test]
+    fn three_by_three_matches_digital() {
+        let p = [0.0, 1.0, 2.0];
+        let q = [0.0, 1.1, 2.0];
+        let expected = Lcs::new(0.2).similarity(&p, &q).unwrap();
+        let got = evaluate_dc(&config(), &p, &q, 0.2, 1.0).unwrap();
+        assert!(
+            (got - expected).abs() < 0.5,
+            "analog {got} vs digital {expected}"
+        );
+    }
+
+    #[test]
+    fn mixed_sequence_accumulates_matches() {
+        // Two of three aligned positions match within the threshold.
+        let p = [0.0, 1.0, 4.0];
+        let q = [0.0, 1.0, -4.0];
+        let expected = Lcs::new(0.2).similarity(&p, &q).unwrap();
+        assert_eq!(expected, 2.0);
+        let got = evaluate_dc(&config(), &p, &q, 0.2, 1.0).unwrap();
+        assert!((got - 2.0).abs() < 0.5, "LCS = {got}");
+    }
+
+    #[test]
+    fn weighted_match_contribution() {
+        // w = 0.5 halves each match's Vstep contribution.
+        let got = evaluate_dc(&config(), &[1.0], &[1.0], 0.2, 0.5).unwrap();
+        assert!((got - 0.5).abs() < 0.2, "weighted LCS = {got}");
+    }
+}

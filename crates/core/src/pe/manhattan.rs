@@ -1,0 +1,140 @@
+//! The Manhattan-distance PE circuit (Fig. 2(f)) — the subset of the HamD
+//! PE — and its row-structure assembly.
+//!
+//! Each PE is just the absolution module: `D[i] = w·|P[i] − Q[i]|`; the row
+//! structure's analog adder produces `Σ w_i·|P[i] − Q[i]|`.
+
+use mda_spice::{Netlist, NodeId, Waveform};
+
+use super::common::{abs_module, analog_adder, Rails};
+use crate::config::AcceleratorConfig;
+use crate::error::AcceleratorError;
+
+/// Builds one MD PE; returns the `D[i]` output node.
+pub fn build_pe(net: &mut Netlist, rails: &Rails, p: NodeId, q: NodeId, w: f64) -> NodeId {
+    abs_module(net, rails, p, q, w)
+}
+
+/// Builds the full row-structure MD circuit; returns
+/// `(netlist, output node)` whose voltage encodes the Manhattan distance.
+///
+/// Per-element weights can be applied either inside the PE (`w` in
+/// [`build_pe`]) or at the adder (`M0/Mk` ratios); this builder uses the
+/// adder ratios, matching Section 3.2.6.
+///
+/// # Errors
+///
+/// Returns [`AcceleratorError::EncodingRange`] for unencodable values.
+///
+/// # Panics
+///
+/// Panics if `p` and `q` have different lengths or weights don't align.
+pub fn build_row(
+    config: &AcceleratorConfig,
+    p: &[f64],
+    q: &[f64],
+    weights: &[f64],
+) -> Result<(Netlist, NodeId), AcceleratorError> {
+    assert_eq!(p.len(), q.len(), "row structure requires equal lengths");
+    assert_eq!(p.len(), weights.len(), "one weight per element");
+    let mut net = Netlist::new();
+    let rails = Rails::install(
+        &mut net,
+        config.vcc,
+        config.v_step,
+        config.v_thre,
+        config.nominal_resistance,
+    );
+    let max = config.max_encodable_value();
+    let encode = |net: &mut Netlist, name: &str, value: f64| {
+        if !value.is_finite() || value.abs() > max {
+            return Err(AcceleratorError::EncodingRange { value, max });
+        }
+        let node = net.node(name);
+        net.voltage_source(
+            node,
+            Netlist::GROUND,
+            Waveform::Dc(config.value_to_voltage(value)),
+        );
+        Ok(node)
+    };
+    let mut pe_outputs = Vec::with_capacity(p.len());
+    for (i, (&pv, &qv)) in p.iter().zip(q).enumerate() {
+        let pn = encode(&mut net, &format!("p{i}"), pv)?;
+        let qn = encode(&mut net, &format!("q{i}"), qv)?;
+        pe_outputs.push(build_pe(&mut net, &rails, pn, qn, 1.0));
+    }
+    let out = analog_adder(&mut net, &rails, &pe_outputs, weights);
+    Ok((net, out))
+}
+
+/// Evaluates the device-level MD circuit at DC and decodes the distance.
+///
+/// # Errors
+///
+/// Propagates encoding and simulation errors.
+pub fn evaluate_dc(
+    config: &AcceleratorConfig,
+    p: &[f64],
+    q: &[f64],
+    weights: &[f64],
+) -> Result<f64, AcceleratorError> {
+    let (net, out) = build_row(config, p, q, weights)?;
+    let v = net.dc()?;
+    Ok(config.voltage_to_value(v[out.index()]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_distance::Manhattan;
+
+    fn config() -> AcceleratorConfig {
+        AcceleratorConfig::paper_defaults()
+    }
+
+    #[test]
+    fn single_element_absolute_difference() {
+        let got = evaluate_dc(&config(), &[2.0], &[0.5], &[1.0]).unwrap();
+        assert!((got - 1.5).abs() < 0.3, "MD = {got}");
+    }
+
+    #[test]
+    fn matches_digital_manhattan() {
+        let p = [0.0, 2.0, -1.0, 0.5];
+        let q = [1.0, 0.5, -0.5, 0.5];
+        let expected = Manhattan::new().distance(&p, &q).unwrap();
+        let got = evaluate_dc(&config(), &p, &q, &[1.0; 4]).unwrap();
+        let abs_err = (got - expected).abs();
+        assert!(abs_err < 0.5, "analog {got} vs digital {expected}");
+    }
+
+    #[test]
+    fn identical_sequences_near_zero() {
+        let p = [0.1, 0.9, -0.4];
+        let got = evaluate_dc(&config(), &p, &p, &[1.0; 3]).unwrap();
+        assert!(got.abs() < 0.3, "MD(p, p) = {got}");
+    }
+
+    #[test]
+    fn adder_weights_scale_contributions() {
+        let p = [1.0, 1.0];
+        let q = [0.0, 0.0];
+        // Weights 2 and 0.5 -> 2·1 + 0.5·1 = 2.5.
+        let got = evaluate_dc(&config(), &p, &q, &[2.0, 0.5]).unwrap();
+        assert!((got - 2.5).abs() < 0.4, "weighted MD = {got}");
+    }
+
+    #[test]
+    fn longer_rows_accumulate() {
+        let n = 8;
+        let p: Vec<f64> = (0..n).map(|i| i as f64 * 0.25).collect();
+        let q = vec![0.0; n];
+        let expected = Manhattan::new().distance(&p, &q).unwrap();
+        let got = evaluate_dc(&config(), &p, &q, &vec![1.0; n]).unwrap();
+        assert!(
+            (got - expected).abs() / expected < 0.1,
+            "analog {got} vs digital {expected}"
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! Device-level PE circuits — the paper's Fig. 2, synthesized as
+//! `mda-spice` netlists.
+//!
+//! Each submodule builds one distance function's PE from the shared
+//! primitives in [`common`] and provides DC-level evaluation helpers used to
+//! validate the circuit against the `mda-distance` reference:
+//!
+//! * [`dtw`] — absolution + minimum + addition modules (Fig. 2(a));
+//! * [`lcs`] — selecting + computing modules with comparator-driven TGs
+//!   (Fig. 2(b));
+//! * [`edit`] — three computing paths + minimum module (Fig. 2(c));
+//! * [`hausdorff`] — computing + comparing modules and the column/converter
+//!   connection (Fig. 2(d1)/(d2));
+//! * [`hamming`] — absolution + comparator + TG pair, row adder (Fig. 2(e));
+//! * [`manhattan`] — absolution module + row adder (Fig. 2(f)).
+
+pub mod common;
+pub mod dtw;
+pub mod edit;
+pub mod hamming;
+pub mod hausdorff;
+pub mod lcs;
+pub mod manhattan;
+
+pub use common::Rails;

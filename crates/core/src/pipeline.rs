@@ -1,0 +1,141 @@
+//! Streaming throughput: the data-center framing of the paper's
+//! introduction, where the accelerator continuously serves distance
+//! computations arriving from IoT streams.
+
+use crate::accelerator::DistanceAccelerator;
+use crate::error::AcceleratorError;
+
+/// Aggregate statistics from a stream of computations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputReport {
+    /// Computations served.
+    pub computations: usize,
+    /// Total sequence elements pushed through the DAC interface.
+    pub elements_processed: usize,
+    /// Total analog busy time (sum of per-computation convergence times,
+    /// including tiling passes), s.
+    pub analog_time_s: f64,
+    /// Mean relative error across the stream.
+    pub mean_relative_error: f64,
+    /// Worst relative error observed.
+    pub worst_relative_error: f64,
+}
+
+impl ThroughputReport {
+    /// Served element throughput, elements/s of analog busy time.
+    pub fn elements_per_second(&self) -> f64 {
+        if self.analog_time_s <= 0.0 {
+            return 0.0;
+        }
+        self.elements_processed as f64 / self.analog_time_s
+    }
+
+    /// Served computation rate, computations/s of analog busy time.
+    pub fn computations_per_second(&self) -> f64 {
+        if self.analog_time_s <= 0.0 {
+            return 0.0;
+        }
+        self.computations as f64 / self.analog_time_s
+    }
+}
+
+impl DistanceAccelerator {
+    /// Serves a stream of `(p, q)` pairs with the configured function,
+    /// aggregating timing and accuracy statistics.
+    ///
+    /// # Errors
+    ///
+    /// Stops at (and returns) the first failing computation; pairs before it
+    /// are not reported. Use well-formed streams or pre-validate.
+    pub fn run_stream(
+        &self,
+        pairs: &[(Vec<f64>, Vec<f64>)],
+    ) -> Result<ThroughputReport, AcceleratorError> {
+        let mut report = ThroughputReport {
+            computations: 0,
+            elements_processed: 0,
+            analog_time_s: 0.0,
+            mean_relative_error: 0.0,
+            worst_relative_error: 0.0,
+        };
+        let mut error_sum = 0.0;
+        for (p, q) in pairs {
+            let outcome = self.compute(p, q)?;
+            report.computations += 1;
+            report.elements_processed += p.len() + q.len();
+            report.analog_time_s += outcome.convergence_time_s;
+            error_sum += outcome.relative_error;
+            report.worst_relative_error = report.worst_relative_error.max(outcome.relative_error);
+        }
+        if report.computations > 0 {
+            report.mean_relative_error = error_sum / report.computations as f64;
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AcceleratorConfig;
+    use mda_distance::DistanceKind;
+
+    fn pairs(count: usize, len: usize) -> Vec<(Vec<f64>, Vec<f64>)> {
+        (0..count)
+            .map(|k| {
+                let p: Vec<f64> = (0..len)
+                    .map(|i| ((i + k) as f64 * 0.4).sin() * 2.0)
+                    .collect();
+                let q: Vec<f64> = p.iter().map(|v| v + 1.0).collect();
+                (p, q)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stream_aggregates_counts_and_time() {
+        let mut acc = DistanceAccelerator::new(AcceleratorConfig::paper_defaults());
+        acc.configure(DistanceKind::Manhattan).unwrap();
+        let stream = pairs(8, 12);
+        let report = acc.run_stream(&stream).unwrap();
+        assert_eq!(report.computations, 8);
+        assert_eq!(report.elements_processed, 8 * 24);
+        assert!(report.analog_time_s > 0.0);
+        assert!(
+            report.elements_per_second() > 1.0e9,
+            "analog throughput is GHz-scale"
+        );
+        assert!(report.mean_relative_error < 0.1);
+        assert!(report.worst_relative_error >= report.mean_relative_error);
+    }
+
+    #[test]
+    fn empty_stream_reports_zeroes() {
+        let mut acc = DistanceAccelerator::new(AcceleratorConfig::paper_defaults());
+        acc.configure(DistanceKind::Manhattan).unwrap();
+        let report = acc.run_stream(&[]).unwrap();
+        assert_eq!(report.computations, 0);
+        assert_eq!(report.elements_per_second(), 0.0);
+        assert_eq!(report.computations_per_second(), 0.0);
+    }
+
+    #[test]
+    fn stream_propagates_errors() {
+        let mut acc = DistanceAccelerator::new(AcceleratorConfig::paper_defaults());
+        acc.configure(DistanceKind::Manhattan).unwrap();
+        let bad = vec![(vec![0.0], vec![0.0, 1.0])]; // length mismatch
+        assert!(acc.run_stream(&bad).is_err());
+    }
+
+    #[test]
+    fn dp_functions_cost_more_analog_time_per_pair() {
+        let stream = pairs(4, 16);
+        let mut md = DistanceAccelerator::new(AcceleratorConfig::paper_defaults());
+        md.configure(DistanceKind::Manhattan).unwrap();
+        let mut dtw = DistanceAccelerator::new(AcceleratorConfig::paper_defaults());
+        dtw.configure(DistanceKind::Dtw).unwrap();
+        let t_md = md.run_stream(&stream).unwrap().analog_time_s;
+        let t_dtw = dtw.run_stream(&stream).unwrap().analog_time_s;
+        assert!(t_dtw > t_md, "DTW {t_dtw:.2e} should exceed MD {t_md:.2e}");
+    }
+}

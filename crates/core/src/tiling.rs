@@ -1,0 +1,236 @@
+//! Tiling of computations larger than the physical PE array.
+//!
+//! Section 3.1: "When the sequence length is larger than the number of PEs
+//! in each row or column, tiling technique will be applied and the
+//! throughput will decrease."
+//!
+//! The matrix structure is tiled in wavefront order: an `m x n` DP matrix is
+//! cut into `ceil(m/R) x ceil(n/C)` tiles; boundary rows/columns are carried
+//! between tiles. The row structure simply processes `ceil(n/C)` chunks and
+//! accumulates partial sums digitally.
+
+use crate::array::{ArrayDimensions, Structure};
+
+/// The tiling plan for one computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TilingPlan {
+    /// Tiles along the `P` (row) axis.
+    pub row_tiles: usize,
+    /// Tiles along the `Q` (column) axis.
+    pub col_tiles: usize,
+    /// Total number of array passes.
+    pub passes: usize,
+}
+
+impl TilingPlan {
+    /// Plans the tiling of an `m x n` computation over `array` using the
+    /// given structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` or `n` is zero.
+    pub fn plan(structure: Structure, array: ArrayDimensions, m: usize, n: usize) -> Self {
+        assert!(m > 0 && n > 0, "sequence lengths must be positive");
+        match structure {
+            Structure::Matrix => {
+                let row_tiles = m.div_ceil(array.rows);
+                let col_tiles = n.div_ceil(array.cols);
+                TilingPlan {
+                    row_tiles,
+                    col_tiles,
+                    passes: row_tiles * col_tiles,
+                }
+            }
+            Structure::Row => {
+                let col_tiles = n.div_ceil(array.cols);
+                TilingPlan {
+                    row_tiles: 1,
+                    col_tiles,
+                    passes: col_tiles,
+                }
+            }
+        }
+    }
+
+    /// Throughput relative to an untiled computation (1 / passes).
+    pub fn throughput_factor(&self) -> f64 {
+        1.0 / self.passes as f64
+    }
+}
+
+/// Computes a Manhattan distance in tiles of `chunk` elements, accumulating
+/// partial sums — functionally identical to the untiled result, which the
+/// tests verify. `evaluate_chunk` stands in for one analog array pass.
+pub fn tiled_row_sum<F>(p: &[f64], q: &[f64], chunk: usize, mut evaluate_chunk: F) -> f64
+where
+    F: FnMut(&[f64], &[f64]) -> f64,
+{
+    assert_eq!(p.len(), q.len(), "row structure requires equal lengths");
+    assert!(chunk > 0, "chunk must be positive");
+    p.chunks(chunk)
+        .zip(q.chunks(chunk))
+        .map(|(pc, qc)| evaluate_chunk(pc, qc))
+        .sum()
+}
+
+/// Computes a full DP recurrence in tiles, carrying boundaries between
+/// tiles. `cell` is the DP cell update `(cost_inputs) -> value`; this is the
+/// digital shadow of the analog wavefront tiling, used to verify that tiled
+/// and untiled evaluations agree exactly.
+///
+/// The recurrence is expressed through the generic cell function
+/// `f(diag, up, left, p_i, q_j)`; boundary values come from `top_boundary`
+/// (row 0), `left_boundary` (column 0) and `corner` (cell `(0,0)`).
+pub fn tiled_dp<F>(
+    p: &[f64],
+    q: &[f64],
+    tile_rows: usize,
+    tile_cols: usize,
+    corner: f64,
+    top_boundary: impl Fn(usize) -> f64,
+    left_boundary: impl Fn(usize) -> f64,
+    cell: F,
+) -> f64
+where
+    F: Fn(f64, f64, f64, f64, f64) -> f64,
+{
+    assert!(tile_rows > 0 && tile_cols > 0, "tile dims must be positive");
+    let (m, n) = (p.len(), q.len());
+    // Full boundary state: previous row of the global matrix, plus the
+    // left-column carry per row band. We keep the whole previous row
+    // (length n+1) and sweep row bands of height `tile_rows`.
+    let mut prev_row: Vec<f64> = (0..=n)
+        .map(|j| if j == 0 { corner } else { top_boundary(j) })
+        .collect();
+
+    let mut i0 = 0;
+    while i0 < m {
+        let band = (m - i0).min(tile_rows);
+        // Row band [i0+1 ..= i0+band]; process in column tiles.
+        let mut rows: Vec<Vec<f64>> = vec![vec![0.0; n + 1]; band];
+        for (r, row) in rows.iter_mut().enumerate() {
+            row[0] = left_boundary(i0 + r + 1);
+        }
+        let mut j0 = 0;
+        while j0 < n {
+            let width = (n - j0).min(tile_cols);
+            for r in 0..band {
+                for c in 0..width {
+                    let i = i0 + r + 1;
+                    let j = j0 + c + 1;
+                    let diag = if r == 0 {
+                        prev_row[j - 1]
+                    } else {
+                        rows[r - 1][j - 1]
+                    };
+                    let up = if r == 0 { prev_row[j] } else { rows[r - 1][j] };
+                    let left = rows[r][j - 1];
+                    rows[r][j] = cell(diag, up, left, p[i - 1], q[j - 1]);
+                }
+            }
+            j0 += width;
+        }
+        prev_row = rows.pop().expect("band >= 1");
+        // Rebuild corner/boundary semantics for the next band: prev_row[0]
+        // must be the left boundary of the last processed row.
+        i0 += band;
+    }
+    prev_row[n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_distance::{Dtw, EditDistance, Manhattan};
+
+    #[test]
+    fn plan_counts() {
+        let a = ArrayDimensions::new(128, 128);
+        let p = TilingPlan::plan(Structure::Matrix, a, 300, 200);
+        assert_eq!(p.row_tiles, 3);
+        assert_eq!(p.col_tiles, 2);
+        assert_eq!(p.passes, 6);
+        assert!((p.throughput_factor() - 1.0 / 6.0).abs() < 1e-12);
+
+        let p = TilingPlan::plan(Structure::Row, a, 1, 300);
+        assert_eq!(p.passes, 3);
+    }
+
+    #[test]
+    fn untiled_fits_in_one_pass() {
+        let a = ArrayDimensions::new(128, 128);
+        assert_eq!(TilingPlan::plan(Structure::Matrix, a, 40, 40).passes, 1);
+        assert_eq!(TilingPlan::plan(Structure::Row, a, 1, 40).passes, 1);
+    }
+
+    #[test]
+    fn tiled_row_sum_equals_untiled_manhattan() {
+        let p: Vec<f64> = (0..37).map(|i| (i as f64 * 0.7).sin()).collect();
+        let q: Vec<f64> = (0..37).map(|i| (i as f64 * 0.5).cos()).collect();
+        let reference = Manhattan::new().distance(&p, &q).unwrap();
+        for chunk in [1, 4, 16, 37, 100] {
+            let tiled = tiled_row_sum(&p, &q, chunk, |pc, qc| {
+                Manhattan::new().distance(pc, qc).unwrap()
+            });
+            assert!(
+                (tiled - reference).abs() < 1e-12,
+                "chunk {chunk}: {tiled} vs {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiled_dp_equals_untiled_dtw() {
+        let p: Vec<f64> = (0..23).map(|i| (i as f64 * 0.31).sin()).collect();
+        let q: Vec<f64> = (0..19).map(|i| (i as f64 * 0.29).cos()).collect();
+        let reference = Dtw::new().distance(&p, &q).unwrap();
+        for (tr, tc) in [(4, 4), (8, 3), (23, 19), (1, 1), (5, 19)] {
+            let tiled = tiled_dp(
+                &p,
+                &q,
+                tr,
+                tc,
+                0.0,
+                |_| f64::INFINITY,
+                |_| f64::INFINITY,
+                |diag, up, left, pi, qj| {
+                    let best = diag.min(up).min(left);
+                    if best.is_finite() {
+                        (pi - qj).abs() + best
+                    } else {
+                        f64::INFINITY
+                    }
+                },
+            );
+            assert!(
+                (tiled - reference).abs() < 1e-9,
+                "tile {tr}x{tc}: {tiled} vs {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiled_dp_equals_untiled_edit_distance() {
+        let p: Vec<f64> = (0..17).map(|i| ((i * 7) % 5) as f64).collect();
+        let q: Vec<f64> = (0..21).map(|i| ((i * 3) % 4) as f64).collect();
+        let reference = EditDistance::new(0.1).distance(&p, &q).unwrap();
+        let tiled = tiled_dp(
+            &p,
+            &q,
+            6,
+            5,
+            0.0,
+            |j| j as f64,
+            |i| i as f64,
+            |diag, up, left, pi, qj| {
+                let subst = if (pi - qj).abs() <= 0.1 {
+                    diag
+                } else {
+                    diag + 1.0
+                };
+                subst.min(up + 1.0).min(left + 1.0)
+            },
+        );
+        assert!((tiled - reference).abs() < 1e-9);
+    }
+}

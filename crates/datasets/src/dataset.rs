@@ -1,0 +1,204 @@
+//! Labelled time-series collections.
+
+use mda_distance::znorm::{resample, z_normalized};
+
+/// A labelled collection of equal-domain time series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    name: String,
+    labels: Vec<usize>,
+    series: Vec<Vec<f64>>,
+}
+
+impl Dataset {
+    /// Creates a dataset from parallel label/series vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors disagree in length or any series is empty.
+    pub fn new(name: impl Into<String>, labels: Vec<usize>, series: Vec<Vec<f64>>) -> Self {
+        assert_eq!(labels.len(), series.len(), "one label per series");
+        assert!(
+            series.iter().all(|s| !s.is_empty()),
+            "series must be non-empty"
+        );
+        Dataset {
+            name: name.into(),
+            labels,
+            series,
+        }
+    }
+
+    /// The dataset name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// `true` if the dataset holds no series.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// The class label of series `i`.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// The values of series `i`.
+    pub fn series(&self, i: usize) -> &[f64] {
+        &self.series[i]
+    }
+
+    /// Iterates over `(label, series)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[f64])> {
+        self.labels
+            .iter()
+            .copied()
+            .zip(self.series.iter().map(Vec::as_slice))
+    }
+
+    /// The distinct class labels, sorted.
+    pub fn classes(&self) -> Vec<usize> {
+        let mut c: Vec<usize> = self.labels.clone();
+        c.sort_unstable();
+        c.dedup();
+        c
+    }
+
+    /// Indices of all series with the given label.
+    pub fn indices_of_class(&self, label: usize) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.labels[i] == label)
+            .collect()
+    }
+
+    /// The first two series sharing class `label`, if the class has at
+    /// least two members.
+    pub fn same_class_pair(&self, label: usize) -> Option<(usize, usize)> {
+        let idx = self.indices_of_class(label);
+        (idx.len() >= 2).then(|| (idx[0], idx[1]))
+    }
+
+    /// The first pair of series with different labels, if any.
+    pub fn different_class_pair(&self) -> Option<(usize, usize)> {
+        let first = *self.labels.first()?;
+        let other = (0..self.len()).find(|&i| self.labels[i] != first)?;
+        Some((0, other))
+    }
+
+    /// A copy with every series linearly resampled to `length` — the
+    /// paper's "we formalize the sequences with different lengths".
+    pub fn resampled(&self, length: usize) -> Dataset {
+        Dataset {
+            name: format!("{}@{length}", self.name),
+            labels: self.labels.clone(),
+            series: self.series.iter().map(|s| resample(s, length)).collect(),
+        }
+    }
+
+    /// A copy with every series z-normalized.
+    pub fn z_normalized(&self) -> Dataset {
+        Dataset {
+            name: self.name.clone(),
+            labels: self.labels.clone(),
+            series: self.series.iter().map(|s| z_normalized(s)).collect(),
+        }
+    }
+
+    /// Splits into (train, test) keeping every `k`-th series for testing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn split_every(&self, k: usize) -> (Dataset, Dataset) {
+        assert!(k >= 2, "k must be at least 2");
+        let mut train = (Vec::new(), Vec::new());
+        let mut test = (Vec::new(), Vec::new());
+        for i in 0..self.len() {
+            let bucket = if i % k == 0 { &mut test } else { &mut train };
+            bucket.0.push(self.labels[i]);
+            bucket.1.push(self.series[i].clone());
+        }
+        (
+            Dataset::new(format!("{}-train", self.name), train.0, train.1),
+            Dataset::new(format!("{}-test", self.name), test.0, test.1),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        Dataset::new(
+            "tiny",
+            vec![0, 0, 1, 1, 2],
+            vec![
+                vec![0.0, 1.0],
+                vec![0.1, 1.1],
+                vec![5.0, 6.0],
+                vec![5.1, 6.1],
+                vec![9.0, 9.0],
+            ],
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let d = tiny();
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.label(2), 1);
+        assert_eq!(d.series(0), &[0.0, 1.0]);
+        assert_eq!(d.classes(), vec![0, 1, 2]);
+        assert_eq!(d.indices_of_class(1), vec![2, 3]);
+    }
+
+    #[test]
+    fn pairs() {
+        let d = tiny();
+        let (a, b) = d.same_class_pair(0).unwrap();
+        assert_eq!(d.label(a), d.label(b));
+        assert!(d.same_class_pair(2).is_none(), "singleton class");
+        let (a, b) = d.different_class_pair().unwrap();
+        assert_ne!(d.label(a), d.label(b));
+    }
+
+    #[test]
+    fn resampling_changes_length_only() {
+        let d = tiny().resampled(7);
+        assert_eq!(d.len(), 5);
+        assert!(d.iter().all(|(_, s)| s.len() == 7));
+        // Endpoints preserved.
+        assert_eq!(d.series(0)[0], 0.0);
+        assert_eq!(*d.series(0).last().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn z_normalization_applies_per_series() {
+        let d = tiny().z_normalized();
+        for (_, s) in d.iter() {
+            let mean: f64 = s.iter().sum::<f64>() / s.len() as f64;
+            assert!(mean.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn split_partitions() {
+        let d = tiny();
+        let (train, test) = d.split_every(2);
+        assert_eq!(train.len() + test.len(), d.len());
+        assert_eq!(test.len(), 3); // indices 0, 2, 4
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per series")]
+    fn mismatched_lengths_panic() {
+        let _ = Dataset::new("bad", vec![0], vec![]);
+    }
+}

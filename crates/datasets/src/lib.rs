@@ -1,0 +1,29 @@
+//! # mda-datasets
+//!
+//! Time-series datasets for the accelerator evaluation.
+//!
+//! The paper evaluates on three sets from the UCR Time Series
+//! Classification Archive — **Beef**, **Symbols** and **OSU Leaf** — which
+//! are not redistributable here. [`synthetic`] provides class-structured
+//! generators that mimic each set's morphology (spectrometry curves, pen
+//! strokes, leaf-contour profiles) with the same role in the experiments:
+//! pairs of same-class and different-class series formalized to several
+//! lengths. [`ucr`] parses the real archive's text format for users who
+//! have it.
+//!
+//! ```
+//! use mda_datasets::synthetic::{beef, SyntheticSpec};
+//!
+//! let ds = beef(&SyntheticSpec::new(128, 5, 42));
+//! assert_eq!(ds.len(), 5 * SyntheticSpec::new(128, 5, 42).per_class);
+//! let (a, b) = ds.same_class_pair(0).expect("two series per class");
+//! assert_eq!(ds.label(a), ds.label(b));
+//! ```
+
+pub mod dataset;
+pub mod pairs;
+pub mod synthetic;
+pub mod ucr;
+
+pub use dataset::Dataset;
+pub use pairs::{ExperimentPairs, PairKind};

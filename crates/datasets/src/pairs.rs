@@ -1,0 +1,142 @@
+//! The paper's Section 4.2 pairing protocol: "For each algorithm module, we
+//! randomly choose a pair of data from the same class and a pair from
+//! different classes in one dataset. The length of the time series data are
+//! converted to different lengths. Totally 10 similarity computations are
+//! presented for each dataset."
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::Dataset;
+
+/// Whether a pair shares its class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PairKind {
+    /// Both series come from the same class.
+    SameClass,
+    /// The series come from different classes.
+    DifferentClass,
+}
+
+/// One experimental comparison: two resampled series and their provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentPair {
+    /// First series, resampled to the experiment length.
+    pub p: Vec<f64>,
+    /// Second series, resampled to the experiment length.
+    pub q: Vec<f64>,
+    /// Same- or different-class.
+    pub kind: PairKind,
+    /// The experiment length.
+    pub length: usize,
+}
+
+/// Generates the Fig. 5 workload from a dataset.
+#[derive(Debug, Clone)]
+pub struct ExperimentPairs {
+    dataset: Dataset,
+    seed: u64,
+}
+
+impl ExperimentPairs {
+    /// Wraps a (z-normalized) dataset for pairing.
+    pub fn new(dataset: Dataset, seed: u64) -> Self {
+        ExperimentPairs { dataset, seed }
+    }
+
+    /// The underlying dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// Draws `count` pairs per kind at the given length: alternating
+    /// same-class and different-class, resampled to `length`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset lacks a class with two members or a second
+    /// class.
+    pub fn draw(&self, length: usize, count: usize) -> Vec<ExperimentPair> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ length as u64);
+        let ds = self.dataset.resampled(length);
+        let classes = ds.classes();
+        assert!(classes.len() >= 2, "need at least two classes");
+        let mut pairs = Vec::with_capacity(count * 2);
+        for _ in 0..count {
+            // Same-class pair.
+            let class = classes[rng.gen_range(0..classes.len())];
+            let members = ds.indices_of_class(class);
+            if members.len() >= 2 {
+                let a = members[rng.gen_range(0..members.len())];
+                let mut b = members[rng.gen_range(0..members.len())];
+                while b == a {
+                    b = members[rng.gen_range(0..members.len())];
+                }
+                pairs.push(ExperimentPair {
+                    p: ds.series(a).to_vec(),
+                    q: ds.series(b).to_vec(),
+                    kind: PairKind::SameClass,
+                    length,
+                });
+            }
+            // Different-class pair.
+            let a = rng.gen_range(0..ds.len());
+            let mut b = rng.gen_range(0..ds.len());
+            let mut guard = 0;
+            while ds.label(b) == ds.label(a) && guard < 1000 {
+                b = rng.gen_range(0..ds.len());
+                guard += 1;
+            }
+            pairs.push(ExperimentPair {
+                p: ds.series(a).to_vec(),
+                q: ds.series(b).to_vec(),
+                kind: PairKind::DifferentClass,
+                length,
+            });
+        }
+        pairs
+    }
+
+    /// The paper's full sweep: 5 same-class + 5 different-class pairs at
+    /// each of the given lengths.
+    pub fn paper_sweep(&self, lengths: &[usize]) -> Vec<ExperimentPair> {
+        lengths.iter().flat_map(|&len| self.draw(len, 5)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{beef, SyntheticSpec};
+
+    fn pairs() -> ExperimentPairs {
+        ExperimentPairs::new(beef(&SyntheticSpec::new(64, 4, 5)).z_normalized(), 11)
+    }
+
+    #[test]
+    fn draw_produces_both_kinds_at_length() {
+        let p = pairs().draw(20, 5);
+        assert_eq!(p.len(), 10);
+        assert!(p.iter().all(|x| x.p.len() == 20 && x.q.len() == 20));
+        assert_eq!(
+            p.iter().filter(|x| x.kind == PairKind::SameClass).count(),
+            5
+        );
+    }
+
+    #[test]
+    fn paper_sweep_covers_all_lengths() {
+        let sweep = pairs().paper_sweep(&[10, 20, 30, 40]);
+        assert_eq!(sweep.len(), 40);
+        for len in [10, 20, 30, 40] {
+            assert_eq!(sweep.iter().filter(|x| x.length == len).count(), 10);
+        }
+    }
+
+    #[test]
+    fn drawing_is_deterministic() {
+        let a = pairs().draw(16, 3);
+        let b = pairs().draw(16, 3);
+        assert_eq!(a, b);
+    }
+}

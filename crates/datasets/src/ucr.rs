@@ -1,0 +1,250 @@
+//! Parser for the UCR Time Series Classification Archive text format.
+//!
+//! Each line is one series: a class label followed by the values, separated
+//! by commas (newer archive releases) or whitespace/tabs (older ones).
+
+use std::error::Error;
+use std::fmt;
+use std::io::BufRead;
+use std::path::Path;
+
+use crate::dataset::Dataset;
+
+/// Error produced while parsing UCR-format data.
+#[derive(Debug)]
+pub enum ParseUcrError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The input contained no series.
+    Empty,
+}
+
+impl fmt::Display for ParseUcrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseUcrError::Io(e) => write!(f, "i/o error reading ucr data: {e}"),
+            ParseUcrError::Malformed { line, reason } => {
+                write!(f, "malformed ucr line {line}: {reason}")
+            }
+            ParseUcrError::Empty => write!(f, "ucr input contained no series"),
+        }
+    }
+}
+
+impl Error for ParseUcrError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseUcrError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseUcrError {
+    fn from(e: std::io::Error) -> Self {
+        ParseUcrError::Io(e)
+    }
+}
+
+/// Parses UCR-format data from any reader. Pass `&mut reader` to keep
+/// ownership.
+///
+/// Labels may be arbitrary integers (including negatives, which some UCR
+/// sets use); they are remapped to dense `0..k` indices in encounter order.
+///
+/// # Errors
+///
+/// Returns [`ParseUcrError`] on I/O failure, malformed lines, or empty
+/// input.
+///
+/// ```
+/// use mda_datasets::ucr::parse;
+///
+/// # fn main() -> Result<(), mda_datasets::ucr::ParseUcrError> {
+/// let text = "1,0.5,0.7,0.9\n2,0.1,0.2,0.3\n";
+/// let ds = parse("demo", text.as_bytes())?;
+/// assert_eq!(ds.len(), 2);
+/// assert_eq!(ds.series(0), &[0.5, 0.7, 0.9]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse<R: BufRead>(name: &str, reader: R) -> Result<Dataset, ParseUcrError> {
+    let mut labels = Vec::new();
+    let mut series = Vec::new();
+    let mut label_map: Vec<i64> = Vec::new();
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = if trimmed.contains(',') {
+            trimmed.split(',').collect()
+        } else {
+            trimmed.split_whitespace().collect()
+        };
+        if fields.len() < 2 {
+            return Err(ParseUcrError::Malformed {
+                line: lineno + 1,
+                reason: "need a label and at least one value".into(),
+            });
+        }
+        let raw_label: f64 = fields[0]
+            .trim()
+            .parse()
+            .map_err(|e| ParseUcrError::Malformed {
+                line: lineno + 1,
+                reason: format!("bad label {:?}: {e}", fields[0]),
+            })?;
+        let raw_label = raw_label as i64;
+        let dense = match label_map.iter().position(|&l| l == raw_label) {
+            Some(i) => i,
+            None => {
+                label_map.push(raw_label);
+                label_map.len() - 1
+            }
+        };
+        let values: Vec<f64> = fields[1..]
+            .iter()
+            .map(|f| {
+                f.trim().parse().map_err(|e| ParseUcrError::Malformed {
+                    line: lineno + 1,
+                    reason: format!("bad value {f:?}: {e}"),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        labels.push(dense);
+        series.push(values);
+    }
+    if series.is_empty() {
+        return Err(ParseUcrError::Empty);
+    }
+    Ok(Dataset::new(name, labels, series))
+}
+
+/// Serialises a dataset back into the UCR comma-separated format (one
+/// `label,v1,v2,…` line per series) — round-trips through [`parse`].
+pub fn to_ucr_string(dataset: &crate::dataset::Dataset) -> String {
+    let mut out = String::new();
+    for (label, series) in dataset.iter() {
+        out.push_str(&label.to_string());
+        for v in series {
+            out.push(',');
+            out.push_str(&v.to_string());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Loads a UCR-format file from disk, deriving the dataset name from the
+/// file stem (e.g. `Beef_TRAIN` from `Beef_TRAIN.tsv`).
+///
+/// # Errors
+///
+/// Returns [`ParseUcrError`] on I/O or format problems.
+pub fn load_file<P: AsRef<Path>>(path: P) -> Result<Dataset, ParseUcrError> {
+    let path = path.as_ref();
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("ucr")
+        .to_string();
+    let file = std::fs::File::open(path)?;
+    parse(&name, std::io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comma_format() {
+        let ds = parse("x", "1,0.5,0.7\n2,0.1,0.2\n".as_bytes()).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.label(0), 0);
+        assert_eq!(ds.label(1), 1);
+        assert_eq!(ds.series(1), &[0.1, 0.2]);
+    }
+
+    #[test]
+    fn parses_whitespace_format_with_negative_labels() {
+        let ds = parse("x", "-1  0.5 0.7\n 1\t0.1 0.2\n-1 0.0 0.0\n".as_bytes()).unwrap();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.label(0), 0); // -1 remapped to 0
+        assert_eq!(ds.label(1), 1);
+        assert_eq!(ds.label(2), 0);
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let ds = parse("x", "1,0.5,0.7\n\n\n2,0.1,0.2\n".as_bytes()).unwrap();
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(matches!(
+            parse("x", "1\n".as_bytes()),
+            Err(ParseUcrError::Malformed { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse("x", "1,abc\n".as_bytes()),
+            Err(ParseUcrError::Malformed { .. })
+        ));
+        assert!(matches!(
+            parse("x", "".as_bytes()),
+            Err(ParseUcrError::Empty)
+        ));
+    }
+
+    #[test]
+    fn write_parse_roundtrip() {
+        let ds = crate::dataset::Dataset::new(
+            "rt",
+            vec![0, 1, 0],
+            vec![vec![0.5, -1.25], vec![3.0, 4.5], vec![0.0, 0.0]],
+        );
+        let text = to_ucr_string(&ds);
+        let back = parse("rt", text.as_bytes()).expect("roundtrip parses");
+        assert_eq!(back.len(), ds.len());
+        for i in 0..ds.len() {
+            assert_eq!(back.label(i), ds.label(i));
+            assert_eq!(back.series(i), ds.series(i));
+        }
+    }
+
+    #[test]
+    fn load_file_roundtrip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("mda_ucr_test_Beef_TRAIN.tsv");
+        std::fs::write(&path, "1\t0.5\t0.7\n2\t0.1\t0.2\n").expect("writable tmp");
+        let ds = load_file(&path).expect("parsable");
+        assert_eq!(ds.name(), "mda_ucr_test_Beef_TRAIN");
+        assert_eq!(ds.len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_file_missing_is_io_error() {
+        assert!(matches!(
+            load_file("/definitely/not/here.tsv"),
+            Err(ParseUcrError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn float_labels_truncate() {
+        // Some archive files store labels as "1.0000000e+00".
+        let ds = parse("x", "1.0,0.5,0.7\n".as_bytes()).unwrap();
+        assert_eq!(ds.label(0), 0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Edit distance (EdD), Eq. 4 of the paper.
+//!
+//! The number of single-element operations (replace / insert / delete) that
+//! transform one series into the other, with a threshold deciding whether two
+//! real-valued elements are "equal":
+//!
+//! ```text
+//! E[i][0] = i, E[0][j] = j
+//! E[i][j] = min(E[i-1][j] + w*Vstep,           (delete)
+//!               E[i][j-1] + w*Vstep,           (insert)
+//!               E[i-1][j-1])                   if |P[i] - Q[j]| <= threshold
+//!         = min(E[i-1][j] + w*Vstep,
+//!               E[i][j-1] + w*Vstep,
+//!               E[i-1][j-1] + w*Vstep)         otherwise (replace)
+//! ```
+//!
+//! Note: the paper's Eq. (4) prints the two branches with their conditions
+//! swapped (a match would *cost* `Vstep` and a mismatch would be free), which
+//! contradicts both the boundary conditions `E[i][0] = i` and the paper's own
+//! statement that "lower EdD value means higher similarity". We implement the
+//! standard Levenshtein recurrence, which is what the circuit in Fig. 2(c)
+//! computes when the comparator polarity is read consistently.
+
+use crate::error::DistanceError;
+use crate::matrix::DpMatrix;
+use crate::weights::Weights;
+use crate::{Distance, DistanceKind};
+
+/// Thresholded edit distance.
+///
+/// ```
+/// use mda_distance::EditDistance;
+/// # fn main() -> Result<(), mda_distance::DistanceError> {
+/// let ed = EditDistance::new(0.05);
+/// // One substitution turns [0, 1, 2] into [0, 5, 2].
+/// assert_eq!(ed.distance(&[0.0, 1.0, 2.0], &[0.0, 5.0, 2.0])?, 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EditDistance {
+    threshold: f64,
+    v_step: f64,
+    weights: Weights,
+}
+
+impl EditDistance {
+    /// Edit distance with match threshold `threshold`, unit step 1 and
+    /// uniform weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is negative or non-finite.
+    pub fn new(threshold: f64) -> Self {
+        assert!(
+            threshold.is_finite() && threshold >= 0.0,
+            "threshold must be finite and non-negative"
+        );
+        EditDistance {
+            threshold,
+            v_step: 1.0,
+            weights: Weights::Uniform,
+        }
+    }
+
+    /// Sets the per-operation cost `Vstep` (a unit voltage on the
+    /// accelerator; "the exact result can be obtained by dividing E(m,n) by
+    /// Vstep").
+    #[must_use]
+    pub fn with_step(mut self, v_step: f64) -> Self {
+        self.v_step = v_step;
+        self
+    }
+
+    /// Sets per-cell weights (weighted EdD, Oliveira-Neto et al.).
+    #[must_use]
+    pub fn with_weights(mut self, weights: Weights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// The configured match threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The configured per-operation cost.
+    pub fn v_step(&self) -> f64 {
+        self.v_step
+    }
+
+    /// Computes the full DP matrix of Eq. 4 (with the standard branch
+    /// orientation, see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistanceError::EmptySequence`] for empty inputs or
+    /// [`DistanceError::WeightShape`] on weight-shape mismatch.
+    pub fn matrix(&self, p: &[f64], q: &[f64]) -> Result<DpMatrix, DistanceError> {
+        if p.is_empty() || q.is_empty() {
+            return Err(DistanceError::EmptySequence);
+        }
+        let (m, n) = (p.len(), q.len());
+        self.weights.check_pair_shape(m, n)?;
+
+        let mut e = DpMatrix::filled(m + 1, n + 1, 0.0);
+        for i in 0..=m {
+            e.set(i, 0, i as f64 * self.v_step);
+        }
+        for j in 0..=n {
+            e.set(0, j, j as f64 * self.v_step);
+        }
+        for i in 1..=m {
+            for j in 1..=n {
+                let w = self.weights.pair(i - 1, j - 1) * self.v_step;
+                let del = e.at(i - 1, j) + w;
+                let ins = e.at(i, j - 1) + w;
+                let diag = if (p[i - 1] - q[j - 1]).abs() <= self.threshold {
+                    e.at(i - 1, j - 1)
+                } else {
+                    e.at(i - 1, j - 1) + w
+                };
+                e.set(i, j, del.min(ins).min(diag));
+            }
+        }
+        Ok(e)
+    }
+
+    /// Computes the edit distance using O(n) memory.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EditDistance::matrix`].
+    pub fn distance(&self, p: &[f64], q: &[f64]) -> Result<f64, DistanceError> {
+        if p.is_empty() || q.is_empty() {
+            return Err(DistanceError::EmptySequence);
+        }
+        let (m, n) = (p.len(), q.len());
+        self.weights.check_pair_shape(m, n)?;
+
+        let mut prev: Vec<f64> = (0..=n).map(|j| j as f64 * self.v_step).collect();
+        let mut curr = vec![0.0f64; n + 1];
+        for i in 1..=m {
+            curr[0] = i as f64 * self.v_step;
+            for j in 1..=n {
+                let w = self.weights.pair(i - 1, j - 1) * self.v_step;
+                let del = prev[j] + w;
+                let ins = curr[j - 1] + w;
+                let diag = if (p[i - 1] - q[j - 1]).abs() <= self.threshold {
+                    prev[j - 1]
+                } else {
+                    prev[j - 1] + w
+                };
+                curr[j] = del.min(ins).min(diag);
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        Ok(prev[n])
+    }
+}
+
+impl Distance for EditDistance {
+    fn evaluate(&self, p: &[f64], q: &[f64]) -> Result<f64, DistanceError> {
+        self.distance(p, q)
+    }
+
+    fn kind(&self) -> DistanceKind {
+        DistanceKind::Edit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn discrete_ed(a: &str, b: &str) -> f64 {
+        let enc = |s: &str| -> Vec<f64> { s.bytes().map(|c| c as f64 * 10.0).collect() };
+        EditDistance::new(0.5)
+            .distance(&enc(a), &enc(b))
+            .expect("non-empty")
+    }
+
+    #[test]
+    fn matches_textbook_levenshtein() {
+        assert_eq!(discrete_ed("kitten", "sitting"), 3.0);
+        assert_eq!(discrete_ed("flaw", "lawn"), 2.0);
+        assert_eq!(discrete_ed("abc", "abc"), 0.0);
+        assert_eq!(discrete_ed("abc", "axc"), 1.0);
+    }
+
+    #[test]
+    fn self_distance_is_zero() {
+        let p = [1.0, -2.0, 0.5];
+        assert_eq!(EditDistance::new(0.0).distance(&p, &p).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn symmetric_with_uniform_weights() {
+        let p = [0.0, 1.0, 2.0, 0.5];
+        let q = [0.1, 2.0, 0.4];
+        let ed = EditDistance::new(0.15);
+        assert_eq!(ed.distance(&p, &q).unwrap(), ed.distance(&q, &p).unwrap());
+    }
+
+    #[test]
+    fn bounded_by_max_length() {
+        let p = [10.0; 5];
+        let q = [-10.0; 8];
+        let d = EditDistance::new(0.1).distance(&p, &q).unwrap();
+        assert_eq!(d, 8.0); // 5 substitutions + 3 insertions
+        assert!(d <= 8.0);
+    }
+
+    #[test]
+    fn length_difference_lower_bound() {
+        // EdD >= |m - n| always (unweighted, unit step).
+        let p = [0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let q = [0.0, 0.0];
+        assert_eq!(EditDistance::new(0.1).distance(&p, &q).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn v_step_scales_result() {
+        let p = [0.0, 1.0];
+        let q = [5.0, 6.0];
+        let base = EditDistance::new(0.1).distance(&p, &q).unwrap();
+        let scaled = EditDistance::new(0.1)
+            .with_step(0.01)
+            .distance(&p, &q)
+            .unwrap();
+        assert!((scaled - base * 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_boundaries_match_eq4() {
+        let e = EditDistance::new(0.1).matrix(&[1.0, 2.0], &[3.0]).unwrap();
+        assert_eq!(e.at(0, 0), 0.0);
+        assert_eq!(e.at(1, 0), 1.0);
+        assert_eq!(e.at(2, 0), 2.0);
+        assert_eq!(e.at(0, 1), 1.0);
+    }
+
+    #[test]
+    fn matrix_final_matches_distance() {
+        let p = [0.3, 0.6, 0.9, 0.1];
+        let q = [0.4, 0.5, 1.0];
+        let ed = EditDistance::new(0.2);
+        assert_eq!(
+            ed.matrix(&p, &q).unwrap().final_value(),
+            ed.distance(&p, &q).unwrap()
+        );
+    }
+
+    #[test]
+    fn triangle_inequality_unweighted() {
+        let a = [0.0, 1.0, 2.0];
+        let b = [0.0, 5.0, 2.0, 3.0];
+        let c = [4.0, 1.0];
+        let ed = EditDistance::new(0.01);
+        let ab = ed.distance(&a, &b).unwrap();
+        let bc = ed.distance(&b, &c).unwrap();
+        let ac = ed.distance(&a, &c).unwrap();
+        assert!(ac <= ab + bc + 1e-12);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(
+            EditDistance::new(0.1).distance(&[], &[1.0]).unwrap_err(),
+            DistanceError::EmptySequence
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Error types shared by all distance functions.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a distance function rejects its inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DistanceError {
+    /// One (or both) of the sequences is empty but the function requires at
+    /// least one element.
+    EmptySequence,
+    /// The function requires both sequences to have equal length
+    /// (Hamming and Manhattan distance, per Section 2 of the paper).
+    LengthMismatch {
+        /// Length of the first sequence `P`.
+        left: usize,
+        /// Length of the second sequence `Q`.
+        right: usize,
+    },
+    /// A weight vector/matrix was supplied whose shape does not match the
+    /// sequences being compared.
+    WeightShape {
+        /// What shape the function expected, e.g. `"m x n"`.
+        expected: String,
+        /// What shape was actually supplied.
+        actual: String,
+    },
+    /// A parameter was outside its valid domain (e.g. a negative threshold).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DistanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistanceError::EmptySequence => write!(f, "input sequence is empty"),
+            DistanceError::LengthMismatch { left, right } => write!(
+                f,
+                "sequences must have equal length, got {left} and {right}"
+            ),
+            DistanceError::WeightShape { expected, actual } => write!(
+                f,
+                "weight shape mismatch: expected {expected}, got {actual}"
+            ),
+            DistanceError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for DistanceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let msgs = [
+            DistanceError::EmptySequence.to_string(),
+            DistanceError::LengthMismatch { left: 3, right: 4 }.to_string(),
+            DistanceError::WeightShape {
+                expected: "3 x 4".into(),
+                actual: "2 x 2".into(),
+            }
+            .to_string(),
+            DistanceError::InvalidParameter {
+                name: "threshold",
+                reason: "must be non-negative".into(),
+            }
+            .to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.ends_with('.'), "{m:?} ends with punctuation");
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Send + Sync + std::error::Error>() {}
+        assert_traits::<DistanceError>();
+    }
+}

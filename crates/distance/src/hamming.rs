@@ -1,0 +1,202 @@
+//! Thresholded Hamming distance (HamD), Eq. 6 of the paper.
+//!
+//! The number of positions whose elements differ by more than a threshold:
+//!
+//! ```text
+//! H[i] = H[i-1]                 if |P[i] - Q[i]| <= threshold
+//!      = H[i-1] + w[i] * Vstep  otherwise
+//! H[0] = 0, HamD(P, Q) = H[n]    (requires n == m)
+//! ```
+
+use crate::error::DistanceError;
+use crate::weights::Weights;
+use crate::{Distance, DistanceKind};
+
+/// Thresholded Hamming distance.
+///
+/// ```
+/// use mda_distance::Hamming;
+/// # fn main() -> Result<(), mda_distance::DistanceError> {
+/// let ham = Hamming::new(0.5);
+/// // Positions 1 and 3 differ by more than 0.5.
+/// assert_eq!(ham.distance(&[0.0, 1.0, 2.0, 3.0], &[0.2, 2.0, 2.1, 9.0])?, 2.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hamming {
+    threshold: f64,
+    v_step: f64,
+    weights: Weights,
+}
+
+impl Hamming {
+    /// Hamming distance with match threshold `threshold`, unit step 1 and
+    /// uniform weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is negative or non-finite.
+    pub fn new(threshold: f64) -> Self {
+        assert!(
+            threshold.is_finite() && threshold >= 0.0,
+            "threshold must be finite and non-negative"
+        );
+        Hamming {
+            threshold,
+            v_step: 1.0,
+            weights: Weights::Uniform,
+        }
+    }
+
+    /// Sets the contribution `Vstep` of each mismatched position.
+    #[must_use]
+    pub fn with_step(mut self, v_step: f64) -> Self {
+        self.v_step = v_step;
+        self
+    }
+
+    /// Sets per-position weights (weighted HamD, Zhang et al.). On the
+    /// accelerator these are the `M0/Mk` memristor ratios of the row
+    /// structure's analog adder.
+    #[must_use]
+    pub fn with_weights(mut self, weights: Weights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// The configured match threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The configured step value.
+    pub fn v_step(&self) -> f64 {
+        self.v_step
+    }
+
+    /// Per-position contributions `Ham[i]` — the outputs of the row
+    /// structure's PEs *before* the analog adder. Exposed for stage-by-stage
+    /// validation of the analog model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistanceError::LengthMismatch`] for unequal lengths,
+    /// [`DistanceError::EmptySequence`] for empty inputs, or
+    /// [`DistanceError::WeightShape`] on weight-shape mismatch.
+    pub fn contributions(&self, p: &[f64], q: &[f64]) -> Result<Vec<f64>, DistanceError> {
+        if p.len() != q.len() {
+            return Err(DistanceError::LengthMismatch {
+                left: p.len(),
+                right: q.len(),
+            });
+        }
+        if p.is_empty() {
+            return Err(DistanceError::EmptySequence);
+        }
+        self.weights.check_element_shape(p.len())?;
+        Ok(p.iter()
+            .zip(q)
+            .enumerate()
+            .map(|(i, (a, b))| {
+                if (a - b).abs() <= self.threshold {
+                    0.0
+                } else {
+                    self.weights.element(i) * self.v_step
+                }
+            })
+            .collect())
+    }
+
+    /// Computes the Hamming distance.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Hamming::contributions`].
+    pub fn distance(&self, p: &[f64], q: &[f64]) -> Result<f64, DistanceError> {
+        Ok(self.contributions(p, q)?.iter().sum())
+    }
+}
+
+impl Distance for Hamming {
+    fn evaluate(&self, p: &[f64], q: &[f64]) -> Result<f64, DistanceError> {
+        self.distance(p, q)
+    }
+
+    fn kind(&self) -> DistanceKind {
+        DistanceKind::Hamming
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_binary_hamming() {
+        let p = [1.0, 0.0, 1.0, 1.0, 0.0];
+        let q = [0.0, 0.0, 1.0, 0.0, 1.0];
+        assert_eq!(Hamming::new(0.5).distance(&p, &q).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn self_distance_zero() {
+        let p = [0.4, 2.0, -1.0];
+        assert_eq!(Hamming::new(0.0).distance(&p, &p).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let p = [0.0, 1.0, 2.0];
+        let q = [0.3, 0.9, 5.0];
+        let h = Hamming::new(0.2);
+        assert_eq!(h.distance(&p, &q).unwrap(), h.distance(&q, &p).unwrap());
+    }
+
+    #[test]
+    fn bounded_by_length() {
+        let p = [10.0; 6];
+        let q = [-10.0; 6];
+        assert_eq!(Hamming::new(0.1).distance(&p, &q).unwrap(), 6.0);
+    }
+
+    #[test]
+    fn threshold_is_inclusive() {
+        // |0.5 - 0.0| == threshold -> counts as a match (Eq. 6 uses <=).
+        assert_eq!(Hamming::new(0.5).distance(&[0.5], &[0.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        assert_eq!(
+            Hamming::new(0.1).distance(&[0.0], &[0.0, 1.0]).unwrap_err(),
+            DistanceError::LengthMismatch { left: 1, right: 2 }
+        );
+    }
+
+    #[test]
+    fn weighted_contributions() {
+        let p = [0.0, 0.0, 0.0];
+        let q = [1.0, 1.0, 0.0];
+        let w = Weights::per_element(vec![2.0, 0.5, 9.0]).unwrap();
+        let h = Hamming::new(0.1).with_weights(w);
+        assert_eq!(h.contributions(&p, &q).unwrap(), vec![2.0, 0.5, 0.0]);
+        assert_eq!(h.distance(&p, &q).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn v_step_scales() {
+        let p = [0.0, 0.0];
+        let q = [1.0, 1.0];
+        let d = Hamming::new(0.1).with_step(0.01).distance(&p, &q).unwrap();
+        assert!((d - 0.02).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(
+            Hamming::new(0.1).distance(&[], &[]).unwrap_err(),
+            DistanceError::EmptySequence
+        );
+    }
+}

@@ -1,0 +1,239 @@
+//! Hausdorff distance (HauD), Eq. 5 of the paper.
+//!
+//! The circuit of Fig. 2(d2) computes the *directed* Hausdorff distance: for
+//! each `Q[j]`, the column of PEs finds `min_i w[i][j] * |P[i] - Q[j]|`, and
+//! the final diode stage takes the maximum over `j`:
+//!
+//! ```text
+//! HauD(P, Q) = max_j min_i  w[i][j] * |P[i] - Q[j]|
+//! ```
+//!
+//! [`Hausdorff`] defaults to this directed form to match the hardware, and
+//! also offers the symmetric variant `max(h(P→Q), h(Q→P))` commonly used in
+//! the literature.
+
+use crate::error::DistanceError;
+use crate::weights::Weights;
+use crate::{Distance, DistanceKind};
+
+/// Which directed component(s) of the Hausdorff distance to compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Direction {
+    /// `max_j min_i w|P[i] - Q[j]|` — how far the worst point of `Q` is from
+    /// `P`. This is what the accelerator's PE connection (Fig. 2(d2))
+    /// computes.
+    #[default]
+    QToP,
+    /// `max_i min_j w|P[i] - Q[j]|`.
+    PToQ,
+    /// `max` of both directed distances (the classical symmetric Hausdorff).
+    Symmetric,
+}
+
+/// Hausdorff distance between two series viewed as point sets.
+///
+/// ```
+/// use mda_distance::{Hausdorff, Direction};
+/// # fn main() -> Result<(), mda_distance::DistanceError> {
+/// let h = Hausdorff::new().with_direction(Direction::Symmetric);
+/// // Every point of one set is within 0.5 of the other.
+/// let d = h.distance(&[0.0, 1.0, 2.0], &[0.5, 1.5, 2.5])?;
+/// assert_eq!(d, 0.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Hausdorff {
+    direction: Direction,
+    weights: Weights,
+}
+
+impl Hausdorff {
+    /// Directed (`Q -> P`) Hausdorff distance with uniform weights, matching
+    /// the accelerator circuit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects the directed or symmetric variant.
+    #[must_use]
+    pub fn with_direction(mut self, direction: Direction) -> Self {
+        self.direction = direction;
+        self
+    }
+
+    /// Sets pairwise weights (weighted HauD, Lu et al.).
+    #[must_use]
+    pub fn with_weights(mut self, weights: Weights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// The configured direction.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// `min_i w[i][j] |P[i] - Q[j]|` for a fixed `j` — the output of one PE
+    /// column in Fig. 2(d2) after the converter stage.
+    fn min_over_p(&self, p: &[f64], q: &[f64], j: usize) -> f64 {
+        (0..p.len())
+            .map(|i| self.weights.pair(i, j) * (p[i] - q[j]).abs())
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// `min_j w[i][j] |P[i] - Q[j]|` for a fixed `i`.
+    fn min_over_q(&self, p: &[f64], q: &[f64], i: usize) -> f64 {
+        (0..q.len())
+            .map(|j| self.weights.pair(i, j) * (p[i] - q[j]).abs())
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Computes the Hausdorff distance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistanceError::EmptySequence`] for empty inputs or
+    /// [`DistanceError::WeightShape`] on weight-shape mismatch.
+    pub fn distance(&self, p: &[f64], q: &[f64]) -> Result<f64, DistanceError> {
+        if p.is_empty() || q.is_empty() {
+            return Err(DistanceError::EmptySequence);
+        }
+        self.weights.check_pair_shape(p.len(), q.len())?;
+
+        let q_to_p = || {
+            (0..q.len())
+                .map(|j| self.min_over_p(p, q, j))
+                .fold(0.0f64, f64::max)
+        };
+        let p_to_q = || {
+            (0..p.len())
+                .map(|i| self.min_over_q(p, q, i))
+                .fold(0.0f64, f64::max)
+        };
+        Ok(match self.direction {
+            Direction::QToP => q_to_p(),
+            Direction::PToQ => p_to_q(),
+            Direction::Symmetric => q_to_p().max(p_to_q()),
+        })
+    }
+
+    /// The per-column minima `min_i w|P[i] - Q[j]|` for every `j` — the
+    /// intermediate values at the converter outputs of Fig. 2(d2). Exposed
+    /// so the analog model can be validated stage-by-stage.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Hausdorff::distance`].
+    pub fn column_minima(&self, p: &[f64], q: &[f64]) -> Result<Vec<f64>, DistanceError> {
+        if p.is_empty() || q.is_empty() {
+            return Err(DistanceError::EmptySequence);
+        }
+        self.weights.check_pair_shape(p.len(), q.len())?;
+        Ok((0..q.len()).map(|j| self.min_over_p(p, q, j)).collect())
+    }
+}
+
+impl Distance for Hausdorff {
+    fn evaluate(&self, p: &[f64], q: &[f64]) -> Result<f64, DistanceError> {
+        self.distance(p, q)
+    }
+
+    fn kind(&self) -> DistanceKind {
+        DistanceKind::Hausdorff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_distance_is_zero_all_directions() {
+        let p = [0.5, -1.0, 3.0];
+        for dir in [Direction::QToP, Direction::PToQ, Direction::Symmetric] {
+            let h = Hausdorff::new().with_direction(dir);
+            assert_eq!(h.distance(&p, &p).unwrap(), 0.0);
+        }
+    }
+
+    #[test]
+    fn known_asymmetric_example() {
+        // P = {0}, Q = {0, 10}: every q must reach P -> farthest is 10.
+        let h_qp = Hausdorff::new().distance(&[0.0], &[0.0, 10.0]).unwrap();
+        assert_eq!(h_qp, 10.0);
+        // P -> Q: the single p=0 is distance 0 from q=0.
+        let h_pq = Hausdorff::new()
+            .with_direction(Direction::PToQ)
+            .distance(&[0.0], &[0.0, 10.0])
+            .unwrap();
+        assert_eq!(h_pq, 0.0);
+    }
+
+    #[test]
+    fn symmetric_is_max_of_directed() {
+        let p = [0.0, 2.0, 5.0];
+        let q = [1.0, 6.5];
+        let qp = Hausdorff::new().distance(&p, &q).unwrap();
+        let pq = Hausdorff::new()
+            .with_direction(Direction::PToQ)
+            .distance(&p, &q)
+            .unwrap();
+        let sym = Hausdorff::new()
+            .with_direction(Direction::Symmetric)
+            .distance(&p, &q)
+            .unwrap();
+        assert_eq!(sym, qp.max(pq));
+    }
+
+    #[test]
+    fn symmetric_variant_is_symmetric() {
+        let p = [0.3, 1.1, -0.4, 2.0];
+        let q = [0.0, 1.5];
+        let h = Hausdorff::new().with_direction(Direction::Symmetric);
+        assert_eq!(h.distance(&p, &q).unwrap(), h.distance(&q, &p).unwrap());
+    }
+
+    #[test]
+    fn subset_has_zero_directed_distance() {
+        // Q subset of P => every q is at distance 0 from P.
+        let p = [0.0, 1.0, 2.0, 3.0];
+        let q = [1.0, 3.0];
+        assert_eq!(Hausdorff::new().distance(&p, &q).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn column_minima_match_definition() {
+        let p = [0.0, 4.0];
+        let q = [1.0, 3.5, 10.0];
+        let mins = Hausdorff::new().column_minima(&p, &q).unwrap();
+        assert_eq!(mins, vec![1.0, 0.5, 6.0]);
+        // distance = max of column minima
+        assert_eq!(Hausdorff::new().distance(&p, &q).unwrap(), 6.0);
+    }
+
+    #[test]
+    fn weights_scale_pointwise_costs() {
+        let p = [0.0];
+        let q = [2.0];
+        let w = Weights::per_pair(1, 1, vec![0.5]).unwrap();
+        let d = Hausdorff::new().with_weights(w).distance(&p, &q).unwrap();
+        assert_eq!(d, 1.0);
+    }
+
+    #[test]
+    fn supports_unequal_lengths() {
+        let p = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let q = [2.2];
+        let d = Hausdorff::new().distance(&p, &q).unwrap();
+        assert!((d - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(
+            Hausdorff::new().distance(&[], &[0.0]).unwrap_err(),
+            DistanceError::EmptySequence
+        );
+    }
+}

@@ -1,0 +1,248 @@
+//! Longest common subsequence (LCS), Eq. 3 of the paper.
+//!
+//! LCS on real-valued series uses a *threshold* to decide whether two
+//! elements match, and a step value `Vstep` contributed by each matched pair:
+//!
+//! ```text
+//! L[i][j] = 0                                   if i == 0 or j == 0
+//!         = L[i-1][j-1] + w[i][j] * Vstep       if |P[i] - Q[j]| <= threshold
+//!         = max(L[i][j-1], L[i-1][j])           otherwise
+//! LCS(P, Q) = L[n][m]
+//! ```
+//!
+//! Unlike the other five functions, LCS is a **similarity**: larger values
+//! mean closer series.
+
+use crate::error::DistanceError;
+use crate::matrix::DpMatrix;
+use crate::weights::Weights;
+use crate::{Distance, DistanceKind};
+
+/// Longest common subsequence similarity.
+///
+/// ```
+/// use mda_distance::Lcs;
+/// # fn main() -> Result<(), mda_distance::DistanceError> {
+/// let lcs = Lcs::new(0.25);
+/// // 3 of the 4 aligned elements match within the threshold.
+/// let s = lcs.similarity(&[0.0, 1.0, 2.0, 3.0], &[0.1, 1.2, 2.4, 3.1])?;
+/// assert_eq!(s, 3.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lcs {
+    threshold: f64,
+    v_step: f64,
+    weights: Weights,
+}
+
+impl Lcs {
+    /// LCS with match threshold `threshold`, unit step 1 and uniform weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is negative or non-finite (a threshold is a
+    /// physical voltage `Vthre` on the accelerator and must be `>= 0`).
+    pub fn new(threshold: f64) -> Self {
+        assert!(
+            threshold.is_finite() && threshold >= 0.0,
+            "threshold must be finite and non-negative"
+        );
+        Lcs {
+            threshold,
+            v_step: 1.0,
+            weights: Weights::Uniform,
+        }
+    }
+
+    /// Sets the contribution `Vstep` of each matched pair.
+    ///
+    /// On the accelerator this is a unit voltage (the paper uses 10 mV); the
+    /// digital value is divided out after ADC readout, so the default of 1
+    /// reports the match count directly.
+    #[must_use]
+    pub fn with_step(mut self, v_step: f64) -> Self {
+        self.v_step = v_step;
+        self
+    }
+
+    /// Sets per-cell weights (weighted LCS, Banerjee & Ghosh).
+    #[must_use]
+    pub fn with_weights(mut self, weights: Weights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// The configured match threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The configured step value.
+    pub fn v_step(&self) -> f64 {
+        self.v_step
+    }
+
+    /// Computes the full DP matrix of Eq. 3.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistanceError::EmptySequence`] for empty inputs or
+    /// [`DistanceError::WeightShape`] on weight-shape mismatch.
+    pub fn matrix(&self, p: &[f64], q: &[f64]) -> Result<DpMatrix, DistanceError> {
+        if p.is_empty() || q.is_empty() {
+            return Err(DistanceError::EmptySequence);
+        }
+        let (m, n) = (p.len(), q.len());
+        self.weights.check_pair_shape(m, n)?;
+
+        let mut l = DpMatrix::filled(m + 1, n + 1, 0.0);
+        for i in 1..=m {
+            for j in 1..=n {
+                let v = if (p[i - 1] - q[j - 1]).abs() <= self.threshold {
+                    l.at(i - 1, j - 1) + self.weights.pair(i - 1, j - 1) * self.v_step
+                } else {
+                    l.at(i, j - 1).max(l.at(i - 1, j))
+                };
+                l.set(i, j, v);
+            }
+        }
+        Ok(l)
+    }
+
+    /// Computes the LCS similarity using O(n) memory.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Lcs::matrix`].
+    pub fn similarity(&self, p: &[f64], q: &[f64]) -> Result<f64, DistanceError> {
+        if p.is_empty() || q.is_empty() {
+            return Err(DistanceError::EmptySequence);
+        }
+        let (m, n) = (p.len(), q.len());
+        self.weights.check_pair_shape(m, n)?;
+
+        let mut prev = vec![0.0f64; n + 1];
+        let mut curr = vec![0.0f64; n + 1];
+        for i in 1..=m {
+            curr[0] = 0.0;
+            for j in 1..=n {
+                curr[j] = if (p[i - 1] - q[j - 1]).abs() <= self.threshold {
+                    prev[j - 1] + self.weights.pair(i - 1, j - 1) * self.v_step
+                } else {
+                    curr[j - 1].max(prev[j])
+                };
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        Ok(prev[n])
+    }
+}
+
+impl Distance for Lcs {
+    fn evaluate(&self, p: &[f64], q: &[f64]) -> Result<f64, DistanceError> {
+        self.similarity(p, q)
+    }
+
+    fn kind(&self) -> DistanceKind {
+        DistanceKind::Lcs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classic discrete LCS via characters mapped onto widely spaced reals.
+    fn discrete_lcs(a: &str, b: &str) -> f64 {
+        let enc = |s: &str| -> Vec<f64> { s.bytes().map(|c| c as f64 * 10.0).collect() };
+        Lcs::new(0.5)
+            .similarity(&enc(a), &enc(b))
+            .expect("non-empty")
+    }
+
+    #[test]
+    fn matches_textbook_string_lcs() {
+        assert_eq!(discrete_lcs("ABCBDAB", "BDCABA"), 4.0); // BCBA
+        assert_eq!(discrete_lcs("AGGTAB", "GXTXAYB"), 4.0); // GTAB
+        assert_eq!(discrete_lcs("ABC", "DEF"), 0.0);
+    }
+
+    #[test]
+    fn self_similarity_is_length_times_step() {
+        let p = [0.4, -1.0, 2.2];
+        assert_eq!(Lcs::new(0.0).similarity(&p, &p).unwrap(), 3.0);
+        assert_eq!(
+            Lcs::new(0.0).with_step(0.01).similarity(&p, &p).unwrap(),
+            0.03
+        );
+    }
+
+    #[test]
+    fn symmetric_with_uniform_weights() {
+        let p = [0.1, 0.5, 0.9, 0.2];
+        let q = [0.2, 0.4, 1.0];
+        let lcs = Lcs::new(0.15);
+        assert_eq!(
+            lcs.similarity(&p, &q).unwrap(),
+            lcs.similarity(&q, &p).unwrap()
+        );
+    }
+
+    #[test]
+    fn bounded_by_min_length() {
+        let p = [0.0; 7];
+        let q = [0.0; 4];
+        assert!(Lcs::new(1.0).similarity(&p, &q).unwrap() <= 4.0);
+    }
+
+    #[test]
+    fn monotone_in_threshold() {
+        let p = [0.0, 1.0, 2.0, 3.0];
+        let q = [0.3, 1.4, 2.5, 3.6];
+        let mut last = -1.0;
+        for t in [0.0, 0.3, 0.45, 0.55, 0.7] {
+            let s = Lcs::new(t).similarity(&p, &q).unwrap();
+            assert!(s >= last, "LCS must grow with the threshold");
+            last = s;
+        }
+    }
+
+    #[test]
+    fn matrix_final_value_matches_similarity() {
+        let p = [0.0, 0.5, 1.0, 0.5];
+        let q = [0.1, 1.1, 0.4];
+        let lcs = Lcs::new(0.2);
+        assert_eq!(
+            lcs.matrix(&p, &q).unwrap().final_value(),
+            lcs.similarity(&p, &q).unwrap()
+        );
+    }
+
+    #[test]
+    fn weighted_match_contributions() {
+        let p = [0.0, 1.0];
+        let q = [0.0, 1.0];
+        let w = Weights::per_pair(2, 2, vec![3.0, 1.0, 1.0, 5.0]).unwrap();
+        // Both diagonal cells match: 3.0 + 5.0.
+        assert_eq!(
+            Lcs::new(0.01).with_weights(w).similarity(&p, &q).unwrap(),
+            8.0
+        );
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(
+            Lcs::new(0.1).similarity(&[], &[]).unwrap_err(),
+            DistanceError::EmptySequence
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn negative_threshold_panics() {
+        let _ = Lcs::new(-0.1);
+    }
+}

@@ -1,0 +1,241 @@
+//! Lower bounds for DTW — the software optimizations of Rakthanmanon et al.
+//! (the paper's reference \[24\]) that the accelerator competes against.
+//!
+//! The two classic cascading bounds are provided:
+//!
+//! * [`lb_kim`] — O(1) bound from first/last elements;
+//! * [`lb_keogh`] — O(n) bound from the Sakoe–Chiba envelope.
+//!
+//! Both are *admissible*: they never exceed the true banded DTW distance, so
+//! a search can safely prune any candidate whose bound already exceeds the
+//! best-so-far. The `lower_bounds` bench measures the pruning power that the
+//! paper's CPU baseline relies on.
+
+use crate::dtw::{Band, Dtw};
+use crate::error::DistanceError;
+
+/// LB_Kim (simplified, as used by the UCR suite): the distance contributed by
+/// the first and last aligned pairs, which every warping path must pay.
+///
+/// Uses the L1 point cost to match the paper's DTW formulation (Eq. 2 uses
+/// `|Pi - Qj|`).
+///
+/// # Errors
+///
+/// Returns [`DistanceError::EmptySequence`] if either input is empty.
+pub fn lb_kim(p: &[f64], q: &[f64]) -> Result<f64, DistanceError> {
+    if p.is_empty() || q.is_empty() {
+        return Err(DistanceError::EmptySequence);
+    }
+    let first = (p[0] - q[0]).abs();
+    if p.len() == 1 && q.len() == 1 {
+        // The first and last aligned pair are the same cell; count it once.
+        return Ok(first);
+    }
+    let last = (p[p.len() - 1] - q[q.len() - 1]).abs();
+    Ok(first + last)
+}
+
+/// The upper/lower Sakoe–Chiba envelope of a series for band radius `r`:
+/// `upper[i] = max(q[i-r ..= i+r])`, `lower[i] = min(q[i-r ..= i+r])`.
+///
+/// # Errors
+///
+/// Returns [`DistanceError::EmptySequence`] if the input is empty.
+pub fn envelope(q: &[f64], r: usize) -> Result<(Vec<f64>, Vec<f64>), DistanceError> {
+    if q.is_empty() {
+        return Err(DistanceError::EmptySequence);
+    }
+    let n = q.len();
+    let mut upper = vec![0.0; n];
+    let mut lower = vec![0.0; n];
+    for i in 0..n {
+        let lo = i.saturating_sub(r);
+        let hi = (i + r).min(n - 1);
+        let window = &q[lo..=hi];
+        upper[i] = window.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+        lower[i] = window.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+    }
+    Ok((upper, lower))
+}
+
+/// LB_Keogh: the L1 cost of the parts of `p` that fall outside the band-`r`
+/// envelope of `q`. Admissible for equal-length banded DTW with L1 point
+/// costs.
+///
+/// # Errors
+///
+/// Returns [`DistanceError::LengthMismatch`] for unequal lengths or
+/// [`DistanceError::EmptySequence`] for empty inputs.
+pub fn lb_keogh(p: &[f64], q: &[f64], r: usize) -> Result<f64, DistanceError> {
+    if p.len() != q.len() {
+        return Err(DistanceError::LengthMismatch {
+            left: p.len(),
+            right: q.len(),
+        });
+    }
+    let (upper, lower) = envelope(q, r)?;
+    Ok(p.iter()
+        .zip(upper.iter().zip(&lower))
+        .map(|(&x, (&u, &l))| {
+            if x > u {
+                x - u
+            } else if x < l {
+                l - x
+            } else {
+                0.0
+            }
+        })
+        .sum())
+}
+
+/// Result of a cascading lower-bound test against a pruning threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PruneDecision {
+    /// LB_Kim already exceeded the threshold — candidate skipped in O(1).
+    PrunedByKim(f64),
+    /// LB_Keogh exceeded the threshold — candidate skipped in O(n).
+    PrunedByKeogh(f64),
+    /// The DTW computation started but was abandoned row-wise once every
+    /// cell exceeded the threshold.
+    AbandonedEarly,
+    /// Bounds were below the threshold; the full DTW was computed.
+    Computed(f64),
+}
+
+impl PruneDecision {
+    /// The distance value or bound this decision carries
+    /// (`f64::INFINITY` for an early-abandoned computation).
+    pub fn value(self) -> f64 {
+        match self {
+            PruneDecision::PrunedByKim(v)
+            | PruneDecision::PrunedByKeogh(v)
+            | PruneDecision::Computed(v) => v,
+            PruneDecision::AbandonedEarly => f64::INFINITY,
+        }
+    }
+
+    /// `true` if the full DTW computation was avoided.
+    pub fn pruned(self) -> bool {
+        !matches!(self, PruneDecision::Computed(_))
+    }
+}
+
+/// Cascading DTW evaluation: LB_Kim, then LB_Keogh, then full banded DTW —
+/// the UCR-suite pipeline the paper's related work (and its CPU baseline)
+/// uses for subsequence search.
+///
+/// # Errors
+///
+/// Propagates errors from the bounds or the DTW computation.
+pub fn cascading_dtw(
+    p: &[f64],
+    q: &[f64],
+    r: usize,
+    best_so_far: f64,
+) -> Result<PruneDecision, DistanceError> {
+    let kim = lb_kim(p, q)?;
+    if kim > best_so_far {
+        return Ok(PruneDecision::PrunedByKim(kim));
+    }
+    if p.len() == q.len() {
+        let keogh = lb_keogh(p, q, r)?;
+        if keogh > best_so_far {
+            return Ok(PruneDecision::PrunedByKeogh(keogh));
+        }
+    }
+    match Dtw::new()
+        .with_band(Band::SakoeChiba(r))
+        .distance_early_abandon(p, q, best_so_far)?
+    {
+        Some(d) => Ok(PruneDecision::Computed(d)),
+        None => Ok(PruneDecision::AbandonedEarly),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn banded_dtw(p: &[f64], q: &[f64], r: usize) -> f64 {
+        Dtw::new()
+            .with_band(Band::SakoeChiba(r))
+            .distance(p, q)
+            .unwrap()
+    }
+
+    #[test]
+    fn lb_kim_is_admissible() {
+        let p: Vec<f64> = (0..16).map(|i| (i as f64 * 0.5).sin()).collect();
+        let q: Vec<f64> = (0..16).map(|i| (i as f64 * 0.5 + 0.8).cos()).collect();
+        for r in [1, 2, 4, 8] {
+            assert!(lb_kim(&p, &q).unwrap() <= banded_dtw(&p, &q, r) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn lb_keogh_is_admissible() {
+        let p: Vec<f64> = (0..24).map(|i| (i as f64 * 0.3).sin() * 2.0).collect();
+        let q: Vec<f64> = (0..24)
+            .map(|i| (i as f64 * 0.31).sin() * 1.5 + 0.2)
+            .collect();
+        for r in [1, 2, 5, 10] {
+            let lb = lb_keogh(&p, &q, r).unwrap();
+            let d = banded_dtw(&p, &q, r);
+            assert!(lb <= d + 1e-9, "r={r}: LB_Keogh {lb} > DTW {d}");
+        }
+    }
+
+    #[test]
+    fn envelope_sandwiches_series() {
+        let q: Vec<f64> = (0..10).map(|i| (i as f64).sin()).collect();
+        let (u, l) = envelope(&q, 2).unwrap();
+        for i in 0..q.len() {
+            assert!(l[i] <= q[i] && q[i] <= u[i]);
+        }
+    }
+
+    #[test]
+    fn envelope_widens_with_radius() {
+        let q: Vec<f64> = (0..12).map(|i| ((i * i) as f64 % 7.0) - 3.0).collect();
+        let (u1, l1) = envelope(&q, 1).unwrap();
+        let (u3, l3) = envelope(&q, 3).unwrap();
+        for i in 0..q.len() {
+            assert!(u3[i] >= u1[i] && l3[i] <= l1[i]);
+        }
+    }
+
+    #[test]
+    fn identical_series_have_zero_bounds() {
+        let p = [0.4, 1.0, -0.2];
+        assert_eq!(lb_kim(&p, &p).unwrap(), 0.0);
+        assert_eq!(lb_keogh(&p, &p, 1).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn cascade_prunes_obvious_non_matches() {
+        let p = [0.0, 0.0, 0.0, 0.0];
+        let far = [100.0, 100.0, 100.0, 100.0];
+        let d = cascading_dtw(&p, &far, 1, 1.0).unwrap();
+        assert!(d.pruned());
+        assert!(matches!(d, PruneDecision::PrunedByKim(_)));
+    }
+
+    #[test]
+    fn cascade_computes_close_matches() {
+        let p = [0.0, 1.0, 0.0, 1.0];
+        let q = [0.1, 0.9, 0.1, 0.9];
+        let d = cascading_dtw(&p, &q, 1, 100.0).unwrap();
+        assert!(!d.pruned());
+        assert!((d.value() - banded_dtw(&p, &q, 1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cascade_keogh_layer_triggers() {
+        // First/last match (defeats Kim) but the middle is far away.
+        let p = [0.0, 50.0, 50.0, 0.0];
+        let q = [0.0, 0.0, 0.0, 0.0];
+        let d = cascading_dtw(&p, &q, 0, 10.0).unwrap();
+        assert!(matches!(d, PruneDecision::PrunedByKeogh(_)));
+    }
+}

@@ -1,0 +1,250 @@
+//! Manhattan distance (MD), Eq. 7 of the paper, and the Euclidean distance
+//! used in the label of Fig. 5(f).
+//!
+//! ```text
+//! MD(P, Q) = sum_i w[i] * |P[i] - Q[i]|     (n == m)
+//! ```
+
+use crate::error::DistanceError;
+use crate::weights::Weights;
+use crate::{Distance, DistanceKind};
+
+/// Manhattan (L1) distance over equal-length series.
+///
+/// ```
+/// use mda_distance::Manhattan;
+/// # fn main() -> Result<(), mda_distance::DistanceError> {
+/// assert_eq!(Manhattan::new().distance(&[0.0, 2.0], &[1.0, 0.5])?, 2.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Manhattan {
+    weights: Weights,
+}
+
+impl Manhattan {
+    /// Unweighted Manhattan distance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets per-position weights (weighted MD, Perlibakas). On the
+    /// accelerator these are the `M0/Mk` memristor ratios of the row
+    /// structure's analog adder (Fig. 1).
+    #[must_use]
+    pub fn with_weights(mut self, weights: Weights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Per-position contributions `w[i] * |P[i] - Q[i]|` — the row-structure
+    /// PE outputs before the analog adder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistanceError::LengthMismatch`] for unequal lengths,
+    /// [`DistanceError::EmptySequence`] for empty inputs, or
+    /// [`DistanceError::WeightShape`] on weight-shape mismatch.
+    pub fn contributions(&self, p: &[f64], q: &[f64]) -> Result<Vec<f64>, DistanceError> {
+        if p.len() != q.len() {
+            return Err(DistanceError::LengthMismatch {
+                left: p.len(),
+                right: q.len(),
+            });
+        }
+        if p.is_empty() {
+            return Err(DistanceError::EmptySequence);
+        }
+        self.weights.check_element_shape(p.len())?;
+        Ok(p.iter()
+            .zip(q)
+            .enumerate()
+            .map(|(i, (a, b))| self.weights.element(i) * (a - b).abs())
+            .collect())
+    }
+
+    /// Computes the Manhattan distance.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Manhattan::contributions`].
+    pub fn distance(&self, p: &[f64], q: &[f64]) -> Result<f64, DistanceError> {
+        Ok(self.contributions(p, q)?.iter().sum())
+    }
+}
+
+impl Distance for Manhattan {
+    fn evaluate(&self, p: &[f64], q: &[f64]) -> Result<f64, DistanceError> {
+        self.distance(p, q)
+    }
+
+    fn kind(&self) -> DistanceKind {
+        DistanceKind::Manhattan
+    }
+}
+
+/// Euclidean (L2) distance over equal-length series.
+///
+/// Not one of the six accelerator configurations, but Fig. 5(f) of the paper
+/// is captioned "Euclidean distance", and ED is the standard baseline in the
+/// UCR-suite literature the paper builds on, so the mining workloads support
+/// it.
+///
+/// ```
+/// use mda_distance::Euclidean;
+/// # fn main() -> Result<(), mda_distance::DistanceError> {
+/// assert_eq!(Euclidean::new().distance(&[0.0, 0.0], &[3.0, 4.0])?, 5.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Euclidean {
+    weights: Weights,
+}
+
+impl Euclidean {
+    /// Unweighted Euclidean distance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets per-position weights (applied to squared differences).
+    #[must_use]
+    pub fn with_weights(mut self, weights: Weights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Computes the Euclidean distance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistanceError::LengthMismatch`] for unequal lengths,
+    /// [`DistanceError::EmptySequence`] for empty inputs, or
+    /// [`DistanceError::WeightShape`] on weight-shape mismatch.
+    pub fn distance(&self, p: &[f64], q: &[f64]) -> Result<f64, DistanceError> {
+        Ok(self.squared(p, q)?.sqrt())
+    }
+
+    /// The squared Euclidean distance — cheaper, order-preserving, and what
+    /// early-abandoning search loops accumulate.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Euclidean::distance`].
+    pub fn squared(&self, p: &[f64], q: &[f64]) -> Result<f64, DistanceError> {
+        if p.len() != q.len() {
+            return Err(DistanceError::LengthMismatch {
+                left: p.len(),
+                right: q.len(),
+            });
+        }
+        if p.is_empty() {
+            return Err(DistanceError::EmptySequence);
+        }
+        self.weights.check_element_shape(p.len())?;
+        Ok(p.iter()
+            .zip(q)
+            .enumerate()
+            .map(|(i, (a, b))| self.weights.element(i) * (a - b) * (a - b))
+            .sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_known_values() {
+        assert_eq!(
+            Manhattan::new()
+                .distance(&[1.0, 2.0, 3.0], &[2.0, 4.0, 0.0])
+                .unwrap(),
+            1.0 + 2.0 + 3.0
+        );
+    }
+
+    #[test]
+    fn manhattan_metric_properties() {
+        let a = [0.1, 0.5, -1.0];
+        let b = [1.0, 0.0, 0.0];
+        let c = [0.0, 0.0, 0.0];
+        let md = Manhattan::new();
+        // identity
+        assert_eq!(md.distance(&a, &a).unwrap(), 0.0);
+        // symmetry
+        assert_eq!(md.distance(&a, &b).unwrap(), md.distance(&b, &a).unwrap());
+        // triangle inequality
+        let ab = md.distance(&a, &b).unwrap();
+        let bc = md.distance(&b, &c).unwrap();
+        let ac = md.distance(&a, &c).unwrap();
+        assert!(ac <= ab + bc + 1e-12);
+    }
+
+    #[test]
+    fn weighted_manhattan() {
+        let w = Weights::per_element(vec![2.0, 0.0]).unwrap();
+        let d = Manhattan::new()
+            .with_weights(w)
+            .distance(&[0.0, 0.0], &[1.0, 5.0])
+            .unwrap();
+        assert_eq!(d, 2.0);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        assert!(matches!(
+            Manhattan::new().distance(&[0.0], &[0.0, 1.0]),
+            Err(DistanceError::LengthMismatch { left: 1, right: 2 })
+        ));
+        assert!(matches!(
+            Euclidean::new().distance(&[0.0], &[0.0, 1.0]),
+            Err(DistanceError::LengthMismatch { left: 1, right: 2 })
+        ));
+    }
+
+    #[test]
+    fn euclidean_pythagoras() {
+        assert_eq!(
+            Euclidean::new().distance(&[0.0, 0.0], &[3.0, 4.0]).unwrap(),
+            5.0
+        );
+        assert_eq!(
+            Euclidean::new().squared(&[0.0, 0.0], &[3.0, 4.0]).unwrap(),
+            25.0
+        );
+    }
+
+    #[test]
+    fn euclidean_below_manhattan() {
+        // L2 <= L1 always.
+        let p = [0.3, -0.7, 1.1, 0.0];
+        let q = [0.0, 0.5, 1.0, -0.4];
+        let l1 = Manhattan::new().distance(&p, &q).unwrap();
+        let l2 = Euclidean::new().distance(&p, &q).unwrap();
+        assert!(l2 <= l1 + 1e-12);
+    }
+
+    #[test]
+    fn contributions_sum_to_distance() {
+        let p = [0.5, 1.5, -0.5];
+        let q = [0.0, 2.0, 0.0];
+        let md = Manhattan::new();
+        let c = md.contributions(&p, &q).unwrap();
+        assert_eq!(c.iter().sum::<f64>(), md.distance(&p, &q).unwrap());
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(
+            Manhattan::new().distance(&[], &[]).unwrap_err(),
+            DistanceError::EmptySequence
+        );
+        assert_eq!(
+            Euclidean::new().distance(&[], &[]).unwrap_err(),
+            DistanceError::EmptySequence
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Dense dynamic-programming matrix used by DTW, LCS and edit distance.
+
+use std::fmt;
+
+/// A dense `(m + 1) x (n + 1)` dynamic-programming matrix.
+///
+/// Row 0 and column 0 hold the DP boundary conditions; cell `(i, j)` for
+/// `i, j >= 1` corresponds to the prefix pair `(P[..i], Q[..j])`. Exposing
+/// the full matrix (rather than only the final value) lets callers recover
+/// warping paths and lets the accelerator validation compare cell-by-cell
+/// against analog PE outputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DpMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DpMatrix {
+    /// Creates a matrix with `rows x cols` cells, all initialised to `fill`.
+    pub fn filled(rows: usize, cols: usize, fill: f64) -> Self {
+        DpMatrix {
+            rows,
+            cols,
+            data: vec![fill; rows * cols],
+        }
+    }
+
+    /// Number of rows (`m + 1` for a comparison of an `m`-element `P`).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (`n + 1` for an `n`-element `Q`).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The value at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets the value at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// The bottom-right cell — the final distance/similarity value.
+    pub fn final_value(&self) -> f64 {
+        self.at(self.rows - 1, self.cols - 1)
+    }
+
+    /// A view of the underlying row-major storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Iterates over `(i, j, value)` triples in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        let cols = self.cols;
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(k, &v)| (k / cols, k % cols, v))
+    }
+}
+
+impl fmt::Display for DpMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let v = self.at(i, j);
+                if v.is_infinite() {
+                    write!(f, "{:>9}", if v > 0.0 { "inf" } else { "-inf" })?;
+                } else {
+                    write!(f, "{v:>9.3}")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// One step of a DTW warping path, as `(i, j)` cell coordinates
+/// (1-based within the DP matrix, i.e. `(1, 1)` aligns `P[0]` with `Q[0]`).
+pub type PathStep = (usize, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filled_and_indexing() {
+        let mut m = DpMatrix::filled(3, 4, 0.0);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        m.set(2, 3, 7.5);
+        assert_eq!(m.at(2, 3), 7.5);
+        assert_eq!(m.final_value(), 7.5);
+        assert_eq!(m.at(0, 0), 0.0);
+    }
+
+    #[test]
+    fn iter_yields_row_major_triples() {
+        let mut m = DpMatrix::filled(2, 2, 0.0);
+        m.set(0, 1, 1.0);
+        m.set(1, 0, 2.0);
+        let triples: Vec<_> = m.iter().collect();
+        assert_eq!(
+            triples,
+            vec![(0, 0, 0.0), (0, 1, 1.0), (1, 0, 2.0), (1, 1, 0.0)]
+        );
+    }
+
+    #[test]
+    fn display_renders_infinities() {
+        let mut m = DpMatrix::filled(1, 2, f64::INFINITY);
+        m.set(0, 0, 1.0);
+        let s = m.to_string();
+        assert!(s.contains("inf"));
+        assert!(s.contains("1.000"));
+    }
+}

@@ -1,0 +1,234 @@
+//! k-nearest-neighbour classification over time series.
+//!
+//! 1-NN with an elastic distance is the standard strong baseline in
+//! time-series classification and the workload behind the paper's
+//! vehicle-classification (DTW) and iris-authentication (HamD) motivating
+//! examples.
+
+use crate::error::DistanceError;
+use crate::Distance;
+
+/// A labelled training instance.
+#[derive(Debug, Clone)]
+struct Instance {
+    label: usize,
+    series: Vec<f64>,
+}
+
+/// Outcome of classifying one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Classified {
+    /// The predicted class label.
+    pub label: usize,
+    /// Distance (or negated similarity) to the deciding neighbour.
+    pub score: f64,
+    /// Index of the nearest training instance.
+    pub nearest_index: usize,
+}
+
+/// A k-NN classifier parameterised by any [`Distance`].
+///
+/// For similarity functions (LCS) the neighbour ordering is inverted
+/// automatically, so "nearest" always means "most similar".
+///
+/// ```
+/// use mda_distance::{Manhattan, mining::KnnClassifier};
+/// # fn main() -> Result<(), mda_distance::DistanceError> {
+/// let mut knn = KnnClassifier::new(Box::new(Manhattan::new()), 1);
+/// knn.fit(0, vec![0.0, 0.0, 0.0]);
+/// knn.fit(1, vec![5.0, 5.0, 5.0]);
+/// assert_eq!(knn.classify(&[0.2, -0.1, 0.1])?.label, 0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct KnnClassifier {
+    distance: Box<dyn Distance + Send + Sync>,
+    k: usize,
+    train: Vec<Instance>,
+}
+
+impl std::fmt::Debug for KnnClassifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KnnClassifier")
+            .field("kind", &self.distance.kind())
+            .field("k", &self.k)
+            .field("train_size", &self.train.len())
+            .finish()
+    }
+}
+
+impl KnnClassifier {
+    /// Creates a classifier with the given distance and neighbour count `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(distance: Box<dyn Distance + Send + Sync>, k: usize) -> Self {
+        assert!(k > 0, "k must be at least 1");
+        KnnClassifier {
+            distance,
+            k,
+            train: Vec::new(),
+        }
+    }
+
+    /// Adds one labelled training series.
+    pub fn fit(&mut self, label: usize, series: Vec<f64>) {
+        self.train.push(Instance { label, series });
+    }
+
+    /// Adds many labelled training series.
+    pub fn fit_all<I: IntoIterator<Item = (usize, Vec<f64>)>>(&mut self, items: I) {
+        for (label, series) in items {
+            self.fit(label, series);
+        }
+    }
+
+    /// Number of stored training instances.
+    pub fn train_size(&self) -> usize {
+        self.train.len()
+    }
+
+    /// Classifies a query by majority vote over its `k` nearest neighbours
+    /// (ties broken by the single nearest neighbour's label).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistanceError::InvalidParameter`] if no training data has
+    /// been fitted, or any error from the underlying distance.
+    pub fn classify(&self, query: &[f64]) -> Result<Classified, DistanceError> {
+        if self.train.is_empty() {
+            return Err(DistanceError::InvalidParameter {
+                name: "train",
+                reason: "classifier has no training data".into(),
+            });
+        }
+        let invert = self.distance.is_similarity();
+        let mut scored: Vec<(usize, f64)> = Vec::with_capacity(self.train.len());
+        for (idx, inst) in self.train.iter().enumerate() {
+            let raw = self.distance.evaluate(query, &inst.series)?;
+            let score = if invert { -raw } else { raw };
+            scored.push((idx, score));
+        }
+        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite"));
+        let k = self.k.min(scored.len());
+        let mut votes = std::collections::HashMap::new();
+        for &(idx, _) in &scored[..k] {
+            *votes.entry(self.train[idx].label).or_insert(0usize) += 1;
+        }
+        let nearest = scored[0];
+        let best_count = *votes.values().max().expect("k >= 1");
+        let winners: Vec<usize> = votes
+            .iter()
+            .filter(|(_, &c)| c == best_count)
+            .map(|(&l, _)| l)
+            .collect();
+        let label = if winners.len() == 1 {
+            winners[0]
+        } else {
+            self.train[nearest.0].label
+        };
+        Ok(Classified {
+            label,
+            score: nearest.1,
+            nearest_index: nearest.0,
+        })
+    }
+
+    /// Leave-one-out accuracy over the training set — the standard UCR
+    /// evaluation protocol.
+    ///
+    /// # Errors
+    ///
+    /// Propagates distance errors.
+    pub fn leave_one_out_accuracy(&self) -> Result<f64, DistanceError> {
+        if self.train.len() < 2 {
+            return Err(DistanceError::InvalidParameter {
+                name: "train",
+                reason: "leave-one-out needs at least two instances".into(),
+            });
+        }
+        let invert = self.distance.is_similarity();
+        let mut correct = 0usize;
+        for (qi, q) in self.train.iter().enumerate() {
+            let mut best: Option<(usize, f64)> = None;
+            for (ti, t) in self.train.iter().enumerate() {
+                if ti == qi {
+                    continue;
+                }
+                let raw = self.distance.evaluate(&q.series, &t.series)?;
+                let score = if invert { -raw } else { raw };
+                if best.map_or(true, |(_, b)| score < b) {
+                    best = Some((ti, score));
+                }
+            }
+            let (bi, _) = best.expect("at least one other instance");
+            if self.train[bi].label == q.label {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / self.train.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dtw, Lcs, Manhattan};
+
+    fn two_class_data() -> Vec<(usize, Vec<f64>)> {
+        vec![
+            (0, vec![0.0, 0.1, 0.0, -0.1]),
+            (0, vec![0.1, 0.0, -0.1, 0.0]),
+            (1, vec![5.0, 5.1, 4.9, 5.0]),
+            (1, vec![4.9, 5.0, 5.1, 5.0]),
+        ]
+    }
+
+    #[test]
+    fn one_nn_separates_well_separated_classes() {
+        let mut knn = KnnClassifier::new(Box::new(Dtw::new()), 1);
+        knn.fit_all(two_class_data());
+        assert_eq!(knn.classify(&[0.05, 0.05, 0.0, 0.0]).unwrap().label, 0);
+        assert_eq!(knn.classify(&[5.05, 4.95, 5.0, 5.0]).unwrap().label, 1);
+    }
+
+    #[test]
+    fn k3_majority_vote() {
+        let mut knn = KnnClassifier::new(Box::new(Manhattan::new()), 3);
+        knn.fit(0, vec![0.0, 0.0]);
+        knn.fit(0, vec![0.2, 0.2]);
+        knn.fit(1, vec![0.3, 0.3]);
+        knn.fit(1, vec![10.0, 10.0]);
+        // Nearest 3 of query (0.25, 0.25): the two 0s and one 1 -> class 0.
+        assert_eq!(knn.classify(&[0.1, 0.1]).unwrap().label, 0);
+    }
+
+    #[test]
+    fn similarity_function_inverts_ordering() {
+        // With LCS, the training series sharing MORE elements must win.
+        let mut knn = KnnClassifier::new(Box::new(Lcs::new(0.05)), 1);
+        knn.fit(0, vec![1.0, 2.0, 3.0, 4.0]);
+        knn.fit(1, vec![9.0, 8.0, 7.0, 6.0]);
+        assert_eq!(knn.classify(&[1.0, 2.0, 3.0, 9.9]).unwrap().label, 0);
+    }
+
+    #[test]
+    fn leave_one_out_perfect_on_separated_data() {
+        let mut knn = KnnClassifier::new(Box::new(Dtw::new()), 1);
+        knn.fit_all(two_class_data());
+        assert_eq!(knn.leave_one_out_accuracy().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn empty_classifier_errors() {
+        let knn = KnnClassifier::new(Box::new(Manhattan::new()), 1);
+        assert!(knn.classify(&[0.0]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn zero_k_panics() {
+        let _ = KnnClassifier::new(Box::new(Manhattan::new()), 0);
+    }
+}

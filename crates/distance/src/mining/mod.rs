@@ -1,0 +1,23 @@
+//! The three time-series data-mining tasks that motivate the paper
+//! (Section 1: "Classification, clustering and frequency pattern mining are
+//! three main data mining tasks for time series"), each built on the
+//! distance functions of this crate:
+//!
+//! * [`knn`] — 1-NN / k-NN classification (e.g. vehicle classification with
+//!   DTW, iris authentication with HamD);
+//! * [`kmedoids`] — k-medoids clustering (distance-matrix based, so any of
+//!   the six functions plugs in);
+//! * [`motif`] — motif discovery, the primitive behind frequency pattern
+//!   mining;
+//! * [`search`] — subsequence similarity search with cascading lower-bound
+//!   pruning, the workload whose runtime is ">99% distance computation".
+
+pub mod kmedoids;
+pub mod knn;
+pub mod motif;
+pub mod search;
+
+pub use kmedoids::{KMedoids, KMedoidsResult};
+pub use knn::{Classified, KnnClassifier};
+pub use motif::{Motif, MotifDiscovery, MotifStats};
+pub use search::{SearchStats, SubsequenceSearch};

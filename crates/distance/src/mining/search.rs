@@ -1,0 +1,290 @@
+//! Subsequence similarity search under DTW — the workload for which
+//! "the computation of distance function takes up to more than 99% of the
+//! runtime" (Section 1, citing Rakthanmanon et al.).
+//!
+//! Slides a query over a long series and returns the best-matching window,
+//! using the cascading lower bounds of [`crate::lower_bounds`] to prune.
+
+use crate::dtw::{Band, Dtw};
+use crate::error::DistanceError;
+use crate::lower_bounds::{cascading_dtw, PruneDecision};
+use crate::znorm::z_normalized;
+
+/// Statistics from one search run — used by the benches to report pruning
+/// power alongside wall-clock numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchStats {
+    /// Windows examined in total.
+    pub windows: usize,
+    /// Windows discarded by LB_Kim (O(1) each).
+    pub pruned_by_kim: usize,
+    /// Windows discarded by LB_Keogh (O(n) each).
+    pub pruned_by_keogh: usize,
+    /// Windows whose DTW was abandoned row-wise mid-computation.
+    pub abandoned_early: usize,
+    /// Windows that required a full DTW computation (O(n·r) each).
+    pub full_computations: usize,
+}
+
+impl SearchStats {
+    /// Fraction of windows that avoided the full DTW.
+    pub fn prune_rate(&self) -> f64 {
+        if self.windows == 0 {
+            return 0.0;
+        }
+        (self.pruned_by_kim + self.pruned_by_keogh + self.abandoned_early) as f64
+            / self.windows as f64
+    }
+}
+
+/// Best match found by a search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Match {
+    /// Start offset of the best window in the haystack.
+    pub offset: usize,
+    /// Banded DTW distance of the best window.
+    pub distance: f64,
+}
+
+/// Sliding-window DTW subsequence search with cascading lower bounds.
+///
+/// ```
+/// use mda_distance::mining::SubsequenceSearch;
+/// # fn main() -> Result<(), mda_distance::DistanceError> {
+/// let haystack: Vec<f64> = (0..64).map(|i| (i as f64 * 0.4).sin()).collect();
+/// let query: Vec<f64> = haystack[20..28].to_vec();
+/// let search = SubsequenceSearch::new(8, 1);
+/// let (best, _stats) = search.run(&query, &haystack)?;
+/// assert_eq!(best.offset, 20);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SubsequenceSearch {
+    window: usize,
+    band_radius: usize,
+    z_normalize: bool,
+}
+
+impl SubsequenceSearch {
+    /// Creates a search over windows of `window` elements with Sakoe–Chiba
+    /// radius `band_radius`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize, band_radius: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        SubsequenceSearch {
+            window,
+            band_radius,
+            z_normalize: false,
+        }
+    }
+
+    /// Enables UCR-suite-style z-normalization of the query and every
+    /// window before comparison.
+    #[must_use]
+    pub fn with_z_normalization(mut self, enabled: bool) -> Self {
+        self.z_normalize = enabled;
+        self
+    }
+
+    /// The window length.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Runs the search, returning the best match and pruning statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistanceError::InvalidParameter`] if the haystack is shorter
+    /// than the window, or propagates distance errors.
+    pub fn run(
+        &self,
+        query: &[f64],
+        haystack: &[f64],
+    ) -> Result<(Match, SearchStats), DistanceError> {
+        if haystack.len() < self.window {
+            return Err(DistanceError::InvalidParameter {
+                name: "haystack",
+                reason: format!(
+                    "haystack length {} shorter than window {}",
+                    haystack.len(),
+                    self.window
+                ),
+            });
+        }
+        let query_owned: Vec<f64> = if self.z_normalize {
+            z_normalized(query)
+        } else {
+            query.to_vec()
+        };
+
+        let mut stats = SearchStats::default();
+        let mut best = Match {
+            offset: 0,
+            distance: f64::INFINITY,
+        };
+        for offset in 0..=(haystack.len() - self.window) {
+            stats.windows += 1;
+            let window = &haystack[offset..offset + self.window];
+            let window_owned: Vec<f64>;
+            let window_ref: &[f64] = if self.z_normalize {
+                window_owned = z_normalized(window);
+                &window_owned
+            } else {
+                window
+            };
+            match cascading_dtw(&query_owned, window_ref, self.band_radius, best.distance)? {
+                PruneDecision::PrunedByKim(_) => stats.pruned_by_kim += 1,
+                PruneDecision::PrunedByKeogh(_) => stats.pruned_by_keogh += 1,
+                PruneDecision::AbandonedEarly => stats.abandoned_early += 1,
+                PruneDecision::Computed(d) => {
+                    stats.full_computations += 1;
+                    if d < best.distance {
+                        best = Match {
+                            offset,
+                            distance: d,
+                        };
+                    }
+                }
+            }
+        }
+        Ok((best, stats))
+    }
+
+    /// Brute-force search without any pruning — used to verify that the
+    /// cascading bounds never change the answer, and as the unoptimized
+    /// baseline in the benches.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SubsequenceSearch::run`].
+    pub fn run_brute_force(&self, query: &[f64], haystack: &[f64]) -> Result<Match, DistanceError> {
+        if haystack.len() < self.window {
+            return Err(DistanceError::InvalidParameter {
+                name: "haystack",
+                reason: format!(
+                    "haystack length {} shorter than window {}",
+                    haystack.len(),
+                    self.window
+                ),
+            });
+        }
+        let dtw = Dtw::new().with_band(Band::SakoeChiba(self.band_radius));
+        let query_owned: Vec<f64> = if self.z_normalize {
+            z_normalized(query)
+        } else {
+            query.to_vec()
+        };
+        let mut best = Match {
+            offset: 0,
+            distance: f64::INFINITY,
+        };
+        for offset in 0..=(haystack.len() - self.window) {
+            let window = &haystack[offset..offset + self.window];
+            let window_owned: Vec<f64>;
+            let window_ref: &[f64] = if self.z_normalize {
+                window_owned = z_normalized(window);
+                &window_owned
+            } else {
+                window
+            };
+            let d = dtw.distance(&query_owned, window_ref)?;
+            if d < best.distance {
+                best = Match {
+                    offset,
+                    distance: d,
+                };
+            }
+        }
+        Ok(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn haystack() -> Vec<f64> {
+        (0..128)
+            .map(|i| (i as f64 * 0.3).sin() * (1.0 + i as f64 / 128.0))
+            .collect()
+    }
+
+    #[test]
+    fn finds_exact_planted_match() {
+        let hay = haystack();
+        let query = hay[40..56].to_vec();
+        let s = SubsequenceSearch::new(16, 2);
+        let (m, _) = s.run(&query, &hay).unwrap();
+        assert_eq!(m.offset, 40);
+        assert_eq!(m.distance, 0.0);
+    }
+
+    #[test]
+    fn pruned_and_brute_force_agree() {
+        let hay = haystack();
+        let query: Vec<f64> = (0..16).map(|i| (i as f64 * 0.29 + 0.4).sin()).collect();
+        let s = SubsequenceSearch::new(16, 2);
+        let (pruned, stats) = s.run(&query, &hay).unwrap();
+        let brute = s.run_brute_force(&query, &hay).unwrap();
+        assert_eq!(pruned.offset, brute.offset);
+        assert!((pruned.distance - brute.distance).abs() < 1e-12);
+        assert_eq!(stats.windows, hay.len() - 16 + 1);
+    }
+
+    #[test]
+    fn pruning_actually_happens_on_structured_data() {
+        let mut hay = vec![0.0; 200];
+        // One matching region, the rest flat at a large offset.
+        for (i, v) in hay.iter_mut().enumerate() {
+            *v = if (80..96).contains(&i) {
+                ((i - 80) as f64 * 0.5).sin()
+            } else {
+                7.0
+            };
+        }
+        let query: Vec<f64> = (0..16).map(|i| (i as f64 * 0.5).sin()).collect();
+        let s = SubsequenceSearch::new(16, 1);
+        let (m, stats) = s.run(&query, &hay).unwrap();
+        assert_eq!(m.offset, 80);
+        assert!(
+            stats.prune_rate() > 0.5,
+            "prune rate {}",
+            stats.prune_rate()
+        );
+    }
+
+    #[test]
+    fn z_normalized_search_is_amplitude_invariant() {
+        let hay: Vec<f64> = haystack().iter().map(|x| x * 10.0 + 3.0).collect();
+        let query: Vec<f64> = haystack()[40..56].to_vec();
+        let s = SubsequenceSearch::new(16, 2).with_z_normalization(true);
+        let (m, _) = s.run(&query, &hay).unwrap();
+        assert_eq!(m.offset, 40);
+        assert!(m.distance < 1e-9);
+    }
+
+    #[test]
+    fn short_haystack_rejected() {
+        let s = SubsequenceSearch::new(16, 1);
+        assert!(s.run(&[0.0; 16], &[0.0; 8]).is_err());
+    }
+
+    #[test]
+    fn stats_partition_windows() {
+        let hay = haystack();
+        let query: Vec<f64> = (0..16).map(|i| (i as f64 * 0.31).cos()).collect();
+        let (_, stats) = SubsequenceSearch::new(16, 2).run(&query, &hay).unwrap();
+        assert_eq!(
+            stats.windows,
+            stats.pruned_by_kim
+                + stats.pruned_by_keogh
+                + stats.abandoned_early
+                + stats.full_computations
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! Element/pair weights for the *weighted* variants of each distance.
+//!
+//! Section 2 of the paper: "Considering that in real applications the
+//! significance of each element is different, weight is introduced", citing
+//! weighted DTW/LCS/MD/HamD/HauD/EdD. On the accelerator, weights map to
+//! memristor resistance ratios (Section 3.2); in the digital reference they
+//! are plain multipliers.
+
+use crate::error::DistanceError;
+
+/// Weights applied to element comparisons.
+///
+/// * Matrix-structure functions (DTW, LCS, EdD, HauD) use a pairwise weight
+///   `w[i][j]` looked up with [`Weights::pair`].
+/// * Row-structure functions (HamD, MD) use a per-position weight `w[i]`
+///   looked up with [`Weights::element`].
+///
+/// The default, [`Weights::Uniform`], corresponds to the general (unweighted)
+/// functions where every weight is 1 — the configuration the paper's
+/// experiments use ("weights are set to 1 to make a fair comparison").
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Weights {
+    /// Every weight is `1.0` (HRS/LRS-only memristor configuration).
+    #[default]
+    Uniform,
+    /// Per-position weights `w[i]`, used by the row structure. When consulted
+    /// for a pair `(i, j)` the row weight `w[i]` is returned.
+    PerElement(Vec<f64>),
+    /// Dense pairwise weights `w[i][j]` in row-major order, used by the
+    /// matrix structure.
+    PerPair {
+        /// Number of rows (`m`, length of `P`).
+        rows: usize,
+        /// Number of columns (`n`, length of `Q`).
+        cols: usize,
+        /// Row-major weight values, `rows * cols` entries.
+        values: Vec<f64>,
+    },
+}
+
+impl Weights {
+    /// Creates a dense pairwise weight matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistanceError::WeightShape`] if `values.len() != rows * cols`
+    /// and [`DistanceError::InvalidParameter`] if any weight is negative or
+    /// non-finite.
+    pub fn per_pair(rows: usize, cols: usize, values: Vec<f64>) -> Result<Self, DistanceError> {
+        if values.len() != rows * cols {
+            return Err(DistanceError::WeightShape {
+                expected: format!("{rows} x {cols} = {}", rows * cols),
+                actual: format!("{} values", values.len()),
+            });
+        }
+        Self::validate_values(&values)?;
+        Ok(Weights::PerPair { rows, cols, values })
+    }
+
+    /// Creates per-position weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistanceError::InvalidParameter`] if any weight is negative
+    /// or non-finite.
+    pub fn per_element(values: Vec<f64>) -> Result<Self, DistanceError> {
+        Self::validate_values(&values)?;
+        Ok(Weights::PerElement(values))
+    }
+
+    fn validate_values(values: &[f64]) -> Result<(), DistanceError> {
+        if let Some(w) = values.iter().find(|w| !w.is_finite() || **w < 0.0) {
+            return Err(DistanceError::InvalidParameter {
+                name: "weights",
+                reason: format!("weights must be finite and non-negative, got {w}"),
+            });
+        }
+        Ok(())
+    }
+
+    /// The weight for the pair `(i, j)` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range for a non-uniform weight shape;
+    /// shape compatibility is checked once by [`Weights::check_pair_shape`]
+    /// before any lookups happen.
+    pub fn pair(&self, i: usize, j: usize) -> f64 {
+        match self {
+            Weights::Uniform => 1.0,
+            Weights::PerElement(v) => v[i],
+            Weights::PerPair { cols, values, .. } => values[i * cols + j],
+        }
+    }
+
+    /// The weight for position `i` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range for [`Weights::PerElement`]; shape
+    /// compatibility is checked once by [`Weights::check_element_shape`].
+    pub fn element(&self, i: usize) -> f64 {
+        match self {
+            Weights::Uniform => 1.0,
+            Weights::PerElement(v) => v[i],
+            Weights::PerPair { cols, values, .. } => values[i * cols + i.min(cols - 1)],
+        }
+    }
+
+    /// Validates that this weight shape can serve pairwise lookups over an
+    /// `m x n` comparison.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistanceError::WeightShape`] on mismatch.
+    pub fn check_pair_shape(&self, m: usize, n: usize) -> Result<(), DistanceError> {
+        match self {
+            Weights::Uniform => Ok(()),
+            Weights::PerElement(v) if v.len() >= m => Ok(()),
+            Weights::PerElement(v) => Err(DistanceError::WeightShape {
+                expected: format!("at least {m} element weights"),
+                actual: format!("{} element weights", v.len()),
+            }),
+            Weights::PerPair { rows, cols, .. } if *rows >= m && *cols >= n => Ok(()),
+            Weights::PerPair { rows, cols, .. } => Err(DistanceError::WeightShape {
+                expected: format!("{m} x {n}"),
+                actual: format!("{rows} x {cols}"),
+            }),
+        }
+    }
+
+    /// Validates that this weight shape can serve per-position lookups over
+    /// `n` positions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistanceError::WeightShape`] on mismatch.
+    pub fn check_element_shape(&self, n: usize) -> Result<(), DistanceError> {
+        match self {
+            Weights::Uniform => Ok(()),
+            Weights::PerElement(v) if v.len() >= n => Ok(()),
+            Weights::PerElement(v) => Err(DistanceError::WeightShape {
+                expected: format!("at least {n} element weights"),
+                actual: format!("{} element weights", v.len()),
+            }),
+            Weights::PerPair { rows, cols, .. } if *rows >= n && *cols >= n => Ok(()),
+            Weights::PerPair { rows, cols, .. } => Err(DistanceError::WeightShape {
+                expected: format!("{n} x {n}"),
+                actual: format!("{rows} x {cols}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_always_one() {
+        let w = Weights::Uniform;
+        assert_eq!(w.pair(100, 3), 1.0);
+        assert_eq!(w.element(7), 1.0);
+        w.check_pair_shape(1000, 1000).unwrap();
+        w.check_element_shape(1000).unwrap();
+    }
+
+    #[test]
+    fn per_pair_row_major_lookup() {
+        let w = Weights::per_pair(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(w.pair(0, 0), 1.0);
+        assert_eq!(w.pair(0, 2), 3.0);
+        assert_eq!(w.pair(1, 0), 4.0);
+        assert_eq!(w.pair(1, 2), 6.0);
+    }
+
+    #[test]
+    fn per_pair_shape_mismatch_rejected() {
+        let err = Weights::per_pair(2, 2, vec![1.0; 3]).unwrap_err();
+        assert!(matches!(err, DistanceError::WeightShape { .. }));
+    }
+
+    #[test]
+    fn negative_weight_rejected() {
+        let err = Weights::per_element(vec![1.0, -0.5]).unwrap_err();
+        assert!(matches!(err, DistanceError::InvalidParameter { .. }));
+        let err = Weights::per_pair(1, 1, vec![f64::NAN]).unwrap_err();
+        assert!(matches!(err, DistanceError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn per_element_serves_pairs_by_row() {
+        let w = Weights::per_element(vec![0.5, 2.0]).unwrap();
+        assert_eq!(w.pair(0, 5), 0.5);
+        assert_eq!(w.pair(1, 0), 2.0);
+        assert_eq!(w.element(1), 2.0);
+    }
+
+    #[test]
+    fn shape_checks() {
+        let w = Weights::per_element(vec![1.0; 4]).unwrap();
+        w.check_element_shape(4).unwrap();
+        assert!(w.check_element_shape(5).is_err());
+        w.check_pair_shape(4, 10).unwrap();
+        assert!(w.check_pair_shape(5, 1).is_err());
+
+        let w = Weights::per_pair(3, 4, vec![1.0; 12]).unwrap();
+        w.check_pair_shape(3, 4).unwrap();
+        w.check_pair_shape(2, 2).unwrap();
+        assert!(w.check_pair_shape(4, 4).is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! Z-normalization and basic statistics for time series.
+//!
+//! The UCR-suite methodology (Rakthanmanon et al., the paper's reference
+//! \[24\]) z-normalizes every subsequence before distance computation; the
+//! datasets crate uses these utilities when formalizing series "with
+//! different lengths" as the paper's experimental setup does.
+
+/// Mean of a slice. Returns `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation. Returns `0.0` for slices shorter than 1.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Z-normalizes a series in place: zero mean, unit variance.
+///
+/// A constant series (σ = 0) is mapped to all zeros rather than dividing by
+/// zero, matching UCR-suite practice.
+pub fn z_normalize_in_place(xs: &mut [f64]) {
+    let m = mean(xs);
+    let s = std_dev(xs);
+    if s < 1e-12 {
+        xs.iter_mut().for_each(|x| *x = 0.0);
+    } else {
+        xs.iter_mut().for_each(|x| *x = (*x - m) / s);
+    }
+}
+
+/// Returns a z-normalized copy of a series.
+///
+/// ```
+/// use mda_distance::znorm::z_normalized;
+/// let z = z_normalized(&[1.0, 2.0, 3.0]);
+/// assert!(z[0] < 0.0 && z[1].abs() < 1e-12 && z[2] > 0.0);
+/// ```
+pub fn z_normalized(xs: &[f64]) -> Vec<f64> {
+    let mut v = xs.to_vec();
+    z_normalize_in_place(&mut v);
+    v
+}
+
+/// Linearly resamples a series to `target_len` points, preserving endpoints.
+///
+/// Used to "formalize the sequences with different lengths" (Section 4.1 of
+/// the paper) from datasets with a fixed native length.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `target_len` is zero.
+pub fn resample(xs: &[f64], target_len: usize) -> Vec<f64> {
+    assert!(!xs.is_empty(), "cannot resample an empty series");
+    assert!(target_len > 0, "target length must be positive");
+    if target_len == 1 {
+        return vec![xs[0]];
+    }
+    if xs.len() == 1 {
+        return vec![xs[0]; target_len];
+    }
+    let scale = (xs.len() - 1) as f64 / (target_len - 1) as f64;
+    (0..target_len)
+        .map(|i| {
+            let t = i as f64 * scale;
+            let lo = t.floor() as usize;
+            let hi = (lo + 1).min(xs.len() - 1);
+            let frac = t - lo as f64;
+            xs[lo] * (1.0 - frac) + xs[hi] * frac
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!((std_dev(&[1.0, 2.0, 3.0]) - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+    }
+
+    #[test]
+    fn z_normalized_has_zero_mean_unit_variance() {
+        let z = z_normalized(&[3.0, 7.0, 1.0, -4.0, 2.5]);
+        assert!(mean(&z).abs() < 1e-12);
+        assert!((std_dev(&z) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_series_maps_to_zeros() {
+        assert_eq!(z_normalized(&[5.0, 5.0, 5.0]), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn resample_preserves_endpoints() {
+        let xs = [0.0, 1.0, 4.0, 9.0];
+        for len in [2, 3, 4, 7, 40] {
+            let r = resample(&xs, len);
+            assert_eq!(r.len(), len);
+            assert_eq!(r[0], 0.0);
+            assert_eq!(*r.last().unwrap(), 9.0);
+        }
+    }
+
+    #[test]
+    fn resample_identity_length_is_identity() {
+        let xs = [0.5, -1.0, 2.0];
+        assert_eq!(resample(&xs, 3), xs.to_vec());
+    }
+
+    #[test]
+    fn resample_linear_interpolation() {
+        // Doubling a linear ramp stays on the ramp.
+        let xs = [0.0, 2.0];
+        let r = resample(&xs, 3);
+        assert_eq!(r, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn resample_to_one_takes_first() {
+        assert_eq!(resample(&[7.0, 8.0], 1), vec![7.0]);
+    }
+}

@@ -1,0 +1,225 @@
+//! Deterministic Biolek memristor model.
+//!
+//! State equation (Biolek, Biolek & Biolková 2009):
+//!
+//! ```text
+//! dx/dt = k · i(t) · f(x, i)
+//! f(x, i) = 1 − (x − stp(−i))^(2p)        (Biolek window)
+//! M(x)   = Ron·x + Roff·(1 − x)
+//! ```
+//!
+//! where `stp` is the unit step. The window removes the terminal-state
+//! lock-up of the Joglekar window: the drift slows to zero as the state
+//! approaches the boundary *being approached*, but reverses freely.
+
+use crate::params::BiolekParams;
+
+/// A memristor integrating the deterministic Biolek model.
+///
+/// ```
+/// use mda_memristor::{BiolekParams, Memristor};
+///
+/// let mut m = Memristor::at_state(BiolekParams::paper_defaults(), 0.0);
+/// // A 3.5 V programming pulse for 2 µs drives the device toward LRS.
+/// m.apply_voltage(3.5, 2.0e-6, 1.0e-9);
+/// assert!(m.resistance() < 10_000.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Memristor {
+    params: BiolekParams,
+    /// Internal state `x ∈ [0, 1]`; 1 = fully ON (LRS).
+    state: f64,
+}
+
+impl Memristor {
+    /// A device at a given internal state `x ∈ [0, 1]` (clamped).
+    pub fn at_state(params: BiolekParams, state: f64) -> Self {
+        Memristor {
+            params,
+            state: state.clamp(0.0, 1.0),
+        }
+    }
+
+    /// A device programmed to the high-resistance state (HRS).
+    pub fn hrs(params: BiolekParams) -> Self {
+        Self::at_state(params, 0.0)
+    }
+
+    /// A device programmed to the low-resistance state (LRS).
+    pub fn lrs(params: BiolekParams) -> Self {
+        Self::at_state(params, 1.0)
+    }
+
+    /// A device programmed to a specific resistance (clamped to
+    /// `[Ron, Roff]`).
+    pub fn at_resistance(params: BiolekParams, r: f64) -> Self {
+        let state = params.state_for_resistance(r);
+        Self::at_state(params, state)
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &BiolekParams {
+        &self.params
+    }
+
+    /// Internal state `x ∈ [0, 1]`.
+    pub fn state(&self) -> f64 {
+        self.state
+    }
+
+    /// Present memristance, Ω.
+    pub fn resistance(&self) -> f64 {
+        self.params.resistance_at(self.state)
+    }
+
+    /// Present conductance, S.
+    pub fn conductance(&self) -> f64 {
+        1.0 / self.resistance()
+    }
+
+    /// The Biolek window value at the present state for current `i`.
+    fn window(&self, i: f64) -> f64 {
+        let stp = if -i > 0.0 { 1.0 } else { 0.0 };
+        let base: f64 = self.state - stp;
+        1.0 - base.powi(2 * self.params.window_exponent as i32)
+    }
+
+    /// Advances the state by one explicit-Euler step of `dt` seconds under a
+    /// terminal voltage `v` (V). Returns the current drawn (A).
+    pub fn step(&mut self, v: f64, dt: f64) -> f64 {
+        let i = v / self.resistance();
+        let dx = self.params.drift_coefficient * i * self.window(i) * dt;
+        self.state = (self.state + dx).clamp(0.0, 1.0);
+        i
+    }
+
+    /// Integrates a constant applied voltage `v` for `duration` seconds with
+    /// internal step `dt`. Returns the total charge moved (C).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0` or `duration < 0`.
+    pub fn apply_voltage(&mut self, v: f64, duration: f64, dt: f64) -> f64 {
+        assert!(dt > 0.0, "dt must be positive");
+        assert!(duration >= 0.0, "duration must be non-negative");
+        let mut t = 0.0;
+        let mut charge = 0.0;
+        while t < duration {
+            let step = dt.min(duration - t);
+            let i = self.step(v, step);
+            charge += i * step;
+            t += step;
+        }
+        charge
+    }
+
+    /// Static power dissipated under a constant voltage `v`: `v² / M(x)`.
+    pub fn power(&self, v: f64) -> f64 {
+        v * v / self.resistance()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> BiolekParams {
+        BiolekParams::paper_defaults()
+    }
+
+    #[test]
+    fn hrs_and_lrs_resistances() {
+        assert_eq!(Memristor::hrs(params()).resistance(), 100.0e3);
+        assert_eq!(Memristor::lrs(params()).resistance(), 1.0e3);
+    }
+
+    #[test]
+    fn positive_voltage_drives_toward_lrs() {
+        let mut m = Memristor::at_state(params(), 0.2);
+        let r0 = m.resistance();
+        m.apply_voltage(3.0, 1.0e-7, 1.0e-10);
+        assert!(m.resistance() < r0);
+    }
+
+    #[test]
+    fn negative_voltage_drives_toward_hrs() {
+        let mut m = Memristor::at_state(params(), 0.8);
+        let r0 = m.resistance();
+        m.apply_voltage(-3.0, 1.0e-7, 1.0e-10);
+        assert!(m.resistance() > r0);
+    }
+
+    #[test]
+    fn full_transition_time_is_order_one_microsecond() {
+        // Section 4.2: "the transition time of about 1 µs for memristors".
+        let mut m = Memristor::hrs(params());
+        let mut t = 0.0;
+        let dt = 1.0e-9;
+        while m.state() < 0.99 && t < 100.0e-6 {
+            m.step(3.0, dt);
+            t += dt;
+        }
+        assert!(
+            t > 0.05e-6 && t < 20.0e-6,
+            "transition took {t:.3e} s, expected ~1e-6"
+        );
+    }
+
+    #[test]
+    fn state_stays_in_unit_interval() {
+        let mut m = Memristor::at_state(params(), 0.5);
+        m.apply_voltage(5.0, 1.0e-5, 1.0e-9);
+        assert!(m.state() <= 1.0);
+        m.apply_voltage(-5.0, 1.0e-5, 1.0e-9);
+        assert!(m.state() >= 0.0);
+    }
+
+    #[test]
+    fn window_vanishes_at_approached_boundary() {
+        // Positive current (toward ON): window must vanish at x = 1.
+        let m = Memristor::at_state(params(), 1.0);
+        assert!(m.window(1.0e-6).abs() < 1e-12);
+        // Negative current (toward OFF): window must vanish at x = 0.
+        let m = Memristor::at_state(params(), 0.0);
+        assert!(m.window(-1.0e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_allows_escape_from_boundary() {
+        // Unlike Joglekar, Biolek's window lets the state LEAVE a boundary:
+        // at x = 1 with negative current the window is 1 - (1-1)^2 = 1.
+        let m = Memristor::at_state(params(), 1.0);
+        assert!((m.window(-1.0e-6) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn at_resistance_constructor() {
+        let m = Memristor::at_resistance(params(), 50.0e3);
+        assert!((m.resistance() - 50.0e3).abs() < 1.0);
+    }
+
+    #[test]
+    fn sub_threshold_compute_voltages_barely_move_state() {
+        // In-circuit voltages are ≤ 0.25 V for ~10 ns (Section 4.2); the
+        // state drift must be negligible, keeping computation linear.
+        let mut m = Memristor::at_state(params(), 0.5);
+        let r0 = m.resistance();
+        m.apply_voltage(0.25, 10.0e-9, 1.0e-11);
+        let drift = (m.resistance() - r0).abs() / r0;
+        assert!(drift < 1e-2, "relative drift {drift} too large");
+    }
+
+    #[test]
+    fn charge_accumulates() {
+        let mut m = Memristor::lrs(params());
+        let q = m.apply_voltage(1.0, 1.0e-6, 1.0e-9);
+        // ~1 V across ~1 kΩ for 1 µs -> ~1 nC (state moves, so approximate).
+        assert!(q > 0.1e-9 && q < 10.0e-9, "charge {q:.3e}");
+    }
+
+    #[test]
+    fn power_follows_ohms_law() {
+        let m = Memristor::lrs(params());
+        assert!((m.power(1.0) - 1.0 / 1.0e3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,36 @@
+//! # mda-memristor
+//!
+//! Memristor device models for the DAC'17 distance accelerator:
+//!
+//! * [`biolek`] — the deterministic Biolek model with its non-linear dopant
+//!   drift window function;
+//! * [`stochastic`] — the stochastic switching extension (Al-Shedivat et
+//!   al., the paper's reference \[5\]) with the parameters of the paper's
+//!   Table 2;
+//! * [`variation`] — process variation sampling (±20–30 % tolerance) and the
+//!   tolerance-control pairing of Section 3.3(3);
+//! * [`tuning`] — the two-step modulate/verify resistance-tuning procedures
+//!   of Section 3.3(2) for analog subtractors and adders (Fig. 4).
+//!
+//! ## Example
+//!
+//! ```
+//! use mda_memristor::{BiolekParams, Memristor};
+//!
+//! // A memristor programmed to its low-resistance state conducts ~1 kΩ.
+//! let params = BiolekParams::paper_defaults();
+//! let m = Memristor::at_state(params, 1.0);
+//! assert!((m.resistance() - params.r_on).abs() < 1e-9);
+//! ```
+
+pub mod biolek;
+pub mod params;
+pub mod stochastic;
+pub mod tuning;
+pub mod variation;
+
+pub use biolek::Memristor;
+pub use params::{BiolekParams, StochasticParams};
+pub use stochastic::{StochasticMemristor, SwitchingEvent};
+pub use tuning::{AdderTuner, SubtractorTuner, TuningOutcome, TuningReport};
+pub use variation::{pair_with_tolerance_control, ProcessVariation};

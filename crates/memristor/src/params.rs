@@ -1,0 +1,180 @@
+//! Device parameters, including the paper's Table 2.
+
+/// Parameters of the (deterministic) Biolek memristor model.
+///
+/// The boundary resistances come straight from Table 2 of the paper
+/// (`Roff = 100 kΩ`, `Ron = 1 kΩ`); the drift coefficient is chosen so a
+/// full HRS→LRS transition under the 3 V threshold voltage takes about the
+/// 1 µs transition time the paper quotes in Section 4.2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BiolekParams {
+    /// Low-resistance (fully doped) state, Ω. Table 2: 1 kΩ.
+    pub r_on: f64,
+    /// High-resistance (undoped) state, Ω. Table 2: 100 kΩ.
+    pub r_off: f64,
+    /// Dopant drift coefficient `k = µv · Ron / D²` (1/(A·s)): the state
+    /// velocity per unit current before windowing.
+    pub drift_coefficient: f64,
+    /// Exponent `p` of the Biolek window `f(x) = 1 - (x - stp(-i))^(2p)`.
+    pub window_exponent: u32,
+}
+
+impl BiolekParams {
+    /// Parameters matching the paper's Table 2 resistances with a ~1 µs full
+    /// transition at the 3 V threshold voltage.
+    pub fn paper_defaults() -> Self {
+        BiolekParams {
+            r_on: 1.0e3,
+            r_off: 100.0e3,
+            // At 3 V across ~50 kΩ average resistance the current is ~60 µA;
+            // a full unit-interval state sweep in ~1 µs then needs
+            // k ≈ 1 / (60e-6 A × 1e-6 s) ≈ 1.7e10. We round to 2e10, giving
+            // a transition time of the right order.
+            drift_coefficient: 2.0e10,
+            window_exponent: 1,
+        }
+    }
+
+    /// Memristance at internal state `x ∈ [0, 1]` (1 = fully ON):
+    /// `M(x) = Ron·x + Roff·(1 − x)`.
+    pub fn resistance_at(&self, x: f64) -> f64 {
+        let x = x.clamp(0.0, 1.0);
+        self.r_on * x + self.r_off * (1.0 - x)
+    }
+
+    /// Inverse of [`BiolekParams::resistance_at`]: the state that produces
+    /// resistance `r` (clamped into the valid range).
+    pub fn state_for_resistance(&self, r: f64) -> f64 {
+        let r = r.clamp(self.r_on, self.r_off);
+        (self.r_off - r) / (self.r_off - self.r_on)
+    }
+}
+
+impl Default for BiolekParams {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+/// Parameters of the stochastic switching extension — Table 2 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StochasticParams {
+    /// Voltage scale of the switching-rate exponential, V. Table 2: 0.156 V.
+    pub v0: f64,
+    /// Characteristic switching time at zero overdrive, s. Table 2: 2.85e5 s.
+    pub tau: f64,
+    /// Nominal threshold voltage, V. Table 2: 3.0 V.
+    pub vt0: f64,
+    /// Threshold dispersion (standard deviation), V. Table 2: 0.2 V.
+    pub delta_v: f64,
+    /// Relative dispersion of the post-switching resistance. Table 2: 5 %.
+    pub delta_r: f64,
+}
+
+impl StochasticParams {
+    /// The values of Table 2.
+    pub fn table2() -> Self {
+        StochasticParams {
+            v0: 0.156,
+            tau: 2.85e5,
+            vt0: 3.0,
+            delta_v: 0.2,
+            delta_r: 0.05,
+        }
+    }
+
+    /// Mean time to a stochastic filament-switching event under a constant
+    /// applied voltage `v` (V): `τ(v) = τ · exp(−|v| / V0)`.
+    ///
+    /// At the sub-threshold voltages inside the accelerator (≤ Vcc/4 =
+    /// 0.25 V) this is ~5.7e4 s, which is why the paper can treat the
+    /// computation as deterministic.
+    pub fn mean_switching_time(&self, v: f64) -> f64 {
+        self.tau * (-v.abs() / self.v0).exp()
+    }
+
+    /// Probability that a switching event occurs within `duration` seconds
+    /// under constant voltage `v`, assuming a Poisson process with rate
+    /// `1/τ(v)`.
+    pub fn switching_probability(&self, v: f64, duration: f64) -> f64 {
+        let tau_v = self.mean_switching_time(v);
+        1.0 - (-duration / tau_v).exp()
+    }
+}
+
+impl Default for StochasticParams {
+    fn default() -> Self {
+        Self::table2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values() {
+        let p = StochasticParams::table2();
+        assert_eq!(p.v0, 0.156);
+        assert_eq!(p.tau, 2.85e5);
+        assert_eq!(p.vt0, 3.0);
+        assert_eq!(p.delta_v, 0.2);
+        assert_eq!(p.delta_r, 0.05);
+        let b = BiolekParams::paper_defaults();
+        assert_eq!(b.r_on, 1.0e3);
+        assert_eq!(b.r_off, 100.0e3);
+    }
+
+    #[test]
+    fn resistance_interpolates_between_bounds() {
+        let p = BiolekParams::paper_defaults();
+        assert_eq!(p.resistance_at(0.0), 100.0e3);
+        assert_eq!(p.resistance_at(1.0), 1.0e3);
+        let mid = p.resistance_at(0.5);
+        assert!(mid > 1.0e3 && mid < 100.0e3);
+    }
+
+    #[test]
+    fn state_resistance_roundtrip() {
+        let p = BiolekParams::paper_defaults();
+        for x in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            let r = p.resistance_at(x);
+            assert!((p.state_for_resistance(r) - x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn state_clamped_outside_bounds() {
+        let p = BiolekParams::paper_defaults();
+        assert_eq!(p.resistance_at(-0.5), p.r_off);
+        assert_eq!(p.resistance_at(2.0), p.r_on);
+        assert_eq!(p.state_for_resistance(1e9), 0.0);
+    }
+
+    #[test]
+    fn paper_claim_subthreshold_switching_is_negligible() {
+        // Section 4.2: inside the circuit all memristors see ≤ Vcc/4 = 0.25 V
+        // for only a few nanoseconds; the switching probability must be
+        // essentially zero.
+        let p = StochasticParams::table2();
+        let prob = p.switching_probability(0.25, 10e-9);
+        assert!(prob < 1e-12, "switching probability {prob} too high");
+    }
+
+    #[test]
+    fn above_threshold_switching_is_fast() {
+        // Programming pulses above VT0 must switch many orders of magnitude
+        // faster than sub-threshold operation.
+        let p = StochasticParams::table2();
+        let sub = p.mean_switching_time(0.25);
+        let above = p.mean_switching_time(3.2);
+        assert!(above < sub * 1e-7);
+    }
+
+    #[test]
+    fn switching_probability_monotone_in_duration_and_voltage() {
+        let p = StochasticParams::table2();
+        assert!(p.switching_probability(1.0, 1e-3) < p.switching_probability(1.0, 1e-2));
+        assert!(p.switching_probability(1.0, 1e-3) < p.switching_probability(2.0, 1e-3));
+    }
+}

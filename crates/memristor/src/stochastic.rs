@@ -1,0 +1,250 @@
+//! Stochastic Biolek memristor: nondeterministic filament switching.
+//!
+//! Al-Shedivat et al. (the paper's reference \[5\]) model resistive switching
+//! as a stochastic process: under a sub-threshold voltage the formation of a
+//! single conductive filament is probabilistic, with a mean waiting time
+//! that decays exponentially with the applied voltage. The paper's Table 2
+//! gives the parameters; Section 4.2 argues the accelerator's computation is
+//! unaffected because (1) in-circuit voltages stay ≤ Vcc/4 = 0.25 V, far
+//! below VT0 = 3 V, and (2) computations finish in nanoseconds while
+//! transitions take ~1 µs. [`StochasticMemristor`] lets us verify both
+//! claims numerically instead of taking them on faith.
+
+use rand::Rng;
+
+use crate::biolek::Memristor;
+use crate::params::{BiolekParams, StochasticParams};
+
+/// A stochastic switching event recorded during simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchingEvent {
+    /// Simulation time at which the filament formed/ruptured, s.
+    pub time: f64,
+    /// Voltage across the device when it switched, V.
+    pub voltage: f64,
+    /// Resistance after the event, Ω.
+    pub new_resistance: f64,
+}
+
+/// A Biolek memristor with stochastic threshold switching layered on top of
+/// the deterministic drift.
+///
+/// Each device draws its own threshold voltage `VT ~ N(VT0, ΔV)` at
+/// construction (device-to-device dispersion), and while the applied voltage
+/// is sustained the filament switches after an exponentially distributed
+/// waiting time with mean `τ·exp(−|v|/V0)`. After a switching event the new
+/// boundary resistance is perturbed by the cycle-to-cycle dispersion
+/// `ΔRon/off` (Table 2: 5 %).
+#[derive(Debug, Clone)]
+pub struct StochasticMemristor {
+    inner: Memristor,
+    stochastic: StochasticParams,
+    /// This device's sampled threshold voltage.
+    threshold: f64,
+    /// Simulation clock, s.
+    time: f64,
+    events: Vec<SwitchingEvent>,
+}
+
+impl StochasticMemristor {
+    /// Creates a device at state `x`, sampling its threshold dispersion from
+    /// `rng`.
+    pub fn new<R: Rng + ?Sized>(
+        params: BiolekParams,
+        stochastic: StochasticParams,
+        state: f64,
+        rng: &mut R,
+    ) -> Self {
+        // Box-Muller keeps us independent of rand_distr.
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let gaussian = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let threshold = stochastic.vt0 + stochastic.delta_v * gaussian;
+        StochasticMemristor {
+            inner: Memristor::at_state(params, state),
+            stochastic,
+            threshold,
+            time: 0.0,
+            events: Vec::new(),
+        }
+    }
+
+    /// The sampled threshold voltage of this device.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Present memristance, Ω.
+    pub fn resistance(&self) -> f64 {
+        self.inner.resistance()
+    }
+
+    /// Switching events observed so far.
+    pub fn events(&self) -> &[SwitchingEvent] {
+        &self.events
+    }
+
+    /// Simulation clock, s.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Applies a constant voltage for `duration` seconds with internal step
+    /// `dt`, combining deterministic drift with stochastic filament
+    /// switching. Returns the number of stochastic events that occurred.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0` or `duration < 0`.
+    pub fn apply_voltage<R: Rng + ?Sized>(
+        &mut self,
+        v: f64,
+        duration: f64,
+        dt: f64,
+        rng: &mut R,
+    ) -> usize {
+        assert!(dt > 0.0, "dt must be positive");
+        assert!(duration >= 0.0, "duration must be non-negative");
+        let mut events = 0;
+        let mut t = 0.0;
+        while t < duration {
+            let step = dt.min(duration - t);
+            self.inner.step(v, step);
+            // Above the (sampled) threshold, deterministic drift dominates
+            // and the filament follows the field; below it, switching is a
+            // rare Poisson event with voltage-dependent rate.
+            let p_switch = self.stochastic.switching_probability(v, step);
+            if rng.gen_bool(p_switch.clamp(0.0, 1.0)) {
+                events += 1;
+                self.stochastic_switch(v, rng);
+            }
+            t += step;
+            self.time += step;
+        }
+        events
+    }
+
+    /// Performs one stochastic switching event: the state jumps to the
+    /// polarity-favoured boundary with ±ΔR resistance dispersion.
+    fn stochastic_switch<R: Rng + ?Sized>(&mut self, v: f64, rng: &mut R) {
+        let params = *self.inner.params();
+        let target_r = if v >= 0.0 { params.r_on } else { params.r_off };
+        let spread = self.stochastic.delta_r;
+        let factor = 1.0 + rng.gen_range(-spread..=spread);
+        let new_r =
+            (target_r * factor).clamp(params.r_on * (1.0 - spread), params.r_off * (1.0 + spread));
+        self.inner = Memristor::at_resistance(params, new_r.clamp(params.r_on, params.r_off));
+        self.events.push(SwitchingEvent {
+            time: self.time,
+            voltage: v,
+            new_resistance: self.inner.resistance(),
+        });
+    }
+}
+
+/// Monte-Carlo estimate of the probability that *any* of `device_count`
+/// memristors switches during one distance computation of `duration`
+/// seconds at in-circuit voltage `v`.
+///
+/// This is the quantitative version of the paper's Section 4.2 argument
+/// ("the possibility for stochastic resistance change is rather low with
+/// several hundreds of experiments").
+pub fn computation_disturb_probability(
+    stochastic: &StochasticParams,
+    v: f64,
+    duration: f64,
+    device_count: usize,
+) -> f64 {
+    let p_single = stochastic.switching_probability(v, duration);
+    1.0 - (1.0 - p_single).powi(device_count as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn device(rng: &mut StdRng) -> StochasticMemristor {
+        StochasticMemristor::new(
+            BiolekParams::paper_defaults(),
+            StochasticParams::table2(),
+            0.0,
+            rng,
+        )
+    }
+
+    #[test]
+    fn threshold_dispersion_is_centered_on_vt0() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let thresholds: Vec<f64> = (0..200).map(|_| device(&mut rng).threshold()).collect();
+        let mean = thresholds.iter().sum::<f64>() / thresholds.len() as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean threshold {mean}");
+        let sd = (thresholds
+            .iter()
+            .map(|t| (t - mean) * (t - mean))
+            .sum::<f64>()
+            / thresholds.len() as f64)
+            .sqrt();
+        assert!((sd - 0.2).abs() < 0.05, "threshold sd {sd}");
+    }
+
+    #[test]
+    fn no_switching_at_compute_voltages() {
+        // Paper Section 4.2: hundreds of runs at <= 0.25 V for nanoseconds
+        // never disturb the state.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut total_events = 0;
+        for _ in 0..300 {
+            let mut m = device(&mut rng);
+            total_events += m.apply_voltage(0.25, 10.0e-9, 1.0e-9, &mut rng);
+        }
+        assert_eq!(total_events, 0);
+    }
+
+    #[test]
+    fn programming_pulses_do_switch() {
+        // Well above threshold the mean waiting time collapses to far below
+        // the pulse width, so a long strong pulse switches with certainty.
+        let p = StochasticParams::table2();
+        // τ(6 V) = 2.85e5 * exp(-38.5) ≈ 5.3e-12 s.
+        assert!(p.mean_switching_time(6.0) < 1.0e-9);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut m = device(&mut rng);
+        let events = m.apply_voltage(6.0, 1.0e-6, 1.0e-9, &mut rng);
+        assert!(events > 0, "expected at least one switching event");
+        assert!(!m.events().is_empty());
+    }
+
+    #[test]
+    fn switched_resistance_within_delta_r_of_boundary() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut m = device(&mut rng);
+        m.apply_voltage(6.0, 1.0e-6, 1.0e-9, &mut rng);
+        for e in m.events() {
+            // Positive polarity -> Ron ± 5 %.
+            assert!(
+                e.new_resistance <= 1.0e3 * 1.05 + 1e-9,
+                "resistance {} too far from Ron",
+                e.new_resistance
+            );
+        }
+    }
+
+    #[test]
+    fn disturb_probability_whole_array_is_negligible() {
+        // A 128x128 array has ~16k PEs x ~20 memristors each; even then the
+        // in-computation disturb probability stays essentially zero.
+        let p = StochasticParams::table2();
+        let prob = computation_disturb_probability(&p, 0.25, 10.0e-9, 128 * 128 * 20);
+        assert!(prob < 1e-6, "array disturb probability {prob}");
+    }
+
+    #[test]
+    fn disturb_probability_grows_with_count() {
+        let p = StochasticParams::table2();
+        let one = computation_disturb_probability(&p, 2.0, 1.0e-6, 1);
+        let many = computation_disturb_probability(&p, 2.0, 1.0e-6, 1000);
+        assert!(many > one);
+    }
+}

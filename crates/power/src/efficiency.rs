@@ -1,0 +1,92 @@
+//! Speedup and energy-efficiency comparisons — the quantities behind the
+//! paper's headline "3.5×–376× speedup" and "1–3 orders of magnitude
+//! energy-efficiency improvement (26.7×–8767×)".
+
+use mda_distance::DistanceKind;
+
+use crate::baselines::PublishedBaseline;
+
+/// One accelerator-vs-baseline comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EfficiencyComparison {
+    /// The distance function compared.
+    pub kind: DistanceKind,
+    /// Baseline platform label.
+    pub platform: &'static str,
+    /// Our per-element time, s.
+    pub ours_time_s: f64,
+    /// Baseline per-element time, s.
+    pub baseline_time_s: f64,
+    /// Our power, W.
+    pub ours_power_w: f64,
+    /// Baseline power, W.
+    pub baseline_power_w: f64,
+}
+
+impl EfficiencyComparison {
+    /// Builds a comparison from a measured per-element time and power
+    /// budget against a published baseline.
+    pub fn new(baseline: &PublishedBaseline, ours_time_s: f64, ours_power_w: f64) -> Self {
+        EfficiencyComparison {
+            kind: baseline.kind,
+            platform: baseline.platform,
+            ours_time_s,
+            baseline_time_s: baseline.per_element_time_s,
+            ours_power_w,
+            baseline_power_w: baseline.power_w,
+        }
+    }
+
+    /// Performance speedup: `baseline_time / ours_time`.
+    pub fn speedup(&self) -> f64 {
+        self.baseline_time_s / self.ours_time_s
+    }
+
+    /// Energy per element on our accelerator, J.
+    pub fn ours_energy_j(&self) -> f64 {
+        self.ours_time_s * self.ours_power_w
+    }
+
+    /// Energy per element on the baseline, J.
+    pub fn baseline_energy_j(&self) -> f64 {
+        self.baseline_time_s * self.baseline_power_w
+    }
+
+    /// Energy-efficiency improvement: `baseline_energy / ours_energy`,
+    /// equivalently `speedup × power_ratio`.
+    pub fn energy_efficiency_gain(&self) -> f64 {
+        self.baseline_energy_j() / self.ours_energy_j()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::baseline_for;
+
+    #[test]
+    fn speedup_and_efficiency_arithmetic() {
+        let b = baseline_for(DistanceKind::Manhattan); // 1.5 ns/elem, 137 W
+        let c = EfficiencyComparison::new(&b, 0.015e-9, 2.16);
+        assert!((c.speedup() - 100.0).abs() < 1e-9);
+        // Efficiency gain = speedup * power ratio = 100 * 137/2.16.
+        let expected = 100.0 * 137.0 / 2.16;
+        assert!((c.energy_efficiency_gain() - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn identity_comparison_is_unity() {
+        let b = baseline_for(DistanceKind::Dtw);
+        let c = EfficiencyComparison::new(&b, b.per_element_time_s, b.power_w);
+        assert!((c.speedup() - 1.0).abs() < 1e-12);
+        assert!((c.energy_efficiency_gain() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_decomposes_into_speedup_times_power_ratio() {
+        let b = baseline_for(DistanceKind::Lcs);
+        let c = EfficiencyComparison::new(&b, 1.0e-9, 2.97);
+        let decomposed = c.speedup() * (c.baseline_power_w / c.ours_power_w);
+        assert!((c.energy_efficiency_gain() - decomposed).abs() / decomposed < 1e-12);
+    }
+}

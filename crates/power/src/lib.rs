@@ -1,0 +1,32 @@
+//! # mda-power
+//!
+//! Power and energy-efficiency models reproducing the paper's Section 4.3:
+//!
+//! * [`technology`] — ideal-capacitance scaling of published component
+//!   powers across technology nodes (the 197 µW / 0.35 µm op-amp projected
+//!   to 18 µW at 32 nm, the 90 nm DAC to 32 mW);
+//! * [`budget`] — per-configuration accelerator power budgets: active
+//!   op-amps, memristor static power, DAC/ADC arrays;
+//! * [`baselines`] — the published FPGA/GPU accelerators the paper compares
+//!   against (per-element processing-time estimates and power draws);
+//! * [`efficiency`] — speedup and energy-efficiency ratios (the paper's
+//!   26.7×–8767× improvement range).
+//!
+//! ```
+//! use mda_power::budget::PowerBudget;
+//! use mda_distance::DistanceKind;
+//!
+//! // The paper's DTW operating point: 128-PE array, Sakoe–Chiba R = 5%·n.
+//! let b = PowerBudget::paper_operating_point(DistanceKind::Dtw);
+//! assert!((b.total_w() - 0.58).abs() < 0.06); // Section 4.3: 0.58 W
+//! ```
+
+pub mod baselines;
+pub mod budget;
+pub mod efficiency;
+pub mod technology;
+
+pub use baselines::{cpu_reference, PublishedBaseline};
+pub use budget::{PowerBreakdown, PowerBudget};
+pub use efficiency::EfficiencyComparison;
+pub use technology::TechnologyNode;

@@ -1,0 +1,100 @@
+//! Technology-node scaling of published component powers.
+//!
+//! Section 4.3: "The power for a recently popular op-amp with a
+//! gain-bandwidth product 303 GHz is 197 µW [Zuo & Islam] under 0.35 µm
+//! technology node, and the power for the 32 nm technology node is projected
+//! to 18 µW with ideal scaling for capacitance. The same procedure goes for
+//! a recent 8-bit 1.6 GS/s DAC (Tseng) in 90 nm."
+//!
+//! Ideal capacitance scaling makes dynamic power proportional to the feature
+//! size (C ∝ λ at fixed voltage), so `P(node) = P(ref) · node/ref`.
+
+/// A CMOS technology node.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct TechnologyNode {
+    /// Feature size, m.
+    pub feature_size: f64,
+}
+
+impl TechnologyNode {
+    /// 0.35 µm.
+    pub const NM_350: TechnologyNode = TechnologyNode {
+        feature_size: 350.0e-9,
+    };
+    /// 90 nm.
+    pub const NM_90: TechnologyNode = TechnologyNode {
+        feature_size: 90.0e-9,
+    };
+    /// 32 nm — the paper's implementation node.
+    pub const NM_32: TechnologyNode = TechnologyNode {
+        feature_size: 32.0e-9,
+    };
+
+    /// Projects a power figure published at `self` to `target` with ideal
+    /// capacitance scaling.
+    pub fn scale_power(self, power_w: f64, target: TechnologyNode) -> f64 {
+        power_w * target.feature_size / self.feature_size
+    }
+}
+
+/// The projected 32 nm op-amp power, W (paper: 18 µW).
+pub fn opamp_power_32nm() -> f64 {
+    TechnologyNode::NM_350.scale_power(197.0e-6, TechnologyNode::NM_32)
+}
+
+/// The projected 32 nm DAC power, W (paper: 32 mW from a 90 nm part).
+///
+/// Note: the paper quotes the *projected* power as 32 mW, implying the
+/// published 90 nm part consumed ~90 mW; we carry the paper's projected
+/// figure.
+pub fn dac_power_32nm() -> f64 {
+    32.0e-3
+}
+
+/// The 32 nm ADC power, W (published directly at 32 nm: 35 mW).
+pub fn adc_power_32nm() -> f64 {
+    35.0e-3
+}
+
+/// Static power of one HRS memristor path at the given supply, W.
+///
+/// The paper charges 10 µW per memristor assuming "at least one memristor
+/// is set to HRS from the source to the ground": an average `Vcc/2` across
+/// an effective 25 kΩ path.
+pub fn memristor_power(vcc: f64) -> f64 {
+    let v = vcc / 2.0;
+    v * v / 25.0e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opamp_projection_matches_paper() {
+        // 197 µW × 32/350 = 18.01 µW.
+        let p = opamp_power_32nm();
+        assert!((p - 18.0e-6).abs() < 0.5e-6, "opamp power {p}");
+    }
+
+    #[test]
+    fn memristor_power_matches_paper() {
+        // (0.5 V)² / 25 kΩ = 10 µW.
+        assert!((memristor_power(1.0) - 10.0e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_is_linear_in_feature_size() {
+        let p90 = TechnologyNode::NM_90.scale_power(90.0e-3, TechnologyNode::NM_32);
+        assert!((p90 - 32.0e-3).abs() < 1e-4, "90 nm -> 32 nm: {p90}");
+        // Identity scaling.
+        let same = TechnologyNode::NM_32.scale_power(1.0, TechnologyNode::NM_32);
+        assert_eq!(same, 1.0);
+    }
+
+    #[test]
+    fn converter_figures() {
+        assert_eq!(dac_power_32nm(), 32.0e-3);
+        assert_eq!(adc_power_32nm(), 35.0e-3);
+    }
+}

@@ -1,0 +1,396 @@
+//! AC small-signal analysis.
+//!
+//! Linearizes the circuit around its DC operating point, then solves the
+//! complex MNA system at each requested frequency with a unit AC stimulus
+//! on one designated source (all other independent sources are AC-shorted).
+//! Used to verify the closed-loop bandwidth of the PE op-amp stages against
+//! the Table 1 gain–bandwidth product.
+
+use crate::complex::Complex;
+use crate::elements::Element;
+use crate::error::SpiceError;
+use crate::mna::MnaLayout;
+use crate::netlist::{ElementId, Netlist, NodeId};
+
+/// Result of an AC sweep: complex node voltages per frequency point.
+#[derive(Debug, Clone)]
+pub struct AcResult {
+    frequencies: Vec<f64>,
+    /// `voltages[f][node_index]`, ground included as 0.
+    voltages: Vec<Vec<Complex>>,
+}
+
+impl AcResult {
+    /// The swept frequencies, Hz.
+    pub fn frequencies(&self) -> &[f64] {
+        &self.frequencies
+    }
+
+    /// Complex transfer value of `node` at sweep point `i`.
+    pub fn voltage_at(&self, node: NodeId, i: usize) -> Complex {
+        self.voltages[i][node.index()]
+    }
+
+    /// Magnitude response of a node across the sweep.
+    pub fn magnitude(&self, node: NodeId) -> Vec<f64> {
+        self.voltages
+            .iter()
+            .map(|v| v[node.index()].abs())
+            .collect()
+    }
+
+    /// The −3 dB bandwidth of a node's response: the first frequency where
+    /// the magnitude falls below `1/√2` of its value at the lowest
+    /// frequency. `None` if it never rolls off within the sweep.
+    pub fn bandwidth_3db(&self, node: NodeId) -> Option<f64> {
+        let mags = self.magnitude(node);
+        let dc = *mags.first()?;
+        let threshold = dc / 2.0_f64.sqrt();
+        for (i, &m) in mags.iter().enumerate() {
+            if m < threshold {
+                return Some(self.frequencies[i]);
+            }
+        }
+        None
+    }
+}
+
+/// Dense complex LU solve (partial pivoting). AC sweeps run on the small
+/// linearized PE circuits, so dense is fine.
+fn solve_complex(
+    mut a: Vec<Vec<Complex>>,
+    mut b: Vec<Complex>,
+) -> Result<Vec<Complex>, SpiceError> {
+    let n = b.len();
+    for k in 0..n {
+        // Pivot.
+        let (piv, mag) = (k..n)
+            .map(|r| (r, a[r][k].abs()))
+            .max_by(|x, y| x.1.partial_cmp(&y.1).expect("finite"))
+            .expect("non-empty");
+        if mag < 1.0e-300 {
+            return Err(SpiceError::SingularMatrix { pivot: k });
+        }
+        a.swap(k, piv);
+        b.swap(k, piv);
+        let pivot = a[k][k];
+        for r in (k + 1)..n {
+            let factor = a[r][k] / pivot;
+            if factor.abs() == 0.0 {
+                continue;
+            }
+            for c in k..n {
+                let sub = factor * a[k][c];
+                a[r][c] = a[r][c] - sub;
+            }
+            let sb = factor * b[k];
+            b[r] = b[r] - sb;
+        }
+    }
+    let mut x = vec![Complex::ZERO; n];
+    for k in (0..n).rev() {
+        let mut sum = b[k];
+        for c in (k + 1)..n {
+            let s = a[k][c] * x[c];
+            sum = sum - s;
+        }
+        x[k] = sum / a[k][k];
+    }
+    Ok(x)
+}
+
+/// Runs an AC sweep with a unit stimulus on `stimulus` (which must be a
+/// voltage source).
+///
+/// # Errors
+///
+/// Returns [`SpiceError::InvalidAnalysis`] if `stimulus` is not a voltage
+/// source or no frequencies are given, [`SpiceError::NewtonDiverged`] /
+/// [`SpiceError::SingularMatrix`] from the operating-point solve.
+pub fn run_ac(
+    netlist: &Netlist,
+    stimulus: ElementId,
+    frequencies: &[f64],
+) -> Result<AcResult, SpiceError> {
+    if frequencies.is_empty() {
+        return Err(SpiceError::InvalidAnalysis {
+            reason: "ac sweep needs at least one frequency".into(),
+        });
+    }
+    match netlist.elements().get(stimulus.index()) {
+        Some(Element::VoltageSource { .. }) => {}
+        _ => {
+            return Err(SpiceError::InvalidAnalysis {
+                reason: "ac stimulus must be a voltage source".into(),
+            });
+        }
+    }
+    // DC operating point for linearization.
+    let op = crate::dc::solve_dc(netlist)?;
+    let layout = MnaLayout::build(netlist);
+    let n = layout.n_unknowns;
+
+    let node_v = |id: NodeId| op[id.index()];
+
+    let mut voltages = Vec::with_capacity(frequencies.len());
+    for &f in frequencies {
+        let omega = 2.0 * std::f64::consts::PI * f;
+        let mut a = vec![vec![Complex::ZERO; n]; n];
+        let mut z = vec![Complex::ZERO; n];
+
+        let idx = |id: NodeId| -> Option<usize> {
+            if id.is_ground() {
+                None
+            } else {
+                Some(id.index() - 1)
+            }
+        };
+        let stamp_g = |a: &mut Vec<Vec<Complex>>, na: NodeId, nb: NodeId, g: Complex| {
+            if let Some(i) = idx(na) {
+                a[i][i] += g;
+                if let Some(j) = idx(nb) {
+                    a[i][j] += -g;
+                }
+            }
+            if let Some(j) = idx(nb) {
+                a[j][j] += g;
+                if let Some(i) = idx(na) {
+                    a[j][i] += -g;
+                }
+            }
+        };
+
+        for (ei, e) in netlist.elements().iter().enumerate() {
+            match e {
+                Element::Resistor { a: na, b: nb, ohms }
+                | Element::Memristor { a: na, b: nb, ohms } => {
+                    stamp_g(&mut a, *na, *nb, Complex::real(1.0 / ohms));
+                }
+                Element::Switch {
+                    a: na,
+                    b: nb,
+                    state,
+                    ron,
+                    roff,
+                } => {
+                    let r = match state {
+                        crate::elements::SwitchState::Closed => *ron,
+                        crate::elements::SwitchState::Open => *roff,
+                    };
+                    stamp_g(&mut a, *na, *nb, Complex::real(1.0 / r));
+                }
+                Element::VcSwitch {
+                    a: na,
+                    b: nb,
+                    ctrl,
+                    threshold,
+                    active_high,
+                    ron,
+                    roff,
+                    vs,
+                } => {
+                    // Conductance frozen at the operating point.
+                    let (g, _) = crate::elements::vc_switch_conductance(
+                        node_v(*ctrl),
+                        *threshold,
+                        *active_high,
+                        *ron,
+                        *roff,
+                        *vs,
+                    );
+                    stamp_g(&mut a, *na, *nb, Complex::real(g));
+                }
+                Element::Capacitor {
+                    a: na,
+                    b: nb,
+                    farads,
+                } => {
+                    stamp_g(&mut a, *na, *nb, Complex::imag(omega * farads));
+                }
+                Element::Diode {
+                    anode,
+                    cathode,
+                    model,
+                } => {
+                    let v = node_v(*anode) - node_v(*cathode);
+                    let (_, gd) = model.current_and_derivative(v);
+                    stamp_g(&mut a, *anode, *cathode, Complex::real(gd));
+                }
+                Element::VoltageSource { p, n: nn, .. } => {
+                    let k = layout_branch(&layout, ei);
+                    if let Some(i) = idx(*p) {
+                        a[i][k] += Complex::ONE;
+                        a[k][i] += Complex::ONE;
+                    }
+                    if let Some(j) = idx(*nn) {
+                        a[j][k] += -Complex::ONE;
+                        a[k][j] += -Complex::ONE;
+                    }
+                    z[k] = if ei == stimulus.index() {
+                        Complex::ONE
+                    } else {
+                        Complex::ZERO
+                    };
+                }
+                Element::Opamp {
+                    inp,
+                    inn,
+                    out,
+                    model,
+                } => {
+                    let k = layout_branch(&layout, ei);
+                    if let Some(o) = idx(*out) {
+                        a[o][k] += Complex::ONE;
+                    }
+                    // Small-signal: vout·(1 + jωτ) − dsat·(vp − vn) = 0,
+                    // with dsat evaluated at the operating point.
+                    let vd = node_v(*inp) - node_v(*inn);
+                    let (_, dsat) = model.target_and_derivative(vd);
+                    let tau = model.pole_tau();
+                    if let Some(o) = idx(*out) {
+                        a[k][o] += Complex::new(1.0, omega * tau);
+                    }
+                    if let Some(i) = idx(*inp) {
+                        a[k][i] += Complex::real(-dsat);
+                    }
+                    if let Some(j) = idx(*inn) {
+                        a[k][j] += Complex::real(dsat);
+                    }
+                }
+            }
+        }
+        let x = solve_complex(a, z)?;
+        let mut snapshot = vec![Complex::ZERO; netlist.node_count()];
+        for id in 1..netlist.node_count() {
+            snapshot[id] = x[id - 1];
+        }
+        voltages.push(snapshot);
+    }
+    Ok(AcResult {
+        frequencies: frequencies.to_vec(),
+        voltages,
+    })
+}
+
+fn layout_branch(layout: &MnaLayout, element_index: usize) -> usize {
+    let rebased = layout.branch_indices()[element_index];
+    debug_assert_ne!(rebased, usize::MAX);
+    layout.node_unknowns_public() + rebased
+}
+
+/// A logarithmic frequency grid from `start` to `stop` (inclusive-ish) with
+/// `points_per_decade` samples per decade.
+///
+/// # Panics
+///
+/// Panics if the range or density is degenerate.
+pub fn log_sweep(start: f64, stop: f64, points_per_decade: usize) -> Vec<f64> {
+    assert!(start > 0.0 && stop > start, "need 0 < start < stop");
+    assert!(points_per_decade > 0, "need at least one point per decade");
+    let decades = (stop / start).log10();
+    let n = (decades * points_per_decade as f64).ceil() as usize + 1;
+    (0..n)
+        .map(|i| start * 10.0_f64.powf(i as f64 / points_per_decade as f64))
+        .filter(|&f| f <= stop * 1.0001)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elements::OpampModel;
+    use crate::waveform::Waveform;
+
+    #[test]
+    fn rc_lowpass_corner_frequency() {
+        // R = 1 kΩ, C = 1 nF -> f_c = 1/(2πRC) ≈ 159 kHz.
+        let mut net = Netlist::new();
+        let inp = net.node("in");
+        let out = net.node("out");
+        let src = net.voltage_source(inp, Netlist::GROUND, Waveform::Dc(0.0));
+        net.resistor(inp, out, 1.0e3);
+        net.capacitor(out, Netlist::GROUND, 1.0e-9);
+        let sweep = log_sweep(1.0e3, 100.0e6, 20);
+        let ac = run_ac(&net, src, &sweep).unwrap();
+        let bw = ac.bandwidth_3db(out).expect("rolls off");
+        let expected = 1.0 / (2.0 * std::f64::consts::PI * 1.0e3 * 1.0e-9);
+        assert!(
+            (bw - expected).abs() / expected < 0.15,
+            "bandwidth {bw:.3e} vs {expected:.3e}"
+        );
+        // DC gain is unity, and the response is monotone decreasing.
+        let mags = ac.magnitude(out);
+        assert!((mags[0] - 1.0).abs() < 1e-3);
+        for w in mags.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn open_loop_opamp_rolls_off_at_its_pole() {
+        // Open-loop: vout(1 + jωτ) = A0·vin, so the −3 dB corner sits at
+        // 1/(2πτ) (the behavioural pole, = GBW per OpampModel::pole_tau) and
+        // the DC gain is A0.
+        let mut net = Netlist::new();
+        let inp = net.node("in");
+        let src = net.voltage_source(inp, Netlist::GROUND, Waveform::Dc(0.0));
+        let out = net.node("out");
+        // Tiny gain so the DC operating point stays in the linear region.
+        let model = OpampModel {
+            gain: 10.0,
+            gbw: 50.0e9,
+            vmin: -1.0,
+            vmax: 1.0,
+            input_offset: 0.0,
+        };
+        net.opamp(inp, Netlist::GROUND, out, model);
+        net.resistor(out, Netlist::GROUND, 1.0e6);
+        let sweep = log_sweep(1.0e9, 10.0e12, 20);
+        let ac = run_ac(&net, src, &sweep).unwrap();
+        // DC gain ~ A0.
+        assert!((ac.magnitude(out)[0] - 10.0).abs() < 0.2);
+        let bw = ac.bandwidth_3db(out).expect("rolls off");
+        let expected = 50.0e9;
+        assert!(
+            (bw - expected).abs() / expected < 0.25,
+            "open-loop corner {bw:.3e} vs {expected:.3e}"
+        );
+    }
+
+    #[test]
+    fn phase_at_corner_is_minus_45_degrees() {
+        let mut net = Netlist::new();
+        let inp = net.node("in");
+        let out = net.node("out");
+        let src = net.voltage_source(inp, Netlist::GROUND, Waveform::Dc(0.0));
+        net.resistor(inp, out, 1.0e3);
+        net.capacitor(out, Netlist::GROUND, 1.0e-9);
+        let fc = 1.0 / (2.0 * std::f64::consts::PI * 1.0e-6);
+        let ac = run_ac(&net, src, &[fc]).unwrap();
+        let phase = ac.voltage_at(out, 0).arg().to_degrees();
+        assert!((phase + 45.0).abs() < 2.0, "phase {phase}");
+    }
+
+    #[test]
+    fn invalid_stimulus_rejected() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let r = net.resistor(a, Netlist::GROUND, 1.0);
+        assert!(matches!(
+            run_ac(&net, r, &[1.0e3]),
+            Err(SpiceError::InvalidAnalysis { .. })
+        ));
+    }
+
+    #[test]
+    fn log_sweep_spacing() {
+        let s = log_sweep(1.0e3, 1.0e6, 10);
+        assert!((s[0] - 1.0e3).abs() < 1e-9);
+        assert!(s.len() >= 30);
+        // Constant ratio between consecutive points.
+        let ratio = s[1] / s[0];
+        for w in s.windows(2) {
+            assert!((w[1] / w[0] - ratio).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! DC operating-point analysis.
+
+use crate::error::SpiceError;
+use crate::mna::{solve_point, MnaLayout, StepContext};
+use crate::netlist::Netlist;
+
+/// Computes the DC operating point of a netlist. Capacitors are treated as
+/// open circuits; op-amps settle to their static transfer value. Returns
+/// one voltage per node, index 0 (ground) included as 0 V.
+///
+/// # Errors
+///
+/// Returns [`SpiceError::SingularMatrix`] for ill-formed circuits (floating
+/// nodes) or [`SpiceError::NewtonDiverged`] for pathological nonlinear
+/// configurations.
+pub fn solve_dc(netlist: &Netlist) -> Result<Vec<f64>, SpiceError> {
+    let layout = MnaLayout::build(netlist);
+    let initial = vec![0.0; layout.n_unknowns];
+    let x = solve_point(netlist, &layout, &initial, 0.0, StepContext::Dc)?;
+    let mut voltages = vec![0.0; netlist.node_count()];
+    for id in 1..netlist.node_count() {
+        voltages[id] = x[id - 1];
+    }
+    Ok(voltages)
+}
+
+/// Sweeps one voltage source across `values`, solving the DC operating
+/// point at each step — the classic `.dc` transfer-curve analysis.
+/// Returns one node-voltage vector per sweep value.
+///
+/// # Errors
+///
+/// Returns [`SpiceError::InvalidAnalysis`] if `source` is not a voltage
+/// source, or propagates operating-point failures.
+pub fn dc_sweep(
+    netlist: &Netlist,
+    source: crate::netlist::ElementId,
+    values: &[f64],
+) -> Result<Vec<Vec<f64>>, SpiceError> {
+    match netlist_element(netlist, source) {
+        Some(crate::elements::Element::VoltageSource { .. }) => {}
+        _ => {
+            return Err(SpiceError::InvalidAnalysis {
+                reason: "dc sweep target must be a voltage source".into(),
+            });
+        }
+    }
+    let mut results = Vec::with_capacity(values.len());
+    let mut net = netlist.clone();
+    for &v in values {
+        net.set_source(source, crate::waveform::Waveform::Dc(v));
+        results.push(solve_dc(&net)?);
+    }
+    Ok(results)
+}
+
+fn netlist_element(
+    netlist: &Netlist,
+    id: crate::netlist::ElementId,
+) -> Option<&crate::elements::Element> {
+    netlist.elements().get(id.index())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::dc_sweep;
+    use crate::elements::{OpampModel, SwitchState};
+    use crate::netlist::Netlist;
+    use crate::waveform::Waveform;
+
+    #[test]
+    fn voltage_divider() {
+        let mut net = Netlist::new();
+        let top = net.node("top");
+        let mid = net.node("mid");
+        net.voltage_source(top, Netlist::GROUND, Waveform::Dc(1.0));
+        net.resistor(top, mid, 1.0e3);
+        net.resistor(mid, Netlist::GROUND, 3.0e3);
+        let v = net.dc().unwrap();
+        assert!((v[top.index()] - 1.0).abs() < 1e-9);
+        assert!((v[mid.index()] - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diode_forward_passes_reverse_blocks() {
+        // Source -> diode -> load resistor to ground.
+        let mut net = Netlist::new();
+        let src = net.node("src");
+        let out = net.node("out");
+        net.voltage_source(src, Netlist::GROUND, Waveform::Dc(0.5));
+        net.diode(src, out);
+        net.resistor(out, Netlist::GROUND, 10.0e3);
+        let v = net.dc().unwrap();
+        // Near-ideal diode: out ~ src minus a few-mV junction drop.
+        assert!(
+            (v[out.index()] - 0.5).abs() < 5e-3,
+            "v_out = {}",
+            v[out.index()]
+        );
+
+        // Reversed diode: output stays near zero.
+        let mut net = Netlist::new();
+        let src = net.node("src");
+        let out = net.node("out");
+        net.voltage_source(src, Netlist::GROUND, Waveform::Dc(0.5));
+        net.diode(out, src);
+        net.resistor(out, Netlist::GROUND, 10.0e3);
+        let v = net.dc().unwrap();
+        assert!(v[out.index()].abs() < 1e-3, "v_out = {}", v[out.index()]);
+    }
+
+    #[test]
+    fn diode_max_selector() {
+        // Two sources feed one output through diodes: the larger wins.
+        // This is the paper's "diodes are perfect for maximum value
+        // calculation" primitive.
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let b = net.node("b");
+        let out = net.node("out");
+        net.voltage_source(a, Netlist::GROUND, Waveform::Dc(0.30));
+        net.voltage_source(b, Netlist::GROUND, Waveform::Dc(0.45));
+        net.diode(a, out);
+        net.diode(b, out);
+        net.resistor(out, Netlist::GROUND, 100.0e3);
+        let v = net.dc().unwrap();
+        assert!(
+            (v[out.index()] - 0.45).abs() < 5e-3,
+            "max selector output {}",
+            v[out.index()]
+        );
+        // Crucially, the output must sit closer to the larger input.
+        assert!(v[out.index()] > 0.40);
+    }
+
+    #[test]
+    fn unity_buffer_follows_input() {
+        let mut net = Netlist::new();
+        let inp = net.node("in");
+        net.voltage_source(inp, Netlist::GROUND, Waveform::Dc(0.37));
+        let out = net.buffer(inp, OpampModel::table1());
+        let v = net.dc().unwrap();
+        assert!((v[out.index()] - 0.37).abs() < 1e-3);
+    }
+
+    #[test]
+    fn inverting_amplifier_gain() {
+        // Classic inverting amp: gain = -Rf/Rin = -2.
+        let mut net = Netlist::new();
+        let inp = net.node("in");
+        let vminus = net.node("vminus");
+        let out = net.node("out");
+        net.voltage_source(inp, Netlist::GROUND, Waveform::Dc(0.1));
+        net.resistor(inp, vminus, 10.0e3);
+        net.resistor(vminus, out, 20.0e3);
+        net.opamp(Netlist::GROUND, vminus, out, OpampModel::table1());
+        let v = net.dc().unwrap();
+        assert!(
+            (v[out.index()] + 0.2).abs() < 2e-3,
+            "inverting amp output {}",
+            v[out.index()]
+        );
+    }
+
+    #[test]
+    fn difference_amplifier_subtracts() {
+        // Unity-gain difference amp: out = v1 - v2 with four equal
+        // resistors — the paper's "analog subtractor" primitive.
+        let mut net = Netlist::new();
+        let v1 = net.node("v1");
+        let v2 = net.node("v2");
+        let vp = net.node("vp");
+        let vm = net.node("vm");
+        let out = net.node("out");
+        net.voltage_source(v1, Netlist::GROUND, Waveform::Dc(0.50));
+        net.voltage_source(v2, Netlist::GROUND, Waveform::Dc(0.18));
+        let r = 100.0e3;
+        net.memristor(v1, vp, r);
+        net.memristor(vp, Netlist::GROUND, r);
+        net.memristor(v2, vm, r);
+        net.memristor(vm, out, r);
+        net.opamp(vp, vm, out, OpampModel::table1());
+        let v = net.dc().unwrap();
+        assert!(
+            (v[out.index()] - 0.32).abs() < 2e-3,
+            "subtractor output {}",
+            v[out.index()]
+        );
+    }
+
+    #[test]
+    fn switch_states() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let b = net.node("b");
+        net.voltage_source(a, Netlist::GROUND, Waveform::Dc(1.0));
+        let sw = net.switch(a, b, SwitchState::Closed);
+        net.resistor(b, Netlist::GROUND, 1.0e6);
+        let v = net.dc().unwrap();
+        assert!((v[b.index()] - 1.0).abs() < 1e-4);
+        let mut net2 = net.clone();
+        net2.set_switch(sw, SwitchState::Open);
+        let v = net2.dc().unwrap();
+        assert!(v[b.index()].abs() < 1e-2);
+    }
+
+    #[test]
+    fn floating_node_is_singular() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let b = net.node("b");
+        net.resistor(a, b, 1.0e3); // no path to ground
+        assert!(net.dc().is_err());
+    }
+
+    #[test]
+    fn dc_sweep_traces_divider_transfer() {
+        let mut net = Netlist::new();
+        let top = net.node("top");
+        let mid = net.node("mid");
+        let src = net.voltage_source(top, Netlist::GROUND, Waveform::Dc(0.0));
+        net.resistor(top, mid, 1.0e3);
+        net.resistor(mid, Netlist::GROUND, 1.0e3);
+        let values = [-1.0, -0.5, 0.0, 0.5, 1.0];
+        let sweep = dc_sweep(&net, src, &values).unwrap();
+        for (v, sol) in values.iter().zip(&sweep) {
+            assert!((sol[mid.index()] - v / 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dc_sweep_rejects_non_source() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let r = net.resistor(a, Netlist::GROUND, 1.0);
+        assert!(dc_sweep(&net, r, &[0.0]).is_err());
+    }
+
+    #[test]
+    fn comparator_driven_mux_selects_path() {
+        // The LCS/EdD selecting-module pattern: a comparator decides which
+        // of two analog values reaches the output through a pair of TGs.
+        let mut net = Netlist::new();
+        let plus = net.node("plus");
+        let minus = net.node("minus");
+        let cmp_out = net.node("cmp_out");
+        let path_a = net.node("path_a");
+        let path_b = net.node("path_b");
+        let out = net.node("out");
+        net.voltage_source(plus, Netlist::GROUND, Waveform::Dc(0.4));
+        net.voltage_source(minus, Netlist::GROUND, Waveform::Dc(0.2));
+        net.opamp(plus, minus, cmp_out, OpampModel::comparator(1.0));
+        net.resistor(cmp_out, Netlist::GROUND, 1.0e6);
+        net.voltage_source(path_a, Netlist::GROUND, Waveform::Dc(0.11));
+        net.voltage_source(path_b, Netlist::GROUND, Waveform::Dc(0.77));
+        net.vc_switch(path_a, out, cmp_out, 0.5, true);
+        net.vc_switch(path_b, out, cmp_out, 0.5, false);
+        net.resistor(out, Netlist::GROUND, 1.0e6);
+        // plus > minus -> comparator high -> path A selected.
+        let v = net.dc().unwrap();
+        assert!(
+            (v[out.index()] - 0.11).abs() < 2e-3,
+            "mux out {}",
+            v[out.index()]
+        );
+    }
+
+    #[test]
+    fn comparator_outputs_logic_levels() {
+        let mut net = Netlist::new();
+        let plus = net.node("plus");
+        let minus = net.node("minus");
+        let out = net.node("out");
+        net.voltage_source(plus, Netlist::GROUND, Waveform::Dc(0.30));
+        net.voltage_source(minus, Netlist::GROUND, Waveform::Dc(0.25));
+        net.opamp(plus, minus, out, OpampModel::comparator(1.0));
+        net.resistor(out, Netlist::GROUND, 1.0e6);
+        let v = net.dc().unwrap();
+        assert!(v[out.index()] > 0.99, "comparator high {}", v[out.index()]);
+    }
+}

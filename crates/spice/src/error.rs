@@ -1,0 +1,86 @@
+//! Simulator error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by circuit construction or analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SpiceError {
+    /// The MNA matrix was singular — typically a floating node or a loop of
+    /// ideal voltage sources.
+    SingularMatrix {
+        /// Index of the pivot where elimination broke down.
+        pivot: usize,
+    },
+    /// Newton–Raphson failed to converge within the iteration cap.
+    NewtonDiverged {
+        /// Analysis time at which the failure occurred, s (0 for DC).
+        time: f64,
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual norm at the last iteration.
+        residual: f64,
+    },
+    /// An invalid element value (non-positive resistance, NaN, …).
+    InvalidElement {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A node id that does not belong to this netlist.
+    UnknownNode {
+        /// The offending id.
+        id: usize,
+    },
+    /// An invalid analysis specification (zero step, negative stop time, …).
+    InvalidAnalysis {
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::SingularMatrix { pivot } => {
+                write!(f, "singular MNA matrix at pivot {pivot} (floating node or source loop?)")
+            }
+            SpiceError::NewtonDiverged {
+                time,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "newton iteration diverged at t = {time:.3e} s after {iterations} iterations (residual {residual:.3e})"
+            ),
+            SpiceError::InvalidElement { reason } => write!(f, "invalid element: {reason}"),
+            SpiceError::UnknownNode { id } => write!(f, "unknown node id {id}"),
+            SpiceError::InvalidAnalysis { reason } => write!(f, "invalid analysis: {reason}"),
+        }
+    }
+}
+
+impl Error for SpiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SpiceError::SingularMatrix { pivot: 3 };
+        assert!(e.to_string().contains("pivot 3"));
+        let e = SpiceError::NewtonDiverged {
+            time: 1.0e-9,
+            iterations: 50,
+            residual: 0.5,
+        };
+        assert!(e.to_string().contains("50 iterations"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Send + Sync + std::error::Error>() {}
+        assert_traits::<SpiceError>();
+    }
+}

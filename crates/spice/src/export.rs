@@ -1,0 +1,266 @@
+//! Export a [`Netlist`] as a standard SPICE deck.
+//!
+//! The behavioural elements map onto stock SPICE devices: memristors become
+//! resistors at their programmed value, op-amps become single-pole
+//! voltage-controlled source subcircuits, transmission gates become
+//! voltage-controlled switches. The deck lets users cross-check this
+//! crate's results against ngspice/HSPICE — the tool the paper itself used.
+
+use std::fmt::Write as _;
+
+use crate::elements::Element;
+use crate::netlist::{Netlist, NodeId};
+use crate::waveform::Waveform;
+
+fn node_name(id: NodeId) -> String {
+    if id.is_ground() {
+        "0".to_string()
+    } else {
+        format!("n{}", id.index())
+    }
+}
+
+fn waveform_spec(w: &Waveform) -> String {
+    match w {
+        Waveform::Dc(v) => format!("DC {v}"),
+        Waveform::Step { level, delay, rise } => {
+            format!("PWL(0 0 {delay} 0 {} {level})", delay + rise)
+        }
+        Waveform::Pwl(points) => {
+            let mut s = String::from("PWL(");
+            for (t, v) in points {
+                let _ = write!(s, "{t} {v} ");
+            }
+            s.trim_end().to_string() + ")"
+        }
+        Waveform::Pulse {
+            low,
+            high,
+            delay,
+            width,
+            period,
+            edge,
+        } => format!("PULSE({low} {high} {delay} {edge} {edge} {width} {period})"),
+    }
+}
+
+/// Renders the netlist as a SPICE deck with a `.tran`-ready structure.
+///
+/// Op-amps are emitted as `E`-source subcircuit instances (single-pole
+/// behavioural model); diodes use a `.model` card with the crate's
+/// saturation current and emission scaling; voltage-controlled switches use
+/// `.model SW` cards.
+pub fn to_spice_deck(netlist: &Netlist, title: &str) -> String {
+    let mut deck = String::new();
+    let _ = writeln!(deck, "* {title}");
+    let _ = writeln!(deck, "* exported by mda-spice");
+
+    let mut models: Vec<String> = Vec::new();
+    let mut subckt_needed = false;
+    let mut counters = std::collections::HashMap::<&str, usize>::new();
+    let mut next = |prefix: &'static str| -> usize {
+        let c = counters.entry(prefix).or_insert(0);
+        *c += 1;
+        *c
+    };
+
+    for e in netlist.elements() {
+        match e {
+            Element::Resistor { a, b, ohms } => {
+                let k = next("R");
+                let _ = writeln!(deck, "R{k} {} {} {ohms}", node_name(*a), node_name(*b));
+            }
+            Element::Memristor { a, b, ohms } => {
+                let k = next("RM");
+                let _ = writeln!(
+                    deck,
+                    "RM{k} {} {} {ohms} ; memristor (programmed)",
+                    node_name(*a),
+                    node_name(*b)
+                );
+            }
+            Element::Capacitor { a, b, farads } => {
+                let k = next("C");
+                let _ = writeln!(deck, "C{k} {} {} {farads}", node_name(*a), node_name(*b));
+            }
+            Element::VoltageSource { p, n, waveform } => {
+                let k = next("V");
+                let _ = writeln!(
+                    deck,
+                    "V{k} {} {} {}",
+                    node_name(*p),
+                    node_name(*n),
+                    waveform_spec(waveform)
+                );
+            }
+            Element::Diode {
+                anode,
+                cathode,
+                model,
+            } => {
+                let k = next("D");
+                let mname = format!("DMOD{}", models.len() + 1);
+                let card = format!(
+                    ".model {mname} D(IS={} N={})",
+                    model.is_sat,
+                    model.vt / 25.852e-3
+                );
+                if !models.contains(&card) {
+                    models.push(card.clone());
+                }
+                let _ = writeln!(
+                    deck,
+                    "D{k} {} {} {mname}",
+                    node_name(*anode),
+                    node_name(*cathode)
+                );
+            }
+            Element::Switch {
+                a,
+                b,
+                state,
+                ron,
+                roff,
+            } => {
+                let k = next("RS");
+                let r = match state {
+                    crate::elements::SwitchState::Closed => ron,
+                    crate::elements::SwitchState::Open => roff,
+                };
+                let _ = writeln!(
+                    deck,
+                    "RS{k} {} {} {r} ; static TG ({state:?})",
+                    node_name(*a),
+                    node_name(*b)
+                );
+            }
+            Element::VcSwitch {
+                a,
+                b,
+                ctrl,
+                threshold,
+                active_high,
+                ron,
+                roff,
+                ..
+            } => {
+                let k = next("S");
+                let mname = format!("SWMOD{k}");
+                models.push(format!(
+                    ".model {mname} SW(VT={threshold} RON={ron} ROFF={roff})"
+                ));
+                let (cp, cn) = if *active_high {
+                    (node_name(*ctrl), "0".to_string())
+                } else {
+                    ("0".to_string(), node_name(*ctrl))
+                };
+                let _ = writeln!(
+                    deck,
+                    "S{k} {} {} {cp} {cn} {mname}",
+                    node_name(*a),
+                    node_name(*b)
+                );
+            }
+            Element::Opamp {
+                inp,
+                inn,
+                out,
+                model,
+            } => {
+                subckt_needed = true;
+                let k = next("X");
+                let _ = writeln!(
+                    deck,
+                    "XOP{k} {} {} {} opamp_1pole PARAMS: A0={} FP={}",
+                    node_name(*inp),
+                    node_name(*inn),
+                    node_name(*out),
+                    model.gain,
+                    1.0 / (2.0 * std::f64::consts::PI * model.pole_tau()),
+                );
+            }
+        }
+    }
+
+    for m in &models {
+        let _ = writeln!(deck, "{m}");
+    }
+    if subckt_needed {
+        let _ = writeln!(
+            deck,
+            "\n.subckt opamp_1pole inp inn out PARAMS: A0=1e4 FP=50e9\n\
+             Ein mid 0 VALUE={{A0*(V(inp)-V(inn))}}\n\
+             Rp mid pole 1k\n\
+             Cp pole 0 {{1/(6.283185307*FP*1k)}}\n\
+             Eout out 0 pole 0 1\n\
+             .ends opamp_1pole"
+        );
+    }
+    let _ = writeln!(deck, "\n.end");
+    deck
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elements::{OpampModel, SwitchState};
+
+    fn demo_netlist() -> Netlist {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let b = net.node("b");
+        net.voltage_source(a, Netlist::GROUND, Waveform::step(1.0));
+        net.resistor(a, b, 1.0e3);
+        net.memristor(b, Netlist::GROUND, 50.0e3);
+        net.capacitor(b, Netlist::GROUND, 20.0e-15);
+        net.diode(a, b);
+        net.switch(a, b, SwitchState::Open);
+        let c = net.node("ctrl");
+        net.vc_switch(a, b, c, 0.5, true);
+        net.opamp(a, b, c, OpampModel::table1());
+        net
+    }
+
+    #[test]
+    fn deck_contains_every_element_class() {
+        let deck = to_spice_deck(&demo_netlist(), "demo");
+        assert!(deck.starts_with("* demo"));
+        for needle in ["V1 ", "R1 ", "RM1 ", "C1 ", "D1 ", "RS1 ", "S1 ", "XOP1 "] {
+            assert!(deck.contains(needle), "missing {needle} in deck:\n{deck}");
+        }
+        assert!(deck.contains(".model DMOD1 D(IS="));
+        assert!(deck.contains(".model SWMOD1 SW(VT=0.5"));
+        assert!(deck.contains(".subckt opamp_1pole"));
+        assert!(deck.trim_end().ends_with(".end"));
+    }
+
+    #[test]
+    fn ground_is_node_zero() {
+        let deck = to_spice_deck(&demo_netlist(), "demo");
+        assert!(deck.contains(" 0 "), "ground must be node 0");
+        assert!(!deck.contains("n0 "), "node 0 must not be named n0");
+    }
+
+    #[test]
+    fn waveform_specs() {
+        assert_eq!(waveform_spec(&Waveform::Dc(0.5)), "DC 0.5");
+        let s = waveform_spec(&Waveform::step(1.0));
+        assert!(s.starts_with("PWL(0 0 0 0 "), "{s}");
+        let s = waveform_spec(&Waveform::Pwl(vec![(0.0, 0.0), (1e-9, 1.0)]));
+        assert!(s.contains("0 0") && s.contains("0.000000001 1"), "{s}");
+    }
+
+    #[test]
+    fn pe_circuit_exports_cleanly() {
+        // A realistic deck: the full MD row circuit.
+        use crate::waveform::Waveform as W;
+        let mut net = Netlist::new();
+        let inp = net.node("in");
+        net.voltage_source(inp, Netlist::GROUND, W::Dc(0.02));
+        let out = net.buffer(inp, OpampModel::table1());
+        net.memristor(out, Netlist::GROUND, 100.0e3);
+        let deck = to_spice_deck(&net, "buffer");
+        assert!(deck.matches("XOP").count() >= 1);
+        assert!(deck.lines().count() > 8);
+    }
+}

@@ -1,0 +1,433 @@
+//! Modified nodal analysis: system assembly and Newton–Raphson iteration.
+//!
+//! Unknowns are the non-ground node voltages followed by one branch current
+//! per voltage source and per op-amp output. Nonlinear devices (diodes,
+//! op-amp saturation) are stamped as linearized companion models around the
+//! current Newton iterate; integration uses backward-Euler companion models
+//! for capacitors and the op-amp pole.
+
+use crate::elements::Element;
+use crate::error::SpiceError;
+use crate::netlist::{Netlist, NodeId};
+use crate::solver::DenseMatrix;
+use crate::sparse::SparseMatrix;
+
+/// Above this unknown count the sparse solver is used.
+const SPARSE_THRESHOLD: usize = 150;
+
+/// Maximum Newton iterations per solve.
+const MAX_NEWTON: usize = 200;
+
+/// Per-component Newton update damping, V (helps the diode/comparator
+/// nonlinearities converge from poor initial guesses).
+const DAMP_LIMIT: f64 = 0.3;
+
+/// Absolute convergence tolerance on the update norm.
+const TOL_ABS: f64 = 1.0e-9;
+
+/// Context distinguishing DC from one transient step.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum StepContext<'a> {
+    /// DC operating point: capacitors open, op-amp pole ignored.
+    Dc,
+    /// One implicit step of size `h` from the previous solution.
+    Transient {
+        /// Step size, s.
+        h: f64,
+        /// Solution vector at the previous timestep.
+        prev: &'a [f64],
+        /// Capacitor branch currents at the previous timestep (one slot per
+        /// element; unused entries stay 0). `None` selects backward Euler;
+        /// `Some` selects the trapezoidal companion model.
+        cap_currents: Option<&'a [f64]>,
+    },
+}
+
+/// The assembled index maps for a netlist.
+#[derive(Debug, Clone)]
+pub(crate) struct MnaLayout {
+    /// Unknown index of each non-ground node (`node.index() - 1`).
+    node_count: usize,
+    /// Branch-current unknown index per element (usize::MAX if none).
+    branch_of_element: Vec<usize>,
+    /// Total unknowns.
+    pub(crate) n_unknowns: usize,
+}
+
+impl MnaLayout {
+    pub(crate) fn build(netlist: &Netlist) -> Self {
+        let node_count = netlist.node_count() - 1;
+        let mut next_branch = node_count;
+        let branch_of_element = netlist
+            .elements()
+            .iter()
+            .map(|e| {
+                if e.has_branch_current() {
+                    let idx = next_branch;
+                    next_branch += 1;
+                    idx
+                } else {
+                    usize::MAX
+                }
+            })
+            .collect();
+        MnaLayout {
+            node_count,
+            branch_of_element,
+            n_unknowns: next_branch,
+        }
+    }
+
+    /// Unknown index of a node, or `None` for ground.
+    #[inline]
+    pub(crate) fn node(&self, id: NodeId) -> Option<usize> {
+        if id.is_ground() {
+            None
+        } else {
+            Some(id.index() - 1)
+        }
+    }
+
+    /// Node voltage from a solution vector (0 for ground).
+    #[inline]
+    pub(crate) fn voltage(&self, x: &[f64], id: NodeId) -> f64 {
+        self.node(id).map_or(0.0, |i| x[i])
+    }
+
+    /// Number of node-voltage unknowns.
+    pub(crate) fn node_unknowns(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of node-voltage unknowns (for sibling analysis modules).
+    pub(crate) fn node_unknowns_public(&self) -> usize {
+        self.node_count
+    }
+
+    /// A copy of the per-element branch-current indices, rebased so that
+    /// index 0 is the first branch current (for recording).
+    pub(crate) fn branch_indices(&self) -> Vec<usize> {
+        self.branch_of_element
+            .iter()
+            .map(|&k| {
+                if k == usize::MAX {
+                    usize::MAX
+                } else {
+                    k - self.node_count
+                }
+            })
+            .collect()
+    }
+}
+
+/// Abstraction over the dense and sparse backends.
+trait LinearBackend {
+    fn add(&mut self, r: usize, c: usize, v: f64);
+    fn solve_system(self, b: &[f64]) -> Result<Vec<f64>, SpiceError>;
+}
+
+impl LinearBackend for DenseMatrix {
+    fn add(&mut self, r: usize, c: usize, v: f64) {
+        DenseMatrix::add(self, r, c, v);
+    }
+    fn solve_system(self, b: &[f64]) -> Result<Vec<f64>, SpiceError> {
+        self.solve(b)
+    }
+}
+
+impl LinearBackend for SparseMatrix {
+    fn add(&mut self, r: usize, c: usize, v: f64) {
+        SparseMatrix::add(self, r, c, v);
+    }
+    fn solve_system(self, b: &[f64]) -> Result<Vec<f64>, SpiceError> {
+        self.solve(b)
+    }
+}
+
+/// Stamps every element for the given iterate `x` and context, then solves
+/// the linearized system once.
+fn assemble_and_solve<B: LinearBackend>(
+    mut a: B,
+    netlist: &Netlist,
+    layout: &MnaLayout,
+    x: &[f64],
+    t: f64,
+    ctx: StepContext<'_>,
+) -> Result<Vec<f64>, SpiceError> {
+    let mut z = vec![0.0; layout.n_unknowns];
+
+    let stamp_conductance = |a: &mut B, na: NodeId, nb: NodeId, g: f64| {
+        if let Some(i) = layout.node(na) {
+            a.add(i, i, g);
+            if let Some(j) = layout.node(nb) {
+                a.add(i, j, -g);
+            }
+        }
+        if let Some(j) = layout.node(nb) {
+            a.add(j, j, g);
+            if let Some(i) = layout.node(na) {
+                a.add(j, i, -g);
+            }
+        }
+    };
+
+    for (ei, e) in netlist.elements().iter().enumerate() {
+        match e {
+            Element::Resistor { a: na, b: nb, ohms }
+            | Element::Memristor { a: na, b: nb, ohms } => {
+                stamp_conductance(&mut a, *na, *nb, 1.0 / ohms);
+            }
+            Element::Switch {
+                a: na,
+                b: nb,
+                state,
+                ron,
+                roff,
+            } => {
+                let r = match state {
+                    crate::elements::SwitchState::Closed => *ron,
+                    crate::elements::SwitchState::Open => *roff,
+                };
+                stamp_conductance(&mut a, *na, *nb, 1.0 / r);
+            }
+            Element::Capacitor {
+                a: na,
+                b: nb,
+                farads,
+            } => {
+                if let StepContext::Transient {
+                    h,
+                    prev,
+                    cap_currents,
+                } = ctx
+                {
+                    let v_prev = layout.voltage(prev, *na) - layout.voltage(prev, *nb);
+                    let (g, ieq) = match cap_currents {
+                        // Trapezoidal companion:
+                        // i_n = (2C/h)·(v_n − v_prev) − i_prev.
+                        Some(ic) => {
+                            let g = 2.0 * farads / h;
+                            (g, g * v_prev + ic[ei])
+                        }
+                        // BE companion: i = (C/h)·v − (C/h)·v_prev.
+                        None => {
+                            let g = farads / h;
+                            (g, g * v_prev)
+                        }
+                    };
+                    stamp_conductance(&mut a, *na, *nb, g);
+                    if let Some(i) = layout.node(*na) {
+                        z[i] += ieq;
+                    }
+                    if let Some(j) = layout.node(*nb) {
+                        z[j] -= ieq;
+                    }
+                }
+                // DC: capacitor is open — no stamp.
+            }
+            Element::VoltageSource { p, n, waveform } => {
+                let k = ei;
+                let k = {
+                    debug_assert_ne!(layout.branch_of_element[k], usize::MAX);
+                    layout.branch_of_element[k]
+                };
+                if let Some(i) = layout.node(*p) {
+                    a.add(i, k, 1.0);
+                    a.add(k, i, 1.0);
+                }
+                if let Some(j) = layout.node(*n) {
+                    a.add(j, k, -1.0);
+                    a.add(k, j, -1.0);
+                }
+                z[k] = waveform.value(t);
+            }
+            Element::Diode {
+                anode,
+                cathode,
+                model,
+            } => {
+                let v = layout.voltage(x, *anode) - layout.voltage(x, *cathode);
+                let (i0, gd) = model.current_and_derivative(v);
+                // Companion: i = gd·v + (i0 - gd·v0).
+                stamp_conductance(&mut a, *anode, *cathode, gd);
+                let ieq = i0 - gd * v;
+                if let Some(i) = layout.node(*anode) {
+                    z[i] -= ieq;
+                }
+                if let Some(j) = layout.node(*cathode) {
+                    z[j] += ieq;
+                }
+            }
+            Element::VcSwitch {
+                a: na,
+                b: nb,
+                ctrl,
+                threshold,
+                active_high,
+                ron,
+                roff,
+                vs,
+            } => {
+                let vc = layout.voltage(x, *ctrl);
+                let vab = layout.voltage(x, *na) - layout.voltage(x, *nb);
+                let (g, dg) = crate::elements::vc_switch_conductance(
+                    vc,
+                    *threshold,
+                    *active_high,
+                    *ron,
+                    *roff,
+                    *vs,
+                );
+                // i = g(vc)·(va − vb); linearize in va, vb AND vc.
+                stamp_conductance(&mut a, *na, *nb, g);
+                let kc = vab * dg;
+                if let Some(c) = layout.node(*ctrl) {
+                    if let Some(i) = layout.node(*na) {
+                        a.add(i, c, kc);
+                    }
+                    if let Some(j) = layout.node(*nb) {
+                        a.add(j, c, -kc);
+                    }
+                }
+                // Companion current: i0 - g·vab0 - kc·vc0 = -kc·vc0.
+                let ieq = -kc * vc;
+                if let Some(i) = layout.node(*na) {
+                    z[i] -= ieq;
+                }
+                if let Some(j) = layout.node(*nb) {
+                    z[j] += ieq;
+                }
+            }
+            Element::Opamp {
+                inp,
+                inn,
+                out,
+                model,
+            } => {
+                let k = layout.branch_of_element[ei];
+                // Current injection at the output node.
+                if let Some(o) = layout.node(*out) {
+                    a.add(o, k, 1.0);
+                }
+                let vd = layout.voltage(x, *inp) - layout.voltage(x, *inn);
+                let (sat0, dsat) = model.target_and_derivative(vd);
+                match ctx {
+                    StepContext::Dc => {
+                        // vout = sat(A0·vd), linearized:
+                        // vout - dsat·(vp - vn) = sat0 - dsat·vd0.
+                        if let Some(o) = layout.node(*out) {
+                            a.add(k, o, 1.0);
+                        }
+                        if let Some(i) = layout.node(*inp) {
+                            a.add(k, i, -dsat);
+                        }
+                        if let Some(j) = layout.node(*inn) {
+                            a.add(k, j, dsat);
+                        }
+                        z[k] = sat0 - dsat * vd;
+                    }
+                    StepContext::Transient { h, prev, .. } => {
+                        // τ·dvout/dt = sat(A0·vd) - vout, BE:
+                        // vout·(1 + h/τ) - (h/τ)·sat = vout_prev.
+                        let tau = model.pole_tau();
+                        let alpha = h / tau;
+                        let vout_prev = layout.voltage(prev, *out);
+                        if let Some(o) = layout.node(*out) {
+                            a.add(k, o, 1.0 + alpha);
+                        }
+                        if let Some(i) = layout.node(*inp) {
+                            a.add(k, i, -alpha * dsat);
+                        }
+                        if let Some(j) = layout.node(*inn) {
+                            a.add(k, j, alpha * dsat);
+                        }
+                        z[k] = vout_prev + alpha * (sat0 - dsat * vd);
+                    }
+                }
+            }
+        }
+    }
+    a.solve_system(&z)
+}
+
+/// Runs Newton–Raphson to convergence for one analysis point.
+pub(crate) fn solve_point(
+    netlist: &Netlist,
+    layout: &MnaLayout,
+    initial: &[f64],
+    t: f64,
+    ctx: StepContext<'_>,
+) -> Result<Vec<f64>, SpiceError> {
+    let n = layout.n_unknowns;
+    let mut x = initial.to_vec();
+    let mut last_delta = f64::INFINITY;
+
+    for iteration in 1..=MAX_NEWTON {
+        let x_new = if n > SPARSE_THRESHOLD {
+            assemble_and_solve(SparseMatrix::zeros(n), netlist, layout, &x, t, ctx)?
+        } else {
+            assemble_and_solve(DenseMatrix::zeros(n), netlist, layout, &x, t, ctx)?
+        };
+        // Damped update on the voltage unknowns only; branch currents move
+        // freely (their scale differs wildly from volts).
+        let mut delta: f64 = 0.0;
+        for i in 0..n {
+            let mut dx = x_new[i] - x[i];
+            if i < layout.node_unknowns() {
+                dx = dx.clamp(-DAMP_LIMIT, DAMP_LIMIT);
+                delta = delta.max(dx.abs());
+            }
+            x[i] += dx;
+        }
+        last_delta = delta;
+        if delta < TOL_ABS {
+            return Ok(x);
+        }
+        // Safety valve: a diverging iterate (NaN) is unrecoverable.
+        if !delta.is_finite() {
+            return Err(SpiceError::NewtonDiverged {
+                time: t,
+                iterations: iteration,
+                residual: delta,
+            });
+        }
+    }
+    Err(SpiceError::NewtonDiverged {
+        time: t,
+        iterations: MAX_NEWTON,
+        residual: last_delta,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::waveform::Waveform;
+
+    #[test]
+    fn layout_assigns_branches_after_nodes() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let b = net.node("b");
+        net.resistor(a, b, 1.0);
+        net.voltage_source(a, Netlist::GROUND, Waveform::Dc(1.0));
+        net.voltage_source(b, Netlist::GROUND, Waveform::Dc(2.0));
+        let layout = MnaLayout::build(&net);
+        assert_eq!(layout.node_unknowns(), 2);
+        assert_eq!(layout.n_unknowns, 4);
+        assert_eq!(layout.branch_of_element[0], usize::MAX);
+        assert_eq!(layout.branch_of_element[1], 2);
+        assert_eq!(layout.branch_of_element[2], 3);
+    }
+
+    #[test]
+    fn voltage_of_ground_is_zero() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        net.resistor(a, Netlist::GROUND, 1.0);
+        let layout = MnaLayout::build(&net);
+        let x = vec![3.3];
+        assert_eq!(layout.voltage(&x, Netlist::GROUND), 0.0);
+        assert_eq!(layout.voltage(&x, a), 3.3);
+    }
+}

@@ -1,0 +1,404 @@
+//! Netlist construction.
+
+use crate::dc::solve_dc;
+use crate::elements::{DiodeModel, Element, OpampModel, SwitchState};
+use crate::error::SpiceError;
+use crate::transient::{run_transient, TransientResult, TransientSpec};
+use crate::waveform::Waveform;
+
+/// Identifier of a circuit node. `NodeId::GROUND` is the reference node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The ground (reference) node.
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// The raw index (0 = ground).
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// `true` if this is the reference node.
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_ground() {
+            f.write_str("gnd")
+        } else {
+            write!(f, "n{}", self.0)
+        }
+    }
+}
+
+/// Handle to an element, for later reconfiguration (switch state, source
+/// waveform, memristor resistance) and result lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ElementId(pub(crate) usize);
+
+impl ElementId {
+    /// The raw element index within its netlist.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A circuit under construction.
+///
+/// Nodes are created with [`Netlist::node`]; elements through the builder
+/// methods. Analyses are run with [`Netlist::dc`] and [`Netlist::transient`].
+///
+/// See the [crate-level example](crate) for a complete RC circuit.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    node_names: Vec<String>,
+    elements: Vec<Element>,
+}
+
+impl Netlist {
+    /// The ground node (alias of [`NodeId::GROUND`]).
+    pub const GROUND: NodeId = NodeId::GROUND;
+
+    /// An empty netlist.
+    pub fn new() -> Self {
+        Netlist {
+            node_names: vec!["gnd".to_string()],
+            elements: Vec::new(),
+        }
+    }
+
+    /// Creates a new node with a diagnostic name.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        self.node_names.push(name.to_string());
+        NodeId(self.node_names.len() - 1)
+    }
+
+    /// Number of nodes including ground.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Number of elements.
+    pub fn element_count(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// The diagnostic name of a node.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.node_names[id.0]
+    }
+
+    /// All elements, for assembly and export.
+    pub(crate) fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    fn check_node(&self, id: NodeId) -> Result<(), SpiceError> {
+        if id.0 < self.node_names.len() {
+            Ok(())
+        } else {
+            Err(SpiceError::UnknownNode { id: id.0 })
+        }
+    }
+
+    fn push(&mut self, e: Element) -> ElementId {
+        self.elements.push(e);
+        ElementId(self.elements.len() - 1)
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ohms` is not positive/finite or a node is unknown.
+    pub fn resistor(&mut self, a: NodeId, b: NodeId, ohms: f64) -> ElementId {
+        assert!(
+            ohms.is_finite() && ohms > 0.0,
+            "resistance must be positive"
+        );
+        self.check_node(a).expect("node a");
+        self.check_node(b).expect("node b");
+        self.push(Element::Resistor { a, b, ohms })
+    }
+
+    /// Adds a memristor programmed to `ohms` (quasi-static during analysis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ohms` is not positive/finite or a node is unknown.
+    pub fn memristor(&mut self, a: NodeId, b: NodeId, ohms: f64) -> ElementId {
+        assert!(
+            ohms.is_finite() && ohms > 0.0,
+            "resistance must be positive"
+        );
+        self.check_node(a).expect("node a");
+        self.check_node(b).expect("node b");
+        self.push(Element::Memristor { a, b, ohms })
+    }
+
+    /// Adds a capacitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `farads` is not positive/finite or a node is unknown.
+    pub fn capacitor(&mut self, a: NodeId, b: NodeId, farads: f64) -> ElementId {
+        assert!(
+            farads.is_finite() && farads > 0.0,
+            "capacitance must be positive"
+        );
+        self.check_node(a).expect("node a");
+        self.check_node(b).expect("node b");
+        self.push(Element::Capacitor { a, b, farads })
+    }
+
+    /// Adds an independent voltage source from `p` to `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node is unknown.
+    pub fn voltage_source(&mut self, p: NodeId, n: NodeId, waveform: Waveform) -> ElementId {
+        self.check_node(p).expect("node p");
+        self.check_node(n).expect("node n");
+        self.push(Element::VoltageSource { p, n, waveform })
+    }
+
+    /// Adds a smoothed ideal diode (default model: 0 V threshold).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node is unknown.
+    pub fn diode(&mut self, anode: NodeId, cathode: NodeId) -> ElementId {
+        self.diode_with(anode, cathode, DiodeModel::default())
+    }
+
+    /// Adds a diode with an explicit model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node is unknown.
+    pub fn diode_with(&mut self, anode: NodeId, cathode: NodeId, model: DiodeModel) -> ElementId {
+        self.check_node(anode).expect("anode");
+        self.check_node(cathode).expect("cathode");
+        self.push(Element::Diode {
+            anode,
+            cathode,
+            model,
+        })
+    }
+
+    /// Adds a transmission gate in the given state (1 Ω closed / 1 GΩ open).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node is unknown.
+    pub fn switch(&mut self, a: NodeId, b: NodeId, state: SwitchState) -> ElementId {
+        self.check_node(a).expect("node a");
+        self.check_node(b).expect("node b");
+        self.push(Element::Switch {
+            a,
+            b,
+            state,
+            ron: 1.0,
+            roff: 1.0e9,
+        })
+    }
+
+    /// Adds a voltage-controlled transmission gate that conducts when the
+    /// control node is above (`active_high`) or below (`!active_high`)
+    /// `threshold`. The control characteristic has a 10 mV transition width
+    /// so a rail-to-rail comparator output switches it cleanly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node is unknown.
+    pub fn vc_switch(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        ctrl: NodeId,
+        threshold: f64,
+        active_high: bool,
+    ) -> ElementId {
+        self.check_node(a).expect("node a");
+        self.check_node(b).expect("node b");
+        self.check_node(ctrl).expect("ctrl");
+        self.push(Element::VcSwitch {
+            a,
+            b,
+            ctrl,
+            threshold,
+            active_high,
+            ron: 1.0,
+            roff: 1.0e9,
+            vs: 10.0e-3,
+        })
+    }
+
+    /// Adds a behavioural op-amp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node is unknown.
+    pub fn opamp(&mut self, inp: NodeId, inn: NodeId, out: NodeId, model: OpampModel) -> ElementId {
+        self.check_node(inp).expect("inp");
+        self.check_node(inn).expect("inn");
+        self.check_node(out).expect("out");
+        self.push(Element::Opamp {
+            inp,
+            inn,
+            out,
+            model,
+        })
+    }
+
+    /// Adds a unity-gain buffer (op-amp with output fed back to the
+    /// inverting input) from `input` to a new output node, which is
+    /// returned.
+    pub fn buffer(&mut self, input: NodeId, model: OpampModel) -> NodeId {
+        let out = self.node("buf_out");
+        self.opamp(input, out, out, model);
+        out
+    }
+
+    /// Reconfigures a switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a switch.
+    pub fn set_switch(&mut self, id: ElementId, new_state: SwitchState) {
+        match &mut self.elements[id.0] {
+            Element::Switch { state, .. } => *state = new_state,
+            other => panic!("element {id:?} is not a switch: {other:?}"),
+        }
+    }
+
+    /// Reprograms a memristor's resistance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a memristor or `ohms` is invalid.
+    pub fn set_memristor(&mut self, id: ElementId, new_ohms: f64) {
+        assert!(
+            new_ohms.is_finite() && new_ohms > 0.0,
+            "resistance must be positive"
+        );
+        match &mut self.elements[id.0] {
+            Element::Memristor { ohms, .. } => *ohms = new_ohms,
+            other => panic!("element {id:?} is not a memristor: {other:?}"),
+        }
+    }
+
+    /// Replaces a voltage source's waveform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not refer to a voltage source.
+    pub fn set_source(&mut self, id: ElementId, new_waveform: Waveform) {
+        match &mut self.elements[id.0] {
+            Element::VoltageSource { waveform, .. } => *waveform = new_waveform,
+            other => panic!("element {id:?} is not a voltage source: {other:?}"),
+        }
+    }
+
+    /// Adds the paper's 20 fF parasitic capacitance (Table 1) from every
+    /// non-ground node to ground. Call once after the circuit is complete.
+    pub fn add_parasitic_capacitance(&mut self, farads: f64) {
+        for i in 1..self.node_names.len() {
+            self.push(Element::Capacitor {
+                a: NodeId(i),
+                b: NodeId::GROUND,
+                farads,
+            });
+        }
+    }
+
+    /// Computes the DC operating point. Returns one voltage per node
+    /// (index 0 = ground = 0 V).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::SingularMatrix`] for ill-formed circuits or
+    /// [`SpiceError::NewtonDiverged`] if the nonlinear solve fails.
+    pub fn dc(&self) -> Result<Vec<f64>, SpiceError> {
+        solve_dc(self)
+    }
+
+    /// Runs a backward-Euler transient analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::InvalidAnalysis`] for a bad spec, or the same
+    /// errors as [`Netlist::dc`] during stepping.
+    pub fn transient(&self, spec: &TransientSpec) -> Result<TransientResult, SpiceError> {
+        run_transient(self, spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_creation_and_names() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let b = net.node("b");
+        assert_eq!(a, NodeId(1));
+        assert_eq!(b, NodeId(2));
+        assert_eq!(net.node_name(a), "a");
+        assert_eq!(net.node_count(), 3);
+        assert!(NodeId::GROUND.is_ground());
+        assert!(!a.is_ground());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(NodeId::GROUND.to_string(), "gnd");
+        assert_eq!(NodeId(4).to_string(), "n4");
+    }
+
+    #[test]
+    fn element_builders_count() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        net.resistor(a, Netlist::GROUND, 1.0e3);
+        net.capacitor(a, Netlist::GROUND, 1.0e-12);
+        net.diode(a, Netlist::GROUND);
+        assert_eq!(net.element_count(), 3);
+    }
+
+    #[test]
+    fn reconfiguration() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let sw = net.switch(a, Netlist::GROUND, SwitchState::Open);
+        net.set_switch(sw, SwitchState::Closed);
+        let m = net.memristor(a, Netlist::GROUND, 1.0e3);
+        net.set_memristor(m, 50.0e3);
+        let v = net.voltage_source(a, Netlist::GROUND, Waveform::Dc(1.0));
+        net.set_source(v, Waveform::Dc(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "resistance must be positive")]
+    fn zero_resistance_rejected() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        net.resistor(a, Netlist::GROUND, 0.0);
+    }
+
+    #[test]
+    fn parasitics_attach_to_every_node() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let b = net.node("b");
+        net.resistor(a, b, 1.0);
+        let before = net.element_count();
+        net.add_parasitic_capacitance(20.0e-15);
+        assert_eq!(net.element_count(), before + 2);
+    }
+}

@@ -1,0 +1,204 @@
+//! Dense linear solver: LU factorization with partial pivoting.
+//!
+//! MNA matrices for single-PE circuits are small (tens of unknowns), where a
+//! dense solve beats sparse bookkeeping. Larger array-level netlists use
+//! [`crate::sparse`].
+
+use crate::error::SpiceError;
+
+/// A dense row-major square matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// An `n x n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        DenseMatrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// The dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Resets all entries to zero (for re-stamping without reallocation).
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Adds `v` to entry `(r, c)`.
+    #[inline]
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.n && c < self.n);
+        self.data[r * self.n + c] += v;
+    }
+
+    /// Entry `(r, c)`.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.n + c]
+    }
+
+    /// Solves `A·x = b` in place by LU with partial pivoting; the matrix is
+    /// consumed (overwritten by its factors).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::SingularMatrix`] if a pivot collapses below
+    /// `1e-300`.
+    pub fn solve(mut self, b: &[f64]) -> Result<Vec<f64>, SpiceError> {
+        assert_eq!(b.len(), self.n, "rhs length must match dimension");
+        let n = self.n;
+        let mut x = b.to_vec();
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        for k in 0..n {
+            // Partial pivot.
+            let mut max_row = k;
+            let mut max_val = self.at(perm[k], k).abs();
+            for (r, &pr) in perm.iter().enumerate().skip(k + 1) {
+                let v = self.at(pr, k).abs();
+                if v > max_val {
+                    max_val = v;
+                    max_row = r;
+                }
+            }
+            if max_val < 1.0e-300 {
+                return Err(SpiceError::SingularMatrix { pivot: k });
+            }
+            perm.swap(k, max_row);
+            let pk = perm[k];
+            let pivot = self.at(pk, k);
+            for &pr in perm.iter().skip(k + 1) {
+                let factor = self.at(pr, k) / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                self.data[pr * n + k] = factor;
+                for c in (k + 1)..n {
+                    let sub = factor * self.at(pk, c);
+                    self.data[pr * n + c] -= sub;
+                }
+            }
+        }
+
+        // Forward substitution (L has unit diagonal, factors stored below).
+        let mut y = vec![0.0; n];
+        for k in 0..n {
+            let mut sum = x[perm[k]];
+            for (c, &yc) in y.iter().enumerate().take(k) {
+                sum -= self.at(perm[k], c) * yc;
+            }
+            y[k] = sum;
+        }
+        // Back substitution.
+        for k in (0..n).rev() {
+            let mut sum = y[k];
+            for c in (k + 1)..n {
+                sum -= self.at(perm[k], c) * x[c];
+            }
+            x[k] = sum / self.at(perm[k], k);
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let mut m = DenseMatrix::zeros(3);
+        for i in 0..3 {
+            m.add(i, i, 1.0);
+        }
+        let x = m.solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solves_general_system() {
+        // [2 1; 1 3] x = [5; 10] -> x = [1; 3].
+        let mut m = DenseMatrix::zeros(2);
+        m.add(0, 0, 2.0);
+        m.add(0, 1, 1.0);
+        m.add(1, 0, 1.0);
+        m.add(1, 1, 3.0);
+        let x = m.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // [0 1; 1 0] x = [2; 3] -> x = [3; 2].
+        let mut m = DenseMatrix::zeros(2);
+        m.add(0, 1, 1.0);
+        m.add(1, 0, 1.0);
+        let x = m.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let mut m = DenseMatrix::zeros(2);
+        m.add(0, 0, 1.0);
+        m.add(0, 1, 2.0);
+        m.add(1, 0, 2.0);
+        m.add(1, 1, 4.0);
+        assert!(matches!(
+            m.solve(&[1.0, 2.0]),
+            Err(SpiceError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn wide_dynamic_range() {
+        // Conductance stamps span ~1e-5 .. 10 in the accelerator circuits;
+        // the solver must stay accurate across that spread.
+        let mut m = DenseMatrix::zeros(2);
+        m.add(0, 0, 1.0e-5);
+        m.add(1, 1, 10.0);
+        let x = m.solve(&[1.0e-5, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_roundtrip() {
+        // Deterministic pseudo-random matrix; verify A*x = b residual.
+        let n = 20;
+        let mut seed = 12345u64;
+        let mut rand = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut m = DenseMatrix::zeros(n);
+        for r in 0..n {
+            for c in 0..n {
+                m.add(r, c, rand());
+            }
+            m.add(r, r, 5.0); // diagonal dominance
+        }
+        let b: Vec<f64> = (0..n).map(|_| rand()).collect();
+        let a = m.clone();
+        let x = m.solve(&b).unwrap();
+        for r in 0..n {
+            let mut sum = 0.0;
+            for c in 0..n {
+                sum += a.at(r, c) * x[c];
+            }
+            assert!((sum - b[r]).abs() < 1e-9, "row {r} residual");
+        }
+    }
+}

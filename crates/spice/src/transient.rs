@@ -1,0 +1,527 @@
+//! Backward-Euler transient analysis.
+
+use crate::error::SpiceError;
+use crate::mna::{solve_point, MnaLayout, StepContext};
+use crate::netlist::{ElementId, Netlist, NodeId};
+use crate::waveform::Trace;
+
+/// Numerical integration method for the transient.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Integration {
+    /// Backward Euler: L-stable, first order, slightly lossy (numerical
+    /// damping). The default.
+    #[default]
+    BackwardEuler,
+    /// Trapezoidal rule: A-stable, second order — more accurate on the same
+    /// step, with the classic risk of step-to-step ringing on
+    /// discontinuities.
+    Trapezoidal,
+}
+
+/// Specification of a transient run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientSpec {
+    /// Stop time, s.
+    pub stop: f64,
+    /// Fixed step size, s.
+    pub step: f64,
+    /// Start from the DC operating point (`true`, default) or from all-zero
+    /// initial conditions (`false` — the paper measures from "the rising
+    /// edge of the input", i.e. a cold start).
+    pub start_from_dc: bool,
+    /// Capacitor integration method (op-amp poles always use backward
+    /// Euler; their dynamics are far faster than the RC nets of interest).
+    pub integration: Integration,
+}
+
+impl TransientSpec {
+    /// A run from 0 to `stop` with fixed `step`, starting from zero initial
+    /// conditions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stop` or `step` are not positive.
+    pub fn new(stop: f64, step: f64) -> Self {
+        assert!(stop > 0.0 && stop.is_finite(), "stop must be positive");
+        assert!(step > 0.0 && step.is_finite(), "step must be positive");
+        TransientSpec {
+            stop,
+            step,
+            start_from_dc: false,
+            integration: Integration::BackwardEuler,
+        }
+    }
+
+    /// Starts the run from the DC operating point instead of zero state.
+    #[must_use]
+    pub fn from_dc(mut self) -> Self {
+        self.start_from_dc = true;
+        self
+    }
+
+    /// Selects trapezoidal capacitor integration.
+    #[must_use]
+    pub fn trapezoidal(mut self) -> Self {
+        self.integration = Integration::Trapezoidal;
+        self
+    }
+}
+
+/// Result of a transient run: all node voltages (and source/op-amp branch
+/// currents) at every timestep.
+#[derive(Debug, Clone)]
+pub struct TransientResult {
+    times: Vec<f64>,
+    /// `voltages[step][node_index]`, including ground at index 0.
+    voltages: Vec<Vec<f64>>,
+    /// `currents[step][k]` for the k-th branch-current unknown.
+    currents: Vec<Vec<f64>>,
+    /// Branch-current index per element (usize::MAX if none).
+    branch_of_element: Vec<usize>,
+}
+
+impl TransientResult {
+    /// Sample times.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Number of timesteps recorded.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` if no steps were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The trace of one node's voltage over time.
+    pub fn voltage(&self, node: NodeId) -> Trace {
+        let values = self
+            .voltages
+            .iter()
+            .map(|snapshot| snapshot[node.index()])
+            .collect();
+        Trace::new(self.times.clone(), values)
+    }
+
+    /// Voltage of `node` at step `i`.
+    pub fn voltage_at(&self, node: NodeId, i: usize) -> f64 {
+        self.voltages[i][node.index()]
+    }
+
+    /// The branch-current trace of a voltage source or op-amp output
+    /// (positive into the `p`/output terminal per MNA convention).
+    ///
+    /// Returns `None` if the element carries no branch current (resistors,
+    /// capacitors, diodes, switches).
+    pub fn branch_current(&self, element: ElementId) -> Option<Trace> {
+        let k = *self.branch_of_element.get(element.index())?;
+        if k == usize::MAX {
+            return None;
+        }
+        let values = self.currents.iter().map(|snapshot| snapshot[k]).collect();
+        Some(Trace::new(self.times.clone(), values))
+    }
+
+    /// Energy delivered by a voltage source over the run, J: the trapezoidal
+    /// integral of `v(t)·(−i(t))` where `i` is the MNA branch current
+    /// (which flows *into* the positive terminal, so a sourcing supply has
+    /// negative `i`).
+    ///
+    /// Returns `None` for elements without a branch current.
+    pub fn source_energy(&self, element: ElementId, p: NodeId, n: NodeId) -> Option<f64> {
+        let current = self.branch_current(element)?;
+        let mut energy = 0.0;
+        for i in 1..self.times.len() {
+            let dt = self.times[i] - self.times[i - 1];
+            let power = |step: usize| {
+                let v = self.voltages[step][p.index()] - self.voltages[step][n.index()];
+                -v * current.values()[step]
+            };
+            energy += 0.5 * (power(i) + power(i - 1)) * dt;
+        }
+        Some(energy)
+    }
+}
+
+/// Runs a fixed-step backward-Euler transient analysis.
+///
+/// # Errors
+///
+/// Returns [`SpiceError::InvalidAnalysis`] for a degenerate spec, or
+/// propagates solver errors from individual steps.
+fn layout_voltage(x: &[f64], id: NodeId) -> f64 {
+    if id.is_ground() {
+        0.0
+    } else {
+        x[id.index() - 1]
+    }
+}
+
+pub fn run_transient(
+    netlist: &Netlist,
+    spec: &TransientSpec,
+) -> Result<TransientResult, SpiceError> {
+    if spec.step <= 0.0 || spec.stop <= 0.0 || spec.step > spec.stop {
+        return Err(SpiceError::InvalidAnalysis {
+            reason: format!("bad transient spec: stop {} step {}", spec.stop, spec.step),
+        });
+    }
+    let layout = MnaLayout::build(netlist);
+    let mut x = if spec.start_from_dc {
+        let dc = crate::dc::solve_dc(netlist)?;
+        // Rebuild the full unknown vector from node voltages, zero branch
+        // currents (they re-converge in the first step).
+        let mut x0 = vec![0.0; layout.n_unknowns];
+        for (node, v) in dc.iter().enumerate().skip(1) {
+            x0[node - 1] = *v;
+        }
+        x0
+    } else {
+        vec![0.0; layout.n_unknowns]
+    };
+
+    let steps = (spec.stop / spec.step).round() as usize;
+    let mut times = Vec::with_capacity(steps + 1);
+    let mut voltages = Vec::with_capacity(steps + 1);
+    let mut currents = Vec::with_capacity(steps + 1);
+
+    let node_count = netlist.node_count();
+    let snapshot = |x: &[f64]| {
+        let mut v = vec![0.0; node_count];
+        for (id, slot) in v.iter_mut().enumerate().skip(1) {
+            *slot = x[id - 1];
+        }
+        v
+    };
+    let current_snapshot = |x: &[f64]| x[node_count - 1..].to_vec();
+
+    times.push(0.0);
+    voltages.push(snapshot(&x));
+    currents.push(current_snapshot(&x));
+
+    let prev_holder = x.clone();
+    let mut prev = prev_holder;
+    // Per-element capacitor branch currents (trapezoidal state).
+    let trapezoidal = spec.integration == Integration::Trapezoidal;
+    let mut cap_i = vec![0.0f64; netlist.element_count()];
+    for s in 1..=steps {
+        let t = s as f64 * spec.step;
+        // Trapezoidal runs start with one backward-Euler step so the source
+        // discontinuity at t = 0 doesn't excite the method's ringing mode.
+        let use_trap = trapezoidal && s > 1;
+        let ctx = StepContext::Transient {
+            h: spec.step,
+            prev: &prev,
+            cap_currents: use_trap.then_some(&cap_i[..]),
+        };
+        x = solve_point(netlist, &layout, &x, t, ctx)?;
+        if trapezoidal {
+            for (ei, e) in netlist.elements().iter().enumerate() {
+                if let crate::elements::Element::Capacitor { a, b, farads } = e {
+                    let v_new = layout_voltage(&x, *a) - layout_voltage(&x, *b);
+                    let v_old = layout_voltage(&prev, *a) - layout_voltage(&prev, *b);
+                    cap_i[ei] = if use_trap {
+                        // i_n = (2C/h)·(v_n − v_prev) − i_prev.
+                        2.0 * farads / spec.step * (v_new - v_old) - cap_i[ei]
+                    } else {
+                        // BE bootstrap: i_n = (C/h)·(v_n − v_prev).
+                        farads / spec.step * (v_new - v_old)
+                    };
+                }
+            }
+        }
+        times.push(t);
+        voltages.push(snapshot(&x));
+        currents.push(current_snapshot(&x));
+        prev.copy_from_slice(&x);
+    }
+
+    Ok(TransientResult {
+        times,
+        voltages,
+        currents,
+        branch_of_element: layout.branch_indices(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elements::OpampModel;
+    use crate::waveform::Waveform;
+
+    #[test]
+    fn rc_step_response_matches_analytic() {
+        // R = 1 kΩ, C = 1 nF -> tau = 1 µs; v(t) = 1 - exp(-t/tau).
+        let mut net = Netlist::new();
+        let inp = net.node("in");
+        let out = net.node("out");
+        net.voltage_source(inp, Netlist::GROUND, Waveform::step(1.0));
+        net.resistor(inp, out, 1.0e3);
+        net.capacitor(out, Netlist::GROUND, 1.0e-9);
+        let res = net.transient(&TransientSpec::new(5.0e-6, 2.0e-9)).unwrap();
+        let tr = res.voltage(out);
+        for (i, &t) in tr.times().iter().enumerate() {
+            if t < 20.0e-9 {
+                continue; // skip the source edge
+            }
+            let expected = 1.0 - (-(t) / 1.0e-6).exp();
+            let got = tr.values()[i];
+            assert!(
+                (got - expected).abs() < 0.01,
+                "t = {t:.2e}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn rc_convergence_time_is_ln1000_tau() {
+        let mut net = Netlist::new();
+        let inp = net.node("in");
+        let out = net.node("out");
+        net.voltage_source(inp, Netlist::GROUND, Waveform::step(1.0));
+        net.resistor(inp, out, 1.0e3);
+        net.capacitor(out, Netlist::GROUND, 1.0e-9);
+        let res = net.transient(&TransientSpec::new(15.0e-6, 5.0e-9)).unwrap();
+        let tc = res.voltage(out).convergence_time(0.001).unwrap();
+        let expected = 1.0e-6 * 1000.0_f64.ln(); // 6.9 µs
+        assert!(
+            (tc - expected).abs() / expected < 0.05,
+            "convergence {tc:.3e} vs {expected:.3e}"
+        );
+    }
+
+    #[test]
+    fn two_stage_rc_slower_than_one() {
+        // Convergence time must grow with the RC chain length — the physics
+        // behind the paper's "convergence time linear in sequence length".
+        let build_chain = |stages: usize| {
+            let mut net = Netlist::new();
+            let inp = net.node("in");
+            net.voltage_source(inp, Netlist::GROUND, Waveform::step(1.0));
+            let mut prev = inp;
+            let mut last = inp;
+            for s in 0..stages {
+                let n = net.node(&format!("s{s}"));
+                net.resistor(prev, n, 1.0e3);
+                net.capacitor(n, Netlist::GROUND, 0.2e-9);
+                prev = n;
+                last = n;
+            }
+            (net, last)
+        };
+        let (net1, out1) = build_chain(1);
+        let (net3, out3) = build_chain(3);
+        let t1 = net1
+            .transient(&TransientSpec::new(10.0e-6, 5.0e-9))
+            .unwrap()
+            .voltage(out1)
+            .convergence_time(0.001)
+            .unwrap();
+        let t3 = net3
+            .transient(&TransientSpec::new(10.0e-6, 5.0e-9))
+            .unwrap()
+            .voltage(out3)
+            .convergence_time(0.001)
+            .unwrap();
+        assert!(t3 > t1 * 1.5, "1-stage {t1:.2e}, 3-stage {t3:.2e}");
+    }
+
+    #[test]
+    fn opamp_buffer_settles_to_input() {
+        let mut net = Netlist::new();
+        let inp = net.node("in");
+        net.voltage_source(inp, Netlist::GROUND, Waveform::step(0.4));
+        let out = net.buffer(inp, OpampModel::table1());
+        net.capacitor(out, Netlist::GROUND, 20.0e-15);
+        let res = net.transient(&TransientSpec::new(2.0e-9, 1.0e-12)).unwrap();
+        let tr = res.voltage(out);
+        assert!(
+            (tr.last() - 0.4).abs() < 2e-3,
+            "buffer settles to {}",
+            tr.last()
+        );
+        // And it takes nonzero time to get there.
+        let tc = tr.convergence_time(0.001).unwrap();
+        assert!(tc > 1.0e-12);
+    }
+
+    #[test]
+    fn diode_peak_detector_holds_maximum() {
+        // Source pulses to 0.5 V then returns to 0; the diode charges the
+        // hold capacitor and blocks the discharge.
+        let mut net = Netlist::new();
+        let src = net.node("src");
+        let hold = net.node("hold");
+        net.voltage_source(
+            src,
+            Netlist::GROUND,
+            Waveform::Pwl(vec![
+                (0.0, 0.0),
+                (1.0e-9, 0.5),
+                (5.0e-9, 0.5),
+                (6.0e-9, 0.0),
+            ]),
+        );
+        net.diode(src, hold);
+        net.capacitor(hold, Netlist::GROUND, 1.0e-12);
+        let res = net
+            .transient(&TransientSpec::new(20.0e-9, 10.0e-12))
+            .unwrap();
+        let tr = res.voltage(hold);
+        assert!(
+            (tr.last() - 0.5).abs() < 0.02,
+            "peak detector held {}",
+            tr.last()
+        );
+    }
+
+    #[test]
+    fn trapezoidal_is_more_accurate_than_backward_euler() {
+        // RC step response at a coarse step: trapezoidal's second-order
+        // accuracy must beat backward Euler's at the same step size.
+        let build = || {
+            let mut net = Netlist::new();
+            let inp = net.node("in");
+            let out = net.node("out");
+            net.voltage_source(inp, Netlist::GROUND, Waveform::step(1.0));
+            net.resistor(inp, out, 1.0e3);
+            net.capacitor(out, Netlist::GROUND, 1.0e-9); // tau = 1 us
+            (net, out)
+        };
+        let coarse = 0.1e-6; // tau / 10
+        let error_at_tau = |res: &TransientResult, out: NodeId| {
+            let got = res.voltage(out).at_time(1.0e-6);
+            let expected = 1.0 - (-1.0f64).exp();
+            (got - expected).abs()
+        };
+        let (net, out) = build();
+        let be = net.transient(&TransientSpec::new(3.0e-6, coarse)).unwrap();
+        let (net, out2) = build();
+        let trap = net
+            .transient(&TransientSpec::new(3.0e-6, coarse).trapezoidal())
+            .unwrap();
+        let e_be = error_at_tau(&be, out);
+        let e_trap = error_at_tau(&trap, out2);
+        assert!(
+            e_trap < e_be / 3.0,
+            "trapezoidal {e_trap:.2e} should beat backward Euler {e_be:.2e}"
+        );
+    }
+
+    #[test]
+    fn both_integrators_agree_at_fine_steps() {
+        let build = || {
+            let mut net = Netlist::new();
+            let inp = net.node("in");
+            let out = net.node("out");
+            net.voltage_source(inp, Netlist::GROUND, Waveform::step(0.5));
+            net.resistor(inp, out, 2.0e3);
+            net.capacitor(out, Netlist::GROUND, 0.5e-9);
+            (net, out)
+        };
+        let (net, out) = build();
+        let be = net.transient(&TransientSpec::new(5.0e-6, 2.0e-9)).unwrap();
+        let (net, out2) = build();
+        let trap = net
+            .transient(&TransientSpec::new(5.0e-6, 2.0e-9).trapezoidal())
+            .unwrap();
+        for &t in &[0.5e-6, 1.0e-6, 3.0e-6] {
+            let a = be.voltage(out).at_time(t);
+            let b = trap.voltage(out2).at_time(t);
+            assert!((a - b).abs() < 2e-3, "t {t:.1e}: BE {a} vs trap {b}");
+        }
+    }
+
+    #[test]
+    fn branch_current_of_resistive_load_follows_ohms_law() {
+        let mut net = Netlist::new();
+        let inp = net.node("in");
+        let src = net.voltage_source(inp, Netlist::GROUND, Waveform::Dc(1.0));
+        let r = net.resistor(inp, Netlist::GROUND, 1.0e3);
+        let res = net.transient(&TransientSpec::new(10.0e-9, 1.0e-9)).unwrap();
+        // MNA branch current flows into the + terminal: the source supplies
+        // 1 mA, so its branch current is -1 mA.
+        let i = res.branch_current(src).expect("source has branch current");
+        assert!((i.last() + 1.0e-3).abs() < 1e-9, "i = {}", i.last());
+        // Resistors carry no branch-current unknown.
+        assert!(res.branch_current(r).is_none());
+    }
+
+    #[test]
+    fn source_energy_matches_dissipation() {
+        // DC source into a resistor for 100 ns: E = V^2/R * t = 0.1 nJ.
+        let mut net = Netlist::new();
+        let inp = net.node("in");
+        let src = net.voltage_source(inp, Netlist::GROUND, Waveform::Dc(1.0));
+        net.resistor(inp, Netlist::GROUND, 1.0e3);
+        let res = net
+            .transient(&TransientSpec::new(100.0e-9, 1.0e-9))
+            .unwrap();
+        let e = res
+            .source_energy(src, inp, Netlist::GROUND)
+            .expect("source energy");
+        let expected = 1.0 / 1.0e3 * 100.0e-9;
+        assert!(
+            (e - expected).abs() / expected < 0.02,
+            "energy {e:.3e} vs {expected:.3e}"
+        );
+    }
+
+    #[test]
+    fn rc_charge_energy_split() {
+        // Charging a capacitor through a resistor: the source delivers
+        // C*V^2, half stored, half dissipated. Run ~12 tau.
+        let mut net = Netlist::new();
+        let inp = net.node("in");
+        let out = net.node("out");
+        let src = net.voltage_source(inp, Netlist::GROUND, Waveform::step(1.0));
+        net.resistor(inp, out, 1.0e3);
+        net.capacitor(out, Netlist::GROUND, 1.0e-12); // tau = 1 ns
+        let res = net
+            .transient(&TransientSpec::new(12.0e-9, 5.0e-12))
+            .unwrap();
+        let e = res
+            .source_energy(src, inp, Netlist::GROUND)
+            .expect("source energy");
+        let expected = 1.0e-12; // C*V^2
+        assert!(
+            (e - expected).abs() / expected < 0.05,
+            "energy {e:.3e} vs {expected:.3e}"
+        );
+    }
+
+    #[test]
+    fn invalid_spec_rejected() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        net.resistor(a, Netlist::GROUND, 1.0);
+        net.voltage_source(a, Netlist::GROUND, Waveform::Dc(1.0));
+        assert!(net
+            .transient(&TransientSpec {
+                stop: 1.0e-9,
+                step: 2.0e-9,
+                start_from_dc: false,
+                integration: Integration::BackwardEuler,
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn start_from_dc_skips_startup_transient() {
+        let mut net = Netlist::new();
+        let inp = net.node("in");
+        let out = net.node("out");
+        net.voltage_source(inp, Netlist::GROUND, Waveform::Dc(1.0));
+        net.resistor(inp, out, 1.0e3);
+        net.capacitor(out, Netlist::GROUND, 1.0e-9);
+        let res = net
+            .transient(&TransientSpec::new(1.0e-6, 10.0e-9).from_dc())
+            .unwrap();
+        // Already settled at t = 0.
+        assert!((res.voltage_at(out, 0) - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests of the MNA simulator against closed-form circuit
+//! theory.
+
+use proptest::prelude::*;
+
+use mda_spice::{Netlist, TransientSpec, Waveform};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn voltage_divider_matches_formula(
+        r1 in 100.0f64..1.0e6,
+        r2 in 100.0f64..1.0e6,
+        v in -2.0f64..2.0,
+    ) {
+        let mut net = Netlist::new();
+        let top = net.node("top");
+        let mid = net.node("mid");
+        net.voltage_source(top, Netlist::GROUND, Waveform::Dc(v));
+        net.resistor(top, mid, r1);
+        net.resistor(mid, Netlist::GROUND, r2);
+        let sol = net.dc().expect("solvable divider");
+        let expected = v * r2 / (r1 + r2);
+        prop_assert!((sol[mid.index()] - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resistor_ladder_superposition(
+        r in 1.0e3f64..1.0e5,
+        v1 in -1.0f64..1.0,
+        v2 in -1.0f64..1.0,
+    ) {
+        // Node driven by two sources through equal resistors plus a load:
+        // solution must be linear in each source (superposition).
+        let solve = |a: f64, b: f64| -> f64 {
+            let mut net = Netlist::new();
+            let na = net.node("a");
+            let nb = net.node("b");
+            let mid = net.node("mid");
+            net.voltage_source(na, Netlist::GROUND, Waveform::Dc(a));
+            net.voltage_source(nb, Netlist::GROUND, Waveform::Dc(b));
+            net.resistor(na, mid, r);
+            net.resistor(nb, mid, r);
+            net.resistor(mid, Netlist::GROUND, r);
+            net.dc().expect("solvable")[mid.index()]
+        };
+        let both = solve(v1, v2);
+        let only1 = solve(v1, 0.0);
+        let only2 = solve(0.0, v2);
+        prop_assert!((both - (only1 + only2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rc_transient_tracks_analytic_solution(
+        r_kohm in 0.5f64..20.0,
+        c_pf in 10.0f64..500.0,
+        v in 0.1f64..1.0,
+    ) {
+        let r = r_kohm * 1.0e3;
+        let c = c_pf * 1.0e-12;
+        let tau = r * c;
+        let mut net = Netlist::new();
+        let inp = net.node("in");
+        let out = net.node("out");
+        net.voltage_source(inp, Netlist::GROUND, Waveform::step(v));
+        net.resistor(inp, out, r);
+        net.capacitor(out, Netlist::GROUND, c);
+        let res = net
+            .transient(&TransientSpec::new(3.0 * tau, tau / 200.0))
+            .expect("solvable RC");
+        let tr = res.voltage(out);
+        // Compare at one tau (skip the first few samples near the edge).
+        let got = tr.at_time(tau);
+        let expected = v * (1.0 - (-1.0f64).exp());
+        prop_assert!(
+            (got - expected).abs() < 0.02 * v,
+            "v(tau) = {} vs {}",
+            got,
+            expected
+        );
+    }
+
+    #[test]
+    fn diode_max_selects_larger_source(
+        a in 0.05f64..0.45,
+        b in 0.05f64..0.45,
+    ) {
+        prop_assume!((a - b).abs() > 0.02);
+        let mut net = Netlist::new();
+        let na = net.node("a");
+        let nb = net.node("b");
+        let out = net.node("out");
+        net.voltage_source(na, Netlist::GROUND, Waveform::Dc(a));
+        net.voltage_source(nb, Netlist::GROUND, Waveform::Dc(b));
+        net.diode(na, out);
+        net.diode(nb, out);
+        net.resistor(out, Netlist::GROUND, 100.0e3);
+        let sol = net.dc().expect("solvable");
+        let expected = a.max(b);
+        prop_assert!(
+            (sol[out.index()] - expected).abs() < 6.0e-3,
+            "max({a}, {b}) read {}",
+            sol[out.index()]
+        );
+    }
+
+    #[test]
+    fn dense_and_sparse_backends_agree_on_grids(size in 2usize..7) {
+        // A resistor grid is solved dense below the sparse threshold; build
+        // a big enough replica by padding with disconnected-but-grounded
+        // nodes is unnecessary — instead verify grid solutions against
+        // conservation of current (KCL at internal nodes).
+        let mut net = Netlist::new();
+        let mut nodes = Vec::new();
+        for i in 0..size * size {
+            nodes.push(net.node(&format!("n{i}")));
+        }
+        // Grid resistors.
+        for row in 0..size {
+            for col in 0..size {
+                let idx = row * size + col;
+                if col + 1 < size {
+                    net.resistor(nodes[idx], nodes[idx + 1], 1.0e3);
+                }
+                if row + 1 < size {
+                    net.resistor(nodes[idx], nodes[idx + size], 1.0e3);
+                }
+            }
+        }
+        net.voltage_source(nodes[0], Netlist::GROUND, Waveform::Dc(1.0));
+        net.resistor(nodes[size * size - 1], Netlist::GROUND, 1.0e3);
+        let sol = net.dc().expect("solvable grid");
+        // KCL at an interior node: currents into the node sum to zero.
+        if size >= 3 {
+            let r = 1.0e3;
+            let idx = size + 1; // node (1,1)
+            let v = sol[nodes[idx].index()];
+            let neighbours = [idx - 1, idx + 1, idx - size, idx + size];
+            let net_current: f64 = neighbours
+                .iter()
+                .map(|&nb| (sol[nodes[nb].index()] - v) / r)
+                .sum();
+            prop_assert!(net_current.abs() < 1e-9, "KCL residual {net_current}");
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Quickstart: configure the accelerator for each of the six distance
+//! functions and compare the analog result with the digital reference.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use memristor_distance_accelerator::core::accelerator::FunctionParams;
+use memristor_distance_accelerator::core::{AcceleratorConfig, DistanceAccelerator};
+use memristor_distance_accelerator::distance::DistanceKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two short time series in sequence units (20 mV per unit on-chip).
+    // Element differences are either tiny or large — decisive relative to
+    // both the 0.5-unit match threshold and the 8-bit converter LSB, the
+    // regime the thresholded functions are designed for.
+    let p: Vec<f64> = (0..12).map(|i| (i as f64 * 0.5).sin() * 3.0).collect();
+    let q: Vec<f64> = p
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| if i % 3 == 0 { v + 2.5 } else { v + 0.03 })
+        .collect();
+
+    let mut accelerator = DistanceAccelerator::new(AcceleratorConfig::paper_defaults());
+
+    println!("function | analog value | digital ref | rel. error | convergence");
+    println!("---------+--------------+-------------+------------+------------");
+    for kind in DistanceKind::ALL {
+        // One fabric, six functions: reconfigure and compute.
+        accelerator.configure_with(
+            kind,
+            FunctionParams {
+                threshold: 0.5,
+                ..FunctionParams::default()
+            },
+        )?;
+        let outcome = accelerator.compute(&p, &q)?;
+        println!(
+            "{:<8} | {:>12.3} | {:>11.3} | {:>9.2}% | {:>8.2} ns",
+            kind.abbrev(),
+            outcome.value,
+            outcome.reference,
+            outcome.relative_error * 100.0,
+            outcome.convergence_time_s * 1.0e9,
+        );
+    }
+    println!();
+    println!(
+        "reconfigurations performed: {}",
+        accelerator.reconfigurations()
+    );
+    Ok(())
+}

@@ -1,0 +1,177 @@
+//! Cross-crate integration: the analog accelerator model must track the
+//! digital reference for every function, across reconfiguration, banding
+//! and tiling.
+
+use memristor_distance_accelerator::core::accelerator::FunctionParams;
+use memristor_distance_accelerator::core::{AcceleratorConfig, DistanceAccelerator};
+use memristor_distance_accelerator::distance::dtw::Band;
+use memristor_distance_accelerator::distance::DistanceKind;
+
+fn decisive_series(len: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    // Differences are either ~0.05 (clear match at threshold 0.5) or ~2.5
+    // (clear mismatch) — decisive relative to the converter LSB.
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    };
+    let p: Vec<f64> = (0..len).map(|_| next() * 2.0).collect();
+    // Guarantee a mix of clear matches and clear mismatches so thresholded
+    // similarity counts are never degenerate.
+    let q: Vec<f64> = p
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            if i % 3 == 0 {
+                v + 2.5 + next() * 0.3
+            } else {
+                v + 0.05 * next()
+            }
+        })
+        .collect();
+    (p, q)
+}
+
+fn accelerator(kind: DistanceKind) -> DistanceAccelerator {
+    let mut acc = DistanceAccelerator::new(AcceleratorConfig::paper_defaults());
+    acc.configure_with(
+        kind,
+        FunctionParams {
+            threshold: 0.5,
+            ..FunctionParams::default()
+        },
+    )
+    .expect("valid configuration");
+    acc
+}
+
+#[test]
+fn all_functions_track_digital_reference_across_seeds() {
+    for seed in 1..=5u64 {
+        let (p, q) = decisive_series(10, seed);
+        for kind in DistanceKind::ALL {
+            let acc = accelerator(kind);
+            let outcome = acc.compute(&p, &q).expect("valid inputs");
+            // Small references are judged on absolute error (the ADC LSB is
+            // ~0.2 units); everything else on relative error.
+            let ok = outcome.relative_error < 0.30
+                || (outcome.reference.abs() < 2.0
+                    && (outcome.value - outcome.reference).abs() < 0.6);
+            assert!(
+                ok,
+                "seed {seed}, {kind}: analog {} vs digital {} ({:.1}%)",
+                outcome.value,
+                outcome.reference,
+                outcome.relative_error * 100.0
+            );
+        }
+    }
+}
+
+#[test]
+fn one_fabric_reconfigures_through_all_six_functions() {
+    let mut acc = DistanceAccelerator::new(AcceleratorConfig::paper_defaults());
+    let (p, q) = decisive_series(8, 42);
+    for pass in 0..2 {
+        for kind in DistanceKind::ALL {
+            acc.configure_with(
+                kind,
+                FunctionParams {
+                    threshold: 0.5,
+                    ..FunctionParams::default()
+                },
+            )
+            .expect("valid configuration");
+            let outcome = acc.compute(&p, &q).expect("valid inputs");
+            let ok = outcome.relative_error < 0.30
+                || (outcome.reference.abs() < 2.0
+                    && (outcome.value - outcome.reference).abs() < 0.6);
+            assert!(
+                ok,
+                "pass {pass}, {kind}: rel {:.1}%",
+                outcome.relative_error * 100.0
+            );
+        }
+    }
+    assert_eq!(acc.reconfigurations(), 12);
+}
+
+#[test]
+fn banded_dtw_reports_fewer_active_pes_and_same_value_for_near_diagonal_pairs() {
+    let (p, _) = decisive_series(16, 7);
+    let q: Vec<f64> = p.iter().map(|v| v + 0.05).collect(); // near-diagonal alignment
+    let full = accelerator(DistanceKind::Dtw)
+        .compute(&p, &q)
+        .expect("valid");
+
+    let mut banded_acc = DistanceAccelerator::new(AcceleratorConfig::paper_defaults());
+    banded_acc
+        .configure_with(
+            DistanceKind::Dtw,
+            FunctionParams {
+                band: Band::SakoeChiba(3),
+                threshold: 0.5,
+                ..FunctionParams::default()
+            },
+        )
+        .expect("valid configuration");
+    let banded = banded_acc.compute(&p, &q).expect("valid");
+
+    assert!(banded.active_pes < full.active_pes);
+    // For a near-diagonal pair the band doesn't change the distance.
+    assert!(
+        (banded.reference - full.reference).abs() < 1e-9,
+        "banded ref {} vs full ref {}",
+        banded.reference,
+        full.reference
+    );
+}
+
+#[test]
+fn tiled_and_untiled_row_computations_agree() {
+    let (p, q) = decisive_series(24, 3);
+    // Big array: single pass.
+    let untiled = accelerator(DistanceKind::Manhattan)
+        .compute(&p, &q)
+        .expect("valid");
+    assert_eq!(untiled.tiling.passes, 1);
+
+    // Tiny array: multiple passes, same digital reference and close analog
+    // value.
+    let mut config = AcceleratorConfig::paper_defaults();
+    config.array = memristor_distance_accelerator::core::ArrayDimensions::new(8, 8);
+    let mut acc = DistanceAccelerator::new(config);
+    acc.configure(DistanceKind::Manhattan).expect("valid");
+    let tiled = acc.compute(&p, &q).expect("valid");
+    assert_eq!(tiled.tiling.passes, 3);
+    assert_eq!(tiled.reference, untiled.reference);
+    // Tiling multiplies the runtime.
+    assert!(tiled.convergence_time_s > untiled.convergence_time_s);
+}
+
+#[test]
+fn convergence_shapes_match_paper_fig5() {
+    // DTW convergence grows with length; HauD saturates.
+    let times = |kind: DistanceKind| -> (f64, f64) {
+        let acc = accelerator(kind);
+        let (p10, q10) = decisive_series(10, 9);
+        let (p40, q40) = decisive_series(40, 9);
+        let t10 = acc.compute(&p10, &q10).expect("valid").convergence_time_s;
+        let t40 = acc.compute(&p40, &q40).expect("valid").convergence_time_s;
+        (t10, t40)
+    };
+    let (dtw10, dtw40) = times(DistanceKind::Dtw);
+    assert!(
+        dtw40 > dtw10 * 1.5,
+        "DTW must grow: {dtw10:.2e} -> {dtw40:.2e}"
+    );
+    let (hau10, hau40) = times(DistanceKind::Hausdorff);
+    assert!(
+        hau40 < hau10 * 2.0,
+        "HauD must stay ~flat: {hau10:.2e} -> {hau40:.2e}"
+    );
+    let (md10, md40) = times(DistanceKind::Manhattan);
+    assert!(md40 > md10 * 1.5, "MD must grow: {md10:.2e} -> {md40:.2e}");
+}

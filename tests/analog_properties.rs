@@ -1,0 +1,113 @@
+//! Property tests of the behavioural analog engine: with the error model
+//! disabled, the steady state must equal the digital reference *exactly*
+//! (up to float tolerance) for every function on arbitrary inputs — the
+//! graphs are the recurrences, so this pins the translation itself.
+
+use proptest::prelude::*;
+
+use memristor_distance_accelerator::core::analog::graph::builders;
+use memristor_distance_accelerator::core::analog::{AnalogEngine, ErrorModel};
+use memristor_distance_accelerator::core::AcceleratorConfig;
+use memristor_distance_accelerator::distance::dtw::Band;
+use memristor_distance_accelerator::distance::{
+    Distance, Dtw, EditDistance, Hamming, Hausdorff, Lcs, Manhattan,
+};
+
+fn volts(c: &AcceleratorConfig, xs: &[f64]) -> Vec<f64> {
+    xs.iter().map(|&x| c.value_to_voltage(x)).collect()
+}
+
+fn short_series() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-4.0f64..4.0, 1..8)
+}
+
+fn equal_pair() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (1usize..8).prop_flat_map(|len| {
+        (
+            prop::collection::vec(-4.0f64..4.0, len),
+            prop::collection::vec(-4.0f64..4.0, len),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ideal_dtw_graph_equals_digital((p, q) in equal_pair()) {
+        let c = AcceleratorConfig::paper_defaults();
+        let g = builders::dtw(
+            &c,
+            &volts(&c, &p),
+            &volts(&c, &q),
+            1.0,
+            Band::Full,
+            &mut ErrorModel::ideal(),
+        );
+        let v = g.steady_state()[g.output().index()];
+        let expected = Dtw::new().evaluate(&p, &q).unwrap();
+        prop_assert!((c.voltage_to_value(v) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ideal_lcs_and_edit_graphs_equal_digital(p in short_series(), q in short_series(), thr in 0.1f64..1.5) {
+        let c = AcceleratorConfig::paper_defaults();
+        let tv = c.value_to_voltage(thr);
+        let g = builders::lcs(&c, &volts(&c, &p), &volts(&c, &q), tv, 1.0, &mut ErrorModel::ideal());
+        let v = g.steady_state()[g.output().index()];
+        let expected = Lcs::new(thr).similarity(&p, &q).unwrap();
+        prop_assert!((v / c.v_step - expected).abs() < 1e-6, "LCS {} vs {}", v / c.v_step, expected);
+
+        let g = builders::edit(&c, &volts(&c, &p), &volts(&c, &q), tv, &mut ErrorModel::ideal());
+        let v = g.steady_state()[g.output().index()];
+        let expected = EditDistance::new(thr).distance(&p, &q).unwrap();
+        prop_assert!((v / c.v_step - expected).abs() < 1e-6, "EdD {} vs {}", v / c.v_step, expected);
+    }
+
+    #[test]
+    fn ideal_hausdorff_graph_equals_digital(p in short_series(), q in short_series()) {
+        let c = AcceleratorConfig::paper_defaults();
+        let g = builders::hausdorff(&c, &volts(&c, &p), &volts(&c, &q), 1.0, &mut ErrorModel::ideal());
+        let v = g.steady_state()[g.output().index()];
+        let expected = Hausdorff::new().distance(&p, &q).unwrap();
+        prop_assert!((c.voltage_to_value(v) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ideal_row_graphs_equal_digital((p, q) in equal_pair(), thr in 0.1f64..1.5) {
+        let c = AcceleratorConfig::paper_defaults();
+        let w = vec![1.0; p.len()];
+        let g = builders::hamming(
+            &c, &volts(&c, &p), &volts(&c, &q), c.value_to_voltage(thr), &w,
+            &mut ErrorModel::ideal(),
+        );
+        let v = g.steady_state()[g.output().index()];
+        let expected = Hamming::new(thr).distance(&p, &q).unwrap();
+        prop_assert!((v / c.v_step - expected).abs() < 1e-6);
+
+        let g = builders::manhattan(&c, &volts(&c, &p), &volts(&c, &q), &w, &mut ErrorModel::ideal());
+        let v = g.steady_state()[g.output().index()];
+        let expected = Manhattan::new().evaluate(&p, &q).unwrap();
+        prop_assert!((c.voltage_to_value(v) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn simulation_reaches_steady_state_for_random_graphs((p, q) in equal_pair()) {
+        // The dynamic simulation must land on the same value the fixed-point
+        // evaluation predicts, for any input.
+        let c = AcceleratorConfig::paper_defaults();
+        let g = builders::dtw(
+            &c, &volts(&c, &p), &volts(&c, &q), 1.0, Band::Full,
+            &mut ErrorModel::new(c.noise_seed),
+        );
+        let steady = g.steady_state()[g.output().index()];
+        let sim = AnalogEngine::new().simulate(&g);
+        prop_assert!(
+            (sim.final_voltage - steady).abs() <= (steady.abs() * 0.002).max(2e-6),
+            "simulated {} vs steady {}",
+            sim.final_voltage,
+            steady
+        );
+        prop_assert!(sim.convergence_time_s > 0.0);
+    }
+}

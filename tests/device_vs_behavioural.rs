@@ -1,0 +1,168 @@
+//! Cross-fidelity integration: device-level MNA simulation of the Fig. 2
+//! netlists, the behavioural analog engine, and the digital reference must
+//! all agree on the same inputs.
+
+use memristor_distance_accelerator::core::analog::graph::builders;
+use memristor_distance_accelerator::core::analog::{AnalogEngine, ErrorModel};
+use memristor_distance_accelerator::core::{pe, AcceleratorConfig};
+use memristor_distance_accelerator::distance::dtw::Band;
+use memristor_distance_accelerator::distance::{
+    Distance, Dtw, EditDistance, Hamming, Hausdorff, Lcs, Manhattan,
+};
+
+fn config() -> AcceleratorConfig {
+    AcceleratorConfig::paper_defaults()
+}
+
+fn volts(c: &AcceleratorConfig, xs: &[f64]) -> Vec<f64> {
+    xs.iter().map(|&x| c.value_to_voltage(x)).collect()
+}
+
+#[test]
+fn dtw_three_way_agreement() {
+    let c = config();
+    let p = [0.0, 1.0, 3.0];
+    let q = [0.5, 1.5, 2.5];
+    let digital = Dtw::new().evaluate(&p, &q).expect("valid");
+    let device = pe::dtw::evaluate_dc(&c, &p, &q, 1.0).expect("device sim");
+    let graph = builders::dtw(
+        &c,
+        &volts(&c, &p),
+        &volts(&c, &q),
+        1.0,
+        Band::Full,
+        &mut ErrorModel::new(c.noise_seed),
+    );
+    let behavioural = c.voltage_to_value(AnalogEngine::new().simulate(&graph).final_voltage);
+    assert!(
+        (device - digital).abs() < 0.3,
+        "device {device} vs digital {digital}"
+    );
+    assert!(
+        (behavioural - digital).abs() < 0.3,
+        "behavioural {behavioural} vs digital {digital}"
+    );
+}
+
+#[test]
+fn lcs_three_way_agreement() {
+    let c = config();
+    let p = [0.0, 1.0, 4.0];
+    let q = [0.0, 1.0, -4.0];
+    let digital = Lcs::new(0.2).similarity(&p, &q).expect("valid");
+    let device = pe::lcs::evaluate_dc(&c, &p, &q, 0.2, 1.0).expect("device sim");
+    let graph = builders::lcs(
+        &c,
+        &volts(&c, &p),
+        &volts(&c, &q),
+        c.value_to_voltage(0.2),
+        1.0,
+        &mut ErrorModel::new(c.noise_seed),
+    );
+    let behavioural = AnalogEngine::new().simulate(&graph).final_voltage / c.v_step;
+    assert!((device - digital).abs() < 0.5);
+    assert!((behavioural - digital).abs() < 0.5);
+}
+
+#[test]
+fn edit_three_way_agreement() {
+    let c = config();
+    let p = [0.0, 2.0, 4.0];
+    let q = [0.0, 2.0, -4.0];
+    let digital = EditDistance::new(0.2).distance(&p, &q).expect("valid");
+    let device = pe::edit::evaluate_dc(&c, &p, &q, 0.2).expect("device sim");
+    let graph = builders::edit(
+        &c,
+        &volts(&c, &p),
+        &volts(&c, &q),
+        c.value_to_voltage(0.2),
+        &mut ErrorModel::new(c.noise_seed),
+    );
+    let behavioural = AnalogEngine::new().simulate(&graph).final_voltage / c.v_step;
+    assert!((device - digital).abs() < 0.5);
+    assert!((behavioural - digital).abs() < 0.5);
+}
+
+#[test]
+fn hausdorff_three_way_agreement() {
+    let c = config();
+    let p = [0.0, 4.0];
+    let q = [1.0, 3.5, 6.0];
+    let digital = Hausdorff::new().distance(&p, &q).expect("valid");
+    let device = pe::hausdorff::evaluate_dc(&c, &p, &q, 1.0).expect("device sim");
+    let graph = builders::hausdorff(
+        &c,
+        &volts(&c, &p),
+        &volts(&c, &q),
+        1.0,
+        &mut ErrorModel::new(c.noise_seed),
+    );
+    let behavioural = c.voltage_to_value(AnalogEngine::new().simulate(&graph).final_voltage);
+    assert!(
+        (device - digital).abs() < 0.5,
+        "device {device} vs digital {digital}"
+    );
+    assert!((behavioural - digital).abs() < 0.5);
+}
+
+#[test]
+fn hamming_three_way_agreement() {
+    let c = config();
+    let p = [0.0, 1.0, 2.0, 3.0];
+    let q = [0.0, 5.0, 2.0, -3.0];
+    let digital = Hamming::new(0.2).distance(&p, &q).expect("valid");
+    let device = pe::hamming::evaluate_dc(&c, &p, &q, 0.2, &[1.0; 4]).expect("device sim");
+    let graph = builders::hamming(
+        &c,
+        &volts(&c, &p),
+        &volts(&c, &q),
+        c.value_to_voltage(0.2),
+        &[1.0; 4],
+        &mut ErrorModel::new(c.noise_seed),
+    );
+    let behavioural = AnalogEngine::new().simulate(&graph).final_voltage / c.v_step;
+    assert!((device - digital).abs() < 0.5);
+    assert!((behavioural - digital).abs() < 0.5);
+}
+
+#[test]
+fn manhattan_three_way_agreement() {
+    let c = config();
+    let p = [0.0, 2.0, -1.0, 0.5];
+    let q = [1.0, 0.5, -0.5, 0.5];
+    let digital = Manhattan::new().evaluate(&p, &q).expect("valid");
+    let device = pe::manhattan::evaluate_dc(&c, &p, &q, &[1.0; 4]).expect("device sim");
+    let graph = builders::manhattan(
+        &c,
+        &volts(&c, &p),
+        &volts(&c, &q),
+        &[1.0; 4],
+        &mut ErrorModel::new(c.noise_seed),
+    );
+    let behavioural = c.voltage_to_value(AnalogEngine::new().simulate(&graph).final_voltage);
+    assert!((device - digital).abs() < 0.5);
+    assert!((behavioural - digital).abs() < 0.5);
+}
+
+#[test]
+fn weighted_variants_agree_at_device_level() {
+    // The memristor-ratio weighting (Section 3.2) must scale both fidelity
+    // levels identically.
+    let c = config();
+    let w = 0.5;
+    let device = pe::dtw::evaluate_dc(&c, &[2.0], &[0.0], w).expect("device sim");
+    let graph = builders::dtw(
+        &c,
+        &volts(&c, &[2.0]),
+        &volts(&c, &[0.0]),
+        w,
+        Band::Full,
+        &mut ErrorModel::ideal(),
+    );
+    let behavioural = c.voltage_to_value(AnalogEngine::new().simulate(&graph).final_voltage);
+    assert!((device - 1.0).abs() < 0.3, "device weighted {device}");
+    assert!(
+        (behavioural - 1.0).abs() < 0.1,
+        "behavioural weighted {behavioural}"
+    );
+}

@@ -1,0 +1,62 @@
+//! Property tests of the early-determination optimization (Fig. 3): the
+//! argmin read at a fraction of the convergence time must match the
+//! converged argmin across randomized candidate sets.
+
+use proptest::prelude::*;
+
+use memristor_distance_accelerator::core::early::early_determination;
+use memristor_distance_accelerator::core::{AcceleratorConfig, DistanceAccelerator};
+use memristor_distance_accelerator::distance::DistanceKind;
+
+fn configured(kind: DistanceKind) -> DistanceAccelerator {
+    let mut acc = DistanceAccelerator::new(AcceleratorConfig::paper_defaults());
+    acc.configure(kind).expect("valid configuration");
+    acc
+}
+
+proptest! {
+    // Each case runs several analog simulations; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn md_early_winner_matches_converged_winner(
+        base in prop::collection::vec(-2.0f64..2.0, 8),
+        offsets in prop::collection::vec(0.3f64..3.0, 3),
+    ) {
+        // Candidates at distinct, well-separated distances from the query.
+        let mut sorted = offsets.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        prop_assume!(sorted.windows(2).all(|w| w[1] - w[0] > 0.25));
+
+        let acc = configured(DistanceKind::Manhattan);
+        let candidates: Vec<Vec<f64>> = offsets
+            .iter()
+            .map(|&o| base.iter().map(|v| v + o).collect())
+            .collect();
+        let decision = early_determination(&acc, &base, &candidates, 0.1)
+            .expect("row-structure function");
+        prop_assert!(decision.consistent(), "{decision:?}");
+        // And the winner is the smallest-offset candidate.
+        let expected = offsets
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        prop_assert_eq!(decision.converged_winner, expected);
+    }
+
+    #[test]
+    fn early_read_fraction_sweep_is_consistent(
+        fraction in 0.05f64..0.5,
+    ) {
+        let acc = configured(DistanceKind::Hamming);
+        let query = vec![0.0, 1.0, -1.0, 2.0, 0.5, -0.5];
+        let near: Vec<f64> = query.iter().map(|v| v + 0.05).collect();
+        let far: Vec<f64> = query.iter().map(|v| v + 2.0).collect();
+        let decision = early_determination(&acc, &query, &[far, near], fraction)
+            .expect("row-structure function");
+        prop_assert_eq!(decision.converged_winner, 1);
+        prop_assert!(decision.consistent(), "fraction {}: {:?}", fraction, decision);
+    }
+}

@@ -1,0 +1,126 @@
+//! End-to-end data-mining integration: the paper's three workloads
+//! (classification, clustering, subsequence search) running on the
+//! synthetic datasets, digitally and through the accelerator.
+
+use memristor_distance_accelerator::core::{AcceleratorConfig, DistanceAccelerator};
+use memristor_distance_accelerator::datasets::synthetic::{beef, osu_leaf, symbols, SyntheticSpec};
+use memristor_distance_accelerator::distance::mining::{
+    KMedoids, KnnClassifier, SubsequenceSearch,
+};
+use memristor_distance_accelerator::distance::{DistanceKind, Dtw, Manhattan};
+
+#[test]
+fn knn_classification_on_all_three_datasets() {
+    for dataset in [
+        beef(&SyntheticSpec::new(48, 4, 11)),
+        symbols(&SyntheticSpec::new(48, 4, 11)),
+        osu_leaf(&SyntheticSpec::new(48, 4, 11)),
+    ] {
+        let ds = dataset.z_normalized();
+        let mut knn = KnnClassifier::new(Box::new(Dtw::new()), 1);
+        for (label, s) in ds.iter() {
+            knn.fit(label, s.to_vec());
+        }
+        let acc = knn.leave_one_out_accuracy().expect("enough data");
+        assert!(
+            acc >= 0.8,
+            "{}: 1-NN/DTW leave-one-out accuracy {acc}",
+            ds.name()
+        );
+    }
+}
+
+#[test]
+fn kmedoids_recovers_class_structure() {
+    let ds = beef(&SyntheticSpec::new(32, 3, 5)).z_normalized();
+    let k = ds.classes().len();
+    let series: Vec<Vec<f64>> = (0..ds.len()).map(|i| ds.series(i).to_vec()).collect();
+    let result = KMedoids::new(Box::new(Manhattan::new()), k)
+        .cluster(&series)
+        .expect("enough series");
+    // Compute clustering purity: majority label per cluster.
+    let mut purity = 0usize;
+    for cluster in 0..k {
+        let members: Vec<usize> = (0..ds.len())
+            .filter(|&i| result.assignments[i] == cluster)
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        let mut counts = std::collections::HashMap::new();
+        for &m in &members {
+            *counts.entry(ds.label(m)).or_insert(0usize) += 1;
+        }
+        purity += counts.values().max().copied().unwrap_or(0);
+    }
+    let purity = purity as f64 / ds.len() as f64;
+    assert!(purity >= 0.7, "clustering purity {purity}");
+}
+
+#[test]
+fn accelerated_one_nn_agrees_with_digital_on_separated_data() {
+    let ds = symbols(&SyntheticSpec::new(24, 3, 21)).z_normalized();
+    let mut knn = KnnClassifier::new(Box::new(Dtw::new()), 1);
+    // Train on the first two series of each class; query with the third.
+    let mut queries = Vec::new();
+    for class in ds.classes() {
+        let idx = ds.indices_of_class(class);
+        knn.fit(class, ds.series(idx[0]).to_vec());
+        knn.fit(class, ds.series(idx[1]).to_vec());
+        queries.push((class, idx[2]));
+    }
+
+    let mut acc = DistanceAccelerator::new(AcceleratorConfig::paper_defaults());
+    acc.configure(DistanceKind::Dtw).expect("valid");
+
+    let mut digital_correct = 0usize;
+    let mut agreement = 0usize;
+    for &(true_class, qi) in &queries {
+        let query = ds.series(qi);
+        let digital = knn.classify(query).expect("trained").label;
+        digital_correct += usize::from(digital == true_class);
+
+        // Analog nearest neighbour over the same training set.
+        let mut best: Option<(usize, f64)> = None;
+        for class in ds.classes() {
+            let idx = ds.indices_of_class(class);
+            for &ti in &idx[..2] {
+                let outcome = acc.compute(query, ds.series(ti)).expect("valid");
+                if best.map_or(true, |(_, b)| outcome.value < b) {
+                    best = Some((class, outcome.value));
+                }
+            }
+        }
+        let analog = best.expect("non-empty").0;
+        agreement += usize::from(analog == digital);
+    }
+    assert!(
+        digital_correct >= queries.len() - 1,
+        "digital accuracy {digital_correct}/{}",
+        queries.len()
+    );
+    assert!(
+        agreement >= queries.len() - 1,
+        "analog/digital agreement {agreement}/{}",
+        queries.len()
+    );
+}
+
+#[test]
+fn pruned_search_on_synthetic_stream_matches_brute_force() {
+    let ds = osu_leaf(&SyntheticSpec::new(200, 1, 31));
+    let stream = ds.series(0);
+    let query: Vec<f64> = stream[80..112].to_vec();
+    let search = SubsequenceSearch::new(32, 2);
+    let (pruned, stats) = search.run(&query, stream).expect("valid");
+    let brute = search.run_brute_force(&query, stream).expect("valid");
+    assert_eq!(pruned.offset, brute.offset);
+    assert_eq!(pruned.offset, 80);
+    assert_eq!(
+        stats.windows,
+        stats.pruned_by_kim
+            + stats.pruned_by_keogh
+            + stats.abandoned_early
+            + stats.full_computations
+    );
+}

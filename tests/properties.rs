@@ -1,0 +1,143 @@
+//! Property-based tests (proptest) over the core invariants listed in
+//! DESIGN.md §6.
+
+use proptest::prelude::*;
+
+use memristor_distance_accelerator::distance::dtw::Band;
+use memristor_distance_accelerator::distance::lower_bounds::{lb_keogh, lb_kim};
+use memristor_distance_accelerator::distance::{
+    Distance, Dtw, EditDistance, Hamming, Hausdorff, Lcs, Manhattan,
+};
+use memristor_distance_accelerator::memristor::{BiolekParams, Memristor, StochasticParams};
+
+fn series(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-5.0f64..5.0, 1..max_len)
+}
+
+fn equal_length_pair(max_len: usize) -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (1..max_len).prop_flat_map(|len| {
+        (
+            prop::collection::vec(-5.0f64..5.0, len),
+            prop::collection::vec(-5.0f64..5.0, len),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dtw_identity_and_symmetry((p, q) in equal_length_pair(24)) {
+        let dtw = Dtw::new();
+        prop_assert!(dtw.evaluate(&p, &p).unwrap().abs() < 1e-9);
+        let pq = dtw.evaluate(&p, &q).unwrap();
+        let qp = dtw.evaluate(&q, &p).unwrap();
+        prop_assert!((pq - qp).abs() < 1e-9);
+        prop_assert!(pq >= 0.0);
+    }
+
+    #[test]
+    fn dtw_band_monotone((p, q) in equal_length_pair(20), r in 0usize..20) {
+        let full = Dtw::new().evaluate(&p, &q).unwrap();
+        let banded = Dtw::new().with_band(Band::SakoeChiba(r)).evaluate(&p, &q);
+        if let Ok(banded) = banded {
+            prop_assert!(banded >= full - 1e-9, "banded {banded} < full {full}");
+        }
+    }
+
+    #[test]
+    fn dtw_bounded_by_manhattan((p, q) in equal_length_pair(24)) {
+        // The diagonal path is admissible, so DTW <= MD.
+        let dtw = Dtw::new().evaluate(&p, &q).unwrap();
+        let md = Manhattan::new().evaluate(&p, &q).unwrap();
+        prop_assert!(dtw <= md + 1e-9);
+    }
+
+    #[test]
+    fn lb_kim_and_keogh_are_admissible((p, q) in equal_length_pair(20), r in 1usize..6) {
+        let banded = Dtw::new().with_band(Band::SakoeChiba(r)).evaluate(&p, &q);
+        if let Ok(d) = banded {
+            prop_assert!(lb_kim(&p, &q).unwrap() <= d + 1e-9);
+            prop_assert!(lb_keogh(&p, &q, r).unwrap() <= d + 1e-9);
+        }
+    }
+
+    #[test]
+    fn lcs_bounds(p in series(20), q in series(20), thr in 0.0f64..2.0) {
+        let s = Lcs::new(thr).similarity(&p, &q).unwrap();
+        prop_assert!(s >= 0.0);
+        prop_assert!(s <= p.len().min(q.len()) as f64 + 1e-9);
+        // Self-similarity is maximal.
+        let self_s = Lcs::new(thr).similarity(&p, &p).unwrap();
+        prop_assert!((self_s - p.len() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edit_distance_metric_properties(p in series(14), q in series(14), thr in 0.0f64..0.5) {
+        let ed = EditDistance::new(thr);
+        prop_assert!(ed.distance(&p, &p).unwrap().abs() < 1e-9);
+        let pq = ed.distance(&p, &q).unwrap();
+        prop_assert!((pq - ed.distance(&q, &p).unwrap()).abs() < 1e-9);
+        // Bounded by max length and at least the length difference.
+        prop_assert!(pq <= p.len().max(q.len()) as f64 + 1e-9);
+        prop_assert!(pq >= (p.len() as f64 - q.len() as f64).abs() - 1e-9);
+    }
+
+    #[test]
+    fn edit_distance_triangle(p in series(8), q in series(8), r in series(8)) {
+        let ed = EditDistance::new(0.1);
+        let pq = ed.distance(&p, &q).unwrap();
+        let qr = ed.distance(&q, &r).unwrap();
+        let pr = ed.distance(&p, &r).unwrap();
+        prop_assert!(pr <= pq + qr + 1e-9);
+    }
+
+    #[test]
+    fn hausdorff_identity_and_bound(p in series(16), q in series(16)) {
+        let h = Hausdorff::new();
+        prop_assert!(h.distance(&p, &p).unwrap().abs() < 1e-9);
+        // Directed Hausdorff is bounded by the largest pointwise gap.
+        let d = h.distance(&p, &q).unwrap();
+        let max_gap = q.iter().map(|qv| {
+            p.iter().map(|pv| (pv - qv).abs()).fold(f64::INFINITY, f64::min)
+        }).fold(0.0f64, f64::max);
+        prop_assert!((d - max_gap).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hamming_bounds((p, q) in equal_length_pair(24), thr in 0.0f64..1.0) {
+        let h = Hamming::new(thr).distance(&p, &q).unwrap();
+        prop_assert!(h >= 0.0);
+        prop_assert!(h <= p.len() as f64 + 1e-9);
+        // Monotone in threshold.
+        let h_wider = Hamming::new(thr + 1.0).distance(&p, &q).unwrap();
+        prop_assert!(h_wider <= h + 1e-9);
+    }
+
+    #[test]
+    fn manhattan_triangle((p, q) in equal_length_pair(16), shift in -2.0f64..2.0) {
+        let r: Vec<f64> = p.iter().map(|v| v + shift).collect();
+        let md = Manhattan::new();
+        let pq = md.evaluate(&p, &q).unwrap();
+        let qr = md.evaluate(&q, &r).unwrap();
+        let pr = md.evaluate(&p, &r).unwrap();
+        prop_assert!(pr <= pq + qr + 1e-9);
+    }
+
+    #[test]
+    fn memristor_state_stays_bounded(v in -4.0f64..4.0, duration_ns in 1.0f64..500.0) {
+        let mut m = Memristor::at_state(BiolekParams::paper_defaults(), 0.5);
+        m.apply_voltage(v, duration_ns * 1.0e-9, 1.0e-9);
+        prop_assert!((0.0..=1.0).contains(&m.state()));
+        let r = m.resistance();
+        prop_assert!(r >= 1.0e3 - 1e-6 && r <= 100.0e3 + 1e-6);
+    }
+
+    #[test]
+    fn subthreshold_switching_probability_negligible(v in 0.0f64..0.5, ns in 1.0f64..100.0) {
+        // DESIGN.md §6: the paper's Section 4.2 claim holds across the whole
+        // in-circuit operating envelope.
+        let p = StochasticParams::table2();
+        prop_assert!(p.switching_probability(v, ns * 1.0e-9) < 1e-9);
+    }
+}

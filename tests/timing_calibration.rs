@@ -1,0 +1,94 @@
+//! Timing calibration: the behavioural engine's convergence times must be
+//! the same order of magnitude as true device-level transient settling, so
+//! the Fig. 5 / Fig. 6 runtime claims rest on circuit dynamics rather than
+//! free parameters.
+
+use memristor_distance_accelerator::core::analog::graph::builders;
+use memristor_distance_accelerator::core::analog::{AnalogEngine, ErrorModel};
+use memristor_distance_accelerator::core::pe::common::{abs_module, analog_adder, Rails};
+use memristor_distance_accelerator::core::AcceleratorConfig;
+use memristor_distance_accelerator::spice::{Netlist, TransientSpec, Waveform};
+
+#[test]
+fn md_row_device_and_behavioural_convergence_same_order() {
+    let config = AcceleratorConfig::paper_defaults();
+    let p = [1.0, 2.0];
+    let q = [0.0, 0.0];
+
+    // Device level: full MNA transient of the 2-element MD row with the
+    // Table 1 parasitics, using LRS-level signal-path memristors (the same
+    // assumption the behavioural model makes for its RC constants).
+    let mut net = Netlist::new();
+    let rails = Rails::install(
+        &mut net,
+        config.vcc,
+        config.v_step,
+        config.v_thre,
+        config.signal_path_resistance,
+    );
+    let mut pes = Vec::new();
+    for (i, (&pv, &qv)) in p.iter().zip(&q).enumerate() {
+        let pn = net.node(&format!("p{i}"));
+        net.voltage_source(
+            pn,
+            Netlist::GROUND,
+            Waveform::step(config.value_to_voltage(pv)),
+        );
+        let qn = net.node(&format!("q{i}"));
+        net.voltage_source(
+            qn,
+            Netlist::GROUND,
+            Waveform::step(config.value_to_voltage(qv)),
+        );
+        pes.push(abs_module(&mut net, &rails, pn, qn, 1.0));
+    }
+    let out = analog_adder(&mut net, &rails, &pes, &[1.0; 2]);
+    net.add_parasitic_capacitance(config.parasitic_capacitance);
+    let result = net
+        .transient(&TransientSpec::new(3.0e-9, 1.0e-12))
+        .expect("device transient");
+    let device_trace = result.voltage(out);
+    let device_tconv = device_trace
+        .convergence_time(0.001)
+        .expect("device settles");
+    // Sanity: the settled value decodes to MD = 3.
+    let device_value = config.voltage_to_value(device_trace.last());
+    assert!(
+        (device_value - 3.0).abs() < 0.3,
+        "device MD = {device_value}"
+    );
+
+    // Behavioural level.
+    let volts =
+        |xs: &[f64]| -> Vec<f64> { xs.iter().map(|&x| config.value_to_voltage(x)).collect() };
+    let graph = builders::manhattan(
+        &config,
+        &volts(&p),
+        &volts(&q),
+        &[1.0; 2],
+        &mut ErrorModel::ideal(),
+    );
+    let behavioural = AnalogEngine::new().simulate(&graph);
+
+    // Both must land in the nanosecond regime the paper claims. The
+    // behavioural model is deliberately conservative (its per-module lag
+    // lumps interconnect and op-amp output loading that the stiff-output
+    // device model ignores), so it may run up to ~100x slower than the
+    // idealized MNA transient but never faster.
+    let ratio = behavioural.convergence_time_s / device_tconv;
+    assert!(
+        (1.0..=128.0).contains(&ratio),
+        "behavioural {:.3e} s vs device {:.3e} s (ratio {ratio:.2})",
+        behavioural.convergence_time_s,
+        device_tconv
+    );
+    assert!(
+        device_tconv < 10.0e-9,
+        "device settles in ns: {device_tconv:.3e}"
+    );
+    assert!(
+        behavioural.convergence_time_s < 10.0e-9,
+        "behavioural settles in ns: {:.3e}",
+        behavioural.convergence_time_s
+    );
+}
