@@ -1,0 +1,141 @@
+//! Serial-vs-parallel throughput of the mining hot path on the
+//! [`BatchEngine`]: the host-level counterpart of the paper's data-center
+//! framing, where one simulated accelerator runs per core.
+//!
+//! Runs three representative workloads — 1-NN classification, motif
+//! discovery and a streamed accelerator batch — once on a serial engine and
+//! once per candidate thread count, verifies the results are **bitwise
+//! identical** (the engine's core guarantee), and reports wall-clock
+//! speedups. Exits non-zero on any result mismatch.
+//!
+//! On a multi-core host expect roughly linear speedup until the core count
+//! is reached; on a single-core container the speedup column stays ~1.0x
+//! while the identity checks still exercise the multi-threaded paths.
+
+use std::time::Instant;
+
+use mda_bench::Table;
+use mda_core::{AcceleratorConfig, DistanceAccelerator};
+use mda_distance::mining::{KnnClassifier, MotifDiscovery};
+use mda_distance::{BatchEngine, DistanceKind, Dtw};
+
+fn series(len: usize, seed: usize) -> Vec<f64> {
+    (0..len)
+        .map(|i| ((i + 7 * seed) as f64 * 0.31).sin() * 2.0 + (seed as f64 * 0.618).cos())
+        .collect()
+}
+
+fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed().as_secs_f64())
+}
+
+fn knn_labels(engine: BatchEngine, queries: &[Vec<f64>]) -> Vec<(usize, u64)> {
+    let mut knn = KnnClassifier::new(Box::new(Dtw::new()), 1).with_engine(engine);
+    for i in 0..60 {
+        knn.fit(i % 3, series(96, i));
+    }
+    queries
+        .iter()
+        .map(|q| {
+            let c = knn.classify(q).expect("well-formed inputs");
+            (c.label, c.score.to_bits())
+        })
+        .collect()
+}
+
+fn motif_result(engine: BatchEngine, xs: &[f64]) -> (usize, usize, u64) {
+    let m = MotifDiscovery::new(48, 4)
+        .with_engine(engine)
+        .find(xs)
+        .expect("well-formed inputs");
+    (m.first, m.second, m.distance.to_bits())
+}
+
+fn stream_report(engine: &BatchEngine, pairs: &[(Vec<f64>, Vec<f64>)]) -> (usize, u64, u64) {
+    let mut acc = DistanceAccelerator::new(AcceleratorConfig::paper_defaults());
+    acc.configure(DistanceKind::Manhattan).expect("valid kind");
+    let r = acc
+        .run_stream_with(pairs, engine)
+        .expect("well-formed pairs");
+    (
+        r.computations,
+        r.analog_time_s.to_bits(),
+        r.mean_relative_error.to_bits(),
+    )
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let thread_counts: Vec<usize> = [2usize, 4, cores]
+        .into_iter()
+        .filter(|&t| t > 1)
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+
+    let queries: Vec<Vec<f64>> = (100..116).map(|s| series(96, s)).collect();
+    let haystack: Vec<f64> = (0..700).flat_map(|s| series(2, s)).collect();
+    let pairs: Vec<(Vec<f64>, Vec<f64>)> = (0..48)
+        .map(|k| (series(24, k), series(24, k + 500)))
+        .collect();
+
+    println!("batch engine throughput — host has {cores} core(s)\n");
+    let mut table = Table::new(["workload", "threads", "serial", "parallel", "speedup"]);
+    let mut mismatches = 0usize;
+
+    let (knn_serial, t_knn_serial) = time(|| knn_labels(BatchEngine::serial(), &queries));
+    let (motif_serial, t_motif_serial) = time(|| motif_result(BatchEngine::serial(), &haystack));
+    let (stream_serial, t_stream_serial) = time(|| stream_report(&BatchEngine::serial(), &pairs));
+
+    for &threads in &thread_counts {
+        let engine = BatchEngine::serial().with_threads(threads);
+
+        let (knn_par, t_knn) = time(|| knn_labels(engine.clone(), &queries));
+        if knn_par != knn_serial {
+            eprintln!("MISMATCH: kNN results differ at {threads} threads");
+            mismatches += 1;
+        }
+        table.row([
+            "knn classify".into(),
+            threads.to_string(),
+            format!("{t_knn_serial:.3}s"),
+            format!("{t_knn:.3}s"),
+            format!("{:.2}x", t_knn_serial / t_knn),
+        ]);
+
+        let (motif_par, t_motif) = time(|| motif_result(engine.clone(), &haystack));
+        if motif_par != motif_serial {
+            eprintln!("MISMATCH: motif results differ at {threads} threads");
+            mismatches += 1;
+        }
+        table.row([
+            "motif discovery".into(),
+            threads.to_string(),
+            format!("{t_motif_serial:.3}s"),
+            format!("{t_motif:.3}s"),
+            format!("{:.2}x", t_motif_serial / t_motif),
+        ]);
+
+        let (stream_par, t_stream) = time(|| stream_report(&engine, &pairs));
+        if stream_par != stream_serial {
+            eprintln!("MISMATCH: stream reports differ at {threads} threads");
+            mismatches += 1;
+        }
+        table.row([
+            "accelerator stream".into(),
+            threads.to_string(),
+            format!("{t_stream_serial:.3}s"),
+            format!("{t_stream:.3}s"),
+            format!("{:.2}x", t_stream_serial / t_stream),
+        ]);
+    }
+
+    println!("{}", table.render());
+    if mismatches > 0 {
+        eprintln!("\n{mismatches} result mismatch(es) across thread counts");
+        std::process::exit(1);
+    }
+    println!("\nall parallel results bitwise-identical to serial");
+}

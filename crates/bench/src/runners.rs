@@ -67,7 +67,7 @@ pub fn run_fig5(lengths: &[usize], pairs_per_kind: usize) -> Vec<Fig5Row> {
     let mut rows = Vec::new();
     let datasets = paper_datasets(&SyntheticSpec::new(64, 5, 2017));
     for dataset in &datasets {
-        let pairs = ExperimentPairs::new(dataset.z_normalized(), 0xf16_5);
+        let pairs = ExperimentPairs::new(dataset.z_normalized(), 0xf165);
         for kind in DistanceKind::ALL {
             let acc = configured(kind);
             for &length in lengths {

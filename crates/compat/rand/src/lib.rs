@@ -1,0 +1,266 @@
+//! Offline drop-in subset of the `rand` 0.8 API.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the exact slice of `rand` it uses: `SeedableRng::seed_from_u64`,
+//! `rngs::StdRng`, and the `Rng` methods `gen`, `gen_range` and `gen_bool`.
+//! `StdRng` here is xoshiro256** seeded through SplitMix64 — a deterministic,
+//! high-quality generator, though the stream differs from upstream `rand`'s
+//! ChaCha-based `StdRng`. Everything in this repository treats seeds as
+//! opaque reproducibility handles, so the stream identity does not matter.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A random number generator seedable from a `u64` state.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types samplable from a raw `u64` stream (the subset of `rand`'s
+/// `Standard` distribution this workspace relies on).
+pub trait StandardSample {
+    fn standard_sample(next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+impl StandardSample for bool {
+    fn standard_sample(next: &mut dyn FnMut() -> u64) -> Self {
+        next() & 1 == 1
+    }
+}
+
+impl StandardSample for u64 {
+    fn standard_sample(next: &mut dyn FnMut() -> u64) -> Self {
+        next()
+    }
+}
+
+impl StandardSample for f64 {
+    fn standard_sample(next: &mut dyn FnMut() -> u64) -> Self {
+        unit_f64(next())
+    }
+}
+
+/// Ranges samplable from a raw `u64` stream (the subset of `rand`'s
+/// `SampleRange` this workspace relies on).
+pub trait SampleRange<T> {
+    fn sample_range(self, next: &mut dyn FnMut() -> u64) -> T;
+}
+
+/// Map a `u64` to a uniform `f64` in `[0, 1)` using the top 53 bits.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_range(self, next: &mut dyn FnMut() -> u64) -> f64 {
+        assert!(self.start < self.end, "empty f64 sample range");
+        let u = unit_f64(next());
+        let v = self.start + (self.end - self.start) * u;
+        // Guard against FP rounding landing exactly on the excluded end.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_range(self, next: &mut dyn FnMut() -> u64) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty f64 sample range");
+        // 53-bit resolution over the closed interval.
+        let u = (next() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+        lo + (hi - lo) * u
+    }
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_range(self, next: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "empty integer sample range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                // Debiased modulo: reject the final partial slice.
+                let zone = u64::MAX - (u64::MAX % span);
+                loop {
+                    let r = next();
+                    if r < zone {
+                        return self.start + (r % span) as $t;
+                    }
+                }
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_range(self, next: &mut dyn FnMut() -> u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty integer sample range");
+                if lo == 0 as $t && hi == <$t>::MAX {
+                    return next() as $t;
+                }
+                (lo..hi + 1).sample_range(next)
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(usize, u64, u32, u16, u8);
+
+macro_rules! impl_signed_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_range(self, next: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "empty integer sample range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let zone = u64::MAX - (u64::MAX % span);
+                loop {
+                    let r = next();
+                    if r < zone {
+                        return (self.start as i128 + (r % span) as i128) as $t;
+                    }
+                }
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_range(self, next: &mut dyn FnMut() -> u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty integer sample range");
+                if lo == <$t>::MIN && hi == <$t>::MAX {
+                    return next() as $t;
+                }
+                (lo..hi + 1).sample_range(next)
+            }
+        }
+    )*};
+}
+
+impl_signed_sample_range!(i64, i32, i16, i8, isize);
+
+/// The `rand`-compatible generator trait. Object- and `?Sized`-safe for the
+/// generic `R: Rng + ?Sized` bounds used in this workspace.
+pub trait Rng {
+    /// The raw 64-bit output stream every other method derives from.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample a value of `T` from the standard distribution.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        let mut next = source(self);
+        T::standard_sample(&mut next)
+    }
+
+    /// Sample uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let mut next = source(self);
+        range.sample_range(&mut next)
+    }
+
+    /// Return `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p={p} out of [0, 1]");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+/// Borrow an `Rng` as the `FnMut() -> u64` source the sampling traits take.
+fn source<R: Rng + ?Sized>(rng: &mut R) -> impl FnMut() -> u64 + '_ {
+    move || rng.next_u64()
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256** generator standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut sm = state;
+            let mut next_sm = move || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next_sm(), next_sm(), next_sm(), next_sm()];
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&x));
+            let y: usize = rng.gen_range(0..5);
+            assert!(y < 5);
+            let z: f64 = rng.gen_range(-0.5..=0.5);
+            assert!((-0.5..=0.5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_bool_rate_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn works_through_unsized_rng() {
+        fn draw(rng: &mut dyn Rng) -> f64 {
+            rng.gen_range(0.0..1.0)
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let v = draw(&mut rng);
+        assert!((0.0..1.0).contains(&v));
+    }
+}

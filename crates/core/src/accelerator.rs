@@ -280,64 +280,6 @@ impl DistanceAccelerator {
     }
 }
 
-/// Outcome of a batched row-structure run.
-#[derive(Debug, Clone)]
-pub struct BatchOutcome {
-    /// Per-candidate outcomes, in input order.
-    pub outcomes: Vec<AnalogOutcome>,
-    /// Array passes needed (`ceil(candidates / array rows)`).
-    pub passes: usize,
-    /// Wall-clock analog time for the whole batch: the slowest convergence
-    /// in each pass, summed over passes — the concurrency the Section 4.3
-    /// power analysis assumes (one candidate per array row).
-    pub batch_time_s: f64,
-}
-
-impl DistanceAccelerator {
-    /// Computes a row-structure distance between `query` and every
-    /// candidate, exploiting the array's row-level parallelism: up to
-    /// `array.rows` candidates are processed concurrently per pass.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`AcceleratorError::InvalidConfig`] if the configured
-    /// function is not a row-structure one (matrix functions occupy the
-    /// whole array for a single pair), plus any per-pair computation error.
-    pub fn compute_batch(
-        &self,
-        query: &[f64],
-        candidates: &[Vec<f64>],
-    ) -> Result<BatchOutcome, AcceleratorError> {
-        let kind = self.configured_kind()?;
-        if kind.uses_matrix_structure() {
-            return Err(AcceleratorError::InvalidConfig {
-                reason: format!(
-                    "batched execution needs a row-structure function (HamD/MD), got {kind}"
-                ),
-            });
-        }
-        let rows = self.config.array.rows;
-        let mut outcomes = Vec::with_capacity(candidates.len());
-        let mut batch_time_s = 0.0;
-        let mut passes = 0usize;
-        for chunk in candidates.chunks(rows.max(1)) {
-            passes += 1;
-            let mut slowest = 0.0f64;
-            for candidate in chunk {
-                let outcome = self.compute(query, candidate)?;
-                slowest = slowest.max(outcome.convergence_time_s);
-                outcomes.push(outcome);
-            }
-            batch_time_s += slowest;
-        }
-        Ok(BatchOutcome {
-            outcomes,
-            passes,
-            batch_time_s,
-        })
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -463,31 +405,6 @@ mod tests {
                 },
             )
             .is_err());
-    }
-
-    #[test]
-    fn batch_exploits_row_parallelism() {
-        let mut config = AcceleratorConfig::paper_defaults();
-        config.array = crate::array::ArrayDimensions::new(4, 64);
-        let mut acc = DistanceAccelerator::new(config);
-        acc.configure(DistanceKind::Manhattan).unwrap();
-        let query = series(8, 0.0);
-        let candidates: Vec<Vec<f64>> = (0..10).map(|i| series(8, 0.1 * i as f64)).collect();
-        let batch = acc.compute_batch(&query, &candidates).unwrap();
-        assert_eq!(batch.outcomes.len(), 10);
-        assert_eq!(batch.passes, 3); // ceil(10 / 4 rows)
-                                     // Batch wall time is far below the sum of individual runs.
-        let serial: f64 = batch.outcomes.iter().map(|o| o.convergence_time_s).sum();
-        assert!(batch.batch_time_s < serial / 2.0);
-    }
-
-    #[test]
-    fn batch_rejects_matrix_functions() {
-        let acc = accelerator(DistanceKind::Dtw);
-        assert!(matches!(
-            acc.compute_batch(&[0.0, 1.0], &[vec![0.0, 1.0]]),
-            Err(AcceleratorError::InvalidConfig { .. })
-        ));
     }
 
     #[test]

@@ -144,7 +144,7 @@ impl AnalogEngine {
             for (k, p) in probes.iter().enumerate() {
                 probe_values[k].push(y[p.0]);
             }
-            if steps % SETTLE_CHECK_INTERVAL == 0 || steps >= self.max_steps {
+            if steps.is_multiple_of(SETTLE_CHECK_INTERVAL) || steps >= self.max_steps {
                 let all_settled = plan
                     .active
                     .iter()
@@ -318,7 +318,7 @@ mod tests {
             &config,
             &volts(&config, &p),
             &volts(&config, &q),
-            &vec![1.0; 8],
+            &[1.0; 8],
             &mut ErrorModel::new(config.noise_seed),
         );
         let outcome = AnalogEngine::new().simulate(&g);

@@ -342,8 +342,8 @@ pub mod builders {
         let q: Vec<NodeRef> = q_volts.iter().map(|&v| g.source(v, errors)).collect();
         let (m, n) = (p.len(), q.len());
         let mut e = vec![vec![NodeRef(0); n + 1]; m + 1];
-        for j in 0..=n {
-            e[0][j] = g.source(j as f64 * config.v_step, errors);
+        for (j, cell) in e[0].iter_mut().enumerate() {
+            *cell = g.source(j as f64 * config.v_step, errors);
         }
         for (i, row) in e.iter_mut().enumerate().skip(1) {
             row[0] = g.source(i as f64 * config.v_step, errors);

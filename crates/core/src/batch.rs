@@ -1,0 +1,270 @@
+//! Batched and multi-core execution of accelerator workloads.
+//!
+//! Two levels of concurrency live here:
+//!
+//! * **Array-level** (the paper's Section 4.3): row-structure functions
+//!   (HamD/MD) process up to `array.rows` candidates per analog pass, so a
+//!   batch's wall-clock time is the slowest convergence in each pass summed
+//!   over passes — see [`BatchOutcome`].
+//! * **Host-level**: a data center runs one simulated accelerator per core.
+//!   [`DistanceAccelerator::compute_batch_with`] and
+//!   [`DistanceAccelerator::run_stream_with`] shard their workloads over a
+//!   [`BatchEngine`], giving every worker thread its own accelerator clone.
+//!   Results are bitwise identical at every thread count: per-pair outcomes
+//!   are deterministic, come back in input order, and all floating-point
+//!   reductions run serially in that order.
+
+use mda_distance::BatchEngine;
+
+use crate::accelerator::{AnalogOutcome, DistanceAccelerator};
+use crate::error::AcceleratorError;
+use crate::pipeline::ThroughputReport;
+
+/// Outcome of a batched row-structure run.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Per-candidate outcomes, in input order.
+    pub outcomes: Vec<AnalogOutcome>,
+    /// Array passes needed (`ceil(candidates / array rows)`).
+    pub passes: usize,
+    /// Wall-clock analog time for the whole batch: the slowest convergence
+    /// in each pass, summed over passes — the concurrency the Section 4.3
+    /// power analysis assumes (one candidate per array row).
+    pub batch_time_s: f64,
+}
+
+impl DistanceAccelerator {
+    /// Computes a row-structure distance between `query` and every
+    /// candidate, exploiting the array's row-level parallelism: up to
+    /// `array.rows` candidates are processed concurrently per pass.
+    ///
+    /// Equivalent to [`Self::compute_batch_with`] on a default (all-cores)
+    /// [`BatchEngine`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AcceleratorError::InvalidConfig`] if the configured
+    /// function is not a row-structure one (matrix functions occupy the
+    /// whole array for a single pair), plus any per-pair computation error.
+    pub fn compute_batch(
+        &self,
+        query: &[f64],
+        candidates: &[Vec<f64>],
+    ) -> Result<BatchOutcome, AcceleratorError> {
+        self.compute_batch_with(query, candidates, &BatchEngine::new())
+    }
+
+    /// [`Self::compute_batch`] sharded over `engine`: each worker thread
+    /// simulates its own accelerator clone, and the pass/time accounting is
+    /// reduced serially in candidate order, so the outcome is bitwise
+    /// identical for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::compute_batch`]; with several failing candidates the
+    /// lowest-indexed failure is reported, as in the serial loop.
+    pub fn compute_batch_with(
+        &self,
+        query: &[f64],
+        candidates: &[Vec<f64>],
+        engine: &BatchEngine,
+    ) -> Result<BatchOutcome, AcceleratorError> {
+        let kind = self.configured_kind()?;
+        if kind.uses_matrix_structure() {
+            return Err(AcceleratorError::InvalidConfig {
+                reason: format!(
+                    "batched execution needs a row-structure function (HamD/MD), got {kind}"
+                ),
+            });
+        }
+        let outcomes = engine.try_map_with(
+            candidates,
+            || self.clone(),
+            |acc: &mut DistanceAccelerator, _, candidate| acc.compute(query, candidate),
+        )?;
+        // Pass accounting mirrors the analog array, not the host threads:
+        // rows candidates share a pass, each pass costs its slowest member.
+        let rows = self.config().array.rows.max(1);
+        let mut batch_time_s = 0.0;
+        let mut passes = 0usize;
+        for pass in outcomes.chunks(rows) {
+            passes += 1;
+            batch_time_s += pass
+                .iter()
+                .map(|o| o.convergence_time_s)
+                .fold(0.0f64, f64::max);
+        }
+        Ok(BatchOutcome {
+            outcomes,
+            passes,
+            batch_time_s,
+        })
+    }
+
+    /// [`Self::run_stream`](crate::pipeline) sharded over `engine`: one
+    /// accelerator clone per worker thread, one work item per pair.
+    ///
+    /// Per-pair measurements come back in stream order and the report's
+    /// sums and means are accumulated serially in that order, so the report
+    /// is bitwise identical for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any pair fails; with several failing pairs the
+    /// lowest-indexed failure is reported, as in the serial loop.
+    pub fn run_stream_with(
+        &self,
+        pairs: &[(Vec<f64>, Vec<f64>)],
+        engine: &BatchEngine,
+    ) -> Result<ThroughputReport, AcceleratorError> {
+        let measurements = engine.try_map_with(
+            pairs,
+            || self.clone(),
+            |acc: &mut DistanceAccelerator, _, (p, q)| {
+                let outcome = acc.compute(p, q)?;
+                Ok::<_, AcceleratorError>((
+                    p.len() + q.len(),
+                    outcome.convergence_time_s,
+                    outcome.relative_error,
+                ))
+            },
+        )?;
+        let mut report = ThroughputReport {
+            computations: 0,
+            elements_processed: 0,
+            analog_time_s: 0.0,
+            mean_relative_error: 0.0,
+            worst_relative_error: 0.0,
+        };
+        let mut error_sum = 0.0;
+        for (elements, time_s, rel_err) in measurements {
+            report.computations += 1;
+            report.elements_processed += elements;
+            report.analog_time_s += time_s;
+            error_sum += rel_err;
+            report.worst_relative_error = report.worst_relative_error.max(rel_err);
+        }
+        if report.computations > 0 {
+            report.mean_relative_error = error_sum / report.computations as f64;
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AcceleratorConfig;
+    use mda_distance::DistanceKind;
+
+    fn accelerator(kind: DistanceKind) -> DistanceAccelerator {
+        let mut acc = DistanceAccelerator::new(AcceleratorConfig::paper_defaults());
+        acc.configure(kind).unwrap();
+        acc
+    }
+
+    fn series(len: usize, phase: f64) -> Vec<f64> {
+        (0..len)
+            .map(|i| (i as f64 * 0.4 + phase).sin() * 2.0)
+            .collect()
+    }
+
+    #[test]
+    fn batch_exploits_row_parallelism() {
+        let mut config = AcceleratorConfig::paper_defaults();
+        config.array = crate::array::ArrayDimensions::new(4, 64);
+        let mut acc = DistanceAccelerator::new(config);
+        acc.configure(DistanceKind::Manhattan).unwrap();
+        let query = series(8, 0.0);
+        let candidates: Vec<Vec<f64>> = (0..10).map(|i| series(8, 0.1 * i as f64)).collect();
+        let batch = acc.compute_batch(&query, &candidates).unwrap();
+        assert_eq!(batch.outcomes.len(), 10);
+        assert_eq!(batch.passes, 3); // ceil(10 / 4 rows)
+                                     // Batch wall time is far below the sum of individual runs.
+        let serial: f64 = batch.outcomes.iter().map(|o| o.convergence_time_s).sum();
+        assert!(batch.batch_time_s < serial / 2.0);
+    }
+
+    #[test]
+    fn batch_rejects_matrix_functions() {
+        let acc = accelerator(DistanceKind::Dtw);
+        assert!(matches!(
+            acc.compute_batch(&[0.0, 1.0], &[vec![0.0, 1.0]]),
+            Err(AcceleratorError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn batch_identical_across_thread_counts() {
+        let acc = accelerator(DistanceKind::Manhattan);
+        let query = series(12, 0.0);
+        let candidates: Vec<Vec<f64>> = (0..9).map(|i| series(12, 0.3 * i as f64)).collect();
+        let serial = acc
+            .compute_batch_with(&query, &candidates, &BatchEngine::serial())
+            .unwrap();
+        for threads in [2, 5] {
+            let parallel = acc
+                .compute_batch_with(
+                    &query,
+                    &candidates,
+                    &BatchEngine::serial()
+                        .with_threads(threads)
+                        .with_chunk_size(2),
+                )
+                .unwrap();
+            assert_eq!(parallel.passes, serial.passes);
+            assert_eq!(
+                parallel.batch_time_s.to_bits(),
+                serial.batch_time_s.to_bits()
+            );
+            assert_eq!(parallel.outcomes.len(), serial.outcomes.len());
+            for (p, s) in parallel.outcomes.iter().zip(&serial.outcomes) {
+                assert_eq!(p.value.to_bits(), s.value.to_bits());
+                assert_eq!(
+                    p.convergence_time_s.to_bits(),
+                    s.convergence_time_s.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stream_identical_across_thread_counts() {
+        let acc = accelerator(DistanceKind::Manhattan);
+        let pairs: Vec<(Vec<f64>, Vec<f64>)> = (0..7)
+            .map(|k| (series(10, 0.2 * k as f64), series(10, 0.2 * k as f64 + 1.0)))
+            .collect();
+        let serial = acc.run_stream_with(&pairs, &BatchEngine::serial()).unwrap();
+        for threads in [2, 4] {
+            let parallel = acc
+                .run_stream_with(
+                    &pairs,
+                    &BatchEngine::serial()
+                        .with_threads(threads)
+                        .with_chunk_size(2),
+                )
+                .unwrap();
+            assert_eq!(parallel, serial);
+            assert_eq!(
+                parallel.analog_time_s.to_bits(),
+                serial.analog_time_s.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_stream_reports_lowest_indexed_error() {
+        let acc = accelerator(DistanceKind::Manhattan);
+        let mut pairs: Vec<(Vec<f64>, Vec<f64>)> = (0..6)
+            .map(|k| (series(8, k as f64), series(8, 0.5)))
+            .collect();
+        pairs[2] = (vec![0.0], vec![0.0, 1.0]); // length mismatch
+        let err = acc
+            .run_stream_with(
+                &pairs,
+                &BatchEngine::serial().with_threads(3).with_chunk_size(1),
+            )
+            .unwrap_err();
+        assert!(matches!(err, AcceleratorError::Distance(_)));
+    }
+}

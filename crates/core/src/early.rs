@@ -143,6 +143,37 @@ mod tests {
     }
 
     #[test]
+    fn converged_winner_is_read_correctly_from_mixed_length_traces() {
+        // Regression: the converged winner is read at `slowest * 2.0`, which
+        // lies past the end of every trace that converged (and stopped
+        // recording) sooner. `Trace::at_time` must clamp to the final sample
+        // there. Trace B is short with a steeply falling tail: linear
+        // extrapolation to t = 4.0 would read 1.5 - 3.5 * 3 = -9.0 and
+        // wrongly crown B; clamping reads 1.5 and correctly crowns A.
+        let a = Trace::new(vec![0.0, 1.0, 2.0, 3.0, 4.0], vec![9.0, 7.0, 5.0, 3.0, 1.0]);
+        let b = Trace::new(vec![0.0, 1.0], vec![5.0, 1.5]);
+        let traces = [a, b];
+        let slowest = 2.0;
+        assert_eq!(argmin_at(&traces, slowest * 2.0), 0);
+    }
+
+    #[test]
+    fn early_determination_handles_candidates_with_unequal_convergence() {
+        // End-to-end mixed-length coverage: candidates at wildly different
+        // distances converge at different times, so their output traces have
+        // different lengths; the converged read happens past the end of the
+        // faster ones.
+        let mut acc = DistanceAccelerator::new(AcceleratorConfig::paper_defaults());
+        acc.configure(DistanceKind::Manhattan).unwrap();
+        let query = vec![0.0, 0.25, 0.5, 0.25, 0.0];
+        let near: Vec<f64> = query.iter().map(|v| v + 0.02).collect();
+        let far: Vec<f64> = query.iter().map(|v| v + 3.5).collect();
+        let decision = early_determination(&acc, &query, &[far, near], 0.1).unwrap();
+        assert_eq!(decision.converged_winner, 1);
+        assert!(decision.consistent(), "{decision:?}");
+    }
+
+    #[test]
     fn empty_candidates_rejected() {
         let mut acc = DistanceAccelerator::new(AcceleratorConfig::paper_defaults());
         acc.configure(DistanceKind::Manhattan).unwrap();

@@ -46,6 +46,7 @@
 pub mod accelerator;
 pub mod analog;
 pub mod array;
+pub mod batch;
 pub mod config;
 pub mod controller;
 pub mod converters;
@@ -58,6 +59,7 @@ pub mod tiling;
 
 pub use accelerator::{AnalogOutcome, DistanceAccelerator};
 pub use array::{ArrayDimensions, Structure};
+pub use batch::BatchOutcome;
 pub use config::AcceleratorConfig;
 pub use controller::{ConfigurationLib, PeConfiguration};
 pub use converters::{AdcSpec, DacSpec};

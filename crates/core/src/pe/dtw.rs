@@ -100,9 +100,7 @@ pub fn build_matrix(
     let (m, n) = (p.len(), q.len());
     // d[i][j] for the DP boundary: row/col 0.
     let mut d = vec![vec![zero; n + 1]; m + 1];
-    for j in 1..=n {
-        d[0][j] = inf;
-    }
+    d[0][1..].fill(inf);
     for row in d.iter_mut().skip(1) {
         row[0] = inf;
     }

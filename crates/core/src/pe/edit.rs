@@ -103,11 +103,11 @@ pub fn build_matrix(
         node
     };
     let mut e = vec![vec![Netlist::GROUND; n + 1]; m + 1];
-    for j in 1..=n {
-        e[0][j] = boundary(&mut net, format!("b_top{j}"), j);
+    for (j, cell) in e[0].iter_mut().enumerate().skip(1) {
+        *cell = boundary(&mut net, format!("b_top{j}"), j);
     }
-    for i in 1..=m {
-        e[i][0] = boundary(&mut net, format!("b_left{i}"), i);
+    for (i, row) in e.iter_mut().enumerate().skip(1) {
+        row[0] = boundary(&mut net, format!("b_left{i}"), i);
     }
     for i in 1..=m {
         for j in 1..=n {

@@ -4,6 +4,7 @@
 
 use crate::accelerator::DistanceAccelerator;
 use crate::error::AcceleratorError;
+use mda_distance::BatchEngine;
 
 /// Aggregate statistics from a stream of computations.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,34 +44,20 @@ impl DistanceAccelerator {
     /// Serves a stream of `(p, q)` pairs with the configured function,
     /// aggregating timing and accuracy statistics.
     ///
+    /// Equivalent to [`DistanceAccelerator::run_stream_with`] on a default
+    /// (all-cores) [`BatchEngine`]: one simulated accelerator per worker
+    /// thread, with a report that is bitwise identical at every thread
+    /// count.
+    ///
     /// # Errors
     ///
-    /// Stops at (and returns) the first failing computation; pairs before it
-    /// are not reported. Use well-formed streams or pre-validate.
+    /// Fails on the first failing pair (lowest stream index); pairs before
+    /// it are not reported. Use well-formed streams or pre-validate.
     pub fn run_stream(
         &self,
         pairs: &[(Vec<f64>, Vec<f64>)],
     ) -> Result<ThroughputReport, AcceleratorError> {
-        let mut report = ThroughputReport {
-            computations: 0,
-            elements_processed: 0,
-            analog_time_s: 0.0,
-            mean_relative_error: 0.0,
-            worst_relative_error: 0.0,
-        };
-        let mut error_sum = 0.0;
-        for (p, q) in pairs {
-            let outcome = self.compute(p, q)?;
-            report.computations += 1;
-            report.elements_processed += p.len() + q.len();
-            report.analog_time_s += outcome.convergence_time_s;
-            error_sum += outcome.relative_error;
-            report.worst_relative_error = report.worst_relative_error.max(outcome.relative_error);
-        }
-        if report.computations > 0 {
-            report.mean_relative_error = error_sum / report.computations as f64;
-        }
-        Ok(report)
+        self.run_stream_with(pairs, &BatchEngine::new())
     }
 }
 

@@ -81,6 +81,7 @@ where
 /// The recurrence is expressed through the generic cell function
 /// `f(diag, up, left, p_i, q_j)`; boundary values come from `top_boundary`
 /// (row 0), `left_boundary` (column 0) and `corner` (cell `(0,0)`).
+#[allow(clippy::too_many_arguments)]
 pub fn tiled_dp<F>(
     p: &[f64],
     q: &[f64],

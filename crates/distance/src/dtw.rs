@@ -12,6 +12,7 @@
 
 use crate::error::DistanceError;
 use crate::matrix::{DpMatrix, PathStep};
+use crate::scratch::DpScratch;
 use crate::weights::Weights;
 use crate::{Distance, DistanceKind};
 
@@ -36,16 +37,22 @@ impl Band {
 
     /// Is cell `(i, j)` (1-based DP coordinates) inside the band for an
     /// `m x n` comparison?
+    ///
+    /// The diagonal is corrected for unequal lengths: row `i` maps onto the
+    /// "ideal" column `i * n / m` and the band allows `±r` around it. The
+    /// comparison `|j - i*n/m| <= r` is evaluated exactly in integers as
+    /// `|j*m - i*n| <= r*m`, so cells exactly on the band edge are admitted
+    /// regardless of sequence length — the previous float formulation leaned
+    /// on a `1e-12` fudge whose slack is overtaken by `i*n` rounding once
+    /// products exceed 2^53.
     #[inline]
     pub fn admissible(self, i: usize, j: usize, m: usize, n: usize) -> bool {
         match self {
             Band::Full => true,
             Band::SakoeChiba(r) => {
-                // Correct the diagonal for unequal lengths: map row i onto
-                // the "ideal" column i * n / m and allow +-r around it.
-                let ideal = (i as f64) * (n as f64) / (m as f64);
-                let j = j as f64;
-                (j - ideal).abs() <= r as f64 + 1e-12
+                let jm = j as i128 * m as i128;
+                let i_n = i as i128 * n as i128;
+                (jm - i_n).abs() <= r as i128 * m as i128
             }
         }
     }
@@ -148,14 +155,29 @@ impl Dtw {
     ///
     /// Same as [`Dtw::matrix`].
     pub fn distance(&self, p: &[f64], q: &[f64]) -> Result<f64, DistanceError> {
+        self.distance_with(p, q, &mut DpScratch::new())
+    }
+
+    /// [`Dtw::distance`] with caller-provided scratch rows: batch workloads
+    /// reuse one [`DpScratch`] per worker thread instead of allocating two
+    /// DP rows per pair.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Dtw::matrix`].
+    pub fn distance_with(
+        &self,
+        p: &[f64],
+        q: &[f64],
+        scratch: &mut DpScratch,
+    ) -> Result<f64, DistanceError> {
         if p.is_empty() || q.is_empty() {
             return Err(DistanceError::EmptySequence);
         }
         let (m, n) = (p.len(), q.len());
         self.weights.check_pair_shape(m, n)?;
 
-        let mut prev = vec![f64::INFINITY; n + 1];
-        let mut curr = vec![f64::INFINITY; n + 1];
+        let (mut prev, mut curr) = scratch.rows(n + 1, f64::INFINITY);
         prev[0] = 0.0;
         for i in 1..=m {
             curr.fill(f64::INFINITY);
@@ -202,14 +224,28 @@ impl Dtw {
         q: &[f64],
         best_so_far: f64,
     ) -> Result<Option<f64>, DistanceError> {
+        self.distance_early_abandon_with(p, q, best_so_far, &mut DpScratch::new())
+    }
+
+    /// [`Dtw::distance_early_abandon`] with caller-provided scratch rows.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Dtw::matrix`].
+    pub fn distance_early_abandon_with(
+        &self,
+        p: &[f64],
+        q: &[f64],
+        best_so_far: f64,
+        scratch: &mut DpScratch,
+    ) -> Result<Option<f64>, DistanceError> {
         if p.is_empty() || q.is_empty() {
             return Err(DistanceError::EmptySequence);
         }
         let (m, n) = (p.len(), q.len());
         self.weights.check_pair_shape(m, n)?;
 
-        let mut prev = vec![f64::INFINITY; n + 1];
-        let mut curr = vec![f64::INFINITY; n + 1];
+        let (mut prev, mut curr) = scratch.rows(n + 1, f64::INFINITY);
         prev[0] = 0.0;
         for i in 1..=m {
             curr.fill(f64::INFINITY);
@@ -298,6 +334,15 @@ impl Dtw {
 impl Distance for Dtw {
     fn evaluate(&self, p: &[f64], q: &[f64]) -> Result<f64, DistanceError> {
         self.distance(p, q)
+    }
+
+    fn evaluate_with(
+        &self,
+        p: &[f64],
+        q: &[f64],
+        scratch: &mut DpScratch,
+    ) -> Result<f64, DistanceError> {
+        self.distance_with(p, q, scratch)
     }
 
     fn kind(&self) -> DistanceKind {
@@ -514,5 +559,69 @@ mod tests {
         assert_eq!(Band::SakoeChiba(0).active_cells(4, 4), 4);
         let r1 = Band::SakoeChiba(1).active_cells(4, 4);
         assert!(r1 > 4 && r1 < 16);
+    }
+
+    #[test]
+    fn band_edge_is_exact_on_unequal_lengths() {
+        // For every small (m, n, r), admissibility must equal the exact
+        // rational predicate |j - i*n/m| <= r — in particular cells landing
+        // exactly ON the edge are in, and one past it are out.
+        for m in 1usize..=12 {
+            for n in 1usize..=12 {
+                for r in 0usize..=6 {
+                    let band = Band::SakoeChiba(r);
+                    for i in 1..=m {
+                        for j in 1..=n {
+                            let exact = (j as i64 * m as i64 - i as i64 * n as i64).abs()
+                                <= r as i64 * m as i64;
+                            assert_eq!(
+                                band.admissible(i, j, m, n),
+                                exact,
+                                "m={m} n={n} r={r} cell ({i}, {j})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn band_edge_exact_at_large_lengths() {
+        // Products i*n beyond 2^53 lose integer precision in f64; the exact
+        // integer predicate must still classify edge cells correctly. Cell
+        // (i, j) with j*m - i*n == r*m sits exactly on the edge; j+1 is out.
+        let (m, n, r) = (123_456_791usize, 987_654_321usize, 5usize);
+        let i = m / 2;
+        // Pick the exact-edge column for this row: j*m = i*n + r*m requires
+        // divisibility, so instead test the outermost admissible column and
+        // its neighbour straddling the edge.
+        let num = i as i128 * n as i128;
+        let rm = r as i128 * m as i128;
+        let j_in = ((num + rm) / m as i128) as usize; // floor -> inside
+        let j_out = j_in + 1; // strictly past the upper edge
+        let band = Band::SakoeChiba(r);
+        assert!(band.admissible(i, j_in, m, n));
+        assert!(!band.admissible(i, j_out, m, n));
+    }
+
+    #[test]
+    fn wide_band_equals_full_on_unequal_lengths() {
+        // r >= max(m, n) admits every cell, so banded == unbanded even when
+        // the lengths differ.
+        let p = [0.0, 1.0, 0.5, 0.2, 0.9, -0.3, 0.7];
+        let q = [0.1, 0.8, 0.6, 0.0];
+        let (m, n) = (p.len(), q.len());
+        let r = m.max(n);
+        assert_eq!(
+            Band::SakoeChiba(r).active_cells(m, n),
+            Band::Full.active_cells(m, n)
+        );
+        let full = Dtw::new().distance(&p, &q).unwrap();
+        let banded = Dtw::new()
+            .with_band(Band::SakoeChiba(r))
+            .distance(&p, &q)
+            .unwrap();
+        assert_eq!(full, banded);
     }
 }

@@ -36,6 +36,7 @@
 //! # }
 //! ```
 
+pub mod batch;
 pub mod dtw;
 pub mod edit;
 pub mod error;
@@ -46,9 +47,11 @@ pub mod lower_bounds;
 pub mod manhattan;
 pub mod matrix;
 pub mod mining;
+pub mod scratch;
 pub mod weights;
 pub mod znorm;
 
+pub use batch::BatchEngine;
 pub use dtw::{Band, Dtw};
 pub use edit::EditDistance;
 pub use error::DistanceError;
@@ -57,6 +60,7 @@ pub use hausdorff::{Direction, Hausdorff};
 pub use lcs::Lcs;
 pub use manhattan::{Euclidean, Manhattan};
 pub use matrix::DpMatrix;
+pub use scratch::DpScratch;
 pub use weights::Weights;
 
 /// The six distance functions supported by the accelerator, in the order the
@@ -157,6 +161,25 @@ pub trait Distance {
     /// the function does not define a value for empty inputs, or
     /// [`DistanceError::LengthMismatch`] for equal-length-only functions.
     fn evaluate(&self, p: &[f64], q: &[f64]) -> Result<f64, DistanceError>;
+
+    /// Evaluates the function reusing caller-provided DP scratch rows.
+    ///
+    /// DP functions (DTW) override this to avoid per-pair row allocations in
+    /// batch workloads; the default ignores the scratch and delegates to
+    /// [`Distance::evaluate`], so every implementation stays correct.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Distance::evaluate`].
+    fn evaluate_with(
+        &self,
+        p: &[f64],
+        q: &[f64],
+        scratch: &mut DpScratch,
+    ) -> Result<f64, DistanceError> {
+        let _ = scratch;
+        self.evaluate(p, q)
+    }
 
     /// Which of the six functions this is.
     fn kind(&self) -> DistanceKind;

@@ -13,6 +13,7 @@
 
 use crate::dtw::{Band, Dtw};
 use crate::error::DistanceError;
+use crate::scratch::DpScratch;
 
 /// LB_Kim (simplified, as used by the UCR suite): the distance contributed by
 /// the first and last aligned pairs, which every warping path must pay.
@@ -134,6 +135,23 @@ pub fn cascading_dtw(
     r: usize,
     best_so_far: f64,
 ) -> Result<PruneDecision, DistanceError> {
+    cascading_dtw_with(p, q, r, best_so_far, &mut DpScratch::new())
+}
+
+/// [`cascading_dtw`] with caller-provided DP scratch rows, so a search loop
+/// (or a [`crate::batch::BatchEngine`] worker) evaluating many candidates
+/// allocates its DP rows once rather than per pair.
+///
+/// # Errors
+///
+/// Same as [`cascading_dtw`].
+pub fn cascading_dtw_with(
+    p: &[f64],
+    q: &[f64],
+    r: usize,
+    best_so_far: f64,
+    scratch: &mut DpScratch,
+) -> Result<PruneDecision, DistanceError> {
     let kim = lb_kim(p, q)?;
     if kim > best_so_far {
         return Ok(PruneDecision::PrunedByKim(kim));
@@ -146,7 +164,7 @@ pub fn cascading_dtw(
     }
     match Dtw::new()
         .with_band(Band::SakoeChiba(r))
-        .distance_early_abandon(p, q, best_so_far)?
+        .distance_early_abandon_with(p, q, best_so_far, scratch)?
     {
         Some(d) => Ok(PruneDecision::Computed(d)),
         None => Ok(PruneDecision::AbandonedEarly),

@@ -4,6 +4,7 @@
 //! every one of the six accelerator distance functions — the clustering
 //! workload of the paper's Section 1.
 
+use crate::batch::BatchEngine;
 use crate::error::DistanceError;
 use crate::Distance;
 
@@ -43,6 +44,7 @@ pub struct KMedoids {
     distance: Box<dyn Distance + Send + Sync>,
     k: usize,
     max_iterations: usize,
+    engine: BatchEngine,
 }
 
 impl std::fmt::Debug for KMedoids {
@@ -51,12 +53,15 @@ impl std::fmt::Debug for KMedoids {
             .field("kind", &self.distance.kind())
             .field("k", &self.k)
             .field("max_iterations", &self.max_iterations)
+            .field("engine", &self.engine)
             .finish()
     }
 }
 
 impl KMedoids {
     /// Creates a clusterer with `k` clusters and a 100-iteration cap.
+    /// The pairwise distance matrix is filled on a default (all-cores)
+    /// [`BatchEngine`].
     ///
     /// # Panics
     ///
@@ -67,6 +72,7 @@ impl KMedoids {
             distance,
             k,
             max_iterations: 100,
+            engine: BatchEngine::new(),
         }
     }
 
@@ -77,18 +83,32 @@ impl KMedoids {
         self
     }
 
-    /// Precomputes the full pairwise distance matrix.
+    /// Replaces the batch engine. Results are identical for every engine
+    /// configuration; only wall-clock time changes.
+    #[must_use]
+    pub fn with_engine(mut self, engine: BatchEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Precomputes the full pairwise distance matrix — the clusterer's hot
+    /// path (`n(n-1)/2` distance evaluations), sharded over the engine.
     fn distance_matrix(&self, series: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, DistanceError> {
         let n = series.len();
         let invert = self.distance.is_similarity();
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+            .collect();
+        let values = self.engine.try_map_scratch(&pairs, |scratch, _, &(i, j)| {
+            let raw = self
+                .distance
+                .evaluate_with(&series[i], &series[j], scratch)?;
+            Ok(if invert { -raw } else { raw })
+        })?;
         let mut m = vec![vec![0.0; n]; n];
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let raw = self.distance.evaluate(&series[i], &series[j])?;
-                let d = if invert { -raw } else { raw };
-                m[i][j] = d;
-                m[j][i] = d;
-            }
+        for (&(i, j), d) in pairs.iter().zip(values) {
+            m[i][j] = d;
+            m[j][i] = d;
         }
         Ok(m)
     }

@@ -5,6 +5,7 @@
 //! vehicle-classification (DTW) and iris-authentication (HamD) motivating
 //! examples.
 
+use crate::batch::BatchEngine;
 use crate::error::DistanceError;
 use crate::Distance;
 
@@ -45,6 +46,7 @@ pub struct KnnClassifier {
     distance: Box<dyn Distance + Send + Sync>,
     k: usize,
     train: Vec<Instance>,
+    engine: BatchEngine,
 }
 
 impl std::fmt::Debug for KnnClassifier {
@@ -53,12 +55,14 @@ impl std::fmt::Debug for KnnClassifier {
             .field("kind", &self.distance.kind())
             .field("k", &self.k)
             .field("train_size", &self.train.len())
+            .field("engine", &self.engine)
             .finish()
     }
 }
 
 impl KnnClassifier {
     /// Creates a classifier with the given distance and neighbour count `k`.
+    /// Distance batches run on a default (all-cores) [`BatchEngine`].
     ///
     /// # Panics
     ///
@@ -69,7 +73,17 @@ impl KnnClassifier {
             distance,
             k,
             train: Vec::new(),
+            engine: BatchEngine::new(),
         }
+    }
+
+    /// Replaces the batch engine (e.g. [`BatchEngine::serial`] for
+    /// single-threaded runs). Results are identical for every engine
+    /// configuration; only wall-clock time changes.
+    #[must_use]
+    pub fn with_engine(mut self, engine: BatchEngine) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Adds one labelled training series.
@@ -104,12 +118,16 @@ impl KnnClassifier {
             });
         }
         let invert = self.distance.is_similarity();
-        let mut scored: Vec<(usize, f64)> = Vec::with_capacity(self.train.len());
-        for (idx, inst) in self.train.iter().enumerate() {
-            let raw = self.distance.evaluate(query, &inst.series)?;
-            let score = if invert { -raw } else { raw };
-            scored.push((idx, score));
-        }
+        // One distance per training instance, sharded over the engine's
+        // workers; scores come back in training-index order, so the stable
+        // sort below breaks ties by index exactly as the serial loop did.
+        let scores = self
+            .engine
+            .try_map_scratch(&self.train, |scratch, _, inst| {
+                let raw = self.distance.evaluate_with(query, &inst.series, scratch)?;
+                Ok(if invert { -raw } else { raw })
+            })?;
+        let mut scored: Vec<(usize, f64)> = scores.into_iter().enumerate().collect();
         scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite"));
         let k = self.k.min(scored.len());
         let mut votes = std::collections::HashMap::new();
@@ -149,24 +167,24 @@ impl KnnClassifier {
             });
         }
         let invert = self.distance.is_similarity();
-        let mut correct = 0usize;
-        for (qi, q) in self.train.iter().enumerate() {
+        // One work item per held-out query; each worker scans the full train
+        // set serially (deterministic strict-< argmin, ties to lowest index).
+        let hits = self.engine.try_map_scratch(&self.train, |scratch, qi, q| {
             let mut best: Option<(usize, f64)> = None;
             for (ti, t) in self.train.iter().enumerate() {
                 if ti == qi {
                     continue;
                 }
-                let raw = self.distance.evaluate(&q.series, &t.series)?;
+                let raw = self.distance.evaluate_with(&q.series, &t.series, scratch)?;
                 let score = if invert { -raw } else { raw };
-                if best.map_or(true, |(_, b)| score < b) {
+                if best.is_none_or(|(_, b)| score < b) {
                     best = Some((ti, score));
                 }
             }
             let (bi, _) = best.expect("at least one other instance");
-            if self.train[bi].label == q.label {
-                correct += 1;
-            }
-        }
+            Ok(usize::from(self.train[bi].label == q.label))
+        })?;
+        let correct: usize = hits.iter().sum();
         Ok(correct as f64 / self.train.len() as f64)
     }
 }

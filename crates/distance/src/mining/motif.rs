@@ -7,9 +7,11 @@
 //! pruned variant rejects candidates with the cascading DTW lower bounds,
 //! and both must return identical answers (tested below).
 
+use crate::batch::BatchEngine;
 use crate::dtw::{Band, Dtw};
 use crate::error::DistanceError;
-use crate::lower_bounds::{cascading_dtw, PruneDecision};
+use crate::lower_bounds::{cascading_dtw_with, lb_kim, PruneDecision};
+use crate::scratch::DpScratch;
 
 /// A discovered motif: the best-matching pair of non-overlapping windows.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,11 +57,13 @@ pub struct MotifDiscovery {
     window: usize,
     band_radius: usize,
     stride: usize,
+    engine: BatchEngine,
 }
 
 impl MotifDiscovery {
     /// Discovery over windows of `window` points with Sakoe–Chiba radius
-    /// `band_radius`, stride 1.
+    /// `band_radius`, stride 1. Pair batches run on a default (all-cores)
+    /// [`BatchEngine`].
     ///
     /// # Panics
     ///
@@ -70,7 +74,17 @@ impl MotifDiscovery {
             window,
             band_radius,
             stride: 1,
+            engine: BatchEngine::new(),
         }
+    }
+
+    /// Replaces the batch engine. The discovered motif (and the pruning
+    /// statistics) are identical for every thread count; only wall-clock
+    /// time changes.
+    #[must_use]
+    pub fn with_engine(mut self, engine: BatchEngine) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Sets the window stride (coarser = faster, may miss offsets).
@@ -101,6 +115,17 @@ impl MotifDiscovery {
 
     /// Finds the motif, also returning pruning statistics.
     ///
+    /// The pair batch runs in three deterministic stages on the engine:
+    ///
+    /// 1. a **scout pass** computes the O(1) LB_Kim of every pair and picks
+    ///    the most promising one (smallest bound, ties to lowest pair index);
+    /// 2. the scout pair's full banded DTW becomes a fixed pruning threshold
+    ///    every chunk starts from (tightened chunk-locally as better pairs
+    ///    are computed), so prune decisions depend only on the chunk
+    ///    contents — never on thread scheduling;
+    /// 3. an ordered reduction takes the minimum computed distance, ties
+    ///    broken by the lowest pair index, exactly like the serial scan.
+    ///
     /// # Errors
     ///
     /// Same as [`MotifDiscovery::find`].
@@ -116,35 +141,87 @@ impl MotifDiscovery {
             });
         }
         let offsets = self.offsets(xs.len());
-        let mut stats = MotifStats::default();
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for (ai, &a) in offsets.iter().enumerate() {
+            for &b in &offsets[ai + 1..] {
+                if b >= a + self.window {
+                    pairs.push((a, b));
+                }
+            }
+        }
+        let mut stats = MotifStats {
+            pairs: pairs.len(),
+            ..MotifStats::default()
+        };
         let mut best = Motif {
             first: 0,
             second: self.window,
             distance: f64::INFINITY,
         };
-        for (ai, &a) in offsets.iter().enumerate() {
-            for &b in &offsets[ai + 1..] {
-                if b < a + self.window {
-                    continue; // overlapping
+        if pairs.is_empty() {
+            return Ok((best, stats));
+        }
+        let win = |o: usize| &xs[o..o + self.window];
+
+        // Stage 1: scout. LB_Kim is admissible, so the pair with the
+        // smallest bound is the best guess at the motif.
+        let kims = self
+            .engine
+            .try_map(&pairs, |_, &(a, b)| lb_kim(win(a), win(b)))?;
+        let scout = kims
+            .iter()
+            .enumerate()
+            .min_by(|x, y| x.1.partial_cmp(y.1).expect("finite bounds"))
+            .map(|(i, _)| i)
+            .expect("at least one pair");
+        let (sa, sb) = pairs[scout];
+        let best_ub = Dtw::new()
+            .with_band(Band::SakoeChiba(self.band_radius))
+            .distance(win(sa), win(sb))?;
+
+        // Stage 2: cascade every pair against the fixed scout threshold,
+        // tightening chunk-locally. The true motif always survives: its
+        // distance is <= every threshold the cascade can hold.
+        let decisions =
+            self.engine
+                .try_map_chunks(&pairs, DpScratch::new, |scratch, _, chunk| {
+                    let mut local_best = best_ub;
+                    chunk
+                        .iter()
+                        .map(|&(a, b)| {
+                            let decision = cascading_dtw_with(
+                                win(a),
+                                win(b),
+                                self.band_radius,
+                                local_best,
+                                scratch,
+                            )?;
+                            if let PruneDecision::Computed(d) = decision {
+                                if d < local_best {
+                                    local_best = d;
+                                }
+                            }
+                            Ok(decision)
+                        })
+                        .collect()
+                })?;
+
+        // Stage 3: ordered reduction.
+        for (&(a, b), decision) in pairs.iter().zip(decisions) {
+            match decision {
+                PruneDecision::PrunedByKim(_)
+                | PruneDecision::PrunedByKeogh(_)
+                | PruneDecision::AbandonedEarly => {
+                    stats.pruned += 1;
                 }
-                stats.pairs += 1;
-                let wa = &xs[a..a + self.window];
-                let wb = &xs[b..b + self.window];
-                match cascading_dtw(wa, wb, self.band_radius, best.distance)? {
-                    PruneDecision::PrunedByKim(_)
-                    | PruneDecision::PrunedByKeogh(_)
-                    | PruneDecision::AbandonedEarly => {
-                        stats.pruned += 1;
-                    }
-                    PruneDecision::Computed(d) => {
-                        stats.full_computations += 1;
-                        if d < best.distance {
-                            best = Motif {
-                                first: a,
-                                second: b,
-                                distance: d,
-                            };
-                        }
+                PruneDecision::Computed(d) => {
+                    stats.full_computations += 1;
+                    if d < best.distance {
+                        best = Motif {
+                            first: a,
+                            second: b,
+                            distance: d,
+                        };
                     }
                 }
             }

@@ -5,10 +5,12 @@
 //! Slides a query over a long series and returns the best-matching window,
 //! using the cascading lower bounds of [`crate::lower_bounds`] to prune.
 
+use crate::batch::BatchEngine;
 use crate::dtw::{Band, Dtw};
 use crate::error::DistanceError;
-use crate::lower_bounds::{cascading_dtw, PruneDecision};
-use crate::znorm::z_normalized;
+use crate::lower_bounds::{cascading_dtw_with, lb_kim, PruneDecision};
+use crate::scratch::DpScratch;
+use crate::znorm::{z_normalize_in_place, z_normalized};
 
 /// Statistics from one search run — used by the benches to report pruning
 /// power alongside wall-clock numbers.
@@ -64,11 +66,13 @@ pub struct SubsequenceSearch {
     window: usize,
     band_radius: usize,
     z_normalize: bool,
+    engine: BatchEngine,
 }
 
 impl SubsequenceSearch {
     /// Creates a search over windows of `window` elements with Sakoe–Chiba
-    /// radius `band_radius`.
+    /// radius `band_radius`. Window batches run on a default (all-cores)
+    /// [`BatchEngine`].
     ///
     /// # Panics
     ///
@@ -79,7 +83,17 @@ impl SubsequenceSearch {
             window,
             band_radius,
             z_normalize: false,
+            engine: BatchEngine::new(),
         }
+    }
+
+    /// Replaces the batch engine. The best match (and the pruning
+    /// statistics) are identical for every thread count; only wall-clock
+    /// time changes.
+    #[must_use]
+    pub fn with_engine(mut self, engine: BatchEngine) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Enables UCR-suite-style z-normalization of the query and every
@@ -95,7 +109,34 @@ impl SubsequenceSearch {
         self.window
     }
 
+    /// Copies the window at `offset` into `buf`, z-normalizing if enabled,
+    /// so workers reuse one buffer instead of allocating per window.
+    fn window_into<'a>(
+        &self,
+        haystack: &'a [f64],
+        offset: usize,
+        buf: &'a mut Vec<f64>,
+    ) -> &'a [f64] {
+        let window = &haystack[offset..offset + self.window];
+        if self.z_normalize {
+            buf.clear();
+            buf.extend_from_slice(window);
+            z_normalize_in_place(buf);
+            buf
+        } else {
+            window
+        }
+    }
+
     /// Runs the search, returning the best match and pruning statistics.
+    ///
+    /// The window batch runs in three deterministic stages on the engine:
+    /// an O(1)-per-window LB_Kim **scout pass** picks the most promising
+    /// window (ties to lowest offset); its full banded DTW becomes a fixed
+    /// pruning threshold every chunk starts from (tightened chunk-locally);
+    /// and an ordered reduction takes the minimum computed distance, ties
+    /// broken by the lowest offset — exactly like the serial scan. Match and
+    /// statistics are therefore identical for every thread count.
     ///
     /// # Errors
     ///
@@ -121,23 +162,77 @@ impl SubsequenceSearch {
         } else {
             query.to_vec()
         };
+        let offsets: Vec<usize> = (0..=(haystack.len() - self.window)).collect();
+        let mut stats = SearchStats {
+            windows: offsets.len(),
+            ..SearchStats::default()
+        };
 
-        let mut stats = SearchStats::default();
+        // Stage 1: scout. LB_Kim is admissible, so the window with the
+        // smallest bound is the best guess at the match.
+        let kims =
+            self.engine
+                .try_map_with(&offsets, Vec::new, |buf: &mut Vec<f64>, _, &off| {
+                    lb_kim(&query_owned, self.window_into(haystack, off, buf))
+                })?;
+        let scout = kims
+            .iter()
+            .enumerate()
+            .min_by(|x, y| x.1.partial_cmp(y.1).expect("finite bounds"))
+            .map(|(i, _)| i)
+            .expect("haystack holds at least one window");
+        let mut scout_buf = Vec::new();
+        let best_ub = Dtw::new()
+            .with_band(Band::SakoeChiba(self.band_radius))
+            .distance(
+                &query_owned,
+                self.window_into(haystack, offsets[scout], &mut scout_buf),
+            )?;
+
+        // Stage 2: cascade every window against the fixed scout threshold,
+        // tightening chunk-locally. The true best window always survives:
+        // its distance is <= every threshold the cascade can hold.
+        let decisions = self.engine.try_map_chunks(
+            &offsets,
+            || (DpScratch::new(), Vec::new()),
+            |(scratch, buf), _, chunk| {
+                let mut local_best = best_ub;
+                chunk
+                    .iter()
+                    .map(|&off| {
+                        let window = if self.z_normalize {
+                            buf.clear();
+                            buf.extend_from_slice(&haystack[off..off + self.window]);
+                            z_normalize_in_place(buf);
+                            &buf[..]
+                        } else {
+                            &haystack[off..off + self.window]
+                        };
+                        let decision = cascading_dtw_with(
+                            &query_owned,
+                            window,
+                            self.band_radius,
+                            local_best,
+                            scratch,
+                        )?;
+                        if let PruneDecision::Computed(d) = decision {
+                            if d < local_best {
+                                local_best = d;
+                            }
+                        }
+                        Ok(decision)
+                    })
+                    .collect()
+            },
+        )?;
+
+        // Stage 3: ordered reduction.
         let mut best = Match {
             offset: 0,
             distance: f64::INFINITY,
         };
-        for offset in 0..=(haystack.len() - self.window) {
-            stats.windows += 1;
-            let window = &haystack[offset..offset + self.window];
-            let window_owned: Vec<f64>;
-            let window_ref: &[f64] = if self.z_normalize {
-                window_owned = z_normalized(window);
-                &window_owned
-            } else {
-                window
-            };
-            match cascading_dtw(&query_owned, window_ref, self.band_radius, best.distance)? {
+        for (&offset, decision) in offsets.iter().zip(decisions) {
+            match decision {
                 PruneDecision::PrunedByKim(_) => stats.pruned_by_kim += 1,
                 PruneDecision::PrunedByKeogh(_) => stats.pruned_by_keogh += 1,
                 PruneDecision::AbandonedEarly => stats.abandoned_early += 1,

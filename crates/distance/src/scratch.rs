@@ -1,0 +1,96 @@
+//! Reusable dynamic-programming scratch buffers.
+//!
+//! The two-row DP kernels ([`crate::Dtw::distance`] and friends) need two
+//! `n + 1`-element rows per evaluation. Allocating them per pair is invisible
+//! for a single distance call but dominates small-kernel batch workloads
+//! (millions of pairs in a motif search). A [`DpScratch`] owns the rows and
+//! hands them out re-initialized, so a worker thread can stream an arbitrary
+//! number of pairs through one pair of allocations.
+
+/// Reusable two-row DP buffer.
+///
+/// ```
+/// use mda_distance::{Dtw, DpScratch};
+/// # fn main() -> Result<(), mda_distance::DistanceError> {
+/// let dtw = Dtw::new();
+/// let mut scratch = DpScratch::new();
+/// // Both calls reuse the same backing allocations.
+/// let a = dtw.distance_with(&[0.0, 1.0, 2.0], &[0.0, 1.0, 2.0], &mut scratch)?;
+/// let b = dtw.distance_with(&[0.0, 1.0], &[2.0, 3.0], &mut scratch)?;
+/// assert_eq!(a, 0.0);
+/// assert_eq!(b, 4.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DpScratch {
+    prev: Vec<f64>,
+    curr: Vec<f64>,
+}
+
+impl DpScratch {
+    /// An empty scratch; rows grow on first use and are retained afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A scratch pre-sized for sequences up to `n` elements.
+    pub fn with_capacity(n: usize) -> Self {
+        DpScratch {
+            prev: Vec::with_capacity(n + 1),
+            curr: Vec::with_capacity(n + 1),
+        }
+    }
+
+    /// Two rows of `len` elements, every cell set to `fill`. Reuses the
+    /// backing allocations; only grows when `len` exceeds the capacity.
+    pub fn rows(&mut self, len: usize, fill: f64) -> (&mut Vec<f64>, &mut Vec<f64>) {
+        self.prev.clear();
+        self.prev.resize(len, fill);
+        self.curr.clear();
+        self.curr.resize(len, fill);
+        (&mut self.prev, &mut self.curr)
+    }
+
+    /// Current row capacity (elements held without reallocating).
+    pub fn capacity(&self) -> usize {
+        self.prev.capacity().min(self.curr.capacity())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_reinitialized_each_time() {
+        let mut s = DpScratch::new();
+        {
+            let (prev, curr) = s.rows(4, f64::INFINITY);
+            prev[0] = 0.0;
+            curr[3] = 7.0;
+        }
+        let (prev, curr) = s.rows(4, f64::INFINITY);
+        assert!(prev.iter().all(|v| v.is_infinite()));
+        assert!(curr.iter().all(|v| v.is_infinite()));
+    }
+
+    #[test]
+    fn capacity_is_retained_across_smaller_requests() {
+        let mut s = DpScratch::new();
+        s.rows(100, 0.0);
+        let cap = s.capacity();
+        s.rows(5, 0.0);
+        assert_eq!(
+            s.capacity(),
+            cap,
+            "shrinking a request must not shrink capacity"
+        );
+    }
+
+    #[test]
+    fn with_capacity_presizes() {
+        let s = DpScratch::with_capacity(64);
+        assert!(s.capacity() >= 65);
+    }
+}

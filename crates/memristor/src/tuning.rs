@@ -83,6 +83,7 @@ impl TuningReport {
 ///
 /// Panics if `target_ratio`, `tolerance` or `reference_resistance` are not
 /// positive.
+#[allow(clippy::too_many_arguments)]
 pub fn tune_ratio<R: Rng + ?Sized>(
     device: &mut Memristor,
     reference_resistance: f64,

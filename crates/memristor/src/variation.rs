@@ -95,7 +95,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..500 {
             let r = v.sample(100.0e3, &mut rng);
-            assert!(r >= 75.0e3 - 1.0 && r <= 125.0e3 + 1.0);
+            assert!((75.0e3 - 1.0..=125.0e3 + 1.0).contains(&r));
         }
     }
 

@@ -79,9 +79,10 @@ fn solve_complex(
             if factor.abs() == 0.0 {
                 continue;
             }
-            for c in k..n {
-                let sub = factor * a[k][c];
-                a[r][c] = a[r][c] - sub;
+            let (rows_k, rows_r) = a.split_at_mut(r);
+            for (rc, &kc) in rows_r[0][k..].iter_mut().zip(&rows_k[k][k..]) {
+                let sub = factor * kc;
+                *rc = *rc - sub;
             }
             let sb = factor * b[k];
             b[r] = b[r] - sb;
@@ -261,9 +262,7 @@ pub fn run_ac(
         }
         let x = solve_complex(a, z)?;
         let mut snapshot = vec![Complex::ZERO; netlist.node_count()];
-        for id in 1..netlist.node_count() {
-            snapshot[id] = x[id - 1];
-        }
+        snapshot[1..].copy_from_slice(&x[..netlist.node_count() - 1]);
         voltages.push(snapshot);
     }
     Ok(AcResult {

@@ -18,9 +18,7 @@ pub fn solve_dc(netlist: &Netlist) -> Result<Vec<f64>, SpiceError> {
     let initial = vec![0.0; layout.n_unknowns];
     let x = solve_point(netlist, &layout, &initial, 0.0, StepContext::Dc)?;
     let mut voltages = vec![0.0; netlist.node_count()];
-    for id in 1..netlist.node_count() {
-        voltages[id] = x[id - 1];
-    }
+    voltages[1..].copy_from_slice(&x[..netlist.node_count() - 1]);
     Ok(voltages)
 }
 

@@ -100,8 +100,8 @@ impl DenseMatrix {
         // Back substitution.
         for k in (0..n).rev() {
             let mut sum = y[k];
-            for c in (k + 1)..n {
-                sum -= self.at(perm[k], c) * x[c];
+            for (c, &xc) in x.iter().enumerate().take(n).skip(k + 1) {
+                sum -= self.at(perm[k], c) * xc;
             }
             x[k] = sum / self.at(perm[k], k);
         }
@@ -193,12 +193,12 @@ mod tests {
         let b: Vec<f64> = (0..n).map(|_| rand()).collect();
         let a = m.clone();
         let x = m.solve(&b).unwrap();
-        for r in 0..n {
+        for (r, &br) in b.iter().enumerate() {
             let mut sum = 0.0;
-            for c in 0..n {
-                sum += a.at(r, c) * x[c];
+            for (c, &xc) in x.iter().enumerate() {
+                sum += a.at(r, c) * xc;
             }
-            assert!((sum - b[r]).abs() < 1e-9, "row {r} residual");
+            assert!((sum - br).abs() < 1e-9, "row {r} residual");
         }
     }
 }

@@ -84,7 +84,7 @@ impl SparseMatrix {
             for (pos, &r) in active.iter().enumerate().skip(k) {
                 if let Some(&v) = self.rows[r].get(&k) {
                     let a = v.abs();
-                    if best.map_or(true, |(_, bv)| a > bv) {
+                    if best.is_none_or(|(_, bv)| a > bv) {
                         best = Some((pos, a));
                     }
                 }

@@ -162,10 +162,17 @@ impl Trace {
 
     /// Value by nearest-sample lookup at time `t`.
     ///
+    /// Times outside the recorded range **clamp** to the first/last sample
+    /// rather than extrapolating: a trace that converged (and stopped
+    /// recording) earlier than its siblings reads as its steady-state value
+    /// at any later `t`. Early determination relies on this when comparing
+    /// traces of different lengths at the slowest candidate's timescale.
+    ///
     /// # Panics
     ///
     /// Panics if the trace is empty.
     pub fn at_time(&self, t: f64) -> f64 {
+        assert!(!self.is_empty(), "at_time on an empty trace");
         let idx = match self
             .times
             .binary_search_by(|probe| probe.partial_cmp(&t).expect("finite times"))
@@ -301,5 +308,25 @@ mod tests {
         assert_eq!(tr.at_time(1.0), 20.0);
         assert_eq!(tr.at_time(0.4), 20.0); // binary_search Err(1) -> index 1
         assert_eq!(tr.at_time(9.0), 30.0);
+    }
+
+    #[test]
+    fn at_time_clamps_rather_than_extrapolates() {
+        // A short, already-converged trace whose final slope is steeply
+        // negative: linear extrapolation past the end would keep falling,
+        // but out-of-range reads must clamp to the recorded endpoints.
+        let tr = Trace::new(vec![0.0, 1.0], vec![5.0, 1.5]);
+        assert_eq!(tr.at_time(4.0), 1.5, "read past the end clamps to last");
+        assert_eq!(
+            tr.at_time(-1.0),
+            5.0,
+            "read before the start clamps to first"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at_time on an empty trace")]
+    fn at_time_on_empty_trace_panics_cleanly() {
+        Trace::new(vec![], vec![]).at_time(0.0);
     }
 }

@@ -60,7 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("----------+--------------+----------------+------");
     let mut agreement = 0usize;
     let mut total = 0usize;
-    for true_class in 0..3 {
+    for (true_class, true_name) in CLASSES.iter().enumerate() {
         let query = signature(true_class, len, 0.23);
         let digital = knn.classify(&query)?;
 
@@ -71,7 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             for j in 0..4 {
                 let train = signature(class, len, 0.1 + j as f64 * 0.05);
                 let outcome = accelerator.compute(&query, &train)?;
-                if best.map_or(true, |(_, b)| outcome.value < b) {
+                if best.is_none_or(|(_, b)| outcome.value < b) {
                     best = Some((class, outcome.value));
                 }
             }
@@ -82,7 +82,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         total += 1;
         println!(
             "{:<9} | {:<12} | {:<14} | {}",
-            CLASSES[true_class], CLASSES[digital.label], CLASSES[analog_class], agree
+            true_name, CLASSES[digital.label], CLASSES[analog_class], agree
         );
     }
     println!("\nanalog/digital agreement: {agreement}/{total}");

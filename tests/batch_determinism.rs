@@ -1,0 +1,186 @@
+//! Regression suite for the `BatchEngine` determinism guarantee: every
+//! mining driver and the accelerator pipeline must return **bitwise
+//! identical** results on a serial engine and on multi-threaded engines,
+//! with ties broken by lowest index exactly as the serial scans did.
+
+use memristor_distance_accelerator::core::{AcceleratorConfig, DistanceAccelerator};
+use memristor_distance_accelerator::distance::mining::{
+    KMedoids, KnnClassifier, MotifDiscovery, SubsequenceSearch,
+};
+use memristor_distance_accelerator::distance::{BatchEngine, DistanceKind, Dtw, Manhattan};
+
+fn series(len: usize, seed: usize) -> Vec<f64> {
+    (0..len)
+        .map(|i| ((i + 11 * seed) as f64 * 0.29).sin() * 2.0 + (seed as f64 * 0.618).cos() * 0.5)
+        .collect()
+}
+
+fn engines() -> Vec<BatchEngine> {
+    vec![
+        BatchEngine::serial(),
+        BatchEngine::serial().with_threads(2),
+        BatchEngine::serial().with_threads(8).with_chunk_size(3),
+    ]
+}
+
+#[test]
+fn knn_classify_identical_across_engines() {
+    let queries: Vec<Vec<f64>> = (50..56).map(|s| series(32, s)).collect();
+    let mut reference = None;
+    for engine in engines() {
+        let mut knn = KnnClassifier::new(Box::new(Dtw::new()), 3).with_engine(engine);
+        for i in 0..24 {
+            knn.fit(i % 3, series(32, i));
+        }
+        let results: Vec<(usize, u64, usize)> = queries
+            .iter()
+            .map(|q| {
+                let c = knn.classify(q).unwrap();
+                (c.label, c.score.to_bits(), c.nearest_index)
+            })
+            .collect();
+        match &reference {
+            None => reference = Some(results),
+            Some(r) => assert_eq!(&results, r),
+        }
+    }
+}
+
+#[test]
+fn knn_leave_one_out_identical_across_engines() {
+    let mut reference = None;
+    for engine in engines() {
+        let mut knn = KnnClassifier::new(Box::new(Manhattan::new()), 1).with_engine(engine);
+        for i in 0..20 {
+            knn.fit(i % 2, series(16, i));
+        }
+        let acc = knn.leave_one_out_accuracy().unwrap().to_bits();
+        match reference {
+            None => reference = Some(acc),
+            Some(r) => assert_eq!(acc, r),
+        }
+    }
+}
+
+#[test]
+fn kmedoids_identical_across_engines() {
+    let data: Vec<Vec<f64>> = (0..18).map(|s| series(12, s)).collect();
+    let mut reference = None;
+    for engine in engines() {
+        let km = KMedoids::new(Box::new(Dtw::new()), 3).with_engine(engine);
+        let r = km.cluster(&data).unwrap();
+        let key = (
+            r.medoids.clone(),
+            r.assignments.clone(),
+            r.total_cost.to_bits(),
+            r.iterations,
+        );
+        match &reference {
+            None => reference = Some(key),
+            Some(k) => assert_eq!(&key, k),
+        }
+    }
+}
+
+#[test]
+fn motif_identical_across_engines_including_stats() {
+    let mut xs: Vec<f64> = (0..220)
+        .map(|i| i as f64 * 0.05 + (i as f64 * 0.618).sin() * 0.4)
+        .collect();
+    for i in 0..12 {
+        let bump = (i as f64 * 0.7).sin() * 25.0;
+        xs[30 + i] = bump;
+        xs[160 + i] = bump + 0.01;
+    }
+    let mut reference = None;
+    for engine in engines() {
+        let (motif, stats) = MotifDiscovery::new(12, 2)
+            .with_engine(engine)
+            .find_with_stats(&xs)
+            .unwrap();
+        let key = (motif.first, motif.second, motif.distance.to_bits(), stats);
+        match &reference {
+            None => reference = Some(key),
+            Some(k) => assert_eq!(&key, k),
+        }
+    }
+    let (first, second, _, _) = reference.unwrap();
+    assert_eq!((first, second), (30, 160));
+}
+
+#[test]
+fn motif_agrees_with_brute_force_on_every_engine() {
+    let xs: Vec<f64> = (0..150)
+        .map(|i| (i as f64 * 0.21).sin() * 3.0 + (i as f64 * 0.05).cos())
+        .collect();
+    let discovery = MotifDiscovery::new(10, 2);
+    let brute = discovery.find_brute_force(&xs).unwrap();
+    for engine in engines() {
+        let pruned = discovery.clone().with_engine(engine).find(&xs).unwrap();
+        assert_eq!((pruned.first, pruned.second), (brute.first, brute.second));
+        assert!((pruned.distance - brute.distance).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn search_identical_across_engines_including_stats() {
+    let mut haystack: Vec<f64> = (0..400).map(|i| (i as f64 * 0.13).sin() * 2.0).collect();
+    let query: Vec<f64> = (0..16).map(|i| (i as f64 * 0.9).cos() * 4.0).collect();
+    for (i, q) in query.iter().enumerate() {
+        haystack[230 + i] = *q + 0.005;
+    }
+    let mut reference = None;
+    for engine in engines() {
+        let (best, stats) = SubsequenceSearch::new(16, 2)
+            .with_engine(engine)
+            .run(&query, &haystack)
+            .unwrap();
+        let key = (best.offset, best.distance.to_bits(), stats);
+        match &reference {
+            None => reference = Some(key),
+            Some(k) => assert_eq!(&key, k),
+        }
+    }
+    assert_eq!(reference.unwrap().0, 230);
+}
+
+#[test]
+fn znormalized_search_agrees_with_brute_force_on_every_engine() {
+    let haystack: Vec<f64> = (0..300)
+        .map(|i| (i as f64 * 0.17).sin() * (1.0 + i as f64 * 0.01))
+        .collect();
+    let query: Vec<f64> = haystack[120..140].iter().map(|v| v * 3.0 + 5.0).collect();
+    let search = SubsequenceSearch::new(20, 2).with_z_normalization(true);
+    let brute = search.run_brute_force(&query, &haystack).unwrap();
+    for engine in engines() {
+        let (best, _) = search
+            .clone()
+            .with_engine(engine)
+            .run(&query, &haystack)
+            .unwrap();
+        assert_eq!(best.offset, brute.offset);
+        assert!((best.distance - brute.distance).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn pipeline_stream_identical_across_engines() {
+    let mut acc = DistanceAccelerator::new(AcceleratorConfig::paper_defaults());
+    acc.configure(DistanceKind::Manhattan).unwrap();
+    let pairs: Vec<(Vec<f64>, Vec<f64>)> = (0..10)
+        .map(|k| (series(14, k), series(14, k + 100)))
+        .collect();
+    let serial = acc.run_stream_with(&pairs, &BatchEngine::serial()).unwrap();
+    for engine in engines() {
+        let report = acc.run_stream_with(&pairs, &engine).unwrap();
+        assert_eq!(report, serial);
+        assert_eq!(
+            report.analog_time_s.to_bits(),
+            serial.analog_time_s.to_bits()
+        );
+        assert_eq!(
+            report.mean_relative_error.to_bits(),
+            serial.mean_relative_error.to_bits()
+        );
+    }
+}

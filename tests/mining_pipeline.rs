@@ -86,7 +86,7 @@ fn accelerated_one_nn_agrees_with_digital_on_separated_data() {
             let idx = ds.indices_of_class(class);
             for &ti in &idx[..2] {
                 let outcome = acc.compute(query, ds.series(ti)).expect("valid");
-                if best.map_or(true, |(_, b)| outcome.value < b) {
+                if best.is_none_or(|(_, b)| outcome.value < b) {
                     best = Some((class, outcome.value));
                 }
             }

@@ -37,6 +37,25 @@ proptest! {
     }
 
     #[test]
+    fn dtw_band_at_max_len_equals_full(p in series(20), q in series(20)) {
+        // A Sakoe–Chiba band of half-width max(m, n) admits every DP cell,
+        // including the band-edge cells on unequal-length inputs, so the
+        // banded distance must equal the unbanded one exactly.
+        let r = p.len().max(q.len());
+        let full = Dtw::new().evaluate(&p, &q).unwrap();
+        let banded = Dtw::new()
+            .with_band(Band::SakoeChiba(r))
+            .evaluate(&p, &q)
+            .unwrap();
+        prop_assert!(
+            (banded - full).abs() < 1e-12,
+            "banded {banded} != full {full} for m={}, n={}",
+            p.len(),
+            q.len()
+        );
+    }
+
+    #[test]
     fn dtw_band_monotone((p, q) in equal_length_pair(20), r in 0usize..20) {
         let full = Dtw::new().evaluate(&p, &q).unwrap();
         let banded = Dtw::new().with_band(Band::SakoeChiba(r)).evaluate(&p, &q);
@@ -130,7 +149,7 @@ proptest! {
         m.apply_voltage(v, duration_ns * 1.0e-9, 1.0e-9);
         prop_assert!((0.0..=1.0).contains(&m.state()));
         let r = m.resistance();
-        prop_assert!(r >= 1.0e3 - 1e-6 && r <= 100.0e3 + 1e-6);
+        prop_assert!((1.0e3 - 1e-6..=100.0e3 + 1e-6).contains(&r));
     }
 
     #[test]
