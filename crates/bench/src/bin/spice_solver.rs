@@ -1,0 +1,258 @@
+//! Wall-clock benchmark of the structure-caching SPICE solver core against
+//! the frozen legacy path (`mda_spice::legacy`), with an identity gate.
+//!
+//! Three netlists spanning the solver's regimes:
+//!
+//! * **pe_cell** — a single DTW processing element (Fig. 2(a)), the dense
+//!   backend's everyday workload;
+//! * **diode_chain** — a 40-stage diode maximum-selection chain, dense and
+//!   heavily nonlinear (Newton does real work every step);
+//! * **array_40x40** — a 40 × 40 memristive array with drivers and
+//!   per-node parasitics (~1700 unknowns), the sparse backend at the
+//!   array scale the paper's accelerator actually runs at.
+//!
+//! Each netlist is run once through the legacy solver and once through the
+//! new core on an identical transient spec. Traces must agree to ≤ 1e-12
+//! relative; any deviation beyond that exits non-zero. Wall-clock times,
+//! speedups and the new core's [`SolveStats`] land in
+//! `results/BENCH_spice_solver.json`.
+//!
+//! Pass `--quick` (CI smoke mode) to shorten the transients; the identity
+//! gate is identical in both modes.
+
+use std::time::Instant;
+
+use mda_core::{pe, AcceleratorConfig};
+use mda_spice::{legacy, Netlist, SolveStats, TransientResult, TransientSpec, Waveform};
+
+const TOL: f64 = 1.0e-12;
+
+struct Case {
+    name: &'static str,
+    net: Netlist,
+    spec: TransientSpec,
+}
+
+struct Outcome {
+    name: &'static str,
+    steps: usize,
+    legacy_seconds: f64,
+    new_seconds: f64,
+    max_rel_dev: f64,
+    stats: SolveStats,
+}
+
+fn pe_cell(quick: bool) -> Case {
+    let config = AcceleratorConfig::paper_defaults();
+    let (net, _) = pe::dtw::build_matrix(&config, &[1.5], &[0.5], 1.0).expect("in-range inputs");
+    let stop = if quick { 0.2e-9 } else { 1.0e-9 };
+    Case {
+        name: "pe_cell",
+        net,
+        spec: TransientSpec::new(stop, 2.0e-12).from_dc(),
+    }
+}
+
+fn diode_chain(quick: bool) -> Case {
+    let mut net = Netlist::new();
+    let mut stage_out = Netlist::GROUND;
+    for s in 0..40 {
+        let src = net.node(&format!("src{s}"));
+        let out = net.node(&format!("out{s}"));
+        let level = 0.05 + 0.01 * s as f64;
+        net.voltage_source(src, Netlist::GROUND, Waveform::step_at(level, 1.0e-9));
+        net.diode(src, out);
+        if s > 0 {
+            net.diode(stage_out, out);
+        }
+        net.resistor(out, Netlist::GROUND, 100.0e3);
+        net.capacitor(out, Netlist::GROUND, 10.0e-15);
+        stage_out = out;
+    }
+    let stop = if quick { 8.0e-9 } else { 40.0e-9 };
+    Case {
+        name: "diode_chain",
+        net,
+        spec: TransientSpec::new(stop, 20.0e-12),
+    }
+}
+
+fn array_40x40(quick: bool) -> Case {
+    let mut net = Netlist::new();
+    let n = 40usize;
+    let mut nodes = Vec::with_capacity(n * n);
+    for r in 0..n {
+        for c in 0..n {
+            nodes.push(net.node(&format!("a{r}_{c}")));
+        }
+    }
+    let at = |r: usize, c: usize| nodes[r * n + c];
+    for r in 0..n {
+        let drv = net.node(&format!("drv{r}"));
+        net.voltage_source(drv, Netlist::GROUND, Waveform::step(0.2 + 0.002 * r as f64));
+        net.resistor(drv, at(r, 0), 1.0e3);
+        net.resistor(at(r, n - 1), Netlist::GROUND, 10.0e3);
+    }
+    // Deterministic resistance spread in the paper's 1 kΩ–100 kΩ tuning
+    // range; well-conditioned so legacy and new traces agree to 1e-12.
+    for r in 0..n {
+        for c in 0..n {
+            let ohms = 1.0e3 + 99.0e3 * ((r * 31 + c * 17) % 97) as f64 / 96.0;
+            if c + 1 < n {
+                net.memristor(at(r, c), at(r, c + 1), ohms);
+            }
+            if r + 1 < n {
+                net.memristor(at(r, c), at(r + 1, c), ohms + 500.0);
+            }
+            net.capacitor(at(r, c), Netlist::GROUND, 20.0e-15);
+        }
+    }
+    let stop = if quick { 0.2e-9 } else { 1.0e-9 };
+    Case {
+        name: "array_40x40",
+        net,
+        spec: TransientSpec::new(stop, 10.0e-12),
+    }
+}
+
+/// Largest relative deviation between two runs across all samples.
+fn max_rel_dev(a: &TransientResult, b: &TransientResult) -> f64 {
+    let mut worst = 0.0f64;
+    let pairs = [
+        (a.voltages_flat(), b.voltages_flat()),
+        (a.currents_flat(), b.currents_flat()),
+    ];
+    for (xs, ys) in pairs {
+        assert_eq!(xs.len(), ys.len(), "runs recorded different shapes");
+        for (&x, &y) in xs.iter().zip(ys) {
+            worst = worst.max((x - y).abs() / x.abs().max(1.0));
+        }
+    }
+    worst
+}
+
+fn run_case(case: &Case) -> Outcome {
+    let start = Instant::now();
+    let reference = legacy::run_transient(&case.net, &case.spec).expect("legacy run");
+    let legacy_seconds = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let new = case.net.transient(&case.spec).expect("new-core run");
+    let new_seconds = start.elapsed().as_secs_f64();
+
+    Outcome {
+        name: case.name,
+        steps: new.len() - 1,
+        legacy_seconds,
+        new_seconds,
+        max_rel_dev: max_rel_dev(&reference, &new),
+        stats: new.stats().clone(),
+    }
+}
+
+fn json(outcomes: &[Outcome], quick: bool) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str(&format!("  \"tolerance\": {TOL:e},\n"));
+    s.push_str("  \"cases\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        let st = &o.stats;
+        s.push_str(&format!(
+            concat!(
+                "    {{\n",
+                "      \"name\": \"{}\",\n",
+                "      \"steps\": {},\n",
+                "      \"legacy_seconds\": {:.6},\n",
+                "      \"new_seconds\": {:.6},\n",
+                "      \"speedup\": {:.2},\n",
+                "      \"max_rel_dev\": {:e},\n",
+                "      \"stats\": {{\n",
+                "        \"n_unknowns\": {},\n",
+                "        \"base_nnz\": {},\n",
+                "        \"factor_nnz\": {},\n",
+                "        \"fill_ratio\": {:.3},\n",
+                "        \"solve_points\": {},\n",
+                "        \"newton_iterations\": {},\n",
+                "        \"full_factorizations\": {},\n",
+                "        \"refactorizations\": {},\n",
+                "        \"factor_reuses\": {},\n",
+                "        \"residual_fallbacks\": {},\n",
+                "        \"assembly_seconds\": {:.6},\n",
+                "        \"factor_seconds\": {:.6},\n",
+                "        \"solve_seconds\": {:.6}\n",
+                "      }}\n",
+                "    }}{}\n",
+            ),
+            o.name,
+            o.steps,
+            o.legacy_seconds,
+            o.new_seconds,
+            o.legacy_seconds / o.new_seconds,
+            o.max_rel_dev,
+            st.n_unknowns,
+            st.base_nnz,
+            st.factor_nnz,
+            st.fill_ratio(),
+            st.solve_points,
+            st.newton_iterations,
+            st.full_factorizations,
+            st.refactorizations,
+            st.factor_reuses,
+            st.residual_fallbacks,
+            st.assembly_seconds,
+            st.factor_seconds,
+            st.solve_seconds,
+            if i + 1 < outcomes.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cases = [pe_cell(quick), diode_chain(quick), array_40x40(quick)];
+
+    println!(
+        "spice solver core vs legacy baseline{}\n",
+        if quick { " (quick mode)" } else { "" }
+    );
+    let mut table = mda_bench::Table::new([
+        "netlist", "unknowns", "steps", "legacy", "new", "speedup", "max dev",
+    ]);
+    let mut outcomes = Vec::with_capacity(cases.len());
+    let mut gate_failures = 0usize;
+    for case in &cases {
+        let o = run_case(case);
+        if o.max_rel_dev > TOL {
+            eprintln!(
+                "IDENTITY GATE: {} deviates {:.3e} > {TOL:e} from the legacy path",
+                o.name, o.max_rel_dev
+            );
+            gate_failures += 1;
+        }
+        table.row([
+            o.name.into(),
+            o.stats.n_unknowns.to_string(),
+            o.steps.to_string(),
+            format!("{:.3}s", o.legacy_seconds),
+            format!("{:.3}s", o.new_seconds),
+            format!("{:.1}x", o.legacy_seconds / o.new_seconds),
+            format!("{:.1e}", o.max_rel_dev),
+        ]);
+        outcomes.push(o);
+    }
+    println!("{}", table.render());
+
+    let payload = json(&outcomes, quick);
+    std::fs::create_dir_all("results").expect("create results dir");
+    let path = "results/BENCH_spice_solver.json";
+    std::fs::write(path, payload).expect("write bench json");
+    println!("\nwrote {path}");
+
+    if gate_failures > 0 {
+        eprintln!("\n{gate_failures} identity-gate failure(s)");
+        std::process::exit(1);
+    }
+    println!("all traces within {TOL:e} of the legacy solver");
+}

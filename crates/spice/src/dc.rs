@@ -1,8 +1,18 @@
 //! DC operating-point analysis.
 
 use crate::error::SpiceError;
-use crate::mna::{solve_point, MnaLayout, StepContext};
+use crate::mna::{MnaSystem, StepContext};
 use crate::netlist::Netlist;
+use crate::stats::SolveStats;
+
+/// A DC operating point plus the solver counters that produced it.
+#[derive(Debug, Clone)]
+pub struct DcResult {
+    /// One voltage per node, index 0 (ground) included as 0 V.
+    pub voltages: Vec<f64>,
+    /// Solver observability counters for the solve.
+    pub stats: SolveStats,
+}
 
 /// Computes the DC operating point of a netlist. Capacitors are treated as
 /// open circuits; op-amps settle to their static transfer value. Returns
@@ -14,17 +24,33 @@ use crate::netlist::Netlist;
 /// nodes) or [`SpiceError::NewtonDiverged`] for pathological nonlinear
 /// configurations.
 pub fn solve_dc(netlist: &Netlist) -> Result<Vec<f64>, SpiceError> {
-    let layout = MnaLayout::build(netlist);
-    let initial = vec![0.0; layout.n_unknowns];
-    let x = solve_point(netlist, &layout, &initial, 0.0, StepContext::Dc)?;
+    Ok(solve_dc_full(netlist)?.voltages)
+}
+
+/// [`solve_dc`] with [`SolveStats`] attached.
+///
+/// # Errors
+///
+/// Same failure modes as [`solve_dc`].
+pub fn solve_dc_full(netlist: &Netlist) -> Result<DcResult, SpiceError> {
+    let mut sys = MnaSystem::new(netlist);
+    let mut x = vec![0.0; sys.layout.n_unknowns];
+    sys.solve_point(netlist, &mut x, 0.0, StepContext::Dc)?;
     let mut voltages = vec![0.0; netlist.node_count()];
     voltages[1..].copy_from_slice(&x[..netlist.node_count() - 1]);
-    Ok(voltages)
+    Ok(DcResult {
+        voltages,
+        stats: sys.stats,
+    })
 }
 
 /// Sweeps one voltage source across `values`, solving the DC operating
 /// point at each step — the classic `.dc` transfer-curve analysis.
 /// Returns one node-voltage vector per sweep value.
+///
+/// The whole sweep shares one solver workspace: the netlist structure never
+/// changes between points, so the stamp plan and LU structure are built
+/// once and only refactored (or reused outright) per value.
 ///
 /// # Errors
 ///
@@ -45,9 +71,15 @@ pub fn dc_sweep(
     }
     let mut results = Vec::with_capacity(values.len());
     let mut net = netlist.clone();
+    let mut sys = MnaSystem::new(&net);
+    let node_count = net.node_count();
     for &v in values {
         net.set_source(source, crate::waveform::Waveform::Dc(v));
-        results.push(solve_dc(&net)?);
+        let mut x = vec![0.0; sys.layout.n_unknowns];
+        sys.solve_point(&net, &mut x, 0.0, StepContext::Dc)?;
+        let mut voltages = vec![0.0; node_count];
+        voltages[1..].copy_from_slice(&x[..node_count - 1]);
+        results.push(voltages);
     }
     Ok(results)
 }

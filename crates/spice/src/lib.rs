@@ -17,7 +17,13 @@
 //! * **waveform measurements** ([`waveform`]), in particular the paper's
 //!   convergence-time definition: the time at which the output settles
 //!   within 0.1 % of its final value;
-//! * dense and sparse LU solvers ([`solver`], [`sparse`]).
+//! * dense and sparse LU solvers ([`solver`], [`sparse`]) behind an
+//!   allocation-free, structure-caching core: element stamps are compiled
+//!   once into a CSR *stamp plan*, the LU pivot order and fill-in are
+//!   computed once and numerically refactored in place across Newton
+//!   iterations and timesteps, and [`stats::SolveStats`] reports what the
+//!   solver actually did (the frozen pre-plan path survives in [`legacy`]
+//!   as a golden reference).
 //!
 //! ## Example: RC step response
 //!
@@ -44,19 +50,24 @@ pub mod dc;
 pub mod elements;
 pub mod error;
 pub mod export;
+pub mod legacy;
+mod lu;
 pub mod mna;
 pub mod netlist;
 pub mod solver;
 pub mod sparse;
+mod stamp;
+pub mod stats;
 pub mod transient;
 pub mod waveform;
 
 pub use ac::{log_sweep, run_ac, AcResult};
 pub use complex::Complex;
-pub use dc::dc_sweep;
+pub use dc::{dc_sweep, solve_dc_full, DcResult};
 pub use elements::{DiodeModel, OpampModel, SwitchState};
 pub use error::SpiceError;
 pub use export::to_spice_deck;
 pub use netlist::{Netlist, NodeId};
+pub use stats::SolveStats;
 pub use transient::{Integration, TransientResult, TransientSpec};
 pub use waveform::{Trace, Waveform};

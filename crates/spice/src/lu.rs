@@ -1,0 +1,560 @@
+//! Reusable sparse LU factorization with a symbolic/numeric split.
+//!
+//! The MNA matrix of a netlist has a sparsity pattern fixed for the whole
+//! analysis, while its *values* change every Newton iteration. [`SparseLu`]
+//! exploits that: the first [`SparseLu::factor`] runs a full pivot search
+//! (threshold pivoting with a Markowitz-style sparsest-row tie-break) and
+//! records the complete elimination structure — pivot order, fill-in
+//! pattern, per-column update lists and a scatter map from the assembled
+//! CSR slots into the factor storage. Subsequent [`SparseLu::refactor`]
+//! calls replay that structure numerically: no hashing, no allocation, no
+//! pivot search — just a `fill(0.0)`, an indexed scatter and a sorted
+//! merge-walk per elimination step.
+//!
+//! When the circuit leaves the value regime the pivots were chosen for
+//! (e.g. a diode switching on), a replayed factorization can go unstable.
+//! The caller guards this with a cheap row-wise residual check and falls
+//! back to a full re-pivot (see `mna::MnaSystem`); `refactor` itself only
+//! rejects outright pivot collapse (`|u_kk| < 1e-300` or non-finite).
+
+use crate::error::SpiceError;
+
+/// Pivot stability threshold for the full factorization: a candidate row is
+/// eligible if its column entry is at least `TAU` times the largest
+/// candidate magnitude. Among eligible rows the sparsest wins (Markowitz).
+const TAU: f64 = 0.5;
+
+/// Absolute pivot collapse floor (matches the dense solver).
+const PIVOT_FLOOR: f64 = 1.0e-300;
+
+/// A reusable sparse LU workspace over a fixed sparsity pattern.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SparseLu {
+    n: usize,
+    /// `perm[k]` = original row eliminated at step k.
+    perm: Vec<u32>,
+    /// Inverse of `perm`: elimination step of each original row.
+    pos_of_row: Vec<u32>,
+    /// Factor storage in CSR over *original* row indices, columns sorted.
+    /// Row `perm[k]`: columns `< k` hold L factors, column `k` the pivot,
+    /// columns `> k` the U row.
+    lu_ptr: Vec<usize>,
+    lu_col: Vec<u32>,
+    lu_val: Vec<f64>,
+    /// Slot of the pivot entry `(perm[k], k)` per step.
+    diag_slot: Vec<usize>,
+    /// Per column k: the `(row, slot-of-(row,k))` pairs of rows eliminated
+    /// *after* step k, flattened (`col_ptr` delimits columns).
+    col_ptr: Vec<usize>,
+    col_rows: Vec<(u32, u32)>,
+    /// Base CSR slot -> factor slot.
+    scatter: Vec<u32>,
+    frozen: bool,
+    /// Scratch: pivot-row tail copy used during full factorization.
+    tail_scratch: Vec<(u32, f64)>,
+}
+
+impl SparseLu {
+    pub(crate) fn new(n: usize) -> Self {
+        SparseLu {
+            n,
+            pos_of_row: vec![0; n],
+            ..SparseLu::default()
+        }
+    }
+
+    /// `true` once a structure has been cached by [`SparseLu::factor`].
+    pub(crate) fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Non-zeros of the cached factors (fill-in included).
+    pub(crate) fn factor_nnz(&self) -> usize {
+        self.lu_val.len()
+    }
+
+    /// Full factorization: pivot search, symbolic fill-in discovery and
+    /// numeric elimination in one pass over the pattern `(row_ptr,
+    /// col_idx)` with entry values `values`. Caches the structure for
+    /// [`SparseLu::refactor`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::SingularMatrix`] when no usable pivot exists
+    /// in some column.
+    // Pivot checks are written as negated comparisons so a NaN pivot (from
+    // a diverging Newton state) also counts as unusable.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub(crate) fn factor(
+        &mut self,
+        row_ptr: &[usize],
+        col_idx: &[u32],
+        values: &[f64],
+    ) -> Result<(), SpiceError> {
+        let n = self.n;
+        debug_assert_eq!(row_ptr.len(), n + 1);
+
+        // Dynamic working rows, sorted by column; fill entries are inserted
+        // as elimination proceeds (structural zeros are kept so the frozen
+        // pattern is value-independent).
+        let mut rows: Vec<Vec<(u32, f64)>> = (0..n)
+            .map(|r| {
+                col_idx[row_ptr[r]..row_ptr[r + 1]]
+                    .iter()
+                    .zip(&values[row_ptr[r]..row_ptr[r + 1]])
+                    .map(|(&c, &v)| (c, v))
+                    .collect()
+            })
+            .collect();
+        // Rows containing each column (grows with fill).
+        let mut col_rows: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (r, row) in rows.iter().enumerate() {
+            for &(c, _) in row {
+                col_rows[c as usize].push(r as u32);
+            }
+        }
+
+        let mut perm: Vec<u32> = Vec::with_capacity(n);
+        let mut pos_of_row: Vec<u32> = vec![u32::MAX; n];
+        let value_at = |row: &[(u32, f64)], c: u32| -> f64 {
+            let i = row
+                .binary_search_by_key(&c, |e| e.0)
+                .expect("structural entry present");
+            row[i].1
+        };
+
+        for k in 0..n {
+            let kc = k as u32;
+            // Pass 1: the largest candidate magnitude in column k.
+            let mut vmax = 0.0f64;
+            for &r in &col_rows[k] {
+                if pos_of_row[r as usize] != u32::MAX {
+                    continue;
+                }
+                let v = value_at(&rows[r as usize], kc).abs();
+                if v > vmax {
+                    vmax = v;
+                }
+            }
+            if !(vmax >= PIVOT_FLOOR) {
+                return Err(SpiceError::SingularMatrix { pivot: k });
+            }
+            // Pass 2: among rows within TAU of vmax, the sparsest row wins;
+            // ties break toward the smallest row index (determinism).
+            let mut best: Option<(u32, usize)> = None;
+            for &r in &col_rows[k] {
+                if pos_of_row[r as usize] != u32::MAX {
+                    continue;
+                }
+                let row = &rows[r as usize];
+                if value_at(row, kc).abs() < TAU * vmax {
+                    continue;
+                }
+                let len = row.len();
+                let better = match best {
+                    None => true,
+                    Some((br, blen)) => len < blen || (len == blen && r < br),
+                };
+                if better {
+                    best = Some((r, len));
+                }
+            }
+            let (prow, _) = best.expect("vmax > 0 implies a candidate");
+            perm.push(prow);
+            pos_of_row[prow as usize] = k as u32;
+            let pivot = value_at(&rows[prow as usize], kc);
+
+            // Copy the pivot-row tail (columns > k) so we can mutate the
+            // target rows.
+            self.tail_scratch.clear();
+            {
+                let prow_data = &rows[prow as usize];
+                let start = prow_data
+                    .binary_search_by_key(&kc, |e| e.0)
+                    .expect("pivot present")
+                    + 1;
+                self.tail_scratch.extend_from_slice(&prow_data[start..]);
+            }
+
+            // Eliminate column k from every remaining candidate row. Fill
+            // entries are always materialized — even when the factor is
+            // exactly zero — so the frozen structure is a superset for any
+            // value assignment on the same pattern.
+            for ci in 0..col_rows[k].len() {
+                let r = col_rows[k][ci];
+                if pos_of_row[r as usize] != u32::MAX {
+                    continue;
+                }
+                let row = &mut rows[r as usize];
+                let idx = row
+                    .binary_search_by_key(&kc, |e| e.0)
+                    .expect("candidate entry present");
+                let f = row[idx].1 / pivot;
+                row[idx].1 = f;
+                for ti in 0..self.tail_scratch.len() {
+                    let (c, pv) = self.tail_scratch[ti];
+                    let row = &mut rows[r as usize];
+                    match row.binary_search_by_key(&c, |e| e.0) {
+                        Ok(j) => row[j].1 -= f * pv,
+                        Err(j) => {
+                            row.insert(j, (c, -f * pv));
+                            col_rows[c as usize].push(r);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Freeze the structure into flat CSR storage.
+        self.perm = perm;
+        self.pos_of_row = pos_of_row;
+        let lu_nnz: usize = rows.iter().map(Vec::len).sum();
+        self.lu_ptr.clear();
+        self.lu_ptr.reserve(n + 1);
+        self.lu_col.clear();
+        self.lu_col.reserve(lu_nnz);
+        self.lu_val.clear();
+        self.lu_val.reserve(lu_nnz);
+        self.lu_ptr.push(0);
+        for row in &rows {
+            for &(c, v) in row {
+                self.lu_col.push(c);
+                self.lu_val.push(v);
+            }
+            self.lu_ptr.push(self.lu_col.len());
+        }
+        // Pivot slots.
+        self.diag_slot.clear();
+        self.diag_slot.reserve(n);
+        for k in 0..n {
+            let r = self.perm[k] as usize;
+            let base = self.lu_ptr[r];
+            let row_cols = &self.lu_col[base..self.lu_ptr[r + 1]];
+            let off = row_cols
+                .binary_search(&(k as u32))
+                .expect("pivot entry frozen");
+            self.diag_slot.push(base + off);
+        }
+        // Column update lists: entries (r, k) of rows eliminated after
+        // step k, in ascending row order (deterministic replay).
+        let mut counts = vec![0usize; n];
+        for (r, &step) in self.pos_of_row.iter().enumerate() {
+            let base = self.lu_ptr[r];
+            for &c in &self.lu_col[base..self.lu_ptr[r + 1]] {
+                if step > c {
+                    counts[c as usize] += 1;
+                }
+            }
+        }
+        self.col_ptr.clear();
+        self.col_ptr.reserve(n + 1);
+        self.col_ptr.push(0);
+        let mut running = 0usize;
+        for &count in &counts {
+            running += count;
+            self.col_ptr.push(running);
+        }
+        self.col_rows.clear();
+        self.col_rows.resize(self.col_ptr[n], (0, 0));
+        let mut next = self.col_ptr[..n].to_vec();
+        for (r, &step) in self.pos_of_row.iter().enumerate() {
+            let base = self.lu_ptr[r];
+            for (off, &c) in self.lu_col[base..self.lu_ptr[r + 1]].iter().enumerate() {
+                if step > c {
+                    let dst = next[c as usize];
+                    self.col_rows[dst] = (r as u32, (base + off) as u32);
+                    next[c as usize] += 1;
+                }
+            }
+        }
+        // Scatter map: base slot -> factor slot.
+        self.scatter.clear();
+        self.scatter.reserve(col_idx.len());
+        for r in 0..n {
+            let fbase = self.lu_ptr[r];
+            let fcols = &self.lu_col[fbase..self.lu_ptr[r + 1]];
+            for &c in &col_idx[row_ptr[r]..row_ptr[r + 1]] {
+                let off = fcols.binary_search(&c).expect("base entry frozen");
+                self.scatter.push((fbase + off) as u32);
+            }
+        }
+        self.frozen = true;
+        Ok(())
+    }
+
+    /// Numeric refactorization on the cached structure: scatter `values`
+    /// into the factor storage and replay the recorded elimination with the
+    /// frozen pivot order. Returns `false` on pivot collapse (caller should
+    /// fall back to [`SparseLu::factor`]).
+    ///
+    /// Allocation-free.
+    // As in `factor`, negated pivot comparisons keep NaN on the bail-out
+    // path.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub(crate) fn refactor(&mut self, values: &[f64]) -> bool {
+        debug_assert!(self.frozen, "refactor before factor");
+        debug_assert_eq!(values.len(), self.scatter.len());
+        self.lu_val.fill(0.0);
+        for (i, &s) in self.scatter.iter().enumerate() {
+            self.lu_val[s as usize] = values[i];
+        }
+        let n = self.n;
+        for k in 0..n {
+            let dk = self.diag_slot[k];
+            let pivot = self.lu_val[dk];
+            if !(pivot.abs() >= PIVOT_FLOOR) {
+                return false;
+            }
+            let prow = self.perm[k] as usize;
+            let tail = dk + 1..self.lu_ptr[prow + 1];
+            for &(r, slot_rk) in &self.col_rows[self.col_ptr[k]..self.col_ptr[k + 1]] {
+                let slot_rk = slot_rk as usize;
+                let f = self.lu_val[slot_rk] / pivot;
+                self.lu_val[slot_rk] = f;
+                if f == 0.0 {
+                    continue;
+                }
+                // Sorted merge-walk: the target row's tail is a structural
+                // superset of the pivot row's tail.
+                let mut j = slot_rk + 1;
+                let row_end = self.lu_ptr[r as usize + 1];
+                for i in tail.clone() {
+                    let c = self.lu_col[i];
+                    while j < row_end && self.lu_col[j] < c {
+                        j += 1;
+                    }
+                    debug_assert!(j < row_end && self.lu_col[j] == c, "fill superset");
+                    self.lu_val[j] -= f * self.lu_val[i];
+                    j += 1;
+                }
+            }
+        }
+        true
+    }
+
+    /// Solves `L·U·x = rhs` in place using the cached factors; `y` is an
+    /// n-sized scratch buffer. On return `rhs` holds `x`. Allocation-free.
+    pub(crate) fn solve_in_place(&self, rhs: &mut [f64], y: &mut [f64]) {
+        debug_assert!(self.frozen);
+        let n = self.n;
+        debug_assert_eq!(rhs.len(), n);
+        debug_assert_eq!(y.len(), n);
+        // Forward: L has unit diagonal; factors live at columns < k of row
+        // perm[k].
+        for k in 0..n {
+            let r = self.perm[k] as usize;
+            let mut sum = rhs[r];
+            for s in self.lu_ptr[r]..self.diag_slot[k] {
+                sum -= self.lu_val[s] * y[self.lu_col[s] as usize];
+            }
+            y[k] = sum;
+        }
+        // Backward: U row k lives at columns > k of row perm[k].
+        for k in (0..n).rev() {
+            let r = self.perm[k] as usize;
+            let dk = self.diag_slot[k];
+            let mut sum = y[k];
+            for s in dk + 1..self.lu_ptr[r + 1] {
+                sum -= self.lu_val[s] * rhs[self.lu_col[s] as usize];
+            }
+            rhs[k] = sum / self.lu_val[dk];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a CSR pattern + values from dense row data.
+    fn csr(rows: &[Vec<(u32, f64)>]) -> (Vec<usize>, Vec<u32>, Vec<f64>) {
+        let mut ptr = vec![0usize];
+        let mut col = Vec::new();
+        let mut val = Vec::new();
+        for row in rows {
+            let mut sorted = row.clone();
+            sorted.sort_by_key(|e| e.0);
+            for (c, v) in sorted {
+                col.push(c);
+                val.push(v);
+            }
+            ptr.push(col.len());
+        }
+        (ptr, col, val)
+    }
+
+    #[allow(clippy::needless_range_loop)]
+    fn solve_dense_ref(a: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+        // Naive Gaussian elimination with partial pivoting.
+        let n = b.len();
+        let mut m: Vec<Vec<f64>> = a.to_vec();
+        let mut x = b.to_vec();
+        let mut order: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            let piv = (k..n)
+                .max_by(|&i, &j| {
+                    m[order[i]][k]
+                        .abs()
+                        .partial_cmp(&m[order[j]][k].abs())
+                        .unwrap()
+                })
+                .unwrap();
+            order.swap(k, piv);
+            let pr = order[k];
+            for &r in &order[k + 1..] {
+                let f = m[r][k] / m[pr][k];
+                for c in k..n {
+                    m[r][c] -= f * m[pr][c];
+                }
+                x[r] -= f * x[pr];
+            }
+        }
+        let mut sol = vec![0.0; n];
+        for k in (0..n).rev() {
+            let r = order[k];
+            let mut s = x[r];
+            for c in k + 1..n {
+                s -= m[r][c] * sol[c];
+            }
+            sol[k] = s / m[r][k];
+        }
+        sol
+    }
+
+    fn rand_stream(seed: u64) -> impl FnMut() -> f64 {
+        let mut s = seed;
+        move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        }
+    }
+
+    fn random_system(n: usize, seed: u64) -> (Vec<Vec<(u32, f64)>>, Vec<f64>) {
+        let mut rand = rand_stream(seed);
+        let mut rows: Vec<Vec<(u32, f64)>> = Vec::with_capacity(n);
+        for r in 0..n {
+            let mut row: Vec<(u32, f64)> = Vec::new();
+            for _ in 0..4 {
+                let c = ((rand().abs() * n as f64) as usize).min(n - 1) as u32;
+                if row.iter().all(|e| e.0 != c) {
+                    row.push((c, rand()));
+                }
+            }
+            if let Some(e) = row.iter_mut().find(|e| e.0 == r as u32) {
+                e.1 += 6.0;
+            } else {
+                row.push((r as u32, 6.0 + rand()));
+            }
+            rows.push(row);
+        }
+        let b: Vec<f64> = (0..n).map(|_| rand()).collect();
+        (rows, b)
+    }
+
+    fn to_dense(n: usize, rows: &[Vec<(u32, f64)>]) -> Vec<Vec<f64>> {
+        let mut d = vec![vec![0.0; n]; n];
+        for (r, row) in rows.iter().enumerate() {
+            for &(c, v) in row {
+                d[r][c as usize] += v;
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn factor_solves_random_sparse_system() {
+        let n = 50;
+        let (rows, b) = random_system(n, 7);
+        let (ptr, col, val) = csr(&rows);
+        let mut lu = SparseLu::new(n);
+        lu.factor(&ptr, &col, &val).unwrap();
+        let mut x = b.clone();
+        let mut y = vec![0.0; n];
+        lu.solve_in_place(&mut x, &mut y);
+        let reference = solve_dense_ref(&to_dense(n, &rows), &b);
+        for i in 0..n {
+            assert!((x[i] - reference[i]).abs() < 1e-9, "mismatch at {i}");
+        }
+    }
+
+    #[test]
+    fn refactor_matches_cold_factor_on_new_values() {
+        let n = 40;
+        let (rows, b) = random_system(n, 13);
+        let (ptr, col, val) = csr(&rows);
+        let mut lu = SparseLu::new(n);
+        lu.factor(&ptr, &col, &val).unwrap();
+
+        // Retune: same structure, new values.
+        let mut rand = rand_stream(99);
+        let val2: Vec<f64> = val.iter().map(|v| v * (1.0 + 0.3 * rand())).collect();
+        assert!(lu.refactor(&val2));
+        let mut x_refactor = b.clone();
+        let mut y = vec![0.0; n];
+        lu.solve_in_place(&mut x_refactor, &mut y);
+
+        let mut cold = SparseLu::new(n);
+        cold.factor(&ptr, &col, &val2).unwrap();
+        let mut x_cold = b.clone();
+        cold.solve_in_place(&mut x_cold, &mut y);
+
+        for i in 0..n {
+            assert!(
+                (x_refactor[i] - x_cold[i]).abs() < 1e-10,
+                "refactor vs cold at {i}: {} vs {}",
+                x_refactor[i],
+                x_cold[i]
+            );
+        }
+    }
+
+    #[test]
+    fn refactor_reports_pivot_collapse() {
+        let (ptr, col, val) = csr(&[vec![(0, 1.0), (1, 0.5)], vec![(0, 0.5), (1, 2.0)]]);
+        let mut lu = SparseLu::new(2);
+        lu.factor(&ptr, &col, &val).unwrap();
+        // Zeroing everything collapses the first pivot.
+        assert!(!lu.refactor(&[0.0, 0.0, 0.0, 0.0]));
+    }
+
+    #[test]
+    fn singular_column_detected() {
+        // Column 1 has no entries at all.
+        let (ptr, col, val) = csr(&[vec![(0, 1.0)], vec![(0, 2.0)]]);
+        let mut lu = SparseLu::new(2);
+        assert!(matches!(
+            lu.factor(&ptr, &col, &val),
+            Err(SpiceError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_diagonal_handled_by_row_pivoting() {
+        // [0 1; 1 0] x = [2, 3] -> x = [3, 2].
+        let (ptr, col, val) = csr(&[vec![(1, 1.0)], vec![(0, 1.0)]]);
+        let mut lu = SparseLu::new(2);
+        lu.factor(&ptr, &col, &val).unwrap();
+        let mut x = vec![2.0, 3.0];
+        let mut y = vec![0.0; 2];
+        lu.solve_in_place(&mut x, &mut y);
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn structural_zeros_survive_refactor() {
+        // An entry that is zero at factor time must still carry value on
+        // refactor (capacitor slots are zero in DC, non-zero in transient).
+        let (ptr, col, val) = csr(&[vec![(0, 1.0), (1, 0.0)], vec![(0, 0.0), (1, 1.0)]]);
+        let mut lu = SparseLu::new(2);
+        lu.factor(&ptr, &col, &val).unwrap();
+        assert!(lu.refactor(&[2.0, 1.0, 1.0, 2.0]));
+        let mut x = vec![5.0, 4.0];
+        let mut y = vec![0.0; 2];
+        lu.solve_in_place(&mut x, &mut y);
+        // [2 1; 1 2] x = [5; 4] -> x = [2; 1].
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+}

@@ -5,12 +5,23 @@
 //! op-amp saturation) are stamped as linearized companion models around the
 //! current Newton iterate; integration uses backward-Euler companion models
 //! for capacitors and the op-amp pole.
+//!
+//! The hot path lives in [`MnaSystem`], a persistent workspace built once
+//! per analysis: a [`crate::stamp::StampPlan`] turns per-iteration assembly
+//! into `values.fill(0.0)` plus indexed adds, and a structure-caching LU
+//! backend ([`crate::solver::DenseLu`] below [`SPARSE_THRESHOLD`] unknowns,
+//! [`crate::lu::SparseLu`] above) factors once and then refactors or even
+//! reuses factors across Newton iterations and timesteps. Every solve is
+//! allocation-free after construction.
 
-use crate::elements::Element;
+use std::time::Instant;
+
 use crate::error::SpiceError;
+use crate::lu::SparseLu;
 use crate::netlist::{Netlist, NodeId};
-use crate::solver::DenseMatrix;
-use crate::sparse::SparseMatrix;
+use crate::solver::DenseLu;
+use crate::stamp::StampPlan;
+use crate::stats::SolveStats;
 
 /// Above this unknown count the sparse solver is used.
 const SPARSE_THRESHOLD: usize = 150;
@@ -24,6 +35,12 @@ const DAMP_LIMIT: f64 = 0.3;
 
 /// Absolute convergence tolerance on the update norm.
 const TOL_ABS: f64 = 1.0e-9;
+
+/// Row-wise relative residual gate on solutions obtained through a numeric
+/// refactorization: if `|A·x − z|_i` exceeds this fraction of the row's
+/// magnitude scale, the frozen pivot order has gone stale and the system is
+/// re-factored with a full pivot search.
+const RESID_RTOL: f64 = 1.0e-11;
 
 /// Context distinguishing DC from one transient step.
 #[derive(Debug, Clone, Copy)]
@@ -94,6 +111,14 @@ impl MnaLayout {
         self.node(id).map_or(0.0, |i| x[i])
     }
 
+    /// Branch-current unknown index of element `ei` (must have one).
+    #[inline]
+    pub(crate) fn branch_of_element(&self, ei: usize) -> usize {
+        let k = self.branch_of_element[ei];
+        debug_assert_ne!(k, usize::MAX);
+        k
+    }
+
     /// Number of node-voltage unknowns.
     pub(crate) fn node_unknowns(&self) -> usize {
         self.node_count
@@ -120,283 +145,224 @@ impl MnaLayout {
     }
 }
 
-/// Abstraction over the dense and sparse backends.
-trait LinearBackend {
-    fn add(&mut self, r: usize, c: usize, v: f64);
-    fn solve_system(self, b: &[f64]) -> Result<Vec<f64>, SpiceError>;
+/// Structure-caching linear backend: dense for small systems, sparse above
+/// [`SPARSE_THRESHOLD`] unknowns.
+#[derive(Debug)]
+enum Backend {
+    Dense {
+        lu: DenseLu,
+        /// Dense position (`r·n + c`) of every CSR slot, for scattering.
+        dense_pos: Vec<u32>,
+    },
+    Sparse(SparseLu),
 }
 
-impl LinearBackend for DenseMatrix {
-    fn add(&mut self, r: usize, c: usize, v: f64) {
-        DenseMatrix::add(self, r, c, v);
-    }
-    fn solve_system(self, b: &[f64]) -> Result<Vec<f64>, SpiceError> {
-        self.solve(b)
-    }
+/// A persistent per-netlist solver workspace: stamp plan, CSR value array,
+/// LU backend and scratch vectors, all allocated once at construction.
+#[derive(Debug)]
+pub(crate) struct MnaSystem {
+    pub(crate) layout: MnaLayout,
+    plan: StampPlan,
+    backend: Backend,
+    /// Assembled CSR values of the current Newton iterate.
+    values: Vec<f64>,
+    /// Values snapshot at the last (re)factorization, for reuse detection.
+    values_at_factor: Vec<f64>,
+    have_factor: bool,
+    /// Right-hand side.
+    z: Vec<f64>,
+    /// Linear-solve output (the next Newton iterate before damping).
+    xnew: Vec<f64>,
+    /// Triangular-solve scratch.
+    y: Vec<f64>,
+    /// Observability counters, accumulated across every solve.
+    pub(crate) stats: SolveStats,
 }
 
-impl LinearBackend for SparseMatrix {
-    fn add(&mut self, r: usize, c: usize, v: f64) {
-        SparseMatrix::add(self, r, c, v);
-    }
-    fn solve_system(self, b: &[f64]) -> Result<Vec<f64>, SpiceError> {
-        self.solve(b)
-    }
-}
-
-/// Stamps every element for the given iterate `x` and context, then solves
-/// the linearized system once.
-fn assemble_and_solve<B: LinearBackend>(
-    mut a: B,
-    netlist: &Netlist,
-    layout: &MnaLayout,
-    x: &[f64],
-    t: f64,
-    ctx: StepContext<'_>,
-) -> Result<Vec<f64>, SpiceError> {
-    let mut z = vec![0.0; layout.n_unknowns];
-
-    let stamp_conductance = |a: &mut B, na: NodeId, nb: NodeId, g: f64| {
-        if let Some(i) = layout.node(na) {
-            a.add(i, i, g);
-            if let Some(j) = layout.node(nb) {
-                a.add(i, j, -g);
-            }
-        }
-        if let Some(j) = layout.node(nb) {
-            a.add(j, j, g);
-            if let Some(i) = layout.node(na) {
-                a.add(j, i, -g);
-            }
-        }
-    };
-
-    for (ei, e) in netlist.elements().iter().enumerate() {
-        match e {
-            Element::Resistor { a: na, b: nb, ohms }
-            | Element::Memristor { a: na, b: nb, ohms } => {
-                stamp_conductance(&mut a, *na, *nb, 1.0 / ohms);
-            }
-            Element::Switch {
-                a: na,
-                b: nb,
-                state,
-                ron,
-                roff,
-            } => {
-                let r = match state {
-                    crate::elements::SwitchState::Closed => *ron,
-                    crate::elements::SwitchState::Open => *roff,
-                };
-                stamp_conductance(&mut a, *na, *nb, 1.0 / r);
-            }
-            Element::Capacitor {
-                a: na,
-                b: nb,
-                farads,
-            } => {
-                if let StepContext::Transient {
-                    h,
-                    prev,
-                    cap_currents,
-                } = ctx
-                {
-                    let v_prev = layout.voltage(prev, *na) - layout.voltage(prev, *nb);
-                    let (g, ieq) = match cap_currents {
-                        // Trapezoidal companion:
-                        // i_n = (2C/h)·(v_n − v_prev) − i_prev.
-                        Some(ic) => {
-                            let g = 2.0 * farads / h;
-                            (g, g * v_prev + ic[ei])
-                        }
-                        // BE companion: i = (C/h)·v − (C/h)·v_prev.
-                        None => {
-                            let g = farads / h;
-                            (g, g * v_prev)
-                        }
-                    };
-                    stamp_conductance(&mut a, *na, *nb, g);
-                    if let Some(i) = layout.node(*na) {
-                        z[i] += ieq;
-                    }
-                    if let Some(j) = layout.node(*nb) {
-                        z[j] -= ieq;
-                    }
-                }
-                // DC: capacitor is open — no stamp.
-            }
-            Element::VoltageSource { p, n, waveform } => {
-                let k = ei;
-                let k = {
-                    debug_assert_ne!(layout.branch_of_element[k], usize::MAX);
-                    layout.branch_of_element[k]
-                };
-                if let Some(i) = layout.node(*p) {
-                    a.add(i, k, 1.0);
-                    a.add(k, i, 1.0);
-                }
-                if let Some(j) = layout.node(*n) {
-                    a.add(j, k, -1.0);
-                    a.add(k, j, -1.0);
-                }
-                z[k] = waveform.value(t);
-            }
-            Element::Diode {
-                anode,
-                cathode,
-                model,
-            } => {
-                let v = layout.voltage(x, *anode) - layout.voltage(x, *cathode);
-                let (i0, gd) = model.current_and_derivative(v);
-                // Companion: i = gd·v + (i0 - gd·v0).
-                stamp_conductance(&mut a, *anode, *cathode, gd);
-                let ieq = i0 - gd * v;
-                if let Some(i) = layout.node(*anode) {
-                    z[i] -= ieq;
-                }
-                if let Some(j) = layout.node(*cathode) {
-                    z[j] += ieq;
-                }
-            }
-            Element::VcSwitch {
-                a: na,
-                b: nb,
-                ctrl,
-                threshold,
-                active_high,
-                ron,
-                roff,
-                vs,
-            } => {
-                let vc = layout.voltage(x, *ctrl);
-                let vab = layout.voltage(x, *na) - layout.voltage(x, *nb);
-                let (g, dg) = crate::elements::vc_switch_conductance(
-                    vc,
-                    *threshold,
-                    *active_high,
-                    *ron,
-                    *roff,
-                    *vs,
-                );
-                // i = g(vc)·(va − vb); linearize in va, vb AND vc.
-                stamp_conductance(&mut a, *na, *nb, g);
-                let kc = vab * dg;
-                if let Some(c) = layout.node(*ctrl) {
-                    if let Some(i) = layout.node(*na) {
-                        a.add(i, c, kc);
-                    }
-                    if let Some(j) = layout.node(*nb) {
-                        a.add(j, c, -kc);
-                    }
-                }
-                // Companion current: i0 - g·vab0 - kc·vc0 = -kc·vc0.
-                let ieq = -kc * vc;
-                if let Some(i) = layout.node(*na) {
-                    z[i] -= ieq;
-                }
-                if let Some(j) = layout.node(*nb) {
-                    z[j] += ieq;
-                }
-            }
-            Element::Opamp {
-                inp,
-                inn,
-                out,
-                model,
-            } => {
-                let k = layout.branch_of_element[ei];
-                // Current injection at the output node.
-                if let Some(o) = layout.node(*out) {
-                    a.add(o, k, 1.0);
-                }
-                let vd = layout.voltage(x, *inp) - layout.voltage(x, *inn);
-                let (sat0, dsat) = model.target_and_derivative(vd);
-                match ctx {
-                    StepContext::Dc => {
-                        // vout = sat(A0·vd), linearized:
-                        // vout - dsat·(vp - vn) = sat0 - dsat·vd0.
-                        if let Some(o) = layout.node(*out) {
-                            a.add(k, o, 1.0);
-                        }
-                        if let Some(i) = layout.node(*inp) {
-                            a.add(k, i, -dsat);
-                        }
-                        if let Some(j) = layout.node(*inn) {
-                            a.add(k, j, dsat);
-                        }
-                        z[k] = sat0 - dsat * vd;
-                    }
-                    StepContext::Transient { h, prev, .. } => {
-                        // τ·dvout/dt = sat(A0·vd) - vout, BE:
-                        // vout·(1 + h/τ) - (h/τ)·sat = vout_prev.
-                        let tau = model.pole_tau();
-                        let alpha = h / tau;
-                        let vout_prev = layout.voltage(prev, *out);
-                        if let Some(o) = layout.node(*out) {
-                            a.add(k, o, 1.0 + alpha);
-                        }
-                        if let Some(i) = layout.node(*inp) {
-                            a.add(k, i, -alpha * dsat);
-                        }
-                        if let Some(j) = layout.node(*inn) {
-                            a.add(k, j, alpha * dsat);
-                        }
-                        z[k] = vout_prev + alpha * (sat0 - dsat * vd);
-                    }
-                }
-            }
-        }
-    }
-    a.solve_system(&z)
-}
-
-/// Runs Newton–Raphson to convergence for one analysis point.
-pub(crate) fn solve_point(
-    netlist: &Netlist,
-    layout: &MnaLayout,
-    initial: &[f64],
-    t: f64,
-    ctx: StepContext<'_>,
-) -> Result<Vec<f64>, SpiceError> {
-    let n = layout.n_unknowns;
-    let mut x = initial.to_vec();
-    let mut last_delta = f64::INFINITY;
-
-    for iteration in 1..=MAX_NEWTON {
-        let x_new = if n > SPARSE_THRESHOLD {
-            assemble_and_solve(SparseMatrix::zeros(n), netlist, layout, &x, t, ctx)?
+impl MnaSystem {
+    pub(crate) fn new(netlist: &Netlist) -> Self {
+        let layout = MnaLayout::build(netlist);
+        let plan = StampPlan::build(netlist, &layout);
+        let n = layout.n_unknowns;
+        let nnz = plan.nnz();
+        let backend = if n > SPARSE_THRESHOLD {
+            Backend::Sparse(SparseLu::new(n))
         } else {
-            assemble_and_solve(DenseMatrix::zeros(n), netlist, layout, &x, t, ctx)?
-        };
-        // Damped update on the voltage unknowns only; branch currents move
-        // freely (their scale differs wildly from volts).
-        let mut delta: f64 = 0.0;
-        for i in 0..n {
-            let mut dx = x_new[i] - x[i];
-            if i < layout.node_unknowns() {
-                dx = dx.clamp(-DAMP_LIMIT, DAMP_LIMIT);
-                delta = delta.max(dx.abs());
+            let dense_pos = (0..n)
+                .flat_map(|r| {
+                    plan.col_idx[plan.row_ptr[r]..plan.row_ptr[r + 1]]
+                        .iter()
+                        .map(move |&c| (r * n + c as usize) as u32)
+                })
+                .collect();
+            Backend::Dense {
+                lu: DenseLu::new(n),
+                dense_pos,
             }
-            x[i] += dx;
-        }
-        last_delta = delta;
-        if delta < TOL_ABS {
-            return Ok(x);
-        }
-        // Safety valve: a diverging iterate (NaN) is unrecoverable.
-        if !delta.is_finite() {
-            return Err(SpiceError::NewtonDiverged {
-                time: t,
-                iterations: iteration,
-                residual: delta,
-            });
+        };
+        let stats = SolveStats {
+            n_unknowns: n,
+            base_nnz: nnz,
+            ..SolveStats::default()
+        };
+        MnaSystem {
+            layout,
+            plan,
+            backend,
+            values: vec![0.0; nnz],
+            values_at_factor: vec![0.0; nnz],
+            have_factor: false,
+            z: vec![0.0; n],
+            xnew: vec![0.0; n],
+            y: vec![0.0; n],
+            stats,
         }
     }
-    Err(SpiceError::NewtonDiverged {
-        time: t,
-        iterations: MAX_NEWTON,
-        residual: last_delta,
-    })
+
+    /// Runs Newton–Raphson to convergence for one analysis point, updating
+    /// `x` in place. Allocation-free.
+    pub(crate) fn solve_point(
+        &mut self,
+        netlist: &Netlist,
+        x: &mut [f64],
+        t: f64,
+        ctx: StepContext<'_>,
+    ) -> Result<(), SpiceError> {
+        let mut last_delta = f64::INFINITY;
+
+        for iteration in 1..=MAX_NEWTON {
+            let t0 = Instant::now();
+            self.plan.assemble(
+                netlist,
+                &self.layout,
+                x,
+                t,
+                ctx,
+                &mut self.values,
+                &mut self.z,
+            );
+            self.stats.assembly_seconds += t0.elapsed().as_secs_f64();
+            self.solve_linear()?;
+            self.stats.newton_iterations += 1;
+
+            // Damped update on the voltage unknowns only; branch currents
+            // move freely (their scale differs wildly from volts).
+            let mut delta: f64 = 0.0;
+            for (i, (xi, &xn)) in x.iter_mut().zip(&self.xnew).enumerate() {
+                let mut dx = xn - *xi;
+                if i < self.layout.node_unknowns() {
+                    dx = dx.clamp(-DAMP_LIMIT, DAMP_LIMIT);
+                    delta = delta.max(dx.abs());
+                }
+                *xi += dx;
+            }
+            last_delta = delta;
+            if delta < TOL_ABS {
+                self.stats.solve_points += 1;
+                return Ok(());
+            }
+            // Safety valve: a diverging iterate (NaN) is unrecoverable.
+            if !delta.is_finite() {
+                return Err(SpiceError::NewtonDiverged {
+                    time: t,
+                    iterations: iteration,
+                    residual: delta,
+                });
+            }
+        }
+        Err(SpiceError::NewtonDiverged {
+            time: t,
+            iterations: MAX_NEWTON,
+            residual: last_delta,
+        })
+    }
+
+    /// One linear solve of the assembled system into `self.xnew`, choosing
+    /// between factor reuse, numeric refactorization and full factorization.
+    fn solve_linear(&mut self) -> Result<(), SpiceError> {
+        let reusable = self.have_factor && self.values == self.values_at_factor;
+        let mut refactored = false;
+        if reusable {
+            self.stats.factor_reuses += 1;
+        } else {
+            let t0 = Instant::now();
+            match &mut self.backend {
+                Backend::Dense { lu, dense_pos } => {
+                    // Dense pivot search is O(n²) against an O(n³)
+                    // elimination: a full factorization costs essentially
+                    // the same as a replay, so always re-pivot.
+                    lu.factor_scattered(dense_pos, &self.values)?;
+                    self.stats.full_factorizations += 1;
+                    self.stats.factor_nnz = self.layout.n_unknowns * self.layout.n_unknowns;
+                }
+                Backend::Sparse(lu) => {
+                    if lu.is_frozen() && lu.refactor(&self.values) {
+                        self.stats.refactorizations += 1;
+                        refactored = true;
+                    } else {
+                        lu.factor(&self.plan.row_ptr, &self.plan.col_idx, &self.values)?;
+                        self.stats.full_factorizations += 1;
+                    }
+                    self.stats.factor_nnz = lu.factor_nnz();
+                }
+            }
+            self.values_at_factor.copy_from_slice(&self.values);
+            self.have_factor = true;
+            self.stats.factor_seconds += t0.elapsed().as_secs_f64();
+        }
+
+        let t1 = Instant::now();
+        self.xnew.copy_from_slice(&self.z);
+        match &self.backend {
+            Backend::Dense { lu, .. } => lu.solve_in_place(&mut self.xnew, &mut self.y),
+            Backend::Sparse(lu) => lu.solve_in_place(&mut self.xnew, &mut self.y),
+        }
+
+        // A replayed factorization can be numerically stale when the values
+        // left the regime the pivots were chosen for (e.g. a diode turning
+        // on). Guard with a cheap row-wise residual check and fall back to
+        // a full re-pivot. The `!(..)` form routes NaN to the fallback.
+        if refactored && !self.residual_ok() {
+            self.stats.residual_fallbacks += 1;
+            let t2 = Instant::now();
+            match &mut self.backend {
+                Backend::Sparse(lu) => {
+                    lu.factor(&self.plan.row_ptr, &self.plan.col_idx, &self.values)?;
+                    self.stats.full_factorizations += 1;
+                    self.stats.factor_nnz = lu.factor_nnz();
+                }
+                Backend::Dense { .. } => unreachable!("refactor is sparse-only"),
+            }
+            self.values_at_factor.copy_from_slice(&self.values);
+            self.stats.factor_seconds += t2.elapsed().as_secs_f64();
+            self.xnew.copy_from_slice(&self.z);
+            match &self.backend {
+                Backend::Sparse(lu) => lu.solve_in_place(&mut self.xnew, &mut self.y),
+                Backend::Dense { .. } => unreachable!("refactor is sparse-only"),
+            }
+        }
+        self.stats.solve_seconds += t1.elapsed().as_secs_f64();
+        Ok(())
+    }
+
+    /// Row-wise residual check of `A·xnew = z` over the assembled CSR.
+    // The negated comparison fails the check when the residual is NaN.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    fn residual_ok(&self) -> bool {
+        for r in 0..self.layout.n_unknowns {
+            let mut resid = -self.z[r];
+            let mut scale = self.z[r].abs();
+            for s in self.plan.row_ptr[r]..self.plan.row_ptr[r + 1] {
+                let term = self.values[s] * self.xnew[self.plan.col_idx[s] as usize];
+                resid += term;
+                scale += term.abs();
+            }
+            if !(resid.abs() <= RESID_RTOL * scale) {
+                return false;
+            }
+        }
+        true
+    }
 }
 
 #[cfg(test)]
@@ -416,8 +382,8 @@ mod tests {
         assert_eq!(layout.node_unknowns(), 2);
         assert_eq!(layout.n_unknowns, 4);
         assert_eq!(layout.branch_of_element[0], usize::MAX);
-        assert_eq!(layout.branch_of_element[1], 2);
-        assert_eq!(layout.branch_of_element[2], 3);
+        assert_eq!(layout.branch_of_element(1), 2);
+        assert_eq!(layout.branch_of_element(2), 3);
     }
 
     #[test]
@@ -429,5 +395,132 @@ mod tests {
         let x = vec![3.3];
         assert_eq!(layout.voltage(&x, Netlist::GROUND), 0.0);
         assert_eq!(layout.voltage(&x, a), 3.3);
+    }
+
+    #[test]
+    fn linear_circuit_reuses_factors_across_iterations() {
+        // A purely linear divider assembles identical values every Newton
+        // iteration and every solve: exactly one full factorization.
+        let mut net = Netlist::new();
+        let top = net.node("top");
+        let mid = net.node("mid");
+        net.voltage_source(top, Netlist::GROUND, Waveform::Dc(1.0));
+        net.resistor(top, mid, 1.0e3);
+        net.resistor(mid, Netlist::GROUND, 3.0e3);
+        let mut sys = MnaSystem::new(&net);
+        let mut x = vec![0.0; sys.layout.n_unknowns];
+        sys.solve_point(&net, &mut x, 0.0, StepContext::Dc).unwrap();
+        let mut x2 = vec![0.0; sys.layout.n_unknowns];
+        sys.solve_point(&net, &mut x2, 0.0, StepContext::Dc)
+            .unwrap();
+        assert_eq!(sys.stats.full_factorizations, 1);
+        assert!(sys.stats.factor_reuses >= 1);
+        assert_eq!(sys.stats.solve_points, 2);
+        assert!((x[1] - 0.75).abs() < 1e-9);
+        assert_eq!(x, x2);
+    }
+
+    #[test]
+    fn stats_record_sizes() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        net.voltage_source(a, Netlist::GROUND, Waveform::Dc(1.0));
+        net.resistor(a, Netlist::GROUND, 1.0e3);
+        let sys = MnaSystem::new(&net);
+        assert_eq!(sys.stats.n_unknowns, 2);
+        // Pattern: (a,a) from R, (a,k)/(k,a) from the source.
+        assert_eq!(sys.stats.base_nnz, 3);
+    }
+}
+
+#[cfg(test)]
+mod retune_properties {
+    use proptest::prelude::*;
+
+    use super::{MnaSystem, StepContext, SPARSE_THRESHOLD};
+    use crate::netlist::{ElementId, Netlist};
+    use crate::waveform::Waveform;
+
+    /// A memristor crossbar large enough for the sparse backend, returning
+    /// the memristor ids so cases can retune them.
+    fn crossbar() -> (Netlist, Vec<ElementId>) {
+        let mut net = Netlist::new();
+        let n = 12usize;
+        let mut nodes = Vec::with_capacity(n * n);
+        for r in 0..n {
+            for c in 0..n {
+                nodes.push(net.node(&format!("m{r}_{c}")));
+            }
+        }
+        let at = |r: usize, c: usize| nodes[r * n + c];
+        for r in 0..n {
+            let drv = net.node(&format!("drv{r}"));
+            net.voltage_source(drv, Netlist::GROUND, Waveform::Dc(0.2 + 0.01 * r as f64));
+            net.resistor(drv, at(r, 0), 1.0e3);
+            net.resistor(at(r, n - 1), Netlist::GROUND, 10.0e3);
+        }
+        let mut cells = Vec::new();
+        for r in 0..n {
+            for c in 0..n {
+                let ohms = 1.0e3 + 99.0e3 * ((r * 31 + c * 17) % 97) as f64 / 96.0;
+                if c + 1 < n {
+                    cells.push(net.memristor(at(r, c), at(r, c + 1), ohms));
+                }
+                if r + 1 < n {
+                    cells.push(net.memristor(at(r, c), at(r + 1, c), ohms + 500.0));
+                }
+            }
+        }
+        (net, cells)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// The satellite invariant of the solver rework: after retuning
+        /// memristors (same structure, new values), an in-place numeric
+        /// refactorization must produce the same operating point as a cold
+        /// pivot-searching factorization of the retuned system.
+        #[test]
+        fn refactor_after_retune_matches_cold_factorization(
+            scales in proptest::collection::vec(0.1f64..10.0, 1..24),
+            stride in 1usize..17,
+        ) {
+            let (mut net, cells) = crossbar();
+            let mut sys = MnaSystem::new(&net);
+            prop_assert!(sys.layout.n_unknowns > SPARSE_THRESHOLD);
+            let mut x = vec![0.0; sys.layout.n_unknowns];
+            sys.solve_point(&net, &mut x, 0.0, StepContext::Dc).unwrap();
+            prop_assert_eq!(sys.stats.full_factorizations, 1);
+
+            // Retune: scale a scattered subset of cells within the paper's
+            // 1 kOhm-100 kOhm tuning range.
+            for (i, &scale) in scales.iter().enumerate() {
+                let id = cells[(i * stride) % cells.len()];
+                net.set_memristor(id, (1.0e3 * scale).clamp(1.0e3, 100.0e3));
+            }
+
+            // Warm solve: the changed values must take the refactor path
+            // on the frozen structure, never a fresh symbolic analysis.
+            let mut x_warm = vec![0.0; sys.layout.n_unknowns];
+            sys.solve_point(&net, &mut x_warm, 0.0, StepContext::Dc)
+                .unwrap();
+            prop_assert!(sys.stats.refactorizations >= 1);
+            prop_assert_eq!(sys.stats.full_factorizations, 1);
+            prop_assert_eq!(sys.stats.residual_fallbacks, 0);
+
+            // Cold solve of the retuned netlist from scratch.
+            let mut cold = MnaSystem::new(&net);
+            let mut x_cold = vec![0.0; cold.layout.n_unknowns];
+            cold.solve_point(&net, &mut x_cold, 0.0, StepContext::Dc)
+                .unwrap();
+
+            for (i, (&w, &c)) in x_warm.iter().zip(&x_cold).enumerate() {
+                prop_assert!(
+                    (w - c).abs() <= 1.0e-12 * c.abs().max(1.0),
+                    "unknown {}: warm {:e} vs cold {:e}", i, w, c
+                );
+            }
+        }
     }
 }

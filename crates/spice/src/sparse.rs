@@ -1,15 +1,17 @@
 //! Sparse linear solver for array-level netlists.
 //!
 //! MNA matrices of PE arrays are extremely sparse (each node touches a
-//! handful of elements). This module implements Gaussian elimination over a
-//! row-compressed hash layout with partial pivoting restricted to a
-//! Markowitz-style candidate set — simple, dependency-free, and orders of
-//! magnitude faster than dense LU once the system exceeds a few hundred
-//! unknowns.
+//! handful of elements). [`SparseMatrix`] is a triplet-assembly convenience
+//! type whose borrow-based [`SparseMatrix::solve`] compresses the hash rows
+//! into CSR once and delegates to the reusable [`crate::lu`] workspace
+//! (threshold pivoting with a Markowitz-style sparsest-row tie-break). The
+//! hot analysis path in [`crate::mna`] skips this type entirely and
+//! assembles straight into CSR through a stamp plan.
 
 use std::collections::HashMap;
 
 use crate::error::SpiceError;
+use crate::lu::SparseLu;
 
 /// A sparse square matrix assembled by triplet addition.
 #[derive(Debug, Clone, Default)]
@@ -65,74 +67,35 @@ impl SparseMatrix {
             .collect()
     }
 
-    /// Solves `A·x = b`, consuming the matrix.
+    /// Solves `A·x = b`. The matrix is only borrowed — callers that reuse
+    /// it afterwards no longer need a defensive clone.
     ///
     /// # Errors
     ///
     /// Returns [`SpiceError::SingularMatrix`] if elimination breaks down.
-    pub fn solve(mut self, b: &[f64]) -> Result<Vec<f64>, SpiceError> {
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SpiceError> {
         assert_eq!(b.len(), self.n, "rhs length must match dimension");
-        let n = self.n;
-        let mut rhs = b.to_vec();
-        // row_of[k] = original row index eliminated at step k.
-        let mut active: Vec<usize> = (0..n).collect();
-
-        for k in 0..n {
-            // Pivot: among active rows, pick the one whose |A[r][k]| is
-            // largest (partial pivoting on the k-th column).
-            let mut best: Option<(usize, f64)> = None;
-            for (pos, &r) in active.iter().enumerate().skip(k) {
-                if let Some(&v) = self.rows[r].get(&k) {
-                    let a = v.abs();
-                    if best.is_none_or(|(_, bv)| a > bv) {
-                        best = Some((pos, a));
-                    }
-                }
+        // Compress the hash rows into CSR with sorted columns.
+        let mut row_ptr = Vec::with_capacity(self.n + 1);
+        let mut col_idx = Vec::with_capacity(self.nnz());
+        let mut values = Vec::with_capacity(self.nnz());
+        let mut entries: Vec<(usize, f64)> = Vec::new();
+        row_ptr.push(0);
+        for row in &self.rows {
+            entries.clear();
+            entries.extend(row.iter().map(|(&c, &v)| (c, v)));
+            entries.sort_unstable_by_key(|e| e.0);
+            for &(c, v) in &entries {
+                col_idx.push(c as u32);
+                values.push(v);
             }
-            let (pos, mag) = best.ok_or(SpiceError::SingularMatrix { pivot: k })?;
-            if mag < 1.0e-300 {
-                return Err(SpiceError::SingularMatrix { pivot: k });
-            }
-            active.swap(k, pos);
-            let prow = active[k];
-            let pivot = self.rows[prow][&k];
-
-            // Eliminate column k from the remaining active rows.
-            let pivot_row: Vec<(usize, f64)> = self.rows[prow]
-                .iter()
-                .filter(|(&c, _)| c > k)
-                .map(|(&c, &v)| (c, v))
-                .collect();
-            let pivot_rhs = rhs[prow];
-            for &r in active.iter().skip(k + 1) {
-                let Some(&a_rk) = self.rows[r].get(&k) else {
-                    continue;
-                };
-                let factor = a_rk / pivot;
-                self.rows[r].remove(&k);
-                for &(c, v) in &pivot_row {
-                    let e = self.rows[r].entry(c).or_insert(0.0);
-                    *e -= factor * v;
-                    if e.abs() < 1.0e-300 {
-                        self.rows[r].remove(&c);
-                    }
-                }
-                rhs[r] -= factor * pivot_rhs;
-            }
+            row_ptr.push(col_idx.len());
         }
-
-        // Back substitution.
-        let mut x = vec![0.0; n];
-        for k in (0..n).rev() {
-            let r = active[k];
-            let mut sum = rhs[r];
-            for (&c, &v) in &self.rows[r] {
-                if c > k {
-                    sum -= v * x[c];
-                }
-            }
-            x[k] = sum / self.rows[r][&k];
-        }
+        let mut lu = SparseLu::new(self.n);
+        lu.factor(&row_ptr, &col_idx, &values)?;
+        let mut x = b.to_vec();
+        let mut y = vec![0.0; self.n];
+        lu.solve_in_place(&mut x, &mut y);
         Ok(x)
     }
 }
@@ -217,6 +180,7 @@ mod tests {
 
     #[test]
     fn mul_vec_roundtrip() {
+        // The borrow-based solve leaves the matrix usable — no clone.
         let n = 30;
         let mut m = SparseMatrix::zeros(n);
         for i in 0..n {
@@ -227,9 +191,8 @@ mod tests {
             }
         }
         let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
-        let a = m.clone();
         let x = m.solve(&b).unwrap();
-        let bx = a.mul_vec(&x);
+        let bx = m.mul_vec(&x);
         for i in 0..n {
             assert!((bx[i] - b[i]).abs() < 1e-9);
         }

@@ -1,0 +1,106 @@
+//! Solver observability: counters and per-phase wall time accumulated by the
+//! structure-caching MNA core and reported through analysis results.
+
+/// Counters describing one analysis run (a DC solve or a full transient).
+///
+/// A *full factorization* performs pivot search and (for the sparse backend)
+/// symbolic fill-in analysis; a *refactorization* replays the cached
+/// elimination structure with fresh numeric values; a *factor reuse* skips
+/// the numeric phase entirely because the assembled matrix is identical to
+/// the one last factored (linear circuits hit this on every Newton iteration
+/// after the first). `residual_fallbacks` counts refactorizations whose
+/// solution failed the row-wise residual gate and were redone with a full
+/// re-pivot.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SolveStats {
+    /// Analysis points solved (timesteps plus operating points).
+    pub solve_points: u64,
+    /// Total Newton–Raphson iterations across all points.
+    pub newton_iterations: u64,
+    /// Factorizations with pivot search (sparse: plus symbolic analysis).
+    pub full_factorizations: u64,
+    /// Numeric-only refactorizations on the cached structure.
+    pub refactorizations: u64,
+    /// Solves that reused the previous factors unchanged.
+    pub factor_reuses: u64,
+    /// Refactorizations rejected by the residual gate and re-pivoted.
+    pub residual_fallbacks: u64,
+    /// System dimension (node + branch unknowns).
+    pub n_unknowns: usize,
+    /// Structural non-zeros of the assembled MNA matrix.
+    pub base_nnz: usize,
+    /// Non-zeros of the LU factors including fill-in (dense backend: n²).
+    pub factor_nnz: usize,
+    /// Wall time spent stamping element values, s.
+    pub assembly_seconds: f64,
+    /// Wall time spent factoring/refactoring, s.
+    pub factor_seconds: f64,
+    /// Wall time spent in triangular solves and residual checks, s.
+    pub solve_seconds: f64,
+}
+
+impl SolveStats {
+    /// Fill-in ratio of the factors over the assembled matrix (1.0 means no
+    /// fill). Zero if nothing was factored yet.
+    pub fn fill_ratio(&self) -> f64 {
+        if self.base_nnz == 0 {
+            0.0
+        } else {
+            self.factor_nnz as f64 / self.base_nnz as f64
+        }
+    }
+
+    /// Folds another run's counters into this one (used when an analysis is
+    /// composed of sub-analyses, e.g. a DC operating point feeding a
+    /// transient).
+    pub fn absorb(&mut self, other: &SolveStats) {
+        self.solve_points += other.solve_points;
+        self.newton_iterations += other.newton_iterations;
+        self.full_factorizations += other.full_factorizations;
+        self.refactorizations += other.refactorizations;
+        self.factor_reuses += other.factor_reuses;
+        self.residual_fallbacks += other.residual_fallbacks;
+        self.n_unknowns = self.n_unknowns.max(other.n_unknowns);
+        self.base_nnz = self.base_nnz.max(other.base_nnz);
+        self.factor_nnz = self.factor_nnz.max(other.factor_nnz);
+        self.assembly_seconds += other.assembly_seconds;
+        self.factor_seconds += other.factor_seconds;
+        self.solve_seconds += other.solve_seconds;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_ratio_handles_empty() {
+        assert_eq!(SolveStats::default().fill_ratio(), 0.0);
+        let s = SolveStats {
+            base_nnz: 10,
+            factor_nnz: 25,
+            ..SolveStats::default()
+        };
+        assert!((s.fill_ratio() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_sums_counters() {
+        let mut a = SolveStats {
+            newton_iterations: 3,
+            full_factorizations: 1,
+            ..SolveStats::default()
+        };
+        let b = SolveStats {
+            newton_iterations: 4,
+            refactorizations: 2,
+            n_unknowns: 7,
+            ..SolveStats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.newton_iterations, 7);
+        assert_eq!(a.full_factorizations, 1);
+        assert_eq!(a.refactorizations, 2);
+        assert_eq!(a.n_unknowns, 7);
+    }
+}

@@ -1,8 +1,11 @@
 //! Backward-Euler transient analysis.
 
+use std::sync::Arc;
+
 use crate::error::SpiceError;
-use crate::mna::{solve_point, MnaLayout, StepContext};
+use crate::mna::{MnaSystem, StepContext};
 use crate::netlist::{ElementId, Netlist, NodeId};
+use crate::stats::SolveStats;
 use crate::waveform::Trace;
 
 /// Numerical integration method for the transient.
@@ -69,18 +72,50 @@ impl TransientSpec {
 
 /// Result of a transient run: all node voltages (and source/op-amp branch
 /// currents) at every timestep.
+///
+/// Samples are stored in flat row-major buffers (`step`-major) and the time
+/// axis is reference-counted, so probing traces allocates only the probed
+/// values — never another copy of the time axis or a per-step `Vec`.
 #[derive(Debug, Clone)]
 pub struct TransientResult {
-    times: Vec<f64>,
-    /// `voltages[step][node_index]`, including ground at index 0.
-    voltages: Vec<Vec<f64>>,
-    /// `currents[step][k]` for the k-th branch-current unknown.
-    currents: Vec<Vec<f64>>,
+    times: Arc<[f64]>,
+    /// Nodes per step, including ground at index 0: entry
+    /// `step * n_nodes + node` of `voltages`.
+    n_nodes: usize,
+    voltages: Vec<f64>,
+    /// Branch currents per step: entry `step * n_currents + k` of
+    /// `currents`.
+    n_currents: usize,
+    currents: Vec<f64>,
     /// Branch-current index per element (usize::MAX if none).
     branch_of_element: Vec<usize>,
+    /// Solver observability counters for the whole run.
+    stats: SolveStats,
 }
 
 impl TransientResult {
+    pub(crate) fn from_parts(
+        times: Vec<f64>,
+        n_nodes: usize,
+        n_currents: usize,
+        voltages: Vec<f64>,
+        currents: Vec<f64>,
+        branch_of_element: Vec<usize>,
+        stats: SolveStats,
+    ) -> Self {
+        debug_assert_eq!(voltages.len(), times.len() * n_nodes);
+        debug_assert_eq!(currents.len(), times.len() * n_currents);
+        TransientResult {
+            times: times.into(),
+            n_nodes,
+            voltages,
+            n_currents,
+            currents,
+            branch_of_element,
+            stats,
+        }
+    }
+
     /// Sample times.
     pub fn times(&self) -> &[f64] {
         &self.times
@@ -96,19 +131,42 @@ impl TransientResult {
         self.times.is_empty()
     }
 
-    /// The trace of one node's voltage over time.
+    /// Solver counters and per-phase timings for the run.
+    pub fn stats(&self) -> &SolveStats {
+        &self.stats
+    }
+
+    /// Nodes per recorded snapshot (ground included at index 0).
+    pub fn node_count(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// The whole voltage record as one step-major slice: entry
+    /// `step * node_count() + node`. Useful for whole-run comparisons
+    /// (golden tests, benches) without per-node probing.
+    pub fn voltages_flat(&self) -> &[f64] {
+        &self.voltages
+    }
+
+    /// The whole branch-current record as one step-major slice.
+    pub fn currents_flat(&self) -> &[f64] {
+        &self.currents
+    }
+
+    /// The trace of one node's voltage over time (time axis shared, not
+    /// copied).
     pub fn voltage(&self, node: NodeId) -> Trace {
         let values = self
             .voltages
-            .iter()
+            .chunks_exact(self.n_nodes)
             .map(|snapshot| snapshot[node.index()])
             .collect();
-        Trace::new(self.times.clone(), values)
+        Trace::shared(Arc::clone(&self.times), values)
     }
 
     /// Voltage of `node` at step `i`.
     pub fn voltage_at(&self, node: NodeId, i: usize) -> f64 {
-        self.voltages[i][node.index()]
+        self.voltages[i * self.n_nodes + node.index()]
     }
 
     /// The branch-current trace of a voltage source or op-amp output
@@ -121,8 +179,12 @@ impl TransientResult {
         if k == usize::MAX {
             return None;
         }
-        let values = self.currents.iter().map(|snapshot| snapshot[k]).collect();
-        Some(Trace::new(self.times.clone(), values))
+        let values = self
+            .currents
+            .chunks_exact(self.n_currents)
+            .map(|snapshot| snapshot[k])
+            .collect();
+        Some(Trace::shared(Arc::clone(&self.times), values))
     }
 
     /// Energy delivered by a voltage source over the run, J: the trapezoidal
@@ -137,7 +199,8 @@ impl TransientResult {
         for i in 1..self.times.len() {
             let dt = self.times[i] - self.times[i - 1];
             let power = |step: usize| {
-                let v = self.voltages[step][p.index()] - self.voltages[step][n.index()];
+                let base = step * self.n_nodes;
+                let v = self.voltages[base + p.index()] - self.voltages[base + n.index()];
                 -v * current.values()[step]
             };
             energy += 0.5 * (power(i) + power(i - 1)) * dt;
@@ -146,12 +209,6 @@ impl TransientResult {
     }
 }
 
-/// Runs a fixed-step backward-Euler transient analysis.
-///
-/// # Errors
-///
-/// Returns [`SpiceError::InvalidAnalysis`] for a degenerate spec, or
-/// propagates solver errors from individual steps.
 fn layout_voltage(x: &[f64], id: NodeId) -> f64 {
     if id.is_ground() {
         0.0
@@ -160,6 +217,14 @@ fn layout_voltage(x: &[f64], id: NodeId) -> f64 {
     }
 }
 
+/// Runs a fixed-step backward-Euler transient analysis through the
+/// structure-caching solver core: one stamp plan and one LU workspace serve
+/// every Newton iteration of every timestep.
+///
+/// # Errors
+///
+/// Returns [`SpiceError::InvalidAnalysis`] for a degenerate spec, or
+/// propagates solver errors from individual steps.
 pub fn run_transient(
     netlist: &Netlist,
     spec: &TransientSpec,
@@ -169,41 +234,34 @@ pub fn run_transient(
             reason: format!("bad transient spec: stop {} step {}", spec.stop, spec.step),
         });
     }
-    let layout = MnaLayout::build(netlist);
-    let mut x = if spec.start_from_dc {
-        let dc = crate::dc::solve_dc(netlist)?;
-        // Rebuild the full unknown vector from node voltages, zero branch
-        // currents (they re-converge in the first step).
-        let mut x0 = vec![0.0; layout.n_unknowns];
-        for (node, v) in dc.iter().enumerate().skip(1) {
-            x0[node - 1] = *v;
-        }
-        x0
-    } else {
-        vec![0.0; layout.n_unknowns]
-    };
+    let mut sys = MnaSystem::new(netlist);
+    let n = sys.layout.n_unknowns;
+    let node_count = netlist.node_count();
+    let mut x = vec![0.0; n];
+    if spec.start_from_dc {
+        // Solve the operating point with the same workspace, then zero the
+        // branch currents (they re-converge in the first step) — matching
+        // the cold-start convention of the original driver.
+        sys.solve_point(netlist, &mut x, 0.0, StepContext::Dc)?;
+        x[node_count - 1..].fill(0.0);
+    }
 
     let steps = (spec.stop / spec.step).round() as usize;
+    let n_currents = n - (node_count - 1);
     let mut times = Vec::with_capacity(steps + 1);
-    let mut voltages = Vec::with_capacity(steps + 1);
-    let mut currents = Vec::with_capacity(steps + 1);
+    let mut voltages = Vec::with_capacity((steps + 1) * node_count);
+    let mut currents = Vec::with_capacity((steps + 1) * n_currents);
 
-    let node_count = netlist.node_count();
-    let snapshot = |x: &[f64]| {
-        let mut v = vec![0.0; node_count];
-        for (id, slot) in v.iter_mut().enumerate().skip(1) {
-            *slot = x[id - 1];
-        }
-        v
+    let record = |x: &[f64], voltages: &mut Vec<f64>, currents: &mut Vec<f64>| {
+        voltages.push(0.0); // ground
+        voltages.extend_from_slice(&x[..node_count - 1]);
+        currents.extend_from_slice(&x[node_count - 1..]);
     };
-    let current_snapshot = |x: &[f64]| x[node_count - 1..].to_vec();
 
     times.push(0.0);
-    voltages.push(snapshot(&x));
-    currents.push(current_snapshot(&x));
+    record(&x, &mut voltages, &mut currents);
 
-    let prev_holder = x.clone();
-    let mut prev = prev_holder;
+    let mut prev = x.clone();
     // Per-element capacitor branch currents (trapezoidal state).
     let trapezoidal = spec.integration == Integration::Trapezoidal;
     let mut cap_i = vec![0.0f64; netlist.element_count()];
@@ -217,7 +275,7 @@ pub fn run_transient(
             prev: &prev,
             cap_currents: use_trap.then_some(&cap_i[..]),
         };
-        x = solve_point(netlist, &layout, &x, t, ctx)?;
+        sys.solve_point(netlist, &mut x, t, ctx)?;
         if trapezoidal {
             for (ei, e) in netlist.elements().iter().enumerate() {
                 if let crate::elements::Element::Capacitor { a, b, farads } = e {
@@ -234,17 +292,19 @@ pub fn run_transient(
             }
         }
         times.push(t);
-        voltages.push(snapshot(&x));
-        currents.push(current_snapshot(&x));
+        record(&x, &mut voltages, &mut currents);
         prev.copy_from_slice(&x);
     }
 
-    Ok(TransientResult {
+    Ok(TransientResult::from_parts(
         times,
+        node_count,
+        n_currents,
         voltages,
         currents,
-        branch_of_element: layout.branch_indices(),
-    })
+        sys.layout.branch_indices(),
+        sys.stats,
+    ))
 }
 
 #[cfg(test)]
@@ -523,5 +583,26 @@ mod tests {
             .unwrap();
         // Already settled at t = 0.
         assert!((res.voltage_at(out, 0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stats_cover_every_timestep() {
+        let mut net = Netlist::new();
+        let inp = net.node("in");
+        let out = net.node("out");
+        net.voltage_source(inp, Netlist::GROUND, Waveform::step(1.0));
+        net.resistor(inp, out, 1.0e3);
+        net.capacitor(out, Netlist::GROUND, 1.0e-9);
+        let res = net.transient(&TransientSpec::new(1.0e-6, 10.0e-9)).unwrap();
+        let stats = res.stats();
+        assert_eq!(stats.solve_points, 100);
+        assert!(stats.newton_iterations >= stats.solve_points);
+        // Linear RC at a fixed step: the transient matrix is identical at
+        // every timestep, so factor work collapses to a single full
+        // factorization plus reuses.
+        assert_eq!(stats.full_factorizations, 1);
+        assert!(stats.factor_reuses > 0);
+        assert_eq!(stats.n_unknowns, 3);
+        assert!(stats.base_nnz > 0);
     }
 }

@@ -1,5 +1,7 @@
 //! Source waveforms and recorded traces.
 
+use std::sync::Arc;
+
 /// A time-dependent source value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Waveform {
@@ -114,9 +116,12 @@ impl Waveform {
 }
 
 /// A sampled waveform: one value per transient timestep.
+///
+/// The time axis is reference-counted so that the many traces probed out of
+/// one transient run all share a single buffer instead of each cloning it.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Trace {
-    times: Vec<f64>,
+    times: Arc<[f64]>,
     values: Vec<f64>,
 }
 
@@ -126,9 +131,25 @@ impl Trace {
     /// # Panics
     ///
     /// Panics if the vectors have different lengths.
-    pub fn new(times: Vec<f64>, values: Vec<f64>) -> Self {
+    pub fn new(times: impl Into<Arc<[f64]>>, values: Vec<f64>) -> Self {
+        let times = times.into();
         assert_eq!(times.len(), values.len(), "times and values must align");
         Trace { times, values }
+    }
+
+    /// Creates a trace sharing an existing time axis (no copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    pub fn shared(times: Arc<[f64]>, values: Vec<f64>) -> Self {
+        assert_eq!(times.len(), values.len(), "times and values must align");
+        Trace { times, values }
+    }
+
+    /// The shared time axis (for building sibling traces without copies).
+    pub fn times_shared(&self) -> Arc<[f64]> {
+        Arc::clone(&self.times)
     }
 
     /// Number of samples.

@@ -1,0 +1,192 @@
+//! Golden equivalence: the structure-caching solver core must reproduce the
+//! frozen pre-optimization path (`mda_spice::legacy`) to tight tolerance on
+//! representative netlists — same traces, same convergence behaviour.
+//!
+//! Dense netlists (n ≤ 150 unknowns) use the same pivot rule and arithmetic
+//! order as the legacy dense solver, so they are compared at ≤ 1e-12.
+//! Sparse netlists are compared at the same bound on well-conditioned
+//! circuits; the legacy sparse path's hash-map row storage makes its
+//! last-bit rounding order-dependent, which is exactly why the bound is a
+//! tolerance and not exact equality.
+
+use mda_spice::{legacy, Netlist, SpiceError, TransientSpec, Waveform};
+
+const TOL: f64 = 1.0e-12;
+
+/// Asserts two transient runs match sample-for-sample on every node voltage
+/// and branch current, with |Δ| ≤ TOL · max(1, |reference|).
+fn assert_runs_match(reference: &mda_spice::TransientResult, new: &mda_spice::TransientResult) {
+    assert_eq!(reference.times(), new.times(), "time axes differ");
+    assert_eq!(reference.node_count(), new.node_count());
+    let check = |what: &str, a: &[f64], b: &[f64]| {
+        assert_eq!(a.len(), b.len(), "{what}: lengths differ");
+        for (i, (&r, &n)) in a.iter().zip(b).enumerate() {
+            let bound = TOL * r.abs().max(1.0);
+            assert!(
+                (r - n).abs() <= bound,
+                "{what}[{i}]: legacy {r:.17e} vs new {n:.17e} (|Δ| = {:.3e} > {bound:.3e})",
+                (r - n).abs()
+            );
+        }
+    };
+    check("voltage", reference.voltages_flat(), new.voltages_flat());
+    check("current", reference.currents_flat(), new.currents_flat());
+}
+
+fn run_both(net: &Netlist, spec: &TransientSpec) -> Result<(), SpiceError> {
+    let reference = legacy::run_transient(net, spec)?;
+    let new = net.transient(spec)?;
+    assert_runs_match(&reference, &new);
+    Ok(())
+}
+
+/// RC ladder with a nonlinear element thrown in — the everyday dense case.
+fn rc_diode_net() -> (Netlist, TransientSpec) {
+    let mut net = Netlist::new();
+    let inp = net.node("in");
+    net.voltage_source(inp, Netlist::GROUND, Waveform::step(0.8));
+    let mut prev = inp;
+    for s in 0..4 {
+        let n = net.node(&format!("s{s}"));
+        net.resistor(prev, n, 2.0e3);
+        net.capacitor(n, Netlist::GROUND, 0.5e-9);
+        prev = n;
+    }
+    let hold = net.node("hold");
+    net.diode(prev, hold);
+    net.capacitor(hold, Netlist::GROUND, 0.1e-9);
+    (net, TransientSpec::new(4.0e-6, 4.0e-9))
+}
+
+#[test]
+fn dense_rc_diode_transient_matches_legacy() {
+    let (net, spec) = rc_diode_net();
+    run_both(&net, &spec).unwrap();
+}
+
+#[test]
+fn trapezoidal_integration_matches_legacy() {
+    let (net, spec) = rc_diode_net();
+    run_both(&net, &spec.trapezoidal()).unwrap();
+}
+
+#[test]
+fn start_from_dc_matches_legacy() {
+    let (net, spec) = rc_diode_net();
+    run_both(&net, &spec.from_dc()).unwrap();
+}
+
+#[test]
+fn diode_max_chain_matches_legacy() {
+    // The paper's maximum-selection primitive, chained: each stage's diode
+    // pair forwards the larger of its input and the previous stage output.
+    let mut net = Netlist::new();
+    let mut stage_out = Netlist::GROUND;
+    for s in 0..12 {
+        let src = net.node(&format!("src{s}"));
+        let out = net.node(&format!("out{s}"));
+        let level = 0.1 + 0.05 * s as f64;
+        net.voltage_source(src, Netlist::GROUND, Waveform::step_at(level, 1.0e-9));
+        net.diode(src, out);
+        if s > 0 {
+            net.diode(stage_out, out);
+        }
+        net.resistor(out, Netlist::GROUND, 100.0e3);
+        net.capacitor(out, Netlist::GROUND, 10.0e-15);
+        stage_out = out;
+    }
+    run_both(&net, &TransientSpec::new(40.0e-9, 20.0e-12)).unwrap();
+}
+
+#[test]
+fn dc_operating_point_matches_legacy() {
+    let (net, _) = rc_diode_net();
+    let reference = legacy::solve_dc(&net).unwrap();
+    let new = net.dc().unwrap();
+    assert_eq!(reference.len(), new.len());
+    for (i, (&r, &n)) in reference.iter().zip(&new).enumerate() {
+        assert!(
+            (r - n).abs() <= TOL * r.abs().max(1.0),
+            "node {i}: legacy {r:.17e} vs new {n:.17e}"
+        );
+    }
+}
+
+/// A memristor grid large enough to force the sparse backend
+/// (> 150 unknowns), with grounded parasitic capacitance at every node —
+/// well-conditioned on purpose (1 kΩ–100 kΩ spread, no near-singular
+/// stamps) so both paths agree to the last-bit-rounding level.
+fn memristor_grid(rows: usize, cols: usize) -> (Netlist, TransientSpec) {
+    let mut net = Netlist::new();
+    let mut nodes = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            nodes.push(net.node(&format!("n{r}_{c}")));
+        }
+    }
+    let at = |r: usize, c: usize| nodes[r * cols + c];
+    // Drive the left edge, load the right edge.
+    for r in 0..rows {
+        let drv = net.node(&format!("drv{r}"));
+        net.voltage_source(drv, Netlist::GROUND, Waveform::step(0.2 + 0.01 * r as f64));
+        net.resistor(drv, at(r, 0), 1.0e3);
+        net.resistor(at(r, cols - 1), Netlist::GROUND, 10.0e3);
+    }
+    // Grid of memristors with a deterministic resistance spread.
+    for r in 0..rows {
+        for c in 0..cols {
+            let ohms = 1.0e3 + 99.0e3 * ((r * 31 + c * 17) % 97) as f64 / 96.0;
+            if c + 1 < cols {
+                net.memristor(at(r, c), at(r, c + 1), ohms);
+            }
+            if r + 1 < rows {
+                net.memristor(at(r, c), at(r + 1, c), ohms + 500.0);
+            }
+            net.capacitor(at(r, c), Netlist::GROUND, 20.0e-15);
+        }
+    }
+    (net, TransientSpec::new(2.0e-9, 20.0e-12))
+}
+
+#[test]
+fn sparse_grid_transient_matches_legacy() {
+    // 14 × 14 grid + 14 drivers = 210 node unknowns -> sparse backend.
+    let (net, spec) = memristor_grid(14, 14);
+    run_both(&net, &spec).unwrap();
+}
+
+#[test]
+fn sparse_grid_dc_matches_legacy() {
+    let (net, _) = memristor_grid(14, 14);
+    let reference = legacy::solve_dc(&net).unwrap();
+    let new = net.dc().unwrap();
+    for (i, (&r, &n)) in reference.iter().zip(&new).enumerate() {
+        assert!(
+            (r - n).abs() <= TOL * r.abs().max(1.0),
+            "node {i}: legacy {r:.17e} vs new {n:.17e}"
+        );
+    }
+}
+
+#[test]
+fn stats_reflect_the_work_done() {
+    let (net, spec) = memristor_grid(14, 14);
+    let res = net.transient(&spec).unwrap();
+    let stats = res.stats();
+    assert_eq!(stats.solve_points as usize, res.len() - 1);
+    assert!(stats.newton_iterations >= stats.solve_points);
+    // Linear grid at a fixed step: one full (pivot-searching)
+    // factorization, everything after is a reuse of identical values.
+    assert_eq!(stats.full_factorizations, 1);
+    assert_eq!(stats.refactorizations, 0);
+    assert_eq!(stats.residual_fallbacks, 0);
+    assert!(stats.factor_reuses > 0);
+    assert!(
+        stats.factor_nnz >= stats.base_nnz,
+        "fill-in can't shrink nnz"
+    );
+    assert!(
+        stats.n_unknowns > 150,
+        "meant to exercise the sparse backend"
+    );
+}
