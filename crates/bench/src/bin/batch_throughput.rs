@@ -11,6 +11,10 @@
 //! On a multi-core host expect roughly linear speedup until the core count
 //! is reached; on a single-core container the speedup column stays ~1.0x
 //! while the identity checks still exercise the multi-threaded paths.
+//!
+//! With `--json`, additionally writes the measurements to
+//! `results/BENCH_batch_throughput.json` (same pattern as
+//! `spice_solver.rs`).
 
 use std::time::Instant;
 
@@ -66,7 +70,45 @@ fn stream_report(engine: &BatchEngine, pairs: &[(Vec<f64>, Vec<f64>)]) -> (usize
     )
 }
 
+struct Measurement {
+    workload: &'static str,
+    threads: usize,
+    serial_seconds: f64,
+    parallel_seconds: f64,
+    identical: bool,
+}
+
+fn json(cores: usize, measurements: &[Measurement]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"cores\": {cores},\n"));
+    s.push_str("  \"measurements\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        s.push_str(&format!(
+            concat!(
+                "    {{\n",
+                "      \"workload\": \"{}\",\n",
+                "      \"threads\": {},\n",
+                "      \"serial_seconds\": {:.6},\n",
+                "      \"parallel_seconds\": {:.6},\n",
+                "      \"speedup\": {:.3},\n",
+                "      \"identical\": {}\n",
+                "    }}{}\n",
+            ),
+            m.workload,
+            m.threads,
+            m.serial_seconds,
+            m.parallel_seconds,
+            m.serial_seconds / m.parallel_seconds,
+            m.identical,
+            if i + 1 < measurements.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 fn main() {
+    let emit_json = std::env::args().any(|a| a == "--json");
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let thread_counts: Vec<usize> = [2usize, 4, cores]
         .into_iter()
@@ -84,6 +126,7 @@ fn main() {
     println!("batch engine throughput — host has {cores} core(s)\n");
     let mut table = Table::new(["workload", "threads", "serial", "parallel", "speedup"]);
     let mut mismatches = 0usize;
+    let mut measurements: Vec<Measurement> = Vec::new();
 
     let (knn_serial, t_knn_serial) = time(|| knn_labels(BatchEngine::serial(), &queries));
     let (motif_serial, t_motif_serial) = time(|| motif_result(BatchEngine::serial(), &haystack));
@@ -97,6 +140,13 @@ fn main() {
             eprintln!("MISMATCH: kNN results differ at {threads} threads");
             mismatches += 1;
         }
+        measurements.push(Measurement {
+            workload: "knn_classify",
+            threads,
+            serial_seconds: t_knn_serial,
+            parallel_seconds: t_knn,
+            identical: knn_par == knn_serial,
+        });
         table.row([
             "knn classify".into(),
             threads.to_string(),
@@ -110,6 +160,13 @@ fn main() {
             eprintln!("MISMATCH: motif results differ at {threads} threads");
             mismatches += 1;
         }
+        measurements.push(Measurement {
+            workload: "motif_discovery",
+            threads,
+            serial_seconds: t_motif_serial,
+            parallel_seconds: t_motif,
+            identical: motif_par == motif_serial,
+        });
         table.row([
             "motif discovery".into(),
             threads.to_string(),
@@ -123,6 +180,13 @@ fn main() {
             eprintln!("MISMATCH: stream reports differ at {threads} threads");
             mismatches += 1;
         }
+        measurements.push(Measurement {
+            workload: "accelerator_stream",
+            threads,
+            serial_seconds: t_stream_serial,
+            parallel_seconds: t_stream,
+            identical: stream_par == stream_serial,
+        });
         table.row([
             "accelerator stream".into(),
             threads.to_string(),
@@ -133,6 +197,15 @@ fn main() {
     }
 
     println!("{}", table.render());
+
+    if emit_json {
+        let payload = json(cores, &measurements);
+        std::fs::create_dir_all("results").expect("create results dir");
+        let path = "results/BENCH_batch_throughput.json";
+        std::fs::write(path, payload).expect("write bench json");
+        println!("\nwrote {path}");
+    }
+
     if mismatches > 0 {
         eprintln!("\n{mismatches} result mismatch(es) across thread counts");
         std::process::exit(1);

@@ -1,0 +1,246 @@
+//! Load generator for `mda-server`: drives the service at configurable
+//! concurrency, verifies served results are bitwise identical to direct
+//! library calls, and measures how request coalescing scales throughput
+//! from one connection to many.
+//!
+//! ```text
+//! serve_loadgen [--addr HOST:PORT] [--clients N] [--seconds S] [--strict]
+//! ```
+//!
+//! Without `--addr`, an in-process server is started on a loopback port.
+//! The identity gate is always fatal. The coalescing gate (concurrent
+//! throughput ≥ 2x a single connection at 8 clients) needs real cores to
+//! manifest, so it is only enforced under `--strict` — intended for
+//! multi-core CI runners, meaningless on a single-core container.
+//!
+//! Writes `results/BENCH_serve.json`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use mda_distance::mining::KnnClassifier;
+use mda_distance::{boxed_distance, DistanceKind};
+use mda_server::protocol::TrainInstance;
+use mda_server::{Client, QueryOpts, Server, ServerConfig};
+
+fn series(len: usize, seed: usize) -> Vec<f64> {
+    (0..len)
+        .map(|i| ((i + 29 * seed) as f64 * 0.23).sin() * 1.6 + (seed as f64 * 0.41).cos())
+        .collect()
+}
+
+/// One pass over all six distance functions plus a kNN query, compared
+/// bitwise against direct library calls.
+fn identity_check(addr: std::net::SocketAddr) -> Result<(), String> {
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let p = series(48, 3);
+    let q = series(48, 4);
+    for kind in DistanceKind::ALL {
+        let direct = boxed_distance(kind)
+            .evaluate(&p, &q)
+            .map_err(|e| e.to_string())?;
+        let served = client.distance(kind, &p, &q).map_err(|e| e.to_string())?;
+        if served.to_bits() != direct.to_bits() {
+            return Err(format!(
+                "{kind}: served {served:e} != direct {direct:e} (bitwise)"
+            ));
+        }
+    }
+    let train: Vec<TrainInstance> = (0..10)
+        .map(|i| TrainInstance {
+            label: i % 2,
+            series: series(48, 200 + i),
+        })
+        .collect();
+    let mut knn = KnnClassifier::new(boxed_distance(DistanceKind::Dtw), 3);
+    for t in &train {
+        knn.fit(t.label, t.series.clone());
+    }
+    let direct = knn.classify(&p).map_err(|e| e.to_string())?;
+    let served = client
+        .knn(DistanceKind::Dtw, 3, &p, &train, QueryOpts::default())
+        .map_err(|e| e.to_string())?;
+    if served.label != direct.label
+        || served.score.to_bits() != direct.score.to_bits()
+        || served.nearest_index != direct.nearest_index
+    {
+        return Err(format!("kNN: served {served:?} != direct {direct:?}"));
+    }
+    Ok(())
+}
+
+/// Drives `clients` concurrent connections for `seconds`, each issuing
+/// DTW distance queries back to back. Returns (requests, errors, qps).
+fn run_load(addr: std::net::SocketAddr, clients: usize, seconds: f64) -> (u64, u64, f64) {
+    let requests = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let start = Instant::now();
+    let deadline = start + Duration::from_secs_f64(seconds);
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let (requests, errors) = (&requests, &errors);
+            scope.spawn(move || {
+                let Ok(mut client) = Client::connect(addr) else {
+                    errors.fetch_add(1, Ordering::Relaxed);
+                    return;
+                };
+                let p = series(64, c);
+                let mut seed = 0usize;
+                while Instant::now() < deadline {
+                    let q = series(64, 1000 + c * 97 + (seed % 8));
+                    seed += 1;
+                    match client.distance(DistanceKind::Dtw, &p, &q) {
+                        Ok(_) => {
+                            requests.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let n = requests.load(Ordering::Relaxed);
+    (n, errors.load(Ordering::Relaxed), n as f64 / elapsed)
+}
+
+/// Pulls one `name value` line out of a metrics exposition.
+fn metric(text: &str, name: &str) -> f64 {
+    text.lines()
+        .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+        .and_then(|l| l[name.len() + 1..].trim().parse().ok())
+        .unwrap_or(0.0)
+}
+
+fn main() {
+    let mut addr_arg: Option<String> = None;
+    let mut clients = 8usize;
+    let mut seconds = 2.0f64;
+    let mut strict = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--addr" => addr_arg = args.next(),
+            "--clients" => {
+                clients = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--clients N");
+            }
+            "--seconds" => {
+                seconds = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seconds S");
+            }
+            "--strict" => strict = true,
+            other => {
+                eprintln!("unknown flag `{other}`");
+                eprintln!("usage: serve_loadgen [--addr HOST:PORT] [--clients N] [--seconds S] [--strict]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Either attach to a running server or host one in-process.
+    let in_process = addr_arg.is_none();
+    let server = if in_process {
+        Some(Server::start(ServerConfig::default()).expect("start in-process server"))
+    } else {
+        None
+    };
+    let addr: std::net::SocketAddr = match (&server, &addr_arg) {
+        (Some(s), _) => s.local_addr(),
+        (None, Some(a)) => a.parse().expect("--addr must be HOST:PORT"),
+        (None, None) => unreachable!(),
+    };
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!("serve_loadgen -> {addr} ({cores} core(s), {clients} clients, {seconds}s per phase)");
+
+    // Identity gate: always fatal.
+    if let Err(e) = identity_check(addr) {
+        eprintln!("IDENTITY GATE: {e}");
+        std::process::exit(1);
+    }
+    println!("identity gate: all six kinds + kNN bitwise-identical to direct calls");
+
+    let (n1, e1, qps1) = run_load(addr, 1, seconds);
+    println!("  1 client : {n1} requests ({e1} errors), {qps1:.0} req/s");
+    let (nc, ec, qpsc) = run_load(addr, clients, seconds);
+    println!("  {clients} clients: {nc} requests ({ec} errors), {qpsc:.0} req/s");
+    let ratio = if qps1 > 0.0 { qpsc / qps1 } else { 0.0 };
+    println!("  concurrency ratio: {ratio:.2}x");
+
+    let metrics_text = Client::connect(addr)
+        .and_then(|mut c| c.metrics_text())
+        .unwrap_or_default();
+    let occupancy = metric(&metrics_text, "mda_batch_occupancy_mean");
+    let shed = metric(&metrics_text, "mda_shed_total");
+    let p99_us = metric(&metrics_text, "mda_latency_us{quantile=\"0.99\"}");
+    println!("  batch occupancy: {occupancy:.2} items/batch, shed: {shed:.0}, p99: {p99_us:.0}us");
+
+    let payload = format!(
+        concat!(
+            "{{\n",
+            "  \"cores\": {},\n",
+            "  \"clients\": {},\n",
+            "  \"seconds\": {},\n",
+            "  \"in_process\": {},\n",
+            "  \"identity_ok\": true,\n",
+            "  \"single_requests\": {},\n",
+            "  \"single_errors\": {},\n",
+            "  \"single_qps\": {:.1},\n",
+            "  \"concurrent_requests\": {},\n",
+            "  \"concurrent_errors\": {},\n",
+            "  \"concurrent_qps\": {:.1},\n",
+            "  \"concurrency_ratio\": {:.3},\n",
+            "  \"batch_occupancy_mean\": {:.3},\n",
+            "  \"shed_total\": {:.0},\n",
+            "  \"latency_p99_us\": {:.0},\n",
+            "  \"strict\": {}\n",
+            "}}\n",
+        ),
+        cores,
+        clients,
+        seconds,
+        in_process,
+        n1,
+        e1,
+        qps1,
+        nc,
+        ec,
+        qpsc,
+        ratio,
+        occupancy,
+        shed,
+        p99_us,
+        strict,
+    );
+    std::fs::create_dir_all("results").expect("create results dir");
+    let path = "results/BENCH_serve.json";
+    std::fs::write(path, payload).expect("write bench json");
+    println!("wrote {path}");
+
+    if let Some(server) = server {
+        server.shutdown_and_join();
+    }
+
+    if e1 + ec > 0 {
+        eprintln!("LOAD GATE: {} request error(s) under load", e1 + ec);
+        std::process::exit(1);
+    }
+    // The >= 2x coalescing gate needs real parallel cores; on a 1-core box
+    // the ratio hovers near 1x no matter how good the batching is.
+    if strict && ratio < 2.0 {
+        eprintln!("COALESCING GATE: {ratio:.2}x < 2x at {clients} clients (strict mode)");
+        std::process::exit(1);
+    }
+    if !strict && cores < 4 {
+        println!(
+            "(coalescing gate skipped: {cores} core(s); rerun with --strict on a multi-core host)"
+        );
+    }
+    println!("done");
+}

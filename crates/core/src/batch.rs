@@ -77,6 +77,16 @@ impl DistanceAccelerator {
                 ),
             });
         }
+        if query.is_empty() {
+            return Err(AcceleratorError::InvalidConfig {
+                reason: "batch query has a zero-length sequence".into(),
+            });
+        }
+        if let Some(index) = candidates.iter().position(|c| c.is_empty()) {
+            return Err(AcceleratorError::InvalidConfig {
+                reason: format!("batch candidate {index} has a zero-length sequence"),
+            });
+        }
         let outcomes = engine.try_map_with(
             candidates,
             || self.clone(),
@@ -117,6 +127,7 @@ impl DistanceAccelerator {
         pairs: &[(Vec<f64>, Vec<f64>)],
         engine: &BatchEngine,
     ) -> Result<ThroughputReport, AcceleratorError> {
+        crate::pipeline::validate_stream(pairs)?;
         let measurements = engine.try_map_with(
             pairs,
             || self.clone(),

@@ -65,4 +65,4 @@ pub use controller::{ConfigurationLib, PeConfiguration};
 pub use converters::{AdcSpec, DacSpec};
 pub use encode::VoltageEncoder;
 pub use error::AcceleratorError;
-pub use pipeline::ThroughputReport;
+pub use pipeline::{validate_stream, ThroughputReport};

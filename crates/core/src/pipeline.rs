@@ -40,6 +40,25 @@ impl ThroughputReport {
     }
 }
 
+/// Validates a stream before any thread dispatch: every pair must carry
+/// two non-empty sequences. Rejections are typed and name the offending
+/// pair, instead of surfacing as a failure (or panic) deep inside a
+/// [`BatchEngine`] worker.
+///
+/// # Errors
+///
+/// [`AcceleratorError::InvalidConfig`] naming the first offending pair.
+pub fn validate_stream(pairs: &[(Vec<f64>, Vec<f64>)]) -> Result<(), AcceleratorError> {
+    for (index, (p, q)) in pairs.iter().enumerate() {
+        if p.is_empty() || q.is_empty() {
+            return Err(AcceleratorError::InvalidConfig {
+                reason: format!("stream pair {index} has a zero-length sequence"),
+            });
+        }
+    }
+    Ok(())
+}
+
 impl DistanceAccelerator {
     /// Serves a stream of `(p, q)` pairs with the configured function,
     /// aggregating timing and accuracy statistics.
@@ -104,6 +123,32 @@ mod tests {
         assert_eq!(report.computations, 0);
         assert_eq!(report.elements_per_second(), 0.0);
         assert_eq!(report.computations_per_second(), 0.0);
+    }
+
+    #[test]
+    fn zero_length_sequences_rejected_before_dispatch() {
+        let mut acc = DistanceAccelerator::new(AcceleratorConfig::paper_defaults());
+        acc.configure(DistanceKind::Manhattan).unwrap();
+        let mut stream = pairs(3, 8);
+        stream[1] = (Vec::new(), vec![1.0]);
+        let err = acc.run_stream(&stream).unwrap_err();
+        let AcceleratorError::InvalidConfig { reason } = &err else {
+            panic!("expected a typed config error, got {err:?}");
+        };
+        assert!(reason.contains("pair 1"), "{reason}");
+    }
+
+    #[test]
+    fn batch_rejects_zero_length_candidates() {
+        let mut acc = DistanceAccelerator::new(AcceleratorConfig::paper_defaults());
+        acc.configure(DistanceKind::Manhattan).unwrap();
+        let err = acc
+            .compute_batch(&[0.0, 1.0], &[vec![0.0, 1.0], Vec::new()])
+            .unwrap_err();
+        let AcceleratorError::InvalidConfig { reason } = &err else {
+            panic!("expected a typed config error, got {err:?}");
+        };
+        assert!(reason.contains("candidate 1"), "{reason}");
     }
 
     #[test]

@@ -26,6 +26,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use crate::error::DistanceError;
 use crate::scratch::DpScratch;
 
 /// Default number of items per chunk. Chosen so per-chunk overhead (an atomic
@@ -102,6 +103,39 @@ impl BatchEngine {
         assert!(chunk_size > 0, "chunk size must be at least 1");
         self.chunk_size = chunk_size;
         self
+    }
+
+    /// Fallible [`Self::with_threads`], for configuration that arrives from
+    /// users or the network: a zero thread count becomes a typed
+    /// [`DistanceError::InvalidParameter`] instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// [`DistanceError::InvalidParameter`] when `threads` is 0.
+    pub fn try_with_threads(self, threads: usize) -> Result<Self, DistanceError> {
+        if threads == 0 {
+            return Err(DistanceError::InvalidParameter {
+                name: "threads",
+                reason: "worker-thread count must be at least 1".into(),
+            });
+        }
+        Ok(self.with_threads(threads))
+    }
+
+    /// Fallible [`Self::with_chunk_size`], the typed-error sibling of
+    /// [`Self::try_with_threads`].
+    ///
+    /// # Errors
+    ///
+    /// [`DistanceError::InvalidParameter`] when `chunk_size` is 0.
+    pub fn try_with_chunk_size(self, chunk_size: usize) -> Result<Self, DistanceError> {
+        if chunk_size == 0 {
+            return Err(DistanceError::InvalidParameter {
+                name: "chunk_size",
+                reason: "chunk size must be at least 1".into(),
+            });
+        }
+        Ok(self.with_chunk_size(chunk_size))
     }
 
     /// The configured worker-thread count.
@@ -253,6 +287,30 @@ impl BatchEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn try_builders_reject_zero_with_typed_errors() {
+        assert!(matches!(
+            BatchEngine::new().try_with_threads(0),
+            Err(DistanceError::InvalidParameter {
+                name: "threads",
+                ..
+            })
+        ));
+        assert!(matches!(
+            BatchEngine::new().try_with_chunk_size(0),
+            Err(DistanceError::InvalidParameter {
+                name: "chunk_size",
+                ..
+            })
+        ));
+        let engine = BatchEngine::serial()
+            .try_with_threads(3)
+            .unwrap()
+            .try_with_chunk_size(5)
+            .unwrap();
+        assert_eq!((engine.threads(), engine.chunk_size()), (3, 5));
+    }
 
     #[test]
     fn outputs_preserve_item_order() {

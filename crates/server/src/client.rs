@@ -1,0 +1,308 @@
+//! A blocking client for the `mda-server` frame protocol.
+//!
+//! One [`Client`] wraps one TCP connection and issues synchronous calls;
+//! open several clients for concurrency (the server coalesces their
+//! queries into shared engine batches).
+
+use std::fmt;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use mda_distance::DistanceKind;
+
+use crate::protocol::{
+    decode_reply, encode_request, read_frame, write_frame, Envelope, ErrorCode, ProtocolError,
+    Reply, Request, ResponseBody, TrainInstance, DEFAULT_MAX_FRAME_BYTES,
+};
+
+/// A failed client call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The reply could not be decoded.
+    Protocol(ProtocolError),
+    /// The server answered with an error reply.
+    Server {
+        /// Machine-readable class (`overloaded`, `timeout`, …).
+        code: ErrorCode,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The reply decoded but did not match the request (wrong id or shape).
+    UnexpectedReply(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client io error: {e}"),
+            ClientError::Protocol(e) => write!(f, "client protocol error: {e}"),
+            ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+            ClientError::UnexpectedReply(msg) => write!(f, "unexpected reply: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Protocol(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+impl ClientError {
+    /// `true` when the server shed this request under load.
+    pub fn is_overloaded(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Server {
+                code: ErrorCode::Overloaded,
+                ..
+            }
+        )
+    }
+}
+
+/// Per-query options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryOpts {
+    /// Match threshold override (LCS/EdD/HamD); `None` = paper default.
+    pub threshold: Option<f64>,
+    /// Sakoe–Chiba radius (DTW); `None` = full matrix.
+    pub band: Option<usize>,
+    /// Queue-wait budget in milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+/// A kNN classification result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KnnOutcome {
+    /// Predicted label.
+    pub label: usize,
+    /// Score of the nearest neighbour (similarities negated).
+    pub score: f64,
+    /// Index of the nearest training instance.
+    pub nearest_index: usize,
+}
+
+/// A subsequence-search result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchOutcome {
+    /// Start offset of the best window.
+    pub offset: usize,
+    /// Its banded DTW distance.
+    pub distance: f64,
+}
+
+/// One blocking connection to an `mda-server`.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+    max_frame_bytes: usize,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Any connection failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+            next_id: 1,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        })
+    }
+
+    /// Issues one request and waits for its reply.
+    fn call(&mut self, req: Request) -> Result<ResponseBody, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let env = Envelope { id, req };
+        write_frame(&mut self.writer, &encode_request(&env))?;
+        let payload = read_frame(&mut self.reader, self.max_frame_bytes)?;
+        let Reply { id: got, body } = decode_reply(&payload)?;
+        if got != id {
+            return Err(ClientError::UnexpectedReply(format!(
+                "reply id {got} does not match request id {id}"
+            )));
+        }
+        if let ResponseBody::Error { code, message } = body {
+            return Err(ClientError::Server { code, message });
+        }
+        Ok(body)
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures or a server error reply.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(Request::Ping)? {
+            ResponseBody::Pong => Ok(()),
+            other => Err(ClientError::UnexpectedReply(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetches the metrics registry as Prometheus-style text.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures or a server error reply.
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        match self.call(Request::Metrics)? {
+            ResponseBody::MetricsText(text) => Ok(text),
+            other => Err(ClientError::UnexpectedReply(format!("{other:?}"))),
+        }
+    }
+
+    /// Evaluates one distance with default options.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures or a server error reply.
+    pub fn distance(
+        &mut self,
+        kind: DistanceKind,
+        p: &[f64],
+        q: &[f64],
+    ) -> Result<f64, ClientError> {
+        self.distance_with(kind, p, q, QueryOpts::default())
+    }
+
+    /// Evaluates one distance.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures or a server error reply.
+    pub fn distance_with(
+        &mut self,
+        kind: DistanceKind,
+        p: &[f64],
+        q: &[f64],
+        opts: QueryOpts,
+    ) -> Result<f64, ClientError> {
+        let body = self.call(Request::Distance {
+            kind,
+            p: p.to_vec(),
+            q: q.to_vec(),
+            threshold: opts.threshold,
+            band: opts.band,
+            deadline_ms: opts.deadline_ms,
+        })?;
+        match body {
+            ResponseBody::Distance { value } => Ok(value),
+            other => Err(ClientError::UnexpectedReply(format!("{other:?}"))),
+        }
+    }
+
+    /// Evaluates a pairwise batch; one value per pair, in input order.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures or a server error reply.
+    pub fn batch(
+        &mut self,
+        kind: DistanceKind,
+        pairs: &[(Vec<f64>, Vec<f64>)],
+        opts: QueryOpts,
+    ) -> Result<Vec<f64>, ClientError> {
+        let body = self.call(Request::Batch {
+            kind,
+            pairs: pairs.to_vec(),
+            threshold: opts.threshold,
+            band: opts.band,
+            deadline_ms: opts.deadline_ms,
+        })?;
+        match body {
+            ResponseBody::Batch { values } => Ok(values),
+            other => Err(ClientError::UnexpectedReply(format!("{other:?}"))),
+        }
+    }
+
+    /// Classifies `query` against a labelled training set.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures or a server error reply.
+    pub fn knn(
+        &mut self,
+        kind: DistanceKind,
+        k: usize,
+        query: &[f64],
+        train: &[TrainInstance],
+        opts: QueryOpts,
+    ) -> Result<KnnOutcome, ClientError> {
+        let body = self.call(Request::Knn {
+            kind,
+            k,
+            query: query.to_vec(),
+            train: train.to_vec(),
+            threshold: opts.threshold,
+            band: opts.band,
+            deadline_ms: opts.deadline_ms,
+        })?;
+        match body {
+            ResponseBody::Knn {
+                label,
+                score,
+                nearest_index,
+            } => Ok(KnnOutcome {
+                label,
+                score,
+                nearest_index,
+            }),
+            other => Err(ClientError::UnexpectedReply(format!("{other:?}"))),
+        }
+    }
+
+    /// Finds the best-matching window of `query` in `haystack` under
+    /// banded DTW.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures or a server error reply.
+    pub fn search(
+        &mut self,
+        query: &[f64],
+        haystack: &[f64],
+        window: usize,
+        band: usize,
+        opts: QueryOpts,
+    ) -> Result<SearchOutcome, ClientError> {
+        let body = self.call(Request::Search {
+            query: query.to_vec(),
+            haystack: haystack.to_vec(),
+            window,
+            band,
+            deadline_ms: opts.deadline_ms,
+        })?;
+        match body {
+            ResponseBody::Search { offset, distance } => Ok(SearchOutcome { offset, distance }),
+            other => Err(ClientError::UnexpectedReply(format!("{other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Server configuration with fail-fast validation.
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::protocol::DEFAULT_MAX_FRAME_BYTES;
+
+/// A rejected configuration value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(String);
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid server config: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Tunables for a [`crate::Server`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerConfig {
+    /// Bind address (use port 0 to let the OS pick one).
+    pub addr: String,
+    /// Engine worker threads (`None` = available parallelism).
+    pub workers: Option<usize>,
+    /// Engine chunk size (`None` = engine default).
+    pub chunk_size: Option<usize>,
+    /// Admission-control capacity: max work items queued before shedding.
+    pub max_queue_items: usize,
+    /// Coalescing budget: max work items per dispatched batch.
+    pub batch_max_items: usize,
+    /// Frame payload cap, bytes.
+    pub max_frame_bytes: usize,
+    /// Default queue-wait deadline applied when a request sets none
+    /// (`None` = unbounded wait).
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: None,
+            chunk_size: None,
+            max_queue_items: 4096,
+            batch_max_items: 1024,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            default_deadline: None,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] naming the offending field: zero worker count, zero
+    /// chunk size, zero queue capacity, zero batch budget, or a frame cap
+    /// too small to carry a request.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.workers == Some(0) {
+            return Err(ConfigError("`workers` must be at least 1".into()));
+        }
+        if self.chunk_size == Some(0) {
+            return Err(ConfigError("`chunk_size` must be at least 1".into()));
+        }
+        if self.max_queue_items == 0 {
+            return Err(ConfigError("`max_queue_items` must be at least 1".into()));
+        }
+        if self.batch_max_items == 0 {
+            return Err(ConfigError("`batch_max_items` must be at least 1".into()));
+        }
+        if self.max_frame_bytes < 64 {
+            return Err(ConfigError(
+                "`max_frame_bytes` must be at least 64 bytes".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        ServerConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn zero_values_are_rejected_with_field_names() {
+        type Mutator = fn(&mut ServerConfig);
+        let cases: [(Mutator, &str); 5] = [
+            (|c| c.workers = Some(0), "workers"),
+            (|c| c.chunk_size = Some(0), "chunk_size"),
+            (|c| c.max_queue_items = 0, "max_queue_items"),
+            (|c| c.batch_max_items = 0, "batch_max_items"),
+            (|c| c.max_frame_bytes = 8, "max_frame_bytes"),
+        ];
+        for (mutate, field) in cases {
+            let mut cfg = ServerConfig::default();
+            mutate(&mut cfg);
+            let err = cfg.validate().unwrap_err();
+            assert!(err.to_string().contains(field), "{err}");
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! Decomposition of protocol requests into engine work items, and the
+//! per-item kernel the dispatcher maps over a coalesced batch.
+//!
+//! Every compute request flattens into [`WorkItem`]s — the unit the
+//! coalescing dispatcher shards across the [`BatchEngine`]'s workers:
+//!
+//! * `distance` → one pair item;
+//! * `batch` → one pair item per input pair;
+//! * `knn` → one pair item per training instance (the vote is a serial
+//!   reduction afterwards, replicating `KnnClassifier::classify` exactly);
+//! * `search` → a single opaque item that runs the full pruned subsequence
+//!   search *serially inside one worker* (searches parallelize across
+//!   concurrent requests, not within one, so a coalesced batch never
+//!   oversubscribes the host).
+//!
+//! Item evaluation calls the same `Distance::evaluate_with` entry points
+//! the library's mining drivers use, with the same per-worker
+//! [`DpScratch`], so a value served over the wire is bitwise identical to
+//! the value a direct `BatchEngine` call produces.
+//!
+//! [`BatchEngine`]: mda_distance::BatchEngine
+
+use std::sync::Arc;
+
+use mda_distance::dtw::Band;
+use mda_distance::mining::SubsequenceSearch;
+use mda_distance::{
+    BatchEngine, Distance, DistanceError, DistanceKind, DpScratch, Dtw, EditDistance, Hamming,
+    Hausdorff, Lcs, Manhattan,
+};
+
+use crate::protocol::{Request, TrainInstance};
+
+/// Distance-function parameters carried by a pair item.
+#[derive(Debug, Clone, Copy)]
+pub struct PairSpec {
+    /// Which of the six functions.
+    pub kind: DistanceKind,
+    /// Match threshold override (LCS/EdD/HamD); `None` = paper default 0.1.
+    pub threshold: Option<f64>,
+    /// Sakoe–Chiba radius (DTW); `None` = full matrix.
+    pub band: Option<usize>,
+}
+
+/// One unit of engine work.
+#[derive(Debug, Clone)]
+pub enum WorkItem {
+    /// Evaluate one distance pair.
+    Pair {
+        /// Function and parameters.
+        spec: PairSpec,
+        /// First series (shared, not cloned per item).
+        p: Arc<[f64]>,
+        /// Second series.
+        q: Arc<[f64]>,
+    },
+    /// Run one full subsequence search.
+    Search {
+        /// The query series.
+        query: Arc<[f64]>,
+        /// The series to scan.
+        haystack: Arc<[f64]>,
+        /// Window length.
+        window: usize,
+        /// Sakoe–Chiba radius.
+        band: usize,
+    },
+}
+
+/// Outcome of one executed work item.
+#[derive(Debug, Clone, Copy)]
+pub enum ItemOutcome {
+    /// A distance value.
+    Value(f64),
+    /// A search match.
+    Match {
+        /// Best window start offset.
+        offset: usize,
+        /// Its banded DTW distance.
+        distance: f64,
+    },
+}
+
+/// How a job folds its item outcomes back into one reply.
+#[derive(Debug, Clone)]
+pub enum Assemble {
+    /// One item, reply its value (`distance`).
+    Single,
+    /// Reply all values in item order (`batch`).
+    Values,
+    /// Serial kNN vote over the per-instance distances.
+    Knn {
+        /// Neighbour count.
+        k: usize,
+        /// Training labels, item-order aligned.
+        labels: Vec<usize>,
+        /// `true` for similarity functions (LCS): negate before ranking.
+        invert: bool,
+    },
+    /// One item, reply its match (`search`).
+    Search,
+}
+
+/// A compute request decomposed into engine work.
+#[derive(Debug, Clone)]
+pub struct Decomposed {
+    /// The flattened work items.
+    pub items: Vec<WorkItem>,
+    /// The reduction to apply to their outcomes.
+    pub assemble: Assemble,
+}
+
+/// Flattens a compute request into work items. Returns `None` for
+/// non-compute ops (ping/metrics), which never enter the queue.
+pub fn decompose(req: Request) -> Option<Decomposed> {
+    match req {
+        Request::Ping | Request::Metrics => None,
+        Request::Distance {
+            kind,
+            p,
+            q,
+            threshold,
+            band,
+            ..
+        } => Some(Decomposed {
+            items: vec![WorkItem::Pair {
+                spec: PairSpec {
+                    kind,
+                    threshold,
+                    band,
+                },
+                p: p.into(),
+                q: q.into(),
+            }],
+            assemble: Assemble::Single,
+        }),
+        Request::Batch {
+            kind,
+            pairs,
+            threshold,
+            band,
+            ..
+        } => {
+            let spec = PairSpec {
+                kind,
+                threshold,
+                band,
+            };
+            Some(Decomposed {
+                items: pairs
+                    .into_iter()
+                    .map(|(p, q)| WorkItem::Pair {
+                        spec,
+                        p: p.into(),
+                        q: q.into(),
+                    })
+                    .collect(),
+                assemble: Assemble::Values,
+            })
+        }
+        Request::Knn {
+            kind,
+            k,
+            query,
+            train,
+            threshold,
+            band,
+            ..
+        } => {
+            let spec = PairSpec {
+                kind,
+                threshold,
+                band,
+            };
+            let query: Arc<[f64]> = query.into();
+            let labels: Vec<usize> = train.iter().map(|t| t.label).collect();
+            let items = train
+                .into_iter()
+                .map(|TrainInstance { series, .. }| WorkItem::Pair {
+                    spec,
+                    p: Arc::clone(&query),
+                    q: series.into(),
+                })
+                .collect();
+            Some(Decomposed {
+                items,
+                assemble: Assemble::Knn {
+                    k,
+                    labels,
+                    invert: kind.is_similarity(),
+                },
+            })
+        }
+        Request::Search {
+            query,
+            haystack,
+            window,
+            band,
+            ..
+        } => Some(Decomposed {
+            items: vec![WorkItem::Search {
+                query: query.into(),
+                haystack: haystack.into(),
+                window,
+                band,
+            }],
+            assemble: Assemble::Search,
+        }),
+    }
+}
+
+/// Evaluates one pair with the exact `Distance` instances the digital
+/// reference library constructs, reusing the worker's scratch rows.
+fn evaluate_pair(
+    spec: &PairSpec,
+    p: &[f64],
+    q: &[f64],
+    scratch: &mut DpScratch,
+) -> Result<f64, DistanceError> {
+    let threshold = spec.threshold.unwrap_or(0.1);
+    match spec.kind {
+        DistanceKind::Dtw => {
+            let mut dtw = Dtw::new();
+            if let Some(r) = spec.band {
+                dtw = dtw.with_band(Band::SakoeChiba(r));
+            }
+            dtw.evaluate_with(p, q, scratch)
+        }
+        DistanceKind::Lcs => Lcs::new(threshold).evaluate_with(p, q, scratch),
+        DistanceKind::Edit => EditDistance::new(threshold).evaluate_with(p, q, scratch),
+        DistanceKind::Hausdorff => Hausdorff::new().evaluate_with(p, q, scratch),
+        DistanceKind::Hamming => Hamming::new(threshold).evaluate_with(p, q, scratch),
+        DistanceKind::Manhattan => Manhattan::new().evaluate_with(p, q, scratch),
+    }
+}
+
+/// Executes one work item. Errors are per-item values — a failing item
+/// never aborts the coalesced batch it shares with other requests.
+pub fn execute_item(
+    item: &WorkItem,
+    scratch: &mut DpScratch,
+) -> Result<ItemOutcome, DistanceError> {
+    match item {
+        WorkItem::Pair { spec, p, q } => evaluate_pair(spec, p, q, scratch).map(ItemOutcome::Value),
+        WorkItem::Search {
+            query,
+            haystack,
+            window,
+            band,
+        } => {
+            // Serial engine: the item already runs on an engine worker.
+            let search = SubsequenceSearch::new(*window, *band).with_engine(BatchEngine::serial());
+            let (m, _stats) = search.run(query, haystack)?;
+            Ok(ItemOutcome::Match {
+                offset: m.offset,
+                distance: m.distance,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Request;
+
+    fn series(len: usize, phase: f64) -> Vec<f64> {
+        (0..len).map(|i| (i as f64 * 0.4 + phase).sin()).collect()
+    }
+
+    #[test]
+    fn pair_item_matches_direct_evaluation() {
+        let p = series(16, 0.0);
+        let q = series(16, 0.7);
+        let mut scratch = DpScratch::new();
+        for kind in DistanceKind::ALL {
+            let item = WorkItem::Pair {
+                spec: PairSpec {
+                    kind,
+                    threshold: None,
+                    band: None,
+                },
+                p: p.clone().into(),
+                q: q.clone().into(),
+            };
+            let ItemOutcome::Value(served) = execute_item(&item, &mut scratch).unwrap() else {
+                panic!("pair item must yield a value");
+            };
+            let direct = mda_distance::boxed_distance(kind).evaluate(&p, &q).unwrap();
+            assert_eq!(served.to_bits(), direct.to_bits(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn banded_dtw_spec_is_honoured() {
+        let p = series(24, 0.0);
+        let q = series(24, 1.1);
+        let mut scratch = DpScratch::new();
+        let item = WorkItem::Pair {
+            spec: PairSpec {
+                kind: DistanceKind::Dtw,
+                threshold: None,
+                band: Some(2),
+            },
+            p: p.clone().into(),
+            q: q.clone().into(),
+        };
+        let ItemOutcome::Value(served) = execute_item(&item, &mut scratch).unwrap() else {
+            panic!()
+        };
+        let direct = Dtw::new()
+            .with_band(Band::SakoeChiba(2))
+            .evaluate(&p, &q)
+            .unwrap();
+        assert_eq!(served.to_bits(), direct.to_bits());
+    }
+
+    #[test]
+    fn knn_decomposition_shares_the_query() {
+        let req = Request::Knn {
+            kind: DistanceKind::Manhattan,
+            k: 1,
+            query: vec![0.0, 1.0],
+            train: vec![
+                TrainInstance {
+                    label: 3,
+                    series: vec![0.0, 1.0],
+                },
+                TrainInstance {
+                    label: 5,
+                    series: vec![9.0, 9.0],
+                },
+            ],
+            threshold: None,
+            band: None,
+            deadline_ms: None,
+        };
+        let d = decompose(req).unwrap();
+        assert_eq!(d.items.len(), 2);
+        let Assemble::Knn { k, labels, invert } = &d.assemble else {
+            panic!("knn assembly expected");
+        };
+        assert_eq!(
+            (*k, labels.as_slice(), *invert),
+            (1, &[3usize, 5][..], false)
+        );
+        let (WorkItem::Pair { p: p0, .. }, WorkItem::Pair { p: p1, .. }) =
+            (&d.items[0], &d.items[1])
+        else {
+            panic!("pair items expected");
+        };
+        assert!(Arc::ptr_eq(p0, p1), "query must be shared, not cloned");
+    }
+
+    #[test]
+    fn item_errors_stay_per_item() {
+        let mut scratch = DpScratch::new();
+        let bad = WorkItem::Pair {
+            spec: PairSpec {
+                kind: DistanceKind::Manhattan,
+                threshold: None,
+                band: None,
+            },
+            p: vec![0.0].into(),
+            q: vec![0.0, 1.0].into(),
+        };
+        assert!(execute_item(&bad, &mut scratch).is_err());
+    }
+
+    #[test]
+    fn control_ops_do_not_decompose() {
+        assert!(decompose(Request::Ping).is_none());
+        assert!(decompose(Request::Metrics).is_none());
+    }
+}

@@ -1,0 +1,79 @@
+//! # mda-server
+//!
+//! A batching network service for the memristor distance accelerator: the
+//! "data center" deployment of the DAC'17 paper, where many clients share
+//! one accelerator host and throughput comes from **batching**, not from
+//! per-client parallelism.
+//!
+//! The server speaks a dependency-free, length-prefixed JSON protocol
+//! ([`protocol`]) over TCP and exposes the library's six distance
+//! functions plus its mining primitives:
+//!
+//! * `distance` — one pair, one value;
+//! * `batch` — pairwise batch, one value per pair;
+//! * `knn` — k-nearest-neighbour classification (exact
+//!   `KnnClassifier::classify` semantics);
+//! * `search` — banded-DTW subsequence search;
+//! * `ping` / `metrics` — control plane.
+//!
+//! ## Architecture
+//!
+//! ```text
+//! clients ──frames──► reader threads ──decompose──► CoalescingQueue
+//!                                                        │ (admission
+//!                                                        │  control)
+//!                                              dispatcher thread
+//!                                                        │ coalesced
+//!                                                        ▼ batch
+//!                                                  BatchEngine
+//!                                                        │
+//! clients ◄──frames── writer threads ◄──assemble── per-job replies
+//! ```
+//!
+//! Concurrent requests are flattened into shared [`BatchEngine`] batches
+//! ([`queue`]), so the engine's workers stay saturated regardless of how
+//! the load is spread across connections. Admission control sheds work
+//! beyond a bounded queue depth (`overloaded`), queue-wait deadlines
+//! produce `timeout` replies, and shutdown drains every admitted job
+//! before closing sockets. Live counters and latency histograms
+//! ([`metrics`]) are served both in-protocol and as an HTTP/1.1 text
+//! endpoint on the same port (open `http://host:port/` in a scraper).
+//!
+//! Results are **bitwise identical** to direct library calls: the
+//! dispatcher evaluates every work item with the same
+//! `Distance::evaluate_with` entry points and scratch reuse the mining
+//! drivers use, and the JSON codec round-trips every finite `f64` exactly
+//! (shortest-representation printing, [`json`]).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use mda_server::{Client, Server, ServerConfig};
+//! use mda_distance::DistanceKind;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let server = Server::start(ServerConfig::default())?; // 127.0.0.1, OS port
+//! let mut client = Client::connect(server.local_addr())?;
+//! let d = client.distance(DistanceKind::Manhattan, &[0.0, 1.0], &[0.0, 3.0])?;
+//! assert_eq!(d, 2.0);
+//! server.shutdown_and_join(); // drains in-flight work first
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`BatchEngine`]: mda_distance::BatchEngine
+
+pub mod client;
+pub mod config;
+pub mod exec;
+pub mod json;
+pub mod metrics;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use client::{Client, ClientError, KnnOutcome, QueryOpts, SearchOutcome};
+pub use config::{ConfigError, ServerConfig};
+pub use metrics::Metrics;
+pub use protocol::{ErrorCode, ProtocolError, Request, ResponseBody, TrainInstance};
+pub use server::{Server, ServerError};

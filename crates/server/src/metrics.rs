@@ -1,0 +1,294 @@
+//! Live serving metrics: lock-free counters and log-bucketed latency
+//! histograms, rendered as a Prometheus-style text exposition.
+//!
+//! Every counter is a relaxed atomic — recording a sample on the hot path
+//! is a handful of `fetch_add`s, never a lock. Quantiles (p50/p95/p99) are
+//! estimated from the histogram buckets at render time, which is the usual
+//! monitoring-system trade-off: exact counts, bucket-resolution quantiles.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Histogram bucket upper bounds, in microseconds (the last bucket is
+/// implicit +inf). Roughly logarithmic from 50 µs to 5 s.
+pub const BUCKET_BOUNDS_US: [u64; 16] = [
+    50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000, 500_000,
+    1_000_000, 2_000_000, 5_000_000,
+];
+
+/// A log-bucketed latency histogram with atomic buckets.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_BOUNDS_US.len() + 1],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record_us(&self, us: u64) {
+        let idx = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(BUCKET_BOUNDS_US.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample, µs (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.sum_us.load(Ordering::Relaxed) as f64 / n as f64
+    }
+
+    /// Largest sample seen, µs.
+    pub fn max_us(&self) -> u64 {
+        self.max_us.load(Ordering::Relaxed)
+    }
+
+    /// Estimates quantile `q` in [0, 1] as the upper bound of the bucket
+    /// holding the q-th sample (the +inf bucket reports the observed max).
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return BUCKET_BOUNDS_US
+                    .get(i)
+                    .copied()
+                    .unwrap_or_else(|| self.max_us());
+            }
+        }
+        self.max_us()
+    }
+}
+
+/// One monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The server's metrics registry. One instance per [`crate::Server`],
+/// shared by every connection and the dispatcher.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests received, by operation (indexed like [`Metrics::OPS`]).
+    pub requests: [Counter; 6],
+    /// Successful replies sent.
+    pub replies_ok: Counter,
+    /// Error replies sent (all codes).
+    pub replies_error: Counter,
+    /// Requests shed by admission control (`overloaded`).
+    pub shed: Counter,
+    /// Requests whose deadline expired in the queue (`timeout`).
+    pub timeouts: Counter,
+    /// Coalesced batches dispatched to the engine.
+    pub batches: Counter,
+    /// Work items executed across all batches.
+    pub batch_items: Counter,
+    /// Distinct requests coalesced across all batches.
+    pub batch_requests: Counter,
+    /// Largest single-batch item count seen.
+    pub max_batch_items: AtomicUsize,
+    /// Connections accepted.
+    pub connections: Counter,
+    /// Time requests spent queued before dispatch.
+    pub queue_wait: Histogram,
+    /// End-to-end service latency (enqueue → reply handoff).
+    pub latency: Histogram,
+    /// Analog-mode computations served (requests flagged `analog`).
+    pub analog_computations: Counter,
+    /// Accumulated analog busy time, ns.
+    pub analog_busy_ns: Counter,
+}
+
+impl Metrics {
+    /// Operation labels, index-aligned with [`Metrics::requests`].
+    pub const OPS: [&'static str; 6] = ["ping", "metrics", "distance", "batch", "knn", "search"];
+
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one received request for `op` (unknown labels are ignored).
+    pub fn count_request(&self, op: &str) {
+        if let Some(i) = Self::OPS.iter().position(|&o| o == op) {
+            self.requests[i].inc();
+        }
+    }
+
+    /// Records a dispatched coalesced batch.
+    pub fn record_batch(&self, requests: usize, items: usize) {
+        self.batches.inc();
+        self.batch_requests.add(requests as u64);
+        self.batch_items.add(items as u64);
+        self.max_batch_items.fetch_max(items, Ordering::Relaxed);
+    }
+
+    /// Mean work items per dispatched batch — the coalescing occupancy.
+    pub fn mean_batch_occupancy(&self) -> f64 {
+        let batches = self.batches.get();
+        if batches == 0 {
+            return 0.0;
+        }
+        self.batch_items.get() as f64 / batches as f64
+    }
+
+    /// Renders the registry as Prometheus-style text.
+    pub fn render_text(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        for (i, op) in Self::OPS.iter().enumerate() {
+            out.push_str(&format!(
+                "mda_requests_total{{op=\"{op}\"}} {}\n",
+                self.requests[i].get()
+            ));
+        }
+        out.push_str(&format!("mda_replies_ok_total {}\n", self.replies_ok.get()));
+        out.push_str(&format!(
+            "mda_replies_error_total {}\n",
+            self.replies_error.get()
+        ));
+        out.push_str(&format!("mda_shed_total {}\n", self.shed.get()));
+        out.push_str(&format!("mda_timeout_total {}\n", self.timeouts.get()));
+        out.push_str(&format!("mda_batches_total {}\n", self.batches.get()));
+        out.push_str(&format!(
+            "mda_batch_items_total {}\n",
+            self.batch_items.get()
+        ));
+        out.push_str(&format!(
+            "mda_batch_occupancy_mean {:.3}\n",
+            self.mean_batch_occupancy()
+        ));
+        out.push_str(&format!(
+            "mda_batch_items_max {}\n",
+            self.max_batch_items.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "mda_connections_total {}\n",
+            self.connections.get()
+        ));
+        for (name, h) in [("queue_wait", &self.queue_wait), ("latency", &self.latency)] {
+            out.push_str(&format!("mda_{name}_us_count {}\n", h.count()));
+            out.push_str(&format!("mda_{name}_us_mean {:.1}\n", h.mean_us()));
+            for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                out.push_str(&format!(
+                    "mda_{name}_us{{quantile=\"{label}\"}} {}\n",
+                    h.quantile_us(q)
+                ));
+            }
+            out.push_str(&format!("mda_{name}_us_max {}\n", h.max_us()));
+        }
+        out.push_str(&format!(
+            "mda_analog_computations_total {}\n",
+            self.analog_computations.get()
+        ));
+        out.push_str(&format!(
+            "mda_analog_busy_seconds {:.9}\n",
+            self.analog_busy_ns.get() as f64 * 1.0e-9
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_land_in_right_buckets() {
+        let h = Histogram::new();
+        // 90 fast samples, 10 slow ones.
+        for _ in 0..90 {
+            h.record_us(80);
+        }
+        for _ in 0..10 {
+            h.record_us(40_000);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_us(0.5), 100); // 80 µs → "≤ 100 µs" bucket
+        assert_eq!(h.quantile_us(0.95), 50_000); // slow tail bucket
+        assert_eq!(h.max_us(), 40_000);
+        assert!((h.mean_us() - (90.0 * 80.0 + 10.0 * 40_000.0) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile_us(0.99), 0);
+        assert_eq!(h.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn overflow_bucket_reports_observed_max() {
+        let h = Histogram::new();
+        h.record_us(30_000_000);
+        assert_eq!(h.quantile_us(0.5), 30_000_000);
+    }
+
+    #[test]
+    fn render_contains_every_series() {
+        let m = Metrics::new();
+        m.count_request("distance");
+        m.record_batch(2, 10);
+        m.replies_ok.inc();
+        m.shed.inc();
+        m.queue_wait.record_us(120);
+        let text = m.render_text();
+        for needle in [
+            "mda_requests_total{op=\"distance\"} 1",
+            "mda_batches_total 1",
+            "mda_batch_occupancy_mean 10.000",
+            "mda_shed_total 1",
+            "mda_queue_wait_us{quantile=\"0.5\"} 200",
+            "mda_latency_us_count 0",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn occupancy_mean_tracks_items_per_batch() {
+        let m = Metrics::new();
+        m.record_batch(1, 1);
+        m.record_batch(3, 9);
+        assert!((m.mean_batch_occupancy() - 5.0).abs() < 1e-12);
+        assert_eq!(m.max_batch_items.load(Ordering::Relaxed), 9);
+    }
+}

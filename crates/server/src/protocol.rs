@@ -1,0 +1,931 @@
+//! The `mda-server` wire protocol: length-prefixed JSON frames.
+//!
+//! Every message is one frame: a 4-byte big-endian payload length followed
+//! by exactly that many bytes of UTF-8 JSON (one document per frame). The
+//! same framing is used in both directions.
+//!
+//! ## Requests
+//!
+//! Every request is an object with a client-chosen `id` (echoed on the
+//! reply, so clients may pipeline) and an `op`:
+//!
+//! ```json
+//! {"id": 1, "op": "ping"}
+//! {"id": 2, "op": "metrics"}
+//! {"id": 3, "op": "distance", "kind": "DTW", "p": [0,1], "q": [0,2]}
+//! {"id": 4, "op": "batch", "kind": "MD", "pairs": [[[0,1],[0,2]], [[1,1],[2,2]]]}
+//! {"id": 5, "op": "knn", "kind": "DTW", "k": 1, "query": [0,1],
+//!  "train": [{"label": 0, "series": [0,1]}, {"label": 1, "series": [5,5]}]}
+//! {"id": 6, "op": "search", "query": [0,1], "haystack": [0,1,0,1], "window": 2, "band": 1}
+//! ```
+//!
+//! Optional request fields: `threshold` (LCS/EdD/HamD match threshold),
+//! `band` (Sakoe–Chiba radius for DTW), `deadline_ms` (queue-wait budget;
+//! requests still queued when it expires are answered with a `timeout`
+//! error instead of being computed).
+//!
+//! ## Replies
+//!
+//! ```json
+//! {"id": 3, "ok": true, "result": {"value": 1.0}}
+//! {"id": 4, "ok": false, "error": {"code": "overloaded", "message": "…"}}
+//! ```
+//!
+//! Error codes: `overloaded` (admission control shed the request),
+//! `timeout` (deadline expired in the queue), `bad_request` (malformed or
+//! rejected by the distance definition), `shutting_down` (server is
+//! draining), `internal`.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+use mda_distance::DistanceKind;
+
+use crate::json::{Json, JsonError};
+
+/// Default cap on a frame's payload size (16 MiB).
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// Error raised while reading or interpreting a frame.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// The underlying transport failed (includes truncated frames, which
+    /// surface as [`io::ErrorKind::UnexpectedEof`]).
+    Io(io::Error),
+    /// The frame header announced a payload larger than the negotiated cap.
+    FrameTooLarge {
+        /// Announced payload length.
+        len: usize,
+        /// Configured maximum.
+        max: usize,
+    },
+    /// The payload was not valid JSON.
+    Json(JsonError),
+    /// The payload was valid JSON but not a valid message.
+    Schema(String),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "transport error: {e}"),
+            ProtocolError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
+            ProtocolError::Json(e) => write!(f, "malformed payload: {e}"),
+            ProtocolError::Schema(msg) => write!(f, "invalid message: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Io(e) => Some(e),
+            ProtocolError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ProtocolError {
+    fn from(e: io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+impl From<JsonError> for ProtocolError {
+    fn from(e: JsonError) -> Self {
+        ProtocolError::Json(e)
+    }
+}
+
+impl ProtocolError {
+    /// `true` when the peer simply closed the connection cleanly before a
+    /// frame header (not mid-frame) — the normal end of a session.
+    pub fn is_clean_eof(&self) -> bool {
+        matches!(self, ProtocolError::Io(e)
+        if e.kind() == io::ErrorKind::UnexpectedEof && e.get_ref().is_some_and(|inner| {
+            inner.to_string() == CLEAN_EOF
+        }))
+    }
+}
+
+const CLEAN_EOF: &str = "connection closed between frames";
+
+/// Writes one frame (header + payload).
+///
+/// # Errors
+///
+/// Any transport error; payloads beyond `u32::MAX` are rejected.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "payload exceeds u32 length"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame's payload, enforcing the size cap **before** allocating.
+///
+/// # Errors
+///
+/// [`ProtocolError::FrameTooLarge`] for oversized announcements, an
+/// `UnexpectedEof` [`ProtocolError::Io`] for truncated frames, and a
+/// distinguishable clean-EOF error (see [`ProtocolError::is_clean_eof`])
+/// when the stream ends exactly on a frame boundary.
+pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Vec<u8>, ProtocolError> {
+    let mut header = [0u8; 4];
+    // First header byte: distinguish clean EOF from a truncated header.
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => {
+                return Err(ProtocolError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    CLEAN_EOF,
+                )))
+            }
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ProtocolError::Io(e)),
+        }
+    }
+    header[0] = first[0];
+    r.read_exact(&mut header[1..])?;
+    let len = u32::from_be_bytes(header) as usize;
+    if len > max {
+        return Err(ProtocolError::FrameTooLarge { len, max });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Parses the paper's abbreviation (`DTW`, `LCS`, `EdD`, `HauD`, `HamD`,
+/// `MD`) into a [`DistanceKind`].
+pub fn parse_kind(name: &str) -> Option<DistanceKind> {
+    DistanceKind::ALL.into_iter().find(|k| k.abbrev() == name)
+}
+
+/// A labelled training series for a kNN request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainInstance {
+    /// Class label.
+    pub label: usize,
+    /// The series.
+    pub series: Vec<f64>,
+}
+
+/// One request, without its envelope `id`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Fetch the metrics registry as text.
+    Metrics,
+    /// One distance evaluation.
+    Distance {
+        /// Which of the six functions.
+        kind: DistanceKind,
+        /// First series.
+        p: Vec<f64>,
+        /// Second series.
+        q: Vec<f64>,
+        /// Match threshold override (LCS/EdD/HamD).
+        threshold: Option<f64>,
+        /// Sakoe–Chiba radius (DTW).
+        band: Option<usize>,
+        /// Queue-wait budget.
+        deadline_ms: Option<u64>,
+    },
+    /// A pairwise batch: one value per pair.
+    Batch {
+        /// Which of the six functions.
+        kind: DistanceKind,
+        /// The pairs to evaluate.
+        pairs: Vec<(Vec<f64>, Vec<f64>)>,
+        /// Match threshold override (LCS/EdD/HamD).
+        threshold: Option<f64>,
+        /// Sakoe–Chiba radius (DTW).
+        band: Option<usize>,
+        /// Queue-wait budget.
+        deadline_ms: Option<u64>,
+    },
+    /// k-nearest-neighbour classification of `query` against `train`.
+    Knn {
+        /// Which of the six functions.
+        kind: DistanceKind,
+        /// Neighbour count (≥ 1).
+        k: usize,
+        /// The query series.
+        query: Vec<f64>,
+        /// Labelled training set.
+        train: Vec<TrainInstance>,
+        /// Match threshold override (LCS/EdD/HamD).
+        threshold: Option<f64>,
+        /// Sakoe–Chiba radius (DTW).
+        band: Option<usize>,
+        /// Queue-wait budget.
+        deadline_ms: Option<u64>,
+    },
+    /// Banded-DTW subsequence search of `query` in `haystack`.
+    Search {
+        /// The query series.
+        query: Vec<f64>,
+        /// The long series to scan.
+        haystack: Vec<f64>,
+        /// Window length (≥ 1).
+        window: usize,
+        /// Sakoe–Chiba radius.
+        band: usize,
+        /// Queue-wait budget.
+        deadline_ms: Option<u64>,
+    },
+}
+
+impl Request {
+    /// Short operation label, used for metrics.
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Metrics => "metrics",
+            Request::Distance { .. } => "distance",
+            Request::Batch { .. } => "batch",
+            Request::Knn { .. } => "knn",
+            Request::Search { .. } => "search",
+        }
+    }
+
+    /// The request's queue-wait budget, if any.
+    pub fn deadline(&self) -> Option<Duration> {
+        let ms = match self {
+            Request::Distance { deadline_ms, .. }
+            | Request::Batch { deadline_ms, .. }
+            | Request::Knn { deadline_ms, .. }
+            | Request::Search { deadline_ms, .. } => *deadline_ms,
+            _ => None,
+        };
+        ms.map(Duration::from_millis)
+    }
+}
+
+/// A request plus its envelope `id`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Client-chosen id, echoed on the reply.
+    pub id: u64,
+    /// The request.
+    pub req: Request,
+}
+
+/// Machine-readable error class on an error reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Admission control shed the request (queue full).
+    Overloaded,
+    /// The deadline expired while the request was queued.
+    Timeout,
+    /// The request was malformed or rejected by the distance definition.
+    BadRequest,
+    /// The server is draining and no longer accepts work.
+    ShuttingDown,
+    /// Unexpected server-side failure.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parses the wire name.
+    pub fn parse(s: &str) -> Option<ErrorCode> {
+        [
+            ErrorCode::Overloaded,
+            ErrorCode::Timeout,
+            ErrorCode::BadRequest,
+            ErrorCode::ShuttingDown,
+            ErrorCode::Internal,
+        ]
+        .into_iter()
+        .find(|c| c.as_str() == s)
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The body of a reply (success variants mirror the request ops).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseBody {
+    /// Reply to `ping`.
+    Pong,
+    /// Reply to `metrics`: the rendered registry.
+    MetricsText(String),
+    /// Reply to `distance`.
+    Distance {
+        /// The computed value.
+        value: f64,
+    },
+    /// Reply to `batch`.
+    Batch {
+        /// One value per input pair, in input order.
+        values: Vec<f64>,
+    },
+    /// Reply to `knn`.
+    Knn {
+        /// Predicted label.
+        label: usize,
+        /// Score of the deciding neighbour.
+        score: f64,
+        /// Index of the nearest training instance.
+        nearest_index: usize,
+    },
+    /// Reply to `search`.
+    Search {
+        /// Start offset of the best window.
+        offset: usize,
+        /// Its banded DTW distance.
+        distance: f64,
+    },
+    /// Any failure.
+    Error {
+        /// Machine-readable class.
+        code: ErrorCode,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+/// A reply plus the echoed request `id`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reply {
+    /// Echo of the request id.
+    pub id: u64,
+    /// The body.
+    pub body: ResponseBody,
+}
+
+fn opt_f64(v: &Json, key: &str) -> Result<Option<f64>, ProtocolError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(x) => x
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| ProtocolError::Schema(format!("`{key}` must be a number"))),
+    }
+}
+
+fn opt_usize(v: &Json, key: &str) -> Result<Option<usize>, ProtocolError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(x) => x.as_usize().map(Some).ok_or_else(|| {
+            ProtocolError::Schema(format!("`{key}` must be a non-negative integer"))
+        }),
+    }
+}
+
+fn opt_u64(v: &Json, key: &str) -> Result<Option<u64>, ProtocolError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(x) => x.as_u64().map(Some).ok_or_else(|| {
+            ProtocolError::Schema(format!("`{key}` must be a non-negative integer"))
+        }),
+    }
+}
+
+fn req_series(v: &Json, key: &str) -> Result<Vec<f64>, ProtocolError> {
+    v.get(key)
+        .and_then(Json::as_f64_vec)
+        .ok_or_else(|| ProtocolError::Schema(format!("`{key}` must be an array of numbers")))
+}
+
+fn req_usize(v: &Json, key: &str) -> Result<usize, ProtocolError> {
+    v.get(key)
+        .and_then(Json::as_usize)
+        .ok_or_else(|| ProtocolError::Schema(format!("`{key}` must be a non-negative integer")))
+}
+
+fn req_kind(v: &Json) -> Result<DistanceKind, ProtocolError> {
+    let name = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ProtocolError::Schema("`kind` must be a string".into()))?;
+    parse_kind(name).ok_or_else(|| {
+        ProtocolError::Schema(format!(
+            "unknown kind `{name}` (expected DTW, LCS, EdD, HauD, HamD or MD)"
+        ))
+    })
+}
+
+/// Decodes a request envelope from a frame payload.
+///
+/// # Errors
+///
+/// [`ProtocolError::Json`] for malformed JSON, [`ProtocolError::Schema`]
+/// for structurally invalid messages. Never panics, whatever the payload.
+pub fn decode_request(payload: &[u8]) -> Result<Envelope, ProtocolError> {
+    let v = Json::parse(payload)?;
+    let id = v
+        .get("id")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ProtocolError::Schema("`id` must be a non-negative integer".into()))?;
+    let op = v
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ProtocolError::Schema("`op` must be a string".into()))?;
+    let req = match op {
+        "ping" => Request::Ping,
+        "metrics" => Request::Metrics,
+        "distance" => Request::Distance {
+            kind: req_kind(&v)?,
+            p: req_series(&v, "p")?,
+            q: req_series(&v, "q")?,
+            threshold: opt_f64(&v, "threshold")?,
+            band: opt_usize(&v, "band")?,
+            deadline_ms: opt_u64(&v, "deadline_ms")?,
+        },
+        "batch" => {
+            let pairs_json = v
+                .get("pairs")
+                .and_then(Json::as_array)
+                .ok_or_else(|| ProtocolError::Schema("`pairs` must be an array".into()))?;
+            let mut pairs = Vec::with_capacity(pairs_json.len());
+            for pair in pairs_json {
+                let items = pair
+                    .as_array()
+                    .filter(|a| a.len() == 2)
+                    .ok_or_else(|| ProtocolError::Schema("each pair must be `[p, q]`".into()))?;
+                let p = items[0]
+                    .as_f64_vec()
+                    .ok_or_else(|| ProtocolError::Schema("pair series must be numbers".into()))?;
+                let q = items[1]
+                    .as_f64_vec()
+                    .ok_or_else(|| ProtocolError::Schema("pair series must be numbers".into()))?;
+                pairs.push((p, q));
+            }
+            Request::Batch {
+                kind: req_kind(&v)?,
+                pairs,
+                threshold: opt_f64(&v, "threshold")?,
+                band: opt_usize(&v, "band")?,
+                deadline_ms: opt_u64(&v, "deadline_ms")?,
+            }
+        }
+        "knn" => {
+            let train_json = v
+                .get("train")
+                .and_then(Json::as_array)
+                .ok_or_else(|| ProtocolError::Schema("`train` must be an array".into()))?;
+            let mut train = Vec::with_capacity(train_json.len());
+            for inst in train_json {
+                let label = inst.get("label").and_then(Json::as_usize).ok_or_else(|| {
+                    ProtocolError::Schema("train `label` must be an integer".into())
+                })?;
+                let series = inst
+                    .get("series")
+                    .and_then(Json::as_f64_vec)
+                    .ok_or_else(|| {
+                        ProtocolError::Schema("train `series` must be numbers".into())
+                    })?;
+                train.push(TrainInstance { label, series });
+            }
+            let k = req_usize(&v, "k")?;
+            if k == 0 {
+                return Err(ProtocolError::Schema("`k` must be at least 1".into()));
+            }
+            Request::Knn {
+                kind: req_kind(&v)?,
+                k,
+                query: req_series(&v, "query")?,
+                train,
+                threshold: opt_f64(&v, "threshold")?,
+                band: opt_usize(&v, "band")?,
+                deadline_ms: opt_u64(&v, "deadline_ms")?,
+            }
+        }
+        "search" => {
+            let window = req_usize(&v, "window")?;
+            if window == 0 {
+                return Err(ProtocolError::Schema("`window` must be at least 1".into()));
+            }
+            Request::Search {
+                query: req_series(&v, "query")?,
+                haystack: req_series(&v, "haystack")?,
+                window,
+                band: opt_usize(&v, "band")?.unwrap_or(0),
+                deadline_ms: opt_u64(&v, "deadline_ms")?,
+            }
+        }
+        other => return Err(ProtocolError::Schema(format!("unknown op `{other}`"))),
+    };
+    Ok(Envelope { id, req })
+}
+
+/// Encodes a request envelope to a frame payload.
+pub fn encode_request(env: &Envelope) -> Vec<u8> {
+    let mut pairs: Vec<(String, Json)> = vec![
+        ("id".into(), Json::Num(env.id as f64)),
+        ("op".into(), Json::Str(env.req.op().into())),
+    ];
+    let mut push_opts =
+        |threshold: &Option<f64>, band: &Option<usize>, deadline_ms: &Option<u64>| {
+            if let Some(t) = threshold {
+                pairs.push(("threshold".into(), Json::Num(*t)));
+            }
+            if let Some(b) = band {
+                pairs.push(("band".into(), Json::Num(*b as f64)));
+            }
+            if let Some(d) = deadline_ms {
+                pairs.push(("deadline_ms".into(), Json::Num(*d as f64)));
+            }
+        };
+    match &env.req {
+        Request::Ping | Request::Metrics => {}
+        Request::Distance {
+            kind,
+            p,
+            q,
+            threshold,
+            band,
+            deadline_ms,
+        } => {
+            push_opts(threshold, band, deadline_ms);
+            pairs.push(("kind".into(), Json::Str(kind.abbrev().into())));
+            pairs.push(("p".into(), Json::from_f64s(p)));
+            pairs.push(("q".into(), Json::from_f64s(q)));
+        }
+        Request::Batch {
+            kind,
+            pairs: ps,
+            threshold,
+            band,
+            deadline_ms,
+        } => {
+            push_opts(threshold, band, deadline_ms);
+            pairs.push(("kind".into(), Json::Str(kind.abbrev().into())));
+            pairs.push((
+                "pairs".into(),
+                Json::Arr(
+                    ps.iter()
+                        .map(|(p, q)| Json::Arr(vec![Json::from_f64s(p), Json::from_f64s(q)]))
+                        .collect(),
+                ),
+            ));
+        }
+        Request::Knn {
+            kind,
+            k,
+            query,
+            train,
+            threshold,
+            band,
+            deadline_ms,
+        } => {
+            push_opts(threshold, band, deadline_ms);
+            pairs.push(("kind".into(), Json::Str(kind.abbrev().into())));
+            pairs.push(("k".into(), Json::Num(*k as f64)));
+            pairs.push(("query".into(), Json::from_f64s(query)));
+            pairs.push((
+                "train".into(),
+                Json::Arr(
+                    train
+                        .iter()
+                        .map(|t| {
+                            Json::Obj(vec![
+                                ("label".into(), Json::Num(t.label as f64)),
+                                ("series".into(), Json::from_f64s(&t.series)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        Request::Search {
+            query,
+            haystack,
+            window,
+            band,
+            deadline_ms,
+        } => {
+            push_opts(&None, &Some(*band), deadline_ms);
+            pairs.push(("query".into(), Json::from_f64s(query)));
+            pairs.push(("haystack".into(), Json::from_f64s(haystack)));
+            pairs.push(("window".into(), Json::Num(*window as f64)));
+        }
+    }
+    Json::Obj(pairs).to_string().into_bytes()
+}
+
+/// Encodes a reply to a frame payload.
+pub fn encode_reply(reply: &Reply) -> Vec<u8> {
+    let mut pairs: Vec<(String, Json)> = vec![("id".into(), Json::Num(reply.id as f64))];
+    match &reply.body {
+        ResponseBody::Error { code, message } => {
+            pairs.push(("ok".into(), Json::Bool(false)));
+            pairs.push((
+                "error".into(),
+                Json::Obj(vec![
+                    ("code".into(), Json::Str(code.as_str().into())),
+                    ("message".into(), Json::Str(message.clone())),
+                ]),
+            ));
+        }
+        body => {
+            pairs.push(("ok".into(), Json::Bool(true)));
+            let result = match body {
+                ResponseBody::Pong => Json::Obj(vec![("pong".into(), Json::Bool(true))]),
+                ResponseBody::MetricsText(text) => {
+                    Json::Obj(vec![("text".into(), Json::Str(text.clone()))])
+                }
+                ResponseBody::Distance { value } => {
+                    Json::Obj(vec![("value".into(), Json::Num(*value))])
+                }
+                ResponseBody::Batch { values } => {
+                    Json::Obj(vec![("values".into(), Json::from_f64s(values))])
+                }
+                ResponseBody::Knn {
+                    label,
+                    score,
+                    nearest_index,
+                } => Json::Obj(vec![
+                    ("label".into(), Json::Num(*label as f64)),
+                    ("score".into(), Json::Num(*score)),
+                    ("nearest_index".into(), Json::Num(*nearest_index as f64)),
+                ]),
+                ResponseBody::Search { offset, distance } => Json::Obj(vec![
+                    ("offset".into(), Json::Num(*offset as f64)),
+                    ("distance".into(), Json::Num(*distance)),
+                ]),
+                ResponseBody::Error { .. } => unreachable!("handled above"),
+            };
+            pairs.push(("result".into(), result));
+        }
+    }
+    Json::Obj(pairs).to_string().into_bytes()
+}
+
+/// Decodes a reply from a frame payload. The reply shape is inferred from
+/// the result keys, so the caller matches on [`ResponseBody`].
+///
+/// # Errors
+///
+/// [`ProtocolError::Json`] / [`ProtocolError::Schema`]; never panics.
+pub fn decode_reply(payload: &[u8]) -> Result<Reply, ProtocolError> {
+    let v = Json::parse(payload)?;
+    let id = v
+        .get("id")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ProtocolError::Schema("reply `id` must be an integer".into()))?;
+    let ok = match v.get("ok") {
+        Some(Json::Bool(b)) => *b,
+        _ => return Err(ProtocolError::Schema("reply `ok` must be a bool".into())),
+    };
+    if !ok {
+        let err = v
+            .get("error")
+            .ok_or_else(|| ProtocolError::Schema("error reply lacks `error`".into()))?;
+        let code = err
+            .get("code")
+            .and_then(Json::as_str)
+            .and_then(ErrorCode::parse)
+            .ok_or_else(|| ProtocolError::Schema("unknown error `code`".into()))?;
+        let message = err
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string();
+        return Ok(Reply {
+            id,
+            body: ResponseBody::Error { code, message },
+        });
+    }
+    let result = v
+        .get("result")
+        .ok_or_else(|| ProtocolError::Schema("ok reply lacks `result`".into()))?;
+    let body = if result.get("pong").is_some() {
+        ResponseBody::Pong
+    } else if let Some(text) = result.get("text").and_then(Json::as_str) {
+        ResponseBody::MetricsText(text.to_string())
+    } else if let Some(value) = result.get("value").and_then(Json::as_f64) {
+        ResponseBody::Distance { value }
+    } else if let Some(values) = result.get("values").and_then(Json::as_f64_vec) {
+        ResponseBody::Batch { values }
+    } else if let (Some(label), Some(score), Some(nearest_index)) = (
+        result.get("label").and_then(Json::as_usize),
+        result.get("score").and_then(Json::as_f64),
+        result.get("nearest_index").and_then(Json::as_usize),
+    ) {
+        ResponseBody::Knn {
+            label,
+            score,
+            nearest_index,
+        }
+    } else if let (Some(offset), Some(distance)) = (
+        result.get("offset").and_then(Json::as_usize),
+        result.get("distance").and_then(Json::as_f64),
+    ) {
+        ResponseBody::Search { offset, distance }
+    } else {
+        return Err(ProtocolError::Schema("unrecognized result shape".into()));
+    };
+    Ok(Reply { id, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut cur, DEFAULT_MAX_FRAME_BYTES).unwrap(),
+            b"hello"
+        );
+        // A second read hits clean EOF.
+        let err = read_frame(&mut cur, DEFAULT_MAX_FRAME_BYTES).unwrap_err();
+        assert!(err.is_clean_eof(), "{err}");
+    }
+
+    #[test]
+    fn oversized_frame_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        let err = read_frame(&mut Cursor::new(buf), 1024).unwrap_err();
+        assert!(matches!(err, ProtocolError::FrameTooLarge { .. }), "{err}");
+    }
+
+    #[test]
+    fn truncated_frame_is_io_error_not_clean_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        let err = read_frame(&mut Cursor::new(buf), 1024).unwrap_err();
+        assert!(matches!(err, ProtocolError::Io(_)));
+        assert!(!err.is_clean_eof());
+    }
+
+    #[test]
+    fn request_roundtrip_all_ops() {
+        let envs = vec![
+            Envelope {
+                id: 0,
+                req: Request::Ping,
+            },
+            Envelope {
+                id: 1,
+                req: Request::Metrics,
+            },
+            Envelope {
+                id: 2,
+                req: Request::Distance {
+                    kind: DistanceKind::Dtw,
+                    p: vec![0.0, 1.5, -2.25],
+                    q: vec![0.5, 1.0],
+                    threshold: None,
+                    band: Some(3),
+                    deadline_ms: Some(250),
+                },
+            },
+            Envelope {
+                id: 3,
+                req: Request::Batch {
+                    kind: DistanceKind::Manhattan,
+                    pairs: vec![(vec![0.0], vec![1.0]), (vec![2.0, 3.0], vec![2.0, 3.5])],
+                    threshold: None,
+                    band: None,
+                    deadline_ms: None,
+                },
+            },
+            Envelope {
+                id: 4,
+                req: Request::Knn {
+                    kind: DistanceKind::Lcs,
+                    k: 3,
+                    query: vec![1.0, 2.0],
+                    train: vec![
+                        TrainInstance {
+                            label: 0,
+                            series: vec![1.0, 2.0],
+                        },
+                        TrainInstance {
+                            label: 7,
+                            series: vec![9.0],
+                        },
+                    ],
+                    threshold: Some(0.25),
+                    band: None,
+                    deadline_ms: None,
+                },
+            },
+            Envelope {
+                id: 5,
+                req: Request::Search {
+                    query: vec![0.0, 1.0],
+                    haystack: vec![0.0, 1.0, 0.0, 1.0],
+                    window: 2,
+                    band: 1,
+                    deadline_ms: Some(1_000),
+                },
+            },
+        ];
+        for env in envs {
+            let decoded = decode_request(&encode_request(&env)).unwrap();
+            assert_eq!(decoded, env);
+        }
+    }
+
+    #[test]
+    fn reply_roundtrip_all_shapes() {
+        let replies = vec![
+            Reply {
+                id: 9,
+                body: ResponseBody::Pong,
+            },
+            Reply {
+                id: 10,
+                body: ResponseBody::MetricsText("a 1\nb 2\n".into()),
+            },
+            Reply {
+                id: 11,
+                body: ResponseBody::Distance { value: -0.0 },
+            },
+            Reply {
+                id: 12,
+                body: ResponseBody::Batch {
+                    values: vec![1.0 / 3.0, 4.5],
+                },
+            },
+            Reply {
+                id: 13,
+                body: ResponseBody::Knn {
+                    label: 2,
+                    score: 0.125,
+                    nearest_index: 5,
+                },
+            },
+            Reply {
+                id: 14,
+                body: ResponseBody::Search {
+                    offset: 40,
+                    distance: 0.0,
+                },
+            },
+            Reply {
+                id: 15,
+                body: ResponseBody::Error {
+                    code: ErrorCode::Overloaded,
+                    message: "queue full".into(),
+                },
+            },
+        ];
+        for reply in replies {
+            let decoded = decode_reply(&encode_reply(&reply)).unwrap();
+            assert_eq!(decoded, reply);
+        }
+    }
+
+    #[test]
+    fn schema_violations_error_cleanly() {
+        for bad in [
+            &br#"{"op":"ping"}"#[..],                                          // no id
+            br#"{"id":1}"#,                                                    // no op
+            br#"{"id":1,"op":"warp"}"#,                                        // unknown op
+            br#"{"id":1,"op":"distance","kind":"XX","p":[],"q":[]}"#,          // bad kind
+            br#"{"id":1,"op":"distance","kind":"MD","p":[true],"q":[]}"#,      // bad series
+            br#"{"id":1,"op":"knn","kind":"MD","k":0,"query":[],"train":[]}"#, // k = 0
+            br#"{"id":1,"op":"search","query":[],"haystack":[],"window":0}"#,  // window = 0
+            br#"{"id":1.5,"op":"ping"}"#,                                      // fractional id
+        ] {
+            assert!(
+                decode_request(bad).is_err(),
+                "{} should fail",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn kind_names_match_paper_abbreviations() {
+        for kind in DistanceKind::ALL {
+            assert_eq!(parse_kind(kind.abbrev()), Some(kind));
+        }
+        assert_eq!(parse_kind("dtw"), None);
+    }
+}

@@ -1,0 +1,360 @@
+//! End-to-end tests over loopback: concurrent clients must observe
+//! bitwise-identical results to direct library calls, overload must shed
+//! with `overloaded` (never panic or deadlock), and shutdown must drain.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use mda_distance::mining::{KnnClassifier, SubsequenceSearch};
+use mda_distance::{boxed_distance, BatchEngine, DistanceKind};
+use mda_server::protocol::{
+    decode_reply, encode_request, read_frame, write_frame, Envelope, ErrorCode, Request,
+    ResponseBody, TrainInstance, DEFAULT_MAX_FRAME_BYTES,
+};
+use mda_server::{Client, ClientError, QueryOpts, Server, ServerConfig};
+
+fn series(len: usize, seed: usize) -> Vec<f64> {
+    (0..len)
+        .map(|i| ((i + 13 * seed) as f64 * 0.37).sin() * 1.8 + (seed as f64 * 0.71).cos())
+        .collect()
+}
+
+fn start(config: ServerConfig) -> Server {
+    Server::start(config).expect("server start")
+}
+
+#[test]
+fn concurrent_clients_match_direct_library_calls_bitwise() {
+    let server = start(ServerConfig {
+        workers: Some(2),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    // Direct-library expectations, computed once up front.
+    let p = series(48, 1);
+    let q = series(48, 2);
+    let expected_distance: Vec<(DistanceKind, u64)> = DistanceKind::ALL
+        .into_iter()
+        .map(|kind| {
+            let d = boxed_distance(kind).evaluate(&p, &q).expect("direct call");
+            (kind, d.to_bits())
+        })
+        .collect();
+
+    let train: Vec<TrainInstance> = (0..12)
+        .map(|i| TrainInstance {
+            label: i % 3,
+            series: series(48, 100 + i),
+        })
+        .collect();
+    let mut knn = KnnClassifier::new(boxed_distance(DistanceKind::Dtw), 3);
+    for t in &train {
+        knn.fit(t.label, t.series.clone());
+    }
+    let expected_knn = knn.classify(&p).expect("direct kNN");
+
+    let clients = 6;
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let (p, q, train) = (&p, &q, &train);
+            let expected_distance = &expected_distance;
+            let expected_knn = &expected_knn;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                // Interleave ops differently per client to force coalescing
+                // of mixed requests.
+                for round in 0..3 {
+                    for &(kind, want_bits) in expected_distance.iter().skip(c % 3) {
+                        let got = client.distance(kind, p, q).expect("served distance");
+                        assert_eq!(
+                            got.to_bits(),
+                            want_bits,
+                            "client {c} round {round}: {kind} diverged from direct call"
+                        );
+                    }
+                    let got = client
+                        .knn(DistanceKind::Dtw, 3, p, train, QueryOpts::default())
+                        .expect("served kNN");
+                    assert_eq!(got.label, expected_knn.label);
+                    assert_eq!(got.score.to_bits(), expected_knn.score.to_bits());
+                    assert_eq!(got.nearest_index, expected_knn.nearest_index);
+                }
+            });
+        }
+    });
+
+    // Every compute request above rode the coalescing queue.
+    let m = server.metrics();
+    assert!(m.batches.get() > 0, "dispatcher never ran a batch");
+    assert_eq!(m.shed.get(), 0, "no request should have been shed");
+    server.shutdown_and_join();
+}
+
+#[test]
+fn served_search_matches_direct_subsequence_search() {
+    let server = start(ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let query = series(24, 7);
+    let haystack = series(400, 8);
+    let (window, band) = (24, 3);
+    let (direct, _stats) = SubsequenceSearch::new(window, band)
+        .with_engine(BatchEngine::serial())
+        .run(&query, &haystack)
+        .expect("direct search");
+    let served = client
+        .search(&query, &haystack, window, band, QueryOpts::default())
+        .expect("served search");
+    assert_eq!(served.offset, direct.offset);
+    assert_eq!(served.distance.to_bits(), direct.distance.to_bits());
+    server.shutdown_and_join();
+}
+
+#[test]
+fn over_capacity_burst_is_shed_with_overloaded_replies() {
+    // Tiny queue, one-item batches: the dispatcher drains slowly while a
+    // long search holds it busy, so a pipelined burst must overflow.
+    let server = start(ServerConfig {
+        workers: Some(1),
+        max_queue_items: 4,
+        batch_max_items: 1,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+
+    // Frame 0: a slow search that occupies the dispatcher.
+    let slow = Envelope {
+        id: 0,
+        req: Request::Search {
+            query: series(128, 1),
+            haystack: series(6000, 2),
+            window: 128,
+            band: 16,
+            deadline_ms: None,
+        },
+    };
+    write_frame(&mut writer, &encode_request(&slow)).expect("write slow search");
+
+    // Burst: each batch carries 8 work items against a 4-item queue. The
+    // first is admitted (empty-queue exception); while it waits behind the
+    // slow search the rest must be shed.
+    let burst = 10;
+    let pairs: Vec<(Vec<f64>, Vec<f64>)> = (0..8)
+        .map(|i| (series(64, i), series(64, i + 50)))
+        .collect();
+    for id in 1..=burst {
+        let env = Envelope {
+            id,
+            req: Request::Batch {
+                kind: DistanceKind::Dtw,
+                pairs: pairs.clone(),
+                threshold: None,
+                band: None,
+                deadline_ms: None,
+            },
+        };
+        write_frame(&mut writer, &encode_request(&env)).expect("write burst frame");
+    }
+
+    let mut ok = 0usize;
+    let mut overloaded = 0usize;
+    for _ in 0..=burst {
+        let payload = read_frame(&mut reader, DEFAULT_MAX_FRAME_BYTES).expect("read reply");
+        let reply = decode_reply(&payload).expect("decode reply");
+        match reply.body {
+            ResponseBody::Batch { .. } | ResponseBody::Search { .. } => ok += 1,
+            ResponseBody::Error {
+                code: ErrorCode::Overloaded,
+                ..
+            } => overloaded += 1,
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+    assert!(overloaded > 0, "an over-capacity burst must shed requests");
+    assert!(
+        ok >= 2,
+        "the slow search and the first burst job must finish"
+    );
+    assert_eq!(server.metrics().shed.get(), overloaded as u64);
+    server.shutdown_and_join();
+}
+
+#[test]
+fn shutdown_drains_admitted_work_before_closing() {
+    let server = start(ServerConfig {
+        workers: Some(1),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let env = Envelope {
+        id: 42,
+        req: Request::Search {
+            query: series(96, 3),
+            haystack: series(4000, 4),
+            window: 96,
+            band: 12,
+            deadline_ms: None,
+        },
+    };
+    write_frame(&mut writer, &encode_request(&env)).expect("write search");
+    // Let the server accept and enqueue before the drain begins.
+    std::thread::sleep(Duration::from_millis(150));
+    server.shutdown_and_join();
+
+    // The admitted search was computed and its reply flushed pre-close.
+    let payload = read_frame(&mut reader, DEFAULT_MAX_FRAME_BYTES).expect("drained reply");
+    let reply = decode_reply(&payload).expect("decode reply");
+    assert_eq!(reply.id, 42);
+    assert!(
+        matches!(reply.body, ResponseBody::Search { .. }),
+        "expected the search result, got {:?}",
+        reply.body
+    );
+
+    // The listener is gone: new connections are refused (or reset).
+    assert!(
+        TcpStream::connect(addr).is_err() || {
+            // Some platforms accept briefly; a ping must then fail.
+            Client::connect(addr).and_then(|mut c| c.ping()).is_err()
+        },
+        "server should no longer serve new connections"
+    );
+}
+
+#[test]
+fn expired_deadline_yields_timeout_not_result() {
+    let server = start(ServerConfig {
+        workers: Some(1),
+        batch_max_items: 1,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+
+    // Occupy the dispatcher, then queue a 1 ms-deadline request behind it.
+    let slow = Envelope {
+        id: 1,
+        req: Request::Search {
+            query: series(128, 5),
+            haystack: series(6000, 6),
+            window: 128,
+            band: 16,
+            deadline_ms: None,
+        },
+    };
+    let doomed = Envelope {
+        id: 2,
+        req: Request::Distance {
+            kind: DistanceKind::Manhattan,
+            p: vec![0.0, 1.0],
+            q: vec![0.0, 2.0],
+            threshold: None,
+            band: None,
+            deadline_ms: Some(1),
+        },
+    };
+    write_frame(&mut writer, &encode_request(&slow)).expect("write slow");
+    write_frame(&mut writer, &encode_request(&doomed)).expect("write doomed");
+
+    let mut saw_timeout = false;
+    for _ in 0..2 {
+        let payload = read_frame(&mut reader, DEFAULT_MAX_FRAME_BYTES).expect("read reply");
+        let reply = decode_reply(&payload).expect("decode reply");
+        if reply.id == 2 {
+            match reply.body {
+                ResponseBody::Error {
+                    code: ErrorCode::Timeout,
+                    ..
+                } => saw_timeout = true,
+                other => panic!("expected timeout, got {other:?}"),
+            }
+        }
+    }
+    assert!(saw_timeout, "the deadline-bearing request never replied");
+    assert_eq!(server.metrics().timeouts.get(), 1);
+    server.shutdown_and_join();
+}
+
+#[test]
+fn malformed_and_bad_requests_answered_without_closing_healthy_path() {
+    let server = start(ServerConfig::default());
+    let addr = server.local_addr();
+
+    // JSON garbage inside a well-formed frame: bad_request, connection
+    // stays usable.
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    write_frame(&mut writer, b"this is not json").expect("write garbage");
+    let payload = read_frame(&mut reader, DEFAULT_MAX_FRAME_BYTES).expect("reply");
+    let reply = decode_reply(&payload).expect("decode");
+    assert!(matches!(
+        reply.body,
+        ResponseBody::Error {
+            code: ErrorCode::BadRequest,
+            ..
+        }
+    ));
+    let ping = Envelope {
+        id: 3,
+        req: Request::Ping,
+    };
+    write_frame(&mut writer, &encode_request(&ping)).expect("write ping");
+    let payload = read_frame(&mut reader, DEFAULT_MAX_FRAME_BYTES).expect("ping reply");
+    assert!(matches!(
+        decode_reply(&payload).expect("decode").body,
+        ResponseBody::Pong
+    ));
+
+    // A semantically bad compute request (length mismatch for MD) errors
+    // without poisoning the client.
+    let mut client = Client::connect(addr).expect("connect");
+    let err = client
+        .distance(DistanceKind::Manhattan, &[0.0], &[0.0, 1.0])
+        .expect_err("length mismatch must fail");
+    assert!(
+        matches!(
+            &err,
+            ClientError::Server {
+                code: ErrorCode::BadRequest,
+                ..
+            }
+        ),
+        "{err}"
+    );
+    let d = client
+        .distance(DistanceKind::Manhattan, &[0.0, 1.0], &[0.0, 3.0])
+        .expect("healthy follow-up");
+    assert_eq!(d, 2.0);
+    server.shutdown_and_join();
+}
+
+#[test]
+fn http_scrape_on_the_same_port_returns_metrics_text() {
+    use std::io::{Read, Write};
+    let server = start(ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client.ping().expect("ping");
+    let in_protocol = client.metrics_text().expect("metrics over protocol");
+    assert!(in_protocol.contains("mda_requests_total{op=\"ping\"} 1"));
+
+    let mut http = TcpStream::connect(server.local_addr()).expect("http connect");
+    http.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+        .expect("http request");
+    let mut response = String::new();
+    http.read_to_string(&mut response).expect("http response");
+    assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+    assert!(response.contains("mda_requests_total"), "{response}");
+    server.shutdown_and_join();
+}

@@ -1,0 +1,174 @@
+//! Property tests for the wire protocol: whatever bytes arrive — garbage,
+//! truncation, oversized announcements — the codec must return a typed
+//! error or a faithful value, and must never panic.
+
+use std::io::Cursor;
+
+use proptest::prelude::*;
+
+use mda_distance::DistanceKind;
+use mda_server::json::Json;
+use mda_server::protocol::{
+    decode_reply, decode_request, encode_reply, encode_request, read_frame, write_frame, Envelope,
+    ProtocolError, Reply, Request, ResponseBody, TrainInstance, DEFAULT_MAX_FRAME_BYTES,
+};
+
+/// Any finite `f64`, including negative zero, subnormals and extreme
+/// exponents: generated from raw bit patterns so the whole representable
+/// space is covered, with non-finite patterns remapped.
+fn finite_f64() -> impl Strategy<Value = f64> {
+    (0u64..=u64::MAX).prop_map(|bits| {
+        let v = f64::from_bits(bits);
+        if v.is_finite() {
+            v
+        } else {
+            // Keep the mantissa entropy, drop the non-finite exponent.
+            f64::from_bits(bits & 0x800F_FFFF_FFFF_FFFF)
+        }
+    })
+}
+
+fn series() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(finite_f64(), 0..12)
+}
+
+fn kind() -> impl Strategy<Value = DistanceKind> {
+    (0usize..DistanceKind::ALL.len()).prop_map(|i| DistanceKind::ALL[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn distance_request_roundtrips_bitwise(
+        id in 0u64..1u64 << 53,
+        kind in kind(),
+        p in series(),
+        q in series(),
+        band in 0usize..64,
+        deadline in 0u64..100_000,
+    ) {
+        let env = Envelope {
+            id,
+            req: Request::Distance {
+                kind,
+                p: p.clone(),
+                q: q.clone(),
+                threshold: None,
+                band: Some(band),
+                deadline_ms: Some(deadline),
+            },
+        };
+        let decoded = decode_request(&encode_request(&env)).expect("self-encoded request");
+        prop_assert_eq!(decoded.id, id);
+        let Request::Distance { p: dp, q: dq, kind: dk, .. } = decoded.req else {
+            panic!("decoded to a different op");
+        };
+        prop_assert_eq!(dk, kind);
+        // Bitwise: the JSON codec must not perturb any finite f64.
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(bits(&dp), bits(&p));
+        prop_assert_eq!(bits(&dq), bits(&q));
+    }
+
+    #[test]
+    fn knn_request_roundtrips(
+        k in 1usize..9,
+        kind in kind(),
+        query in series(),
+        labels in prop::collection::vec(0usize..16, 0..6),
+        train_series in series(),
+    ) {
+        let train: Vec<TrainInstance> = labels
+            .iter()
+            .map(|&label| TrainInstance { label, series: train_series.clone() })
+            .collect();
+        let env = Envelope {
+            id: 7,
+            req: Request::Knn {
+                kind,
+                k,
+                query,
+                train,
+                threshold: Some(0.25),
+                band: None,
+                deadline_ms: None,
+            },
+        };
+        let decoded = decode_request(&encode_request(&env)).expect("self-encoded request");
+        prop_assert_eq!(decoded, env);
+    }
+
+    #[test]
+    fn reply_roundtrips_bitwise(values in series()) {
+        let reply = Reply {
+            id: 3,
+            body: ResponseBody::Batch { values: values.clone() },
+        };
+        let decoded = decode_reply(&encode_reply(&reply)).expect("self-encoded reply");
+        let ResponseBody::Batch { values: got } = decoded.body else {
+            panic!("decoded to a different shape");
+        };
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(bits(&got), bits(&values));
+    }
+
+    #[test]
+    fn garbage_bytes_never_panic_the_decoders(bytes in prop::collection::vec(0u8..=255, 0..256)) {
+        // Any of these may legitimately fail — none may panic.
+        let _ = Json::parse(&bytes);
+        let _ = decode_request(&bytes);
+        let _ = decode_reply(&bytes);
+        let _ = read_frame(&mut Cursor::new(bytes), 1024);
+    }
+
+    #[test]
+    fn ascii_garbage_never_panics_the_decoders(bytes in prop::collection::vec(32u8..127, 0..200)) {
+        // Printable garbage exercises deeper parser states than raw bytes
+        // (digits, braces, quotes reach the number/string machinery).
+        let _ = Json::parse(&bytes);
+        let _ = decode_request(&bytes);
+    }
+
+    #[test]
+    fn truncated_frames_error_cleanly(
+        payload in prop::collection::vec(0u8..=255, 1..64),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &payload).expect("in-memory write");
+        let cut = (framed.len() as f64 * cut_fraction) as usize;
+        let err = read_frame(&mut Cursor::new(&framed[..cut]), DEFAULT_MAX_FRAME_BYTES)
+            .expect_err("truncated frame must not decode");
+        match err {
+            // Cut inside the header or payload: a transport error.
+            ProtocolError::Io(_) => {}
+            other => panic!("unexpected error class: {other}"),
+        }
+        // Only a cut at offset 0 is a clean between-frames EOF.
+        prop_assert_eq!(err.is_clean_eof(), cut == 0);
+    }
+
+    #[test]
+    fn oversized_announcements_rejected_before_allocation(
+        announced in 1025u32..u32::MAX,
+        tail in prop::collection::vec(0u8..=255, 0..16),
+    ) {
+        let mut framed = announced.to_be_bytes().to_vec();
+        framed.extend_from_slice(&tail);
+        // Cap far below the announcement: must reject without trying to
+        // allocate or read the announced length.
+        let err = read_frame(&mut Cursor::new(framed), 1024).expect_err("must reject");
+        let rejected_with_sizes = matches!(err, ProtocolError::FrameTooLarge { len, max: 1024 }
+            if len == announced as usize);
+        prop_assert!(rejected_with_sizes, "{}", err);
+    }
+
+    #[test]
+    fn json_numbers_roundtrip_bitwise(x in finite_f64()) {
+        let text = Json::Num(x).to_string();
+        let parsed = Json::parse(text.as_bytes()).expect("rendered number");
+        let Json::Num(y) = parsed else { panic!("expected a number") };
+        prop_assert_eq!(y.to_bits(), x.to_bits(), "{}", text);
+    }
+}

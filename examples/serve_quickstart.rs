@@ -1,0 +1,85 @@
+//! Serving quickstart: query `mda-server` over the wire protocol.
+//!
+//! Run with `cargo run --example serve_quickstart` to host an in-process
+//! server on a loopback port, or pass the address of a running server
+//! (`cargo run --example serve_quickstart -- 127.0.0.1:7171`) to use this
+//! example as a protocol driver — CI does exactly that against the
+//! `mda-server` binary.
+//!
+//! Exercises ping, all six distance functions, and a kNN query, and
+//! verifies the served distances bitwise against direct library calls
+//! (exits non-zero on any mismatch).
+
+use std::net::SocketAddr;
+
+use memristor_distance_accelerator::distance::{boxed_distance, DistanceKind};
+use memristor_distance_accelerator::server::protocol::TrainInstance;
+use memristor_distance_accelerator::server::{Client, QueryOpts, Server, ServerConfig};
+
+fn series(len: usize, seed: usize) -> Vec<f64> {
+    (0..len)
+        .map(|i| ((i + 17 * seed) as f64 * 0.31).sin() * 2.0 + (seed as f64 * 0.7).cos())
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Attach to a running server if an address was given, else host one
+    // in this process on an ephemeral loopback port.
+    let addr_arg = std::env::args().nth(1);
+    let server = match addr_arg {
+        Some(_) => None,
+        None => Some(Server::start(ServerConfig::default())?),
+    };
+    let addr: SocketAddr = match (&server, &addr_arg) {
+        (Some(s), _) => s.local_addr(),
+        (None, Some(a)) => a.parse()?,
+        (None, None) => unreachable!(),
+    };
+    println!(
+        "serve_quickstart -> {addr} ({})",
+        if server.is_some() {
+            "in-process"
+        } else {
+            "external"
+        }
+    );
+
+    let mut client = Client::connect(addr)?;
+    client.ping()?;
+    println!("ping ok");
+
+    // All six functions through the wire, checked bitwise against the
+    // digital reference the server itself batches over.
+    let p = series(32, 1);
+    let q = series(32, 2);
+    println!("function | served value | bitwise-identical to direct call");
+    println!("---------+--------------+---------------------------------");
+    for kind in DistanceKind::ALL {
+        let served = client.distance(kind, &p, &q)?;
+        let direct = boxed_distance(kind).evaluate(&p, &q)?;
+        if served.to_bits() != direct.to_bits() {
+            return Err(format!("{kind}: served {served:e} != direct {direct:e}").into());
+        }
+        println!("{kind:>8} | {served:>12.6} | yes");
+    }
+
+    // A kNN classification: the training set travels with the query, the
+    // server decomposes it into one coalesced batch of pairwise items.
+    let train: Vec<TrainInstance> = (0..8)
+        .map(|i| TrainInstance {
+            label: i % 2,
+            series: series(32, 10 + i),
+        })
+        .collect();
+    let outcome = client.knn(DistanceKind::Dtw, 3, &p, &train, QueryOpts::default())?;
+    println!(
+        "kNN (DTW, k=3): label {} (score {:.6}, nearest train index {})",
+        outcome.label, outcome.score, outcome.nearest_index
+    );
+
+    if let Some(server) = server {
+        server.shutdown_and_join();
+    }
+    println!("done");
+    Ok(())
+}

@@ -20,7 +20,9 @@
 //!   DAC/ADC models, configuration library, behavioural analog engine,
 //!   tiling and early determination;
 //! * [`datasets`] — UCR-style synthetic datasets and the UCR format parser;
-//! * [`power`] — power budgets and energy-efficiency comparisons.
+//! * [`power`] — power budgets and energy-efficiency comparisons;
+//! * [`server`] — the batching distance-query network service (request
+//!   coalescing, admission control, live metrics).
 //!
 //! ## Quickstart
 //!
@@ -48,4 +50,5 @@ pub use mda_datasets as datasets;
 pub use mda_distance as distance;
 pub use mda_memristor as memristor;
 pub use mda_power as power;
+pub use mda_server as server;
 pub use mda_spice as spice;
