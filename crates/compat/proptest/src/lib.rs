@@ -264,9 +264,7 @@ pub mod test_runner {
                     }
                 }
                 Err(TestCaseError::Fail(msg)) => {
-                    panic!(
-                        "proptest '{name}' failed at case #{case} (seed {base:#x}): {msg}"
-                    );
+                    panic!("proptest '{name}' failed at case #{case} (seed {base:#x}): {msg}");
                 }
             }
             case += 1;
@@ -354,11 +352,7 @@ macro_rules! prop_assert_eq {
 macro_rules! prop_assert_ne {
     ($left:expr, $right:expr $(,)?) => {{
         let (l, r) = (&$left, &$right);
-        $crate::prop_assert!(
-            l != r,
-            "assertion failed: `left != right`: both = {:?}",
-            l
-        );
+        $crate::prop_assert!(l != r, "assertion failed: `left != right`: both = {:?}", l);
     }};
 }
 

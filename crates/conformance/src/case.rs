@@ -1,0 +1,384 @@
+//! Seeded case generation: `(master seed, case id)` → one fully-specified
+//! differential query, covering all six distance functions, both array
+//! structures, four length classes and five trace families.
+//!
+//! Generation is *stratified*, not uniform: the kind round-robins with the
+//! id and the length class cycles underneath it, so even a small `--quick`
+//! run covers every kind × class combination. Everything else (family,
+//! values, threshold, band) is drawn from the case's own split stream, so
+//! any case regenerates in isolation.
+//!
+//! Value domains keep the analog fabric honest rather than comfortable:
+//! magnitudes stay within the encodable window (±2.5 units against a
+//! 25-unit ceiling), but thresholded comparisons are generated *decisive*.
+//! The matrix DPs (LCS/EdD) compare every cross pair `(i, j)`, not just
+//! aligned elements, so for the thresholded kinds all values are snapped
+//! to a lattice of spacing `3·threshold`: any two values are then either
+//! identical (decisive match) or at least three thresholds apart (decisive
+//! mismatch). A difference right at the threshold is a knife-edge where
+//! the digital reference itself flips on sub-LSB noise and no analog bound
+//! is meaningful.
+
+use mda_distance::DistanceKind;
+use rand::Rng;
+
+use crate::rng::SplitRng;
+
+/// Length stratum of a generated pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LengthClass {
+    /// 1–3 elements: degenerate corners, SPICE-eligible for matrix PEs.
+    Tiny,
+    /// 4–8 elements: SPICE-eligible for row PEs.
+    Short,
+    /// 9–16 elements: digital/behavioural/server only.
+    Medium,
+    /// Different lengths per side (2–6): warping/DP-specific corners.
+    Mixed,
+}
+
+impl LengthClass {
+    /// All classes, in ledger order.
+    pub const ALL: [LengthClass; 4] = [
+        LengthClass::Tiny,
+        LengthClass::Short,
+        LengthClass::Medium,
+        LengthClass::Mixed,
+    ];
+
+    /// Stable lower-case label for reports and ledgers.
+    pub fn label(self) -> &'static str {
+        match self {
+            LengthClass::Tiny => "tiny",
+            LengthClass::Short => "short",
+            LengthClass::Medium => "medium",
+            LengthClass::Mixed => "mixed",
+        }
+    }
+}
+
+/// Shape family of the generated traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Bounded random walk.
+    Walk,
+    /// Sinusoid with random amplitude/frequency/phase.
+    Sine,
+    /// Constant level (exercises zero-variance and all-match paths).
+    Constant,
+    /// Flat trace with one spike.
+    Spike,
+    /// Linear ramp with an offset.
+    Offset,
+}
+
+impl Family {
+    /// Stable lower-case label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Family::Walk => "walk",
+            Family::Sine => "sine",
+            Family::Constant => "constant",
+            Family::Spike => "spike",
+            Family::Offset => "offset",
+        }
+    }
+}
+
+/// One fully-specified differential query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseSpec {
+    /// Master seed of the run that generated this case.
+    pub seed: u64,
+    /// Case index within the run.
+    pub id: u64,
+    /// Distance function under test.
+    pub kind: DistanceKind,
+    /// Length stratum.
+    pub class: LengthClass,
+    /// Trace shape family.
+    pub family: Family,
+    /// Match threshold (used by LCS/EdD/HamD; carried for all).
+    pub threshold: f64,
+    /// Sakoe–Chiba radius (DTW only).
+    pub band: Option<usize>,
+    /// First series.
+    pub p: Vec<f64>,
+    /// Second series.
+    pub q: Vec<f64>,
+    /// Seed for the behavioural accelerator's analog error model.
+    pub noise_seed: u64,
+}
+
+impl CaseSpec {
+    /// `true` for the functions whose comparator uses the threshold.
+    pub fn thresholded(&self) -> bool {
+        matches!(
+            self.kind,
+            DistanceKind::Lcs | DistanceKind::Edit | DistanceKind::Hamming
+        )
+    }
+
+    /// Ledger structure label for this case's kind.
+    pub fn structure(&self) -> &'static str {
+        if self.kind.uses_matrix_structure() {
+            "matrix"
+        } else {
+            "row"
+        }
+    }
+}
+
+/// Hard ceiling on generated values: well inside the 25-unit encodable
+/// window, so an out-of-range error in any layer is a real finding.
+pub const VALUE_CAP: f64 = 2.5;
+
+fn clampv(x: f64) -> f64 {
+    x.clamp(-VALUE_CAP, VALUE_CAP)
+}
+
+fn base_series<R: Rng + ?Sized>(family: Family, len: usize, rng: &mut R) -> Vec<f64> {
+    match family {
+        Family::Walk => {
+            let mut level = rng.gen_range(-1.0..1.0);
+            (0..len)
+                .map(|_| {
+                    level = clampv(level + rng.gen_range(-0.6..0.6));
+                    level
+                })
+                .collect()
+        }
+        Family::Sine => {
+            let amp = rng.gen_range(0.3..2.0);
+            let freq = rng.gen_range(0.2..1.2);
+            let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+            (0..len)
+                .map(|i| clampv(amp * (freq * i as f64 + phase).sin()))
+                .collect()
+        }
+        Family::Constant => {
+            let level = rng.gen_range(-2.0..2.0);
+            vec![level; len]
+        }
+        Family::Spike => {
+            let at = rng.gen_range(0..len as u64) as usize;
+            let height = rng.gen_range(1.0..2.5) * if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+            (0..len)
+                .map(|i| if i == at { height } else { 0.0 })
+                .collect()
+        }
+        Family::Offset => {
+            let offset = rng.gen_range(-1.5..1.5);
+            let slope = rng.gen_range(-0.2..0.2);
+            (0..len)
+                .map(|i| clampv(offset + slope * i as f64))
+                .collect()
+        }
+    }
+}
+
+/// Generates case `id` of the run seeded with `seed`.
+///
+/// The kind round-robins (`id % 6` over [`DistanceKind::ALL`]) and the
+/// length class cycles underneath (`(id / 6) % 4`), with `Mixed` remapped
+/// to `Short` for the equal-length row functions.
+pub fn generate(seed: u64, id: u64) -> CaseSpec {
+    let kind = DistanceKind::ALL[(id % DistanceKind::ALL.len() as u64) as usize];
+    let mut class = LengthClass::ALL[((id / DistanceKind::ALL.len() as u64) % 4) as usize];
+    if kind.requires_equal_length() && class == LengthClass::Mixed {
+        class = LengthClass::Short;
+    }
+
+    let stream = SplitRng::new(seed).split(id);
+    let mut rng = stream.rng();
+
+    let family = match rng.gen_range(0..5u32) {
+        0 => Family::Walk,
+        1 => Family::Sine,
+        2 => Family::Constant,
+        3 => Family::Spike,
+        _ => Family::Offset,
+    };
+    let threshold = [0.3, 0.5, 0.8][rng.gen_range(0..3u32) as usize];
+
+    let (m, n) = match class {
+        LengthClass::Tiny => {
+            let l = rng.gen_range(1..=3u64) as usize;
+            (l, l)
+        }
+        LengthClass::Short => {
+            let l = rng.gen_range(4..=8u64) as usize;
+            (l, l)
+        }
+        LengthClass::Medium => {
+            let l = rng.gen_range(9..=16u64) as usize;
+            (l, l)
+        }
+        LengthClass::Mixed => {
+            let a = rng.gen_range(2..=6u64) as usize;
+            let mut b = rng.gen_range(2..=6u64) as usize;
+            if a == b {
+                b = if b == 6 { 2 } else { b + 1 };
+            }
+            (a, b)
+        }
+    };
+
+    let mut p = base_series(family, m, &mut rng);
+    let mut q = if kind.requires_equal_length() || (m == n && rng.gen_bool(0.5)) {
+        // Decisive perturbation of p: each element either matches well
+        // inside the threshold or misses it by a wide margin.
+        p.iter()
+            .map(|&v| {
+                if rng.gen_bool(0.5) {
+                    clampv(v + rng.gen_range(0.0..0.2) * threshold)
+                } else {
+                    let delta = 2.5 * threshold + rng.gen_range(0.0..0.5);
+                    // Step toward the interior so the cap cannot collapse
+                    // the intended wide margin.
+                    if v >= 0.0 {
+                        v - delta
+                    } else {
+                        v + delta
+                    }
+                }
+            })
+            .collect()
+    } else {
+        base_series(family, n, &mut rng)
+    };
+
+    let is_thresholded = matches!(
+        kind,
+        DistanceKind::Lcs | DistanceKind::Edit | DistanceKind::Hamming
+    );
+    if is_thresholded {
+        // Snap to the decisive lattice so *every* cross pair is either an
+        // exact match or ≥ 3 thresholds apart (see module docs).
+        let lattice = 3.0 * threshold;
+        let snap = |v: f64| {
+            let s = (v / lattice).round() * lattice;
+            if s == 0.0 {
+                0.0
+            } else {
+                s
+            }
+        };
+        p.iter_mut().for_each(|v| *v = snap(*v));
+        q.iter_mut().for_each(|v| *v = snap(*v));
+    }
+
+    // A band stresses the DTW configuration path; only meaningful for
+    // equal lengths (a narrow band on mixed lengths can sever the path).
+    let band = if kind == DistanceKind::Dtw && m == n && m >= 2 && rng.gen_bool(0.25) {
+        Some(rng.gen_range(1..=3u64) as usize)
+    } else {
+        None
+    };
+
+    CaseSpec {
+        seed,
+        id,
+        kind,
+        class,
+        family,
+        threshold,
+        band,
+        p,
+        q,
+        // Masked to 53 bits so the seed survives the JSON number path of a
+        // reproducer file exactly (f64 integers are exact below 2^53).
+        noise_seed: stream.split(u64::MAX).key() >> 11,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for id in 0..48 {
+            assert_eq!(generate(42, id), generate(42, id));
+        }
+    }
+
+    #[test]
+    fn all_kinds_and_classes_are_covered() {
+        let mut seen = std::collections::BTreeSet::new();
+        for id in 0..240 {
+            let c = generate(7, id);
+            seen.insert((c.kind.abbrev(), c.class.label()));
+        }
+        // 6 kinds x 4 classes, minus Mixed for the two row functions.
+        assert_eq!(seen.len(), 6 * 4 - 2, "{seen:?}");
+    }
+
+    #[test]
+    fn equal_length_kinds_always_get_equal_lengths() {
+        for id in 0..300 {
+            let c = generate(3, id);
+            if c.kind.requires_equal_length() {
+                assert_eq!(c.p.len(), c.q.len(), "case {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn values_stay_inside_the_encodable_cap() {
+        for id in 0..300 {
+            let c = generate(11, id);
+            for &v in c.p.iter().chain(&c.q) {
+                assert!(
+                    v.abs() <= VALUE_CAP + 2.5 * 0.8 + 0.5 + 1e-9,
+                    "case {id}: {v}"
+                );
+                assert!(v.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn bands_only_appear_on_equal_length_dtw() {
+        for id in 0..400 {
+            let c = generate(13, id);
+            if c.band.is_some() {
+                assert_eq!(c.kind, DistanceKind::Dtw);
+                assert_eq!(c.p.len(), c.q.len());
+            }
+        }
+    }
+
+    #[test]
+    fn thresholded_kinds_have_fully_decisive_cross_pairs() {
+        for id in 0..300 {
+            let c = generate(17, id);
+            if !c.thresholded() {
+                continue;
+            }
+            for &a in c.p.iter().chain(&c.q) {
+                for &b in c.p.iter().chain(&c.q) {
+                    let d = (a - b).abs();
+                    assert!(
+                        d < 1e-9 || d > 2.0 * c.threshold,
+                        "case {id}: knife-edge cross pair |{a} - {b}| vs threshold {}",
+                        c.threshold
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_class_really_mixes_lengths() {
+        let mut saw_mixed = false;
+        for id in 0..240 {
+            let c = generate(5, id);
+            if c.class == LengthClass::Mixed {
+                assert_ne!(c.p.len(), c.q.len(), "case {id}");
+                saw_mixed = true;
+            }
+        }
+        assert!(saw_mixed);
+    }
+}

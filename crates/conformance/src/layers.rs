@@ -1,0 +1,196 @@
+//! Layer adapters: run one [`CaseSpec`] through each of the four stacked
+//! implementations and report what came back.
+//!
+//! * **reference** — the digital DP library, constructed exactly the way
+//!   `mda-server`'s executor builds it, so the reference here *is* the
+//!   served semantics (threshold defaulting, banding, similarity signs);
+//! * **behavioural** — `DistanceAccelerator` with the paper-default fabric
+//!   and the case's own noise seed;
+//! * **spice** — the device-level PE netlists solved by the PR-2 MNA core
+//!   (size-gated: matrix PEs grow O(m·n) nodes, so only tiny cases run);
+//! * **server** — a loopback `mda-server` round-trip through the real TCP
+//!   wire protocol.
+
+use mda_core::accelerator::FunctionParams;
+use mda_core::{pe, AcceleratorConfig, AcceleratorError, DistanceAccelerator};
+use mda_distance::dtw::Band;
+use mda_distance::{
+    Distance, DistanceError, DistanceKind, Dtw, EditDistance, Hamming, Hausdorff, Lcs, Manhattan,
+};
+use mda_server::client::{Client, QueryOpts};
+use mda_server::ClientError;
+
+use crate::case::CaseSpec;
+
+/// The analog fabric's *output* ceiling in value units: the readout ADC
+/// clamps at ±half its full scale, so distances above this saturate
+/// (25 units at paper defaults: 1 V full scale, 20 mV/unit). The analog
+/// layers are therefore judged against the reference clamped to this
+/// ceiling — saturating there is correct accelerator behaviour, not a
+/// disagreement. The server layer always compares against the raw digital
+/// value. (This is distinct from `max_encodable_value`, which caps the
+/// *input* DAC at ±6.25 units.)
+pub fn encodable_ceiling() -> f64 {
+    let config = AcceleratorConfig::paper_defaults();
+    config.adc.full_scale / 2.0 / config.voltage_resolution
+}
+
+/// Largest per-side length for which the matrix-structure SPICE netlists
+/// (DTW/LCS/EdD/HauD) are solved.
+pub const SPICE_MATRIX_CAP: usize = 3;
+/// Largest length for which the row-structure SPICE netlists (HamD/MD) are
+/// solved.
+pub const SPICE_ROW_CAP: usize = 8;
+
+/// The digital reference value, mirroring `mda-server`'s executor: the
+/// same `Distance` constructors, the same threshold default, the same
+/// band handling.
+///
+/// # Errors
+///
+/// Shape errors from the distance library (the generator never produces
+/// them; the shrinker is constrained not to either).
+pub fn reference(case: &CaseSpec) -> Result<f64, DistanceError> {
+    match case.kind {
+        DistanceKind::Dtw => {
+            let mut dtw = Dtw::new();
+            if let Some(r) = case.band {
+                dtw = dtw.with_band(Band::SakoeChiba(r));
+            }
+            dtw.evaluate(&case.p, &case.q)
+        }
+        DistanceKind::Lcs => Lcs::new(case.threshold).evaluate(&case.p, &case.q),
+        DistanceKind::Edit => EditDistance::new(case.threshold).evaluate(&case.p, &case.q),
+        DistanceKind::Hausdorff => Hausdorff::new().evaluate(&case.p, &case.q),
+        DistanceKind::Hamming => Hamming::new(case.threshold).evaluate(&case.p, &case.q),
+        DistanceKind::Manhattan => Manhattan::new().evaluate(&case.p, &case.q),
+    }
+}
+
+/// The behavioural accelerator value for a case, using the case's noise
+/// seed so the analog error model is reproducible per case.
+///
+/// # Errors
+///
+/// Configuration or computation errors from the accelerator.
+pub fn behavioural(case: &CaseSpec) -> Result<f64, AcceleratorError> {
+    let mut config = AcceleratorConfig::paper_defaults();
+    config.noise_seed = case.noise_seed;
+    let mut acc = DistanceAccelerator::new(config);
+    let band = match case.band {
+        Some(r) => Band::SakoeChiba(r),
+        None => Band::Full,
+    };
+    acc.configure_with(
+        case.kind,
+        FunctionParams {
+            threshold: case.threshold,
+            weight: 1.0,
+            band,
+        },
+    )?;
+    Ok(acc.compute(&case.p, &case.q)?.value)
+}
+
+/// Whether the SPICE layer runs this case, and if not, why not.
+pub fn spice_eligibility(case: &CaseSpec) -> Result<(), &'static str> {
+    if case.band.is_some() {
+        // The device netlists hard-wire the full recurrence fabric.
+        return Err("banded DTW has no SPICE netlist");
+    }
+    let (m, n) = (case.p.len(), case.q.len());
+    if case.kind.uses_matrix_structure() {
+        if m.max(n) > SPICE_MATRIX_CAP {
+            return Err("matrix netlist above size cap");
+        }
+    } else if m.max(n) > SPICE_ROW_CAP {
+        return Err("row netlist above size cap");
+    }
+    Ok(())
+}
+
+/// The device-level SPICE value for an eligible case.
+///
+/// # Errors
+///
+/// Encoding-range or solver errors from the PE netlists.
+pub fn spice(case: &CaseSpec) -> Result<f64, AcceleratorError> {
+    let config = AcceleratorConfig::paper_defaults();
+    let (p, q) = (case.p.as_slice(), case.q.as_slice());
+    match case.kind {
+        DistanceKind::Dtw => pe::dtw::evaluate_dc(&config, p, q, 1.0),
+        DistanceKind::Lcs => pe::lcs::evaluate_dc(&config, p, q, case.threshold, 1.0),
+        DistanceKind::Edit => pe::edit::evaluate_dc(&config, p, q, case.threshold),
+        DistanceKind::Hausdorff => pe::hausdorff::evaluate_dc(&config, p, q, 1.0),
+        DistanceKind::Hamming => {
+            pe::hamming::evaluate_dc(&config, p, q, case.threshold, &vec![1.0; p.len()])
+        }
+        DistanceKind::Manhattan => pe::manhattan::evaluate_dc(&config, p, q, &vec![1.0; p.len()]),
+    }
+}
+
+/// The value served by a live `mda-server` for this case.
+///
+/// # Errors
+///
+/// Transport or server errors from the round-trip.
+pub fn server(client: &mut Client, case: &CaseSpec) -> Result<f64, ClientError> {
+    let opts = QueryOpts {
+        threshold: if case.thresholded() {
+            Some(case.threshold)
+        } else {
+            None
+        },
+        band: case.band,
+        deadline_ms: None,
+    };
+    client.distance_with(case.kind, &case.p, &case.q, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::generate;
+
+    #[test]
+    fn reference_matches_direct_library_calls_bitwise() {
+        for id in 0..60 {
+            let case = generate(99, id);
+            let via_adapter = reference(&case).unwrap();
+            let direct = match case.kind {
+                DistanceKind::Dtw if case.band.is_none() => {
+                    Dtw::new().evaluate(&case.p, &case.q).unwrap()
+                }
+                _ => continue,
+            };
+            assert_eq!(via_adapter.to_bits(), direct.to_bits(), "case {id}");
+        }
+    }
+
+    #[test]
+    fn spice_eligibility_gates_by_structure() {
+        for id in 0..120 {
+            let case = generate(77, id);
+            let (m, n) = (case.p.len(), case.q.len());
+            match spice_eligibility(&case) {
+                Ok(()) => {
+                    if case.kind.uses_matrix_structure() {
+                        assert!(m.max(n) <= SPICE_MATRIX_CAP);
+                    } else {
+                        assert!(m.max(n) <= SPICE_ROW_CAP);
+                    }
+                    assert!(case.band.is_none());
+                }
+                Err(reason) => assert!(!reason.is_empty()),
+            }
+        }
+    }
+
+    #[test]
+    fn behavioural_layer_is_deterministic_per_case() {
+        let case = generate(5, 17);
+        let a = behavioural(&case).unwrap();
+        let b = behavioural(&case).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}

@@ -1,0 +1,212 @@
+//! Greedy case shrinker: minimize a disagreeing case while it keeps
+//! disagreeing.
+//!
+//! The shrinker is generic over the failure predicate, so unit tests can
+//! drive it with synthetic predicates and the harness plugs in the real
+//! "any layer outside its bound" check. Candidate moves, in order of how
+//! much they simplify:
+//!
+//! 1. truncate both series to their first halves;
+//! 2. drop one aligned element (both sides for equal-length functions,
+//!    one side at a time for the warping/DP functions);
+//! 3. round every value to one decimal;
+//! 4. zero out one element (both sides together).
+//!
+//! Each accepted move restarts the scan, so the result is a local fixpoint:
+//! no single remaining move keeps the case failing. Candidates that would
+//! make the case invalid (empty side, unequal lengths for row functions)
+//! are never proposed, and a fixed evaluation budget bounds the total work
+//! regardless of how pathological the predicate is.
+
+use crate::case::CaseSpec;
+
+fn truncate_halves(case: &CaseSpec) -> Option<CaseSpec> {
+    if case.p.len() < 2 && case.q.len() < 2 {
+        return None;
+    }
+    let mut c = case.clone();
+    c.p.truncate(case.p.len().div_ceil(2).max(1));
+    c.q.truncate(case.q.len().div_ceil(2).max(1));
+    if c.kind.requires_equal_length() {
+        let l = c.p.len().min(c.q.len());
+        c.p.truncate(l);
+        c.q.truncate(l);
+    }
+    Some(c)
+}
+
+fn drop_element(case: &CaseSpec, i: usize) -> Vec<CaseSpec> {
+    let mut out = Vec::new();
+    if case.kind.requires_equal_length() {
+        if case.p.len() > 1 && i < case.p.len() {
+            let mut c = case.clone();
+            c.p.remove(i);
+            c.q.remove(i);
+            out.push(c);
+        }
+        return out;
+    }
+    if case.p.len() > 1 && i < case.p.len() {
+        let mut c = case.clone();
+        c.p.remove(i);
+        out.push(c);
+    }
+    if case.q.len() > 1 && i < case.q.len() {
+        let mut c = case.clone();
+        c.q.remove(i);
+        out.push(c);
+    }
+    out
+}
+
+fn round_values(case: &CaseSpec) -> Option<CaseSpec> {
+    let round1 = |x: f64| (x * 10.0).round() / 10.0;
+    let mut c = case.clone();
+    c.p.iter_mut().for_each(|x| *x = round1(*x));
+    c.q.iter_mut().for_each(|x| *x = round1(*x));
+    (c != *case).then_some(c)
+}
+
+fn zero_element(case: &CaseSpec, i: usize) -> Option<CaseSpec> {
+    let mut c = case.clone();
+    let mut changed = false;
+    if i < c.p.len() && c.p[i] != 0.0 {
+        c.p[i] = 0.0;
+        changed = true;
+    }
+    if i < c.q.len() && c.q[i] != 0.0 {
+        c.q[i] = 0.0;
+        changed = true;
+    }
+    changed.then_some(c)
+}
+
+/// Total size of a case: the quantity shrinking minimizes.
+pub fn size(case: &CaseSpec) -> usize {
+    case.p.len() + case.q.len() + case.p.iter().chain(&case.q).filter(|x| **x != 0.0).count()
+}
+
+/// Shrinks `case` while `still_fails` holds, spending at most `max_evals`
+/// predicate evaluations. Returns the smallest failing case found (which
+/// is `case` itself if no simplification preserves the failure).
+pub fn shrink<F: FnMut(&CaseSpec) -> bool>(
+    case: &CaseSpec,
+    mut still_fails: F,
+    max_evals: usize,
+) -> CaseSpec {
+    let mut best = case.clone();
+    let mut evals = 0usize;
+    let mut try_candidate = |cand: CaseSpec, best: &mut CaseSpec, evals: &mut usize| -> bool {
+        if *evals >= max_evals || size(&cand) >= size(best) {
+            return false;
+        }
+        *evals += 1;
+        if still_fails(&cand) {
+            *best = cand;
+            true
+        } else {
+            false
+        }
+    };
+
+    loop {
+        let mut improved = false;
+
+        if let Some(cand) = truncate_halves(&best) {
+            improved |= try_candidate(cand, &mut best, &mut evals);
+        }
+        if !improved {
+            let max_len = best.p.len().max(best.q.len());
+            'drops: for i in (0..max_len).rev() {
+                for cand in drop_element(&best, i) {
+                    if try_candidate(cand, &mut best, &mut evals) {
+                        improved = true;
+                        break 'drops;
+                    }
+                }
+            }
+        }
+        if !improved {
+            if let Some(cand) = round_values(&best) {
+                improved |= try_candidate(cand, &mut best, &mut evals);
+            }
+        }
+        if !improved {
+            for i in 0..best.p.len().max(best.q.len()) {
+                if let Some(cand) = zero_element(&best, i) {
+                    if try_candidate(cand, &mut best, &mut evals) {
+                        improved = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        if !improved || evals >= max_evals {
+            return best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::generate;
+
+    #[test]
+    fn shrink_minimizes_against_a_value_predicate() {
+        // Failure: p still contains an element >= 2.0. The shrinker should
+        // strip everything else down to (near) minimal series.
+        let mut case = generate(1, 4); // HamD: equal-length row function
+        case.p = vec![0.1, 2.5, 0.3, 0.4, 0.5, 0.6];
+        case.q = vec![0.0; 6];
+        let shrunk = shrink(&case, |c| c.p.iter().any(|x| *x >= 2.0), 500);
+        assert!(shrunk.p.iter().any(|x| *x >= 2.0));
+        assert_eq!(shrunk.p.len(), shrunk.q.len());
+        assert!(shrunk.p.len() <= 2, "{:?}", shrunk.p);
+    }
+
+    #[test]
+    fn shrink_preserves_equal_lengths_for_row_functions() {
+        let mut case = generate(1, 4);
+        assert!(case.kind.requires_equal_length());
+        case.p = vec![1.0; 8];
+        case.q = vec![0.5; 8];
+        let shrunk = shrink(&case, |_| true, 200);
+        assert_eq!(shrunk.p.len(), shrunk.q.len());
+        assert!(!shrunk.p.is_empty());
+    }
+
+    #[test]
+    fn shrink_returns_original_when_nothing_simpler_fails() {
+        let case = generate(2, 0);
+        let shrunk = shrink(&case, |c| *c == case, 200);
+        assert_eq!(shrunk, case);
+    }
+
+    #[test]
+    fn shrink_respects_the_evaluation_budget() {
+        let mut case = generate(3, 4);
+        case.p = (0..16).map(|i| i as f64 * 0.1 + 1.0).collect();
+        case.q = vec![0.0; 16];
+        let mut evals = 0usize;
+        let _ = shrink(
+            &case,
+            |_| {
+                evals += 1;
+                true
+            },
+            10,
+        );
+        assert!(evals <= 10, "{evals}");
+    }
+
+    #[test]
+    fn shrink_never_produces_empty_sides() {
+        for id in 0..24 {
+            let case = generate(9, id);
+            let shrunk = shrink(&case, |_| true, 300);
+            assert!(!shrunk.p.is_empty() && !shrunk.q.is_empty(), "case {id}");
+        }
+    }
+}

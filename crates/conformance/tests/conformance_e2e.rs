@@ -1,0 +1,111 @@
+//! End-to-end tests of the conformance harness itself: the full stack
+//! (digital, behavioural, SPICE, live server) agrees within bounds, the
+//! same seed produces byte-identical reports, and a forced disagreement
+//! travels the whole shrink → reproducer → replay loop.
+
+use std::path::PathBuf;
+
+use mda_conformance::harness::{run, HarnessConfig};
+use mda_conformance::report::load_case;
+
+fn temp_out(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("mda_conformance_e2e_{tag}"))
+}
+
+#[test]
+fn full_stack_agrees_within_bounds() {
+    let mut config = HarnessConfig::full(0xFEED_5EED, 72);
+    config.out_dir = temp_out("full");
+    let outcome = run(&config);
+    assert!(outcome.failures.is_empty(), "{:#?}", outcome.failures);
+    assert!(outcome.reproducers.is_empty());
+    assert!(matches!(
+        outcome.report.get("pass"),
+        Some(mda_server::json::Json::Bool(true))
+    ));
+}
+
+#[test]
+fn same_seed_produces_byte_identical_reports() {
+    let mut config = HarnessConfig::full(2026, 48);
+    config.out_dir = temp_out("det");
+    let a = run(&config);
+    let b = run(&config);
+    assert_eq!(format!("{}", a.report), format!("{}", b.report));
+}
+
+#[test]
+fn different_seeds_produce_different_case_streams() {
+    let mut a_cfg = HarnessConfig::full(1, 24);
+    a_cfg.with_server = false;
+    a_cfg.with_faults = false;
+    a_cfg.out_dir = temp_out("seed_a");
+    let mut b_cfg = a_cfg.clone();
+    b_cfg.seed = 2;
+    b_cfg.out_dir = temp_out("seed_b");
+    let a = run(&a_cfg);
+    let b = run(&b_cfg);
+    assert_ne!(format!("{}", a.report), format!("{}", b.report));
+}
+
+#[test]
+fn forced_disagreement_shrinks_to_a_replayable_reproducer() {
+    let out_dir = temp_out("forced");
+    let _ = std::fs::remove_dir_all(&out_dir);
+    let mut config = HarnessConfig::full(99, 12);
+    config.with_server = false;
+    config.with_faults = false;
+    config.out_dir = out_dir.clone();
+    // Collapse every bound to zero width: any analog deviation at all is
+    // now a disagreement, which must fail the run and emit reproducers.
+    config.bound_scale = 0.0;
+    let outcome = run(&config);
+    assert!(!outcome.failures.is_empty());
+    assert!(!outcome.reproducers.is_empty());
+
+    for path in &outcome.reproducers {
+        let case = load_case(path).expect("reproducer parses back");
+        assert!(!case.p.is_empty() && !case.q.is_empty());
+        // The shrunk case must stay valid for its function's shape rules.
+        if case.kind.requires_equal_length() {
+            assert_eq!(case.p.len(), case.q.len());
+        }
+        // Replay at the calibrated bounds: a zero-width-bound artifact is
+        // within the real contract, so this must come back clean — the
+        // point is that the loop (write → load → re-run layers) closes.
+        let failures = mda_conformance::harness::replay(&case, false);
+        assert!(failures.is_empty(), "{failures:#?}");
+    }
+    let _ = std::fs::remove_dir_all(&out_dir);
+}
+
+#[test]
+fn report_ledger_covers_every_reachable_cell() {
+    let mut config = HarnessConfig::full(7, 240);
+    config.with_server = false;
+    config.with_faults = true;
+    config.out_dir = temp_out("ledger");
+    let outcome = run(&config);
+    assert!(outcome.failures.is_empty(), "{:#?}", outcome.failures);
+    let ledger = match outcome.report.get("ledger") {
+        Some(mda_server::json::Json::Arr(rows)) => rows.clone(),
+        other => panic!("ledger missing: {other:?}"),
+    };
+    // 6 kinds × 4 classes, minus Mixed for the two equal-length row
+    // functions, plus the fault-plane rows (4 device + 1 end-to-end).
+    let differential = ledger
+        .iter()
+        .filter(|row| row.get("fault").and_then(|f| f.as_str()) == Some("none"))
+        .count();
+    assert_eq!(differential, 6 * 4 - 2);
+    let fault_rows = ledger.len() - differential;
+    assert_eq!(fault_rows, 5);
+    // Structure axis is present and correct on every differential row.
+    for row in &ledger {
+        let structure = row.get("structure").and_then(|s| s.as_str()).unwrap();
+        assert!(
+            ["matrix", "row", "cell"].contains(&structure),
+            "{structure}"
+        );
+    }
+}

@@ -6,30 +6,62 @@
 //! different lengths" as the paper's experimental setup does.
 
 /// Mean of a slice. Returns `0.0` for an empty slice.
+///
+/// Computed incrementally (Welford), so a constant series of any
+/// representable magnitude yields that constant exactly — a naive
+/// `sum / n` overflows to `inf` for values near `f64::MAX`.
 pub fn mean(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        return 0.0;
+    let mut m = 0.0;
+    for (i, &x) in xs.iter().enumerate() {
+        m += (x - m) / (i + 1) as f64;
     }
-    xs.iter().sum::<f64>() / xs.len() as f64
+    m
 }
 
 /// Population standard deviation. Returns `0.0` for slices shorter than 1.
+///
+/// Uses Welford's single-pass update, which is overflow-immune for
+/// constant and near-constant series regardless of magnitude.
 pub fn std_dev(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
-    let m = mean(xs);
-    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+    let mut m = 0.0;
+    let mut m2 = 0.0;
+    for (i, &x) in xs.iter().enumerate() {
+        let delta = x - m;
+        m += delta / (i + 1) as f64;
+        m2 += delta * (x - m);
+    }
+    (m2 / xs.len() as f64).sqrt()
 }
 
 /// Z-normalizes a series in place: zero mean, unit variance.
 ///
-/// A constant series (σ = 0) is mapped to all zeros rather than dividing by
-/// zero, matching UCR-suite practice.
+/// Degenerate inputs never produce `NaN`/`Inf`:
+///
+/// * a constant series (σ = 0) maps to all zeros — UCR-suite practice —
+///   at *any* magnitude, including values near `f64::MAX` where naive
+///   mean/variance accumulation overflows;
+/// * a near-constant series whose σ is below numerical resolution
+///   relative to its mean (σ ≤ 1e-12·max(1, |mean|)) also maps to zeros
+///   instead of amplifying cancellation noise;
+/// * if the statistics themselves are not finite (e.g. a series mixing
+///   `±f64::MAX`, whose variance is unrepresentable), the series maps to
+///   zeros rather than propagating `Inf`.
 pub fn z_normalize_in_place(xs: &mut [f64]) {
+    if xs.is_empty() {
+        return;
+    }
+    // Bitwise-constant fast path: exact at any magnitude.
+    let first = xs[0].to_bits();
+    if xs.iter().all(|x| x.to_bits() == first) {
+        xs.iter_mut().for_each(|x| *x = 0.0);
+        return;
+    }
     let m = mean(xs);
     let s = std_dev(xs);
-    if s < 1e-12 {
+    if !m.is_finite() || !s.is_finite() || s <= 1e-12 * m.abs().max(1.0) {
         xs.iter_mut().for_each(|x| *x = 0.0);
     } else {
         xs.iter_mut().for_each(|x| *x = (*x - m) / s);
@@ -100,6 +132,64 @@ mod tests {
     #[test]
     fn constant_series_maps_to_zeros() {
         assert_eq!(z_normalized(&[5.0, 5.0, 5.0]), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn huge_constant_series_maps_to_zeros_not_nan() {
+        // Regression: the naive sum overflowed to inf for values near
+        // f64::MAX, turning (x - mean) / sigma into NaN.
+        for v in [1.0e308, f64::MAX, -1.0e308, 1.0e-308] {
+            let z = z_normalized(&[v; 4]);
+            assert_eq!(z, vec![0.0; 4], "constant {v} must map to zeros");
+        }
+    }
+
+    #[test]
+    fn mean_of_huge_constant_does_not_overflow() {
+        assert_eq!(mean(&[1.0e308; 3]), 1.0e308);
+        assert_eq!(std_dev(&[1.0e308; 3]), 0.0);
+        assert_eq!(mean(&[f64::MAX, f64::MAX]), f64::MAX);
+    }
+
+    #[test]
+    fn unrepresentable_variance_maps_to_zeros_not_inf() {
+        // ±f64::MAX has a variance beyond f64 range; the output must be
+        // the degenerate all-zeros series, never Inf/NaN.
+        let z = z_normalized(&[f64::MAX, -f64::MAX]);
+        assert!(z.iter().all(|x| x.is_finite()), "{z:?}");
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn near_constant_large_scale_is_not_amplified() {
+        // Sigma below numerical resolution at this magnitude: cancellation
+        // noise must not be blown up to unit variance.
+        let z = z_normalized(&[1.0e9, 1.0e9 + 1.0e-5, 1.0e9 - 1.0e-5]);
+        assert!(z.iter().all(|x| x.is_finite()));
+        assert_eq!(z, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn signed_zero_series_maps_to_zeros() {
+        assert_eq!(z_normalized(&[-0.0, 0.0, -0.0]), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn single_element_and_empty_series_are_safe() {
+        assert_eq!(z_normalized(&[42.0]), vec![0.0]);
+        assert_eq!(z_normalized(&[]), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn normalization_never_emits_non_finite_across_magnitudes() {
+        for exp in (-300i32..=300).step_by(50) {
+            let scale = 10.0f64.powi(exp);
+            let z = z_normalized(&[scale, 2.0 * scale, -scale, 0.5 * scale]);
+            assert!(
+                z.iter().all(|x| x.is_finite()),
+                "scale 1e{exp} emitted non-finite: {z:?}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Seeded cell-fault models for the conformance harness.
+//!
+//! Related work on analog CAMs and NVM accelerators identifies a small set
+//! of dominant post-fabrication failure modes for memristive cells; this
+//! module models the ones the paper's tuning procedure (Section 3.3(2))
+//! must either correct or *detect*:
+//!
+//! * **stuck-at-HRS / stuck-at-LRS** — forming or endurance failures pin
+//!   the cell at one rail; no pulse moves it, so any other target ratio is
+//!   unreachable and tuning must fail typed;
+//! * **resistance drift** — retention loss scales the read resistance by a
+//!   constant factor; the window shifts with it, so in-range targets remain
+//!   tunable (the ratio controller compensates);
+//! * **dead programming** — the read path works but pulses no longer move
+//!   the state (switching-layer wear-out); the target looks in-range yet
+//!   the loop can never converge.
+//!
+//! [`FaultyMemristor`] wraps a healthy [`Memristor`] and distorts the three
+//! [`TuneTarget`] primitives accordingly, so the same modulate/verify loop
+//! runs unmodified against faulty cells.
+
+use crate::biolek::Memristor;
+use crate::tuning::TuneTarget;
+
+/// A single-cell fault mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CellFault {
+    /// Cell pinned at the high-resistance rail; pulses are no-ops.
+    StuckAtHrs,
+    /// Cell pinned at the low-resistance rail; pulses are no-ops.
+    StuckAtLrs,
+    /// Read resistance scaled by the given factor (> 0); programming still
+    /// works, so the tuning loop can compensate for in-range targets.
+    Drift(f64),
+    /// Reads report the true state but programming pulses no longer move
+    /// it — the target looks reachable yet tuning cannot converge.
+    DeadProgramming,
+}
+
+impl CellFault {
+    /// Stable lower-case label used in conformance ledgers and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CellFault::StuckAtHrs => "stuck_at_hrs",
+            CellFault::StuckAtLrs => "stuck_at_lrs",
+            CellFault::Drift(_) => "drift",
+            CellFault::DeadProgramming => "dead_programming",
+        }
+    }
+}
+
+/// A memristor with one injected [`CellFault`].
+#[derive(Debug, Clone, Copy)]
+pub struct FaultyMemristor {
+    inner: Memristor,
+    fault: CellFault,
+}
+
+impl FaultyMemristor {
+    /// Wraps a device with a fault.
+    pub fn new(inner: Memristor, fault: CellFault) -> Self {
+        FaultyMemristor { inner, fault }
+    }
+
+    /// The injected fault.
+    pub fn fault(&self) -> CellFault {
+        self.fault
+    }
+
+    /// The wrapped (healthy-model) device.
+    pub fn inner(&self) -> &Memristor {
+        &self.inner
+    }
+
+    /// The resistance an external read observes, Ω.
+    pub fn resistance(&self) -> f64 {
+        match self.fault {
+            CellFault::StuckAtHrs => self.inner.params().r_off,
+            CellFault::StuckAtLrs => self.inner.params().r_on,
+            CellFault::Drift(scale) => self.inner.resistance() * scale,
+            CellFault::DeadProgramming => self.inner.resistance(),
+        }
+    }
+}
+
+impl TuneTarget for FaultyMemristor {
+    fn resistance(&self) -> f64 {
+        FaultyMemristor::resistance(self)
+    }
+
+    fn resistance_bounds(&self) -> (f64, f64) {
+        let r_on = self.inner.params().r_on;
+        let r_off = self.inner.params().r_off;
+        match self.fault {
+            // A stuck cell's window collapses to the rail it is pinned at.
+            CellFault::StuckAtHrs => (r_off, r_off),
+            CellFault::StuckAtLrs => (r_on, r_on),
+            // Drift shifts the whole observable window with the read path.
+            CellFault::Drift(scale) => (r_on * scale, r_off * scale),
+            // Dead programming is indistinguishable from healthy at
+            // precheck time — only the loop itself exposes it.
+            CellFault::DeadProgramming => (r_on, r_off),
+        }
+    }
+
+    fn pulse(&mut self, voltage: f64, width: f64, dt: f64) {
+        match self.fault {
+            CellFault::StuckAtHrs | CellFault::StuckAtLrs | CellFault::DeadProgramming => {}
+            CellFault::Drift(_) => {
+                self.inner.apply_voltage(voltage, width, dt);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::BiolekParams;
+
+    fn healthy(r: f64) -> Memristor {
+        Memristor::at_resistance(BiolekParams::paper_defaults(), r)
+    }
+
+    #[test]
+    fn stuck_cells_read_their_rail_and_ignore_pulses() {
+        let params = BiolekParams::paper_defaults();
+        let mut hrs = FaultyMemristor::new(healthy(50.0e3), CellFault::StuckAtHrs);
+        let mut lrs = FaultyMemristor::new(healthy(50.0e3), CellFault::StuckAtLrs);
+        assert_eq!(hrs.resistance(), params.r_off);
+        assert_eq!(lrs.resistance(), params.r_on);
+        hrs.pulse(3.5, 1.0e-6, 1.0e-9);
+        lrs.pulse(-3.5, 1.0e-6, 1.0e-9);
+        assert_eq!(hrs.resistance(), params.r_off);
+        assert_eq!(lrs.resistance(), params.r_on);
+        assert_eq!(hrs.resistance_bounds(), (params.r_off, params.r_off));
+        assert_eq!(lrs.resistance_bounds(), (params.r_on, params.r_on));
+    }
+
+    #[test]
+    fn drift_scales_reads_but_keeps_programming_alive() {
+        let mut cell = FaultyMemristor::new(healthy(50.0e3), CellFault::Drift(1.2));
+        assert!((cell.resistance() - 60.0e3).abs() < 1.0);
+        let before = cell.resistance();
+        cell.pulse(3.5, 100.0e-9, 1.0e-9);
+        assert!(
+            cell.resistance() < before,
+            "positive pulse must still lower resistance"
+        );
+        let (lo, hi) = cell.resistance_bounds();
+        let params = BiolekParams::paper_defaults();
+        assert!((lo - params.r_on * 1.2).abs() < 1e-6);
+        assert!((hi - params.r_off * 1.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dead_programming_reads_true_state_but_pulses_are_no_ops() {
+        let mut cell = FaultyMemristor::new(healthy(50.0e3), CellFault::DeadProgramming);
+        assert!((cell.resistance() - 50.0e3).abs() < 1.0);
+        cell.pulse(3.5, 1.0e-6, 1.0e-9);
+        assert!((cell.resistance() - 50.0e3).abs() < 1.0);
+        // Indistinguishable from healthy at precheck time.
+        let params = BiolekParams::paper_defaults();
+        assert_eq!(cell.resistance_bounds(), (params.r_on, params.r_off));
+    }
+
+    #[test]
+    fn fault_labels_are_stable() {
+        assert_eq!(CellFault::StuckAtHrs.label(), "stuck_at_hrs");
+        assert_eq!(CellFault::StuckAtLrs.label(), "stuck_at_lrs");
+        assert_eq!(CellFault::Drift(1.1).label(), "drift");
+        assert_eq!(CellFault::DeadProgramming.label(), "dead_programming");
+    }
+}

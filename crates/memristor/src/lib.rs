@@ -10,7 +10,9 @@
 //! * [`variation`] — process variation sampling (±20–30 % tolerance) and the
 //!   tolerance-control pairing of Section 3.3(3);
 //! * [`tuning`] — the two-step modulate/verify resistance-tuning procedures
-//!   of Section 3.3(2) for analog subtractors and adders (Fig. 4).
+//!   of Section 3.3(2) for analog subtractors and adders (Fig. 4);
+//! * [`faults`] — seeded cell-fault models (stuck-at rails, drift, dead
+//!   programming) the conformance harness injects under the tuning loop.
 //!
 //! ## Example
 //!
@@ -24,13 +26,18 @@
 //! ```
 
 pub mod biolek;
+pub mod faults;
 pub mod params;
 pub mod stochastic;
 pub mod tuning;
 pub mod variation;
 
 pub use biolek::Memristor;
+pub use faults::{CellFault, FaultyMemristor};
 pub use params::{BiolekParams, StochasticParams};
 pub use stochastic::{StochasticMemristor, SwitchingEvent};
-pub use tuning::{AdderTuner, SubtractorTuner, TuningOutcome, TuningReport};
+pub use tuning::{
+    try_tune_ratio, tune_ratio, AdderTuner, PulseSchedule, SubtractorTuner, TuneTarget,
+    TuningError, TuningOutcome, TuningReport,
+};
 pub use variation::{pair_with_tolerance_control, ProcessVariation};

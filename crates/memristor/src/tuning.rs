@@ -15,11 +15,107 @@
 //!
 //! [`tune_ratio`] implements one modulate/verify loop for a single device
 //! against a reference; [`SubtractorTuner`] and [`AdderTuner`] apply it to
-//! the two circuit shapes.
+//! the two circuit shapes. [`try_tune_ratio`] is the typed-error variant
+//! used by the conformance harness: it validates its arguments instead of
+//! panicking, prechecks the target against the device's programmable window
+//! ([`TuneTarget::resistance_bounds`]) and reports unreachable targets and
+//! non-convergence as [`TuningError`] values, so faulty cells can never be
+//! silently "tuned" to a wrong answer.
+
+use std::fmt;
 
 use rand::Rng;
 
 use crate::biolek::Memristor;
+
+/// A device the modulate/verify loop can program.
+///
+/// The loop only needs three capabilities: read the (possibly degraded)
+/// resistance, know the programmable window, and apply one pulse. Real
+/// [`Memristor`]s implement it directly; fault models such as
+/// [`FaultyMemristor`](crate::faults::FaultyMemristor) wrap one and distort
+/// these primitives.
+pub trait TuneTarget {
+    /// The resistance a verify step reads back, Ω.
+    fn resistance(&self) -> f64;
+    /// `(min, max)` resistance the device can be programmed to, Ω.
+    ///
+    /// A stuck cell collapses this to a point, which is how
+    /// [`try_tune_ratio`] detects an unreachable target before wasting
+    /// pulses on it.
+    fn resistance_bounds(&self) -> (f64, f64);
+    /// Applies one programming pulse (positive voltage drives toward LRS).
+    fn pulse(&mut self, voltage: f64, width: f64, dt: f64);
+}
+
+impl TuneTarget for Memristor {
+    fn resistance(&self) -> f64 {
+        Memristor::resistance(self)
+    }
+
+    fn resistance_bounds(&self) -> (f64, f64) {
+        (self.params().r_on, self.params().r_off)
+    }
+
+    fn pulse(&mut self, voltage: f64, width: f64, dt: f64) {
+        self.apply_voltage(voltage, width, dt);
+    }
+}
+
+/// Why a typed tuning attempt failed.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TuningError {
+    /// An argument was out of domain (non-positive ratio, tolerance, …).
+    InvalidParameter {
+        /// Which argument.
+        name: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// The target resistance lies outside the device's programmable window,
+    /// so no pulse sequence can reach it (e.g. a stuck-at cell).
+    TargetUnreachable {
+        /// `target_ratio * reference_resistance`, Ω.
+        required_resistance: f64,
+        /// Lower edge of the programmable window, Ω.
+        min_resistance: f64,
+        /// Upper edge of the programmable window, Ω.
+        max_resistance: f64,
+    },
+    /// The target was in range but the loop hit its iteration cap — e.g. a
+    /// cell whose programming pulses no longer move the state.
+    DidNotConverge {
+        /// The full report of the failed loop (history included).
+        report: TuningReport,
+    },
+}
+
+impl fmt::Display for TuningError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TuningError::InvalidParameter { name, reason } => {
+                write!(f, "invalid tuning parameter `{name}`: {reason}")
+            }
+            TuningError::TargetUnreachable {
+                required_resistance,
+                min_resistance,
+                max_resistance,
+            } => write!(
+                f,
+                "target resistance {required_resistance:.3e} Ω outside programmable window \
+                 [{min_resistance:.3e}, {max_resistance:.3e}] Ω"
+            ),
+            TuningError::DidNotConverge { report } => write!(
+                f,
+                "tuning did not converge after {} iterations (final error {:.3e})",
+                report.iterations, report.final_error
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TuningError {}
 
 /// Programming-pulse parameters used during modulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -103,6 +199,36 @@ pub fn tune_ratio<R: Rng + ?Sized>(
 
     let target_r =
         (target_ratio * reference_resistance).clamp(device.params().r_on, device.params().r_off);
+    run_loop(
+        device,
+        reference_resistance,
+        target_ratio,
+        target_r,
+        tolerance,
+        schedule,
+        max_iterations,
+        measure_noise,
+        rng,
+    )
+}
+
+/// The shared modulate/verify loop behind [`tune_ratio`] and
+/// [`try_tune_ratio`]. `target_r` is the resistance the modulation steers
+/// toward; convergence is always verified against the caller's unclamped
+/// `target_ratio`, so an out-of-window target reported as reachable by a
+/// clamping caller still shows its true residual error.
+#[allow(clippy::too_many_arguments)]
+fn run_loop<D: TuneTarget + ?Sized, R: Rng + ?Sized>(
+    device: &mut D,
+    reference_resistance: f64,
+    target_ratio: f64,
+    target_r: f64,
+    tolerance: f64,
+    schedule: PulseSchedule,
+    max_iterations: usize,
+    measure_noise: f64,
+    rng: &mut R,
+) -> TuningReport {
     let mut history = Vec::new();
 
     for iteration in 1..=max_iterations {
@@ -131,7 +257,7 @@ pub fn tune_ratio<R: Rng + ?Sized>(
         } else {
             -schedule.voltage
         };
-        device.apply_voltage(direction, width, schedule.dt);
+        device.pulse(direction, width, schedule.dt);
     }
 
     let final_error = (device.resistance() / reference_resistance / target_ratio - 1.0).abs();
@@ -140,6 +266,91 @@ pub fn tune_ratio<R: Rng + ?Sized>(
         iterations: max_iterations,
         final_error,
         history,
+    }
+}
+
+/// Typed-error variant of [`tune_ratio`], generic over [`TuneTarget`] so
+/// fault-injected devices can be tuned through the same loop.
+///
+/// Validates all arguments (returning
+/// [`TuningError::InvalidParameter`] instead of panicking), prechecks the
+/// target resistance against the device's programmable window (returning
+/// [`TuningError::TargetUnreachable`] without spending a single pulse on a
+/// stuck cell), and reports an exhausted iteration cap as
+/// [`TuningError::DidNotConverge`] carrying the full report. A successful
+/// return therefore *guarantees* the measured ratio is within tolerance —
+/// there is no silently-degraded success path.
+///
+/// # Errors
+///
+/// [`TuningError`] as described above; never panics.
+#[allow(clippy::too_many_arguments)]
+pub fn try_tune_ratio<D: TuneTarget + ?Sized, R: Rng + ?Sized>(
+    device: &mut D,
+    reference_resistance: f64,
+    target_ratio: f64,
+    tolerance: f64,
+    schedule: PulseSchedule,
+    max_iterations: usize,
+    measure_noise: f64,
+    rng: &mut R,
+) -> Result<TuningReport, TuningError> {
+    let positive_finite = |name: &'static str, value: f64| -> Result<(), TuningError> {
+        if value.is_finite() && value > 0.0 {
+            Ok(())
+        } else {
+            Err(TuningError::InvalidParameter {
+                name,
+                reason: format!("must be positive and finite, got {value}"),
+            })
+        }
+    };
+    positive_finite("target_ratio", target_ratio)?;
+    positive_finite("tolerance", tolerance)?;
+    positive_finite("reference_resistance", reference_resistance)?;
+    if !(measure_noise.is_finite() && measure_noise >= 0.0) {
+        return Err(TuningError::InvalidParameter {
+            name: "measure_noise",
+            reason: format!("must be non-negative and finite, got {measure_noise}"),
+        });
+    }
+    if max_iterations == 0 {
+        return Err(TuningError::InvalidParameter {
+            name: "max_iterations",
+            reason: "must be at least 1".to_string(),
+        });
+    }
+
+    let required_resistance = target_ratio * reference_resistance;
+    let (min_resistance, max_resistance) = device.resistance_bounds();
+    // The verify step measures a *ratio*, so the window check uses the same
+    // relative tolerance: a target within `tolerance` of the window edge is
+    // still attainable.
+    if required_resistance < min_resistance * (1.0 - tolerance)
+        || required_resistance > max_resistance * (1.0 + tolerance)
+    {
+        return Err(TuningError::TargetUnreachable {
+            required_resistance,
+            min_resistance,
+            max_resistance,
+        });
+    }
+
+    let target_r = required_resistance.clamp(min_resistance, max_resistance);
+    let report = run_loop(
+        device,
+        reference_resistance,
+        target_ratio,
+        target_r,
+        tolerance,
+        schedule,
+        max_iterations,
+        measure_noise,
+        rng,
+    );
+    match report.outcome {
+        TuningOutcome::Converged => Ok(report),
+        TuningOutcome::MaxIterationsReached => Err(TuningError::DidNotConverge { report }),
     }
 }
 
@@ -406,6 +617,186 @@ mod tests {
             &mut rng,
         );
         assert_eq!(report.outcome, TuningOutcome::MaxIterationsReached);
+    }
+
+    #[test]
+    fn try_tune_converges_from_hrs_side_error() {
+        // Fabricated above target (HRS-side offset): pulses must drive the
+        // resistance down until the two-step loop verifies in tolerance.
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut device = Memristor::at_resistance(BiolekParams::paper_defaults(), 65.0e3);
+        let report = try_tune_ratio(
+            &mut device,
+            50.0e3,
+            1.0,
+            0.01,
+            PulseSchedule::default(),
+            500,
+            1.0e-3,
+            &mut rng,
+        )
+        .expect("HRS-side tuning must converge");
+        assert!(report.converged());
+        assert!((device.resistance() / 50.0e3 - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn try_tune_converges_from_lrs_side_error() {
+        // Fabricated below target (LRS-side offset): driven toward HRS.
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut device = Memristor::at_resistance(BiolekParams::paper_defaults(), 35.0e3);
+        let report = try_tune_ratio(
+            &mut device,
+            50.0e3,
+            1.0,
+            0.01,
+            PulseSchedule::default(),
+            500,
+            1.0e-3,
+            &mut rng,
+        )
+        .expect("LRS-side tuning must converge");
+        assert!(report.converged());
+        assert!((device.resistance() / 50.0e3 - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn try_tune_rejects_unreachable_target_typed() {
+        // Ratio 1000 against a 1 kΩ reference needs 1 MΩ — beyond Roff.
+        // The typed API must refuse before wasting pulses, not panic and
+        // not report a clamped pseudo-success.
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut device = Memristor::at_resistance(BiolekParams::paper_defaults(), 50.0e3);
+        let before = device.resistance();
+        let err = try_tune_ratio(
+            &mut device,
+            1.0e3,
+            1000.0,
+            0.01,
+            PulseSchedule::default(),
+            50,
+            1.0e-3,
+            &mut rng,
+        )
+        .expect_err("unreachable target must fail");
+        let TuningError::TargetUnreachable {
+            required_resistance,
+            min_resistance,
+            max_resistance,
+        } = err
+        else {
+            panic!("expected TargetUnreachable, got {err:?}");
+        };
+        assert!((required_resistance - 1.0e6).abs() < 1.0);
+        assert!(required_resistance > max_resistance);
+        assert!(min_resistance < max_resistance);
+        assert_eq!(device.resistance(), before, "no pulses may be spent");
+    }
+
+    #[test]
+    fn try_tune_rejects_bad_parameters_typed() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let mut device = Memristor::at_resistance(BiolekParams::paper_defaults(), 50.0e3);
+        let cases: [(f64, f64, f64, usize, f64, &str); 5] = [
+            (-1.0, 0.01, 50.0e3, 50, 1.0e-3, "target_ratio"),
+            (1.0, 0.0, 50.0e3, 50, 1.0e-3, "tolerance"),
+            (1.0, 0.01, f64::NAN, 50, 1.0e-3, "reference_resistance"),
+            (1.0, 0.01, 50.0e3, 0, 1.0e-3, "max_iterations"),
+            (1.0, 0.01, 50.0e3, 50, -0.5, "measure_noise"),
+        ];
+        for (ratio, tol, reference, iters, noise, expect) in cases {
+            let err = try_tune_ratio(
+                &mut device,
+                reference,
+                ratio,
+                tol,
+                PulseSchedule::default(),
+                iters,
+                noise,
+                &mut rng,
+            )
+            .expect_err("bad parameter must fail typed");
+            let TuningError::InvalidParameter { name, .. } = err else {
+                panic!("expected InvalidParameter for {expect}, got {err:?}");
+            };
+            assert_eq!(name, expect);
+        }
+    }
+
+    #[test]
+    fn try_tune_reports_non_convergence_with_history() {
+        // A dead-programming cell looks healthy at precheck but never moves;
+        // the loop must exhaust its cap and return the full report.
+        use crate::faults::{CellFault, FaultyMemristor};
+        let mut rng = StdRng::seed_from_u64(25);
+        let inner = Memristor::at_resistance(BiolekParams::paper_defaults(), 80.0e3);
+        let mut cell = FaultyMemristor::new(inner, CellFault::DeadProgramming);
+        let err = try_tune_ratio(
+            &mut cell,
+            50.0e3,
+            1.0,
+            0.01,
+            PulseSchedule::default(),
+            40,
+            1.0e-3,
+            &mut rng,
+        )
+        .expect_err("dead cell cannot converge");
+        let TuningError::DidNotConverge { report } = err else {
+            panic!("expected DidNotConverge, got {err:?}");
+        };
+        assert_eq!(report.outcome, TuningOutcome::MaxIterationsReached);
+        assert_eq!(report.iterations, 40);
+        assert_eq!(report.history.len(), 40);
+        assert!(report.final_error > 0.01);
+    }
+
+    #[test]
+    fn try_tune_compensates_drift_for_in_range_targets() {
+        // Retention drift rescales the read path; the ratio controller
+        // still converges because the programmable window shifts with it.
+        use crate::faults::{CellFault, FaultyMemristor};
+        let mut rng = StdRng::seed_from_u64(26);
+        let inner = Memristor::at_resistance(BiolekParams::paper_defaults(), 60.0e3);
+        let mut cell = FaultyMemristor::new(inner, CellFault::Drift(1.15));
+        let report = try_tune_ratio(
+            &mut cell,
+            50.0e3,
+            1.0,
+            0.01,
+            PulseSchedule::default(),
+            500,
+            1.0e-3,
+            &mut rng,
+        )
+        .expect("drifted cell with in-range target must still tune");
+        assert!(report.converged());
+        assert!((TuneTarget::resistance(&cell) / 50.0e3 - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn try_tune_fails_typed_on_stuck_cells() {
+        use crate::faults::{CellFault, FaultyMemristor};
+        let mut rng = StdRng::seed_from_u64(27);
+        for fault in [CellFault::StuckAtHrs, CellFault::StuckAtLrs] {
+            let inner = Memristor::at_resistance(BiolekParams::paper_defaults(), 50.0e3);
+            let mut cell = FaultyMemristor::new(inner, fault);
+            let err = try_tune_ratio(
+                &mut cell,
+                50.0e3,
+                1.0,
+                0.01,
+                PulseSchedule::default(),
+                200,
+                1.0e-3,
+                &mut rng,
+            )
+            .expect_err("stuck cell must fail typed");
+            assert!(
+                matches!(err, TuningError::TargetUnreachable { .. }),
+                "{fault:?}: expected TargetUnreachable, got {err:?}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! Fuzz-regression corpus replay.
+//!
+//! The malformed/truncated/oversized inputs that the PR-3 property tests
+//! explored randomly are checked in here as fixed fixtures under
+//! `tests/corpus/`, so every past failure shape is replayed deterministically
+//! on every run — no generator schedule or seed involved.
+//!
+//! Two layers are exercised:
+//!
+//! * **codec**: each fixture is fed to `read_frame`/`decode_request`
+//!   directly and must produce exactly the expected typed outcome — never a
+//!   panic, never a silent success for a malformed input;
+//! * **live server**: each fixture's raw bytes are thrown at a running
+//!   server socket; whatever happens on that connection, the server must
+//!   keep answering fresh connections.
+
+use std::io::{Cursor, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use mda_server::client::Client;
+use mda_server::protocol::{
+    decode_request, read_frame, write_frame, ProtocolError, DEFAULT_MAX_FRAME_BYTES,
+};
+use mda_server::{Server, ServerConfig};
+
+/// Expected codec outcome for one corpus entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Expect {
+    /// `read_frame` reports the announced payload exceeds the cap.
+    FrameTooLarge,
+    /// `read_frame` hits an unexpected EOF mid-header or mid-payload.
+    TruncatedIo,
+    /// `read_frame` reports a clean end-of-stream between frames.
+    CleanEof,
+    /// The frame layer yields a payload that `decode_request` rejects.
+    DecodeError,
+    /// The payload decodes; the request is handled (possibly to an
+    /// in-band error or a degenerate value) without crashing anything.
+    DecodeOk,
+}
+
+/// A frame-level fixture: raw bytes as they would arrive on the socket.
+const FRAME_CORPUS: &[(&str, &[u8], Expect)] = &[
+    (
+        "frame_truncated_header",
+        include_bytes!("corpus/frame_truncated_header.bin"),
+        Expect::TruncatedIo,
+    ),
+    (
+        "frame_truncated_payload",
+        include_bytes!("corpus/frame_truncated_payload.bin"),
+        Expect::TruncatedIo,
+    ),
+    (
+        "frame_oversized",
+        include_bytes!("corpus/frame_oversized.bin"),
+        Expect::FrameTooLarge,
+    ),
+    (
+        "frame_empty",
+        include_bytes!("corpus/frame_empty.bin"),
+        Expect::CleanEof,
+    ),
+    (
+        "frame_zero_length",
+        include_bytes!("corpus/frame_zero_length.bin"),
+        Expect::DecodeError,
+    ),
+];
+
+/// A payload-level fixture: bytes inside a well-formed frame.
+const PAYLOAD_CORPUS: &[(&str, &[u8], Expect)] = &[
+    (
+        "payload_invalid_utf8",
+        include_bytes!("corpus/payload_invalid_utf8.bin"),
+        Expect::DecodeError,
+    ),
+    (
+        "payload_not_json",
+        include_bytes!("corpus/payload_not_json.json"),
+        Expect::DecodeError,
+    ),
+    (
+        "payload_missing_id",
+        include_bytes!("corpus/payload_missing_id.json"),
+        Expect::DecodeError,
+    ),
+    (
+        "payload_missing_op",
+        include_bytes!("corpus/payload_missing_op.json"),
+        Expect::DecodeError,
+    ),
+    (
+        "payload_unknown_op",
+        include_bytes!("corpus/payload_unknown_op.json"),
+        Expect::DecodeError,
+    ),
+    (
+        "payload_bad_kind",
+        include_bytes!("corpus/payload_bad_kind.json"),
+        Expect::DecodeError,
+    ),
+    (
+        "payload_bool_series",
+        include_bytes!("corpus/payload_bool_series.json"),
+        Expect::DecodeError,
+    ),
+    (
+        "payload_knn_k_zero",
+        include_bytes!("corpus/payload_knn_k_zero.json"),
+        Expect::DecodeError,
+    ),
+    (
+        "payload_search_window_zero",
+        include_bytes!("corpus/payload_search_window_zero.json"),
+        Expect::DecodeError,
+    ),
+    (
+        "payload_fractional_id",
+        include_bytes!("corpus/payload_fractional_id.json"),
+        Expect::DecodeError,
+    ),
+    (
+        "payload_deep_nesting",
+        include_bytes!("corpus/payload_deep_nesting.json"),
+        Expect::DecodeError,
+    ),
+    // `1e999` overflows to `inf`, which the codec accepts as a number; the
+    // engine then computes an infinite distance and the reply encodes it as
+    // JSON null. Ugly, but typed and crash-free end to end — pinned here so
+    // any change in that behavior is a conscious one.
+    (
+        "payload_huge_exponent",
+        include_bytes!("corpus/payload_huge_exponent.json"),
+        Expect::DecodeOk,
+    ),
+];
+
+/// Runs one frame-level fixture through `read_frame` (+ `decode_request`
+/// when a payload comes out) and classifies the outcome.
+fn classify_frame(bytes: &[u8]) -> Expect {
+    let mut cursor = Cursor::new(bytes);
+    match read_frame(&mut cursor, DEFAULT_MAX_FRAME_BYTES) {
+        Ok(payload) => classify_payload(&payload),
+        Err(e) if e.is_clean_eof() => Expect::CleanEof,
+        Err(ProtocolError::FrameTooLarge { .. }) => Expect::FrameTooLarge,
+        Err(ProtocolError::Io(_)) => Expect::TruncatedIo,
+        Err(_) => Expect::DecodeError,
+    }
+}
+
+fn classify_payload(payload: &[u8]) -> Expect {
+    match decode_request(payload) {
+        Ok(_) => Expect::DecodeOk,
+        Err(ProtocolError::Json(_) | ProtocolError::Schema(_)) => Expect::DecodeError,
+        Err(e) => panic!("payload decode must fail as Json/Schema, got {e:?}"),
+    }
+}
+
+#[test]
+fn frame_corpus_replays_to_expected_typed_outcomes() {
+    for (name, bytes, expect) in FRAME_CORPUS {
+        let got = classify_frame(bytes);
+        assert_eq!(got, *expect, "fixture {name}");
+    }
+}
+
+#[test]
+fn payload_corpus_replays_to_expected_typed_outcomes() {
+    for (name, bytes, expect) in PAYLOAD_CORPUS {
+        let got = classify_payload(bytes);
+        assert_eq!(got, *expect, "fixture {name}");
+    }
+}
+
+/// Every fixture, thrown raw at a live server: the connection may die, but
+/// the server must answer a fresh ping afterwards — a malformed client can
+/// never take the service down.
+#[test]
+fn live_server_survives_entire_corpus() {
+    let server = Server::start(ServerConfig::default()).expect("server start");
+    let addr = server.local_addr();
+
+    let attack = |name: &str, raw: &[u8]| {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_millis(500)))
+            .unwrap();
+        // The server may close the socket mid-write; that is a valid
+        // defensive response, not a test failure.
+        let _ = stream.write_all(raw);
+        let _ = stream.flush();
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let mut sink = Vec::new();
+        let _ = stream.read_to_end(&mut sink);
+        drop(stream);
+
+        let mut probe = Client::connect(addr).expect("fresh connection");
+        probe.ping().unwrap_or_else(|e| {
+            panic!("server unresponsive after fixture {name}: {e}");
+        });
+    };
+
+    for (name, bytes, _) in FRAME_CORPUS {
+        attack(name, bytes);
+    }
+    for (name, bytes, _) in PAYLOAD_CORPUS {
+        let mut framed = Vec::new();
+        write_frame(&mut framed, bytes).expect("frame fixture payload");
+        attack(name, &framed);
+    }
+
+    server.shutdown_and_join();
+}
