@@ -1,0 +1,94 @@
+//! Conformance of the opt-in quantized (i16 codes, f32 accumulation) DTW
+//! kernel against the exact f64 reference, under the same calibrated
+//! behavioural bounds the analog layer is held to: converter resolution is
+//! exactly the error source those bounds price in, so the digital mirror of
+//! the converter interface must sit comfortably inside them.
+
+use mda_conformance::bounds;
+use mda_conformance::case::generate;
+use mda_distance::quantized::QuantizedDtw;
+use mda_distance::{Band, DistanceKind, Dtw};
+
+fn dtw_cases(seed: u64, want: usize) -> Vec<(mda_conformance::CaseSpec, Band)> {
+    let mut cases = Vec::new();
+    let mut id = 0u64;
+    while cases.len() < want && id < 10_000 {
+        let case = generate(seed, id);
+        id += 1;
+        if case.kind != DistanceKind::Dtw {
+            continue;
+        }
+        let band = case.band.map_or(Band::Full, Band::SakoeChiba);
+        cases.push((case, band));
+    }
+    cases
+}
+
+#[test]
+fn quantized_dtw_stays_within_behavioural_bounds() {
+    let mut checked = 0usize;
+    for (case, band) in dtw_cases(0xD17AD, 120) {
+        let exact = match Dtw::new().with_band(band).distance(&case.p, &case.q) {
+            Ok(d) => d,
+            Err(_) => {
+                // Band admits no warping path: the quantized kernel must
+                // refuse the same inputs rather than fabricate a value.
+                assert!(
+                    QuantizedDtw::paper_reference()
+                        .with_band(band)
+                        .distance(&case.p, &case.q)
+                        .is_err(),
+                    "case {} must refuse an infeasible band",
+                    case.id
+                );
+                continue;
+            }
+        };
+        let quant = QuantizedDtw::paper_reference()
+            .with_band(band)
+            .distance(&case.p, &case.q)
+            .unwrap();
+        let len = case.p.len().max(case.q.len());
+        let bound = bounds::behavioural(DistanceKind::Dtw, len);
+        assert!(
+            bound.allows(quant, exact),
+            "case {}: quantized {} vs exact {} exceeds margin {} at len {}",
+            case.id,
+            quant,
+            exact,
+            bound.margin(exact),
+            len
+        );
+        checked += 1;
+    }
+    assert!(checked >= 40, "only {checked} feasible DTW cases checked");
+}
+
+#[test]
+fn quantization_error_is_nonzero_and_resolution_dependent() {
+    // The bound must be doing real work: off-grid inputs deviate, and a
+    // coarser grid deviates more (summed over a case batch — a single case
+    // can get lucky with cancellation).
+    let coarse = QuantizedDtw::new(mda_distance::quantized::QuantSpec::new(4, 12.5));
+    let fine = QuantizedDtw::paper_reference();
+    let mut coarse_err = 0.0f64;
+    let mut fine_err = 0.0f64;
+    let mut any_deviation = false;
+    for (case, band) in dtw_cases(0x5EED, 60) {
+        let Ok(exact) = Dtw::new().with_band(band).distance(&case.p, &case.q) else {
+            continue;
+        };
+        let f = fine.with_band(band).distance(&case.p, &case.q).unwrap();
+        let c = coarse.with_band(band).distance(&case.p, &case.q).unwrap();
+        fine_err += (f - exact).abs();
+        coarse_err += (c - exact).abs();
+        if f != exact {
+            any_deviation = true;
+        }
+    }
+    assert!(any_deviation, "8-bit grid never deviated — test is vacuous");
+    assert!(
+        coarse_err > fine_err,
+        "4-bit total error {coarse_err} should exceed 8-bit total error {fine_err}"
+    );
+}

@@ -9,12 +9,42 @@
 //! Supports the Sakoe–Chiba band constraint the paper adopts from
 //! Rakthanmanon et al. (the "UCR suite"), and per-cell weights for weighted
 //! DTW (Jeong et al.).
+//!
+//! Two serial layouts of the same recurrence are used:
+//!
+//! * [`Dtw::distance_with`] walks the matrix **anti-diagonally** (wavefront
+//!   order). Cells on one anti-diagonal have no data dependencies between
+//!   them — exactly the property the paper's memristor array exploits to
+//!   evaluate a whole diagonal of PEs at once (Section 3.3) — so the inner
+//!   loop is a straight-line min/add over contiguous slices that the
+//!   compiler can autovectorize, unlike row-major order whose `D[i][j-1]`
+//!   term serializes the row.
+//! * [`Dtw::distance_early_abandon_with`] stays **row-major**, because early
+//!   abandonment is a per-row decision, but iterates only the admissible
+//!   column segment of each row ([`Band::row_range`]) instead of testing
+//!   every cell against the band.
+//!
+//! Both produce bitwise-identical results to the full-matrix reference
+//! ([`Dtw::matrix`]): the per-cell operation order
+//! `cost + min(min(left, up), diag)` is preserved exactly.
 
 use crate::error::DistanceError;
 use crate::matrix::{DpMatrix, PathStep};
 use crate::scratch::DpScratch;
 use crate::weights::Weights;
 use crate::{Distance, DistanceKind};
+
+/// `floor(a / b)` for `b > 0`.
+#[inline]
+fn floor_div(a: i128, b: i128) -> i128 {
+    a.div_euclid(b)
+}
+
+/// `ceil(a / b)` for `b > 0`.
+#[inline]
+fn ceil_div(a: i128, b: i128) -> i128 {
+    -((-a).div_euclid(b))
+}
 
 /// Global path constraint for DTW.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -57,11 +87,63 @@ impl Band {
         }
     }
 
+    /// The inclusive range of admissible columns `(j_lo, j_hi)` in row `i`
+    /// (1-based DP coordinates) for an `m x n` comparison. `j_lo > j_hi`
+    /// means the row has no admissible cell.
+    ///
+    /// The admissible cells of a row are contiguous (the band predicate is
+    /// an interval in `j*m`), and both endpoints are non-decreasing in `i`,
+    /// which the row-major kernels rely on when recycling DP rows. The range
+    /// is derived from the same exact integer predicate as
+    /// [`Band::admissible`]: `j_lo = ceil((i*n - r*m) / m)`,
+    /// `j_hi = floor((i*n + r*m) / m)`, clamped to `[1, n]`.
+    #[inline]
+    pub fn row_range(self, i: usize, m: usize, n: usize) -> (usize, usize) {
+        match self {
+            Band::Full => (1, n),
+            Band::SakoeChiba(r) => {
+                let i_n = i as i128 * n as i128;
+                let rm = r as i128 * m as i128;
+                let lo = ceil_div(i_n - rm, m as i128).max(1) as usize;
+                let hi = floor_div(i_n + rm, m as i128).min(n as i128).max(0) as usize;
+                (lo, hi)
+            }
+        }
+    }
+
+    /// The inclusive range of admissible rows `(i_lo, i_hi)` on the
+    /// anti-diagonal `k = i + j` (interior cells only, `1 <= i <= m`,
+    /// `1 <= j <= n`) for an `m x n` comparison. `i_lo > i_hi` means the
+    /// diagonal has no admissible interior cell.
+    ///
+    /// Substituting `j = k - i` into the band predicate gives
+    /// `|k*m - i*(m+n)| <= r*m`, an interval in `i`, intersected with the
+    /// structural range `[max(1, k-n), min(m, k-1)]`.
+    #[inline]
+    pub fn diag_range(self, k: usize, m: usize, n: usize) -> (usize, usize) {
+        let ilo = k.saturating_sub(n).max(1);
+        let ihi = m.min(k.saturating_sub(1));
+        match self {
+            Band::Full => (ilo, ihi),
+            Band::SakoeChiba(r) => {
+                let km = k as i128 * m as i128;
+                let rm = r as i128 * m as i128;
+                let den = (m + n) as i128;
+                let lo = ceil_div(km - rm, den).max(ilo as i128) as usize;
+                let hi = floor_div(km + rm, den).min(ihi as i128).max(0) as usize;
+                (lo, hi)
+            }
+        }
+    }
+
     /// Number of admissible cells for an `m x n` comparison — the count of
     /// PEs that must be powered on the accelerator.
     pub fn active_cells(self, m: usize, n: usize) -> usize {
         (1..=m)
-            .map(|i| (1..=n).filter(|&j| self.admissible(i, j, m, n)).count())
+            .map(|i| {
+                let (lo, hi) = self.row_range(i, m, n);
+                (hi + 1).saturating_sub(lo)
+            })
             .sum()
     }
 }
@@ -82,6 +164,71 @@ impl Band {
 pub struct Dtw {
     band: Band,
     weights: Weights,
+}
+
+/// Anti-diagonal (wavefront) evaluation of Eq. 2 using three rotating
+/// diagonal buffers from `scratch`. Generic over the weight lookup so the
+/// uniform-weight case monomorphizes to a closed-form `1.0` the optimizer
+/// folds away, leaving a branch-free min/add loop over contiguous slices.
+///
+/// Returns `D[m][n]`, which is non-finite iff the band admits no complete
+/// warping path. Bitwise-identical to the row-major reference: each cell
+/// still computes `cost + left.min(up).min(diag)` in that order.
+fn wavefront_dtw<F: Fn(usize, usize) -> f64>(
+    p: &[f64],
+    q: &[f64],
+    band: Band,
+    scratch: &mut DpScratch,
+    wpair: &F,
+) -> f64 {
+    let (m, n) = (p.len(), q.len());
+    // Diagonal k stores cell (i, j = k - i) at slot i; slots 0..=m.
+    let ([mut d0, mut d1, mut d2], rev) = scratch.wavefront(m + 1, f64::INFINITY, q);
+    // d0 holds diagonal k-2, d1 holds k-1, d2 receives k. w* track the slot
+    // ranges each buffer has valid (non-INF) data in, so recycled buffers
+    // can be wiped in O(band width) instead of O(m).
+    d0[0] = 0.0; // D[0][0]
+    let (mut w0, mut w1, mut w2) = ((0usize, 0usize), (1usize, 0usize), (1usize, 0usize));
+    for k in 2..=(m + n) {
+        // Wipe the stale diagonal (k - 3) this buffer last held: afterwards
+        // every slot outside the freshly written range reads as INF, which
+        // is exactly the value of boundary and out-of-band cells.
+        if w2.0 <= w2.1 {
+            d2[w2.0..=w2.1].fill(f64::INFINITY);
+        }
+        let (lo, hi) = band.diag_range(k, m, n);
+        if lo <= hi {
+            let w = hi - lo + 1;
+            // Reversed q makes both series read forward along the diagonal:
+            // q[j-1] = q[k-i-1] = rev[i + n - k].
+            let dst = &mut d2[lo..lo + w];
+            let lefts = &d1[lo..lo + w]; // D[i][j-1]
+            let ups = &d1[lo - 1..lo - 1 + w]; // D[i-1][j]
+            let diags = &d0[lo - 1..lo - 1 + w]; // D[i-1][j-1]
+            let ps = &p[lo - 1..lo - 1 + w];
+            let qs = &rev[lo + n - k..lo + n - k + w];
+            for t in 0..w {
+                let i = lo + t;
+                let cost = wpair(i - 1, k - i - 1) * (ps[t] - qs[t]).abs();
+                let best = lefts[t].min(ups[t]).min(diags[t]);
+                dst[t] = if best.is_finite() {
+                    cost + best
+                } else {
+                    f64::INFINITY
+                };
+            }
+        }
+        w2 = (lo, hi);
+        // Rotate: (k-1, k, stale) become (k-2, k-1, target) of the next k.
+        let (td, tw) = (d0, w0);
+        d0 = d1;
+        w0 = w1;
+        d1 = d2;
+        w1 = w2;
+        d2 = td;
+        w2 = tw;
+    }
+    d1[m] // diagonal m + n, cell (m, n)
 }
 
 impl Dtw {
@@ -117,6 +264,10 @@ impl Dtw {
     /// Computes the full DP matrix (including the infinite boundary row and
     /// column). Cell `(i, j)` of the result is `D[i][j]` of Eq. 2.
     ///
+    /// This row-major full-matrix form is the semantic reference the
+    /// wavefront kernels are checked against (bitwise, by the `kernels`
+    /// bench identity gate).
+    ///
     /// # Errors
     ///
     /// Returns [`DistanceError::EmptySequence`] for empty inputs or
@@ -145,11 +296,12 @@ impl Dtw {
         Ok(d)
     }
 
-    /// Computes the DTW distance using O(n) memory (two DP rows).
+    /// Computes the DTW distance using O(n) memory (three anti-diagonal
+    /// buffers, wavefront order).
     ///
-    /// This is the variant benchmarked as the CPU baseline — it is what an
+    /// This is the variant benchmarked as the CPU baseline — what an
     /// optimized software implementation (the paper's MSVC `-O2` C code)
-    /// would use.
+    /// would use. Bitwise-identical to [`Dtw::matrix`]'s final value.
     ///
     /// # Errors
     ///
@@ -158,9 +310,9 @@ impl Dtw {
         self.distance_with(p, q, &mut DpScratch::new())
     }
 
-    /// [`Dtw::distance`] with caller-provided scratch rows: batch workloads
-    /// reuse one [`DpScratch`] per worker thread instead of allocating two
-    /// DP rows per pair.
+    /// [`Dtw::distance`] with caller-provided scratch buffers: batch
+    /// workloads reuse one [`DpScratch`] per worker thread instead of
+    /// allocating DP buffers per pair.
     ///
     /// # Errors
     ///
@@ -177,23 +329,10 @@ impl Dtw {
         let (m, n) = (p.len(), q.len());
         self.weights.check_pair_shape(m, n)?;
 
-        let (mut prev, mut curr) = scratch.rows(n + 1, f64::INFINITY);
-        prev[0] = 0.0;
-        for i in 1..=m {
-            curr.fill(f64::INFINITY);
-            for j in 1..=n {
-                if !self.band.admissible(i, j, m, n) {
-                    continue;
-                }
-                let cost = self.weights.pair(i - 1, j - 1) * (p[i - 1] - q[j - 1]).abs();
-                let best = curr[j - 1].min(prev[j]).min(prev[j - 1]);
-                if best.is_finite() {
-                    curr[j] = cost + best;
-                }
-            }
-            std::mem::swap(&mut prev, &mut curr);
-        }
-        let v = prev[n];
+        let v = match &self.weights {
+            Weights::Uniform => wavefront_dtw(p, q, self.band, scratch, &|_, _| 1.0),
+            w => wavefront_dtw(p, q, self.band, scratch, &|i, j| w.pair(i, j)),
+        };
         if v.is_finite() {
             Ok(v)
         } else {
@@ -229,6 +368,13 @@ impl Dtw {
 
     /// [`Dtw::distance_early_abandon`] with caller-provided scratch rows.
     ///
+    /// Stays row-major (abandonment is a per-row decision) but touches only
+    /// the admissible column segment of each row ([`Band::row_range`]) —
+    /// no per-cell band test and no full-row re-initialization: wiping the
+    /// recycled row buffer's previously written segment restores the
+    /// all-INF invariant in O(segment) time. Results are bitwise-identical
+    /// to the previous per-cell formulation.
+    ///
     /// # Errors
     ///
     /// Same as [`Dtw::matrix`].
@@ -247,13 +393,18 @@ impl Dtw {
 
         let (mut prev, mut curr) = scratch.rows(n + 1, f64::INFINITY);
         prev[0] = 0.0;
+        // Slot ranges each row buffer holds valid data in (row 0: slot 0).
+        let mut w_prev = (0usize, 0usize);
+        let mut w_curr = (1usize, 0usize);
         for i in 1..=m {
-            curr.fill(f64::INFINITY);
+            // Wipe the stale row i-2 this buffer last held; every slot
+            // outside the segment written below then reads as INF.
+            if w_curr.0 <= w_curr.1 {
+                curr[w_curr.0..=w_curr.1].fill(f64::INFINITY);
+            }
+            let (lo, hi) = self.band.row_range(i, m, n);
             let mut row_min = f64::INFINITY;
-            for j in 1..=n {
-                if !self.band.admissible(i, j, m, n) {
-                    continue;
-                }
+            for j in lo..=hi {
                 let cost = self.weights.pair(i - 1, j - 1) * (p[i - 1] - q[j - 1]).abs();
                 let best = curr[j - 1].min(prev[j]).min(prev[j - 1]);
                 if best.is_finite() {
@@ -266,7 +417,9 @@ impl Dtw {
             if row_min > best_so_far {
                 return Ok(None);
             }
+            w_curr = (lo, hi);
             std::mem::swap(&mut prev, &mut curr);
+            std::mem::swap(&mut w_prev, &mut w_curr);
         }
         let v = prev[n];
         if !v.is_finite() {
@@ -394,6 +547,125 @@ mod tests {
     }
 
     #[test]
+    fn wavefront_matches_matrix_bitwise() {
+        // The anti-diagonal kernel must reproduce the row-major reference
+        // exactly (same op order per cell), across lengths, length skews and
+        // band radii — including bands so narrow some rows are empty.
+        let series: Vec<f64> = (0..40)
+            .map(|i| ((i * 37 % 17) as f64 - 8.0) * 0.37 + ((i * 11 % 5) as f64) * 0.11)
+            .collect();
+        for (m, n) in [
+            (1usize, 1usize),
+            (1, 7),
+            (7, 1),
+            (2, 2),
+            (5, 5),
+            (8, 3),
+            (3, 8),
+            (17, 17),
+            (17, 40),
+            (40, 17),
+        ] {
+            let p = &series[..m];
+            let q = &series[40 - n..];
+            for band in [
+                Band::Full,
+                Band::SakoeChiba(0),
+                Band::SakoeChiba(1),
+                Band::SakoeChiba(2),
+                Band::SakoeChiba(5),
+                Band::SakoeChiba(50),
+            ] {
+                let dtw = Dtw::new().with_band(band);
+                let reference = dtw.matrix(p, q).unwrap().final_value();
+                match dtw.distance(p, q) {
+                    Ok(v) => assert_eq!(
+                        v.to_bits(),
+                        reference.to_bits(),
+                        "m={m} n={n} band={band:?}: wavefront {v} != reference {reference}"
+                    ),
+                    Err(_) => assert!(
+                        !reference.is_finite(),
+                        "m={m} n={n} band={band:?}: wavefront errored but reference finite"
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wavefront_matches_matrix_bitwise_weighted() {
+        let p = [0.2, 1.3, -0.4, 0.8, 0.0];
+        let q = [0.0, 1.0, 0.0, 1.0];
+        let w = Weights::per_pair(5, 4, (0..20).map(|i| 0.5 + (i % 3) as f64).collect()).unwrap();
+        for band in [Band::Full, Band::SakoeChiba(1), Band::SakoeChiba(2)] {
+            let dtw = Dtw::new().with_band(band).with_weights(w.clone());
+            let reference = dtw.matrix(&p, &q).unwrap().final_value();
+            match dtw.distance(&p, &q) {
+                Ok(v) => assert_eq!(v.to_bits(), reference.to_bits(), "band={band:?}"),
+                Err(_) => assert!(!reference.is_finite(), "band={band:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_shapes_is_clean() {
+        // A large evaluation must not leave state that corrupts a smaller
+        // one (and vice versa) when the same scratch is reused.
+        let mut scratch = DpScratch::new();
+        let big_p: Vec<f64> = (0..33).map(|i| (i as f64 * 0.21).sin()).collect();
+        let big_q: Vec<f64> = (0..29).map(|i| (i as f64 * 0.19).cos()).collect();
+        let small_p = [0.5, -1.0];
+        let small_q = [0.25];
+        let dtw = Dtw::new();
+        let b1 = dtw.distance(&big_p, &big_q).unwrap();
+        let s1 = dtw.distance(&small_p, &small_q).unwrap();
+        for _ in 0..3 {
+            assert_eq!(dtw.distance_with(&big_p, &big_q, &mut scratch).unwrap(), b1);
+            assert_eq!(
+                dtw.distance_with(&small_p, &small_q, &mut scratch).unwrap(),
+                s1
+            );
+        }
+    }
+
+    #[test]
+    fn row_and_diag_ranges_match_admissible() {
+        // The closed-form ranges must enumerate exactly the admissible
+        // cells, for every small (m, n, r) and for the full band.
+        for m in 1usize..=12 {
+            for n in 1usize..=12 {
+                let mut bands = vec![Band::Full];
+                bands.extend((0usize..=6).map(Band::SakoeChiba));
+                for band in bands {
+                    for i in 1..=m {
+                        let (lo, hi) = band.row_range(i, m, n);
+                        for j in 1..=n {
+                            assert_eq!(
+                                lo <= j && j <= hi,
+                                band.admissible(i, j, m, n),
+                                "row_range {band:?} m={m} n={n} cell ({i}, {j})"
+                            );
+                        }
+                    }
+                    for k in 2..=(m + n) {
+                        let (lo, hi) = band.diag_range(k, m, n);
+                        for i in 1..=m {
+                            let in_range = lo <= i && i <= hi;
+                            let interior = k > i && k - i <= n;
+                            let admissible = interior && band.admissible(i, k - i, m, n);
+                            assert_eq!(
+                                in_range, admissible,
+                                "diag_range {band:?} m={m} n={n} k={k} i={i}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn band_constraint_never_decreases_distance() {
         let p: Vec<f64> = (0..20).map(|i| ((i as f64) * 0.7).sin()).collect();
         let q: Vec<f64> = (0..20).map(|i| ((i as f64) * 0.7 + 1.0).sin()).collect();
@@ -492,6 +764,38 @@ mod tests {
                 assert_eq!(result, Some(full), "budget {budget}");
             } else {
                 assert_eq!(result, None, "budget {budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn early_abandon_matches_distance_on_unequal_lengths_and_bands() {
+        // The segment-walking early-abandon kernel must agree exactly with
+        // the wavefront distance when given an infinite budget, including on
+        // skewed shapes and narrow bands.
+        let series: Vec<f64> = (0..30)
+            .map(|i| ((i * 13 % 23) as f64 - 11.0) * 0.29)
+            .collect();
+        for (m, n) in [(1usize, 1usize), (4, 9), (9, 4), (15, 15), (30, 7)] {
+            let p = &series[..m];
+            let q = &series[30 - n..];
+            for band in [Band::Full, Band::SakoeChiba(2), Band::SakoeChiba(6)] {
+                let dtw = Dtw::new().with_band(band);
+                match dtw.distance(p, q) {
+                    Ok(full) => {
+                        let ea = dtw
+                            .distance_early_abandon(p, q, f64::INFINITY)
+                            .unwrap()
+                            .unwrap();
+                        assert_eq!(ea.to_bits(), full.to_bits(), "m={m} n={n} band={band:?}");
+                    }
+                    Err(_) => {
+                        assert!(
+                            dtw.distance_early_abandon(p, q, f64::INFINITY).is_err(),
+                            "m={m} n={n} band={band:?}: error paths must agree"
+                        );
+                    }
+                }
             }
         }
     }
@@ -603,6 +907,10 @@ mod tests {
         let band = Band::SakoeChiba(r);
         assert!(band.admissible(i, j_in, m, n));
         assert!(!band.admissible(i, j_out, m, n));
+        // row_range must agree with the straddle.
+        let (lo, hi) = band.row_range(i, m, n);
+        assert!(lo <= j_in && j_in <= hi);
+        assert!(j_out > hi);
     }
 
     #[test]

@@ -23,8 +23,67 @@
 
 use crate::error::DistanceError;
 use crate::matrix::DpMatrix;
+use crate::scratch::DpScratch;
 use crate::weights::Weights;
 use crate::{Distance, DistanceKind};
+
+/// Wavefront evaluation of Eq. 4: anti-diagonal order, so the inner loop has
+/// no loop-carried dependency and autovectorizes (see the [`crate::dtw`]
+/// module docs). Diagonal `k` stores cell `(i, j = k - i)` at slot `i`; the
+/// boundary cells `E[0][k] = E[k][0] = k * Vstep` are written per diagonal
+/// into slots `0` and `k`, which interior writes never touch, so every read
+/// lands on a slot written for that diagonal. The per-cell operation order
+/// (`del.min(ins).min(diag)`) matches the row-major reference exactly, so
+/// results are bitwise-identical.
+fn wavefront_edit<F: Fn(usize, usize) -> f64>(
+    p: &[f64],
+    q: &[f64],
+    threshold: f64,
+    v_step: f64,
+    scratch: &mut DpScratch,
+    wpair: &F,
+) -> f64 {
+    let (m, n) = (p.len(), q.len());
+    let ([mut d0, mut d1, mut d2], rev) = scratch.wavefront(m + 1, 0.0, q);
+    // Diagonal 0 is all zeros (the initial fill); diagonal 1 is the two
+    // boundary cells E[0][1] and E[1][0].
+    d1[0] = v_step;
+    d1[1] = v_step;
+    for k in 2..=(m + n) {
+        if k <= n {
+            d2[0] = k as f64 * v_step; // E[0][k]
+        }
+        if k <= m {
+            d2[k] = k as f64 * v_step; // E[k][0]
+        }
+        let lo = k.saturating_sub(n).max(1);
+        let hi = m.min(k - 1);
+        let w = hi - lo + 1; // the structural range is never empty
+        let dst = &mut d2[lo..lo + w];
+        let lefts = &d1[lo..lo + w]; // E[i][j-1]
+        let ups = &d1[lo - 1..lo - 1 + w]; // E[i-1][j]
+        let diags = &d0[lo - 1..lo - 1 + w]; // E[i-1][j-1]
+        let ps = &p[lo - 1..lo - 1 + w];
+        let qs = &rev[lo + n - k..lo + n - k + w]; // q[j-1] reversed
+        for t in 0..w {
+            let i = lo + t;
+            let w_cell = wpair(i - 1, k - i - 1) * v_step;
+            let del = ups[t] + w_cell;
+            let ins = lefts[t] + w_cell;
+            let diag = if (ps[t] - qs[t]).abs() <= threshold {
+                diags[t]
+            } else {
+                diags[t] + w_cell
+            };
+            dst[t] = del.min(ins).min(diag);
+        }
+        let td = d0;
+        d0 = d1;
+        d1 = d2;
+        d2 = td;
+    }
+    d1[m] // diagonal m + n, cell (m, n)
+}
 
 /// Thresholded edit distance.
 ///
@@ -126,42 +185,60 @@ impl EditDistance {
         Ok(e)
     }
 
-    /// Computes the edit distance using O(n) memory.
+    /// Computes the edit distance using O(n) memory (three anti-diagonal
+    /// buffers, wavefront order). Bitwise-identical to
+    /// [`EditDistance::matrix`]'s final value.
     ///
     /// # Errors
     ///
     /// Same as [`EditDistance::matrix`].
     pub fn distance(&self, p: &[f64], q: &[f64]) -> Result<f64, DistanceError> {
+        self.distance_with(p, q, &mut DpScratch::new())
+    }
+
+    /// [`EditDistance::distance`] with caller-provided scratch buffers, so
+    /// batch workloads allocate the diagonal buffers once instead of per
+    /// pair.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EditDistance::matrix`].
+    pub fn distance_with(
+        &self,
+        p: &[f64],
+        q: &[f64],
+        scratch: &mut DpScratch,
+    ) -> Result<f64, DistanceError> {
         if p.is_empty() || q.is_empty() {
             return Err(DistanceError::EmptySequence);
         }
         let (m, n) = (p.len(), q.len());
         self.weights.check_pair_shape(m, n)?;
 
-        let mut prev: Vec<f64> = (0..=n).map(|j| j as f64 * self.v_step).collect();
-        let mut curr = vec![0.0f64; n + 1];
-        for i in 1..=m {
-            curr[0] = i as f64 * self.v_step;
-            for j in 1..=n {
-                let w = self.weights.pair(i - 1, j - 1) * self.v_step;
-                let del = prev[j] + w;
-                let ins = curr[j - 1] + w;
-                let diag = if (p[i - 1] - q[j - 1]).abs() <= self.threshold {
-                    prev[j - 1]
-                } else {
-                    prev[j - 1] + w
-                };
-                curr[j] = del.min(ins).min(diag);
+        let v = match &self.weights {
+            Weights::Uniform => {
+                wavefront_edit(p, q, self.threshold, self.v_step, scratch, &|_, _| 1.0)
             }
-            std::mem::swap(&mut prev, &mut curr);
-        }
-        Ok(prev[n])
+            w => wavefront_edit(p, q, self.threshold, self.v_step, scratch, &|i, j| {
+                w.pair(i, j)
+            }),
+        };
+        Ok(v)
     }
 }
 
 impl Distance for EditDistance {
     fn evaluate(&self, p: &[f64], q: &[f64]) -> Result<f64, DistanceError> {
         self.distance(p, q)
+    }
+
+    fn evaluate_with(
+        &self,
+        p: &[f64],
+        q: &[f64],
+        scratch: &mut DpScratch,
+    ) -> Result<f64, DistanceError> {
+        self.distance_with(p, q, scratch)
     }
 
     fn kind(&self) -> DistanceKind {
@@ -269,5 +346,43 @@ mod tests {
             EditDistance::new(0.1).distance(&[], &[1.0]).unwrap_err(),
             DistanceError::EmptySequence
         );
+    }
+
+    #[test]
+    fn wavefront_matches_matrix_bitwise() {
+        // The anti-diagonal kernel must reproduce the row-major reference
+        // exactly across lengths and length skews, with scratch reuse —
+        // including the per-diagonal boundary writes E[0][k] / E[k][0].
+        let series: Vec<f64> = (0..40)
+            .map(|i| ((i * 31 % 19) as f64 - 9.0) * 0.17)
+            .collect();
+        let ed = EditDistance::new(0.25).with_step(0.01);
+        let mut scratch = DpScratch::new();
+        for (m, n) in [
+            (1usize, 1usize),
+            (1, 9),
+            (9, 1),
+            (4, 4),
+            (7, 13),
+            (13, 7),
+            (25, 25),
+            (40, 11),
+        ] {
+            let p = &series[..m];
+            let q = &series[40 - n..];
+            let reference = ed.matrix(p, q).unwrap().final_value();
+            let v = ed.distance_with(p, q, &mut scratch).unwrap();
+            assert_eq!(v.to_bits(), reference.to_bits(), "m={m} n={n}");
+        }
+    }
+
+    #[test]
+    fn wavefront_matches_matrix_bitwise_weighted() {
+        let p = [0.3, 0.6, 0.9, 0.1, 0.7];
+        let q = [0.4, 0.5, 1.0];
+        let w = Weights::per_pair(5, 3, (0..15).map(|i| 0.5 + (i % 3) as f64).collect()).unwrap();
+        let ed = EditDistance::new(0.2).with_weights(w);
+        let reference = ed.matrix(&p, &q).unwrap().final_value();
+        assert_eq!(ed.distance(&p, &q).unwrap().to_bits(), reference.to_bits());
     }
 }

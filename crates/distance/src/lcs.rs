@@ -12,11 +12,61 @@
 //!
 //! Unlike the other five functions, LCS is a **similarity**: larger values
 //! mean closer series.
+//!
+//! [`Lcs::similarity`] evaluates the recurrence in anti-diagonal (wavefront)
+//! order: cells on one anti-diagonal are independent — the property the
+//! paper's memristor array exploits to fire a whole diagonal of PEs at once
+//! (Section 3.3) — so the inner loop reads contiguous slices with no
+//! loop-carried dependency and autovectorizes. The per-cell operation order
+//! (`left.max(up)` on a mismatch) is preserved, so results are
+//! bitwise-identical to the row-major reference [`Lcs::matrix`].
 
 use crate::error::DistanceError;
 use crate::matrix::DpMatrix;
+use crate::scratch::DpScratch;
 use crate::weights::Weights;
 use crate::{Distance, DistanceKind};
+
+/// Wavefront evaluation of Eq. 3. All boundary cells are `0.0`, which is
+/// also the initial fill of every diagonal buffer — and interior writes of
+/// diagonal `k` never touch slots `0` or `k`, so boundary reads always see
+/// `0.0` without any per-diagonal bookkeeping.
+fn wavefront_lcs<F: Fn(usize, usize) -> f64>(
+    p: &[f64],
+    q: &[f64],
+    threshold: f64,
+    v_step: f64,
+    scratch: &mut DpScratch,
+    wpair: &F,
+) -> f64 {
+    let (m, n) = (p.len(), q.len());
+    // Diagonal k stores cell (i, j = k - i) at slot i; slots 0..=m.
+    let ([mut d0, mut d1, mut d2], rev) = scratch.wavefront(m + 1, 0.0, q);
+    for k in 2..=(m + n) {
+        let lo = k.saturating_sub(n).max(1);
+        let hi = m.min(k - 1);
+        let w = hi - lo + 1; // the structural range is never empty
+        let dst = &mut d2[lo..lo + w];
+        let lefts = &d1[lo..lo + w]; // L[i][j-1]
+        let ups = &d1[lo - 1..lo - 1 + w]; // L[i-1][j]
+        let diags = &d0[lo - 1..lo - 1 + w]; // L[i-1][j-1]
+        let ps = &p[lo - 1..lo - 1 + w];
+        let qs = &rev[lo + n - k..lo + n - k + w]; // q[j-1] reversed
+        for t in 0..w {
+            let i = lo + t;
+            dst[t] = if (ps[t] - qs[t]).abs() <= threshold {
+                diags[t] + wpair(i - 1, k - i - 1) * v_step
+            } else {
+                lefts[t].max(ups[t])
+            };
+        }
+        let td = d0;
+        d0 = d1;
+        d1 = d2;
+        d2 = td;
+    }
+    d1[m] // diagonal m + n, cell (m, n)
+}
 
 /// Longest common subsequence similarity.
 ///
@@ -111,38 +161,59 @@ impl Lcs {
         Ok(l)
     }
 
-    /// Computes the LCS similarity using O(n) memory.
+    /// Computes the LCS similarity using O(n) memory (three anti-diagonal
+    /// buffers, wavefront order). Bitwise-identical to [`Lcs::matrix`]'s
+    /// final value.
     ///
     /// # Errors
     ///
     /// Same as [`Lcs::matrix`].
     pub fn similarity(&self, p: &[f64], q: &[f64]) -> Result<f64, DistanceError> {
+        self.similarity_with(p, q, &mut DpScratch::new())
+    }
+
+    /// [`Lcs::similarity`] with caller-provided scratch buffers, so batch
+    /// workloads allocate the diagonal buffers once instead of per pair.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Lcs::matrix`].
+    pub fn similarity_with(
+        &self,
+        p: &[f64],
+        q: &[f64],
+        scratch: &mut DpScratch,
+    ) -> Result<f64, DistanceError> {
         if p.is_empty() || q.is_empty() {
             return Err(DistanceError::EmptySequence);
         }
         let (m, n) = (p.len(), q.len());
         self.weights.check_pair_shape(m, n)?;
 
-        let mut prev = vec![0.0f64; n + 1];
-        let mut curr = vec![0.0f64; n + 1];
-        for i in 1..=m {
-            curr[0] = 0.0;
-            for j in 1..=n {
-                curr[j] = if (p[i - 1] - q[j - 1]).abs() <= self.threshold {
-                    prev[j - 1] + self.weights.pair(i - 1, j - 1) * self.v_step
-                } else {
-                    curr[j - 1].max(prev[j])
-                };
+        let v = match &self.weights {
+            Weights::Uniform => {
+                wavefront_lcs(p, q, self.threshold, self.v_step, scratch, &|_, _| 1.0)
             }
-            std::mem::swap(&mut prev, &mut curr);
-        }
-        Ok(prev[n])
+            w => wavefront_lcs(p, q, self.threshold, self.v_step, scratch, &|i, j| {
+                w.pair(i, j)
+            }),
+        };
+        Ok(v)
     }
 }
 
 impl Distance for Lcs {
     fn evaluate(&self, p: &[f64], q: &[f64]) -> Result<f64, DistanceError> {
         self.similarity(p, q)
+    }
+
+    fn evaluate_with(
+        &self,
+        p: &[f64],
+        q: &[f64],
+        scratch: &mut DpScratch,
+    ) -> Result<f64, DistanceError> {
+        self.similarity_with(p, q, scratch)
     }
 
     fn kind(&self) -> DistanceKind {
@@ -237,6 +308,46 @@ mod tests {
         assert_eq!(
             Lcs::new(0.1).similarity(&[], &[]).unwrap_err(),
             DistanceError::EmptySequence
+        );
+    }
+
+    #[test]
+    fn wavefront_matches_matrix_bitwise() {
+        // The anti-diagonal kernel must reproduce the row-major reference
+        // exactly across lengths and length skews, with scratch reuse.
+        let series: Vec<f64> = (0..40)
+            .map(|i| ((i * 29 % 13) as f64 - 6.0) * 0.21)
+            .collect();
+        let lcs = Lcs::new(0.3).with_step(0.125);
+        let mut scratch = DpScratch::new();
+        for (m, n) in [
+            (1usize, 1usize),
+            (1, 9),
+            (9, 1),
+            (4, 4),
+            (7, 13),
+            (13, 7),
+            (25, 25),
+            (40, 11),
+        ] {
+            let p = &series[..m];
+            let q = &series[40 - n..];
+            let reference = lcs.matrix(p, q).unwrap().final_value();
+            let v = lcs.similarity_with(p, q, &mut scratch).unwrap();
+            assert_eq!(v.to_bits(), reference.to_bits(), "m={m} n={n}");
+        }
+    }
+
+    #[test]
+    fn wavefront_matches_matrix_bitwise_weighted() {
+        let p = [0.0, 0.5, 1.0, 0.5, 0.2];
+        let q = [0.1, 1.1, 0.4];
+        let w = Weights::per_pair(5, 3, (0..15).map(|i| 0.25 + (i % 4) as f64).collect()).unwrap();
+        let lcs = Lcs::new(0.2).with_weights(w);
+        let reference = lcs.matrix(&p, &q).unwrap().final_value();
+        assert_eq!(
+            lcs.similarity(&p, &q).unwrap().to_bits(),
+            reference.to_bits()
         );
     }
 

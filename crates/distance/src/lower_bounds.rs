@@ -8,8 +8,12 @@
 //!
 //! Both are *admissible*: they never exceed the true banded DTW distance, so
 //! a search can safely prune any candidate whose bound already exceeds the
-//! best-so-far. The `lower_bounds` bench measures the pruning power that the
-//! paper's CPU baseline relies on.
+//! best-so-far. Envelopes are computed in O(n) with Lemire's monotonic-deque
+//! streaming min/max (independent of the band radius), and
+//! [`cascading_dtw_with`] caches the query envelope inside [`DpScratch`] so a
+//! search evaluating thousands of windows against one query envelopes it
+//! exactly once. The `kernels` and `lower_bounds` benches measure the pruning
+//! power that the paper's CPU baseline relies on.
 
 use crate::dtw::{Band, Dtw};
 use crate::error::DistanceError;
@@ -37,8 +41,68 @@ pub fn lb_kim(p: &[f64], q: &[f64]) -> Result<f64, DistanceError> {
     Ok(first + last)
 }
 
+/// One Lemire streaming min/max pass: `out[i] = max(q[i-r ..= i+r])` when
+/// `max` is true, `min` otherwise. O(n) amortized — every index enters and
+/// leaves the monotonic deque at most once. `deque` is a reusable index
+/// buffer; `out` must already have length `q.len()`.
+///
+/// The returned extremum is always an element of the window, so ties between
+/// `0.0` and `-0.0` may resolve to either sign; envelopes are only ever used
+/// in comparisons, where the two compare equal.
+fn lemire_pass(q: &[f64], r: usize, out: &mut [f64], deque: &mut Vec<usize>, max: bool) {
+    let n = q.len();
+    debug_assert_eq!(out.len(), n);
+    deque.clear();
+    let mut head = 0usize;
+    let mut next = 0usize;
+    for (i, slot) in out.iter_mut().enumerate() {
+        // Admit every index that enters the window ending at i + r,
+        // evicting dominated entries from the back.
+        let hi = (i + r).min(n - 1);
+        while next <= hi {
+            let x = q[next];
+            while deque.len() > head {
+                let back = q[deque[deque.len() - 1]];
+                let dominated = if max { back <= x } else { back >= x };
+                if !dominated {
+                    break;
+                }
+                deque.pop();
+            }
+            deque.push(next);
+            next += 1;
+        }
+        // Expire indices that fell out of the window starting at i - r.
+        while deque[head] + r < i {
+            head += 1;
+        }
+        *slot = q[deque[head]];
+    }
+}
+
+/// Fills `upper`/`lower` with the band-`r` Sakoe–Chiba envelope of `q` using
+/// two Lemire passes over a shared index deque.
+pub(crate) fn envelope_into(
+    q: &[f64],
+    r: usize,
+    upper: &mut Vec<f64>,
+    lower: &mut Vec<f64>,
+    deque: &mut Vec<usize>,
+) {
+    let n = q.len();
+    upper.clear();
+    upper.resize(n, 0.0);
+    lower.clear();
+    lower.resize(n, 0.0);
+    lemire_pass(q, r, upper, deque, true);
+    lemire_pass(q, r, lower, deque, false);
+}
+
 /// The upper/lower Sakoe–Chiba envelope of a series for band radius `r`:
 /// `upper[i] = max(q[i-r ..= i+r])`, `lower[i] = min(q[i-r ..= i+r])`.
+///
+/// Computed in O(n) with Lemire's monotonic deque regardless of `r` (the
+/// previous implementation folded over each window, costing O(n·r)).
 ///
 /// # Errors
 ///
@@ -47,22 +111,36 @@ pub fn envelope(q: &[f64], r: usize) -> Result<(Vec<f64>, Vec<f64>), DistanceErr
     if q.is_empty() {
         return Err(DistanceError::EmptySequence);
     }
-    let n = q.len();
-    let mut upper = vec![0.0; n];
-    let mut lower = vec![0.0; n];
-    for i in 0..n {
-        let lo = i.saturating_sub(r);
-        let hi = (i + r).min(n - 1);
-        let window = &q[lo..=hi];
-        upper[i] = window.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
-        lower[i] = window.iter().fold(f64::INFINITY, |a, &b| a.min(b));
-    }
+    let mut upper = Vec::new();
+    let mut lower = Vec::new();
+    envelope_into(q, r, &mut upper, &mut lower, &mut Vec::new());
     Ok((upper, lower))
+}
+
+/// The LB_Keogh sum for `p` against a precomputed envelope: the L1 cost of
+/// the parts of `p` that fall outside `[lower[i], upper[i]]`.
+///
+/// This is the inner loop shared by [`lb_keogh`] and the cascaded search
+/// path, split out so callers with a cached envelope skip the envelope pass.
+pub fn lb_keogh_envelope(p: &[f64], upper: &[f64], lower: &[f64]) -> f64 {
+    p.iter()
+        .zip(upper.iter().zip(lower))
+        .map(|(&x, (&u, &l))| {
+            if x > u {
+                x - u
+            } else if x < l {
+                l - x
+            } else {
+                0.0
+            }
+        })
+        .sum()
 }
 
 /// LB_Keogh: the L1 cost of the parts of `p` that fall outside the band-`r`
 /// envelope of `q`. Admissible for equal-length banded DTW with L1 point
-/// costs.
+/// costs (in both directions: enveloping `q` and summing over `p`, or the
+/// reverse, each lower-bound the same banded DTW).
 ///
 /// # Errors
 ///
@@ -76,18 +154,40 @@ pub fn lb_keogh(p: &[f64], q: &[f64], r: usize) -> Result<f64, DistanceError> {
         });
     }
     let (upper, lower) = envelope(q, r)?;
-    Ok(p.iter()
-        .zip(upper.iter().zip(&lower))
-        .map(|(&x, (&u, &l))| {
-            if x > u {
-                x - u
-            } else if x < l {
-                l - x
-            } else {
-                0.0
-            }
-        })
-        .sum())
+    Ok(lb_keogh_envelope(p, &upper, &lower))
+}
+
+/// Ensures the scratch's cached query envelope describes exactly `q` at band
+/// radius `r`, rebuilding it (two O(n) Lemire passes) only on a cache miss.
+/// The cache key is the bitwise contents of `q` plus `r`, so reuse across
+/// thousands of search windows costs one slice compare per call.
+///
+/// # Errors
+///
+/// Returns [`DistanceError::EmptySequence`] if `q` is empty.
+pub(crate) fn ensure_query_envelope(
+    scratch: &mut DpScratch,
+    q: &[f64],
+    r: usize,
+) -> Result<(), DistanceError> {
+    if q.is_empty() {
+        return Err(DistanceError::EmptySequence);
+    }
+    if scratch.query_envelope_matches(q, r) {
+        return Ok(());
+    }
+    scratch.qe_valid = false;
+    scratch.qe_upper.clear();
+    scratch.qe_upper.resize(q.len(), 0.0);
+    scratch.qe_lower.clear();
+    scratch.qe_lower.resize(q.len(), 0.0);
+    lemire_pass(q, r, &mut scratch.qe_upper, &mut scratch.deque, true);
+    lemire_pass(q, r, &mut scratch.qe_lower, &mut scratch.deque, false);
+    scratch.qe_key.clear();
+    scratch.qe_key.extend_from_slice(q);
+    scratch.qe_radius = r;
+    scratch.qe_valid = true;
+    Ok(())
 }
 
 /// Result of a cascading lower-bound test against a pruning threshold.
@@ -122,9 +222,9 @@ impl PruneDecision {
     }
 }
 
-/// Cascading DTW evaluation: LB_Kim, then LB_Keogh, then full banded DTW —
-/// the UCR-suite pipeline the paper's related work (and its CPU baseline)
-/// uses for subsequence search.
+/// Cascading DTW evaluation: LB_Kim, then LB_Keogh in both directions, then
+/// early-abandoning banded DTW — the UCR-suite pipeline the paper's related
+/// work (and its CPU baseline) uses for subsequence search.
 ///
 /// # Errors
 ///
@@ -142,6 +242,18 @@ pub fn cascading_dtw(
 /// (or a [`crate::batch::BatchEngine`] worker) evaluating many candidates
 /// allocates its DP rows once rather than per pair.
 ///
+/// The first argument `p` is treated as the *stable query* of the cascade:
+/// its envelope is cached inside `scratch` (keyed bitwise on contents and
+/// radius), so repeated calls with the same `p` — the shape of every mining
+/// driver — envelope it once. Per equal-length candidate the cascade is
+///
+/// 1. LB_Kim — O(1);
+/// 2. LB_Keogh of the candidate against the cached query envelope — O(n),
+///    no envelope pass;
+/// 3. LB_Keogh of the query against the candidate's envelope — O(n) with a
+///    fresh Lemire pass, only reached when layer 2 fails to prune;
+/// 4. early-abandoning banded DTW.
+///
 /// # Errors
 ///
 /// Same as [`cascading_dtw`].
@@ -157,9 +269,21 @@ pub fn cascading_dtw_with(
         return Ok(PruneDecision::PrunedByKim(kim));
     }
     if p.len() == q.len() {
-        let keogh = lb_keogh(p, q, r)?;
-        if keogh > best_so_far {
-            return Ok(PruneDecision::PrunedByKeogh(keogh));
+        ensure_query_envelope(scratch, p, r)?;
+        let keogh_q = lb_keogh_envelope(q, &scratch.qe_upper, &scratch.qe_lower);
+        if keogh_q > best_so_far {
+            return Ok(PruneDecision::PrunedByKeogh(keogh_q));
+        }
+        envelope_into(
+            q,
+            r,
+            &mut scratch.ce_upper,
+            &mut scratch.ce_lower,
+            &mut scratch.deque,
+        );
+        let keogh_c = lb_keogh_envelope(p, &scratch.ce_upper, &scratch.ce_lower);
+        if keogh_c > best_so_far {
+            return Ok(PruneDecision::PrunedByKeogh(keogh_c));
         }
     }
     match Dtw::new()
@@ -180,6 +304,21 @@ mod tests {
             .with_band(Band::SakoeChiba(r))
             .distance(p, q)
             .unwrap()
+    }
+
+    /// The pre-Lemire O(n·r) reference envelope: a fold over each window.
+    fn envelope_reference(q: &[f64], r: usize) -> (Vec<f64>, Vec<f64>) {
+        let n = q.len();
+        let mut upper = vec![0.0; n];
+        let mut lower = vec![0.0; n];
+        for i in 0..n {
+            let lo = i.saturating_sub(r);
+            let hi = (i + r).min(n - 1);
+            let window = &q[lo..=hi];
+            upper[i] = window.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+            lower[i] = window.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        }
+        (upper, lower)
     }
 
     #[test]
@@ -224,6 +363,35 @@ mod tests {
     }
 
     #[test]
+    fn lemire_envelope_matches_windowed_fold() {
+        // The O(n) deque pass must agree with the O(n·r) reference on every
+        // length/radius combination, including r = 0 and r >= n.
+        let q: Vec<f64> = (0..37)
+            .map(|i| ((i * 7919 % 101) as f64 - 50.0) * 0.3)
+            .collect();
+        for len in [1usize, 2, 3, 5, 16, 37] {
+            let s = &q[..len];
+            for r in [0usize, 1, 2, 3, 7, len, len + 5] {
+                let (u, l) = envelope(s, r).unwrap();
+                let (ru, rl) = envelope_reference(s, r);
+                assert_eq!(u, ru, "upper mismatch len={len} r={r}");
+                assert_eq!(l, rl, "lower mismatch len={len} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn lemire_envelope_handles_plateaus_and_duplicates() {
+        let q = [2.0, 2.0, 2.0, -1.0, -1.0, 5.0, 5.0, 0.0];
+        for r in [0, 1, 2, 4] {
+            let (u, l) = envelope(&q, r).unwrap();
+            let (ru, rl) = envelope_reference(&q, r);
+            assert_eq!(u, ru, "r={r}");
+            assert_eq!(l, rl, "r={r}");
+        }
+    }
+
+    #[test]
     fn identical_series_have_zero_bounds() {
         let p = [0.4, 1.0, -0.2];
         assert_eq!(lb_kim(&p, &p).unwrap(), 0.0);
@@ -255,5 +423,49 @@ mod tests {
         let q = [0.0, 0.0, 0.0, 0.0];
         let d = cascading_dtw(&p, &q, 0, 10.0).unwrap();
         assert!(matches!(d, PruneDecision::PrunedByKeogh(_)));
+    }
+
+    #[test]
+    fn cascade_reuses_cached_query_envelope() {
+        let p: Vec<f64> = (0..32).map(|i| (i as f64 * 0.4).sin()).collect();
+        let q: Vec<f64> = (0..32).map(|i| (i as f64 * 0.4).cos()).collect();
+        let mut scratch = DpScratch::new();
+        let a = cascading_dtw_with(&p, &q, 3, f64::INFINITY, &mut scratch).unwrap();
+        assert!(scratch.query_envelope_matches(&p, 3));
+        // Second call with the same query hits the cache and must agree
+        // with a cold-scratch evaluation.
+        let b = cascading_dtw_with(&p, &q, 3, f64::INFINITY, &mut scratch).unwrap();
+        let cold = cascading_dtw(&p, &q, 3, f64::INFINITY).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, cold);
+        // A different radius invalidates the cache.
+        cascading_dtw_with(&p, &q, 5, f64::INFINITY, &mut scratch).unwrap();
+        assert!(scratch.query_envelope_matches(&p, 5));
+        assert!(!scratch.query_envelope_matches(&p, 3));
+    }
+
+    #[test]
+    fn cascade_candidate_envelope_layer_triggers() {
+        // Kim passes (endpoints agree) and the candidate stays inside the
+        // wide query envelope, but the query escapes the candidate's narrow
+        // envelope — only the reversed Keogh layer can prune this shape.
+        let p = [0.0, 9.0, -9.0, 0.0]; // query: wide envelope at r=1
+        let q = [0.0, 0.5, -0.5, 0.0]; // candidate: narrow envelope
+        let r = 1;
+        let threshold = 10.0;
+        let kim = lb_kim(&p, &q).unwrap();
+        assert!(kim <= threshold);
+        let keogh_query_dir = lb_keogh(&q, &p, r).unwrap();
+        assert!(
+            keogh_query_dir <= threshold,
+            "query-envelope layer must not prune ({keogh_query_dir})"
+        );
+        let keogh_cand_dir = lb_keogh(&p, &q, r).unwrap();
+        assert!(
+            keogh_cand_dir > threshold,
+            "candidate-envelope layer must prune ({keogh_cand_dir})"
+        );
+        let d = cascading_dtw(&p, &q, r, threshold).unwrap();
+        assert!(matches!(d, PruneDecision::PrunedByKeogh(v) if v == keogh_cand_dir));
     }
 }

@@ -6,6 +6,7 @@
 
 use crate::batch::BatchEngine;
 use crate::error::DistanceError;
+use crate::validate::ensure_finite;
 use crate::Distance;
 
 /// Result of a k-medoids run.
@@ -103,7 +104,10 @@ impl KMedoids {
             let raw = self
                 .distance
                 .evaluate_with(&series[i], &series[j], scratch)?;
-            Ok(if invert { -raw } else { raw })
+            // `0.0 - raw` (not `-raw`) so a zero similarity negates to +0.0;
+            // `total_cmp` orders -0.0 below +0.0, which would otherwise
+            // perturb tie-breaking against the matrix's +0.0 diagonal.
+            Ok(if invert { 0.0 - raw } else { raw })
         })?;
         let mut m = vec![vec![0.0; n]; n];
         for (&(i, j), d) in pairs.iter().zip(values) {
@@ -121,7 +125,7 @@ impl KMedoids {
                 .iter()
                 .enumerate()
                 .map(|(c, &m)| (c, dist[i][m]))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
                 .expect("k >= 1");
             assignments[i] = best_c;
             cost += best_d;
@@ -137,7 +141,8 @@ impl KMedoids {
     /// # Errors
     ///
     /// Returns [`DistanceError::InvalidParameter`] if fewer series than
-    /// clusters are supplied, or any error from the underlying distance.
+    /// clusters are supplied or any series contains a NaN or infinity, or
+    /// any error from the underlying distance.
     pub fn cluster(&self, series: &[Vec<f64>]) -> Result<KMedoidsResult, DistanceError> {
         let n = series.len();
         if n < self.k {
@@ -145,6 +150,9 @@ impl KMedoids {
                 name: "series",
                 reason: format!("need at least k = {} series, got {n}", self.k),
             });
+        }
+        for s in series {
+            ensure_finite("series", s)?;
         }
         let dist = self.distance_matrix(series)?;
 
@@ -162,7 +170,7 @@ impl KMedoids {
                         .iter()
                         .map(|&m| dist[b][m])
                         .fold(f64::INFINITY, f64::min);
-                    da.partial_cmp(&db).expect("finite distances")
+                    da.total_cmp(&db)
                 })
                 .expect("n >= k");
             medoids.push(next);
@@ -260,6 +268,22 @@ mod tests {
     fn too_few_series_rejected() {
         let km = KMedoids::new(Box::new(Manhattan::new()), 5);
         assert!(km.cluster(&[vec![0.0]]).is_err());
+    }
+
+    /// Regression: a NaN series used to panic in the farthest-first
+    /// initialisation (`partial_cmp(..).expect("finite distances")`).
+    #[test]
+    fn non_finite_series_is_typed_error_not_panic() {
+        let km = KMedoids::new(Box::new(Manhattan::new()), 2);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut data = blobs();
+            data[3][1] = bad;
+            let err = km.cluster(&data).unwrap_err();
+            assert!(
+                matches!(err, DistanceError::InvalidParameter { name: "series", .. }),
+                "{err:?}"
+            );
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use crate::batch::BatchEngine;
 use crate::error::DistanceError;
+use crate::validate::ensure_finite;
 use crate::Distance;
 
 /// A labelled training instance.
@@ -109,13 +110,18 @@ impl KnnClassifier {
     /// # Errors
     ///
     /// Returns [`DistanceError::InvalidParameter`] if no training data has
-    /// been fitted, or any error from the underlying distance.
+    /// been fitted or the query or a training series contains a NaN or
+    /// infinity, or any error from the underlying distance.
     pub fn classify(&self, query: &[f64]) -> Result<Classified, DistanceError> {
         if self.train.is_empty() {
             return Err(DistanceError::InvalidParameter {
                 name: "train",
                 reason: "classifier has no training data".into(),
             });
+        }
+        ensure_finite("query", query)?;
+        for inst in &self.train {
+            ensure_finite("train", &inst.series)?;
         }
         let invert = self.distance.is_similarity();
         // One distance per training instance, sharded over the engine's
@@ -124,11 +130,13 @@ impl KnnClassifier {
         let scores = self
             .engine
             .try_map_scratch(&self.train, |scratch, _, inst| {
+                // `0.0 - raw` so a zero similarity negates to +0.0, keeping
+                // `total_cmp` ties identical to the old partial_cmp ordering.
                 let raw = self.distance.evaluate_with(query, &inst.series, scratch)?;
-                Ok(if invert { -raw } else { raw })
+                Ok(if invert { 0.0 - raw } else { raw })
             })?;
         let mut scored: Vec<(usize, f64)> = scores.into_iter().enumerate().collect();
-        scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite"));
+        scored.sort_by(|a, b| a.1.total_cmp(&b.1));
         let k = self.k.min(scored.len());
         let mut votes = std::collections::HashMap::new();
         for &(idx, _) in &scored[..k] {
@@ -166,6 +174,9 @@ impl KnnClassifier {
                 reason: "leave-one-out needs at least two instances".into(),
             });
         }
+        for inst in &self.train {
+            ensure_finite("train", &inst.series)?;
+        }
         let invert = self.distance.is_similarity();
         // One work item per held-out query; each worker scans the full train
         // set serially (deterministic strict-< argmin, ties to lowest index).
@@ -176,7 +187,7 @@ impl KnnClassifier {
                     continue;
                 }
                 let raw = self.distance.evaluate_with(&q.series, &t.series, scratch)?;
-                let score = if invert { -raw } else { raw };
+                let score = if invert { 0.0 - raw } else { raw };
                 if best.is_none_or(|(_, b)| score < b) {
                     best = Some((ti, score));
                 }
@@ -248,5 +259,27 @@ mod tests {
     #[should_panic(expected = "k must be")]
     fn zero_k_panics() {
         let _ = KnnClassifier::new(Box::new(Manhattan::new()), 0);
+    }
+
+    /// Regression: a NaN query or training series used to panic in the
+    /// score sort (`partial_cmp(..).expect("scores are finite")`).
+    #[test]
+    fn non_finite_inputs_are_typed_errors_not_panics() {
+        let mut knn = KnnClassifier::new(Box::new(Dtw::new()), 1);
+        knn.fit_all(two_class_data());
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = knn.classify(&[0.0, bad, 0.0, 0.0]).unwrap_err();
+            assert!(
+                matches!(err, DistanceError::InvalidParameter { name: "query", .. }),
+                "{err:?}"
+            );
+        }
+        knn.fit(0, vec![0.0, f64::NAN, 0.0, 0.0]);
+        let err = knn.classify(&[0.0; 4]).unwrap_err();
+        assert!(
+            matches!(err, DistanceError::InvalidParameter { name: "train", .. }),
+            "{err:?}"
+        );
+        assert!(knn.leave_one_out_accuracy().is_err());
     }
 }

@@ -12,6 +12,7 @@ use crate::dtw::{Band, Dtw};
 use crate::error::DistanceError;
 use crate::lower_bounds::{cascading_dtw_with, lb_kim, PruneDecision};
 use crate::scratch::DpScratch;
+use crate::validate::ensure_finite;
 
 /// A discovered motif: the best-matching pair of non-overlapping windows.
 #[derive(Debug, Clone, PartialEq)]
@@ -140,6 +141,7 @@ impl MotifDiscovery {
                 ),
             });
         }
+        ensure_finite("series", xs)?;
         let offsets = self.offsets(xs.len());
         let mut pairs: Vec<(usize, usize)> = Vec::new();
         for (ai, &a) in offsets.iter().enumerate() {
@@ -171,7 +173,7 @@ impl MotifDiscovery {
         let scout = kims
             .iter()
             .enumerate()
-            .min_by(|x, y| x.1.partial_cmp(y.1).expect("finite bounds"))
+            .min_by(|x, y| x.1.total_cmp(y.1))
             .map(|(i, _)| i)
             .expect("at least one pair");
         let (sa, sb) = pairs[scout];
@@ -189,13 +191,21 @@ impl MotifDiscovery {
                     chunk
                         .iter()
                         .map(|&(a, b)| {
-                            let decision = cascading_dtw_with(
-                                win(a),
-                                win(b),
-                                self.band_radius,
-                                local_best,
-                                scratch,
-                            )?;
+                            let decision = if (a, b) == (sa, sb) {
+                                // The scout pair's full DTW is the stage-1
+                                // threshold; reusing it guarantees stage 3
+                                // always sees at least one `Computed`
+                                // decision, so the returned motif is real.
+                                PruneDecision::Computed(best_ub)
+                            } else {
+                                cascading_dtw_with(
+                                    win(a),
+                                    win(b),
+                                    self.band_radius,
+                                    local_best,
+                                    scratch,
+                                )?
+                            };
                             if let PruneDecision::Computed(d) = decision {
                                 if d < local_best {
                                     local_best = d;
@@ -206,7 +216,8 @@ impl MotifDiscovery {
                         .collect()
                 })?;
 
-        // Stage 3: ordered reduction.
+        // Stage 3: ordered reduction. The scout pair is always `Computed`,
+        // so `best` is never the infinite placeholder on return.
         for (&(a, b), decision) in pairs.iter().zip(decisions) {
             match decision {
                 PruneDecision::PrunedByKim(_)
@@ -246,6 +257,7 @@ impl MotifDiscovery {
                 ),
             });
         }
+        ensure_finite("series", xs)?;
         let dtw = Dtw::new().with_band(Band::SakoeChiba(self.band_radius));
         let offsets = self.offsets(xs.len());
         let mut best = Motif {
@@ -331,5 +343,33 @@ mod tests {
     #[test]
     fn too_short_series_rejected() {
         assert!(MotifDiscovery::new(10, 1).find(&[0.0; 15]).is_err());
+    }
+
+    /// Regression: a NaN in the series used to panic inside the scout pass.
+    #[test]
+    fn non_finite_series_is_typed_error_not_panic() {
+        let d = MotifDiscovery::new(4, 1);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut xs = vec![0.0; 16];
+            xs[7] = bad;
+            let err = d.find(&xs).unwrap_err();
+            assert!(
+                matches!(err, DistanceError::InvalidParameter { name: "series", .. }),
+                "{err:?}"
+            );
+            assert!(d.find_brute_force(&xs).is_err());
+        }
+    }
+
+    /// Regression: when every pair ties the scout threshold exactly, the
+    /// discovery must still return a real, fully computed pair.
+    #[test]
+    fn all_tied_pairs_return_real_motif() {
+        let d = MotifDiscovery::new(4, 1);
+        let (m, stats) = d.find_with_stats(&[2.0; 16]).unwrap();
+        assert!(m.distance.is_finite());
+        assert_eq!(m.distance, 0.0);
+        assert!(m.second >= m.first + 4);
+        assert!(stats.full_computations >= 1, "stats: {stats:?}");
     }
 }

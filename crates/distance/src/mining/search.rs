@@ -10,6 +10,7 @@ use crate::dtw::{Band, Dtw};
 use crate::error::DistanceError;
 use crate::lower_bounds::{cascading_dtw_with, lb_kim, PruneDecision};
 use crate::scratch::DpScratch;
+use crate::validate::ensure_finite;
 use crate::znorm::{z_normalize_in_place, z_normalized};
 
 /// Statistics from one search run — used by the benches to report pruning
@@ -141,7 +142,8 @@ impl SubsequenceSearch {
     /// # Errors
     ///
     /// Returns [`DistanceError::InvalidParameter`] if the haystack is shorter
-    /// than the window, or propagates distance errors.
+    /// than the window or either input contains a NaN or infinity, or
+    /// propagates distance errors.
     pub fn run(
         &self,
         query: &[f64],
@@ -157,6 +159,8 @@ impl SubsequenceSearch {
                 ),
             });
         }
+        ensure_finite("query", query)?;
+        ensure_finite("haystack", haystack)?;
         let query_owned: Vec<f64> = if self.z_normalize {
             z_normalized(query)
         } else {
@@ -178,15 +182,16 @@ impl SubsequenceSearch {
         let scout = kims
             .iter()
             .enumerate()
-            .min_by(|x, y| x.1.partial_cmp(y.1).expect("finite bounds"))
+            .min_by(|x, y| x.1.total_cmp(y.1))
             .map(|(i, _)| i)
             .expect("haystack holds at least one window");
+        let scout_off = offsets[scout];
         let mut scout_buf = Vec::new();
         let best_ub = Dtw::new()
             .with_band(Band::SakoeChiba(self.band_radius))
             .distance(
                 &query_owned,
-                self.window_into(haystack, offsets[scout], &mut scout_buf),
+                self.window_into(haystack, scout_off, &mut scout_buf),
             )?;
 
         // Stage 2: cascade every window against the fixed scout threshold,
@@ -208,13 +213,23 @@ impl SubsequenceSearch {
                         } else {
                             &haystack[off..off + self.window]
                         };
-                        let decision = cascading_dtw_with(
-                            &query_owned,
-                            window,
-                            self.band_radius,
-                            local_best,
-                            scratch,
-                        )?;
+                        let decision = if off == scout_off {
+                            // The scout window's full DTW is already known —
+                            // it is the stage-1 threshold. Reusing it (instead
+                            // of cascading, which chunk-local tightening could
+                            // abandon) guarantees stage 3 always sees at least
+                            // one `Computed` decision, so the returned match
+                            // is a real, fully evaluated window.
+                            PruneDecision::Computed(best_ub)
+                        } else {
+                            cascading_dtw_with(
+                                &query_owned,
+                                window,
+                                self.band_radius,
+                                local_best,
+                                scratch,
+                            )?
+                        };
                         if let PruneDecision::Computed(d) = decision {
                             if d < local_best {
                                 local_best = d;
@@ -226,7 +241,8 @@ impl SubsequenceSearch {
             },
         )?;
 
-        // Stage 3: ordered reduction.
+        // Stage 3: ordered reduction. The scout window is always `Computed`,
+        // so `best` is never the infinite placeholder on return.
         let mut best = Match {
             offset: 0,
             distance: f64::INFINITY,
@@ -247,6 +263,10 @@ impl SubsequenceSearch {
                 }
             }
         }
+        debug_assert!(
+            best.distance.is_finite(),
+            "scout window must yield a Computed decision"
+        );
         Ok((best, stats))
     }
 
@@ -268,6 +288,8 @@ impl SubsequenceSearch {
                 ),
             });
         }
+        ensure_finite("query", query)?;
+        ensure_finite("haystack", haystack)?;
         let dtw = Dtw::new().with_band(Band::SakoeChiba(self.band_radius));
         let query_owned: Vec<f64> = if self.z_normalize {
             z_normalized(query)
@@ -367,6 +389,66 @@ mod tests {
     fn short_haystack_rejected() {
         let s = SubsequenceSearch::new(16, 1);
         assert!(s.run(&[0.0; 16], &[0.0; 8]).is_err());
+    }
+
+    /// Regression: a NaN anywhere in the input used to panic inside the
+    /// scout pass (`partial_cmp(..).expect("finite bounds")`). It must be a
+    /// typed error instead — for both the pruned and brute-force paths.
+    #[test]
+    fn non_finite_inputs_are_typed_errors_not_panics() {
+        let s = SubsequenceSearch::new(4, 1);
+        let good = vec![0.0, 1.0, 2.0, 1.0, 0.0, -1.0, 0.5, 1.5];
+        for bad_value in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut bad = good.clone();
+            bad[3] = bad_value;
+
+            // NaN/∞ in the query.
+            let err = s.run(&bad[..4], &good).unwrap_err();
+            assert!(
+                matches!(err, DistanceError::InvalidParameter { name: "query", .. }),
+                "query case: {err:?}"
+            );
+            // NaN/∞ in the haystack.
+            let err = s.run(&good[..4], &bad).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    DistanceError::InvalidParameter {
+                        name: "haystack",
+                        ..
+                    }
+                ),
+                "haystack case: {err:?}"
+            );
+            // NaN/∞ in both (query is validated first).
+            let err = s.run(&bad[..4], &bad).unwrap_err();
+            assert!(
+                matches!(err, DistanceError::InvalidParameter { name: "query", .. }),
+                "both case: {err:?}"
+            );
+            assert!(s.run_brute_force(&bad[..4], &good).is_err());
+            assert!(s.run_brute_force(&good[..4], &bad).is_err());
+        }
+    }
+
+    /// Regression: when every window ties the scout threshold exactly, the
+    /// search must still return a real, fully computed window — never the
+    /// fabricated `Match { offset: 0, distance: ∞ }` placeholder.
+    #[test]
+    fn equal_threshold_tie_returns_real_match() {
+        // Constant query vs constant haystack: every window has the exact
+        // same DTW distance as the scout threshold (8 cells × |1 - 0| = 8).
+        let s = SubsequenceSearch::new(8, 1);
+        let (m, stats) = s.run(&[1.0; 8], &[0.0; 32]).unwrap();
+        assert!(m.distance.is_finite());
+        assert_eq!(m.distance, 8.0);
+        assert_eq!(m.offset, 0);
+        assert!(
+            stats.full_computations >= 1,
+            "at least the scout window must be Computed, stats: {stats:?}"
+        );
+        let brute = s.run_brute_force(&[1.0; 8], &[0.0; 32]).unwrap();
+        assert_eq!((m.offset, m.distance), (brute.offset, brute.distance));
     }
 
     #[test]

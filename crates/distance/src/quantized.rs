@@ -1,0 +1,288 @@
+//! Opt-in quantized DTW kernel mirroring the analog converter interface.
+//!
+//! The accelerator never sees f64 inputs: the DAC array quantizes every
+//! sample to an 8-bit code before it reaches the crossbar (Section 4.3 of
+//! the paper). This module reproduces that numeric regime digitally — inputs
+//! are encoded to `i16` converter codes on a mid-tread grid, the point cost
+//! `|p_i − q_j|` becomes an exact integer code difference, and the DP
+//! accumulates in `f32` (integer sums stay exact in `f32` far beyond any
+//! realistic path cost). The final distance is rescaled to sequence units by
+//! one multiply with the LSB.
+//!
+//! This path is **opt-in** and deliberately separate from [`crate::Dtw`]:
+//! the exact f64 kernels stay the golden reference, while
+//! [`QuantizedDtw`] answers "what does converter resolution alone do to the
+//! distance?" — its deviation from the reference is checked against the
+//! calibrated behavioural bounds in `mda-conformance`, and its throughput is
+//! reported by the `kernels` bench.
+
+use crate::dtw::{Band, Dtw};
+use crate::error::DistanceError;
+use crate::validate::ensure_finite;
+
+/// Mid-tread uniform quantization grid: `bits` of resolution over the
+/// symmetric range `[-full_scale/2, +full_scale/2]`, in sequence units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantSpec {
+    bits: u32,
+    full_scale: f64,
+}
+
+impl QuantSpec {
+    /// A grid with `bits` of resolution over `±full_scale/2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `1..=15` (codes must fit `i16`) or
+    /// `full_scale` is not a positive finite number.
+    pub fn new(bits: u32, full_scale: f64) -> Self {
+        assert!((1..=15).contains(&bits), "bits must be in 1..=15");
+        assert!(
+            full_scale.is_finite() && full_scale > 0.0,
+            "full_scale must be positive and finite"
+        );
+        QuantSpec { bits, full_scale }
+    }
+
+    /// The paper's converter interface in sequence units: the 8-bit
+    /// reference DAC spans ±125 mV at a 20 mV/unit encoding, i.e. ±6.25
+    /// sequence units — the ±6-sigma range of z-normalized inputs.
+    pub fn paper_reference() -> Self {
+        QuantSpec::new(8, 12.5)
+    }
+
+    /// Resolution in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The quantization step in sequence units.
+    pub fn lsb(&self) -> f64 {
+        self.full_scale / (1u64 << self.bits) as f64
+    }
+
+    /// Encodes one finite sample to its converter code (mid-tread, clamped
+    /// to full scale).
+    pub fn encode(&self, v: f64) -> i16 {
+        let half = self.full_scale / 2.0;
+        (v.clamp(-half, half) / self.lsb()).round() as i16
+    }
+
+    /// Encodes a series into `out` (cleared first).
+    pub fn encode_series(&self, xs: &[f64], out: &mut Vec<i16>) {
+        out.clear();
+        out.extend(xs.iter().map(|&v| self.encode(v)));
+    }
+}
+
+/// Banded DTW over converter codes: `i16` inputs, integer point costs,
+/// `f32` accumulation — the numeric regime of the analog datapath.
+///
+/// ```
+/// use mda_distance::{Dtw, quantized::QuantizedDtw};
+/// # fn main() -> Result<(), mda_distance::DistanceError> {
+/// let p = [0.0, 1.0, 2.0, 1.0, 0.0];
+/// let q = [0.0, 0.9, 2.1, 1.1, 0.1];
+/// let exact = Dtw::new().distance(&p, &q)?;
+/// let quant = QuantizedDtw::paper_reference().distance(&p, &q)?;
+/// assert!((quant - exact).abs() < 0.2, "quant {quant} vs exact {exact}");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantizedDtw {
+    spec: QuantSpec,
+    band: Band,
+}
+
+impl QuantizedDtw {
+    /// A quantized DTW on the given grid with no band constraint.
+    pub fn new(spec: QuantSpec) -> Self {
+        QuantizedDtw {
+            spec,
+            band: Band::Full,
+        }
+    }
+
+    /// The paper's 8-bit converter grid, no band constraint.
+    pub fn paper_reference() -> Self {
+        QuantizedDtw::new(QuantSpec::paper_reference())
+    }
+
+    /// Restricts the warping path to `band`.
+    #[must_use]
+    pub fn with_band(mut self, band: Band) -> Self {
+        self.band = band;
+        self
+    }
+
+    /// The quantization grid.
+    pub fn spec(&self) -> QuantSpec {
+        self.spec
+    }
+
+    /// Quantized DTW distance in sequence units.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistanceError::EmptySequence`] on empty input,
+    /// [`DistanceError::InvalidParameter`] if an input contains a NaN or
+    /// infinity or the band admits no warping path.
+    pub fn distance(&self, p: &[f64], q: &[f64]) -> Result<f64, DistanceError> {
+        if p.is_empty() || q.is_empty() {
+            return Err(DistanceError::EmptySequence);
+        }
+        ensure_finite("p", p)?;
+        ensure_finite("q", q)?;
+        let mut cp = Vec::new();
+        let mut cq = Vec::new();
+        self.spec.encode_series(p, &mut cp);
+        self.spec.encode_series(q, &mut cq);
+        let total = self.distance_codes(&cp, &cq)?;
+        Ok(total * self.spec.lsb())
+    }
+
+    /// The DP over raw codes; the result is in LSB units.
+    fn distance_codes(&self, cp: &[i16], cq: &[i16]) -> Result<f64, DistanceError> {
+        let (m, n) = (cp.len(), cq.len());
+        let mut prev = vec![f32::INFINITY; n + 1];
+        let mut curr = vec![f32::INFINITY; n + 1];
+        prev[0] = 0.0;
+        // Written-segment bookkeeping exactly as in the exact early-abandon
+        // kernel: wipe only what the recycled row held.
+        let mut w_prev = (0usize, 0usize);
+        let mut w_curr = (1usize, 0usize);
+        for (i, &pi) in cp.iter().enumerate().map(|(i, v)| (i + 1, v)) {
+            if w_curr.0 <= w_curr.1 {
+                curr[w_curr.0..=w_curr.1].fill(f32::INFINITY);
+            }
+            curr[0] = f32::INFINITY;
+            let (lo, hi) = self.band.row_range(i, m, n);
+            for j in lo..=hi {
+                let cost = f32::from((pi - cq[j - 1]).abs());
+                let best = curr[j - 1].min(prev[j]).min(prev[j - 1]);
+                curr[j] = if best.is_finite() {
+                    cost + best
+                } else {
+                    f32::INFINITY
+                };
+            }
+            w_curr = (lo, hi);
+            std::mem::swap(&mut prev, &mut curr);
+            std::mem::swap(&mut w_prev, &mut w_curr);
+        }
+        let total = prev[n];
+        if !total.is_finite() {
+            return Err(DistanceError::InvalidParameter {
+                name: "band",
+                reason: format!(
+                    "band too narrow: no admissible warping path for lengths {m} and {n}"
+                ),
+            });
+        }
+        Ok(f64::from(total))
+    }
+}
+
+/// The exact reference this path is measured against: same band, f64 kernel.
+pub fn reference_dtw(band: Band) -> Dtw {
+    Dtw::new().with_band(band)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_mid_tread_and_clamped() {
+        let s = QuantSpec::paper_reference();
+        assert_eq!(s.encode(0.0), 0);
+        assert_eq!(s.encode(s.lsb()), 1);
+        assert_eq!(s.encode(s.lsb() * 0.49), 0);
+        assert_eq!(s.encode(-s.lsb() * 2.4), -2);
+        // Far out of range clamps to full scale.
+        assert_eq!(s.encode(1e9), s.encode(6.25));
+        assert_eq!(s.encode(-1e9), s.encode(-6.25));
+    }
+
+    #[test]
+    fn exact_on_grid_inputs() {
+        // Inputs already on the grid quantize losslessly; integer f32 sums
+        // are exact, so the quantized kernel reproduces the f64 reference
+        // bit-for-bit.
+        let s = QuantSpec::paper_reference();
+        let p: Vec<f64> = [0, 3, -7, 12, 5, -1]
+            .iter()
+            .map(|&c| c as f64 * s.lsb())
+            .collect();
+        let q: Vec<f64> = [1, 2, -6, 10, 7, 0]
+            .iter()
+            .map(|&c| c as f64 * s.lsb())
+            .collect();
+        let exact = Dtw::new().distance(&p, &q).unwrap();
+        let quant = QuantizedDtw::new(s).distance(&p, &q).unwrap();
+        assert_eq!(quant, exact);
+    }
+
+    #[test]
+    fn error_is_bounded_by_path_length_times_lsb() {
+        let qd = QuantizedDtw::paper_reference();
+        let lsb = qd.spec().lsb();
+        for seed in 0..8u64 {
+            let p: Vec<f64> = (0..24)
+                .map(|i| ((i as f64 + seed as f64) * 0.7).sin() * 2.0)
+                .collect();
+            let q: Vec<f64> = (0..19)
+                .map(|i| ((i as f64 * 1.3 + seed as f64) * 0.5).cos() * 2.0)
+                .collect();
+            let exact = Dtw::new().distance(&p, &q).unwrap();
+            let quant = qd.distance(&p, &q).unwrap();
+            // Each warped cell's cost moves by at most one LSB.
+            let limit = (p.len() + q.len()) as f64 * lsb;
+            assert!(
+                (quant - exact).abs() <= limit,
+                "seed {seed}: quant {quant} exact {exact} limit {limit}"
+            );
+        }
+    }
+
+    #[test]
+    fn band_agrees_with_exact_kernel_banding() {
+        let p: Vec<f64> = (0..16).map(|i| (i as f64 * 0.4).sin()).collect();
+        let q: Vec<f64> = (0..16).map(|i| (i as f64 * 0.4 + 0.2).sin()).collect();
+        let banded = QuantizedDtw::paper_reference()
+            .with_band(Band::SakoeChiba(2))
+            .distance(&p, &q)
+            .unwrap();
+        let full = QuantizedDtw::paper_reference().distance(&p, &q).unwrap();
+        assert!(banded >= full, "banding can only restrict the path");
+    }
+
+    #[test]
+    fn rejects_empty_and_non_finite() {
+        let qd = QuantizedDtw::paper_reference();
+        assert!(matches!(
+            qd.distance(&[], &[1.0]),
+            Err(DistanceError::EmptySequence)
+        ));
+        assert!(matches!(
+            qd.distance(&[f64::NAN], &[1.0]),
+            Err(DistanceError::InvalidParameter { name: "p", .. })
+        ));
+        assert!(matches!(
+            qd.distance(&[1.0], &[f64::INFINITY]),
+            Err(DistanceError::InvalidParameter { name: "q", .. })
+        ));
+    }
+
+    #[test]
+    fn narrow_band_on_unequal_lengths_errors() {
+        let qd = QuantizedDtw::paper_reference().with_band(Band::SakoeChiba(0));
+        let p = vec![0.0; 10];
+        let q = vec![0.0; 3];
+        assert!(matches!(
+            qd.distance(&p, &q),
+            Err(DistanceError::InvalidParameter { name: "band", .. })
+        ));
+    }
+}

@@ -1,13 +1,25 @@
 //! Reusable dynamic-programming scratch buffers.
 //!
-//! The two-row DP kernels ([`crate::Dtw::distance`] and friends) need two
-//! `n + 1`-element rows per evaluation. Allocating them per pair is invisible
-//! for a single distance call but dominates small-kernel batch workloads
-//! (millions of pairs in a motif search). A [`DpScratch`] owns the rows and
-//! hands them out re-initialized, so a worker thread can stream an arbitrary
-//! number of pairs through one pair of allocations.
+//! The DP kernels ([`crate::Dtw::distance`] and friends) need a handful of
+//! working rows per evaluation. Allocating them per pair is invisible for a
+//! single distance call but dominates small-kernel batch workloads (millions
+//! of pairs in a motif search). A [`DpScratch`] owns every working buffer the
+//! kernels and the pruning cascade need and hands them out re-initialized, so
+//! a worker thread can stream an arbitrary number of pairs through one set of
+//! allocations:
+//!
+//! * two (row-major early abandoning) or three (anti-diagonal wavefront)
+//!   DP rows,
+//! * a reversed copy of the second series, so wavefront kernels read both
+//!   series forward along an anti-diagonal,
+//! * the **cached query envelope** of the UCR pruning cascade: the upper and
+//!   lower Sakoe–Chiba envelope of the query is computed once (O(n), Lemire's
+//!   monotonic deque) and revalidated with a cheap bitwise compare, so a
+//!   search evaluating thousands of windows against one query never
+//!   re-envelopes it,
+//! * candidate-envelope and deque buffers for the O(n) envelope pass itself.
 
-/// Reusable two-row DP buffer.
+/// Reusable DP buffer set shared by the kernels and the pruning cascade.
 ///
 /// ```
 /// use mda_distance::{Dtw, DpScratch};
@@ -24,12 +36,29 @@
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct DpScratch {
-    prev: Vec<f64>,
-    curr: Vec<f64>,
+    pub(crate) prev: Vec<f64>,
+    pub(crate) curr: Vec<f64>,
+    /// Third row for the anti-diagonal wavefront kernels (diagonal `k - 2`).
+    pub(crate) diag: Vec<f64>,
+    /// Reversed copy of the second series for wavefront kernels.
+    pub(crate) rev: Vec<f64>,
+    /// Cached query envelope: upper/lower bounds, the query it was built
+    /// from (bitwise key) and the band radius it was built for.
+    pub(crate) qe_upper: Vec<f64>,
+    pub(crate) qe_lower: Vec<f64>,
+    pub(crate) qe_key: Vec<f64>,
+    pub(crate) qe_radius: usize,
+    pub(crate) qe_valid: bool,
+    /// Candidate envelope buffers (recomputed per candidate, reused).
+    pub(crate) ce_upper: Vec<f64>,
+    pub(crate) ce_lower: Vec<f64>,
+    /// Index deque for the Lemire monotonic-deque envelope pass.
+    pub(crate) deque: Vec<usize>,
 }
 
 impl DpScratch {
-    /// An empty scratch; rows grow on first use and are retained afterwards.
+    /// An empty scratch; buffers grow on first use and are retained
+    /// afterwards.
     pub fn new() -> Self {
         Self::default()
     }
@@ -37,8 +66,11 @@ impl DpScratch {
     /// A scratch pre-sized for sequences up to `n` elements.
     pub fn with_capacity(n: usize) -> Self {
         DpScratch {
-            prev: Vec::with_capacity(n + 1),
-            curr: Vec::with_capacity(n + 1),
+            prev: Vec::with_capacity(n + 2),
+            curr: Vec::with_capacity(n + 2),
+            diag: Vec::with_capacity(n + 2),
+            rev: Vec::with_capacity(n),
+            ..Self::default()
         }
     }
 
@@ -50,6 +82,42 @@ impl DpScratch {
         self.curr.clear();
         self.curr.resize(len, fill);
         (&mut self.prev, &mut self.curr)
+    }
+
+    /// Three wavefront diagonals of `len` elements plus a reversed copy of
+    /// `q`, every diagonal cell set to `fill`.
+    pub(crate) fn wavefront(
+        &mut self,
+        len: usize,
+        fill: f64,
+        q: &[f64],
+    ) -> ([&mut Vec<f64>; 3], &[f64]) {
+        for buf in [&mut self.prev, &mut self.curr, &mut self.diag] {
+            buf.clear();
+            buf.resize(len, fill);
+        }
+        self.rev.clear();
+        self.rev.extend(q.iter().rev());
+        ([&mut self.prev, &mut self.curr, &mut self.diag], &self.rev)
+    }
+
+    /// `true` when the cached query envelope was built from exactly this
+    /// query (bitwise) at exactly this band radius.
+    pub(crate) fn query_envelope_matches(&self, q: &[f64], r: usize) -> bool {
+        self.qe_valid
+            && self.qe_radius == r
+            && self.qe_key.len() == q.len()
+            && self
+                .qe_key
+                .iter()
+                .zip(q)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+
+    /// Invalidates the cached query envelope (e.g. after the buffers were
+    /// borrowed for something else).
+    pub fn invalidate_envelope_cache(&mut self) {
+        self.qe_valid = false;
     }
 
     /// Current row capacity (elements held without reallocating).
@@ -92,5 +160,34 @@ mod tests {
     fn with_capacity_presizes() {
         let s = DpScratch::with_capacity(64);
         assert!(s.capacity() >= 65);
+    }
+
+    #[test]
+    fn wavefront_reinitializes_and_reverses() {
+        let mut s = DpScratch::new();
+        {
+            let ([d0, _, _], rev) = s.wavefront(5, f64::INFINITY, &[1.0, 2.0, 3.0]);
+            assert_eq!(rev, &[3.0, 2.0, 1.0]);
+            d0[0] = 0.0;
+        }
+        let ([d0, d1, d2], _) = s.wavefront(5, f64::INFINITY, &[4.0]);
+        assert!(d0.iter().all(|v| v.is_infinite()));
+        assert!(d1.iter().all(|v| v.is_infinite()));
+        assert!(d2.iter().all(|v| v.is_infinite()));
+    }
+
+    #[test]
+    fn envelope_cache_matches_bitwise() {
+        let mut s = DpScratch::new();
+        assert!(!s.query_envelope_matches(&[1.0, 2.0], 2));
+        s.qe_key = vec![1.0, 2.0];
+        s.qe_radius = 2;
+        s.qe_valid = true;
+        assert!(s.query_envelope_matches(&[1.0, 2.0], 2));
+        assert!(!s.query_envelope_matches(&[1.0, 2.0], 3), "radius mismatch");
+        assert!(!s.query_envelope_matches(&[1.0, 2.5], 2), "value mismatch");
+        assert!(!s.query_envelope_matches(&[1.0], 2), "length mismatch");
+        s.invalidate_envelope_cache();
+        assert!(!s.query_envelope_matches(&[1.0, 2.0], 2));
     }
 }

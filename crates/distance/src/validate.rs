@@ -1,0 +1,49 @@
+//! Input validation shared by the mining drivers.
+//!
+//! The DP kernels themselves are IEEE-754-total: a NaN or infinity flows
+//! through `min`/`abs` arithmetic without panicking and yields a NaN/∞
+//! distance. The *drivers* (search, motif, k-NN, k-medoids) are not: they
+//! rank windows by comparing bounds and distances, and a NaN there used to
+//! either panic (`partial_cmp(..).expect(..)`) or poison every comparison so
+//! the driver fabricated a nonsense answer. Rejecting non-finite input at the
+//! driver boundary turns both failure modes into a typed
+//! [`DistanceError::InvalidParameter`].
+
+use crate::error::DistanceError;
+
+/// Returns [`DistanceError::InvalidParameter`] naming `name` if any element
+/// of `xs` is NaN or infinite.
+pub(crate) fn ensure_finite(name: &'static str, xs: &[f64]) -> Result<(), DistanceError> {
+    if let Some(i) = xs.iter().position(|v| !v.is_finite()) {
+        return Err(DistanceError::InvalidParameter {
+            name,
+            reason: format!("element {i} is {}; every element must be finite", xs[i]),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_slices_pass() {
+        assert!(ensure_finite("xs", &[]).is_ok());
+        assert!(ensure_finite("xs", &[0.0, -1.5, f64::MAX, f64::MIN_POSITIVE]).is_ok());
+    }
+
+    #[test]
+    fn non_finite_elements_are_named() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = ensure_finite("query", &[0.0, bad, 1.0]).unwrap_err();
+            match err {
+                DistanceError::InvalidParameter { name, reason } => {
+                    assert_eq!(name, "query");
+                    assert!(reason.contains("element 1"), "reason: {reason}");
+                }
+                other => panic!("expected InvalidParameter, got {other:?}"),
+            }
+        }
+    }
+}

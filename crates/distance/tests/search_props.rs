@@ -1,0 +1,123 @@
+//! Property tests for the pruned subsequence search: over arbitrary finite
+//! inputs the cascaded search must return exactly the brute-force answer
+//! (same offset, same distance to the last bit of its computation), and the
+//! pruning statistics must partition the window count.
+//!
+//! This is the end-to-end safety net over the whole tentpole stack —
+//! wavefront kernels, Lemire envelopes, cached-envelope cascade, forced
+//! scout computation — because any admissibility or identity bug in any
+//! layer shows up here as a wrong offset or distance.
+
+use proptest::prelude::*;
+
+use mda_distance::mining::SubsequenceSearch;
+
+fn value() -> impl Strategy<Value = f64> {
+    -1.0e3..1.0e3
+}
+
+fn series(len: impl prop::collection::IntoSizeRange) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(value(), len)
+}
+
+fn check_agreement(query: &[f64], haystack: &[f64], window: usize, radius: usize) {
+    let s = SubsequenceSearch::new(window, radius);
+    let (pruned, stats) = s.run(query, haystack).unwrap();
+    let brute = s.run_brute_force(query, haystack).unwrap();
+    assert_eq!(
+        pruned.offset, brute.offset,
+        "offset mismatch (window {window}, radius {radius})"
+    );
+    assert!(
+        (pruned.distance - brute.distance).abs() <= 1e-9,
+        "distance mismatch: pruned {} vs brute {}",
+        pruned.distance,
+        brute.distance
+    );
+    assert!(pruned.distance.is_finite(), "match must be real");
+    assert_eq!(
+        stats.windows,
+        stats.pruned_by_kim
+            + stats.pruned_by_keogh
+            + stats.abandoned_early
+            + stats.full_computations,
+        "stats must partition the windows: {stats:?}"
+    );
+    assert_eq!(stats.windows, haystack.len() - window + 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn pruned_search_equals_brute_force_on_random_inputs(
+        input in (2usize..10).prop_flat_map(|w| {
+            (Just(w), series(w), series(w..w + 40), 0usize..4)
+        }),
+    ) {
+        let (window, query, haystack, radius) = input;
+        check_agreement(&query, &haystack, window, radius);
+    }
+
+    #[test]
+    fn pruned_search_equals_brute_force_with_z_normalization(
+        input in (3usize..8).prop_flat_map(|w| {
+            (Just(w), series(w), series(w..w + 24))
+        }),
+    ) {
+        let (window, query, haystack) = input;
+        let s = SubsequenceSearch::new(window, 1).with_z_normalization(true);
+        let (pruned, _) = s.run(&query, &haystack).unwrap();
+        let brute = s.run_brute_force(&query, &haystack).unwrap();
+        prop_assert_eq!(pruned.offset, brute.offset);
+        prop_assert!((pruned.distance - brute.distance).abs() <= 1e-9);
+    }
+
+    #[test]
+    fn planted_exact_match_is_always_found(
+        input in (4usize..9).prop_flat_map(|w| {
+            (Just(w), series(3 * w), 0usize..3)
+        }),
+        frac in 0.0f64..1.0,
+    ) {
+        let (window, haystack, radius) = input;
+        // Plant the query verbatim somewhere in the haystack: the search
+        // must find a zero-distance window (the planted offset or another
+        // exact copy at a lower offset).
+        let at = ((haystack.len() - window) as f64 * frac) as usize;
+        let query = haystack[at..at + window].to_vec();
+        let s = SubsequenceSearch::new(window, radius);
+        let (m, _) = s.run(&query, &haystack).unwrap();
+        prop_assert_eq!(m.distance, 0.0);
+        prop_assert!(m.offset <= at);
+    }
+}
+
+/// Adversarial fixed shapes: constants (every window ties), a planted exact
+/// match inside an otherwise hostile haystack, and an all-far haystack where
+/// every window should be prunable against the scout.
+#[test]
+fn adversarial_shapes_agree_with_brute_force() {
+    let ramp: Vec<f64> = (0..48).map(|i| i as f64 * 0.3).collect();
+    let mut planted = vec![9.0; 48];
+    for (i, v) in planted.iter_mut().enumerate().skip(20).take(6) {
+        *v = (i as f64 * 0.5).sin();
+    }
+    let cases: Vec<(Vec<f64>, Vec<f64>)> = vec![
+        // Constant vs constant: all windows tie exactly.
+        (vec![1.0; 6], vec![0.0; 30]),
+        (vec![0.0; 6], vec![0.0; 30]),
+        // Constant query over a ramp: unique best at one end.
+        (vec![0.0; 6], ramp.clone()),
+        (vec![14.1; 6], ramp),
+        // Planted match in an all-far haystack.
+        ((20..26).map(|i| (i as f64 * 0.5).sin()).collect(), planted),
+        // Spiky query vs flat haystack.
+        (vec![0.0, 100.0, 0.0, -100.0, 0.0, 0.0], vec![0.0; 25]),
+    ];
+    for (query, haystack) in &cases {
+        for radius in [0, 1, 3] {
+            check_agreement(query, haystack, query.len(), radius);
+        }
+    }
+}
