@@ -110,6 +110,7 @@ struct KindStats {
     behavioural: LayerStats,
     spice: LayerStats,
     server: LayerStats,
+    server_resident: LayerStats,
 }
 
 /// Runs one case through every enabled layer and returns the out-of-bound
@@ -210,7 +211,7 @@ fn check_case(
         // exact bit equality — any drift is a wire/codec finding.
         match layers::server(client, case) {
             Ok(v) => {
-                if let Some(s) = stats {
+                if let Some(s) = stats.as_deref_mut() {
                     s.server.record(v, reference);
                 }
                 if v.to_bits() != reference.to_bits() {
@@ -225,6 +226,31 @@ fn check_case(
             }
             Err(e) => failures.push(Failure {
                 layer: "server",
+                value: f64::NAN,
+                reference,
+                margin: 0.0,
+                error: Some(e.to_string()),
+            }),
+        }
+        // The resident-dataset path must agree bitwise too: uploading the
+        // corpus cannot perturb a single bit of any series.
+        match layers::server_resident(client, case) {
+            Ok(v) => {
+                if let Some(s) = stats {
+                    s.server_resident.record(v, reference);
+                }
+                if v.to_bits() != reference.to_bits() {
+                    failures.push(Failure {
+                        layer: "server_resident",
+                        value: v,
+                        reference,
+                        margin: 0.0,
+                        error: None,
+                    });
+                }
+            }
+            Err(e) => failures.push(Failure {
+                layer: "server_resident",
                 value: f64::NAN,
                 reference,
                 margin: 0.0,
@@ -409,6 +435,7 @@ pub fn run(config: &HarnessConfig) -> RunOutcome {
                         ("behavioural".into(), s.behavioural.json()),
                         ("spice".into(), s.spice.json()),
                         ("server".into(), s.server.json()),
+                        ("server_resident".into(), s.server_resident.json()),
                     ]),
                 )
             })
@@ -441,6 +468,7 @@ pub fn run(config: &HarnessConfig) -> RunOutcome {
                 ("behavioural".into(), Json::Bool(true)),
                 ("spice".into(), Json::Bool(config.with_spice)),
                 ("server".into(), Json::Bool(config.with_server)),
+                ("server_resident".into(), Json::Bool(config.with_server)),
                 ("faults".into(), Json::Bool(config.with_faults)),
             ]),
         ),

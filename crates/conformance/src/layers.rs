@@ -9,7 +9,10 @@
 //! * **spice** — the device-level PE netlists solved by the PR-2 MNA core
 //!   (size-gated: matrix PEs grow O(m·n) nodes, so only tiny cases run);
 //! * **server** — a loopback `mda-server` round-trip through the real TCP
-//!   wire protocol.
+//!   wire protocol;
+//! * **server_resident** — the same loopback server queried through the
+//!   resident-dataset path (upload → kNN by dataset id → drop), recovering
+//!   the raw distance from a k=1 neighbour score.
 
 use mda_core::accelerator::FunctionParams;
 use mda_core::{pe, AcceleratorConfig, AcceleratorError, DistanceAccelerator};
@@ -18,7 +21,7 @@ use mda_distance::{
     Distance, DistanceError, DistanceKind, Dtw, EditDistance, Hamming, Hausdorff, Lcs, Manhattan,
 };
 use mda_server::client::{Client, QueryOpts};
-use mda_server::ClientError;
+use mda_server::{ClientError, DatasetEntry, DatasetRef};
 
 use crate::case::CaseSpec;
 
@@ -135,7 +138,42 @@ pub fn spice(case: &CaseSpec) -> Result<f64, AcceleratorError> {
 ///
 /// Transport or server errors from the round-trip.
 pub fn server(client: &mut Client, case: &CaseSpec) -> Result<f64, ClientError> {
-    let opts = QueryOpts {
+    client.distance_with(case.kind, &case.p, &case.q, case_opts(case))
+}
+
+/// The value served through the **resident-dataset** path: the case's `q`
+/// is uploaded as a one-entry dataset, a k=1 kNN query with `p` references
+/// it by content-addressed id, and the raw distance is recovered from the
+/// single neighbour's score (the queue negates scores for similarity
+/// kinds, so LCS is negated back). The dataset is dropped afterwards.
+///
+/// # Errors
+///
+/// Transport or server errors from any of the three round-trips.
+pub fn server_resident(client: &mut Client, case: &CaseSpec) -> Result<f64, ClientError> {
+    let entries = vec![DatasetEntry {
+        label: 0,
+        series: case.q.clone(),
+    }];
+    let (dataset_id, _version) = client.upload_dataset("conformance-case", &entries)?;
+    let outcome = client.knn_resident(
+        case.kind,
+        1,
+        &case.p,
+        DatasetRef::by_id(&dataset_id),
+        case_opts(case),
+    );
+    let _ = client.drop_dataset(DatasetRef::by_id(&dataset_id));
+    let outcome = outcome?;
+    Ok(if case.kind.is_similarity() {
+        -outcome.score
+    } else {
+        outcome.score
+    })
+}
+
+fn case_opts(case: &CaseSpec) -> QueryOpts {
+    QueryOpts {
         threshold: if case.thresholded() {
             Some(case.threshold)
         } else {
@@ -143,8 +181,7 @@ pub fn server(client: &mut Client, case: &CaseSpec) -> Result<f64, ClientError> 
         },
         band: case.band,
         deadline_ms: None,
-    };
-    client.distance_with(case.kind, &case.p, &case.q, opts)
+    }
 }
 
 #[cfg(test)]

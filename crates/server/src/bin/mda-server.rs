@@ -4,7 +4,9 @@
 //! ```text
 //! mda-server [--addr HOST:PORT] [--workers N] [--chunk-size N]
 //!            [--max-queue-items N] [--batch-max-items N]
-//!            [--default-deadline-ms MS]
+//!            [--default-deadline-ms MS] [--max-connections N]
+//!            [--max-pipeline-depth N] [--write-high-water BYTES]
+//!            [--dataset-max-bytes BYTES]
 //! ```
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -41,7 +43,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: mda-server [--addr HOST:PORT] [--workers N] [--chunk-size N]\n\
          \x20                 [--max-queue-items N] [--batch-max-items N]\n\
-         \x20                 [--default-deadline-ms MS]"
+         \x20                 [--default-deadline-ms MS] [--max-connections N]\n\
+         \x20                 [--max-pipeline-depth N] [--write-high-water BYTES]\n\
+         \x20                 [--dataset-max-bytes BYTES]"
     );
     std::process::exit(2);
 }
@@ -76,6 +80,22 @@ fn parse_args() -> ServerConfig {
             "--default-deadline-ms" => {
                 let ms: u64 = parse_num(&value("--default-deadline-ms"), "--default-deadline-ms");
                 config.default_deadline = Some(Duration::from_millis(ms));
+            }
+            "--max-connections" => {
+                config.max_connections =
+                    parse_num(&value("--max-connections"), "--max-connections");
+            }
+            "--max-pipeline-depth" => {
+                config.max_pipeline_depth =
+                    parse_num(&value("--max-pipeline-depth"), "--max-pipeline-depth");
+            }
+            "--write-high-water" => {
+                config.write_high_water =
+                    parse_num(&value("--write-high-water"), "--write-high-water");
+            }
+            "--dataset-max-bytes" => {
+                config.dataset_max_bytes =
+                    parse_num(&value("--dataset-max-bytes"), "--dataset-max-bytes");
             }
             "--help" | "-h" => usage(),
             other => {

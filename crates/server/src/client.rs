@@ -1,18 +1,25 @@
 //! A blocking client for the `mda-server` frame protocol.
 //!
-//! One [`Client`] wraps one TCP connection and issues synchronous calls;
-//! open several clients for concurrency (the server coalesces their
-//! queries into shared engine batches).
+//! One [`Client`] wraps one TCP connection, reused across any number of
+//! calls. Synchronous methods issue one request and wait; the pipelined
+//! [`Client::send_many`] writes a whole burst of requests before reading
+//! any reply, exercising the server's per-connection pipelining so a
+//! single connection can fill coalesced batches by itself. Resident
+//! datasets are managed with [`Client::upload_dataset`] /
+//! [`Client::list_datasets`] / [`Client::drop_dataset`] and then referenced
+//! from queries via [`DatasetRef`].
 
+use std::collections::HashMap;
 use std::fmt;
-use std::io::{self, BufReader, BufWriter};
+use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use mda_distance::DistanceKind;
 
 use crate::protocol::{
-    decode_reply, encode_request, read_frame, write_frame, Envelope, ErrorCode, ProtocolError,
-    Reply, Request, ResponseBody, TrainInstance, DEFAULT_MAX_FRAME_BYTES,
+    decode_reply, encode_request, read_frame, write_frame, DatasetEntry, DatasetRef,
+    DatasetSummary, Envelope, ErrorCode, ProtocolError, Reply, Request, ResponseBody,
+    TrainInstance, DEFAULT_MAX_FRAME_BYTES,
 };
 
 /// A failed client call.
@@ -233,6 +240,37 @@ impl Client {
         let body = self.call(Request::Batch {
             kind,
             pairs: pairs.to_vec(),
+            query: None,
+            dataset: None,
+            threshold: opts.threshold,
+            band: opts.band,
+            deadline_ms: opts.deadline_ms,
+        })?;
+        match body {
+            ResponseBody::Batch { values } => Ok(values),
+            other => Err(ClientError::UnexpectedReply(format!("{other:?}"))),
+        }
+    }
+
+    /// Evaluates `query` against every series of a resident dataset; one
+    /// value per dataset series, in upload order.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures or a server error reply (`not_found` /
+    /// `stale_version` when the reference fails to resolve).
+    pub fn batch_resident(
+        &mut self,
+        kind: DistanceKind,
+        query: &[f64],
+        dataset: DatasetRef,
+        opts: QueryOpts,
+    ) -> Result<Vec<f64>, ClientError> {
+        let body = self.call(Request::Batch {
+            kind,
+            pairs: Vec::new(),
+            query: Some(query.to_vec()),
+            dataset: Some(dataset),
             threshold: opts.threshold,
             band: opts.band,
             deadline_ms: opts.deadline_ms,
@@ -261,6 +299,45 @@ impl Client {
             k,
             query: query.to_vec(),
             train: train.to_vec(),
+            dataset: None,
+            threshold: opts.threshold,
+            band: opts.band,
+            deadline_ms: opts.deadline_ms,
+        })?;
+        match body {
+            ResponseBody::Knn {
+                label,
+                score,
+                nearest_index,
+            } => Ok(KnnOutcome {
+                label,
+                score,
+                nearest_index,
+            }),
+            other => Err(ClientError::UnexpectedReply(format!("{other:?}"))),
+        }
+    }
+
+    /// Classifies `query` against a resident dataset's labelled series.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures or a server error reply (`not_found` /
+    /// `stale_version` when the reference fails to resolve).
+    pub fn knn_resident(
+        &mut self,
+        kind: DistanceKind,
+        k: usize,
+        query: &[f64],
+        dataset: DatasetRef,
+        opts: QueryOpts,
+    ) -> Result<KnnOutcome, ClientError> {
+        let body = self.call(Request::Knn {
+            kind,
+            k,
+            query: query.to_vec(),
+            train: Vec::new(),
+            dataset: Some(dataset),
             threshold: opts.threshold,
             band: opts.band,
             deadline_ms: opts.deadline_ms,
@@ -296,6 +373,8 @@ impl Client {
         let body = self.call(Request::Search {
             query: query.to_vec(),
             haystack: haystack.to_vec(),
+            dataset: None,
+            series_index: 0,
             window,
             band,
             deadline_ms: opts.deadline_ms,
@@ -304,5 +383,136 @@ impl Client {
             ResponseBody::Search { offset, distance } => Ok(SearchOutcome { offset, distance }),
             other => Err(ClientError::UnexpectedReply(format!("{other:?}"))),
         }
+    }
+
+    /// Finds the best-matching window of `query` in series `series_index`
+    /// of a resident dataset.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures or a server error reply (`not_found` /
+    /// `stale_version` when the reference fails to resolve).
+    pub fn search_resident(
+        &mut self,
+        query: &[f64],
+        dataset: DatasetRef,
+        series_index: usize,
+        window: usize,
+        band: usize,
+        opts: QueryOpts,
+    ) -> Result<SearchOutcome, ClientError> {
+        let body = self.call(Request::Search {
+            query: query.to_vec(),
+            haystack: Vec::new(),
+            dataset: Some(dataset),
+            series_index,
+            window,
+            band,
+            deadline_ms: opts.deadline_ms,
+        })?;
+        match body {
+            ResponseBody::Search { offset, distance } => Ok(SearchOutcome { offset, distance }),
+            other => Err(ClientError::UnexpectedReply(format!("{other:?}"))),
+        }
+    }
+
+    /// Uploads (or idempotently re-uploads) a resident dataset. Returns
+    /// `(dataset_id, version)` — pin the id in subsequent queries.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures or a server error reply (`overloaded`
+    /// when the store's byte budget is exhausted).
+    pub fn upload_dataset(
+        &mut self,
+        name: &str,
+        entries: &[DatasetEntry],
+    ) -> Result<(String, u64), ClientError> {
+        let body = self.call(Request::UploadDataset {
+            name: name.to_string(),
+            entries: entries.to_vec(),
+        })?;
+        match body {
+            ResponseBody::DatasetUploaded {
+                dataset_id,
+                version,
+                ..
+            } => Ok((dataset_id, version)),
+            other => Err(ClientError::UnexpectedReply(format!("{other:?}"))),
+        }
+    }
+
+    /// Lists resident datasets, sorted by name.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures or a server error reply.
+    pub fn list_datasets(&mut self) -> Result<Vec<DatasetSummary>, ClientError> {
+        match self.call(Request::ListDatasets)? {
+            ResponseBody::Datasets { items } => Ok(items),
+            other => Err(ClientError::UnexpectedReply(format!("{other:?}"))),
+        }
+    }
+
+    /// Drops a resident dataset by reference.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures or a server error reply (`not_found`
+    /// when the reference does not resolve).
+    pub fn drop_dataset(&mut self, dataset: DatasetRef) -> Result<usize, ClientError> {
+        match self.call(Request::DropDataset { dataset })? {
+            ResponseBody::Dropped { count } => Ok(count),
+            other => Err(ClientError::UnexpectedReply(format!("{other:?}"))),
+        }
+    }
+
+    /// Issues a burst of requests **pipelined** on this connection: every
+    /// request is written (one flush) before any reply is read, then all
+    /// replies are collected and returned in request order.
+    ///
+    /// Per-request server errors (`overloaded`, `not_found`, …) come back
+    /// as [`ResponseBody::Error`] values rather than failing the whole
+    /// burst — pipelined bursts are exactly where partial shedding occurs.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures, or an unmatched/duplicate reply id.
+    pub fn send_many(&mut self, reqs: Vec<Request>) -> Result<Vec<ResponseBody>, ClientError> {
+        let ids: Vec<u64> = reqs
+            .iter()
+            .map(|_| {
+                let id = self.next_id;
+                self.next_id += 1;
+                id
+            })
+            .collect();
+        for (id, req) in ids.iter().zip(reqs) {
+            let env = Envelope { id: *id, req };
+            let payload = encode_request(&env);
+            let len = u32::try_from(payload.len()).map_err(|_| {
+                ClientError::Io(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "payload exceeds u32 length",
+                ))
+            })?;
+            self.writer.write_all(&len.to_be_bytes())?;
+            self.writer.write_all(&payload)?;
+        }
+        self.writer.flush()?;
+        let mut by_id: HashMap<u64, ResponseBody> = HashMap::with_capacity(ids.len());
+        for _ in 0..ids.len() {
+            let payload = read_frame(&mut self.reader, self.max_frame_bytes)?;
+            let Reply { id, body } = decode_reply(&payload)?;
+            if !ids.contains(&id) || by_id.insert(id, body).is_some() {
+                return Err(ClientError::UnexpectedReply(format!(
+                    "reply id {id} does not match a pending pipelined request"
+                )));
+            }
+        }
+        Ok(ids
+            .into_iter()
+            .map(|id| by_id.remove(&id).expect("collected above"))
+            .collect())
     }
 }

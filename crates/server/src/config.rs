@@ -35,6 +35,17 @@ pub struct ServerConfig {
     /// Default queue-wait deadline applied when a request sets none
     /// (`None` = unbounded wait).
     pub default_deadline: Option<Duration>,
+    /// Maximum concurrently open connections; accepts beyond this are
+    /// closed immediately (and counted as rejected).
+    pub max_connections: usize,
+    /// Maximum requests one connection may have in flight; the event loop
+    /// stops reading from a connection at this depth until replies drain.
+    pub max_pipeline_depth: usize,
+    /// Per-connection write-buffer high-water mark, bytes: past it the loop
+    /// stops reading from that connection until the peer drains replies.
+    pub write_high_water: usize,
+    /// Byte budget for resident dataset samples across all datasets.
+    pub dataset_max_bytes: u64,
 }
 
 impl Default for ServerConfig {
@@ -47,6 +58,10 @@ impl Default for ServerConfig {
             batch_max_items: 1024,
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             default_deadline: None,
+            max_connections: 4096,
+            max_pipeline_depth: 128,
+            write_high_water: 1 << 20,
+            dataset_max_bytes: 1 << 30,
         }
     }
 }
@@ -77,6 +92,19 @@ impl ServerConfig {
                 "`max_frame_bytes` must be at least 64 bytes".into(),
             ));
         }
+        if self.max_connections == 0 {
+            return Err(ConfigError("`max_connections` must be at least 1".into()));
+        }
+        if self.max_pipeline_depth == 0 {
+            return Err(ConfigError(
+                "`max_pipeline_depth` must be at least 1".into(),
+            ));
+        }
+        if self.write_high_water < 4096 {
+            return Err(ConfigError(
+                "`write_high_water` must be at least 4096 bytes".into(),
+            ));
+        }
         Ok(())
     }
 }
@@ -93,12 +121,15 @@ mod tests {
     #[test]
     fn zero_values_are_rejected_with_field_names() {
         type Mutator = fn(&mut ServerConfig);
-        let cases: [(Mutator, &str); 5] = [
+        let cases: [(Mutator, &str); 8] = [
             (|c| c.workers = Some(0), "workers"),
             (|c| c.chunk_size = Some(0), "chunk_size"),
             (|c| c.max_queue_items = 0, "max_queue_items"),
             (|c| c.batch_max_items = 0, "batch_max_items"),
             (|c| c.max_frame_bytes = 8, "max_frame_bytes"),
+            (|c| c.max_connections = 0, "max_connections"),
+            (|c| c.max_pipeline_depth = 0, "max_pipeline_depth"),
+            (|c| c.write_high_water = 16, "write_high_water"),
         ];
         for (mutate, field) in cases {
             let mut cfg = ServerConfig::default();

@@ -29,7 +29,8 @@ use mda_distance::{
     Hausdorff, Lcs, Manhattan,
 };
 
-use crate::protocol::{Request, TrainInstance};
+use crate::datasets::{DatasetStore, ResolveError};
+use crate::protocol::{ErrorCode, Request, TrainInstance};
 
 /// Distance-function parameters carried by a pair item.
 #[derive(Debug, Clone, Copy)]
@@ -110,11 +111,23 @@ pub struct Decomposed {
     pub assemble: Assemble,
 }
 
-/// Flattens a compute request into work items. Returns `None` for
-/// non-compute ops (ping/metrics), which never enter the queue.
-pub fn decompose(req: Request) -> Option<Decomposed> {
+/// Flattens a compute request into work items, resolving any resident
+/// dataset references against `store`. Returns `Ok(None)` for non-compute
+/// ops (ping/metrics/dataset management), which never enter the queue, and
+/// a typed [`ResolveError`] (`not_found` / `stale_version`) when a dataset
+/// reference cannot be resolved — resolution happens *before* admission, so
+/// a bad reference never occupies queue capacity.
+///
+/// Resolution clones `Arc` handles to the stored series — no samples are
+/// copied and the bits a query sees are exactly the bits uploaded, which is
+/// what keeps the resident path bitwise identical to inline corpora.
+pub fn decompose(req: Request, store: &DatasetStore) -> Result<Option<Decomposed>, ResolveError> {
     match req {
-        Request::Ping | Request::Metrics => None,
+        Request::Ping
+        | Request::Metrics
+        | Request::UploadDataset { .. }
+        | Request::ListDatasets
+        | Request::DropDataset { .. } => Ok(None),
         Request::Distance {
             kind,
             p,
@@ -122,7 +135,7 @@ pub fn decompose(req: Request) -> Option<Decomposed> {
             threshold,
             band,
             ..
-        } => Some(Decomposed {
+        } => Ok(Some(Decomposed {
             items: vec![WorkItem::Pair {
                 spec: PairSpec {
                     kind,
@@ -133,10 +146,12 @@ pub fn decompose(req: Request) -> Option<Decomposed> {
                 q: q.into(),
             }],
             assemble: Assemble::Single,
-        }),
+        })),
         Request::Batch {
             kind,
             pairs,
+            query,
+            dataset,
             threshold,
             band,
             ..
@@ -146,23 +161,45 @@ pub fn decompose(req: Request) -> Option<Decomposed> {
                 threshold,
                 band,
             };
-            Some(Decomposed {
-                items: pairs
+            let items = if let Some(dref) = dataset {
+                // Resident form: the query series vs every dataset series.
+                let resolved = store.resolve(&dref)?;
+                let query: Arc<[f64]> = query
+                    .ok_or_else(|| ResolveError {
+                        code: ErrorCode::BadRequest,
+                        message: "batch with `dataset` requires `query`".into(),
+                    })?
+                    .into();
+                resolved
+                    .series
+                    .iter()
+                    .map(|s| WorkItem::Pair {
+                        spec,
+                        p: Arc::clone(&query),
+                        q: Arc::clone(s),
+                    })
+                    .collect()
+            } else {
+                pairs
                     .into_iter()
                     .map(|(p, q)| WorkItem::Pair {
                         spec,
                         p: p.into(),
                         q: q.into(),
                     })
-                    .collect(),
+                    .collect()
+            };
+            Ok(Some(Decomposed {
+                items,
                 assemble: Assemble::Values,
-            })
+            }))
         }
         Request::Knn {
             kind,
             k,
             query,
             train,
+            dataset,
             threshold,
             band,
             ..
@@ -173,39 +210,77 @@ pub fn decompose(req: Request) -> Option<Decomposed> {
                 band,
             };
             let query: Arc<[f64]> = query.into();
-            let labels: Vec<usize> = train.iter().map(|t| t.label).collect();
-            let items = train
-                .into_iter()
-                .map(|TrainInstance { series, .. }| WorkItem::Pair {
-                    spec,
-                    p: Arc::clone(&query),
-                    q: series.into(),
-                })
-                .collect();
-            Some(Decomposed {
+            let (labels, items): (Vec<usize>, Vec<WorkItem>) = if let Some(dref) = dataset {
+                // Resident form: training set is the dataset (labels included).
+                let resolved = store.resolve(&dref)?;
+                let items = resolved
+                    .series
+                    .iter()
+                    .map(|s| WorkItem::Pair {
+                        spec,
+                        p: Arc::clone(&query),
+                        q: Arc::clone(s),
+                    })
+                    .collect();
+                (resolved.labels.to_vec(), items)
+            } else {
+                let labels = train.iter().map(|t| t.label).collect();
+                let items = train
+                    .into_iter()
+                    .map(|TrainInstance { series, .. }| WorkItem::Pair {
+                        spec,
+                        p: Arc::clone(&query),
+                        q: series.into(),
+                    })
+                    .collect();
+                (labels, items)
+            };
+            Ok(Some(Decomposed {
                 items,
                 assemble: Assemble::Knn {
                     k,
                     labels,
                     invert: kind.is_similarity(),
                 },
-            })
+            }))
         }
         Request::Search {
             query,
             haystack,
+            dataset,
+            series_index,
             window,
             band,
             ..
-        } => Some(Decomposed {
-            items: vec![WorkItem::Search {
-                query: query.into(),
-                haystack: haystack.into(),
-                window,
-                band,
-            }],
-            assemble: Assemble::Search,
-        }),
+        } => {
+            let haystack: Arc<[f64]> = if let Some(dref) = dataset {
+                // Resident form: scan one series of the dataset.
+                let resolved = store.resolve(&dref)?;
+                let s = resolved
+                    .series
+                    .get(series_index)
+                    .ok_or_else(|| ResolveError {
+                        code: ErrorCode::NotFound,
+                        message: format!(
+                        "series_index {series_index} out of range for dataset \"{}\" ({} series)",
+                        resolved.name,
+                        resolved.series.len()
+                    ),
+                    })?;
+                Arc::clone(s)
+            } else {
+                haystack.into()
+            };
+            Ok(Some(Decomposed {
+                items: vec![WorkItem::Search {
+                    query: query.into(),
+                    haystack,
+                    window,
+                    band,
+                }],
+                assemble: Assemble::Search,
+            }))
+        }
     }
 }
 
@@ -317,6 +392,7 @@ mod tests {
 
     #[test]
     fn knn_decomposition_shares_the_query() {
+        let store = DatasetStore::new(u64::MAX);
         let req = Request::Knn {
             kind: DistanceKind::Manhattan,
             k: 1,
@@ -331,11 +407,12 @@ mod tests {
                     series: vec![9.0, 9.0],
                 },
             ],
+            dataset: None,
             threshold: None,
             band: None,
             deadline_ms: None,
         };
-        let d = decompose(req).unwrap();
+        let d = decompose(req, &store).unwrap().unwrap();
         assert_eq!(d.items.len(), 2);
         let Assemble::Knn { k, labels, invert } = &d.assemble else {
             panic!("knn assembly expected");
@@ -369,7 +446,122 @@ mod tests {
 
     #[test]
     fn control_ops_do_not_decompose() {
-        assert!(decompose(Request::Ping).is_none());
-        assert!(decompose(Request::Metrics).is_none());
+        let store = DatasetStore::new(u64::MAX);
+        assert!(decompose(Request::Ping, &store).unwrap().is_none());
+        assert!(decompose(Request::Metrics, &store).unwrap().is_none());
+        assert!(decompose(Request::ListDatasets, &store).unwrap().is_none());
+    }
+
+    #[test]
+    fn resident_knn_decomposes_identically_to_inline_train() {
+        let store = DatasetStore::new(u64::MAX);
+        let train: Vec<Vec<f64>> = vec![series(8, 0.0), series(8, 0.3), series(8, 0.9)];
+        let up = store.upload("train", vec![3, 5, 5], train.clone()).unwrap();
+        let resident = decompose(
+            Request::Knn {
+                kind: DistanceKind::Dtw,
+                k: 1,
+                query: series(8, 0.1),
+                train: Vec::new(),
+                dataset: Some(crate::protocol::DatasetRef::by_id(&up.dataset_id)),
+                threshold: None,
+                band: None,
+                deadline_ms: None,
+            },
+            &store,
+        )
+        .unwrap()
+        .unwrap();
+        let inline = decompose(
+            Request::Knn {
+                kind: DistanceKind::Dtw,
+                k: 1,
+                query: series(8, 0.1),
+                train: train
+                    .iter()
+                    .zip([3usize, 5, 5])
+                    .map(|(s, label)| TrainInstance {
+                        label,
+                        series: s.clone(),
+                    })
+                    .collect(),
+                dataset: None,
+                threshold: None,
+                band: None,
+                deadline_ms: None,
+            },
+            &store,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(resident.items.len(), inline.items.len());
+        let mut scratch = DpScratch::new();
+        for (a, b) in resident.items.iter().zip(&inline.items) {
+            let (ItemOutcome::Value(x), ItemOutcome::Value(y)) = (
+                execute_item(a, &mut scratch).unwrap(),
+                execute_item(b, &mut scratch).unwrap(),
+            ) else {
+                panic!("value items expected");
+            };
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let (Assemble::Knn { labels: la, .. }, Assemble::Knn { labels: lb, .. }) =
+            (&resident.assemble, &inline.assemble)
+        else {
+            panic!("knn assembly expected");
+        };
+        assert_eq!(la, lb);
+    }
+
+    #[test]
+    fn resident_resolution_errors_are_typed_and_pre_admission() {
+        let store = DatasetStore::new(u64::MAX);
+        store.upload("d", vec![0], vec![vec![1.0, 2.0]]).unwrap();
+        // Unknown id → not_found.
+        let err = decompose(
+            Request::Search {
+                query: vec![1.0],
+                haystack: Vec::new(),
+                dataset: Some(crate::protocol::DatasetRef::by_id("missing")),
+                series_index: 0,
+                window: 1,
+                band: 0,
+                deadline_ms: None,
+            },
+            &store,
+        )
+        .unwrap_err();
+        assert_eq!(err.code, ErrorCode::NotFound);
+        // series_index past the end → not_found naming the range.
+        let err = decompose(
+            Request::Search {
+                query: vec![1.0],
+                haystack: Vec::new(),
+                dataset: Some(crate::protocol::DatasetRef::by_name("d")),
+                series_index: 9,
+                window: 1,
+                band: 0,
+                deadline_ms: None,
+            },
+            &store,
+        )
+        .unwrap_err();
+        assert_eq!(err.code, ErrorCode::NotFound);
+        assert!(err.message.contains("series_index 9"), "{}", err.message);
+        // Batch resident form without a query → bad_request.
+        let err = decompose(
+            Request::Batch {
+                kind: DistanceKind::Manhattan,
+                pairs: Vec::new(),
+                query: None,
+                dataset: Some(crate::protocol::DatasetRef::by_name("d")),
+                threshold: None,
+                band: None,
+                deadline_ms: None,
+            },
+            &store,
+        )
+        .unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
     }
 }

@@ -10,34 +10,44 @@
 //! functions plus its mining primitives:
 //!
 //! * `distance` — one pair, one value;
-//! * `batch` — pairwise batch, one value per pair;
+//! * `batch` — pairwise batch, one value per pair (or one query vs a
+//!   resident dataset);
 //! * `knn` — k-nearest-neighbour classification (exact
-//!   `KnnClassifier::classify` semantics);
-//! * `search` — banded-DTW subsequence search;
+//!   `KnnClassifier::classify` semantics), inline train set or resident;
+//! * `search` — banded-DTW subsequence search, inline or resident haystack;
+//! * `upload_dataset` / `list_datasets` / `drop_dataset` — resident
+//!   dataset management ([`datasets`]): upload a corpus once, then query it
+//!   by content-addressed id so the wire carries queries, not corpora;
 //! * `ping` / `metrics` — control plane.
 //!
 //! ## Architecture
 //!
 //! ```text
-//! clients ──frames──► reader threads ──decompose──► CoalescingQueue
-//!                                                        │ (admission
-//!                                                        │  control)
-//!                                              dispatcher thread
-//!                                                        │ coalesced
-//!                                                        ▼ batch
-//!                                                  BatchEngine
-//!                                                        │
-//! clients ◄──frames── writer threads ◄──assemble── per-job replies
+//! clients ══frames══► epoll event loop ──decompose──► CoalescingQueue
+//!    (pipelined)        │ one thread,    (resolve          │ (admission
+//!                       │ all conns       datasets)        │  control)
+//!                       │                           dispatcher thread
+//!                       │ inline: ping/metrics/           │ coalesced
+//!                       │ upload/list/drop                ▼ batch
+//!                       │                            BatchEngine
+//!                       ▲                                 │
+//! clients ◄══frames═══ write buffers ◄─completions+─ per-job replies
+//!                                       eventfd wake
 //! ```
 //!
-//! Concurrent requests are flattened into shared [`BatchEngine`] batches
-//! ([`queue`]), so the engine's workers stay saturated regardless of how
-//! the load is spread across connections. Admission control sheds work
-//! beyond a bounded queue depth (`overloaded`), queue-wait deadlines
-//! produce `timeout` replies, and shutdown drains every admitted job
-//! before closing sockets. Live counters and latency histograms
-//! ([`metrics`]) are served both in-protocol and as an HTTP/1.1 text
-//! endpoint on the same port (open `http://host:port/` in a scraper).
+//! The serving core is a single readiness-based event-loop thread
+//! ([`event_loop`]: epoll via raw FFI, non-blocking sockets, incremental
+//! frame decode, per-connection pipelining with write-buffer
+//! backpressure). Concurrent — and pipelined — requests are flattened into
+//! shared [`BatchEngine`] batches ([`queue`]), so the engine's workers
+//! stay saturated regardless of how the load is spread across connections.
+//! Admission control sheds work beyond a bounded queue depth
+//! (`overloaded`), queue-wait deadlines produce `timeout` replies, dataset
+//! references that fail to resolve produce `not_found`/`stale_version`,
+//! and shutdown drains every admitted job before closing sockets. Live
+//! counters and latency histograms ([`metrics`]) are served both
+//! in-protocol and as an HTTP/1.1 text endpoint on the same port (open
+//! `http://host:port/` in a scraper).
 //!
 //! Results are **bitwise identical** to direct library calls: the
 //! dispatcher evaluates every work item with the same
@@ -65,6 +75,8 @@
 
 pub mod client;
 pub mod config;
+pub mod datasets;
+pub mod event_loop;
 pub mod exec;
 pub mod json;
 pub mod metrics;
@@ -74,6 +86,10 @@ pub mod server;
 
 pub use client::{Client, ClientError, KnnOutcome, QueryOpts, SearchOutcome};
 pub use config::{ConfigError, ServerConfig};
+pub use datasets::{DatasetStore, ResolveError};
 pub use metrics::Metrics;
-pub use protocol::{ErrorCode, ProtocolError, Request, ResponseBody, TrainInstance};
+pub use protocol::{
+    DatasetEntry, DatasetRef, DatasetSummary, ErrorCode, ProtocolError, Request, ResponseBody,
+    TrainInstance,
+};
 pub use server::{Server, ServerError};

@@ -104,12 +104,42 @@ impl Counter {
     }
 }
 
+/// A settable instantaneous value (resident counts, open connections).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the current value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts 1 (saturating at 0).
+    pub fn dec(&self) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
 /// The server's metrics registry. One instance per [`crate::Server`],
 /// shared by every connection and the dispatcher.
 #[derive(Debug, Default)]
 pub struct Metrics {
     /// Requests received, by operation (indexed like [`Metrics::OPS`]).
-    pub requests: [Counter; 6],
+    pub requests: [Counter; 9],
     /// Successful replies sent.
     pub replies_ok: Counter,
     /// Error replies sent (all codes).
@@ -128,8 +158,34 @@ pub struct Metrics {
     pub max_batch_items: AtomicUsize,
     /// Connections accepted.
     pub connections: Counter,
+    /// Connections currently open on the event loop.
+    pub open_connections: Gauge,
+    /// Connections refused at accept (over the connection cap).
+    pub connections_rejected: Counter,
+    /// Compute requests submitted from connections (pipelined or not).
+    pub pipeline_submits: Counter,
+    /// Sum over submissions of the submitting connection's in-flight depth
+    /// (including the new request) — mean depth = sum / submits.
+    pub pipeline_depth_sum: Counter,
+    /// Deepest single-connection pipeline observed.
+    pub pipeline_depth_max: AtomicUsize,
+    /// Datasets currently resident.
+    pub datasets_resident: Gauge,
+    /// Bytes of resident dataset samples.
+    pub dataset_resident_bytes: Gauge,
+    /// Successful dataset uploads (including idempotent re-uploads).
+    pub dataset_uploads: Counter,
+    /// Datasets dropped.
+    pub dataset_drops: Counter,
+    /// Queries that resolved a dataset reference.
+    pub dataset_hits: Counter,
+    /// Queries whose dataset reference failed (`not_found`/`stale_version`).
+    pub dataset_misses: Counter,
     /// Time requests spent queued before dispatch.
     pub queue_wait: Histogram,
+    /// Time completed replies waited in a connection's completion queue
+    /// before being flushed into its write buffer.
+    pub conn_wait: Histogram,
     /// End-to-end service latency (enqueue → reply handoff).
     pub latency: Histogram,
     /// Analog-mode computations served (requests flagged `analog`).
@@ -140,7 +196,17 @@ pub struct Metrics {
 
 impl Metrics {
     /// Operation labels, index-aligned with [`Metrics::requests`].
-    pub const OPS: [&'static str; 6] = ["ping", "metrics", "distance", "batch", "knn", "search"];
+    pub const OPS: [&'static str; 9] = [
+        "ping",
+        "metrics",
+        "distance",
+        "batch",
+        "knn",
+        "search",
+        "upload_dataset",
+        "list_datasets",
+        "drop_dataset",
+    ];
 
     /// Creates an empty registry.
     pub fn new() -> Self {
@@ -169,6 +235,23 @@ impl Metrics {
             return 0.0;
         }
         self.batch_items.get() as f64 / batches as f64
+    }
+
+    /// Records one compute submission from a connection with `depth`
+    /// requests in flight on that connection (including this one).
+    pub fn record_pipeline_submit(&self, depth: usize) {
+        self.pipeline_submits.inc();
+        self.pipeline_depth_sum.add(depth as u64);
+        self.pipeline_depth_max.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Mean per-connection in-flight depth at submission time.
+    pub fn mean_pipeline_depth(&self) -> f64 {
+        let submits = self.pipeline_submits.get();
+        if submits == 0 {
+            return 0.0;
+        }
+        self.pipeline_depth_sum.get() as f64 / submits as f64
     }
 
     /// Renders the registry as Prometheus-style text.
@@ -204,7 +287,55 @@ impl Metrics {
             "mda_connections_total {}\n",
             self.connections.get()
         ));
-        for (name, h) in [("queue_wait", &self.queue_wait), ("latency", &self.latency)] {
+        out.push_str(&format!(
+            "mda_open_connections {}\n",
+            self.open_connections.get()
+        ));
+        out.push_str(&format!(
+            "mda_connections_rejected_total {}\n",
+            self.connections_rejected.get()
+        ));
+        out.push_str(&format!(
+            "mda_pipeline_submits_total {}\n",
+            self.pipeline_submits.get()
+        ));
+        out.push_str(&format!(
+            "mda_pipeline_depth_mean {:.3}\n",
+            self.mean_pipeline_depth()
+        ));
+        out.push_str(&format!(
+            "mda_pipeline_depth_max {}\n",
+            self.pipeline_depth_max.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "mda_datasets_resident {}\n",
+            self.datasets_resident.get()
+        ));
+        out.push_str(&format!(
+            "mda_dataset_resident_bytes {}\n",
+            self.dataset_resident_bytes.get()
+        ));
+        out.push_str(&format!(
+            "mda_dataset_uploads_total {}\n",
+            self.dataset_uploads.get()
+        ));
+        out.push_str(&format!(
+            "mda_dataset_drops_total {}\n",
+            self.dataset_drops.get()
+        ));
+        out.push_str(&format!(
+            "mda_dataset_hits_total {}\n",
+            self.dataset_hits.get()
+        ));
+        out.push_str(&format!(
+            "mda_dataset_misses_total {}\n",
+            self.dataset_misses.get()
+        ));
+        for (name, h) in [
+            ("queue_wait", &self.queue_wait),
+            ("conn_wait", &self.conn_wait),
+            ("latency", &self.latency),
+        ] {
             out.push_str(&format!("mda_{name}_us_count {}\n", h.count()));
             out.push_str(&format!("mda_{name}_us_mean {:.1}\n", h.mean_us()));
             for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
@@ -270,17 +401,43 @@ mod tests {
         m.replies_ok.inc();
         m.shed.inc();
         m.queue_wait.record_us(120);
+        m.count_request("upload_dataset");
+        m.record_pipeline_submit(4);
+        m.open_connections.set(3);
+        m.datasets_resident.set(2);
+        m.dataset_resident_bytes.set(4096);
         let text = m.render_text();
         for needle in [
             "mda_requests_total{op=\"distance\"} 1",
+            "mda_requests_total{op=\"upload_dataset\"} 1",
             "mda_batches_total 1",
             "mda_batch_occupancy_mean 10.000",
             "mda_shed_total 1",
             "mda_queue_wait_us{quantile=\"0.5\"} 200",
             "mda_latency_us_count 0",
+            "mda_open_connections 3",
+            "mda_pipeline_depth_mean 4.000",
+            "mda_pipeline_depth_max 4",
+            "mda_datasets_resident 2",
+            "mda_dataset_resident_bytes 4096",
+            "mda_conn_wait_us_count 0",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }
+    }
+
+    #[test]
+    fn gauge_tracks_ups_and_downs() {
+        let g = Gauge::default();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.dec();
+        g.dec(); // saturates at 0
+        assert_eq!(g.get(), 0);
+        g.set(42);
+        assert_eq!(g.get(), 42);
     }
 
     #[test]

@@ -24,6 +24,29 @@
 //! requests still queued when it expires are answered with a `timeout`
 //! error instead of being computed).
 //!
+//! ## Resident datasets
+//!
+//! A corpus can be uploaded once and then referenced by id, so the wire
+//! carries queries instead of re-shipping the reference set:
+//!
+//! ```json
+//! {"id": 7, "op": "upload_dataset", "name": "corpus",
+//!  "entries": [[0,1,2], {"label": 1, "series": [3,4,5]}]}
+//! {"id": 8, "op": "knn", "kind": "DTW", "k": 1, "query": [0,1],
+//!  "dataset": "a1b2…"}
+//! {"id": 9, "op": "batch", "kind": "MD", "query": [0,1],
+//!  "dataset_name": "corpus", "version": 1}
+//! {"id": 10, "op": "search", "query": [0,1], "dataset_name": "corpus",
+//!  "series_index": 0, "window": 2, "band": 1}
+//! {"id": 11, "op": "list_datasets"}
+//! {"id": 12, "op": "drop_dataset", "dataset_name": "corpus"}
+//! ```
+//!
+//! A dataset reference is either `dataset` (the content-addressed id
+//! returned by `upload_dataset`) or `dataset_name` plus an optional
+//! pinned `version`. Referencing an unknown id/name yields `not_found`;
+//! pinning a superseded version yields `stale_version`.
+//!
 //! ## Replies
 //!
 //! ```json
@@ -33,8 +56,9 @@
 //!
 //! Error codes: `overloaded` (admission control shed the request),
 //! `timeout` (deadline expired in the queue), `bad_request` (malformed or
-//! rejected by the distance definition), `shutting_down` (server is
-//! draining), `internal`.
+//! rejected by the distance definition), `not_found` (unknown dataset id
+//! or name), `stale_version` (pinned dataset version superseded),
+//! `shutting_down` (server is draining), `internal`.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -178,6 +202,71 @@ pub struct TrainInstance {
     pub series: Vec<f64>,
 }
 
+/// A reference to a resident dataset: by content-addressed id, or by name
+/// with an optional pinned version.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DatasetRef {
+    /// The content-addressed id returned by `upload_dataset`.
+    pub id: Option<String>,
+    /// The upload name.
+    pub name: Option<String>,
+    /// Pinned version (only meaningful with `name`; a superseded pin is
+    /// answered with `stale_version`).
+    pub version: Option<u64>,
+}
+
+impl DatasetRef {
+    /// A reference by content-addressed id.
+    pub fn by_id(id: impl Into<String>) -> DatasetRef {
+        DatasetRef {
+            id: Some(id.into()),
+            ..DatasetRef::default()
+        }
+    }
+
+    /// A reference by name (current version).
+    pub fn by_name(name: impl Into<String>) -> DatasetRef {
+        DatasetRef {
+            name: Some(name.into()),
+            ..DatasetRef::default()
+        }
+    }
+
+    /// A reference by name pinned to a specific version.
+    pub fn by_name_version(name: impl Into<String>, version: u64) -> DatasetRef {
+        DatasetRef {
+            name: Some(name.into()),
+            version: Some(version),
+            ..DatasetRef::default()
+        }
+    }
+}
+
+/// One entry in a dataset upload: a series with an optional class label
+/// (defaults to 0; labels matter only for kNN queries).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetEntry {
+    /// Class label (0 when the wire entry is a bare array).
+    pub label: usize,
+    /// The series.
+    pub series: Vec<f64>,
+}
+
+/// Summary row for `list_datasets` replies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSummary {
+    /// Upload name.
+    pub name: String,
+    /// Content-addressed id.
+    pub dataset_id: String,
+    /// Current version under this name.
+    pub version: u64,
+    /// Number of series.
+    pub count: usize,
+    /// Resident payload bytes (8 bytes per sample).
+    pub bytes: u64,
+}
+
 /// One request, without its envelope `id`.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -200,12 +289,17 @@ pub enum Request {
         /// Queue-wait budget.
         deadline_ms: Option<u64>,
     },
-    /// A pairwise batch: one value per pair.
+    /// A pairwise batch: one value per pair (inline `pairs`), or — with a
+    /// dataset reference — `query` against every resident series.
     Batch {
         /// Which of the six functions.
         kind: DistanceKind,
-        /// The pairs to evaluate.
+        /// The pairs to evaluate (inline form; empty when `dataset` set).
         pairs: Vec<(Vec<f64>, Vec<f64>)>,
+        /// The query series (resident form: one value per dataset series).
+        query: Option<Vec<f64>>,
+        /// Resident corpus reference (mutually exclusive with `pairs`).
+        dataset: Option<DatasetRef>,
         /// Match threshold override (LCS/EdD/HamD).
         threshold: Option<f64>,
         /// Sakoe–Chiba radius (DTW).
@@ -213,7 +307,8 @@ pub enum Request {
         /// Queue-wait budget.
         deadline_ms: Option<u64>,
     },
-    /// k-nearest-neighbour classification of `query` against `train`.
+    /// k-nearest-neighbour classification of `query` against `train` or a
+    /// resident labelled dataset.
     Knn {
         /// Which of the six functions.
         kind: DistanceKind,
@@ -221,8 +316,10 @@ pub enum Request {
         k: usize,
         /// The query series.
         query: Vec<f64>,
-        /// Labelled training set.
+        /// Labelled training set (inline form; empty when `dataset` set).
         train: Vec<TrainInstance>,
+        /// Resident training-set reference (mutually exclusive with `train`).
+        dataset: Option<DatasetRef>,
         /// Match threshold override (LCS/EdD/HamD).
         threshold: Option<f64>,
         /// Sakoe–Chiba radius (DTW).
@@ -230,18 +327,37 @@ pub enum Request {
         /// Queue-wait budget.
         deadline_ms: Option<u64>,
     },
-    /// Banded-DTW subsequence search of `query` in `haystack`.
+    /// Banded-DTW subsequence search of `query` in `haystack` or a
+    /// resident series.
     Search {
         /// The query series.
         query: Vec<f64>,
-        /// The long series to scan.
+        /// The long series to scan (inline form; empty when `dataset` set).
         haystack: Vec<f64>,
+        /// Resident haystack reference (mutually exclusive with `haystack`).
+        dataset: Option<DatasetRef>,
+        /// Which series of the dataset to scan (resident form; default 0).
+        series_index: usize,
         /// Window length (≥ 1).
         window: usize,
         /// Sakoe–Chiba radius.
         band: usize,
         /// Queue-wait budget.
         deadline_ms: Option<u64>,
+    },
+    /// Upload a resident dataset; replies with its content-addressed id.
+    UploadDataset {
+        /// Name the dataset is versioned under.
+        name: String,
+        /// The series (with optional labels).
+        entries: Vec<DatasetEntry>,
+    },
+    /// List resident datasets.
+    ListDatasets,
+    /// Drop a resident dataset by id or name.
+    DropDataset {
+        /// Which dataset.
+        dataset: DatasetRef,
     },
 }
 
@@ -255,6 +371,9 @@ impl Request {
             Request::Batch { .. } => "batch",
             Request::Knn { .. } => "knn",
             Request::Search { .. } => "search",
+            Request::UploadDataset { .. } => "upload_dataset",
+            Request::ListDatasets => "list_datasets",
+            Request::DropDataset { .. } => "drop_dataset",
         }
     }
 
@@ -289,6 +408,10 @@ pub enum ErrorCode {
     Timeout,
     /// The request was malformed or rejected by the distance definition.
     BadRequest,
+    /// The referenced dataset id or name is not resident.
+    NotFound,
+    /// The request pinned a dataset version that has been superseded.
+    StaleVersion,
     /// The server is draining and no longer accepts work.
     ShuttingDown,
     /// Unexpected server-side failure.
@@ -302,6 +425,8 @@ impl ErrorCode {
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::Timeout => "timeout",
             ErrorCode::BadRequest => "bad_request",
+            ErrorCode::NotFound => "not_found",
+            ErrorCode::StaleVersion => "stale_version",
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::Internal => "internal",
         }
@@ -313,6 +438,8 @@ impl ErrorCode {
             ErrorCode::Overloaded,
             ErrorCode::Timeout,
             ErrorCode::BadRequest,
+            ErrorCode::NotFound,
+            ErrorCode::StaleVersion,
             ErrorCode::ShuttingDown,
             ErrorCode::Internal,
         ]
@@ -359,6 +486,27 @@ pub enum ResponseBody {
         offset: usize,
         /// Its banded DTW distance.
         distance: f64,
+    },
+    /// Reply to `upload_dataset`.
+    DatasetUploaded {
+        /// Content-addressed id for query references.
+        dataset_id: String,
+        /// Version assigned under the upload name.
+        version: u64,
+        /// Number of series.
+        count: usize,
+        /// Resident payload bytes.
+        bytes: u64,
+    },
+    /// Reply to `list_datasets`.
+    Datasets {
+        /// One row per resident dataset.
+        items: Vec<DatasetSummary>,
+    },
+    /// Reply to `drop_dataset`.
+    Dropped {
+        /// Number of datasets removed (0 or 1).
+        count: usize,
     },
     /// Any failure.
     Error {
@@ -418,6 +566,43 @@ fn req_usize(v: &Json, key: &str) -> Result<usize, ProtocolError> {
         .ok_or_else(|| ProtocolError::Schema(format!("`{key}` must be a non-negative integer")))
 }
 
+fn opt_str(v: &Json, key: &str) -> Result<Option<String>, ProtocolError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(x) => x
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| ProtocolError::Schema(format!("`{key}` must be a string"))),
+    }
+}
+
+/// Parses the optional dataset reference triple (`dataset`,
+/// `dataset_name`, `version`) shared by the compute ops.
+fn opt_dataset_ref(v: &Json) -> Result<Option<DatasetRef>, ProtocolError> {
+    let id = opt_str(v, "dataset")?;
+    let name = opt_str(v, "dataset_name")?;
+    let version = opt_u64(v, "version")?;
+    if id.is_some() && name.is_some() {
+        return Err(ProtocolError::Schema(
+            "specify `dataset` or `dataset_name`, not both".into(),
+        ));
+    }
+    if version.is_some() && name.is_none() {
+        return Err(ProtocolError::Schema(
+            "`version` requires `dataset_name`".into(),
+        ));
+    }
+    if id.is_none() && name.is_none() {
+        return Ok(None);
+    }
+    Ok(Some(DatasetRef { id, name, version }))
+}
+
+fn req_dataset_ref(v: &Json) -> Result<DatasetRef, ProtocolError> {
+    opt_dataset_ref(v)?
+        .ok_or_else(|| ProtocolError::Schema("a `dataset` id or `dataset_name` is required".into()))
+}
+
 fn req_kind(v: &Json) -> Result<DistanceKind, ProtocolError> {
     let name = v
         .get("kind")
@@ -458,50 +643,73 @@ pub fn decode_request(payload: &[u8]) -> Result<Envelope, ProtocolError> {
             deadline_ms: opt_u64(&v, "deadline_ms")?,
         },
         "batch" => {
-            let pairs_json = v
-                .get("pairs")
-                .and_then(Json::as_array)
-                .ok_or_else(|| ProtocolError::Schema("`pairs` must be an array".into()))?;
-            let mut pairs = Vec::with_capacity(pairs_json.len());
-            for pair in pairs_json {
-                let items = pair
-                    .as_array()
-                    .filter(|a| a.len() == 2)
-                    .ok_or_else(|| ProtocolError::Schema("each pair must be `[p, q]`".into()))?;
-                let p = items[0]
-                    .as_f64_vec()
-                    .ok_or_else(|| ProtocolError::Schema("pair series must be numbers".into()))?;
-                let q = items[1]
-                    .as_f64_vec()
-                    .ok_or_else(|| ProtocolError::Schema("pair series must be numbers".into()))?;
-                pairs.push((p, q));
-            }
+            let dataset = opt_dataset_ref(&v)?;
+            let (pairs, query) = if dataset.is_some() {
+                if v.get("pairs").is_some() {
+                    return Err(ProtocolError::Schema(
+                        "`pairs` and a dataset reference are mutually exclusive".into(),
+                    ));
+                }
+                (Vec::new(), Some(req_series(&v, "query")?))
+            } else {
+                let pairs_json = v
+                    .get("pairs")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| ProtocolError::Schema("`pairs` must be an array".into()))?;
+                let mut pairs = Vec::with_capacity(pairs_json.len());
+                for pair in pairs_json {
+                    let items = pair.as_array().filter(|a| a.len() == 2).ok_or_else(|| {
+                        ProtocolError::Schema("each pair must be `[p, q]`".into())
+                    })?;
+                    let p = items[0].as_f64_vec().ok_or_else(|| {
+                        ProtocolError::Schema("pair series must be numbers".into())
+                    })?;
+                    let q = items[1].as_f64_vec().ok_or_else(|| {
+                        ProtocolError::Schema("pair series must be numbers".into())
+                    })?;
+                    pairs.push((p, q));
+                }
+                (pairs, None)
+            };
             Request::Batch {
                 kind: req_kind(&v)?,
                 pairs,
+                query,
+                dataset,
                 threshold: opt_f64(&v, "threshold")?,
                 band: opt_usize(&v, "band")?,
                 deadline_ms: opt_u64(&v, "deadline_ms")?,
             }
         }
         "knn" => {
-            let train_json = v
-                .get("train")
-                .and_then(Json::as_array)
-                .ok_or_else(|| ProtocolError::Schema("`train` must be an array".into()))?;
-            let mut train = Vec::with_capacity(train_json.len());
-            for inst in train_json {
-                let label = inst.get("label").and_then(Json::as_usize).ok_or_else(|| {
-                    ProtocolError::Schema("train `label` must be an integer".into())
-                })?;
-                let series = inst
-                    .get("series")
-                    .and_then(Json::as_f64_vec)
-                    .ok_or_else(|| {
-                        ProtocolError::Schema("train `series` must be numbers".into())
+            let dataset = opt_dataset_ref(&v)?;
+            let train = if dataset.is_some() {
+                if v.get("train").is_some() {
+                    return Err(ProtocolError::Schema(
+                        "`train` and a dataset reference are mutually exclusive".into(),
+                    ));
+                }
+                Vec::new()
+            } else {
+                let train_json = v
+                    .get("train")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| ProtocolError::Schema("`train` must be an array".into()))?;
+                let mut train = Vec::with_capacity(train_json.len());
+                for inst in train_json {
+                    let label = inst.get("label").and_then(Json::as_usize).ok_or_else(|| {
+                        ProtocolError::Schema("train `label` must be an integer".into())
                     })?;
-                train.push(TrainInstance { label, series });
-            }
+                    let series =
+                        inst.get("series")
+                            .and_then(Json::as_f64_vec)
+                            .ok_or_else(|| {
+                                ProtocolError::Schema("train `series` must be numbers".into())
+                            })?;
+                    train.push(TrainInstance { label, series });
+                }
+                train
+            };
             let k = req_usize(&v, "k")?;
             if k == 0 {
                 return Err(ProtocolError::Schema("`k` must be at least 1".into()));
@@ -511,6 +719,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Envelope, ProtocolError> {
                 k,
                 query: req_series(&v, "query")?,
                 train,
+                dataset,
                 threshold: opt_f64(&v, "threshold")?,
                 band: opt_usize(&v, "band")?,
                 deadline_ms: opt_u64(&v, "deadline_ms")?,
@@ -521,14 +730,70 @@ pub fn decode_request(payload: &[u8]) -> Result<Envelope, ProtocolError> {
             if window == 0 {
                 return Err(ProtocolError::Schema("`window` must be at least 1".into()));
             }
+            let dataset = opt_dataset_ref(&v)?;
+            let (haystack, series_index) = if dataset.is_some() {
+                if v.get("haystack").is_some() {
+                    return Err(ProtocolError::Schema(
+                        "`haystack` and a dataset reference are mutually exclusive".into(),
+                    ));
+                }
+                (Vec::new(), opt_usize(&v, "series_index")?.unwrap_or(0))
+            } else {
+                if v.get("series_index").is_some() {
+                    return Err(ProtocolError::Schema(
+                        "`series_index` requires a dataset reference".into(),
+                    ));
+                }
+                (req_series(&v, "haystack")?, 0)
+            };
             Request::Search {
                 query: req_series(&v, "query")?,
-                haystack: req_series(&v, "haystack")?,
+                haystack,
+                dataset,
+                series_index,
                 window,
                 band: opt_usize(&v, "band")?.unwrap_or(0),
                 deadline_ms: opt_u64(&v, "deadline_ms")?,
             }
         }
+        "upload_dataset" => {
+            let name = opt_str(&v, "name")?
+                .filter(|n| !n.is_empty())
+                .ok_or_else(|| ProtocolError::Schema("`name` must be a non-empty string".into()))?;
+            let entries_json = v
+                .get("entries")
+                .and_then(Json::as_array)
+                .ok_or_else(|| ProtocolError::Schema("`entries` must be an array".into()))?;
+            let mut entries = Vec::with_capacity(entries_json.len());
+            for entry in entries_json {
+                let parsed = match entry {
+                    Json::Arr(_) => entry
+                        .as_f64_vec()
+                        .map(|series| DatasetEntry { label: 0, series }),
+                    Json::Obj(_) => {
+                        let label = match entry.get("label") {
+                            None | Some(Json::Null) => Some(0),
+                            Some(l) => l.as_usize(),
+                        };
+                        match (label, entry.get("series").and_then(Json::as_f64_vec)) {
+                            (Some(label), Some(series)) => Some(DatasetEntry { label, series }),
+                            _ => None,
+                        }
+                    }
+                    _ => None,
+                };
+                entries.push(parsed.ok_or_else(|| {
+                    ProtocolError::Schema(
+                        "each entry must be an array of numbers or `{label?, series}`".into(),
+                    )
+                })?);
+            }
+            Request::UploadDataset { name, entries }
+        }
+        "list_datasets" => Request::ListDatasets,
+        "drop_dataset" => Request::DropDataset {
+            dataset: req_dataset_ref(&v)?,
+        },
         other => return Err(ProtocolError::Schema(format!("unknown op `{other}`"))),
     };
     Ok(Envelope { id, req })
@@ -552,8 +817,21 @@ pub fn encode_request(env: &Envelope) -> Vec<u8> {
                 pairs.push(("deadline_ms".into(), Json::Num(*d as f64)));
             }
         };
+    let dataset_ref_pairs = |r: &DatasetRef| {
+        let mut out: Vec<(String, Json)> = Vec::new();
+        if let Some(id) = &r.id {
+            out.push(("dataset".into(), Json::Str(id.clone())));
+        }
+        if let Some(name) = &r.name {
+            out.push(("dataset_name".into(), Json::Str(name.clone())));
+        }
+        if let Some(version) = r.version {
+            out.push(("version".into(), Json::Num(version as f64)));
+        }
+        out
+    };
     match &env.req {
-        Request::Ping | Request::Metrics => {}
+        Request::Ping | Request::Metrics | Request::ListDatasets => {}
         Request::Distance {
             kind,
             p,
@@ -570,26 +848,36 @@ pub fn encode_request(env: &Envelope) -> Vec<u8> {
         Request::Batch {
             kind,
             pairs: ps,
+            query,
+            dataset,
             threshold,
             band,
             deadline_ms,
         } => {
             push_opts(threshold, band, deadline_ms);
             pairs.push(("kind".into(), Json::Str(kind.abbrev().into())));
-            pairs.push((
-                "pairs".into(),
-                Json::Arr(
-                    ps.iter()
-                        .map(|(p, q)| Json::Arr(vec![Json::from_f64s(p), Json::from_f64s(q)]))
-                        .collect(),
-                ),
-            ));
+            if let Some(dataset) = dataset {
+                pairs.extend(dataset_ref_pairs(dataset));
+                if let Some(query) = query {
+                    pairs.push(("query".into(), Json::from_f64s(query)));
+                }
+            } else {
+                pairs.push((
+                    "pairs".into(),
+                    Json::Arr(
+                        ps.iter()
+                            .map(|(p, q)| Json::Arr(vec![Json::from_f64s(p), Json::from_f64s(q)]))
+                            .collect(),
+                    ),
+                ));
+            }
         }
         Request::Knn {
             kind,
             k,
             query,
             train,
+            dataset,
             threshold,
             band,
             deadline_ms,
@@ -598,32 +886,63 @@ pub fn encode_request(env: &Envelope) -> Vec<u8> {
             pairs.push(("kind".into(), Json::Str(kind.abbrev().into())));
             pairs.push(("k".into(), Json::Num(*k as f64)));
             pairs.push(("query".into(), Json::from_f64s(query)));
-            pairs.push((
-                "train".into(),
-                Json::Arr(
-                    train
-                        .iter()
-                        .map(|t| {
-                            Json::Obj(vec![
-                                ("label".into(), Json::Num(t.label as f64)),
-                                ("series".into(), Json::from_f64s(&t.series)),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ));
+            if let Some(dataset) = dataset {
+                pairs.extend(dataset_ref_pairs(dataset));
+            } else {
+                pairs.push((
+                    "train".into(),
+                    Json::Arr(
+                        train
+                            .iter()
+                            .map(|t| {
+                                Json::Obj(vec![
+                                    ("label".into(), Json::Num(t.label as f64)),
+                                    ("series".into(), Json::from_f64s(&t.series)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
         }
         Request::Search {
             query,
             haystack,
+            dataset,
+            series_index,
             window,
             band,
             deadline_ms,
         } => {
             push_opts(&None, &Some(*band), deadline_ms);
             pairs.push(("query".into(), Json::from_f64s(query)));
-            pairs.push(("haystack".into(), Json::from_f64s(haystack)));
+            if let Some(dataset) = dataset {
+                pairs.extend(dataset_ref_pairs(dataset));
+                pairs.push(("series_index".into(), Json::Num(*series_index as f64)));
+            } else {
+                pairs.push(("haystack".into(), Json::from_f64s(haystack)));
+            }
             pairs.push(("window".into(), Json::Num(*window as f64)));
+        }
+        Request::UploadDataset { name, entries } => {
+            pairs.push(("name".into(), Json::Str(name.clone())));
+            pairs.push((
+                "entries".into(),
+                Json::Arr(
+                    entries
+                        .iter()
+                        .map(|e| {
+                            Json::Obj(vec![
+                                ("label".into(), Json::Num(e.label as f64)),
+                                ("series".into(), Json::from_f64s(&e.series)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        Request::DropDataset { dataset } => {
+            pairs.extend(dataset_ref_pairs(dataset));
         }
     }
     Json::Obj(pairs).to_string().into_bytes()
@@ -669,6 +988,37 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
                     ("offset".into(), Json::Num(*offset as f64)),
                     ("distance".into(), Json::Num(*distance)),
                 ]),
+                ResponseBody::DatasetUploaded {
+                    dataset_id,
+                    version,
+                    count,
+                    bytes,
+                } => Json::Obj(vec![
+                    ("dataset_id".into(), Json::Str(dataset_id.clone())),
+                    ("version".into(), Json::Num(*version as f64)),
+                    ("count".into(), Json::Num(*count as f64)),
+                    ("bytes".into(), Json::Num(*bytes as f64)),
+                ]),
+                ResponseBody::Datasets { items } => Json::Obj(vec![(
+                    "datasets".into(),
+                    Json::Arr(
+                        items
+                            .iter()
+                            .map(|d| {
+                                Json::Obj(vec![
+                                    ("name".into(), Json::Str(d.name.clone())),
+                                    ("dataset_id".into(), Json::Str(d.dataset_id.clone())),
+                                    ("version".into(), Json::Num(d.version as f64)),
+                                    ("count".into(), Json::Num(d.count as f64)),
+                                    ("bytes".into(), Json::Num(d.bytes as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                )]),
+                ResponseBody::Dropped { count } => {
+                    Json::Obj(vec![("dropped".into(), Json::Num(*count as f64))])
+                }
                 ResponseBody::Error { .. } => unreachable!("handled above"),
             };
             pairs.push(("result".into(), result));
@@ -719,6 +1069,61 @@ pub fn decode_reply(payload: &[u8]) -> Result<Reply, ProtocolError> {
         ResponseBody::Pong
     } else if let Some(text) = result.get("text").and_then(Json::as_str) {
         ResponseBody::MetricsText(text.to_string())
+    } else if let Some(dataset_id) = result.get("dataset_id").and_then(Json::as_str) {
+        let version = result
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ProtocolError::Schema("upload result lacks `version`".into()))?;
+        let count = result
+            .get("count")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| ProtocolError::Schema("upload result lacks `count`".into()))?;
+        let bytes = result
+            .get("bytes")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ProtocolError::Schema("upload result lacks `bytes`".into()))?;
+        ResponseBody::DatasetUploaded {
+            dataset_id: dataset_id.to_string(),
+            version,
+            count,
+            bytes,
+        }
+    } else if let Some(Json::Arr(list)) = result.get("datasets") {
+        let mut items = Vec::with_capacity(list.len());
+        for d in list {
+            let name = d
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ProtocolError::Schema("dataset summary lacks `name`".into()))?
+                .to_string();
+            let dataset_id = d
+                .get("dataset_id")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ProtocolError::Schema("dataset summary lacks `dataset_id`".into()))?
+                .to_string();
+            let version = d
+                .get("version")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ProtocolError::Schema("dataset summary lacks `version`".into()))?;
+            let count = d
+                .get("count")
+                .and_then(Json::as_usize)
+                .ok_or_else(|| ProtocolError::Schema("dataset summary lacks `count`".into()))?;
+            let bytes = d
+                .get("bytes")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ProtocolError::Schema("dataset summary lacks `bytes`".into()))?;
+            items.push(DatasetSummary {
+                name,
+                dataset_id,
+                version,
+                count,
+                bytes,
+            });
+        }
+        ResponseBody::Datasets { items }
+    } else if let Some(count) = result.get("dropped").and_then(Json::as_usize) {
+        ResponseBody::Dropped { count }
     } else if let Some(value) = result.get("value").and_then(Json::as_f64) {
         ResponseBody::Distance { value }
     } else if let Some(values) = result.get("values").and_then(Json::as_f64_vec) {
@@ -808,6 +1213,8 @@ mod tests {
                 req: Request::Batch {
                     kind: DistanceKind::Manhattan,
                     pairs: vec![(vec![0.0], vec![1.0]), (vec![2.0, 3.0], vec![2.0, 3.5])],
+                    query: None,
+                    dataset: None,
                     threshold: None,
                     band: None,
                     deadline_ms: None,
@@ -829,6 +1236,7 @@ mod tests {
                             series: vec![9.0],
                         },
                     ],
+                    dataset: None,
                     threshold: Some(0.25),
                     band: None,
                     deadline_ms: None,
@@ -839,9 +1247,74 @@ mod tests {
                 req: Request::Search {
                     query: vec![0.0, 1.0],
                     haystack: vec![0.0, 1.0, 0.0, 1.0],
+                    dataset: None,
+                    series_index: 0,
                     window: 2,
                     band: 1,
                     deadline_ms: Some(1_000),
+                },
+            },
+            Envelope {
+                id: 6,
+                req: Request::UploadDataset {
+                    name: "sensors".into(),
+                    entries: vec![
+                        DatasetEntry {
+                            label: 0,
+                            series: vec![0.0, 1.5, -2.25],
+                        },
+                        DatasetEntry {
+                            label: 3,
+                            series: vec![9.0],
+                        },
+                    ],
+                },
+            },
+            Envelope {
+                id: 7,
+                req: Request::ListDatasets,
+            },
+            Envelope {
+                id: 8,
+                req: Request::DropDataset {
+                    dataset: DatasetRef::by_name("sensors"),
+                },
+            },
+            Envelope {
+                id: 9,
+                req: Request::Knn {
+                    kind: DistanceKind::Dtw,
+                    k: 1,
+                    query: vec![1.0, 2.0],
+                    train: Vec::new(),
+                    dataset: Some(DatasetRef::by_id("abc123")),
+                    threshold: None,
+                    band: Some(2),
+                    deadline_ms: None,
+                },
+            },
+            Envelope {
+                id: 10,
+                req: Request::Batch {
+                    kind: DistanceKind::Hausdorff,
+                    pairs: Vec::new(),
+                    query: Some(vec![0.25, -1.0]),
+                    dataset: Some(DatasetRef::by_name_version("sensors", 2)),
+                    threshold: None,
+                    band: None,
+                    deadline_ms: Some(50),
+                },
+            },
+            Envelope {
+                id: 11,
+                req: Request::Search {
+                    query: vec![0.0, 1.0],
+                    haystack: Vec::new(),
+                    dataset: Some(DatasetRef::by_name("sensors")),
+                    series_index: 3,
+                    window: 2,
+                    band: 1,
+                    deadline_ms: None,
                 },
             },
         ];
@@ -894,6 +1367,45 @@ mod tests {
                     message: "queue full".into(),
                 },
             },
+            Reply {
+                id: 16,
+                body: ResponseBody::DatasetUploaded {
+                    dataset_id: "deadbeef01234567".into(),
+                    version: 2,
+                    count: 64,
+                    bytes: 65_536,
+                },
+            },
+            Reply {
+                id: 17,
+                body: ResponseBody::Datasets {
+                    items: vec![DatasetSummary {
+                        name: "sensors".into(),
+                        dataset_id: "deadbeef01234567".into(),
+                        version: 2,
+                        count: 64,
+                        bytes: 65_536,
+                    }],
+                },
+            },
+            Reply {
+                id: 18,
+                body: ResponseBody::Dropped { count: 1 },
+            },
+            Reply {
+                id: 19,
+                body: ResponseBody::Error {
+                    code: ErrorCode::NotFound,
+                    message: "no dataset".into(),
+                },
+            },
+            Reply {
+                id: 20,
+                body: ResponseBody::Error {
+                    code: ErrorCode::StaleVersion,
+                    message: "version 1 superseded by 2".into(),
+                },
+            },
         ];
         for reply in replies {
             let decoded = decode_reply(&encode_reply(&reply)).unwrap();
@@ -912,6 +1424,14 @@ mod tests {
             br#"{"id":1,"op":"knn","kind":"MD","k":0,"query":[],"train":[]}"#, // k = 0
             br#"{"id":1,"op":"search","query":[],"haystack":[],"window":0}"#,  // window = 0
             br#"{"id":1.5,"op":"ping"}"#,                                      // fractional id
+            // dataset-protocol schema violations
+            br#"{"id":1,"op":"upload_dataset","name":"","entries":[[1.0]]}"#, // empty name
+            br#"{"id":1,"op":"upload_dataset","name":"x","entries":[true]}"#, // bad entry
+            br#"{"id":1,"op":"knn","kind":"MD","k":1,"query":[1.0],"train":[{"label":0,"series":[1.0]}],"dataset":"abc"}"#, // train AND dataset
+            br#"{"id":1,"op":"search","query":[1.0],"haystack":[],"dataset_name":"x","version":2,"series_index":0,"window":1,"dataset":"abc"}"#, // id AND name
+            br#"{"id":1,"op":"search","query":[1.0],"haystack":[],"version":2,"series_index":0,"window":1}"#, // version w/o name
+            br#"{"id":1,"op":"search","query":[1.0],"haystack":[1.0,2.0],"series_index":1,"window":1}"#, // series_index w/o dataset
+            br#"{"id":1,"op":"drop_dataset"}"#, // drop with no ref
         ] {
             assert!(
                 decode_request(bad).is_err(),

@@ -28,9 +28,43 @@ use std::time::{Duration, Instant};
 
 use mda_distance::{BatchEngine, DistanceError, DpScratch};
 
+use crate::event_loop::Completions;
 use crate::exec::{execute_item, Assemble, ItemOutcome, WorkItem};
 use crate::metrics::Metrics;
 use crate::protocol::{ErrorCode, Reply, ResponseBody};
+
+/// Where a finished job's reply goes.
+///
+/// The event loop cannot block on a channel: its connections are plain
+/// state machines owned by one thread. Dispatcher completions for event-loop
+/// connections are therefore pushed onto a shared [`Completions`] queue
+/// (keyed by connection token) and the loop is woken via its eventfd; tests
+/// and embedders can still use a plain mpsc channel.
+#[derive(Debug, Clone)]
+pub enum ReplySink {
+    /// Deliver over an mpsc channel (tests, embedding).
+    Channel(Sender<Reply>),
+    /// Deliver to an event-loop connection by token.
+    Conn {
+        /// The connection's event-loop token.
+        token: u64,
+        /// The loop's completion queue (push wakes the loop).
+        completions: Arc<Completions>,
+    },
+}
+
+impl ReplySink {
+    /// Delivers one reply. A vanished receiver (disconnected channel or
+    /// already-closed connection) is not an error: the reply is dropped.
+    pub fn send(&self, reply: Reply) {
+        match self {
+            ReplySink::Channel(tx) => {
+                let _ = tx.send(reply);
+            }
+            ReplySink::Conn { token, completions } => completions.push(*token, reply),
+        }
+    }
+}
 
 /// One queued compute request.
 #[derive(Debug)]
@@ -41,8 +75,8 @@ pub struct Job {
     pub items: Vec<WorkItem>,
     /// Reduction back to one reply.
     pub assemble: Assemble,
-    /// Where the reply goes (the connection's writer channel).
-    pub reply: Sender<Reply>,
+    /// Where the reply goes.
+    pub reply: ReplySink,
     /// Absolute queue-wait deadline, if the request set one.
     pub deadline: Option<Instant>,
     /// When the job entered the queue.
@@ -273,7 +307,7 @@ impl Coalescer {
             .latency
             .record_us(job.enqueued.elapsed().as_micros() as u64);
         // A disconnected client is not an error: drop the reply.
-        let _ = job.reply.send(Reply { id: job.id, body });
+        job.reply.send(Reply { id: job.id, body });
     }
 }
 
@@ -384,7 +418,7 @@ mod tests {
             id: 1,
             items,
             assemble: Assemble::Values,
-            reply,
+            reply: ReplySink::Channel(reply),
             deadline: None,
             enqueued: Instant::now(),
         }
@@ -570,11 +604,13 @@ mod tests {
                     series: vec![5.0, 5.0],
                 },
             ],
+            dataset: None,
             threshold: None,
             band: None,
             deadline_ms: None,
         };
-        let d = decompose(req).unwrap();
+        let store = crate::datasets::DatasetStore::new(u64::MAX);
+        let d = decompose(req, &store).unwrap().unwrap();
         let metrics = Arc::new(Metrics::new());
         let queue = Arc::new(Coalescer::new(metrics, 64, 64));
         let (tx, rx) = mpsc::channel();
@@ -583,7 +619,7 @@ mod tests {
                 id: 77,
                 items: d.items,
                 assemble: d.assemble,
-                reply: tx,
+                reply: ReplySink::Channel(tx),
                 deadline: None,
                 enqueued: Instant::now(),
             })

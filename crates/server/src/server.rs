@@ -1,34 +1,37 @@
-//! The TCP server: accept loop, per-connection reader/writer threads, and
-//! graceful drain-then-shutdown.
+//! The TCP server: an epoll event-loop serving thread, one coalescing
+//! dispatcher, and graceful drain-then-shutdown.
 //!
-//! Each connection gets a reader thread (decodes frames, answers control
-//! ops inline, submits compute ops to the coalescing queue) and a writer
-//! thread (serializes replies from an mpsc channel, so dispatcher replies
-//! and inline replies share one ordered writer). Connections that open
-//! with `GET ` are served the metrics registry as an HTTP/1.1 text
+//! All connections are multiplexed on a single readiness-driven thread
+//! ([`crate::event_loop`]): non-blocking sockets, per-connection read/write
+//! buffers with incremental frame decode, and request pipelining up to
+//! `max_pipeline_depth` per connection. Control ops (ping/metrics) and
+//! dataset management (upload/list/drop against the resident
+//! [`DatasetStore`]) are answered inline on the loop; compute ops are
+//! decomposed — resolving resident-dataset references — and submitted to
+//! the coalescing queue, whose dispatcher pushes finished replies back to
+//! the loop through the completion queue + eventfd wake. Connections that
+//! open with `GET ` are served the metrics registry as an HTTP/1.1 text
 //! response and closed — point a browser or scraper at the same port.
 //!
-//! Shutdown is a drain: the accept loop stops, admission control refuses
-//! new work with `shutting_down`, every already-queued job still computes
-//! and its reply is flushed, and only then are sockets closed.
+//! Shutdown is a drain: the listener is dropped, admission control refuses
+//! new work with `shutting_down`, every already-queued job still computes,
+//! and its reply is flushed before sockets close (the dispatcher is joined
+//! *before* the loop is told to finish, so every admitted completion is
+//! serialized first).
 
-use std::io::{self, BufReader, BufWriter, Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::io;
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
 
 use mda_distance::BatchEngine;
 
 use crate::config::{ConfigError, ServerConfig};
-use crate::exec::decompose;
+use crate::datasets::DatasetStore;
+use crate::event_loop::{wake_pair, EventLoop};
 use crate::metrics::Metrics;
-use crate::protocol::{
-    decode_request, encode_reply, read_frame, write_frame, Envelope, ProtocolError, Reply, Request,
-    ResponseBody,
-};
-use crate::queue::{Coalescer, Job};
+use crate::queue::Coalescer;
 
 /// Why the server failed to start.
 #[derive(Debug)]
@@ -69,35 +72,30 @@ impl From<io::Error> for ServerError {
     }
 }
 
-struct Inner {
-    config: ServerConfig,
-    metrics: Arc<Metrics>,
-    queue: Arc<Coalescer>,
-    shutdown: AtomicBool,
-    /// Socket clones for unblocking readers at shutdown.
-    conns: Mutex<Vec<TcpStream>>,
-    conn_handles: Mutex<Vec<JoinHandle<()>>>,
-}
-
 /// A running `mda-server` instance.
 ///
 /// Dropping the handle performs a full graceful shutdown (equivalent to
 /// [`Server::shutdown_and_join`]).
 pub struct Server {
     local_addr: SocketAddr,
-    inner: Arc<Inner>,
-    accept: Option<JoinHandle<()>>,
+    metrics: Arc<Metrics>,
+    queue: Arc<Coalescer>,
+    store: Arc<DatasetStore>,
+    shutdown: Arc<AtomicBool>,
+    finish: Arc<AtomicBool>,
+    wake: Arc<crate::event_loop::WakeFd>,
+    serve: Option<JoinHandle<()>>,
     dispatcher: Option<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Validates `config`, binds the listener, and spawns the accept and
-    /// dispatcher threads.
+    /// Validates `config`, binds the listener, and spawns the event-loop
+    /// and dispatcher threads.
     ///
     /// # Errors
     ///
     /// [`ServerError::Config`] for invalid settings, [`ServerError::Io`]
-    /// when the bind fails.
+    /// when the bind or epoll/eventfd setup fails.
     pub fn start(config: ServerConfig) -> Result<Server, ServerError> {
         config.validate()?;
         let mut engine = BatchEngine::new();
@@ -107,7 +105,7 @@ impl Server {
         if let Some(chunk) = config.chunk_size {
             engine = engine.with_chunk_size(chunk);
         }
-        let listener = TcpListener::bind(&config.addr)?;
+        let listener = std::net::TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
 
@@ -117,26 +115,36 @@ impl Server {
             config.max_queue_items,
             config.batch_max_items,
         ));
-        let dispatcher = queue.spawn_dispatcher(engine);
-        let inner = Arc::new(Inner {
-            config,
-            metrics,
-            queue,
-            shutdown: AtomicBool::new(false),
-            conns: Mutex::new(Vec::new()),
-            conn_handles: Mutex::new(Vec::new()),
-        });
+        let store = Arc::new(DatasetStore::new(config.dataset_max_bytes));
+        let (wake, completions) = wake_pair()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let finish = Arc::new(AtomicBool::new(false));
 
-        let accept_inner = Arc::clone(&inner);
-        let accept = std::thread::Builder::new()
-            .name("mda-accept".into())
-            .spawn(move || accept_loop(&accept_inner, listener))
-            .expect("spawn accept thread");
+        let dispatcher = queue.spawn_dispatcher(engine);
+        let event_loop = EventLoop {
+            config,
+            metrics: Arc::clone(&metrics),
+            queue: Arc::clone(&queue),
+            store: Arc::clone(&store),
+            completions,
+            wake: Arc::clone(&wake),
+            shutdown: Arc::clone(&shutdown),
+            finish: Arc::clone(&finish),
+        };
+        let serve = std::thread::Builder::new()
+            .name("mda-event-loop".into())
+            .spawn(move || event_loop.run(listener))
+            .expect("spawn event-loop thread");
 
         Ok(Server {
             local_addr,
-            inner,
-            accept: Some(accept),
+            metrics,
+            queue,
+            store,
+            shutdown,
+            finish,
+            wake,
+            serve: Some(serve),
             dispatcher: Some(dispatcher),
         })
     }
@@ -148,19 +156,25 @@ impl Server {
 
     /// The live metrics registry.
     pub fn metrics(&self) -> &Arc<Metrics> {
-        &self.inner.metrics
+        &self.metrics
+    }
+
+    /// The resident dataset store (for embedding and tests).
+    pub fn datasets(&self) -> &Arc<DatasetStore> {
+        &self.store
     }
 
     /// Starts the drain: stop accepting, refuse new work, keep computing
     /// what is already queued. Idempotent and non-blocking.
     pub fn begin_shutdown(&self) {
-        self.inner.shutdown.store(true, Ordering::SeqCst);
-        self.inner.queue.begin_drain();
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.begin_drain();
+        self.wake.wake();
     }
 
     /// `true` once [`Server::begin_shutdown`] has been called.
     pub fn is_shutting_down(&self) -> bool {
-        self.inner.shutdown.load(Ordering::SeqCst)
+        self.shutdown.load(Ordering::SeqCst)
     }
 
     /// Drains and stops the server: every job queued before the call is
@@ -171,27 +185,16 @@ impl Server {
 
     fn join_all(&mut self) {
         self.begin_shutdown();
-        if let Some(h) = self.accept.take() {
-            let _ = h.join();
-        }
         // The dispatcher exits only after the queue is drained, so every
-        // admitted reply is in its connection channel by the time it joins.
+        // admitted reply is in the completion queue by the time it joins.
         if let Some(h) = self.dispatcher.take() {
             let _ = h.join();
         }
-        // Unblock readers waiting on idle sockets; writers then flush any
-        // remaining replies and exit on channel close.
-        for conn in self.inner.conns.lock().expect("conns mutex").drain(..) {
-            let _ = conn.shutdown(Shutdown::Read);
-        }
-        let handles: Vec<_> = self
-            .inner
-            .conn_handles
-            .lock()
-            .expect("conn handles mutex")
-            .drain(..)
-            .collect();
-        for h in handles {
+        // Now tell the loop to serialize the remaining completions, flush
+        // every write buffer, and exit.
+        self.finish.store(true, Ordering::SeqCst);
+        self.wake.wake();
+        if let Some(h) = self.serve.take() {
             let _ = h.join();
         }
     }
@@ -200,194 +203,5 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         self.join_all();
-    }
-}
-
-fn accept_loop(inner: &Arc<Inner>, listener: TcpListener) {
-    loop {
-        if inner.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                inner.metrics.connections.inc();
-                let _ = stream.set_nodelay(true);
-                if let Ok(clone) = stream.try_clone() {
-                    inner.conns.lock().expect("conns mutex").push(clone);
-                }
-                let conn_inner = Arc::clone(inner);
-                let handle = std::thread::Builder::new()
-                    .name("mda-conn".into())
-                    .spawn(move || handle_conn(&conn_inner, stream))
-                    .expect("spawn connection thread");
-                inner
-                    .conn_handles
-                    .lock()
-                    .expect("conn handles mutex")
-                    .push(handle);
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(10));
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => return,
-        }
-    }
-}
-
-/// Sniffs the first bytes of a fresh connection: `GET ` means an HTTP
-/// metrics scrape, anything else is the binary frame protocol.
-fn is_http_get(stream: &TcpStream) -> io::Result<bool> {
-    let mut buf = [0u8; 4];
-    loop {
-        let n = stream.peek(&mut buf)?;
-        if n == 0 {
-            return Ok(false); // closed before a full header; frame path reports EOF
-        }
-        if buf[0] != b'G' {
-            return Ok(false);
-        }
-        if n >= 4 {
-            return Ok(&buf == b"GET ");
-        }
-        std::thread::sleep(Duration::from_millis(1));
-    }
-}
-
-fn serve_http_metrics(inner: &Inner, mut stream: TcpStream) {
-    // Drain the request head so the peer sees a clean exchange.
-    let mut reader = BufReader::new(stream.try_clone().expect("clone http stream"));
-    let mut head = Vec::new();
-    let mut byte = [0u8; 1];
-    while !head.ends_with(b"\r\n\r\n") && head.len() < 8192 {
-        match reader.read(&mut byte) {
-            Ok(0) => break,
-            Ok(_) => head.push(byte[0]),
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(_) => return,
-        }
-    }
-    inner.metrics.count_request("metrics");
-    let body = inner.metrics.render_text();
-    let response = format!(
-        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    );
-    let _ = stream.write_all(response.as_bytes());
-    let _ = stream.flush();
-    let _ = stream.shutdown(Shutdown::Both);
-}
-
-fn handle_conn(inner: &Arc<Inner>, stream: TcpStream) {
-    match is_http_get(&stream) {
-        Ok(true) => return serve_http_metrics(inner, stream),
-        Ok(false) => {}
-        Err(_) => return,
-    }
-
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let (tx, rx) = mpsc::channel::<Reply>();
-    let writer = std::thread::Builder::new()
-        .name("mda-conn-write".into())
-        .spawn(move || {
-            let mut w = BufWriter::new(write_half);
-            while let Ok(reply) = rx.recv() {
-                if write_frame(&mut w, &encode_reply(&reply)).is_err() {
-                    // Peer gone: drain remaining replies without writing.
-                    while rx.recv().is_ok() {}
-                    return;
-                }
-            }
-        })
-        .expect("spawn connection writer");
-
-    let max_frame = inner.config.max_frame_bytes;
-    let mut reader = BufReader::new(stream);
-    loop {
-        match read_frame(&mut reader, max_frame) {
-            Ok(payload) => handle_frame(inner, &payload, &tx),
-            Err(err) => {
-                if let ProtocolError::FrameTooLarge { .. } = &err {
-                    // The payload was never read, so the stream is beyond
-                    // resync: report and close.
-                    inner.metrics.replies_error.inc();
-                    let _ = tx.send(Reply {
-                        id: 0,
-                        body: ResponseBody::Error {
-                            code: crate::protocol::ErrorCode::BadRequest,
-                            message: err.to_string(),
-                        },
-                    });
-                }
-                break;
-            }
-        }
-    }
-    // Reader done: close our sender so the writer exits once the
-    // dispatcher has delivered (and the writer flushed) pending replies.
-    drop(tx);
-    let _ = writer.join();
-}
-
-fn handle_frame(inner: &Arc<Inner>, payload: &[u8], tx: &mpsc::Sender<Reply>) {
-    let Envelope { id, req } = match decode_request(payload) {
-        Ok(env) => env,
-        Err(err) => {
-            inner.metrics.replies_error.inc();
-            let _ = tx.send(Reply {
-                id: 0,
-                body: ResponseBody::Error {
-                    code: crate::protocol::ErrorCode::BadRequest,
-                    message: err.to_string(),
-                },
-            });
-            return;
-        }
-    };
-    inner.metrics.count_request(req.op());
-    match req {
-        Request::Ping => {
-            inner.metrics.replies_ok.inc();
-            let _ = tx.send(Reply {
-                id,
-                body: ResponseBody::Pong,
-            });
-        }
-        Request::Metrics => {
-            inner.metrics.replies_ok.inc();
-            let _ = tx.send(Reply {
-                id,
-                body: ResponseBody::MetricsText(inner.metrics.render_text()),
-            });
-        }
-        req => {
-            let deadline = req
-                .deadline()
-                .or(inner.config.default_deadline)
-                .map(|d| Instant::now() + d);
-            let Some(decomposed) = decompose(req) else {
-                unreachable!("control ops handled above");
-            };
-            let job = Job {
-                id,
-                items: decomposed.items,
-                assemble: decomposed.assemble,
-                reply: tx.clone(),
-                deadline,
-                enqueued: Instant::now(),
-            };
-            if let Err(refusal) = inner.queue.submit(job) {
-                inner.metrics.replies_error.inc();
-                let _ = tx.send(Reply {
-                    id,
-                    body: ResponseBody::Error {
-                        code: refusal.code(),
-                        message: refusal.message(),
-                    },
-                });
-            }
-        }
     }
 }

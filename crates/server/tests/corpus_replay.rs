@@ -126,6 +126,33 @@ const PAYLOAD_CORPUS: &[(&str, &[u8], Expect)] = &[
         include_bytes!("corpus/payload_deep_nesting.json"),
         Expect::DecodeError,
     ),
+    (
+        "payload_upload_dataset_empty_name",
+        include_bytes!("corpus/payload_upload_dataset_empty_name.json"),
+        Expect::DecodeError,
+    ),
+    (
+        "payload_upload_dataset_bad_entries",
+        include_bytes!("corpus/payload_upload_dataset_bad_entries.json"),
+        Expect::DecodeError,
+    ),
+    (
+        "payload_knn_train_and_dataset",
+        include_bytes!("corpus/payload_knn_train_and_dataset.json"),
+        Expect::DecodeError,
+    ),
+    (
+        "payload_search_dataset_version_no_name",
+        include_bytes!("corpus/payload_search_dataset_version_no_name.json"),
+        Expect::DecodeError,
+    ),
+    // Decodes fine — the id simply names no resident dataset. The live
+    // server answers a typed `not_found` in-band and keeps the connection.
+    (
+        "payload_knn_dataset_missing",
+        include_bytes!("corpus/payload_knn_dataset_missing.json"),
+        Expect::DecodeOk,
+    ),
     // `1e999` overflows to `inf`, which the codec accepts as a number; the
     // engine then computes an infinite distance and the reply encodes it as
     // JSON null. Ugly, but typed and crash-free end to end — pinned here so

@@ -133,6 +133,8 @@ fn over_capacity_burst_is_shed_with_overloaded_replies() {
         req: Request::Search {
             query: series(128, 1),
             haystack: series(6000, 2),
+            dataset: None,
+            series_index: 0,
             window: 128,
             band: 16,
             deadline_ms: None,
@@ -153,6 +155,8 @@ fn over_capacity_burst_is_shed_with_overloaded_replies() {
             req: Request::Batch {
                 kind: DistanceKind::Dtw,
                 pairs: pairs.clone(),
+                query: None,
+                dataset: None,
                 threshold: None,
                 band: None,
                 deadline_ms: None,
@@ -200,6 +204,8 @@ fn shutdown_drains_admitted_work_before_closing() {
         req: Request::Search {
             query: series(96, 3),
             haystack: series(4000, 4),
+            dataset: None,
+            series_index: 0,
             window: 96,
             band: 12,
             deadline_ms: None,
@@ -248,6 +254,8 @@ fn expired_deadline_yields_timeout_not_result() {
         req: Request::Search {
             query: series(128, 5),
             haystack: series(6000, 6),
+            dataset: None,
+            series_index: 0,
             window: 128,
             band: 16,
             deadline_ms: None,
@@ -337,6 +345,432 @@ fn malformed_and_bad_requests_answered_without_closing_healthy_path() {
         .distance(DistanceKind::Manhattan, &[0.0, 1.0], &[0.0, 3.0])
         .expect("healthy follow-up");
     assert_eq!(d, 2.0);
+    server.shutdown_and_join();
+}
+
+#[test]
+fn partial_frames_across_many_reads_are_assembled() {
+    use std::io::Write;
+    let server = start(ServerConfig::default());
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+
+    // One ping frame trickled in 1–3 byte slices, flushed between slices,
+    // so the event loop sees the frame across many read() calls.
+    let env = Envelope {
+        id: 9,
+        req: Request::Ping,
+    };
+    let payload = encode_request(&env);
+    let mut framed = (payload.len() as u32).to_be_bytes().to_vec();
+    framed.extend_from_slice(&payload);
+    for chunk in framed.chunks(3) {
+        writer.write_all(chunk).expect("write slice");
+        writer.flush().expect("flush slice");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let payload = read_frame(&mut reader, DEFAULT_MAX_FRAME_BYTES).expect("reply");
+    let reply = decode_reply(&payload).expect("decode");
+    assert_eq!(reply.id, 9);
+    assert!(matches!(reply.body, ResponseBody::Pong));
+    server.shutdown_and_join();
+}
+
+#[test]
+fn pipelined_send_many_matches_sequential_calls_bitwise() {
+    let server = start(ServerConfig::default());
+    let addr = server.local_addr();
+    let p = series(32, 11);
+    let q = series(32, 12);
+
+    // Sequential request/reply baseline on one connection...
+    let mut seq = Client::connect(addr).expect("connect");
+    let baseline: Vec<f64> = DistanceKind::ALL
+        .into_iter()
+        .map(|kind| seq.distance(kind, &p, &q).expect("sequential"))
+        .collect();
+
+    // ...must be bitwise-reproduced by a pipelined burst on one connection.
+    let mut pipelined = Client::connect(addr).expect("connect");
+    let reqs: Vec<Request> = DistanceKind::ALL
+        .into_iter()
+        .map(|kind| Request::Distance {
+            kind,
+            p: p.clone(),
+            q: q.clone(),
+            threshold: None,
+            band: None,
+            deadline_ms: None,
+        })
+        .collect();
+    let replies = pipelined.send_many(reqs).expect("pipelined burst");
+    assert_eq!(replies.len(), baseline.len());
+    for (reply, want) in replies.iter().zip(&baseline) {
+        let ResponseBody::Distance { value } = reply else {
+            panic!("expected a distance reply, got {reply:?}");
+        };
+        assert_eq!(value.to_bits(), want.to_bits());
+    }
+    // The burst actually pipelined: more than one request was in flight on
+    // the connection at once.
+    assert!(
+        server
+            .metrics()
+            .pipeline_depth_max
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > 1,
+        "send_many never had two requests in flight"
+    );
+    server.shutdown_and_join();
+}
+
+#[test]
+fn write_backpressure_on_slow_reader_keeps_other_connections_live() {
+    let server = start(ServerConfig {
+        write_high_water: 64 * 1024,
+        // Each query decomposes into 40k work items; don't shed them.
+        max_queue_items: 200_000,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    // A resident dataset whose batch reply (~one f64 per series) is far
+    // larger than the write high-water mark.
+    let mut uploader = Client::connect(addr).expect("connect");
+    let entries: Vec<mda_server::DatasetEntry> = (0..40_000)
+        .map(|i| mda_server::DatasetEntry {
+            label: 0,
+            series: vec![i as f64 * 0.125],
+        })
+        .collect();
+    let (dataset_id, _v) = uploader.upload_dataset("wide", &entries).expect("upload");
+
+    // Slow reader: issue several large-reply queries, read nothing yet.
+    let slow = TcpStream::connect(addr).expect("connect slow");
+    let mut slow_writer = slow.try_clone().expect("clone");
+    let mut slow_reader = BufReader::new(slow);
+    let burst = 4u64;
+    for id in 1..=burst {
+        let env = Envelope {
+            id,
+            req: Request::Batch {
+                kind: DistanceKind::Manhattan,
+                pairs: Vec::new(),
+                query: Some(vec![0.0]),
+                dataset: Some(mda_server::DatasetRef::by_id(&dataset_id)),
+                threshold: None,
+                band: None,
+                deadline_ms: None,
+            },
+        };
+        write_frame(&mut slow_writer, &encode_request(&env)).expect("write query");
+    }
+    // Give the replies time to pile into the slow connection's buffers.
+    std::thread::sleep(Duration::from_millis(300));
+
+    // A second connection must be completely unaffected meanwhile.
+    let mut live = Client::connect(addr).expect("connect live");
+    for _ in 0..20 {
+        live.ping().expect("ping while peer backpressured");
+        let d = live
+            .distance(DistanceKind::Manhattan, &[0.0, 1.0], &[0.0, 3.0])
+            .expect("distance while peer backpressured");
+        assert_eq!(d, 2.0);
+    }
+
+    // The slow reader finally drains: every reply arrives, in full.
+    // Pipelined replies are id-tagged and may complete out of submission
+    // order, so collect the ids rather than assuming FIFO.
+    let mut seen: Vec<u64> = Vec::new();
+    for _ in 1..=burst {
+        let payload = read_frame(&mut slow_reader, DEFAULT_MAX_FRAME_BYTES).expect("slow reply");
+        let reply = decode_reply(&payload).expect("decode slow reply");
+        let ResponseBody::Batch { values } = reply.body else {
+            panic!("expected batch reply, got {:?}", reply.body);
+        };
+        assert_eq!(values.len(), 40_000);
+        seen.push(reply.id);
+    }
+    seen.sort_unstable();
+    assert_eq!(seen, (1..=burst).collect::<Vec<u64>>());
+    server.shutdown_and_join();
+}
+
+#[test]
+fn abrupt_mid_frame_disconnect_leaves_server_healthy() {
+    use std::io::Write;
+    let server = start(ServerConfig::default());
+    let addr = server.local_addr();
+
+    {
+        // Announce a 256-byte frame, send 10 bytes, vanish.
+        let mut doomed = TcpStream::connect(addr).expect("connect");
+        doomed
+            .write_all(&256u32.to_be_bytes())
+            .expect("write header");
+        doomed.write_all(b"0123456789").expect("write partial");
+        doomed.flush().expect("flush");
+        std::thread::sleep(Duration::from_millis(50));
+        // Dropped here: RST/EOF mid-frame.
+    }
+    std::thread::sleep(Duration::from_millis(100));
+
+    let mut client = Client::connect(addr).expect("connect after disconnect");
+    client
+        .ping()
+        .expect("server survived the mid-frame disconnect");
+    assert_eq!(
+        server.metrics().open_connections.get(),
+        1,
+        "the dead connection must be reaped"
+    );
+    server.shutdown_and_join();
+}
+
+#[test]
+fn resident_dataset_queries_are_bitwise_identical_to_inline() {
+    let server = start(ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let train: Vec<TrainInstance> = (0..10)
+        .map(|i| TrainInstance {
+            label: i % 4,
+            series: series(48, 300 + i),
+        })
+        .collect();
+    let entries: Vec<mda_server::DatasetEntry> = train
+        .iter()
+        .map(|t| mda_server::DatasetEntry {
+            label: t.label,
+            series: t.series.clone(),
+        })
+        .collect();
+    let (dataset_id, version) = client.upload_dataset("corpus", &entries).expect("upload");
+    assert_eq!(version, 1);
+
+    // Idempotent re-upload: same id, same version.
+    let (again, v2) = client.upload_dataset("corpus", &entries).expect("reupload");
+    assert_eq!((again.as_str(), v2), (dataset_id.as_str(), 1));
+
+    let q = series(48, 999);
+    let opts = QueryOpts::default();
+
+    // kNN: resident vs inline, all outcome fields bitwise equal.
+    let inline = client
+        .knn(DistanceKind::Dtw, 3, &q, &train, opts)
+        .expect("inline knn");
+    let resident = client
+        .knn_resident(
+            DistanceKind::Dtw,
+            3,
+            &q,
+            mda_server::DatasetRef::by_id(&dataset_id),
+            opts,
+        )
+        .expect("resident knn");
+    assert_eq!(resident.label, inline.label);
+    assert_eq!(resident.score.to_bits(), inline.score.to_bits());
+    assert_eq!(resident.nearest_index, inline.nearest_index);
+
+    // Pairwise batch: query vs every series.
+    let pairs: Vec<(Vec<f64>, Vec<f64>)> = train
+        .iter()
+        .map(|t| (q.clone(), t.series.clone()))
+        .collect();
+    let inline_values = client
+        .batch(DistanceKind::Manhattan, &pairs, opts)
+        .expect("inline batch");
+    let resident_values = client
+        .batch_resident(
+            DistanceKind::Manhattan,
+            &q,
+            mda_server::DatasetRef::by_name("corpus"),
+            opts,
+        )
+        .expect("resident batch");
+    assert_eq!(inline_values.len(), resident_values.len());
+    for (a, b) in inline_values.iter().zip(&resident_values) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    // Subsequence search against one resident series.
+    let sq = series(12, 1234);
+    let inline_search = client
+        .search(&sq, &train[4].series, 12, 2, opts)
+        .expect("inline search");
+    let resident_search = client
+        .search_resident(
+            &sq,
+            mda_server::DatasetRef::by_name_version("corpus", 1),
+            4,
+            12,
+            2,
+            opts,
+        )
+        .expect("resident search");
+    assert_eq!(resident_search.offset, inline_search.offset);
+    assert_eq!(
+        resident_search.distance.to_bits(),
+        inline_search.distance.to_bits()
+    );
+
+    // Listing reflects the store; dropping frees it.
+    let listed = client.list_datasets().expect("list");
+    assert_eq!(listed.len(), 1);
+    assert_eq!(listed[0].name, "corpus");
+    assert_eq!(listed[0].dataset_id, dataset_id);
+    assert_eq!(listed[0].count, 10);
+    assert_eq!(
+        client
+            .drop_dataset(mda_server::DatasetRef::by_id(&dataset_id))
+            .expect("drop"),
+        1
+    );
+    assert!(client.list_datasets().expect("list empty").is_empty());
+    server.shutdown_and_join();
+}
+
+#[test]
+fn dataset_not_found_and_stale_version_are_typed_in_band_errors() {
+    let server = start(ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let q = series(16, 5);
+    let opts = QueryOpts::default();
+
+    // Unknown id → not_found, connection survives.
+    let err = client
+        .knn_resident(
+            DistanceKind::Dtw,
+            1,
+            &q,
+            mda_server::DatasetRef::by_id("no-such-dataset"),
+            opts,
+        )
+        .expect_err("unknown dataset must fail");
+    assert!(
+        matches!(
+            &err,
+            ClientError::Server {
+                code: ErrorCode::NotFound,
+                ..
+            }
+        ),
+        "{err}"
+    );
+    client.ping().expect("connection survives not_found");
+
+    // Upload v1, pin its id, re-upload different content → pinned id is
+    // stale_version naming both versions.
+    let v1_entries = vec![mda_server::DatasetEntry {
+        label: 0,
+        series: series(16, 1),
+    }];
+    let (v1_id, _) = client.upload_dataset("evolving", &v1_entries).expect("v1");
+    let v2_entries = vec![mda_server::DatasetEntry {
+        label: 0,
+        series: series(16, 2),
+    }];
+    let (v2_id, v2) = client.upload_dataset("evolving", &v2_entries).expect("v2");
+    assert_eq!(v2, 2);
+    assert_ne!(v1_id, v2_id);
+    let err = client
+        .knn_resident(
+            DistanceKind::Dtw,
+            1,
+            &q,
+            mda_server::DatasetRef::by_id(&v1_id),
+            opts,
+        )
+        .expect_err("pinned stale id must fail");
+    match &err {
+        ClientError::Server {
+            code: ErrorCode::StaleVersion,
+            message,
+        } => {
+            assert!(message.contains("version 1"), "{message}");
+            assert!(message.contains("version 2"), "{message}");
+        }
+        other => panic!("expected stale_version, got {other}"),
+    }
+    // Pinning an outdated version by name fails the same way; the current
+    // version still serves.
+    let err = client
+        .knn_resident(
+            DistanceKind::Dtw,
+            1,
+            &q,
+            mda_server::DatasetRef::by_name_version("evolving", 1),
+            opts,
+        )
+        .expect_err("stale pinned version must fail");
+    assert!(
+        matches!(
+            &err,
+            ClientError::Server {
+                code: ErrorCode::StaleVersion,
+                ..
+            }
+        ),
+        "{err}"
+    );
+    client
+        .knn_resident(
+            DistanceKind::Dtw,
+            1,
+            &q,
+            mda_server::DatasetRef::by_id(&v2_id),
+            opts,
+        )
+        .expect("current version serves");
+    assert!(server.metrics().dataset_misses.get() >= 3);
+    assert!(server.metrics().dataset_hits.get() >= 1);
+    server.shutdown_and_join();
+}
+
+#[test]
+fn many_concurrent_connections_smoke() {
+    let server = start(ServerConfig::default());
+    let addr = server.local_addr();
+    let conns = 128;
+    std::thread::scope(|scope| {
+        for c in 0..conns {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                client.ping().expect("ping");
+                let d = client
+                    .distance(DistanceKind::Manhattan, &[c as f64, 1.0], &[c as f64, 3.0])
+                    .expect("distance");
+                assert_eq!(d, 2.0);
+            });
+        }
+    });
+    assert_eq!(server.metrics().connections.get(), conns as u64);
+    server.shutdown_and_join();
+}
+
+#[test]
+fn connection_cap_rejects_excess_accepts() {
+    let server = start(ServerConfig {
+        max_connections: 2,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+    let mut a = Client::connect(addr).expect("first");
+    let mut b = Client::connect(addr).expect("second");
+    a.ping().expect("first serves");
+    b.ping().expect("second serves");
+    // The third connection is accepted by the kernel but closed by the
+    // loop; any call on it must fail.
+    let refused = Client::connect(addr).and_then(|mut c| c.ping());
+    assert!(refused.is_err(), "over-cap connection should be closed");
+    assert!(server.metrics().connections_rejected.get() >= 1);
+    // Capacity frees when a connection closes.
+    drop(a);
+    std::thread::sleep(Duration::from_millis(100));
+    let mut c = Client::connect(addr).expect("reconnect after close");
+    c.ping().expect("freed slot serves");
     server.shutdown_and_join();
 }
 

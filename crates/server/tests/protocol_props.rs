@@ -90,6 +90,7 @@ proptest! {
                 k,
                 query,
                 train,
+                dataset: None,
                 threshold: Some(0.25),
                 band: None,
                 deadline_ms: None,

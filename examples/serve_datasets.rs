@@ -1,0 +1,168 @@
+//! Resident-dataset quickstart: upload a corpus once, then query it by id.
+//!
+//! Run with `cargo run --example serve_datasets` to host an in-process
+//! server on a loopback port, or pass the address of a running server
+//! (`cargo run --example serve_datasets -- 127.0.0.1:7171`).
+//!
+//! Demonstrates the serving tier's resident-dataset path:
+//!
+//! 1. upload a 32-series corpus → content-addressed dataset id;
+//! 2. run the same kNN queries inline (corpus on every request) and
+//!    resident (id on every request), verify the answers are bitwise
+//!    identical, and compare the wire bytes each path moved;
+//! 3. pipeline a burst of resident queries on one connection with
+//!    `send_many`;
+//! 4. list and drop the dataset.
+//!
+//! Exits non-zero on any mismatch.
+
+use std::net::SocketAddr;
+
+use memristor_distance_accelerator::distance::DistanceKind;
+use memristor_distance_accelerator::server::protocol::{
+    encode_request, DatasetEntry, DatasetRef, Envelope, Request, TrainInstance,
+};
+use memristor_distance_accelerator::server::{
+    Client, QueryOpts, ResponseBody, Server, ServerConfig,
+};
+
+fn series(len: usize, seed: usize) -> Vec<f64> {
+    (0..len)
+        .map(|i| ((i + 23 * seed) as f64 * 0.29).sin() * 1.7 + (seed as f64 * 0.53).cos())
+        .collect()
+}
+
+/// Canonical wire size of one request: 4-byte length prefix + payload.
+fn wire_bytes(req: Request) -> u64 {
+    encode_request(&Envelope { id: 1, req }).len() as u64 + 4
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let addr_arg = std::env::args().nth(1);
+    let server = match addr_arg {
+        Some(_) => None,
+        None => Some(Server::start(ServerConfig::default())?),
+    };
+    let addr: SocketAddr = match (&server, &addr_arg) {
+        (Some(s), _) => s.local_addr(),
+        (None, Some(a)) => a.parse()?,
+        (None, None) => unreachable!(),
+    };
+    println!(
+        "serve_datasets -> {addr} ({})",
+        if server.is_some() {
+            "in-process"
+        } else {
+            "external"
+        }
+    );
+    let mut client = Client::connect(addr)?;
+
+    // A labelled corpus: 32 series of 96 points, 4 classes.
+    let train: Vec<TrainInstance> = (0..32)
+        .map(|i| TrainInstance {
+            label: i % 4,
+            series: series(96, 40 + i),
+        })
+        .collect();
+    let entries: Vec<DatasetEntry> = train
+        .iter()
+        .map(|t| DatasetEntry {
+            label: t.label,
+            series: t.series.clone(),
+        })
+        .collect();
+
+    // Upload once: the id is content-addressed, so re-uploading identical
+    // bytes is free and returns the same id.
+    let (dataset_id, version) = client.upload_dataset("demo-corpus", &entries)?;
+    println!("uploaded demo-corpus: id {dataset_id} (version {version})");
+
+    // Same queries, both paths; answers must match bit for bit.
+    let queries: Vec<Vec<f64>> = (0..12).map(|i| series(96, 7000 + i)).collect();
+    let opts = QueryOpts::default();
+    let mut inline_bytes = 0u64;
+    let mut resident_bytes = wire_bytes(Request::UploadDataset {
+        name: "demo-corpus".into(),
+        entries: entries.clone(),
+    });
+    for (i, query) in queries.iter().enumerate() {
+        let inline = client.knn(DistanceKind::Dtw, 3, query, &train, opts)?;
+        let resident = client.knn_resident(
+            DistanceKind::Dtw,
+            3,
+            query,
+            DatasetRef::by_id(&dataset_id),
+            opts,
+        )?;
+        if inline.label != resident.label || inline.score.to_bits() != resident.score.to_bits() {
+            return Err(format!("query {i}: inline {inline:?} != resident {resident:?}").into());
+        }
+        inline_bytes += wire_bytes(Request::Knn {
+            kind: DistanceKind::Dtw,
+            k: 3,
+            query: query.clone(),
+            train: train.clone(),
+            dataset: None,
+            threshold: None,
+            band: None,
+            deadline_ms: None,
+        });
+        resident_bytes += wire_bytes(Request::Knn {
+            kind: DistanceKind::Dtw,
+            k: 3,
+            query: query.clone(),
+            train: Vec::new(),
+            dataset: Some(DatasetRef::by_id(&dataset_id)),
+            threshold: None,
+            band: None,
+            deadline_ms: None,
+        });
+    }
+    println!(
+        "12 kNN queries bitwise-identical on both paths; wire bytes: inline {} vs resident {} ({:.1}x less, upload included)",
+        inline_bytes,
+        resident_bytes,
+        inline_bytes as f64 / resident_bytes as f64
+    );
+
+    // Pipelining: one connection, one flush, many in-flight requests.
+    let burst: Vec<Request> = queries
+        .iter()
+        .map(|query| Request::Knn {
+            kind: DistanceKind::Dtw,
+            k: 3,
+            query: query.clone(),
+            train: Vec::new(),
+            dataset: Some(DatasetRef::by_id(&dataset_id)),
+            threshold: None,
+            band: None,
+            deadline_ms: None,
+        })
+        .collect();
+    let replies = client.send_many(burst)?;
+    let classified = replies
+        .iter()
+        .filter(|r| matches!(r, ResponseBody::Knn { .. }))
+        .count();
+    println!(
+        "pipelined burst: {classified}/{} kNN replies on one connection",
+        replies.len()
+    );
+
+    // Housekeeping: datasets are listable and droppable.
+    for d in client.list_datasets()? {
+        println!(
+            "resident: {} (id {}, version {}, {} series, {} bytes)",
+            d.name, d.dataset_id, d.version, d.count, d.bytes
+        );
+    }
+    let dropped = client.drop_dataset(DatasetRef::by_id(&dataset_id))?;
+    println!("dropped {dropped} dataset(s)");
+
+    if let Some(server) = server {
+        server.shutdown_and_join();
+    }
+    println!("done");
+    Ok(())
+}
