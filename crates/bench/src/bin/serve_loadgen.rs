@@ -36,7 +36,7 @@ use mda_distance::{boxed_distance, DistanceKind};
 use mda_server::protocol::{
     encode_request, DatasetEntry, DatasetRef, Envelope, Request, TrainInstance,
 };
-use mda_server::{Client, QueryOpts, Server, ServerConfig};
+use mda_server::{Client, QueryOptions, Server, ServerConfig};
 
 fn series(len: usize, seed: usize) -> Vec<f64> {
     (0..len)
@@ -54,7 +54,10 @@ fn identity_check(addr: std::net::SocketAddr) -> Result<(), String> {
         let direct = boxed_distance(kind)
             .evaluate(&p, &q)
             .map_err(|e| e.to_string())?;
-        let served = client.distance(kind, &p, &q).map_err(|e| e.to_string())?;
+        let served = client
+            .query_distance(kind, &p, &q, &QueryOptions::new())
+            .map_err(|e| e.to_string())?
+            .value;
         if served.to_bits() != direct.to_bits() {
             return Err(format!(
                 "{kind}: served {served:e} != direct {direct:e} (bitwise)"
@@ -73,8 +76,9 @@ fn identity_check(addr: std::net::SocketAddr) -> Result<(), String> {
     }
     let direct = knn.classify(&p).map_err(|e| e.to_string())?;
     let served = client
-        .knn(DistanceKind::Dtw, 3, &p, &train, QueryOpts::default())
-        .map_err(|e| e.to_string())?;
+        .query_knn(DistanceKind::Dtw, 3, &p, &train, &QueryOptions::new())
+        .map_err(|e| e.to_string())?
+        .value;
     if served.label != direct.label
         || served.score.to_bits() != direct.score.to_bits()
         || served.nearest_index != direct.nearest_index
@@ -104,7 +108,7 @@ fn run_load(addr: std::net::SocketAddr, clients: usize, seconds: f64) -> (u64, u
                 while Instant::now() < deadline {
                     let q = series(64, 1000 + c * 97 + (seed % 8));
                     seed += 1;
-                    match client.distance(DistanceKind::Dtw, &p, &q) {
+                    match client.query_distance(DistanceKind::Dtw, &p, &q, &QueryOptions::new()) {
                         Ok(_) => {
                             requests.fetch_add(1, Ordering::Relaxed);
                         }
@@ -182,6 +186,7 @@ fn run_connection_storm(addr: std::net::SocketAddr, conns: usize, rounds: usize)
                         threshold: None,
                         band: None,
                         deadline_ms: None,
+                        accuracy: None,
                     })
                     .collect();
                 for _ in 0..rounds {
@@ -268,12 +273,14 @@ fn run_resident_phase(addr: std::net::SocketAddr) -> Result<ResidentOutcome, Str
                 threshold: None,
                 band: None,
                 deadline_ms: None,
+                accuracy: None,
             },
         });
         let direct = knn.classify(query).map_err(|e| e.to_string())?;
         let served = client
-            .knn(DistanceKind::Dtw, 3, query, &train, QueryOpts::default())
-            .map_err(|e| e.to_string())?;
+            .query_knn(DistanceKind::Dtw, 3, query, &train, &QueryOptions::new())
+            .map_err(|e| e.to_string())?
+            .value;
         if served.label != direct.label || served.score.to_bits() != direct.score.to_bits() {
             return Err(format!("inline kNN query {i}: {served:?} != {direct:?}"));
         }
@@ -309,18 +316,20 @@ fn run_resident_phase(addr: std::net::SocketAddr) -> Result<ResidentOutcome, Str
                 threshold: None,
                 band: None,
                 deadline_ms: None,
+                accuracy: None,
             },
         });
         let direct = knn.classify(query).map_err(|e| e.to_string())?;
         let served = client
-            .knn_resident(
+            .query_knn(
                 DistanceKind::Dtw,
                 3,
                 query,
-                DatasetRef::by_id(&dataset_id),
-                QueryOpts::default(),
+                &[],
+                &QueryOptions::new().dataset(DatasetRef::by_id(&dataset_id)),
             )
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| e.to_string())?
+            .value;
         if served.label != direct.label || served.score.to_bits() != direct.score.to_bits() {
             return Err(format!("resident kNN query {i}: {served:?} != {direct:?}"));
         }

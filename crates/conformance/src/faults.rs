@@ -18,7 +18,7 @@ use mda_core::{pe, AcceleratorConfig};
 use mda_distance::DistanceKind;
 use mda_memristor::tuning::{try_tune_ratio, PulseSchedule, TuningError};
 use mda_memristor::{BiolekParams, CellFault, FaultyMemristor, Memristor, ProcessVariation};
-use mda_server::client::Client;
+use mda_server::client::{Client, QueryOptions};
 use mda_server::json::Json;
 use mda_server::{ClientError, ErrorCode};
 
@@ -246,7 +246,7 @@ fn untunable_suite(seed: u64, failures: &mut Vec<String>) -> Json {
 fn server_roundtrip(client: &mut Client, failures: &mut Vec<String>) -> Json {
     let p = [0.0, 1.0, 2.0];
     let q = [0.0, 1.0]; // one lane dropped by a stuck column
-    let outcome = client.distance(DistanceKind::Hamming, &p, &q);
+    let outcome = client.query_distance(DistanceKind::Hamming, &p, &q, &QueryOptions::new());
     let (typed, code) = match outcome {
         Err(ClientError::Server { code, .. }) => {
             let ok = code == ErrorCode::BadRequest;
@@ -263,7 +263,8 @@ fn server_roundtrip(client: &mut Client, failures: &mut Vec<String>) -> Json {
         }
         Ok(v) => {
             failures.push(format!(
-                "server degraded query: silently answered {v} for mismatched lanes"
+                "server degraded query: silently answered {} for mismatched lanes",
+                v.value
             ));
             (false, "value".into())
         }

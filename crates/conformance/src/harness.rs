@@ -111,6 +111,7 @@ struct KindStats {
     spice: LayerStats,
     server: LayerStats,
     server_resident: LayerStats,
+    server_routed: LayerStats,
 }
 
 /// Runs one case through every enabled layer and returns the out-of-bound
@@ -236,7 +237,7 @@ fn check_case(
         // corpus cannot perturb a single bit of any series.
         match layers::server_resident(client, case) {
             Ok(v) => {
-                if let Some(s) = stats {
+                if let Some(s) = stats.as_deref_mut() {
                     s.server_resident.record(v, reference);
                 }
                 if v.to_bits() != reference.to_bits() {
@@ -254,6 +255,47 @@ fn check_case(
                 value: f64::NAN,
                 reference,
                 margin: 0.0,
+                error: Some(e.to_string()),
+            }),
+        }
+        // The routed path carries an explicit tolerance SLA: the reply
+        // must report its route, the reported bound must fit the SLA, and
+        // the value must land within the tolerance of the raw reference —
+        // whichever backend answered.
+        let epsilon =
+            (layers::routed_tolerance(case) * bound_scale.max(1.0)).max(f64::MIN_POSITIVE);
+        match layers::server_routed(client, case) {
+            Ok((v, route)) => {
+                if let Some(s) = stats {
+                    s.server_routed.record(v, reference);
+                }
+                let err = (v - reference).abs();
+                let sla_violated = err > epsilon || err.is_nan();
+                let report_missing = route.is_none();
+                let bound_too_wide = route
+                    .map(|r| r.bound.margin(layers::encodable_ceiling()) > epsilon)
+                    .unwrap_or(false);
+                if sla_violated || report_missing || bound_too_wide {
+                    failures.push(Failure {
+                        layer: "server_routed",
+                        value: v,
+                        reference,
+                        margin: epsilon,
+                        error: if report_missing {
+                            Some("reply carried no routing report".into())
+                        } else if bound_too_wide {
+                            Some("reported bound exceeds the requested tolerance".into())
+                        } else {
+                            None
+                        },
+                    });
+                }
+            }
+            Err(e) => failures.push(Failure {
+                layer: "server_routed",
+                value: f64::NAN,
+                reference,
+                margin: epsilon,
                 error: Some(e.to_string()),
             }),
         }
@@ -436,6 +478,7 @@ pub fn run(config: &HarnessConfig) -> RunOutcome {
                         ("spice".into(), s.spice.json()),
                         ("server".into(), s.server.json()),
                         ("server_resident".into(), s.server_resident.json()),
+                        ("server_routed".into(), s.server_routed.json()),
                     ]),
                 )
             })
@@ -469,6 +512,7 @@ pub fn run(config: &HarnessConfig) -> RunOutcome {
                 ("spice".into(), Json::Bool(config.with_spice)),
                 ("server".into(), Json::Bool(config.with_server)),
                 ("server_resident".into(), Json::Bool(config.with_server)),
+                ("server_routed".into(), Json::Bool(config.with_server)),
                 ("faults".into(), Json::Bool(config.with_faults)),
             ]),
         ),

@@ -12,7 +12,12 @@
 //!   wire protocol;
 //! * **server_resident** — the same loopback server queried through the
 //!   resident-dataset path (upload → kNN by dataset id → drop), recovering
-//!   the raw distance from a k=1 neighbour score.
+//!   the raw distance from a k=1 neighbour score;
+//! * **server_routed** — the same loopback server queried with an explicit
+//!   tolerance SLA wide enough to admit the analog fabric: whatever
+//!   backend the router picks, the reply must report it, the reported
+//!   bound must fit the SLA, and the served value must land within the
+//!   tolerance of the digital reference.
 
 use mda_core::accelerator::FunctionParams;
 use mda_core::{pe, AcceleratorConfig, AcceleratorError, DistanceAccelerator};
@@ -20,8 +25,8 @@ use mda_distance::dtw::Band;
 use mda_distance::{
     Distance, DistanceError, DistanceKind, Dtw, EditDistance, Hamming, Hausdorff, Lcs, Manhattan,
 };
-use mda_server::client::{Client, QueryOpts};
-use mda_server::{ClientError, DatasetEntry, DatasetRef};
+use mda_server::client::{Client, QueryOptions};
+use mda_server::{ClientError, DatasetEntry, DatasetRef, RouteInfo, Sla};
 
 use crate::case::CaseSpec;
 
@@ -138,7 +143,35 @@ pub fn spice(case: &CaseSpec) -> Result<f64, AcceleratorError> {
 ///
 /// Transport or server errors from the round-trip.
 pub fn server(client: &mut Client, case: &CaseSpec) -> Result<f64, ClientError> {
-    client.distance_with(case.kind, &case.p, &case.q, case_opts(case))
+    Ok(client
+        .query_distance(case.kind, &case.p, &case.q, &case_opts(case))?
+        .value)
+}
+
+/// The tolerance the routed layer requests for a case: the analog fabric's
+/// calibrated margin at its output ceiling — exactly the loosest SLA the
+/// router can provably satisfy on the analog path, so eligible cases
+/// exercise analog routing rather than trivially staying digital.
+pub fn routed_tolerance(case: &CaseSpec) -> f64 {
+    let len = case.p.len().max(case.q.len());
+    mda_core::bounds::behavioural(case.kind, len).margin(encodable_ceiling())
+}
+
+/// The value served under an explicit tolerance SLA, plus the routing
+/// report the reply carried (`None` would itself be a finding: replies to
+/// accuracy-tagged requests must report their route).
+///
+/// # Errors
+///
+/// Transport or server errors from the round-trip.
+pub fn server_routed(
+    client: &mut Client,
+    case: &CaseSpec,
+) -> Result<(f64, Option<RouteInfo>), ClientError> {
+    let sla = Sla::tolerance(routed_tolerance(case)).expect("calibrated margins are finite");
+    let opts = case_opts(case).accuracy(sla);
+    let routed = client.query_distance(case.kind, &case.p, &case.q, &opts)?;
+    Ok((routed.value, routed.route))
 }
 
 /// The value served through the **resident-dataset** path: the case's `q`
@@ -156,15 +189,15 @@ pub fn server_resident(client: &mut Client, case: &CaseSpec) -> Result<f64, Clie
         series: case.q.clone(),
     }];
     let (dataset_id, _version) = client.upload_dataset("conformance-case", &entries)?;
-    let outcome = client.knn_resident(
+    let outcome = client.query_knn(
         case.kind,
         1,
         &case.p,
-        DatasetRef::by_id(&dataset_id),
-        case_opts(case),
+        &[],
+        &case_opts(case).dataset(DatasetRef::by_id(&dataset_id)),
     );
     let _ = client.drop_dataset(DatasetRef::by_id(&dataset_id));
-    let outcome = outcome?;
+    let outcome = outcome?.value;
     Ok(if case.kind.is_similarity() {
         -outcome.score
     } else {
@@ -172,16 +205,15 @@ pub fn server_resident(client: &mut Client, case: &CaseSpec) -> Result<f64, Clie
     })
 }
 
-fn case_opts(case: &CaseSpec) -> QueryOpts {
-    QueryOpts {
-        threshold: if case.thresholded() {
-            Some(case.threshold)
-        } else {
-            None
-        },
-        band: case.band,
-        deadline_ms: None,
+fn case_opts(case: &CaseSpec) -> QueryOptions {
+    let mut opts = QueryOptions::new();
+    if case.thresholded() {
+        opts = opts.threshold(case.threshold);
     }
+    if let Some(r) = case.band {
+        opts = opts.band(r);
+    }
+    opts
 }
 
 #[cfg(test)]

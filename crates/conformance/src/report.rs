@@ -108,13 +108,6 @@ pub fn write_reproducer(dir: &Path, case: &CaseSpec, failure: &Failure) -> io::R
     Ok(path)
 }
 
-fn parse_kind(abbrev: &str) -> Result<DistanceKind, String> {
-    DistanceKind::ALL
-        .into_iter()
-        .find(|k| k.abbrev() == abbrev)
-        .ok_or_else(|| format!("unknown kind `{abbrev}`"))
-}
-
 fn parse_class(label: &str) -> Result<LengthClass, String> {
     LengthClass::ALL
         .into_iter()
@@ -171,7 +164,9 @@ pub fn case_from_json(doc: &Json) -> Result<CaseSpec, String> {
     Ok(CaseSpec {
         seed: int("seed")?,
         id: int("case")?,
-        kind: parse_kind(text("kind")?)?,
+        kind: text("kind")?
+            .parse::<DistanceKind>()
+            .map_err(|e| e.to_string())?,
         class: parse_class(text("class")?)?,
         family: parse_family(text("family")?)?,
         threshold: num("threshold")?,

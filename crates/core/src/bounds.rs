@@ -1,0 +1,164 @@
+//! Calibrated per-path, per-function error bounds.
+//!
+//! Each analog answer path gets an explicit contract of the form
+//! `|value − reference| ≤ abs + rel·|reference|` — the same two-sided shape
+//! the accelerator's own acceptance tests use, because analog error has a
+//! fixed floor (converter LSB, solver tolerance) plus a proportional part
+//! (gain error). The numbers are deliberately *tight enough to fail*: they
+//! were calibrated by sweeping the conformance generator across seeds and
+//! adding ~2× headroom over the worst observed deviation, so a regression
+//! in any layer trips the harness rather than hiding inside slack.
+//!
+//! These bounds double as routing capabilities: `mda-routing` compares a
+//! backend's bound against a request's accuracy SLA to decide whether the
+//! analog fabric may answer it. They live here (rather than in
+//! `mda-conformance`, which re-exports them) so the routing layer can use
+//! them without depending on the test harness.
+//!
+//! The digital paths' bound is exact bit equality: PR-3 proved the wire
+//! path serves values bitwise identical to direct library calls, and the
+//! conformance harness keeps that proof under continuous test.
+
+use mda_distance::DistanceKind;
+
+/// A two-sided error bound against the digital reference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bound {
+    /// Absolute floor, sequence units.
+    pub abs: f64,
+    /// Proportional part, fraction of `|reference|`.
+    pub rel: f64,
+}
+
+impl Bound {
+    /// The zero bound: exact agreement with the digital reference.
+    pub const EXACT: Bound = Bound { abs: 0.0, rel: 0.0 };
+
+    /// `true` when `value` is finite and within the bound of `reference`.
+    pub fn allows(&self, value: f64, reference: f64) -> bool {
+        value.is_finite() && (value - reference).abs() <= self.abs + self.rel * reference.abs()
+    }
+
+    /// The permitted deviation at a given reference magnitude.
+    pub fn margin(&self, reference: f64) -> f64 {
+        self.abs + self.rel * reference.abs()
+    }
+
+    /// This bound with both terms scaled. Scale 1.0 is the calibrated
+    /// contract; tests use 0.0 to force every deviation out of bounds and
+    /// exercise the shrink/reproducer path.
+    pub fn scaled(self, scale: f64) -> Bound {
+        Bound {
+            abs: self.abs * scale,
+            rel: self.rel * scale,
+        }
+    }
+}
+
+/// Bound for the behavioural accelerator layer at a given problem size
+/// (`len` = the longer of the two series).
+///
+/// The matrix DPs accumulate analog noise along their recurrence: every
+/// cell adds converter LSB and comparator noise, so the absolute floor of
+/// the counting matrix functions (LCS/EdD) grows with length — empirically
+/// a bit under one ADC step (25/32 value units) per ~5 elements at the
+/// worst corner. The row functions read out a single accumulation node and
+/// keep a fixed floor.
+pub fn behavioural(kind: DistanceKind, len: usize) -> Bound {
+    let len = len as f64;
+    match kind {
+        DistanceKind::Lcs | DistanceKind::Edit => Bound {
+            abs: 0.5 + 0.15 * len,
+            rel: 0.3,
+        },
+        DistanceKind::Dtw | DistanceKind::Hausdorff => Bound {
+            abs: 0.6 + 0.05 * len,
+            rel: 0.3,
+        },
+        DistanceKind::Hamming | DistanceKind::Manhattan => Bound { abs: 0.6, rel: 0.3 },
+    }
+}
+
+/// Bound for the device-level SPICE layer. Only evaluated on the sizes the
+/// PE netlists support (see the conformance harness's `spice_eligibility`),
+/// so no length term is needed: the caps keep the netlists in the regime
+/// these numbers were swept over.
+pub fn spice(kind: DistanceKind) -> Bound {
+    match kind {
+        DistanceKind::Dtw => Bound {
+            abs: 0.3,
+            rel: 0.15,
+        },
+        DistanceKind::Lcs => Bound {
+            abs: 0.2,
+            rel: 0.15,
+        },
+        DistanceKind::Edit => Bound {
+            abs: 0.45,
+            rel: 0.15,
+        },
+        DistanceKind::Hausdorff => Bound {
+            abs: 0.35,
+            rel: 0.15,
+        },
+        DistanceKind::Hamming => Bound {
+            abs: 0.15,
+            rel: 0.1,
+        },
+        DistanceKind::Manhattan => Bound {
+            abs: 0.3,
+            rel: 0.12,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_combines_absolute_and_relative_parts() {
+        let b = Bound { abs: 0.5, rel: 0.1 };
+        assert!(b.allows(10.9, 10.0));
+        assert!(!b.allows(11.6, 10.0));
+        assert!(b.allows(0.4, 0.0));
+        assert!(!b.allows(0.6, 0.0));
+    }
+
+    #[test]
+    fn non_finite_values_never_pass() {
+        let b = Bound {
+            abs: f64::INFINITY,
+            rel: 0.0,
+        };
+        assert!(!b.allows(f64::NAN, 0.0));
+        assert!(!b.allows(f64::INFINITY, 0.0));
+    }
+
+    #[test]
+    fn exact_bound_is_bit_agreement_only() {
+        assert!(Bound::EXACT.allows(1.5, 1.5));
+        assert!(!Bound::EXACT.allows(1.5 + f64::EPSILON * 4.0, 1.5));
+        assert_eq!(Bound::EXACT.margin(1e9), 0.0);
+    }
+
+    #[test]
+    fn every_kind_has_both_layer_bounds() {
+        for kind in DistanceKind::ALL {
+            assert!(behavioural(kind, 1).abs > 0.0);
+            assert!(spice(kind).abs > 0.0);
+        }
+    }
+
+    #[test]
+    fn matrix_counting_bounds_grow_with_length() {
+        let short = behavioural(DistanceKind::Edit, 4);
+        let medium = behavioural(DistanceKind::Edit, 16);
+        assert!(medium.abs > short.abs);
+        // Row functions read one node; no length term.
+        assert_eq!(
+            behavioural(DistanceKind::Manhattan, 4),
+            behavioural(DistanceKind::Manhattan, 16)
+        );
+    }
+}

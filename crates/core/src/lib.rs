@@ -47,6 +47,7 @@ pub mod accelerator;
 pub mod analog;
 pub mod array;
 pub mod batch;
+pub mod bounds;
 pub mod config;
 pub mod controller;
 pub mod converters;

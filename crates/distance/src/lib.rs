@@ -150,6 +150,42 @@ impl std::fmt::Display for DistanceKind {
     }
 }
 
+/// Error returned when parsing a [`DistanceKind`] from its paper
+/// abbreviation fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseKindError {
+    name: String,
+}
+
+impl std::fmt::Display for ParseKindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown kind `{}` (expected DTW, LCS, EdD, HauD, HamD or MD)",
+            self.name
+        )
+    }
+}
+
+impl std::error::Error for ParseKindError {}
+
+/// Parses the paper's abbreviations exactly as [`DistanceKind::abbrev`]
+/// prints them — the canonical round-trip every call site (wire protocol,
+/// reports, CLI flags) shares. Matching is case-sensitive: `"dtw"` is
+/// rejected, the same contract the wire protocol has always had.
+impl std::str::FromStr for DistanceKind {
+    type Err = ParseKindError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DistanceKind::ALL
+            .into_iter()
+            .find(|k| k.abbrev() == s)
+            .ok_or_else(|| ParseKindError {
+                name: s.to_string(),
+            })
+    }
+}
+
 /// A distance (or similarity) function over real-valued time series.
 ///
 /// The trait is object-safe so heterogeneous collections of functions can be
@@ -267,5 +303,19 @@ mod tests {
     fn display_uses_paper_abbreviations() {
         assert_eq!(DistanceKind::Dtw.to_string(), "DTW");
         assert_eq!(DistanceKind::Hausdorff.to_string(), "HauD");
+    }
+
+    #[test]
+    fn from_str_round_trips_display() {
+        for k in DistanceKind::ALL {
+            assert_eq!(k.abbrev().parse::<DistanceKind>(), Ok(k));
+        }
+    }
+
+    #[test]
+    fn from_str_is_case_sensitive_and_names_the_offender() {
+        let err = "dtw".parse::<DistanceKind>().unwrap_err();
+        assert!(err.to_string().contains("`dtw`"), "{err}");
+        assert!("Manhattan".parse::<DistanceKind>().is_err());
     }
 }

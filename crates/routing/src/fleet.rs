@@ -1,0 +1,136 @@
+//! The analog fleet's power envelope: a shared watt budget that routed
+//! work reserves against and releases when it completes.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Watts expressed in integer microwatts, so the envelope accounting is a
+/// single atomic with no float races.
+fn to_microwatts(w: f64) -> u64 {
+    (w.max(0.0) * 1e6).round() as u64
+}
+
+/// A shared analog-fleet power envelope.
+///
+/// Cloning shares the envelope: every clone draws against the same
+/// accumulator, which is how the event loop, the router and tests all see
+/// one fleet.
+#[derive(Clone)]
+pub struct FleetBudget {
+    cap_uw: u64,
+    in_use_uw: Arc<AtomicU64>,
+}
+
+impl FleetBudget {
+    /// An envelope of `cap_w` watts, initially idle.
+    pub fn new(cap_w: f64) -> FleetBudget {
+        FleetBudget {
+            cap_uw: to_microwatts(cap_w),
+            in_use_uw: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The envelope size, watts.
+    pub fn cap_w(&self) -> f64 {
+        self.cap_uw as f64 / 1e6
+    }
+
+    /// Watts currently reserved.
+    pub fn in_use_w(&self) -> f64 {
+        self.in_use_uw.load(Ordering::Relaxed) as f64 / 1e6
+    }
+
+    /// Tries to reserve `watts` from the envelope. `None` when the fleet is
+    /// saturated — the router's cue to fall back to digital. The returned
+    /// lease releases the reservation when dropped.
+    pub fn try_reserve(&self, watts: f64) -> Option<PowerLease> {
+        let want = to_microwatts(watts);
+        let mut current = self.in_use_uw.load(Ordering::Relaxed);
+        loop {
+            let next = current.checked_add(want)?;
+            if next > self.cap_uw {
+                return None;
+            }
+            match self.in_use_uw.compare_exchange_weak(
+                current,
+                next,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    return Some(PowerLease {
+                        uw: want,
+                        in_use_uw: Arc::clone(&self.in_use_uw),
+                    })
+                }
+                Err(seen) => current = seen,
+            }
+        }
+    }
+}
+
+impl fmt::Debug for FleetBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FleetBudget")
+            .field("cap_w", &self.cap_w())
+            .field("in_use_w", &self.in_use_w())
+            .finish()
+    }
+}
+
+/// A live reservation against a [`FleetBudget`]; releases on drop.
+#[derive(Debug)]
+pub struct PowerLease {
+    uw: u64,
+    in_use_uw: Arc<AtomicU64>,
+}
+
+impl PowerLease {
+    /// The reserved draw, watts.
+    pub fn watts(&self) -> f64 {
+        self.uw as f64 / 1e6
+    }
+}
+
+impl Drop for PowerLease {
+    fn drop(&mut self) {
+        self.in_use_uw.fetch_sub(self.uw, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservations_accumulate_and_release_on_drop() {
+        let fleet = FleetBudget::new(10.0);
+        let a = fleet.try_reserve(4.0).unwrap();
+        let b = fleet.try_reserve(4.0).unwrap();
+        assert!((fleet.in_use_w() - 8.0).abs() < 1e-9);
+        // 4 more would exceed the 10 W envelope.
+        assert!(fleet.try_reserve(4.0).is_none());
+        drop(a);
+        assert!((fleet.in_use_w() - 4.0).abs() < 1e-9);
+        let c = fleet.try_reserve(6.0).unwrap();
+        assert!((c.watts() - 6.0).abs() < 1e-9);
+        drop((b, c));
+        assert_eq!(fleet.in_use_w(), 0.0);
+    }
+
+    #[test]
+    fn clones_share_one_envelope() {
+        let fleet = FleetBudget::new(5.0);
+        let view = fleet.clone();
+        let _lease = fleet.try_reserve(5.0).unwrap();
+        assert!(view.try_reserve(0.1).is_none());
+        assert!((view.in_use_w() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_cap_admits_nothing() {
+        let fleet = FleetBudget::new(0.0);
+        assert!(fleet.try_reserve(0.5).is_none());
+    }
+}

@@ -1,0 +1,115 @@
+//! Per-request accuracy SLAs.
+
+use std::fmt;
+
+/// How accurate a request's answer must be.
+///
+/// `Exact` demands the bitwise digital value; `Tolerance(ε)` accepts any
+/// answer within `ε` sequence units of the true digital value, which is
+/// what lets the router move bulk work onto the analog fabric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Sla {
+    /// The answer must be the bitwise digital value.
+    Exact,
+    /// The answer may deviate from the digital value by at most this many
+    /// sequence units (finite, non-negative).
+    Tolerance(f64),
+}
+
+/// Why a tolerance was rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SlaError {
+    /// The tolerance was NaN or infinite.
+    NonFinite(f64),
+    /// The tolerance was negative.
+    Negative(f64),
+}
+
+impl fmt::Display for SlaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SlaError::NonFinite(v) => write!(f, "tolerance must be finite, got {v}"),
+            SlaError::Negative(v) => write!(f, "tolerance must be non-negative, got {v}"),
+        }
+    }
+}
+
+impl std::error::Error for SlaError {}
+
+impl Sla {
+    /// A validated tolerance SLA.
+    ///
+    /// # Errors
+    ///
+    /// [`SlaError`] for NaN, infinite or negative `epsilon` — the same
+    /// NaN-hygiene contract the pruned-search thresholds enforce.
+    pub fn tolerance(epsilon: f64) -> Result<Sla, SlaError> {
+        if !epsilon.is_finite() {
+            return Err(SlaError::NonFinite(epsilon));
+        }
+        if epsilon < 0.0 {
+            return Err(SlaError::Negative(epsilon));
+        }
+        Ok(Sla::Tolerance(epsilon))
+    }
+
+    /// `true` for [`Sla::Exact`].
+    pub fn is_exact(&self) -> bool {
+        matches!(self, Sla::Exact)
+    }
+
+    /// The permitted deviation: 0 for `Exact`, ε for `Tolerance(ε)`.
+    pub fn epsilon(&self) -> f64 {
+        match self {
+            Sla::Exact => 0.0,
+            Sla::Tolerance(e) => *e,
+        }
+    }
+}
+
+impl Default for Sla {
+    /// Absent SLA ⇒ `exact`: the wire protocol's bitwise-compatible default.
+    fn default() -> Self {
+        Sla::Exact
+    }
+}
+
+impl fmt::Display for Sla {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sla::Exact => f.write_str("exact"),
+            Sla::Tolerance(e) => write!(f, "tolerance({e})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tolerance_rejects_non_finite_and_negative() {
+        assert!(matches!(
+            Sla::tolerance(f64::NAN),
+            Err(SlaError::NonFinite(v)) if v.is_nan()
+        ));
+        assert!(matches!(
+            Sla::tolerance(f64::INFINITY),
+            Err(SlaError::NonFinite(_))
+        ));
+        assert_eq!(Sla::tolerance(-0.5), Err(SlaError::Negative(-0.5)));
+        assert_eq!(Sla::tolerance(0.0), Ok(Sla::Tolerance(0.0)));
+    }
+
+    #[test]
+    fn default_is_exact() {
+        assert!(Sla::default().is_exact());
+        assert_eq!(Sla::default().epsilon(), 0.0);
+    }
+
+    #[test]
+    fn display_matches_wire_names() {
+        assert_eq!(Sla::Exact.to_string(), "exact");
+        assert_eq!(Sla::Tolerance(2.5).to_string(), "tolerance(2.5)");
+    }
+}

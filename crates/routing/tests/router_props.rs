@@ -1,0 +1,146 @@
+//! Property tests for the router's two contracts:
+//!
+//! * **exact is bitwise** — an `exact` SLA always routes to the digital
+//!   path and the routed value is bit-identical to a direct library call,
+//!   whatever the inputs;
+//! * **tolerance is sound** — for DAC-encodable inputs, whatever backend a
+//!   `tolerance(ε)` SLA routes to, the value that comes back is within ε
+//!   of the digital reference, and the declared bound itself fits ε at the
+//!   fabric's output ceiling.
+//!
+//! Inputs are constrained to the analog fabric's input range (|x| ≤ 6.25
+//! units at paper defaults) and short lengths so the tolerance property
+//! exercises real analog answers rather than guaranteed fallbacks.
+
+use proptest::prelude::*;
+
+use mda_distance::{DistanceKind, DpScratch};
+use mda_routing::{evaluate_routed, BackendId, Bound, PairRequest, Router, RouterConfig, Sla};
+
+fn kind() -> impl Strategy<Value = DistanceKind> {
+    (0usize..DistanceKind::ALL.len()).prop_map(|i| DistanceKind::ALL[i])
+}
+
+/// Series inside the DAC's encodable input range (±6.25 units at paper
+/// defaults), so the analog path can actually answer.
+fn encodable_series() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-6.25f64..6.25, 1..24)
+}
+
+/// Any finite series, including magnitudes far beyond what the fabric can
+/// encode — the exact path must not care.
+fn any_series() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e12f64..1e12, 1..24)
+}
+
+fn reference(kind: DistanceKind, p: &[f64], q: &[f64]) -> f64 {
+    let mut scratch = DpScratch::new();
+    evaluate_routed(
+        BackendId::DigitalExact,
+        &PairRequest::new(kind),
+        p,
+        q,
+        &mut scratch,
+    )
+    .expect("equal-length series never shape-error")
+    .value
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exact_sla_routes_digital_and_is_bitwise(
+        kind in kind(),
+        p in any_series(),
+        len_seed in 0usize..1000,
+    ) {
+        // Equal lengths so row-structure kinds accept the pair.
+        let q: Vec<f64> = p.iter().map(|x| x * 0.5 + (len_seed as f64) * 1e-3).collect();
+        let router = Router::new(RouterConfig::default());
+        let route = router.route_pair(kind, p.len(), Sla::Exact);
+        prop_assert_eq!(route.backend, BackendId::DigitalExact);
+        prop_assert_eq!(route.bound, Bound::EXACT);
+        prop_assert!(route.lease.is_none());
+
+        let mut scratch = DpScratch::new();
+        let routed = evaluate_routed(
+            route.backend,
+            &PairRequest::new(kind),
+            &p,
+            &q,
+            &mut scratch,
+        ).expect("equal-length series");
+        prop_assert!(!routed.fell_back);
+        prop_assert_eq!(routed.value.to_bits(), reference(kind, &p, &q).to_bits());
+    }
+
+    #[test]
+    fn tolerance_sla_is_always_honoured_on_encodable_inputs(
+        kind in kind(),
+        p in encodable_series(),
+        q in encodable_series(),
+        epsilon in 0.0f64..64.0,
+    ) {
+        // Row-structure kinds need equal lengths; trim both to the shorter.
+        let n = p.len().min(q.len());
+        let (p, q) = (&p[..n], &q[..n]);
+
+        let router = Router::new(RouterConfig::default());
+        let route = router.route_pair(kind, n, Sla::Tolerance(epsilon));
+
+        // Whatever was picked, its declared bound must fit the SLA at the
+        // fabric's output ceiling (the worst reference an analog answer can
+        // stand for after the saturation guard).
+        let ceiling = router.backends().analog().ceiling();
+        prop_assert!(
+            route.bound.margin(ceiling) <= epsilon,
+            "declared bound {:?} exceeds ε={epsilon} at ceiling",
+            route.bound
+        );
+
+        let mut scratch = DpScratch::new();
+        let routed = evaluate_routed(
+            route.backend,
+            &PairRequest::new(kind),
+            p,
+            q,
+            &mut scratch,
+        ).expect("equal-length series");
+        let reference = reference(kind, p, q);
+        prop_assert!(
+            (routed.value - reference).abs() <= epsilon,
+            "backend {} answered {} vs reference {} outside ε={epsilon} (fell_back={})",
+            route.backend,
+            routed.value,
+            reference,
+            routed.fell_back
+        );
+    }
+
+    #[test]
+    fn fleet_envelope_never_oversubscribes_and_always_drains(
+        requests in prop::collection::vec((0usize..DistanceKind::ALL.len(), 8usize..128), 1..24),
+    ) {
+        let router = Router::new(RouterConfig { fleet_power_w: 10.0 });
+        let mut held = Vec::new();
+        for (k, len) in requests {
+            let route = router.route_pair(
+                DistanceKind::ALL[k],
+                len,
+                Sla::Tolerance(1e9),
+            );
+            prop_assert!(
+                router.fleet().in_use_w() <= router.fleet().cap_w() + 1e-9,
+                "fleet oversubscribed: {} W in use under a {} W cap",
+                router.fleet().in_use_w(),
+                router.fleet().cap_w()
+            );
+            if route.lease.is_some() {
+                held.push(route);
+            }
+        }
+        drop(held);
+        prop_assert_eq!(router.fleet().in_use_w(), 0.0);
+    }
+}

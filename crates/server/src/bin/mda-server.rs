@@ -6,7 +6,7 @@
 //!            [--max-queue-items N] [--batch-max-items N]
 //!            [--default-deadline-ms MS] [--max-connections N]
 //!            [--max-pipeline-depth N] [--write-high-water BYTES]
-//!            [--dataset-max-bytes BYTES]
+//!            [--dataset-max-bytes BYTES] [--fleet-watts W]
 //! ```
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -45,7 +45,7 @@ fn usage() -> ! {
          \x20                 [--max-queue-items N] [--batch-max-items N]\n\
          \x20                 [--default-deadline-ms MS] [--max-connections N]\n\
          \x20                 [--max-pipeline-depth N] [--write-high-water BYTES]\n\
-         \x20                 [--dataset-max-bytes BYTES]"
+         \x20                 [--dataset-max-bytes BYTES] [--fleet-watts W]"
     );
     std::process::exit(2);
 }
@@ -96,6 +96,9 @@ fn parse_args() -> ServerConfig {
             "--dataset-max-bytes" => {
                 config.dataset_max_bytes =
                     parse_num(&value("--dataset-max-bytes"), "--dataset-max-bytes");
+            }
+            "--fleet-watts" => {
+                config.fleet_power_w = parse_num(&value("--fleet-watts"), "--fleet-watts");
             }
             "--help" | "-h" => usage(),
             other => {

@@ -13,12 +13,14 @@ use std::collections::HashMap;
 use std::fmt;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use mda_distance::DistanceKind;
+use mda_routing::Sla;
 
 use crate::protocol::{
     decode_reply, encode_request, read_frame, write_frame, DatasetEntry, DatasetRef,
-    DatasetSummary, Envelope, ErrorCode, ProtocolError, Reply, Request, ResponseBody,
+    DatasetSummary, Envelope, ErrorCode, ProtocolError, Reply, Request, ResponseBody, RouteInfo,
     TrainInstance, DEFAULT_MAX_FRAME_BYTES,
 };
 
@@ -86,7 +88,11 @@ impl ClientError {
     }
 }
 
-/// Per-query options.
+/// Per-query options (legacy positional form).
+///
+/// New code should use the [`QueryOptions`] builder, which adds accuracy
+/// SLAs and resident-dataset references; this struct remains for the
+/// deprecated positional helpers and converts losslessly via [`From`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct QueryOpts {
     /// Match threshold override (LCS/EdD/HamD); `None` = paper default.
@@ -95,6 +101,97 @@ pub struct QueryOpts {
     pub band: Option<usize>,
     /// Queue-wait budget in milliseconds.
     pub deadline_ms: Option<u64>,
+}
+
+/// Builder-style per-query options for the `query_*` methods.
+///
+/// The default options encode to exactly the same wire bytes as the legacy
+/// positional helpers with [`QueryOpts::default`] — a request with no
+/// explicit accuracy is byte-identical to the pre-routing protocol and is
+/// answered by the bitwise digital path.
+///
+/// ```no_run
+/// use std::time::Duration;
+/// use mda_routing::Sla;
+/// use mda_server::client::QueryOptions;
+///
+/// let opts = QueryOptions::new()
+///     .accuracy(Sla::tolerance(16.0).unwrap())
+///     .timeout(Duration::from_millis(250));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct QueryOptions {
+    threshold: Option<f64>,
+    band: Option<usize>,
+    deadline_ms: Option<u64>,
+    accuracy: Option<Sla>,
+    dataset: Option<DatasetRef>,
+}
+
+impl QueryOptions {
+    /// Default options: exact accuracy, no deadline, paper-default
+    /// function parameters, no dataset reference.
+    pub fn new() -> QueryOptions {
+        QueryOptions::default()
+    }
+
+    /// Sets the accuracy SLA. Requests carrying an explicit SLA get the
+    /// answering backend and its guaranteed bound reported on the reply.
+    #[must_use]
+    pub fn accuracy(mut self, sla: Sla) -> QueryOptions {
+        self.accuracy = Some(sla);
+        self
+    }
+
+    /// Sets the queue-wait budget (rounded down to whole milliseconds).
+    #[must_use]
+    pub fn timeout(mut self, timeout: Duration) -> QueryOptions {
+        self.deadline_ms = Some(timeout.as_millis() as u64);
+        self
+    }
+
+    /// References a resident dataset (batch/kNN/search resident forms).
+    #[must_use]
+    pub fn dataset(mut self, dataset: DatasetRef) -> QueryOptions {
+        self.dataset = Some(dataset);
+        self
+    }
+
+    /// Overrides the match threshold (LCS/EdD/HamD).
+    #[must_use]
+    pub fn threshold(mut self, threshold: f64) -> QueryOptions {
+        self.threshold = Some(threshold);
+        self
+    }
+
+    /// Sets a Sakoe–Chiba band radius (DTW).
+    #[must_use]
+    pub fn band(mut self, radius: usize) -> QueryOptions {
+        self.band = Some(radius);
+        self
+    }
+}
+
+impl From<QueryOpts> for QueryOptions {
+    fn from(opts: QueryOpts) -> QueryOptions {
+        QueryOptions {
+            threshold: opts.threshold,
+            band: opts.band,
+            deadline_ms: opts.deadline_ms,
+            accuracy: None,
+            dataset: None,
+        }
+    }
+}
+
+/// A reply value plus the routing report the server attached to it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Routed<T> {
+    /// The answer.
+    pub value: T,
+    /// Which backend answered and the bound it guarantees. `None` when the
+    /// request carried no explicit accuracy SLA.
+    pub route: Option<RouteInfo>,
 }
 
 /// A kNN classification result.
@@ -143,14 +240,22 @@ impl Client {
         })
     }
 
-    /// Issues one request and waits for its reply.
-    fn call(&mut self, req: Request) -> Result<ResponseBody, ClientError> {
+    /// Issues one request and waits for its reply, keeping the routing
+    /// report (when the server attached one).
+    fn call_routed(
+        &mut self,
+        req: Request,
+    ) -> Result<(ResponseBody, Option<RouteInfo>), ClientError> {
         let id = self.next_id;
         self.next_id += 1;
         let env = Envelope { id, req };
         write_frame(&mut self.writer, &encode_request(&env))?;
         let payload = read_frame(&mut self.reader, self.max_frame_bytes)?;
-        let Reply { id: got, body } = decode_reply(&payload)?;
+        let Reply {
+            id: got,
+            body,
+            route,
+        } = decode_reply(&payload)?;
         if got != id {
             return Err(ClientError::UnexpectedReply(format!(
                 "reply id {got} does not match request id {id}"
@@ -159,7 +264,12 @@ impl Client {
         if let ResponseBody::Error { code, message } = body {
             return Err(ClientError::Server { code, message });
         }
-        Ok(body)
+        Ok((body, route))
+    }
+
+    /// Issues one request and waits for its reply.
+    fn call(&mut self, req: Request) -> Result<ResponseBody, ClientError> {
+        self.call_routed(req).map(|(body, _)| body)
     }
 
     /// Liveness probe.
@@ -186,18 +296,165 @@ impl Client {
         }
     }
 
+    /// Evaluates one distance pair.
+    ///
+    /// With an explicit [`QueryOptions::accuracy`], the returned
+    /// [`Routed::route`] reports which backend answered and the error bound
+    /// it guarantees.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures or a server error reply.
+    pub fn query_distance(
+        &mut self,
+        kind: DistanceKind,
+        p: &[f64],
+        q: &[f64],
+        opts: &QueryOptions,
+    ) -> Result<Routed<f64>, ClientError> {
+        let (body, route) = self.call_routed(Request::Distance {
+            kind,
+            p: p.to_vec(),
+            q: q.to_vec(),
+            threshold: opts.threshold,
+            band: opts.band,
+            deadline_ms: opts.deadline_ms,
+            accuracy: opts.accuracy,
+        })?;
+        match body {
+            ResponseBody::Distance { value } => Ok(Routed { value, route }),
+            other => Err(ClientError::UnexpectedReply(format!("{other:?}"))),
+        }
+    }
+
+    /// Evaluates a batch: the inline `pairs`, or — when the options carry a
+    /// [`QueryOptions::dataset`] reference — `probe` against every resident
+    /// series. One value per pair/series, in input/upload order.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures or a server error reply (`not_found` /
+    /// `stale_version` when a dataset reference fails to resolve).
+    pub fn query_batch(
+        &mut self,
+        kind: DistanceKind,
+        pairs: &[(Vec<f64>, Vec<f64>)],
+        probe: Option<&[f64]>,
+        opts: &QueryOptions,
+    ) -> Result<Routed<Vec<f64>>, ClientError> {
+        let (body, route) = self.call_routed(Request::Batch {
+            kind,
+            pairs: pairs.to_vec(),
+            query: probe.map(|s| s.to_vec()),
+            dataset: opts.dataset.clone(),
+            threshold: opts.threshold,
+            band: opts.band,
+            deadline_ms: opts.deadline_ms,
+            accuracy: opts.accuracy,
+        })?;
+        match body {
+            ResponseBody::Batch { values } => Ok(Routed {
+                value: values,
+                route,
+            }),
+            other => Err(ClientError::UnexpectedReply(format!("{other:?}"))),
+        }
+    }
+
+    /// Classifies `query` against `train` — or against a resident dataset's
+    /// labelled series when the options carry a [`QueryOptions::dataset`]
+    /// reference (the inline `train` is ignored by the server then).
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures or a server error reply (`not_found` /
+    /// `stale_version` when a dataset reference fails to resolve).
+    pub fn query_knn(
+        &mut self,
+        kind: DistanceKind,
+        k: usize,
+        query: &[f64],
+        train: &[TrainInstance],
+        opts: &QueryOptions,
+    ) -> Result<Routed<KnnOutcome>, ClientError> {
+        let (body, route) = self.call_routed(Request::Knn {
+            kind,
+            k,
+            query: query.to_vec(),
+            train: train.to_vec(),
+            dataset: opts.dataset.clone(),
+            threshold: opts.threshold,
+            band: opts.band,
+            deadline_ms: opts.deadline_ms,
+            accuracy: opts.accuracy,
+        })?;
+        match body {
+            ResponseBody::Knn {
+                label,
+                score,
+                nearest_index,
+            } => Ok(Routed {
+                value: KnnOutcome {
+                    label,
+                    score,
+                    nearest_index,
+                },
+                route,
+            }),
+            other => Err(ClientError::UnexpectedReply(format!("{other:?}"))),
+        }
+    }
+
+    /// Finds the best-matching window of `query` under banded DTW — in the
+    /// inline `haystack`, or in series `series_index` of a resident dataset
+    /// when the options carry a [`QueryOptions::dataset`] reference.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures or a server error reply (`not_found` /
+    /// `stale_version` when a dataset reference fails to resolve).
+    pub fn query_search(
+        &mut self,
+        query: &[f64],
+        haystack: &[f64],
+        series_index: usize,
+        window: usize,
+        band: usize,
+        opts: &QueryOptions,
+    ) -> Result<Routed<SearchOutcome>, ClientError> {
+        let (body, route) = self.call_routed(Request::Search {
+            query: query.to_vec(),
+            haystack: haystack.to_vec(),
+            dataset: opts.dataset.clone(),
+            series_index,
+            window,
+            band,
+            deadline_ms: opts.deadline_ms,
+            accuracy: opts.accuracy,
+        })?;
+        match body {
+            ResponseBody::Search { offset, distance } => Ok(Routed {
+                value: SearchOutcome { offset, distance },
+                route,
+            }),
+            other => Err(ClientError::UnexpectedReply(format!("{other:?}"))),
+        }
+    }
+
     /// Evaluates one distance with default options.
     ///
     /// # Errors
     ///
     /// Transport/protocol failures or a server error reply.
+    #[deprecated(since = "0.1.0", note = "use `query_distance` with `QueryOptions`")]
     pub fn distance(
         &mut self,
         kind: DistanceKind,
         p: &[f64],
         q: &[f64],
     ) -> Result<f64, ClientError> {
-        self.distance_with(kind, p, q, QueryOpts::default())
+        self.query_distance(kind, p, q, &QueryOptions::new())
+            .map(|r| r.value)
     }
 
     /// Evaluates one distance.
@@ -205,6 +462,7 @@ impl Client {
     /// # Errors
     ///
     /// Transport/protocol failures or a server error reply.
+    #[deprecated(since = "0.1.0", note = "use `query_distance` with `QueryOptions`")]
     pub fn distance_with(
         &mut self,
         kind: DistanceKind,
@@ -212,18 +470,8 @@ impl Client {
         q: &[f64],
         opts: QueryOpts,
     ) -> Result<f64, ClientError> {
-        let body = self.call(Request::Distance {
-            kind,
-            p: p.to_vec(),
-            q: q.to_vec(),
-            threshold: opts.threshold,
-            band: opts.band,
-            deadline_ms: opts.deadline_ms,
-        })?;
-        match body {
-            ResponseBody::Distance { value } => Ok(value),
-            other => Err(ClientError::UnexpectedReply(format!("{other:?}"))),
-        }
+        self.query_distance(kind, p, q, &opts.into())
+            .map(|r| r.value)
     }
 
     /// Evaluates a pairwise batch; one value per pair, in input order.
@@ -231,25 +479,15 @@ impl Client {
     /// # Errors
     ///
     /// Transport/protocol failures or a server error reply.
+    #[deprecated(since = "0.1.0", note = "use `query_batch` with `QueryOptions`")]
     pub fn batch(
         &mut self,
         kind: DistanceKind,
         pairs: &[(Vec<f64>, Vec<f64>)],
         opts: QueryOpts,
     ) -> Result<Vec<f64>, ClientError> {
-        let body = self.call(Request::Batch {
-            kind,
-            pairs: pairs.to_vec(),
-            query: None,
-            dataset: None,
-            threshold: opts.threshold,
-            band: opts.band,
-            deadline_ms: opts.deadline_ms,
-        })?;
-        match body {
-            ResponseBody::Batch { values } => Ok(values),
-            other => Err(ClientError::UnexpectedReply(format!("{other:?}"))),
-        }
+        self.query_batch(kind, pairs, None, &opts.into())
+            .map(|r| r.value)
     }
 
     /// Evaluates `query` against every series of a resident dataset; one
@@ -259,6 +497,10 @@ impl Client {
     ///
     /// Transport/protocol failures or a server error reply (`not_found` /
     /// `stale_version` when the reference fails to resolve).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `query_batch` with `QueryOptions::dataset`"
+    )]
     pub fn batch_resident(
         &mut self,
         kind: DistanceKind,
@@ -266,19 +508,9 @@ impl Client {
         dataset: DatasetRef,
         opts: QueryOpts,
     ) -> Result<Vec<f64>, ClientError> {
-        let body = self.call(Request::Batch {
-            kind,
-            pairs: Vec::new(),
-            query: Some(query.to_vec()),
-            dataset: Some(dataset),
-            threshold: opts.threshold,
-            band: opts.band,
-            deadline_ms: opts.deadline_ms,
-        })?;
-        match body {
-            ResponseBody::Batch { values } => Ok(values),
-            other => Err(ClientError::UnexpectedReply(format!("{other:?}"))),
-        }
+        let opts = QueryOptions::from(opts).dataset(dataset);
+        self.query_batch(kind, &[], Some(query), &opts)
+            .map(|r| r.value)
     }
 
     /// Classifies `query` against a labelled training set.
@@ -286,6 +518,7 @@ impl Client {
     /// # Errors
     ///
     /// Transport/protocol failures or a server error reply.
+    #[deprecated(since = "0.1.0", note = "use `query_knn` with `QueryOptions`")]
     pub fn knn(
         &mut self,
         kind: DistanceKind,
@@ -294,28 +527,8 @@ impl Client {
         train: &[TrainInstance],
         opts: QueryOpts,
     ) -> Result<KnnOutcome, ClientError> {
-        let body = self.call(Request::Knn {
-            kind,
-            k,
-            query: query.to_vec(),
-            train: train.to_vec(),
-            dataset: None,
-            threshold: opts.threshold,
-            band: opts.band,
-            deadline_ms: opts.deadline_ms,
-        })?;
-        match body {
-            ResponseBody::Knn {
-                label,
-                score,
-                nearest_index,
-            } => Ok(KnnOutcome {
-                label,
-                score,
-                nearest_index,
-            }),
-            other => Err(ClientError::UnexpectedReply(format!("{other:?}"))),
-        }
+        self.query_knn(kind, k, query, train, &opts.into())
+            .map(|r| r.value)
     }
 
     /// Classifies `query` against a resident dataset's labelled series.
@@ -324,6 +537,7 @@ impl Client {
     ///
     /// Transport/protocol failures or a server error reply (`not_found` /
     /// `stale_version` when the reference fails to resolve).
+    #[deprecated(since = "0.1.0", note = "use `query_knn` with `QueryOptions::dataset`")]
     pub fn knn_resident(
         &mut self,
         kind: DistanceKind,
@@ -332,28 +546,8 @@ impl Client {
         dataset: DatasetRef,
         opts: QueryOpts,
     ) -> Result<KnnOutcome, ClientError> {
-        let body = self.call(Request::Knn {
-            kind,
-            k,
-            query: query.to_vec(),
-            train: Vec::new(),
-            dataset: Some(dataset),
-            threshold: opts.threshold,
-            band: opts.band,
-            deadline_ms: opts.deadline_ms,
-        })?;
-        match body {
-            ResponseBody::Knn {
-                label,
-                score,
-                nearest_index,
-            } => Ok(KnnOutcome {
-                label,
-                score,
-                nearest_index,
-            }),
-            other => Err(ClientError::UnexpectedReply(format!("{other:?}"))),
-        }
+        let opts = QueryOptions::from(opts).dataset(dataset);
+        self.query_knn(kind, k, query, &[], &opts).map(|r| r.value)
     }
 
     /// Finds the best-matching window of `query` in `haystack` under
@@ -362,6 +556,7 @@ impl Client {
     /// # Errors
     ///
     /// Transport/protocol failures or a server error reply.
+    #[deprecated(since = "0.1.0", note = "use `query_search` with `QueryOptions`")]
     pub fn search(
         &mut self,
         query: &[f64],
@@ -370,19 +565,8 @@ impl Client {
         band: usize,
         opts: QueryOpts,
     ) -> Result<SearchOutcome, ClientError> {
-        let body = self.call(Request::Search {
-            query: query.to_vec(),
-            haystack: haystack.to_vec(),
-            dataset: None,
-            series_index: 0,
-            window,
-            band,
-            deadline_ms: opts.deadline_ms,
-        })?;
-        match body {
-            ResponseBody::Search { offset, distance } => Ok(SearchOutcome { offset, distance }),
-            other => Err(ClientError::UnexpectedReply(format!("{other:?}"))),
-        }
+        self.query_search(query, haystack, 0, window, band, &opts.into())
+            .map(|r| r.value)
     }
 
     /// Finds the best-matching window of `query` in series `series_index`
@@ -392,6 +576,10 @@ impl Client {
     ///
     /// Transport/protocol failures or a server error reply (`not_found` /
     /// `stale_version` when the reference fails to resolve).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `query_search` with `QueryOptions::dataset`"
+    )]
     pub fn search_resident(
         &mut self,
         query: &[f64],
@@ -401,19 +589,9 @@ impl Client {
         band: usize,
         opts: QueryOpts,
     ) -> Result<SearchOutcome, ClientError> {
-        let body = self.call(Request::Search {
-            query: query.to_vec(),
-            haystack: Vec::new(),
-            dataset: Some(dataset),
-            series_index,
-            window,
-            band,
-            deadline_ms: opts.deadline_ms,
-        })?;
-        match body {
-            ResponseBody::Search { offset, distance } => Ok(SearchOutcome { offset, distance }),
-            other => Err(ClientError::UnexpectedReply(format!("{other:?}"))),
-        }
+        let opts = QueryOptions::from(opts).dataset(dataset);
+        self.query_search(query, &[], series_index, window, band, &opts)
+            .map(|r| r.value)
     }
 
     /// Uploads (or idempotently re-uploads) a resident dataset. Returns
@@ -479,6 +657,20 @@ impl Client {
     ///
     /// Transport/protocol failures, or an unmatched/duplicate reply id.
     pub fn send_many(&mut self, reqs: Vec<Request>) -> Result<Vec<ResponseBody>, ClientError> {
+        Ok(self
+            .send_many_full(reqs)?
+            .into_iter()
+            .map(|reply| reply.body)
+            .collect())
+    }
+
+    /// Like [`Client::send_many`], but returns the full replies — including
+    /// the per-request routing report for accuracy-tagged requests.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures, or an unmatched/duplicate reply id.
+    pub fn send_many_full(&mut self, reqs: Vec<Request>) -> Result<Vec<Reply>, ClientError> {
         let ids: Vec<u64> = reqs
             .iter()
             .map(|_| {
@@ -500,11 +692,12 @@ impl Client {
             self.writer.write_all(&payload)?;
         }
         self.writer.flush()?;
-        let mut by_id: HashMap<u64, ResponseBody> = HashMap::with_capacity(ids.len());
+        let mut by_id: HashMap<u64, Reply> = HashMap::with_capacity(ids.len());
         for _ in 0..ids.len() {
             let payload = read_frame(&mut self.reader, self.max_frame_bytes)?;
-            let Reply { id, body } = decode_reply(&payload)?;
-            if !ids.contains(&id) || by_id.insert(id, body).is_some() {
+            let reply = decode_reply(&payload)?;
+            let id = reply.id;
+            if !ids.contains(&id) || by_id.insert(id, reply).is_some() {
                 return Err(ClientError::UnexpectedReply(format!(
                     "reply id {id} does not match a pending pipelined request"
                 )));

@@ -46,6 +46,10 @@ pub struct ServerConfig {
     pub write_high_water: usize,
     /// Byte budget for resident dataset samples across all datasets.
     pub dataset_max_bytes: u64,
+    /// Analog fleet power envelope, watts: tolerance-tagged work is routed
+    /// onto the analog fabric only while its modeled draw fits under this
+    /// cap. `0.0` disables analog routing entirely (everything digital).
+    pub fleet_power_w: f64,
 }
 
 impl Default for ServerConfig {
@@ -62,6 +66,7 @@ impl Default for ServerConfig {
             max_pipeline_depth: 128,
             write_high_water: 1 << 20,
             dataset_max_bytes: 1 << 30,
+            fleet_power_w: 50.0,
         }
     }
 }
@@ -105,6 +110,11 @@ impl ServerConfig {
                 "`write_high_water` must be at least 4096 bytes".into(),
             ));
         }
+        if !self.fleet_power_w.is_finite() || self.fleet_power_w < 0.0 {
+            return Err(ConfigError(
+                "`fleet_power_w` must be finite and non-negative".into(),
+            ));
+        }
         Ok(())
     }
 }
@@ -121,7 +131,7 @@ mod tests {
     #[test]
     fn zero_values_are_rejected_with_field_names() {
         type Mutator = fn(&mut ServerConfig);
-        let cases: [(Mutator, &str); 8] = [
+        let cases: [(Mutator, &str); 10] = [
             (|c| c.workers = Some(0), "workers"),
             (|c| c.chunk_size = Some(0), "chunk_size"),
             (|c| c.max_queue_items = 0, "max_queue_items"),
@@ -130,6 +140,8 @@ mod tests {
             (|c| c.max_connections = 0, "max_connections"),
             (|c| c.max_pipeline_depth = 0, "max_pipeline_depth"),
             (|c| c.write_high_water = 16, "write_high_water"),
+            (|c| c.fleet_power_w = -1.0, "fleet_power_w"),
+            (|c| c.fleet_power_w = f64::NAN, "fleet_power_w"),
         ];
         for (mutate, field) in cases {
             let mut cfg = ServerConfig::default();

@@ -40,12 +40,15 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use mda_routing::{BackendId, Bound, Route, Router};
+
 use crate::config::ServerConfig;
 use crate::datasets::DatasetStore;
-use crate::exec::decompose;
+use crate::exec::{decompose, Assemble, WorkItem};
 use crate::metrics::Metrics;
 use crate::protocol::{
-    decode_request, encode_reply, write_frame, Envelope, ErrorCode, Reply, Request, ResponseBody,
+    decode_request, encode_reply, write_frame, Envelope, ErrorCode, ProtocolError, Reply, Request,
+    ResponseBody, RouteInfo,
 };
 use crate::queue::{Coalescer, Job, ReplySink};
 
@@ -362,6 +365,7 @@ pub(crate) struct EventLoop {
     pub(crate) wake: Arc<WakeFd>,
     pub(crate) shutdown: Arc<AtomicBool>,
     pub(crate) finish: Arc<AtomicBool>,
+    pub(crate) router: Arc<Router>,
 }
 
 /// Builds the wake/completion pair shared between loop and dispatcher.
@@ -621,16 +625,16 @@ impl EventLoop {
                 // The payload was never read, so the stream is beyond
                 // resync: report and close (same contract as read_frame).
                 self.metrics.replies_error.inc();
-                let reply = Reply {
-                    id: 0,
-                    body: ResponseBody::Error {
+                let reply = Reply::new(
+                    0,
+                    ResponseBody::Error {
                         code: ErrorCode::BadRequest,
                         message: format!(
                             "frame of {len} bytes exceeds the {}-byte cap",
                             self.config.max_frame_bytes
                         ),
                     },
-                };
+                );
                 conn.push_reply(&reply);
                 conn.read_closed = true;
                 conn.kill_after_flush = true;
@@ -657,15 +661,20 @@ impl EventLoop {
             Ok(env) => env,
             Err(err) => {
                 // In-band schema error; the framing is intact, so the
-                // connection survives.
+                // connection survives. Domain violations (a malformed
+                // accuracy tolerance) get their own typed code.
+                let code = match &err {
+                    ProtocolError::InvalidParameter(_) => ErrorCode::InvalidParameter,
+                    _ => ErrorCode::BadRequest,
+                };
                 self.metrics.replies_error.inc();
-                conn.push_reply(&Reply {
-                    id: 0,
-                    body: ResponseBody::Error {
-                        code: ErrorCode::BadRequest,
+                conn.push_reply(&Reply::new(
+                    0,
+                    ResponseBody::Error {
+                        code,
                         message: err.to_string(),
                     },
-                });
+                ));
                 return;
             }
         };
@@ -673,17 +682,14 @@ impl EventLoop {
         match req {
             Request::Ping => {
                 self.metrics.replies_ok.inc();
-                conn.push_reply(&Reply {
-                    id,
-                    body: ResponseBody::Pong,
-                });
+                conn.push_reply(&Reply::new(id, ResponseBody::Pong));
             }
             Request::Metrics => {
                 self.metrics.replies_ok.inc();
-                conn.push_reply(&Reply {
+                conn.push_reply(&Reply::new(
                     id,
-                    body: ResponseBody::MetricsText(self.metrics.render_text()),
-                });
+                    ResponseBody::MetricsText(self.metrics.render_text()),
+                ));
             }
             Request::UploadDataset { name, entries } => {
                 let labels: Vec<usize> = entries.iter().map(|e| e.label).collect();
@@ -708,16 +714,16 @@ impl EventLoop {
                     }
                 };
                 self.sync_dataset_gauges();
-                conn.push_reply(&Reply { id, body });
+                conn.push_reply(&Reply::new(id, body));
             }
             Request::ListDatasets => {
                 self.metrics.replies_ok.inc();
-                conn.push_reply(&Reply {
+                conn.push_reply(&Reply::new(
                     id,
-                    body: ResponseBody::Datasets {
+                    ResponseBody::Datasets {
                         items: self.store.list(),
                     },
-                });
+                ));
             }
             Request::DropDataset { dataset } => {
                 let body = match self.store.drop_ref(&dataset) {
@@ -735,7 +741,7 @@ impl EventLoop {
                     }
                 };
                 self.sync_dataset_gauges();
-                conn.push_reply(&Reply { id, body });
+                conn.push_reply(&Reply::new(id, body));
             }
             req => {
                 let used_dataset = matches!(
@@ -755,7 +761,8 @@ impl EventLoop {
                     .deadline()
                     .or(self.config.default_deadline)
                     .map(|d| Instant::now() + d);
-                let decomposed = match decompose(req, &self.store) {
+                let accuracy = req.accuracy();
+                let mut decomposed = match decompose(req, &self.store) {
                     Ok(Some(d)) => d,
                     Ok(None) => unreachable!("control ops handled above"),
                     Err(e) => {
@@ -764,19 +771,25 @@ impl EventLoop {
                             self.metrics.dataset_misses.inc();
                         }
                         self.metrics.replies_error.inc();
-                        conn.push_reply(&Reply {
+                        conn.push_reply(&Reply::new(
                             id,
-                            body: ResponseBody::Error {
+                            ResponseBody::Error {
                                 code: e.code,
                                 message: e.message,
                             },
-                        });
+                        ));
                         return;
                     }
                 };
                 if used_dataset {
                     self.metrics.dataset_hits.inc();
                 }
+                let route = self.route(&decomposed, accuracy);
+                decomposed.route_to(route.backend);
+                self.metrics.count_backend(route.backend);
+                self.metrics
+                    .fleet_in_use_uw
+                    .set((self.router.fleet().in_use_w() * 1e6).round() as u64);
                 conn.in_flight += 1;
                 self.metrics.record_pipeline_submit(conn.in_flight);
                 let job = Job {
@@ -789,19 +802,53 @@ impl EventLoop {
                     },
                     deadline,
                     enqueued: Instant::now(),
+                    // Routing is reported only when the client opted into
+                    // the accuracy surface; default replies stay
+                    // byte-identical to the pre-routing protocol.
+                    route: accuracy.map(|_| RouteInfo {
+                        backend: route.backend,
+                        bound: route.bound,
+                    }),
+                    lease: route.lease,
                 };
                 if let Err(refusal) = self.queue.submit(job) {
                     conn.in_flight -= 1;
                     self.metrics.replies_error.inc();
-                    conn.push_reply(&Reply {
+                    conn.push_reply(&Reply::new(
                         id,
-                        body: ResponseBody::Error {
+                        ResponseBody::Error {
                             code: refusal.code(),
                             message: refusal.message(),
                         },
-                    });
+                    ));
                 }
             }
+        }
+    }
+
+    /// Picks a backend for one decomposed request: searches pin the pruned
+    /// digital path, pair work goes through the SLA/power-aware router, and
+    /// a degenerate job with no pair items trivially routes digital-exact.
+    fn route(
+        &self,
+        decomposed: &crate::exec::Decomposed,
+        accuracy: Option<mda_routing::Sla>,
+    ) -> Route {
+        let sla = accuracy.unwrap_or_default();
+        if matches!(decomposed.assemble, Assemble::Search) {
+            return self.router.route_search(sla);
+        }
+        let kind = decomposed.items.iter().find_map(|item| match item {
+            WorkItem::Pair { spec, .. } => Some(spec.kind),
+            WorkItem::Search { .. } => None,
+        });
+        match kind {
+            Some(kind) => self.router.route_pair(kind, decomposed.max_pair_len(), sla),
+            None => Route {
+                backend: BackendId::DigitalExact,
+                bound: Bound::EXACT,
+                lease: None,
+            },
         }
     }
 
@@ -837,13 +884,7 @@ mod tests {
         let (wake, completions) = wake_pair().unwrap();
         let poller = Poller::new().unwrap();
         poller.add(wake.fd, TOKEN_WAKE, EPOLLIN).unwrap();
-        completions.push(
-            42,
-            Reply {
-                id: 7,
-                body: ResponseBody::Pong,
-            },
-        );
+        completions.push(42, Reply::new(7, ResponseBody::Pong));
         let mut events = [EpollEvent { events: 0, data: 0 }; 4];
         assert_eq!(poller.wait(&mut events, 1000).unwrap(), 1);
         let drained = completions.drain();

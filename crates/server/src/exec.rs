@@ -22,12 +22,9 @@
 
 use std::sync::Arc;
 
-use mda_distance::dtw::Band;
 use mda_distance::mining::SubsequenceSearch;
-use mda_distance::{
-    BatchEngine, Distance, DistanceError, DistanceKind, DpScratch, Dtw, EditDistance, Hamming,
-    Hausdorff, Lcs, Manhattan,
-};
+use mda_distance::{BatchEngine, DistanceError, DistanceKind, DpScratch};
+use mda_routing::{evaluate_routed, BackendId, PairRequest};
 
 use crate::datasets::{DatasetStore, ResolveError};
 use crate::protocol::{ErrorCode, Request, TrainInstance};
@@ -41,6 +38,10 @@ pub struct PairSpec {
     pub threshold: Option<f64>,
     /// Sakoe–Chiba radius (DTW); `None` = full matrix.
     pub band: Option<usize>,
+    /// The answer path this item was routed to. [`BackendId::DigitalExact`]
+    /// out of [`decompose`]; the event loop overrides it with the router's
+    /// per-request decision before admission.
+    pub backend: BackendId,
 }
 
 /// One unit of engine work.
@@ -111,6 +112,31 @@ pub struct Decomposed {
     pub assemble: Assemble,
 }
 
+impl Decomposed {
+    /// The routing problem size: the longest series among the pair items
+    /// (0 for search-only jobs, which route separately).
+    pub fn max_pair_len(&self) -> usize {
+        self.items
+            .iter()
+            .map(|item| match item {
+                WorkItem::Pair { p, q, .. } => p.len().max(q.len()),
+                WorkItem::Search { .. } => 0,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Points every pair item at `backend` — applying the router's
+    /// per-request decision before the job is admitted.
+    pub fn route_to(&mut self, backend: BackendId) {
+        for item in &mut self.items {
+            if let WorkItem::Pair { spec, .. } = item {
+                spec.backend = backend;
+            }
+        }
+    }
+}
+
 /// Flattens a compute request into work items, resolving any resident
 /// dataset references against `store`. Returns `Ok(None)` for non-compute
 /// ops (ping/metrics/dataset management), which never enter the queue, and
@@ -141,6 +167,7 @@ pub fn decompose(req: Request, store: &DatasetStore) -> Result<Option<Decomposed
                     kind,
                     threshold,
                     band,
+                    backend: BackendId::DigitalExact,
                 },
                 p: p.into(),
                 q: q.into(),
@@ -160,6 +187,7 @@ pub fn decompose(req: Request, store: &DatasetStore) -> Result<Option<Decomposed
                 kind,
                 threshold,
                 band,
+                backend: BackendId::DigitalExact,
             };
             let items = if let Some(dref) = dataset {
                 // Resident form: the query series vs every dataset series.
@@ -208,6 +236,7 @@ pub fn decompose(req: Request, store: &DatasetStore) -> Result<Option<Decomposed
                 kind,
                 threshold,
                 band,
+                backend: BackendId::DigitalExact,
             };
             let query: Arc<[f64]> = query.into();
             let (labels, items): (Vec<usize>, Vec<WorkItem>) = if let Some(dref) = dataset {
@@ -284,39 +313,30 @@ pub fn decompose(req: Request, store: &DatasetStore) -> Result<Option<Decomposed
     }
 }
 
-/// Evaluates one pair with the exact `Distance` instances the digital
-/// reference library constructs, reusing the worker's scratch rows.
-fn evaluate_pair(
-    spec: &PairSpec,
-    p: &[f64],
-    q: &[f64],
-    scratch: &mut DpScratch,
-) -> Result<f64, DistanceError> {
-    let threshold = spec.threshold.unwrap_or(0.1);
-    match spec.kind {
-        DistanceKind::Dtw => {
-            let mut dtw = Dtw::new();
-            if let Some(r) = spec.band {
-                dtw = dtw.with_band(Band::SakoeChiba(r));
-            }
-            dtw.evaluate_with(p, q, scratch)
-        }
-        DistanceKind::Lcs => Lcs::new(threshold).evaluate_with(p, q, scratch),
-        DistanceKind::Edit => EditDistance::new(threshold).evaluate_with(p, q, scratch),
-        DistanceKind::Hausdorff => Hausdorff::new().evaluate_with(p, q, scratch),
-        DistanceKind::Hamming => Hamming::new(threshold).evaluate_with(p, q, scratch),
-        DistanceKind::Manhattan => Manhattan::new().evaluate_with(p, q, scratch),
-    }
-}
-
-/// Executes one work item. Errors are per-item values — a failing item
-/// never aborts the coalesced batch it shares with other requests.
-pub fn execute_item(
+/// Executes one work item through its routed backend, reporting whether
+/// the analog path silently fell back to a digital recompute. Errors are
+/// per-item values — a failing item never aborts the coalesced batch it
+/// shares with other requests.
+///
+/// Pair items dispatch through [`evaluate_routed`]: on the default
+/// [`BackendId::DigitalExact`] route that is the exact `Distance`
+/// constructors the digital reference library uses — bitwise identical to
+/// a direct call — while analog routes carry the saturation/encoding
+/// fallback guard.
+pub fn execute_item_routed(
     item: &WorkItem,
     scratch: &mut DpScratch,
-) -> Result<ItemOutcome, DistanceError> {
+) -> Result<(ItemOutcome, bool), DistanceError> {
     match item {
-        WorkItem::Pair { spec, p, q } => evaluate_pair(spec, p, q, scratch).map(ItemOutcome::Value),
+        WorkItem::Pair { spec, p, q } => {
+            let req = PairRequest {
+                kind: spec.kind,
+                threshold: spec.threshold,
+                band: spec.band,
+            };
+            let routed = evaluate_routed(spec.backend, &req, p, q, scratch)?;
+            Ok((ItemOutcome::Value(routed.value), routed.fell_back))
+        }
         WorkItem::Search {
             query,
             haystack,
@@ -326,18 +346,31 @@ pub fn execute_item(
             // Serial engine: the item already runs on an engine worker.
             let search = SubsequenceSearch::new(*window, *band).with_engine(BatchEngine::serial());
             let (m, _stats) = search.run(query, haystack)?;
-            Ok(ItemOutcome::Match {
-                offset: m.offset,
-                distance: m.distance,
-            })
+            Ok((
+                ItemOutcome::Match {
+                    offset: m.offset,
+                    distance: m.distance,
+                },
+                false,
+            ))
         }
     }
+}
+
+/// [`execute_item_routed`] without the fallback flag.
+pub fn execute_item(
+    item: &WorkItem,
+    scratch: &mut DpScratch,
+) -> Result<ItemOutcome, DistanceError> {
+    execute_item_routed(item, scratch).map(|(outcome, _)| outcome)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::protocol::Request;
+    use mda_distance::dtw::Band;
+    use mda_distance::{Distance, Dtw};
 
     fn series(len: usize, phase: f64) -> Vec<f64> {
         (0..len).map(|i| (i as f64 * 0.4 + phase).sin()).collect()
@@ -354,6 +387,7 @@ mod tests {
                     kind,
                     threshold: None,
                     band: None,
+                    backend: BackendId::DigitalExact,
                 },
                 p: p.clone().into(),
                 q: q.clone().into(),
@@ -376,6 +410,7 @@ mod tests {
                 kind: DistanceKind::Dtw,
                 threshold: None,
                 band: Some(2),
+                backend: BackendId::DigitalExact,
             },
             p: p.clone().into(),
             q: q.clone().into(),
@@ -411,6 +446,7 @@ mod tests {
             threshold: None,
             band: None,
             deadline_ms: None,
+            accuracy: None,
         };
         let d = decompose(req, &store).unwrap().unwrap();
         assert_eq!(d.items.len(), 2);
@@ -437,6 +473,7 @@ mod tests {
                 kind: DistanceKind::Manhattan,
                 threshold: None,
                 band: None,
+                backend: BackendId::DigitalExact,
             },
             p: vec![0.0].into(),
             q: vec![0.0, 1.0].into(),
@@ -467,6 +504,7 @@ mod tests {
                 threshold: None,
                 band: None,
                 deadline_ms: None,
+                accuracy: None,
             },
             &store,
         )
@@ -489,6 +527,7 @@ mod tests {
                 threshold: None,
                 band: None,
                 deadline_ms: None,
+                accuracy: None,
             },
             &store,
         )
@@ -527,6 +566,7 @@ mod tests {
                 window: 1,
                 band: 0,
                 deadline_ms: None,
+                accuracy: None,
             },
             &store,
         )
@@ -542,6 +582,7 @@ mod tests {
                 window: 1,
                 band: 0,
                 deadline_ms: None,
+                accuracy: None,
             },
             &store,
         )
@@ -558,6 +599,7 @@ mod tests {
                 threshold: None,
                 band: None,
                 deadline_ms: None,
+                accuracy: None,
             },
             &store,
         )

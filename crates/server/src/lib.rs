@@ -58,13 +58,15 @@
 //! ## Quick example
 //!
 //! ```
-//! use mda_server::{Client, Server, ServerConfig};
+//! use mda_server::{Client, QueryOptions, Server, ServerConfig};
 //! use mda_distance::DistanceKind;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let server = Server::start(ServerConfig::default())?; // 127.0.0.1, OS port
 //! let mut client = Client::connect(server.local_addr())?;
-//! let d = client.distance(DistanceKind::Manhattan, &[0.0, 1.0], &[0.0, 3.0])?;
+//! let d = client
+//!     .query_distance(DistanceKind::Manhattan, &[0.0, 1.0], &[0.0, 3.0], &QueryOptions::new())?
+//!     .value;
 //! assert_eq!(d, 2.0);
 //! server.shutdown_and_join(); // drains in-flight work first
 //! # Ok(())
@@ -84,12 +86,16 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 
-pub use client::{Client, ClientError, KnnOutcome, QueryOpts, SearchOutcome};
+pub use client::{Client, ClientError, KnnOutcome, QueryOptions, QueryOpts, Routed, SearchOutcome};
 pub use config::{ConfigError, ServerConfig};
 pub use datasets::{DatasetStore, ResolveError};
 pub use metrics::Metrics;
 pub use protocol::{
     DatasetEntry, DatasetRef, DatasetSummary, ErrorCode, ProtocolError, Request, ResponseBody,
-    TrainInstance,
+    RouteInfo, TrainInstance,
 };
 pub use server::{Server, ServerError};
+
+// Routing vocabulary used by the request surface, re-exported so clients
+// need only this crate to express accuracy SLAs and read routing reports.
+pub use mda_routing::{BackendId, Bound, Sla, SlaError};

@@ -8,6 +8,8 @@
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
+use mda_routing::BackendId;
+
 /// Histogram bucket upper bounds, in microseconds (the last bucket is
 /// implicit +inf). Roughly logarithmic from 50 µs to 5 s.
 pub const BUCKET_BOUNDS_US: [u64; 16] = [
@@ -192,6 +194,15 @@ pub struct Metrics {
     pub analog_computations: Counter,
     /// Accumulated analog busy time, ns.
     pub analog_busy_ns: Counter,
+    /// Routed compute requests, by chosen backend (indexed by
+    /// [`BackendId`] discriminant, labels from [`BackendId::ALL`]).
+    pub backend_selected: [Counter; 4],
+    /// Work items whose analog answer saturated (or failed to encode) and
+    /// silently fell back to a digital recompute.
+    pub route_fallbacks: Counter,
+    /// Analog fleet power currently reserved, microwatts (sampled at
+    /// routing time, so it can lag lease releases by one submission).
+    pub fleet_in_use_uw: Gauge,
 }
 
 impl Metrics {
@@ -218,6 +229,11 @@ impl Metrics {
         if let Some(i) = Self::OPS.iter().position(|&o| o == op) {
             self.requests[i].inc();
         }
+    }
+
+    /// Counts one routed compute request for `backend`.
+    pub fn count_backend(&self, backend: BackendId) {
+        self.backend_selected[backend as usize].inc();
     }
 
     /// Records a dispatched coalesced batch.
@@ -346,6 +362,20 @@ impl Metrics {
             }
             out.push_str(&format!("mda_{name}_us_max {}\n", h.max_us()));
         }
+        for (i, backend) in BackendId::ALL.into_iter().enumerate() {
+            out.push_str(&format!(
+                "mda_backend_selected_total{{backend=\"{backend}\"}} {}\n",
+                self.backend_selected[i].get()
+            ));
+        }
+        out.push_str(&format!(
+            "mda_route_fallbacks_total {}\n",
+            self.route_fallbacks.get()
+        ));
+        out.push_str(&format!(
+            "mda_fleet_in_use_watts {:.6}\n",
+            self.fleet_in_use_uw.get() as f64 / 1e6
+        ));
         out.push_str(&format!(
             "mda_analog_computations_total {}\n",
             self.analog_computations.get()
@@ -406,6 +436,9 @@ mod tests {
         m.open_connections.set(3);
         m.datasets_resident.set(2);
         m.dataset_resident_bytes.set(4096);
+        m.count_backend(BackendId::Analog);
+        m.route_fallbacks.inc();
+        m.fleet_in_use_uw.set(580_000);
         let text = m.render_text();
         for needle in [
             "mda_requests_total{op=\"distance\"} 1",
@@ -421,6 +454,10 @@ mod tests {
             "mda_datasets_resident 2",
             "mda_dataset_resident_bytes 4096",
             "mda_conn_wait_us_count 0",
+            "mda_backend_selected_total{backend=\"analog\"} 1",
+            "mda_backend_selected_total{backend=\"digital_exact\"} 0",
+            "mda_route_fallbacks_total 1",
+            "mda_fleet_in_use_watts 0.580000",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }

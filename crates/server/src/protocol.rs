@@ -22,7 +22,29 @@
 //! Optional request fields: `threshold` (LCS/EdD/HamD match threshold),
 //! `band` (Sakoe–Chiba radius for DTW), `deadline_ms` (queue-wait budget;
 //! requests still queued when it expires are answered with a `timeout`
-//! error instead of being computed).
+//! error instead of being computed), and `accuracy` (the answer-path SLA).
+//!
+//! ## Accuracy SLAs
+//!
+//! The compute ops (`distance`, `batch`, `knn`, `search`) accept an
+//! optional `accuracy` field — either the string `"exact"` or an object
+//! `{"tolerance": ε}` with finite non-negative ε:
+//!
+//! ```json
+//! {"id": 13, "op": "distance", "kind": "DTW", "p": [0,1], "q": [0,2],
+//!  "accuracy": {"tolerance": 16.0}}
+//! ```
+//!
+//! An absent field means `exact` and leaves both request and reply bytes
+//! identical to the pre-routing protocol. A malformed tolerance (NaN,
+//! infinite, negative) is rejected at decode with the typed
+//! `invalid_parameter` error. When a request *does* carry `accuracy`, its
+//! reply reports which backend answered and the error bound it guarantees:
+//!
+//! ```json
+//! {"id": 13, "ok": true, "result": {"value": 1.02},
+//!  "backend": "analog", "bound": {"abs": 7.0, "rel": 0.3}}
+//! ```
 //!
 //! ## Resident datasets
 //!
@@ -56,15 +78,18 @@
 //!
 //! Error codes: `overloaded` (admission control shed the request),
 //! `timeout` (deadline expired in the queue), `bad_request` (malformed or
-//! rejected by the distance definition), `not_found` (unknown dataset id
-//! or name), `stale_version` (pinned dataset version superseded),
-//! `shutting_down` (server is draining), `internal`.
+//! rejected by the distance definition), `invalid_parameter` (a field
+//! parsed but its value is out of domain, e.g. a negative tolerance),
+//! `not_found` (unknown dataset id or name), `stale_version` (pinned
+//! dataset version superseded), `shutting_down` (server is draining),
+//! `internal`.
 
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::time::Duration;
 
 use mda_distance::DistanceKind;
+use mda_routing::{BackendId, Bound, Sla};
 
 use crate::json::{Json, JsonError};
 
@@ -88,6 +113,10 @@ pub enum ProtocolError {
     Json(JsonError),
     /// The payload was valid JSON but not a valid message.
     Schema(String),
+    /// A field parsed but its value is outside the accepted domain (e.g. a
+    /// negative or non-finite tolerance). Answered with the typed
+    /// `invalid_parameter` error code rather than generic `bad_request`.
+    InvalidParameter(String),
 }
 
 impl fmt::Display for ProtocolError {
@@ -99,6 +128,7 @@ impl fmt::Display for ProtocolError {
             }
             ProtocolError::Json(e) => write!(f, "malformed payload: {e}"),
             ProtocolError::Schema(msg) => write!(f, "invalid message: {msg}"),
+            ProtocolError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
         }
     }
 }
@@ -189,8 +219,12 @@ pub fn read_frame(r: &mut impl Read, max: usize) -> Result<Vec<u8>, ProtocolErro
 
 /// Parses the paper's abbreviation (`DTW`, `LCS`, `EdD`, `HauD`, `HamD`,
 /// `MD`) into a [`DistanceKind`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `str::parse::<DistanceKind>()`, the canonical `FromStr`"
+)]
 pub fn parse_kind(name: &str) -> Option<DistanceKind> {
-    DistanceKind::ALL.into_iter().find(|k| k.abbrev() == name)
+    name.parse().ok()
 }
 
 /// A labelled training series for a kNN request.
@@ -288,6 +322,8 @@ pub enum Request {
         band: Option<usize>,
         /// Queue-wait budget.
         deadline_ms: Option<u64>,
+        /// Accuracy SLA (absent ⇒ `exact`).
+        accuracy: Option<Sla>,
     },
     /// A pairwise batch: one value per pair (inline `pairs`), or — with a
     /// dataset reference — `query` against every resident series.
@@ -306,6 +342,8 @@ pub enum Request {
         band: Option<usize>,
         /// Queue-wait budget.
         deadline_ms: Option<u64>,
+        /// Accuracy SLA (absent ⇒ `exact`).
+        accuracy: Option<Sla>,
     },
     /// k-nearest-neighbour classification of `query` against `train` or a
     /// resident labelled dataset.
@@ -326,6 +364,8 @@ pub enum Request {
         band: Option<usize>,
         /// Queue-wait budget.
         deadline_ms: Option<u64>,
+        /// Accuracy SLA (absent ⇒ `exact`).
+        accuracy: Option<Sla>,
     },
     /// Banded-DTW subsequence search of `query` in `haystack` or a
     /// resident series.
@@ -344,6 +384,9 @@ pub enum Request {
         band: usize,
         /// Queue-wait budget.
         deadline_ms: Option<u64>,
+        /// Accuracy SLA (absent ⇒ `exact`; searches answer exactly either
+        /// way, but the reply then reports its backend and bound).
+        accuracy: Option<Sla>,
     },
     /// Upload a resident dataset; replies with its content-addressed id.
     UploadDataset {
@@ -388,6 +431,19 @@ impl Request {
         };
         ms.map(Duration::from_millis)
     }
+
+    /// The request's explicit accuracy SLA, if it carried one. `None`
+    /// means the wire field was absent — semantically `exact`, and the
+    /// reply stays in the pre-routing shape.
+    pub fn accuracy(&self) -> Option<Sla> {
+        match self {
+            Request::Distance { accuracy, .. }
+            | Request::Batch { accuracy, .. }
+            | Request::Knn { accuracy, .. }
+            | Request::Search { accuracy, .. } => *accuracy,
+            _ => None,
+        }
+    }
 }
 
 /// A request plus its envelope `id`.
@@ -408,6 +464,9 @@ pub enum ErrorCode {
     Timeout,
     /// The request was malformed or rejected by the distance definition.
     BadRequest,
+    /// A field parsed but its value is out of domain (e.g. a NaN, infinite
+    /// or negative tolerance).
+    InvalidParameter,
     /// The referenced dataset id or name is not resident.
     NotFound,
     /// The request pinned a dataset version that has been superseded.
@@ -425,6 +484,7 @@ impl ErrorCode {
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::Timeout => "timeout",
             ErrorCode::BadRequest => "bad_request",
+            ErrorCode::InvalidParameter => "invalid_parameter",
             ErrorCode::NotFound => "not_found",
             ErrorCode::StaleVersion => "stale_version",
             ErrorCode::ShuttingDown => "shutting_down",
@@ -438,6 +498,7 @@ impl ErrorCode {
             ErrorCode::Overloaded,
             ErrorCode::Timeout,
             ErrorCode::BadRequest,
+            ErrorCode::InvalidParameter,
             ErrorCode::NotFound,
             ErrorCode::StaleVersion,
             ErrorCode::ShuttingDown,
@@ -517,6 +578,19 @@ pub enum ResponseBody {
     },
 }
 
+/// Which backend answered a routed request, and with what guarantee.
+/// Attached to a reply only when the request carried an explicit
+/// `accuracy` field — absent otherwise, keeping the pre-routing reply
+/// bytes unchanged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouteInfo {
+    /// The answering backend.
+    pub backend: BackendId,
+    /// The error bound the answer is guaranteed to satisfy against the
+    /// exact digital value.
+    pub bound: Bound,
+}
+
 /// A reply plus the echoed request `id`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Reply {
@@ -524,6 +598,26 @@ pub struct Reply {
     pub id: u64,
     /// The body.
     pub body: ResponseBody,
+    /// Routing report for explicitly accuracy-tagged requests.
+    pub route: Option<RouteInfo>,
+}
+
+impl Reply {
+    /// A reply with no routing report — the shape of every reply to a
+    /// request without an explicit `accuracy` field.
+    pub fn new(id: u64, body: ResponseBody) -> Reply {
+        Reply {
+            id,
+            body,
+            route: None,
+        }
+    }
+
+    /// This reply with a routing report attached.
+    pub fn with_route(mut self, route: RouteInfo) -> Reply {
+        self.route = Some(route);
+        self
+    }
 }
 
 fn opt_f64(v: &Json, key: &str) -> Result<Option<f64>, ProtocolError> {
@@ -608,11 +702,41 @@ fn req_kind(v: &Json) -> Result<DistanceKind, ProtocolError> {
         .get("kind")
         .and_then(Json::as_str)
         .ok_or_else(|| ProtocolError::Schema("`kind` must be a string".into()))?;
-    parse_kind(name).ok_or_else(|| {
-        ProtocolError::Schema(format!(
-            "unknown kind `{name}` (expected DTW, LCS, EdD, HauD, HamD or MD)"
-        ))
-    })
+    name.parse()
+        .map_err(|e| ProtocolError::Schema(format!("{e}")))
+}
+
+/// Parses the optional `accuracy` field: the string `"exact"` or an
+/// object `{"tolerance": ε}`. Domain violations (non-finite or negative
+/// ε, unknown names) are [`ProtocolError::InvalidParameter`], so clients
+/// get the typed `invalid_parameter` reply rather than `bad_request`.
+fn opt_accuracy(v: &Json) -> Result<Option<Sla>, ProtocolError> {
+    let field = match v.get("accuracy") {
+        None | Some(Json::Null) => return Ok(None),
+        Some(x) => x,
+    };
+    match field {
+        Json::Str(s) if s == "exact" => Ok(Some(Sla::Exact)),
+        Json::Str(s) => Err(ProtocolError::InvalidParameter(format!(
+            "unknown accuracy `{s}` (expected \"exact\" or {{\"tolerance\": ε}})"
+        ))),
+        Json::Obj(_) => {
+            let eps = field
+                .get("tolerance")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| {
+                    ProtocolError::Schema(
+                        "`accuracy` object must carry a numeric `tolerance`".into(),
+                    )
+                })?;
+            let sla = Sla::tolerance(eps)
+                .map_err(|e| ProtocolError::InvalidParameter(format!("`accuracy`: {e}")))?;
+            Ok(Some(sla))
+        }
+        _ => Err(ProtocolError::Schema(
+            "`accuracy` must be \"exact\" or {\"tolerance\": ε}".into(),
+        )),
+    }
 }
 
 /// Decodes a request envelope from a frame payload.
@@ -641,6 +765,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Envelope, ProtocolError> {
             threshold: opt_f64(&v, "threshold")?,
             band: opt_usize(&v, "band")?,
             deadline_ms: opt_u64(&v, "deadline_ms")?,
+            accuracy: opt_accuracy(&v)?,
         },
         "batch" => {
             let dataset = opt_dataset_ref(&v)?;
@@ -679,6 +804,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Envelope, ProtocolError> {
                 threshold: opt_f64(&v, "threshold")?,
                 band: opt_usize(&v, "band")?,
                 deadline_ms: opt_u64(&v, "deadline_ms")?,
+                accuracy: opt_accuracy(&v)?,
             }
         }
         "knn" => {
@@ -723,6 +849,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Envelope, ProtocolError> {
                 threshold: opt_f64(&v, "threshold")?,
                 band: opt_usize(&v, "band")?,
                 deadline_ms: opt_u64(&v, "deadline_ms")?,
+                accuracy: opt_accuracy(&v)?,
             }
         }
         "search" => {
@@ -754,6 +881,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Envelope, ProtocolError> {
                 window,
                 band: opt_usize(&v, "band")?.unwrap_or(0),
                 deadline_ms: opt_u64(&v, "deadline_ms")?,
+                accuracy: opt_accuracy(&v)?,
             }
         }
         "upload_dataset" => {
@@ -805,18 +933,30 @@ pub fn encode_request(env: &Envelope) -> Vec<u8> {
         ("id".into(), Json::Num(env.id as f64)),
         ("op".into(), Json::Str(env.req.op().into())),
     ];
-    let mut push_opts =
-        |threshold: &Option<f64>, band: &Option<usize>, deadline_ms: &Option<u64>| {
-            if let Some(t) = threshold {
-                pairs.push(("threshold".into(), Json::Num(*t)));
-            }
-            if let Some(b) = band {
-                pairs.push(("band".into(), Json::Num(*b as f64)));
-            }
-            if let Some(d) = deadline_ms {
-                pairs.push(("deadline_ms".into(), Json::Num(*d as f64)));
-            }
-        };
+    let mut push_opts = |threshold: &Option<f64>,
+                         band: &Option<usize>,
+                         deadline_ms: &Option<u64>,
+                         accuracy: &Option<Sla>| {
+        if let Some(t) = threshold {
+            pairs.push(("threshold".into(), Json::Num(*t)));
+        }
+        if let Some(b) = band {
+            pairs.push(("band".into(), Json::Num(*b as f64)));
+        }
+        if let Some(d) = deadline_ms {
+            pairs.push(("deadline_ms".into(), Json::Num(*d as f64)));
+        }
+        // Omitted entirely when absent, keeping default-option requests
+        // byte-identical to the pre-routing wire format.
+        match accuracy {
+            None => {}
+            Some(Sla::Exact) => pairs.push(("accuracy".into(), Json::Str("exact".into()))),
+            Some(Sla::Tolerance(e)) => pairs.push((
+                "accuracy".into(),
+                Json::Obj(vec![("tolerance".into(), Json::Num(*e))]),
+            )),
+        }
+    };
     let dataset_ref_pairs = |r: &DatasetRef| {
         let mut out: Vec<(String, Json)> = Vec::new();
         if let Some(id) = &r.id {
@@ -839,8 +979,9 @@ pub fn encode_request(env: &Envelope) -> Vec<u8> {
             threshold,
             band,
             deadline_ms,
+            accuracy,
         } => {
-            push_opts(threshold, band, deadline_ms);
+            push_opts(threshold, band, deadline_ms, accuracy);
             pairs.push(("kind".into(), Json::Str(kind.abbrev().into())));
             pairs.push(("p".into(), Json::from_f64s(p)));
             pairs.push(("q".into(), Json::from_f64s(q)));
@@ -853,8 +994,9 @@ pub fn encode_request(env: &Envelope) -> Vec<u8> {
             threshold,
             band,
             deadline_ms,
+            accuracy,
         } => {
-            push_opts(threshold, band, deadline_ms);
+            push_opts(threshold, band, deadline_ms, accuracy);
             pairs.push(("kind".into(), Json::Str(kind.abbrev().into())));
             if let Some(dataset) = dataset {
                 pairs.extend(dataset_ref_pairs(dataset));
@@ -881,8 +1023,9 @@ pub fn encode_request(env: &Envelope) -> Vec<u8> {
             threshold,
             band,
             deadline_ms,
+            accuracy,
         } => {
-            push_opts(threshold, band, deadline_ms);
+            push_opts(threshold, band, deadline_ms, accuracy);
             pairs.push(("kind".into(), Json::Str(kind.abbrev().into())));
             pairs.push(("k".into(), Json::Num(*k as f64)));
             pairs.push(("query".into(), Json::from_f64s(query)));
@@ -913,8 +1056,9 @@ pub fn encode_request(env: &Envelope) -> Vec<u8> {
             window,
             band,
             deadline_ms,
+            accuracy,
         } => {
-            push_opts(&None, &Some(*band), deadline_ms);
+            push_opts(&None, &Some(*band), deadline_ms, accuracy);
             pairs.push(("query".into(), Json::from_f64s(query)));
             if let Some(dataset) = dataset {
                 pairs.extend(dataset_ref_pairs(dataset));
@@ -1024,6 +1168,16 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
             pairs.push(("result".into(), result));
         }
     }
+    if let Some(route) = &reply.route {
+        pairs.push(("backend".into(), Json::Str(route.backend.as_str().into())));
+        pairs.push((
+            "bound".into(),
+            Json::Obj(vec![
+                ("abs".into(), Json::Num(route.bound.abs)),
+                ("rel".into(), Json::Num(route.bound.rel)),
+            ]),
+        ));
+    }
     Json::Obj(pairs).to_string().into_bytes()
 }
 
@@ -1043,6 +1197,7 @@ pub fn decode_reply(payload: &[u8]) -> Result<Reply, ProtocolError> {
         Some(Json::Bool(b)) => *b,
         _ => return Err(ProtocolError::Schema("reply `ok` must be a bool".into())),
     };
+    let route = decode_route(&v)?;
     if !ok {
         let err = v
             .get("error")
@@ -1060,6 +1215,7 @@ pub fn decode_reply(payload: &[u8]) -> Result<Reply, ProtocolError> {
         return Ok(Reply {
             id,
             body: ResponseBody::Error { code, message },
+            route,
         });
     }
     let result = v
@@ -1146,7 +1302,34 @@ pub fn decode_reply(payload: &[u8]) -> Result<Reply, ProtocolError> {
     } else {
         return Err(ProtocolError::Schema("unrecognized result shape".into()));
     };
-    Ok(Reply { id, body })
+    Ok(Reply { id, body, route })
+}
+
+/// Parses the optional routing report (`backend` + `bound`) off a reply.
+fn decode_route(v: &Json) -> Result<Option<RouteInfo>, ProtocolError> {
+    let backend = match v.get("backend") {
+        None | Some(Json::Null) => return Ok(None),
+        Some(x) => x
+            .as_str()
+            .ok_or_else(|| ProtocolError::Schema("reply `backend` must be a string".into()))?
+            .parse::<BackendId>()
+            .map_err(|e| ProtocolError::Schema(e.to_string()))?,
+    };
+    let bound = v
+        .get("bound")
+        .ok_or_else(|| ProtocolError::Schema("reply `backend` requires `bound`".into()))?;
+    let abs = bound
+        .get("abs")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| ProtocolError::Schema("reply `bound` lacks numeric `abs`".into()))?;
+    let rel = bound
+        .get("rel")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| ProtocolError::Schema("reply `bound` lacks numeric `rel`".into()))?;
+    Ok(Some(RouteInfo {
+        backend,
+        bound: Bound { abs, rel },
+    }))
 }
 
 #[cfg(test)]
@@ -1206,6 +1389,7 @@ mod tests {
                     threshold: None,
                     band: Some(3),
                     deadline_ms: Some(250),
+                    accuracy: Some(Sla::Tolerance(2.5)),
                 },
             },
             Envelope {
@@ -1218,6 +1402,7 @@ mod tests {
                     threshold: None,
                     band: None,
                     deadline_ms: None,
+                    accuracy: None,
                 },
             },
             Envelope {
@@ -1240,6 +1425,7 @@ mod tests {
                     threshold: Some(0.25),
                     band: None,
                     deadline_ms: None,
+                    accuracy: Some(Sla::Exact),
                 },
             },
             Envelope {
@@ -1252,6 +1438,7 @@ mod tests {
                     window: 2,
                     band: 1,
                     deadline_ms: Some(1_000),
+                    accuracy: None,
                 },
             },
             Envelope {
@@ -1291,6 +1478,7 @@ mod tests {
                     threshold: None,
                     band: Some(2),
                     deadline_ms: None,
+                    accuracy: None,
                 },
             },
             Envelope {
@@ -1303,6 +1491,7 @@ mod tests {
                     threshold: None,
                     band: None,
                     deadline_ms: Some(50),
+                    accuracy: Some(Sla::Tolerance(12.0)),
                 },
             },
             Envelope {
@@ -1315,6 +1504,7 @@ mod tests {
                     window: 2,
                     band: 1,
                     deadline_ms: None,
+                    accuracy: None,
                 },
             },
         ];
@@ -1327,58 +1517,49 @@ mod tests {
     #[test]
     fn reply_roundtrip_all_shapes() {
         let replies = vec![
-            Reply {
-                id: 9,
-                body: ResponseBody::Pong,
-            },
-            Reply {
-                id: 10,
-                body: ResponseBody::MetricsText("a 1\nb 2\n".into()),
-            },
-            Reply {
-                id: 11,
-                body: ResponseBody::Distance { value: -0.0 },
-            },
-            Reply {
-                id: 12,
-                body: ResponseBody::Batch {
+            Reply::new(9, ResponseBody::Pong),
+            Reply::new(10, ResponseBody::MetricsText("a 1\nb 2\n".into())),
+            Reply::new(11, ResponseBody::Distance { value: -0.0 }),
+            Reply::new(
+                12,
+                ResponseBody::Batch {
                     values: vec![1.0 / 3.0, 4.5],
                 },
-            },
-            Reply {
-                id: 13,
-                body: ResponseBody::Knn {
+            ),
+            Reply::new(
+                13,
+                ResponseBody::Knn {
                     label: 2,
                     score: 0.125,
                     nearest_index: 5,
                 },
-            },
-            Reply {
-                id: 14,
-                body: ResponseBody::Search {
+            ),
+            Reply::new(
+                14,
+                ResponseBody::Search {
                     offset: 40,
                     distance: 0.0,
                 },
-            },
-            Reply {
-                id: 15,
-                body: ResponseBody::Error {
+            ),
+            Reply::new(
+                15,
+                ResponseBody::Error {
                     code: ErrorCode::Overloaded,
                     message: "queue full".into(),
                 },
-            },
-            Reply {
-                id: 16,
-                body: ResponseBody::DatasetUploaded {
+            ),
+            Reply::new(
+                16,
+                ResponseBody::DatasetUploaded {
                     dataset_id: "deadbeef01234567".into(),
                     version: 2,
                     count: 64,
                     bytes: 65_536,
                 },
-            },
-            Reply {
-                id: 17,
-                body: ResponseBody::Datasets {
+            ),
+            Reply::new(
+                17,
+                ResponseBody::Datasets {
                     items: vec![DatasetSummary {
                         name: "sensors".into(),
                         dataset_id: "deadbeef01234567".into(),
@@ -1387,30 +1568,107 @@ mod tests {
                         bytes: 65_536,
                     }],
                 },
-            },
-            Reply {
-                id: 18,
-                body: ResponseBody::Dropped { count: 1 },
-            },
-            Reply {
-                id: 19,
-                body: ResponseBody::Error {
+            ),
+            Reply::new(18, ResponseBody::Dropped { count: 1 }),
+            Reply::new(
+                19,
+                ResponseBody::Error {
                     code: ErrorCode::NotFound,
                     message: "no dataset".into(),
                 },
-            },
-            Reply {
-                id: 20,
-                body: ResponseBody::Error {
+            ),
+            Reply::new(
+                20,
+                ResponseBody::Error {
                     code: ErrorCode::StaleVersion,
                     message: "version 1 superseded by 2".into(),
                 },
-            },
+            ),
+            Reply::new(21, ResponseBody::Distance { value: 1.25 }).with_route(RouteInfo {
+                backend: BackendId::Analog,
+                bound: Bound { abs: 7.0, rel: 0.3 },
+            }),
+            Reply::new(
+                22,
+                ResponseBody::Batch {
+                    values: vec![0.5, 0.75],
+                },
+            )
+            .with_route(RouteInfo {
+                backend: BackendId::DigitalExact,
+                bound: Bound::EXACT,
+            }),
         ];
         for reply in replies {
             let decoded = decode_reply(&encode_reply(&reply)).unwrap();
             assert_eq!(decoded, reply);
         }
+    }
+
+    #[test]
+    fn accuracy_absent_keeps_the_pre_routing_wire_bytes() {
+        // The canonical pre-routing encoding of a default-option request:
+        // adding the accuracy surface must not perturb a single byte.
+        let env = Envelope {
+            id: 2,
+            req: Request::Distance {
+                kind: DistanceKind::Dtw,
+                p: vec![0.0, 1.0],
+                q: vec![0.0, 2.0],
+                threshold: None,
+                band: None,
+                deadline_ms: None,
+                accuracy: None,
+            },
+        };
+        assert_eq!(
+            encode_request(&env),
+            br#"{"id":2,"op":"distance","kind":"DTW","p":[0,1],"q":[0,2]}"#.to_vec()
+        );
+        let reply = Reply::new(2, ResponseBody::Distance { value: 1.0 });
+        assert_eq!(
+            encode_reply(&reply),
+            br#"{"id":2,"ok":true,"result":{"value":1}}"#.to_vec()
+        );
+    }
+
+    #[test]
+    fn accuracy_decodes_exact_and_tolerance_forms() {
+        let env = decode_request(
+            br#"{"id":1,"op":"distance","kind":"MD","p":[0],"q":[1],"accuracy":"exact"}"#,
+        )
+        .unwrap();
+        assert_eq!(env.req.accuracy(), Some(Sla::Exact));
+        let env = decode_request(
+            br#"{"id":1,"op":"distance","kind":"MD","p":[0],"q":[1],"accuracy":{"tolerance":0.5}}"#,
+        )
+        .unwrap();
+        assert_eq!(env.req.accuracy(), Some(Sla::Tolerance(0.5)));
+        let env =
+            decode_request(br#"{"id":1,"op":"distance","kind":"MD","p":[0],"q":[1]}"#).unwrap();
+        assert_eq!(env.req.accuracy(), None);
+    }
+
+    #[test]
+    fn malformed_tolerances_are_typed_invalid_parameter() {
+        for bad in [
+            &br#"{"id":1,"op":"distance","kind":"MD","p":[0],"q":[1],"accuracy":{"tolerance":-0.5}}"#[..],
+            br#"{"id":1,"op":"distance","kind":"MD","p":[0],"q":[1],"accuracy":{"tolerance":1e999}}"#,
+            br#"{"id":1,"op":"knn","kind":"MD","k":1,"query":[0],"train":[],"accuracy":"fast"}"#,
+        ] {
+            let err = decode_request(bad).unwrap_err();
+            assert!(
+                matches!(err, ProtocolError::InvalidParameter(_)),
+                "{}: {err}",
+                String::from_utf8_lossy(bad)
+            );
+        }
+        // A structurally wrong accuracy (not string/object) is a schema
+        // error, not a domain error.
+        let err =
+            decode_request(br#"{"id":1,"op":"distance","kind":"MD","p":[0],"q":[1],"accuracy":7}"#)
+                .unwrap_err();
+        assert!(matches!(err, ProtocolError::Schema(_)), "{err}");
     }
 
     #[test]
@@ -1443,6 +1701,15 @@ mod tests {
 
     #[test]
     fn kind_names_match_paper_abbreviations() {
+        for kind in DistanceKind::ALL {
+            assert_eq!(kind.abbrev().parse(), Ok(kind));
+        }
+        assert!("dtw".parse::<DistanceKind>().is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_parse_kind_still_delegates_to_from_str() {
         for kind in DistanceKind::ALL {
             assert_eq!(parse_kind(kind.abbrev()), Some(kind));
         }

@@ -27,11 +27,12 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use mda_distance::{BatchEngine, DistanceError, DpScratch};
+use mda_routing::PowerLease;
 
 use crate::event_loop::Completions;
-use crate::exec::{execute_item, Assemble, ItemOutcome, WorkItem};
+use crate::exec::{execute_item_routed, Assemble, ItemOutcome, WorkItem};
 use crate::metrics::Metrics;
-use crate::protocol::{ErrorCode, Reply, ResponseBody};
+use crate::protocol::{ErrorCode, Reply, ResponseBody, RouteInfo};
 
 /// Where a finished job's reply goes.
 ///
@@ -81,6 +82,12 @@ pub struct Job {
     pub deadline: Option<Instant>,
     /// When the job entered the queue.
     pub enqueued: Instant,
+    /// Routing decision to report on the reply (`None` when the request
+    /// carried no explicit accuracy SLA — keeps default replies
+    /// byte-identical to the pre-routing protocol).
+    pub route: Option<RouteInfo>,
+    /// Analog fleet power reservation, held until the job finishes.
+    pub lease: Option<PowerLease>,
 }
 
 /// Why a submission was refused.
@@ -279,13 +286,21 @@ impl Coalescer {
 
         // Item errors are carried as values, so one bad request can never
         // abort a batch it shares with healthy neighbours.
-        let outcomes: Vec<Result<ItemOutcome, DistanceError>> =
+        let routed: Vec<Result<(ItemOutcome, bool), DistanceError>> =
             match engine.try_map_with(&flat, DpScratch::new, |scratch, _, item| {
-                Ok::<_, std::convert::Infallible>(execute_item(item, scratch))
+                Ok::<_, std::convert::Infallible>(execute_item_routed(item, scratch))
             }) {
                 Ok(v) => v,
                 Err(e) => match e {},
             };
+        let fallbacks = routed.iter().filter(|r| matches!(r, Ok((_, true)))).count();
+        if fallbacks > 0 {
+            self.metrics.route_fallbacks.add(fallbacks as u64);
+        }
+        let outcomes: Vec<Result<ItemOutcome, DistanceError>> = routed
+            .into_iter()
+            .map(|r| r.map(|(outcome, _)| outcome))
+            .collect();
 
         let mut offset = 0usize;
         for job in &live {
@@ -294,11 +309,13 @@ impl Coalescer {
             offset += n;
             self.finish(job, body);
         }
+        // `live` drops here, releasing every job's fleet lease.
     }
 
     /// Sends the reply and records the reply + latency metrics.
     fn finish(&self, job: &Job, body: ResponseBody) {
-        if matches!(body, ResponseBody::Error { .. }) {
+        let is_error = matches!(body, ResponseBody::Error { .. });
+        if is_error {
             self.metrics.replies_error.inc();
         } else {
             self.metrics.replies_ok.inc();
@@ -306,8 +323,12 @@ impl Coalescer {
         self.metrics
             .latency
             .record_us(job.enqueued.elapsed().as_micros() as u64);
+        let mut reply = Reply::new(job.id, body);
+        if !is_error {
+            reply.route = job.route;
+        }
         // A disconnected client is not an error: drop the reply.
-        job.reply.send(Reply { id: job.id, body });
+        job.reply.send(reply);
     }
 }
 
@@ -397,6 +418,7 @@ mod tests {
     use super::*;
     use crate::exec::{decompose, PairSpec};
     use mda_distance::DistanceKind;
+    use mda_routing::BackendId;
     use std::sync::mpsc;
 
     fn pair_items(n: usize, len: usize) -> Vec<WorkItem> {
@@ -406,6 +428,7 @@ mod tests {
                     kind: DistanceKind::Manhattan,
                     threshold: None,
                     band: None,
+                    backend: BackendId::DigitalExact,
                 },
                 p: (0..len).map(|j| (i + j) as f64).collect::<Vec<_>>().into(),
                 q: (0..len).map(|j| j as f64).collect::<Vec<_>>().into(),
@@ -421,6 +444,8 @@ mod tests {
             reply: ReplySink::Channel(reply),
             deadline: None,
             enqueued: Instant::now(),
+            route: None,
+            lease: None,
         }
     }
 
@@ -521,6 +546,7 @@ mod tests {
                 kind: DistanceKind::Manhattan,
                 threshold: None,
                 band: None,
+                backend: BackendId::DigitalExact,
             },
             p: vec![0.0].into(),
             q: vec![0.0, 1.0].into(),
@@ -608,6 +634,7 @@ mod tests {
             threshold: None,
             band: None,
             deadline_ms: None,
+            accuracy: None,
         };
         let store = crate::datasets::DatasetStore::new(u64::MAX);
         let d = decompose(req, &store).unwrap().unwrap();
@@ -622,6 +649,8 @@ mod tests {
                 reply: ReplySink::Channel(tx),
                 deadline: None,
                 enqueued: Instant::now(),
+                route: None,
+                lease: None,
             })
             .unwrap();
         let handle = queue.spawn_dispatcher(BatchEngine::serial());

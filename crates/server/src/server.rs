@@ -26,6 +26,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use mda_distance::BatchEngine;
+use mda_routing::{Router, RouterConfig};
 
 use crate::config::{ConfigError, ServerConfig};
 use crate::datasets::DatasetStore;
@@ -83,6 +84,7 @@ pub struct Server {
     store: Arc<DatasetStore>,
     shutdown: Arc<AtomicBool>,
     finish: Arc<AtomicBool>,
+    router: Arc<Router>,
     wake: Arc<crate::event_loop::WakeFd>,
     serve: Option<JoinHandle<()>>,
     dispatcher: Option<JoinHandle<()>>,
@@ -119,6 +121,9 @@ impl Server {
         let (wake, completions) = wake_pair()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let finish = Arc::new(AtomicBool::new(false));
+        let router = Arc::new(Router::new(RouterConfig {
+            fleet_power_w: config.fleet_power_w,
+        }));
 
         let dispatcher = queue.spawn_dispatcher(engine);
         let event_loop = EventLoop {
@@ -130,6 +135,7 @@ impl Server {
             wake: Arc::clone(&wake),
             shutdown: Arc::clone(&shutdown),
             finish: Arc::clone(&finish),
+            router: Arc::clone(&router),
         };
         let serve = std::thread::Builder::new()
             .name("mda-event-loop".into())
@@ -143,6 +149,7 @@ impl Server {
             store,
             shutdown,
             finish,
+            router,
             wake,
             serve: Some(serve),
             dispatcher: Some(dispatcher),
@@ -162,6 +169,11 @@ impl Server {
     /// The resident dataset store (for embedding and tests).
     pub fn datasets(&self) -> &Arc<DatasetStore> {
         &self.store
+    }
+
+    /// The accuracy-SLA / power-budget router serving this instance.
+    pub fn router(&self) -> &Arc<Router> {
+        &self.router
     }
 
     /// Starts the drain: stop accepting, refuse new work, keep computing

@@ -1,0 +1,316 @@
+//! Wire-bytes identity for the deprecated client helpers.
+//!
+//! The PR that introduced `QueryOptions` kept every pre-routing helper as
+//! a deprecated shim delegating to the `query_*` methods. That promise is
+//! only real if it holds **on the wire**: for every shim, the frames it
+//! emits must be byte-identical to those of the `query_*` call it
+//! documents as its replacement — same JSON, same field order, no
+//! `accuracy` field materializing out of nowhere.
+//!
+//! A capture server (a raw `TcpListener`, not `mda-server`) records every
+//! request payload verbatim and answers each op with a canned well-formed
+//! reply, so both sides of each pair complete a full round-trip.
+
+#![allow(deprecated)]
+
+use std::net::{SocketAddr, TcpListener};
+use std::sync::mpsc::{channel, Receiver};
+use std::time::Duration;
+
+use mda_distance::DistanceKind;
+use mda_server::client::{Client, QueryOptions, QueryOpts};
+use mda_server::protocol::{
+    decode_request, encode_reply, read_frame, write_frame, Reply, Request, ResponseBody,
+    TrainInstance, DEFAULT_MAX_FRAME_BYTES,
+};
+use mda_server::DatasetRef;
+
+/// Starts a one-shot capture server: accepts connections, records each
+/// request's payload bytes on `tx`, and answers with a canned reply of the
+/// right shape so the client call returns.
+fn capture_server() -> (SocketAddr, Receiver<Vec<u8>>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind capture server");
+    let addr = listener.local_addr().expect("local addr");
+    let (tx, rx) = channel::<Vec<u8>>();
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { break };
+            let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+            while let Ok(payload) = read_frame(&mut stream, DEFAULT_MAX_FRAME_BYTES) {
+                let env = decode_request(&payload).expect("capture server got valid request");
+                if tx.send(payload).is_err() {
+                    return;
+                }
+                let body = match env.req {
+                    Request::Distance { .. } => ResponseBody::Distance { value: 0.0 },
+                    Request::Batch { pairs, .. } => ResponseBody::Batch {
+                        values: vec![0.0; pairs.len()],
+                    },
+                    Request::Knn { .. } => ResponseBody::Knn {
+                        label: 0,
+                        score: 0.0,
+                        nearest_index: 0,
+                    },
+                    Request::Search { .. } => ResponseBody::Search {
+                        offset: 0,
+                        distance: 0.0,
+                    },
+                    _ => ResponseBody::Pong,
+                };
+                let bytes = encode_reply(&Reply::new(env.id, body));
+                if write_frame(&mut stream, &bytes).is_err() {
+                    break;
+                }
+            }
+        }
+    });
+    (addr, rx)
+}
+
+/// Runs `call` against a fresh client (ids start equal across clients) and
+/// returns the exact request payload(s) the capture server saw.
+fn frames_of(
+    addr: SocketAddr,
+    rx: &Receiver<Vec<u8>>,
+    call: impl FnOnce(&mut Client),
+) -> Vec<Vec<u8>> {
+    let mut client = Client::connect(addr).expect("connect capture server");
+    call(&mut client);
+    let mut frames = Vec::new();
+    while let Ok(frame) = rx.recv_timeout(Duration::from_millis(200)) {
+        frames.push(frame);
+    }
+    assert!(!frames.is_empty(), "capture server saw no frames");
+    frames
+}
+
+fn assert_identical(
+    addr: SocketAddr,
+    rx: &Receiver<Vec<u8>>,
+    name: &str,
+    legacy: impl FnOnce(&mut Client),
+    replacement: impl FnOnce(&mut Client),
+) {
+    let old = frames_of(addr, rx, legacy);
+    let new = frames_of(addr, rx, replacement);
+    assert_eq!(
+        old.len(),
+        new.len(),
+        "{name}: shim and replacement sent different frame counts"
+    );
+    for (i, (o, n)) in old.iter().zip(&new).enumerate() {
+        assert_eq!(
+            o,
+            n,
+            "{name}: frame {i} differs\n legacy: {}\n  query: {}",
+            String::from_utf8_lossy(o),
+            String::from_utf8_lossy(n)
+        );
+    }
+}
+
+fn series(len: usize, seed: usize) -> Vec<f64> {
+    (0..len)
+        .map(|i| ((i + 13 * seed) as f64 * 0.37).sin() * 1.9)
+        .collect()
+}
+
+#[test]
+fn every_deprecated_shim_is_wire_identical_to_its_query_replacement() {
+    let (addr, rx) = capture_server();
+    let p = series(24, 1);
+    let q = series(24, 2);
+    let pairs = vec![(series(8, 3), series(8, 4)), (series(8, 5), series(8, 6))];
+    let train: Vec<TrainInstance> = (0..4)
+        .map(|i| TrainInstance {
+            label: i % 2,
+            series: series(12, 20 + i),
+        })
+        .collect();
+    let legacy_opts = QueryOpts {
+        threshold: Some(0.5),
+        band: Some(3),
+        deadline_ms: Some(250),
+    };
+    let new_opts = QueryOptions::from(legacy_opts);
+
+    {
+        let (p, q) = (p.clone(), q.clone());
+        let (p2, q2) = (p.clone(), q.clone());
+        assert_identical(
+            addr,
+            &rx,
+            "distance",
+            move |c| {
+                c.distance(DistanceKind::Dtw, &p, &q).expect("legacy");
+            },
+            move |c| {
+                c.query_distance(DistanceKind::Dtw, &p2, &q2, &QueryOptions::new())
+                    .expect("query");
+            },
+        );
+    }
+    {
+        let (p, q) = (p.clone(), q.clone());
+        let (p2, q2) = (p.clone(), q.clone());
+        let opts = new_opts.clone();
+        assert_identical(
+            addr,
+            &rx,
+            "distance_with",
+            move |c| {
+                c.distance_with(DistanceKind::Dtw, &p, &q, legacy_opts)
+                    .expect("legacy");
+            },
+            move |c| {
+                c.query_distance(DistanceKind::Dtw, &p2, &q2, &opts)
+                    .expect("query");
+            },
+        );
+    }
+    {
+        let (a, b) = (pairs.clone(), pairs.clone());
+        assert_identical(
+            addr,
+            &rx,
+            "batch",
+            move |c| {
+                c.batch(DistanceKind::Manhattan, &a, legacy_opts)
+                    .expect("legacy");
+            },
+            {
+                let opts = new_opts.clone();
+                move |c| {
+                    c.query_batch(DistanceKind::Manhattan, &b, None, &opts)
+                        .expect("query");
+                }
+            },
+        );
+    }
+    {
+        let (q1, q2) = (p.clone(), p.clone());
+        let opts = new_opts.clone().dataset(DatasetRef::by_name("corpus"));
+        assert_identical(
+            addr,
+            &rx,
+            "batch_resident",
+            move |c| {
+                c.batch_resident(
+                    DistanceKind::Manhattan,
+                    &q1,
+                    DatasetRef::by_name("corpus"),
+                    legacy_opts,
+                )
+                .expect("legacy");
+            },
+            move |c| {
+                c.query_batch(DistanceKind::Manhattan, &[], Some(&q2), &opts)
+                    .expect("query");
+            },
+        );
+    }
+    {
+        let (q1, q2) = (p.clone(), p.clone());
+        let (t1, t2) = (train.clone(), train.clone());
+        let opts = new_opts.clone();
+        assert_identical(
+            addr,
+            &rx,
+            "knn",
+            move |c| {
+                c.knn(DistanceKind::Dtw, 3, &q1, &t1, legacy_opts)
+                    .expect("legacy");
+            },
+            move |c| {
+                c.query_knn(DistanceKind::Dtw, 3, &q2, &t2, &opts)
+                    .expect("query");
+            },
+        );
+    }
+    {
+        let (q1, q2) = (p.clone(), p.clone());
+        let opts = new_opts.clone().dataset(DatasetRef::by_id("abc123"));
+        assert_identical(
+            addr,
+            &rx,
+            "knn_resident",
+            move |c| {
+                c.knn_resident(
+                    DistanceKind::Dtw,
+                    3,
+                    &q1,
+                    DatasetRef::by_id("abc123"),
+                    legacy_opts,
+                )
+                .expect("legacy");
+            },
+            move |c| {
+                c.query_knn(DistanceKind::Dtw, 3, &q2, &[], &opts)
+                    .expect("query");
+            },
+        );
+    }
+    {
+        let (q1, q2) = (series(8, 7), series(8, 7));
+        let (h1, h2) = (p.clone(), p.clone());
+        assert_identical(
+            addr,
+            &rx,
+            "search",
+            move |c| {
+                c.search(&q1, &h1, 8, 2, legacy_opts).expect("legacy");
+            },
+            {
+                let opts = new_opts.clone();
+                move |c| {
+                    c.query_search(&q2, &h2, 0, 8, 2, &opts).expect("query");
+                }
+            },
+        );
+    }
+    {
+        let (q1, q2) = (series(8, 9), series(8, 9));
+        let opts = new_opts
+            .clone()
+            .dataset(DatasetRef::by_name_version("corpus", 2));
+        assert_identical(
+            addr,
+            &rx,
+            "search_resident",
+            move |c| {
+                c.search_resident(
+                    &q1,
+                    DatasetRef::by_name_version("corpus", 2),
+                    5,
+                    8,
+                    2,
+                    legacy_opts,
+                )
+                .expect("legacy");
+            },
+            move |c| {
+                c.query_search(&q2, &[], 5, 8, 2, &opts).expect("query");
+            },
+        );
+    }
+}
+
+/// Default-option `query_*` requests must not carry an `accuracy` field at
+/// all — the bytes must be exactly the pre-routing wire format.
+#[test]
+fn default_options_leave_no_accuracy_on_the_wire() {
+    let (addr, rx) = capture_server();
+    let p = series(16, 1);
+    let q = series(16, 2);
+    let frames = frames_of(addr, &rx, |c| {
+        c.query_distance(DistanceKind::Dtw, &p, &q, &QueryOptions::new())
+            .expect("query");
+    });
+    for frame in frames {
+        let text = String::from_utf8(frame).expect("utf-8 payload");
+        assert!(
+            !text.contains("accuracy"),
+            "accuracy leaked into a default-option request: {text}"
+        );
+    }
+}

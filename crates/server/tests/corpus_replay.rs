@@ -35,6 +35,11 @@ enum Expect {
     CleanEof,
     /// The frame layer yields a payload that `decode_request` rejects.
     DecodeError,
+    /// The payload is structurally sound but a field's *value* is outside
+    /// its domain (negative or non-finite SLA tolerance, unknown accuracy
+    /// name): rejected as `ProtocolError::InvalidParameter`, which the live
+    /// server answers with a typed `invalid_parameter` reply.
+    InvalidParameter,
     /// The payload decodes; the request is handled (possibly to an
     /// in-band error or a degenerate value) without crashing anything.
     DecodeOk,
@@ -146,6 +151,35 @@ const PAYLOAD_CORPUS: &[(&str, &[u8], Expect)] = &[
         include_bytes!("corpus/payload_search_dataset_version_no_name.json"),
         Expect::DecodeError,
     ),
+    // Accuracy-SLA domain violations: structurally valid JSON whose ε is
+    // outside the SLA's domain (or whose name is unknown) must be refused
+    // as `invalid_parameter`, never silently clamped or treated as exact.
+    (
+        "payload_accuracy_negative_tolerance",
+        include_bytes!("corpus/payload_accuracy_negative_tolerance.json"),
+        Expect::InvalidParameter,
+    ),
+    (
+        "payload_accuracy_infinite_tolerance",
+        include_bytes!("corpus/payload_accuracy_infinite_tolerance.json"),
+        Expect::InvalidParameter,
+    ),
+    (
+        "payload_accuracy_unknown_name",
+        include_bytes!("corpus/payload_accuracy_unknown_name.json"),
+        Expect::InvalidParameter,
+    ),
+    // Structural accuracy breakage stays a schema error, not a domain one.
+    (
+        "payload_accuracy_bool",
+        include_bytes!("corpus/payload_accuracy_bool.json"),
+        Expect::DecodeError,
+    ),
+    (
+        "payload_accuracy_object_missing_tolerance",
+        include_bytes!("corpus/payload_accuracy_object_missing_tolerance.json"),
+        Expect::DecodeError,
+    ),
     // Decodes fine — the id simply names no resident dataset. The live
     // server answers a typed `not_found` in-band and keeps the connection.
     (
@@ -181,7 +215,8 @@ fn classify_payload(payload: &[u8]) -> Expect {
     match decode_request(payload) {
         Ok(_) => Expect::DecodeOk,
         Err(ProtocolError::Json(_) | ProtocolError::Schema(_)) => Expect::DecodeError,
-        Err(e) => panic!("payload decode must fail as Json/Schema, got {e:?}"),
+        Err(ProtocolError::InvalidParameter(_)) => Expect::InvalidParameter,
+        Err(e) => panic!("payload decode must fail as Json/Schema/InvalidParameter, got {e:?}"),
     }
 }
 
@@ -236,6 +271,52 @@ fn live_server_survives_entire_corpus() {
         let mut framed = Vec::new();
         write_frame(&mut framed, bytes).expect("frame fixture payload");
         attack(name, &framed);
+    }
+
+    server.shutdown_and_join();
+}
+
+/// Domain-violating accuracy payloads must come back as an **in-band**
+/// typed `invalid_parameter` reply — the connection stays open and usable,
+/// unlike structural garbage which may drop it.
+#[test]
+fn invalid_accuracy_payloads_answer_typed_invalid_parameter() {
+    use mda_server::protocol::decode_reply;
+    use mda_server::{ErrorCode, ResponseBody};
+
+    let server = Server::start(ServerConfig::default()).expect("server start");
+    let addr = server.local_addr();
+
+    for (name, bytes, expect) in PAYLOAD_CORPUS {
+        if *expect != Expect::InvalidParameter {
+            continue;
+        }
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let mut framed = Vec::new();
+        write_frame(&mut framed, bytes).expect("frame fixture payload");
+        stream.write_all(&framed).expect("send fixture");
+        stream.flush().expect("flush fixture");
+        let reply_bytes =
+            read_frame(&mut stream, DEFAULT_MAX_FRAME_BYTES).expect("in-band reply frame");
+        let reply = decode_reply(&reply_bytes).expect("typed reply");
+        match reply.body {
+            ResponseBody::Error { code, .. } => {
+                assert_eq!(code, ErrorCode::InvalidParameter, "fixture {name}");
+            }
+            other => panic!("fixture {name}: expected in-band error, got {other:?}"),
+        }
+        // Same connection, healthy follow-up: the refusal was per-request.
+        let probe = br#"{"id":2,"op":"ping"}"#;
+        let mut framed = Vec::new();
+        write_frame(&mut framed, probe).expect("frame ping");
+        stream.write_all(&framed).expect("send ping");
+        stream.flush().expect("flush ping");
+        let pong = read_frame(&mut stream, DEFAULT_MAX_FRAME_BYTES).expect("pong frame");
+        let pong = decode_reply(&pong).expect("pong reply");
+        assert!(
+            matches!(pong.body, ResponseBody::Pong),
+            "fixture {name}: connection unusable after invalid_parameter"
+        );
     }
 
     server.shutdown_and_join();

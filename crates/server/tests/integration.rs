@@ -12,7 +12,7 @@ use mda_server::protocol::{
     decode_reply, encode_request, read_frame, write_frame, Envelope, ErrorCode, Request,
     ResponseBody, TrainInstance, DEFAULT_MAX_FRAME_BYTES,
 };
-use mda_server::{Client, ClientError, QueryOpts, Server, ServerConfig};
+use mda_server::{Client, ClientError, QueryOptions, Server, ServerConfig};
 
 fn series(len: usize, seed: usize) -> Vec<f64> {
     (0..len)
@@ -67,7 +67,10 @@ fn concurrent_clients_match_direct_library_calls_bitwise() {
                 // of mixed requests.
                 for round in 0..3 {
                     for &(kind, want_bits) in expected_distance.iter().skip(c % 3) {
-                        let got = client.distance(kind, p, q).expect("served distance");
+                        let got = client
+                            .query_distance(kind, p, q, &QueryOptions::new())
+                            .expect("served distance")
+                            .value;
                         assert_eq!(
                             got.to_bits(),
                             want_bits,
@@ -75,8 +78,9 @@ fn concurrent_clients_match_direct_library_calls_bitwise() {
                         );
                     }
                     let got = client
-                        .knn(DistanceKind::Dtw, 3, p, train, QueryOpts::default())
-                        .expect("served kNN");
+                        .query_knn(DistanceKind::Dtw, 3, p, train, &QueryOptions::new())
+                        .expect("served kNN")
+                        .value;
                     assert_eq!(got.label, expected_knn.label);
                     assert_eq!(got.score.to_bits(), expected_knn.score.to_bits());
                     assert_eq!(got.nearest_index, expected_knn.nearest_index);
@@ -104,8 +108,9 @@ fn served_search_matches_direct_subsequence_search() {
         .run(&query, &haystack)
         .expect("direct search");
     let served = client
-        .search(&query, &haystack, window, band, QueryOpts::default())
-        .expect("served search");
+        .query_search(&query, &haystack, 0, window, band, &QueryOptions::new())
+        .expect("served search")
+        .value;
     assert_eq!(served.offset, direct.offset);
     assert_eq!(served.distance.to_bits(), direct.distance.to_bits());
     server.shutdown_and_join();
@@ -138,6 +143,7 @@ fn over_capacity_burst_is_shed_with_overloaded_replies() {
             window: 128,
             band: 16,
             deadline_ms: None,
+            accuracy: None,
         },
     };
     write_frame(&mut writer, &encode_request(&slow)).expect("write slow search");
@@ -160,6 +166,7 @@ fn over_capacity_burst_is_shed_with_overloaded_replies() {
                 threshold: None,
                 band: None,
                 deadline_ms: None,
+                accuracy: None,
             },
         };
         write_frame(&mut writer, &encode_request(&env)).expect("write burst frame");
@@ -209,6 +216,7 @@ fn shutdown_drains_admitted_work_before_closing() {
             window: 96,
             band: 12,
             deadline_ms: None,
+            accuracy: None,
         },
     };
     write_frame(&mut writer, &encode_request(&env)).expect("write search");
@@ -259,6 +267,7 @@ fn expired_deadline_yields_timeout_not_result() {
             window: 128,
             band: 16,
             deadline_ms: None,
+            accuracy: None,
         },
     };
     let doomed = Envelope {
@@ -270,6 +279,7 @@ fn expired_deadline_yields_timeout_not_result() {
             threshold: None,
             band: None,
             deadline_ms: Some(1),
+            accuracy: None,
         },
     };
     write_frame(&mut writer, &encode_request(&slow)).expect("write slow");
@@ -329,7 +339,12 @@ fn malformed_and_bad_requests_answered_without_closing_healthy_path() {
     // without poisoning the client.
     let mut client = Client::connect(addr).expect("connect");
     let err = client
-        .distance(DistanceKind::Manhattan, &[0.0], &[0.0, 1.0])
+        .query_distance(
+            DistanceKind::Manhattan,
+            &[0.0],
+            &[0.0, 1.0],
+            &QueryOptions::new(),
+        )
         .expect_err("length mismatch must fail");
     assert!(
         matches!(
@@ -342,8 +357,14 @@ fn malformed_and_bad_requests_answered_without_closing_healthy_path() {
         "{err}"
     );
     let d = client
-        .distance(DistanceKind::Manhattan, &[0.0, 1.0], &[0.0, 3.0])
-        .expect("healthy follow-up");
+        .query_distance(
+            DistanceKind::Manhattan,
+            &[0.0, 1.0],
+            &[0.0, 3.0],
+            &QueryOptions::new(),
+        )
+        .expect("healthy follow-up")
+        .value;
     assert_eq!(d, 2.0);
     server.shutdown_and_join();
 }
@@ -389,7 +410,11 @@ fn pipelined_send_many_matches_sequential_calls_bitwise() {
     let mut seq = Client::connect(addr).expect("connect");
     let baseline: Vec<f64> = DistanceKind::ALL
         .into_iter()
-        .map(|kind| seq.distance(kind, &p, &q).expect("sequential"))
+        .map(|kind| {
+            seq.query_distance(kind, &p, &q, &QueryOptions::new())
+                .expect("sequential")
+                .value
+        })
         .collect();
 
     // ...must be bitwise-reproduced by a pipelined burst on one connection.
@@ -403,6 +428,7 @@ fn pipelined_send_many_matches_sequential_calls_bitwise() {
             threshold: None,
             band: None,
             deadline_ms: None,
+            accuracy: None,
         })
         .collect();
     let replies = pipelined.send_many(reqs).expect("pipelined burst");
@@ -463,6 +489,7 @@ fn write_backpressure_on_slow_reader_keeps_other_connections_live() {
                 threshold: None,
                 band: None,
                 deadline_ms: None,
+                accuracy: None,
             },
         };
         write_frame(&mut slow_writer, &encode_request(&env)).expect("write query");
@@ -475,8 +502,14 @@ fn write_backpressure_on_slow_reader_keeps_other_connections_live() {
     for _ in 0..20 {
         live.ping().expect("ping while peer backpressured");
         let d = live
-            .distance(DistanceKind::Manhattan, &[0.0, 1.0], &[0.0, 3.0])
-            .expect("distance while peer backpressured");
+            .query_distance(
+                DistanceKind::Manhattan,
+                &[0.0, 1.0],
+                &[0.0, 3.0],
+                &QueryOptions::new(),
+            )
+            .expect("distance while peer backpressured")
+            .value;
         assert_eq!(d, 2.0);
     }
 
@@ -555,21 +588,25 @@ fn resident_dataset_queries_are_bitwise_identical_to_inline() {
     assert_eq!((again.as_str(), v2), (dataset_id.as_str(), 1));
 
     let q = series(48, 999);
-    let opts = QueryOpts::default();
+    let opts = QueryOptions::new();
 
     // kNN: resident vs inline, all outcome fields bitwise equal.
     let inline = client
-        .knn(DistanceKind::Dtw, 3, &q, &train, opts)
-        .expect("inline knn");
+        .query_knn(DistanceKind::Dtw, 3, &q, &train, &opts)
+        .expect("inline knn")
+        .value;
     let resident = client
-        .knn_resident(
+        .query_knn(
             DistanceKind::Dtw,
             3,
             &q,
-            mda_server::DatasetRef::by_id(&dataset_id),
-            opts,
+            &[],
+            &opts
+                .clone()
+                .dataset(mda_server::DatasetRef::by_id(&dataset_id)),
         )
-        .expect("resident knn");
+        .expect("resident knn")
+        .value;
     assert_eq!(resident.label, inline.label);
     assert_eq!(resident.score.to_bits(), inline.score.to_bits());
     assert_eq!(resident.nearest_index, inline.nearest_index);
@@ -580,16 +617,20 @@ fn resident_dataset_queries_are_bitwise_identical_to_inline() {
         .map(|t| (q.clone(), t.series.clone()))
         .collect();
     let inline_values = client
-        .batch(DistanceKind::Manhattan, &pairs, opts)
-        .expect("inline batch");
+        .query_batch(DistanceKind::Manhattan, &pairs, None, &opts)
+        .expect("inline batch")
+        .value;
     let resident_values = client
-        .batch_resident(
+        .query_batch(
             DistanceKind::Manhattan,
-            &q,
-            mda_server::DatasetRef::by_name("corpus"),
-            opts,
+            &[],
+            Some(&q),
+            &opts
+                .clone()
+                .dataset(mda_server::DatasetRef::by_name("corpus")),
         )
-        .expect("resident batch");
+        .expect("resident batch")
+        .value;
     assert_eq!(inline_values.len(), resident_values.len());
     for (a, b) in inline_values.iter().zip(&resident_values) {
         assert_eq!(a.to_bits(), b.to_bits());
@@ -598,18 +639,22 @@ fn resident_dataset_queries_are_bitwise_identical_to_inline() {
     // Subsequence search against one resident series.
     let sq = series(12, 1234);
     let inline_search = client
-        .search(&sq, &train[4].series, 12, 2, opts)
-        .expect("inline search");
+        .query_search(&sq, &train[4].series, 0, 12, 2, &opts)
+        .expect("inline search")
+        .value;
     let resident_search = client
-        .search_resident(
+        .query_search(
             &sq,
-            mda_server::DatasetRef::by_name_version("corpus", 1),
+            &[],
             4,
             12,
             2,
-            opts,
+            &opts
+                .clone()
+                .dataset(mda_server::DatasetRef::by_name_version("corpus", 1)),
         )
-        .expect("resident search");
+        .expect("resident search")
+        .value;
     assert_eq!(resident_search.offset, inline_search.offset);
     assert_eq!(
         resident_search.distance.to_bits(),
@@ -637,16 +682,18 @@ fn dataset_not_found_and_stale_version_are_typed_in_band_errors() {
     let server = start(ServerConfig::default());
     let mut client = Client::connect(server.local_addr()).expect("connect");
     let q = series(16, 5);
-    let opts = QueryOpts::default();
+    let opts = QueryOptions::new();
+    let with_dataset =
+        |opts: &QueryOptions, dref: mda_server::DatasetRef| opts.clone().dataset(dref);
 
     // Unknown id → not_found, connection survives.
     let err = client
-        .knn_resident(
+        .query_knn(
             DistanceKind::Dtw,
             1,
             &q,
-            mda_server::DatasetRef::by_id("no-such-dataset"),
-            opts,
+            &[],
+            &with_dataset(&opts, mda_server::DatasetRef::by_id("no-such-dataset")),
         )
         .expect_err("unknown dataset must fail");
     assert!(
@@ -676,12 +723,12 @@ fn dataset_not_found_and_stale_version_are_typed_in_band_errors() {
     assert_eq!(v2, 2);
     assert_ne!(v1_id, v2_id);
     let err = client
-        .knn_resident(
+        .query_knn(
             DistanceKind::Dtw,
             1,
             &q,
-            mda_server::DatasetRef::by_id(&v1_id),
-            opts,
+            &[],
+            &with_dataset(&opts, mda_server::DatasetRef::by_id(&v1_id)),
         )
         .expect_err("pinned stale id must fail");
     match &err {
@@ -697,12 +744,15 @@ fn dataset_not_found_and_stale_version_are_typed_in_band_errors() {
     // Pinning an outdated version by name fails the same way; the current
     // version still serves.
     let err = client
-        .knn_resident(
+        .query_knn(
             DistanceKind::Dtw,
             1,
             &q,
-            mda_server::DatasetRef::by_name_version("evolving", 1),
-            opts,
+            &[],
+            &with_dataset(
+                &opts,
+                mda_server::DatasetRef::by_name_version("evolving", 1),
+            ),
         )
         .expect_err("stale pinned version must fail");
     assert!(
@@ -716,12 +766,12 @@ fn dataset_not_found_and_stale_version_are_typed_in_band_errors() {
         "{err}"
     );
     client
-        .knn_resident(
+        .query_knn(
             DistanceKind::Dtw,
             1,
             &q,
-            mda_server::DatasetRef::by_id(&v2_id),
-            opts,
+            &[],
+            &with_dataset(&opts, mda_server::DatasetRef::by_id(&v2_id)),
         )
         .expect("current version serves");
     assert!(server.metrics().dataset_misses.get() >= 3);
@@ -740,8 +790,14 @@ fn many_concurrent_connections_smoke() {
                 let mut client = Client::connect(addr).expect("connect");
                 client.ping().expect("ping");
                 let d = client
-                    .distance(DistanceKind::Manhattan, &[c as f64, 1.0], &[c as f64, 3.0])
-                    .expect("distance");
+                    .query_distance(
+                        DistanceKind::Manhattan,
+                        &[c as f64, 1.0],
+                        &[c as f64, 3.0],
+                        &QueryOptions::new(),
+                    )
+                    .expect("distance")
+                    .value;
                 assert_eq!(d, 2.0);
             });
         }

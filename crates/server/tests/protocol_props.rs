@@ -12,6 +12,7 @@ use mda_server::protocol::{
     decode_reply, decode_request, encode_reply, encode_request, read_frame, write_frame, Envelope,
     ProtocolError, Reply, Request, ResponseBody, TrainInstance, DEFAULT_MAX_FRAME_BYTES,
 };
+use mda_server::Sla;
 
 /// Any finite `f64`, including negative zero, subnormals and extreme
 /// exponents: generated from raw bit patterns so the whole representable
@@ -36,6 +37,16 @@ fn kind() -> impl Strategy<Value = DistanceKind> {
     (0usize..DistanceKind::ALL.len()).prop_map(|i| DistanceKind::ALL[i])
 }
 
+fn accuracy() -> impl Strategy<Value = Option<Sla>> {
+    // The vendored proptest slice has no `prop_oneof`; pick the variant
+    // from a numeric selector instead.
+    (0u8..3, 0.0f64..1e9).prop_map(|(which, eps)| match which {
+        0 => None,
+        1 => Some(Sla::Exact),
+        _ => Some(Sla::tolerance(eps).expect("finite non-negative")),
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -47,6 +58,7 @@ proptest! {
         q in series(),
         band in 0usize..64,
         deadline in 0u64..100_000,
+        accuracy in accuracy(),
     ) {
         let env = Envelope {
             id,
@@ -57,14 +69,16 @@ proptest! {
                 threshold: None,
                 band: Some(band),
                 deadline_ms: Some(deadline),
+                accuracy,
             },
         };
         let decoded = decode_request(&encode_request(&env)).expect("self-encoded request");
         prop_assert_eq!(decoded.id, id);
-        let Request::Distance { p: dp, q: dq, kind: dk, .. } = decoded.req else {
+        let Request::Distance { p: dp, q: dq, kind: dk, accuracy: da, .. } = decoded.req else {
             panic!("decoded to a different op");
         };
         prop_assert_eq!(dk, kind);
+        prop_assert_eq!(da, accuracy);
         // Bitwise: the JSON codec must not perturb any finite f64.
         let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
         prop_assert_eq!(bits(&dp), bits(&p));
@@ -94,6 +108,7 @@ proptest! {
                 threshold: Some(0.25),
                 band: None,
                 deadline_ms: None,
+                accuracy: Some(Sla::Exact),
             },
         };
         let decoded = decode_request(&encode_request(&env)).expect("self-encoded request");
@@ -102,10 +117,7 @@ proptest! {
 
     #[test]
     fn reply_roundtrips_bitwise(values in series()) {
-        let reply = Reply {
-            id: 3,
-            body: ResponseBody::Batch { values: values.clone() },
-        };
+        let reply = Reply::new(3, ResponseBody::Batch { values: values.clone() });
         let decoded = decode_reply(&encode_reply(&reply)).expect("self-encoded reply");
         let ResponseBody::Batch { values: got } = decoded.body else {
             panic!("decoded to a different shape");

@@ -1,0 +1,109 @@
+//! Accuracy-aware routing under a power budget.
+//!
+//! Run with `cargo run --release --example route_budget`.
+//!
+//! Two views of the same router:
+//!
+//! 1. **library** — a `Router` with a deliberately small fleet envelope
+//!    routes a burst of tolerance-tagged DTW queries while every lease is
+//!    held: the first few ride the analog fabric, the rest overflow to
+//!    digital; releasing the leases restores analog admission;
+//! 2. **served** — an in-process `mda-server` answers a mixed
+//!    exact/tolerance workload; each tolerance reply reports the backend
+//!    that answered and the error bound it guarantees, and every answer is
+//!    checked against the direct digital call.
+//!
+//! Exits non-zero if any SLA is violated.
+
+use memristor_distance_accelerator::distance::{boxed_distance, DistanceKind};
+use memristor_distance_accelerator::routing::{
+    BackendId, Router, RouterConfig, Sla, DIGITAL_HOST_WATTS,
+};
+use memristor_distance_accelerator::server::{Client, QueryOptions, Server, ServerConfig};
+
+fn series(len: usize, seed: usize) -> Vec<f64> {
+    (0..len)
+        .map(|i| ((i + 19 * seed) as f64 * 0.33).sin() * 2.2 + (seed as f64 * 0.47).cos())
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- 1. The router against a shrinking power envelope. -------------
+    let router = Router::new(RouterConfig { fleet_power_w: 2.0 });
+    println!(
+        "fleet envelope: {:.1} W (digital host bills {DIGITAL_HOST_WATTS:.0} W per answer)",
+        router.fleet().cap_w()
+    );
+    let mut held = Vec::new();
+    for i in 0..6 {
+        let route = router.route_pair(DistanceKind::Dtw, 128, Sla::tolerance(16.0)?);
+        println!(
+            "  burst query {i}: {} ({:.2} W of fleet in use)",
+            route.backend,
+            router.fleet().in_use_w()
+        );
+        held.push(route);
+    }
+    let analog_held = held
+        .iter()
+        .filter(|r| r.backend == BackendId::Analog)
+        .count();
+    println!(
+        "  -> {analog_held} analog, {} digital overflow",
+        6 - analog_held
+    );
+    held.clear(); // releases every PowerLease
+    let after = router.route_pair(DistanceKind::Dtw, 128, Sla::tolerance(16.0)?);
+    println!(
+        "  after release: {} ({:.2} W in use)\n",
+        after.backend,
+        router.fleet().in_use_w()
+    );
+
+    // ---- 2. The same decisions over the wire. --------------------------
+    let server = Server::start(ServerConfig::default())?;
+    let mut client = Client::connect(server.local_addr())?;
+    println!("served workload -> {}", server.local_addr());
+    println!("  kind | sla        | backend       | bound (at ref) | within SLA");
+    println!("  -----+------------+---------------+----------------+-----------");
+    let mut violations = 0;
+    for (i, kind) in DistanceKind::ALL.into_iter().enumerate() {
+        let p = series(96, 2 * i + 1);
+        let q = series(96, 2 * i + 2);
+        let reference = boxed_distance(kind).evaluate(&p, &q)?;
+
+        // Exact: the pre-routing contract, bit for bit.
+        let exact =
+            client.query_distance(kind, &p, &q, &QueryOptions::new().accuracy(Sla::Exact))?;
+        let exact_ok = exact.value.to_bits() == reference.to_bits();
+
+        // Tolerance: let the router spend accuracy to save watts.
+        let eps = 16.0;
+        let routed = client.query_distance(
+            kind,
+            &p,
+            &q,
+            &QueryOptions::new().accuracy(Sla::tolerance(eps)?),
+        )?;
+        let route = routed
+            .route
+            .expect("accuracy-tagged replies report a route");
+        let tol_ok = (routed.value - reference).abs() <= eps;
+        println!("  {kind:>4} | exact      | digital_exact | exact          | {exact_ok}");
+        println!(
+            "  {kind:>4} | ±{eps:<9} | {:<13} | ±{:<13.3} | {tol_ok}",
+            route.backend.as_str(),
+            route.bound.margin(reference.abs())
+        );
+        if !exact_ok || !tol_ok {
+            violations += 1;
+        }
+    }
+    server.shutdown_and_join();
+
+    if violations > 0 {
+        return Err(format!("{violations} SLA violation(s)").into());
+    }
+    println!("\nall answers within their SLA");
+    Ok(())
+}

@@ -23,7 +23,7 @@ use memristor_distance_accelerator::server::protocol::{
     encode_request, DatasetEntry, DatasetRef, Envelope, Request, TrainInstance,
 };
 use memristor_distance_accelerator::server::{
-    Client, QueryOpts, ResponseBody, Server, ServerConfig,
+    Client, QueryOptions, ResponseBody, Server, ServerConfig,
 };
 
 fn series(len: usize, seed: usize) -> Vec<f64> {
@@ -80,21 +80,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Same queries, both paths; answers must match bit for bit.
     let queries: Vec<Vec<f64>> = (0..12).map(|i| series(96, 7000 + i)).collect();
-    let opts = QueryOpts::default();
+    let opts = QueryOptions::new();
+    let resident_opts = opts.clone().dataset(DatasetRef::by_id(&dataset_id));
     let mut inline_bytes = 0u64;
     let mut resident_bytes = wire_bytes(Request::UploadDataset {
         name: "demo-corpus".into(),
         entries: entries.clone(),
     });
     for (i, query) in queries.iter().enumerate() {
-        let inline = client.knn(DistanceKind::Dtw, 3, query, &train, opts)?;
-        let resident = client.knn_resident(
-            DistanceKind::Dtw,
-            3,
-            query,
-            DatasetRef::by_id(&dataset_id),
-            opts,
-        )?;
+        let inline = client
+            .query_knn(DistanceKind::Dtw, 3, query, &train, &opts)?
+            .value;
+        let resident = client
+            .query_knn(DistanceKind::Dtw, 3, query, &[], &resident_opts)?
+            .value;
         if inline.label != resident.label || inline.score.to_bits() != resident.score.to_bits() {
             return Err(format!("query {i}: inline {inline:?} != resident {resident:?}").into());
         }
@@ -107,6 +106,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             threshold: None,
             band: None,
             deadline_ms: None,
+            accuracy: None,
         });
         resident_bytes += wire_bytes(Request::Knn {
             kind: DistanceKind::Dtw,
@@ -117,6 +117,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             threshold: None,
             band: None,
             deadline_ms: None,
+            accuracy: None,
         });
     }
     println!(
@@ -138,6 +139,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             threshold: None,
             band: None,
             deadline_ms: None,
+            accuracy: None,
         })
         .collect();
     let replies = client.send_many(burst)?;

@@ -14,7 +14,7 @@ use std::net::SocketAddr;
 
 use memristor_distance_accelerator::distance::{boxed_distance, DistanceKind};
 use memristor_distance_accelerator::server::protocol::TrainInstance;
-use memristor_distance_accelerator::server::{Client, QueryOpts, Server, ServerConfig};
+use memristor_distance_accelerator::server::{Client, QueryOptions, Server, ServerConfig};
 
 fn series(len: usize, seed: usize) -> Vec<f64> {
     (0..len)
@@ -55,7 +55,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("function | served value | bitwise-identical to direct call");
     println!("---------+--------------+---------------------------------");
     for kind in DistanceKind::ALL {
-        let served = client.distance(kind, &p, &q)?;
+        let served = client
+            .query_distance(kind, &p, &q, &QueryOptions::new())?
+            .value;
         let direct = boxed_distance(kind).evaluate(&p, &q)?;
         if served.to_bits() != direct.to_bits() {
             return Err(format!("{kind}: served {served:e} != direct {direct:e}").into());
@@ -71,7 +73,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             series: series(32, 10 + i),
         })
         .collect();
-    let outcome = client.knn(DistanceKind::Dtw, 3, &p, &train, QueryOpts::default())?;
+    let outcome = client
+        .query_knn(DistanceKind::Dtw, 3, &p, &train, &QueryOptions::new())?
+        .value;
     println!(
         "kNN (DTW, k=3): label {} (score {:.6}, nearest train index {})",
         outcome.label, outcome.score, outcome.nearest_index

@@ -21,8 +21,12 @@
 //!   tiling and early determination;
 //! * [`datasets`] — UCR-style synthetic datasets and the UCR format parser;
 //! * [`power`] — power budgets and energy-efficiency comparisons;
+//! * [`routing`] — the accuracy-SLA, power-budget-aware router unifying
+//!   the four answer paths (digital exact, pruned, behavioural analog,
+//!   SPICE) behind one backend trait;
 //! * [`server`] — the batching distance-query network service (request
-//!   coalescing, admission control, live metrics).
+//!   coalescing, admission control, accuracy-aware routing, live
+//!   metrics).
 //!
 //! ## Quickstart
 //!
@@ -50,5 +54,6 @@ pub use mda_datasets as datasets;
 pub use mda_distance as distance;
 pub use mda_memristor as memristor;
 pub use mda_power as power;
+pub use mda_routing as routing;
 pub use mda_server as server;
 pub use mda_spice as spice;
