@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! conformance [--quick] [--seed N] [--cases N] [--out DIR] [--report FILE]
-//!             [--no-server] [--no-spice] [--no-faults]
+//!             [--no-server] [--no-spice] [--no-faults] [--no-streaming]
 //! conformance --replay FILE
 //! ```
 //!
@@ -52,12 +52,13 @@ fn parse_args() -> Result<Args, String> {
             "--no-server" => config.with_server = false,
             "--no-spice" => config.with_spice = false,
             "--no-faults" => config.with_faults = false,
+            "--no-streaming" => config.with_streaming = false,
             "--replay" => replay_path = Some(PathBuf::from(value("--replay")?)),
             "--help" | "-h" => {
                 return Err(
                     "usage: conformance [--quick] [--seed N] [--cases N] [--out DIR] \
                             [--report FILE] [--no-server] [--no-spice] [--no-faults] \
-                            | --replay FILE"
+                            [--no-streaming] | --replay FILE"
                         .into(),
                 )
             }

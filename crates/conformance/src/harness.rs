@@ -36,6 +36,9 @@ pub struct HarnessConfig {
     pub with_spice: bool,
     /// Run the memristor fault-injection suite.
     pub with_faults: bool,
+    /// Run the streaming differential gate (incremental operators must be
+    /// bitwise-equal to from-scratch batch recomputation) on every case.
+    pub with_streaming: bool,
     /// Directory shrunk reproducers are written to.
     pub out_dir: PathBuf,
     /// Max predicate evaluations the shrinker spends per disagreement.
@@ -56,6 +59,7 @@ impl HarnessConfig {
             with_server: true,
             with_spice: true,
             with_faults: true,
+            with_streaming: true,
             out_dir: PathBuf::from("results/conformance"),
             shrink_budget: 400,
             bound_scale: 1.0,
@@ -112,6 +116,10 @@ struct KindStats {
     server: LayerStats,
     server_resident: LayerStats,
     server_routed: LayerStats,
+    /// Streaming differential gate runs (each one a bitwise pass).
+    streaming_checks: u64,
+    /// Points pushed across those runs.
+    streaming_pushes: u64,
 }
 
 /// Runs one case through every enabled layer and returns the out-of-bound
@@ -119,6 +127,7 @@ struct KindStats {
 fn check_case(
     case: &CaseSpec,
     with_spice: bool,
+    with_streaming: bool,
     bound_scale: f64,
     client: Option<&mut Client>,
     stats: Option<&mut KindStats>,
@@ -203,6 +212,27 @@ fn check_case(
                 reference: analog_reference,
                 margin: bound.margin(analog_reference),
                 error: Some(e.to_string()),
+            }),
+        }
+    }
+
+    // The streaming gate is bitwise: the incremental operator DAG either
+    // reproduces the from-scratch batch recomputation exactly at every
+    // push, or the first diverging push is a finding. No margin applies.
+    if with_streaming && layers::streaming_eligibility(case).is_ok() {
+        match layers::streaming(case) {
+            Ok(report) => {
+                if let Some(s) = stats.as_deref_mut() {
+                    s.streaming_checks += 1;
+                    s.streaming_pushes += report.pushes;
+                }
+            }
+            Err(e) => failures.push(Failure {
+                layer: "streaming_differential",
+                value: f64::NAN,
+                reference,
+                margin: 0.0,
+                error: Some(e),
             }),
         }
     }
@@ -312,12 +342,20 @@ fn still_fails(
     candidate: &CaseSpec,
     original: &Failure,
     with_spice: bool,
+    with_streaming: bool,
     bound_scale: f64,
     client: Option<&mut Client>,
 ) -> bool {
-    check_case(candidate, with_spice, bound_scale, client, None)
-        .iter()
-        .any(|f| f.layer == original.layer && f.error.is_some() == original.error.is_some())
+    check_case(
+        candidate,
+        with_spice,
+        with_streaming,
+        bound_scale,
+        client,
+        None,
+    )
+    .iter()
+    .any(|f| f.layer == original.layer && f.error.is_some() == original.error.is_some())
 }
 
 /// Runs the full harness: differential cases, shrinking, fault suite,
@@ -374,6 +412,7 @@ pub fn run(config: &HarnessConfig) -> RunOutcome {
         let case_failures = check_case(
             &case,
             config.with_spice,
+            config.with_streaming,
             config.bound_scale,
             client.as_mut(),
             Some(stats),
@@ -410,6 +449,7 @@ pub fn run(config: &HarnessConfig) -> RunOutcome {
                     cand,
                     original,
                     config.with_spice,
+                    config.with_streaming,
                     config.bound_scale,
                     client.as_mut(),
                 )
@@ -419,6 +459,7 @@ pub fn run(config: &HarnessConfig) -> RunOutcome {
         let shrunk_failures = check_case(
             &shrunk,
             config.with_spice,
+            config.with_streaming,
             config.bound_scale,
             client.as_mut(),
             None,
@@ -479,6 +520,13 @@ pub fn run(config: &HarnessConfig) -> RunOutcome {
                         ("server".into(), s.server.json()),
                         ("server_resident".into(), s.server_resident.json()),
                         ("server_routed".into(), s.server_routed.json()),
+                        (
+                            "streaming".into(),
+                            Json::Obj(vec![
+                                ("checks".into(), Json::Num(s.streaming_checks as f64)),
+                                ("pushes".into(), Json::Num(s.streaming_pushes as f64)),
+                            ]),
+                        ),
                     ]),
                 )
             })
@@ -513,6 +561,10 @@ pub fn run(config: &HarnessConfig) -> RunOutcome {
                 ("server".into(), Json::Bool(config.with_server)),
                 ("server_resident".into(), Json::Bool(config.with_server)),
                 ("server_routed".into(), Json::Bool(config.with_server)),
+                (
+                    "streaming_differential".into(),
+                    Json::Bool(config.with_streaming),
+                ),
                 ("faults".into(), Json::Bool(config.with_faults)),
             ]),
         ),
@@ -555,7 +607,7 @@ pub fn replay(case: &CaseSpec, with_server: bool) -> Vec<Failure> {
     let mut client = server
         .as_ref()
         .and_then(|s| Client::connect(s.local_addr()).ok());
-    let failures = check_case(case, true, 1.0, client.as_mut(), None);
+    let failures = check_case(case, true, true, 1.0, client.as_mut(), None);
     drop(client);
     if let Some(s) = server {
         s.shutdown_and_join();
@@ -574,6 +626,7 @@ mod tests {
             with_server: false,
             with_spice: true,
             with_faults: false,
+            with_streaming: true,
             out_dir: std::env::temp_dir().join("mda_conformance_harness_test"),
             shrink_budget: 100,
             bound_scale: 1.0,
@@ -586,6 +639,31 @@ mod tests {
         let b = run(&offline(42, 48));
         assert!(a.failures.is_empty(), "{:?}", a.failures);
         assert_eq!(format!("{}", a.report), format!("{}", b.report));
+    }
+
+    #[test]
+    fn streaming_layer_runs_and_reports_checks() {
+        let outcome = run(&offline(11, 48));
+        assert!(outcome.failures.is_empty(), "{:?}", outcome.failures);
+        let layers = outcome.report.get("layers").expect("layers");
+        assert_eq!(
+            layers.get("streaming_differential"),
+            Some(&Json::Bool(true))
+        );
+        // Every eligible case ran the gate; pushed points accumulate.
+        let per_kind = outcome.report.get("per_kind").expect("per_kind");
+        let Json::Obj(kinds) = per_kind else {
+            panic!("per_kind must be an object");
+        };
+        let total_checks: f64 = kinds
+            .iter()
+            .filter_map(|(_, v)| v.get("streaming").and_then(|s| s.get("checks")))
+            .map(|c| match c {
+                Json::Num(n) => *n,
+                _ => 0.0,
+            })
+            .sum();
+        assert!(total_checks > 0.0, "no streaming checks ran:\n{per_kind}");
     }
 
     #[test]
@@ -610,7 +688,7 @@ mod tests {
         // indirectly through `run` is exercised elsewhere; here assert the
         // shrink predicate plumbing judges a healthy case as passing.
         let case = crate::case::generate(3, 1);
-        let fails = check_case(&case, true, 1.0, None, None);
+        let fails = check_case(&case, true, true, 1.0, None, None);
         assert!(fails.is_empty(), "{fails:?}");
     }
 }

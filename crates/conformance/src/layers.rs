@@ -205,6 +205,48 @@ pub fn server_resident(client: &mut Client, case: &CaseSpec) -> Result<f64, Clie
     })
 }
 
+/// Whether the streaming differential layer runs this case, and if not,
+/// why not.
+pub fn streaming_eligibility(case: &CaseSpec) -> Result<(), &'static str> {
+    if case.p.is_empty() {
+        return Err("empty query has no stream window");
+    }
+    if case.q.is_empty() {
+        return Err("empty series yields no pushes");
+    }
+    if case.p.iter().chain(&case.q).any(|x| !x.is_finite()) {
+        return Err("streams reject non-finite points by contract");
+    }
+    Ok(())
+}
+
+/// The **streaming differential** layer: the case's `p` becomes the
+/// subsequence query of a push-mode stream, its `q` is cycled into a live
+/// series about three-and-a-half windows long, and `mda-streaming`'s gate
+/// recomputes every incremental operator output from scratch per push —
+/// sliding z-norm, envelopes, the UCR cascade decision, and the
+/// motif/discord records must all be **bitwise** equal to batch.
+///
+/// # Errors
+///
+/// The first push at which any operator diverged from its batch
+/// recomputation (or a configuration rejection), as a display string.
+pub fn streaming(case: &CaseSpec) -> Result<mda_streaming::DifferentialReport, String> {
+    let window = case.p.len();
+    let config = mda_streaming::StreamConfig {
+        window,
+        band: case.band.unwrap_or(0).min(window),
+        query: case.p.clone(),
+        threshold: None,
+    };
+    let target = 3 * window + window / 2 + 1;
+    let mut stream = Vec::with_capacity(target + case.q.len());
+    while stream.len() < target {
+        stream.extend_from_slice(&case.q);
+    }
+    mda_streaming::check_series(&config, &stream).map_err(|e| e.to_string())
+}
+
 fn case_opts(case: &CaseSpec) -> QueryOptions {
     let mut opts = QueryOptions::new();
     if case.thresholded() {

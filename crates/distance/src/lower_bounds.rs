@@ -15,6 +15,8 @@
 //! exactly once. The `kernels` and `lower_bounds` benches measure the pruning
 //! power that the paper's CPU baseline relies on.
 
+use std::collections::VecDeque;
+
 use crate::dtw::{Band, Dtw};
 use crate::error::DistanceError;
 use crate::scratch::DpScratch;
@@ -188,6 +190,155 @@ pub(crate) fn ensure_query_envelope(
     scratch.qe_radius = r;
     scratch.qe_valid = true;
     Ok(())
+}
+
+/// The element [`lemire_pass`] selects for a window: the *latest*
+/// occurrence of the extremum. Split out publicly so incremental envelope
+/// maintainers (the streaming tier) can recompute window-clamped border
+/// entries with exactly the deque's tie-breaking — equal values keep the
+/// later index, so `0.0`/`-0.0` ties resolve to the same bits.
+pub fn slice_extremum(xs: &[f64], max: bool) -> f64 {
+    debug_assert!(!xs.is_empty());
+    let mut cur = xs[0];
+    for &x in &xs[1..] {
+        let dominated = if max { cur <= x } else { cur >= x };
+        if dominated {
+            cur = x;
+        }
+    }
+    cur
+}
+
+/// Streaming monotonic deque over an absolute-indexed point stream: after
+/// pushing index `i`, [`extremum`](Self::extremum) is the max (or min) of
+/// the last `span` points — the Lemire pass of [`envelope`] restated as an
+/// O(1)-amortized online structure.
+///
+/// This is the public incremental-envelope hook for the streaming tier:
+/// with `span = 2r + 1`, reading the extremum after pushing index `c + r`
+/// yields the Sakoe–Chiba envelope entry centred at `c`, bit-for-bit the
+/// value the batch pass computes (same domination rule, so ties select the
+/// same element; see [`slice_extremum`]).
+#[derive(Debug, Clone)]
+pub struct SlidingExtremum {
+    deque: VecDeque<(u64, f64)>,
+    span: u64,
+    max: bool,
+}
+
+impl SlidingExtremum {
+    /// A sliding **max** over the last `span` pushed points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span` is zero.
+    pub fn new_max(span: usize) -> Self {
+        assert!(span > 0, "span must be positive");
+        SlidingExtremum {
+            deque: VecDeque::new(),
+            span: span as u64,
+            max: true,
+        }
+    }
+
+    /// A sliding **min** over the last `span` pushed points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span` is zero.
+    pub fn new_min(span: usize) -> Self {
+        assert!(span > 0, "span must be positive");
+        SlidingExtremum {
+            deque: VecDeque::new(),
+            span: span as u64,
+            max: false,
+        }
+    }
+
+    /// Admits the point at absolute stream `index` (indices must be pushed
+    /// in increasing order) and expires entries older than the span.
+    pub fn push(&mut self, index: u64, value: f64) {
+        debug_assert!(
+            self.deque.back().is_none_or(|&(i, _)| i < index),
+            "indices must be strictly increasing"
+        );
+        while let Some(&(_, back)) = self.deque.back() {
+            let dominated = if self.max {
+                back <= value
+            } else {
+                back >= value
+            };
+            if !dominated {
+                break;
+            }
+            self.deque.pop_back();
+        }
+        self.deque.push_back((index, value));
+        let min_index = (index + 1).saturating_sub(self.span);
+        while let Some(&(front, _)) = self.deque.front() {
+            if front >= min_index {
+                break;
+            }
+            self.deque.pop_front();
+        }
+    }
+
+    /// The extremum of the last `span` pushed points (`None` before any
+    /// push).
+    pub fn extremum(&self) -> Option<f64> {
+        self.deque.front().map(|&(_, v)| v)
+    }
+}
+
+/// [`cascading_dtw_with`] for callers that already hold the candidate's
+/// envelope — the streaming tier maintains it incrementally with
+/// [`SlidingExtremum`] deques as the window slides, replacing the per-call
+/// Lemire pass of layer 3. When `cand_upper`/`cand_lower` are bitwise
+/// equal to `envelope(q, r)` (which the incremental maintenance
+/// guarantees), the returned decision is bitwise identical to
+/// [`cascading_dtw_with`].
+///
+/// # Errors
+///
+/// [`DistanceError::LengthMismatch`] if the envelope length differs from
+/// `q`, plus everything [`cascading_dtw`] can return.
+pub fn cascading_dtw_with_candidate_envelope(
+    p: &[f64],
+    q: &[f64],
+    r: usize,
+    best_so_far: f64,
+    cand_upper: &[f64],
+    cand_lower: &[f64],
+    scratch: &mut DpScratch,
+) -> Result<PruneDecision, DistanceError> {
+    if cand_upper.len() != q.len() || cand_lower.len() != q.len() {
+        return Err(DistanceError::LengthMismatch {
+            left: cand_upper.len().min(cand_lower.len()),
+            right: q.len(),
+        });
+    }
+    let kim = lb_kim(p, q)?;
+    if kim > best_so_far {
+        return Ok(PruneDecision::PrunedByKim(kim));
+    }
+    if p.len() == q.len() {
+        ensure_query_envelope(scratch, p, r)?;
+        let keogh_q = lb_keogh_envelope(q, &scratch.qe_upper, &scratch.qe_lower);
+        if keogh_q > best_so_far {
+            return Ok(PruneDecision::PrunedByKeogh(keogh_q));
+        }
+        let keogh_c = lb_keogh_envelope(p, cand_upper, cand_lower);
+        if keogh_c > best_so_far {
+            return Ok(PruneDecision::PrunedByKeogh(keogh_c));
+        }
+    }
+    match Dtw::new()
+        .with_band(Band::SakoeChiba(r))
+        .distance_early_abandon_with(p, q, best_so_far, scratch)?
+    {
+        Some(d) => Ok(PruneDecision::Computed(d)),
+        None => Ok(PruneDecision::AbandonedEarly),
+    }
 }
 
 /// Result of a cascading lower-bound test against a pruning threshold.
@@ -442,6 +593,98 @@ mod tests {
         cascading_dtw_with(&p, &q, 5, f64::INFINITY, &mut scratch).unwrap();
         assert!(scratch.query_envelope_matches(&p, 5));
         assert!(!scratch.query_envelope_matches(&p, 3));
+    }
+
+    #[test]
+    fn sliding_extremum_matches_batch_envelope_interior() {
+        // With span = 2r + 1, the deque read after pushing index c + r is
+        // exactly the batch envelope entry centred at c, bit for bit —
+        // including 0.0 / -0.0 plateaus, where both sides keep the later
+        // occurrence.
+        let q: Vec<f64> = (0..64)
+            .map(|i| match i % 7 {
+                0 => 0.0,
+                1 => -0.0,
+                k => ((i * 131 % 17) as f64 - 8.0) * 0.25 * k as f64,
+            })
+            .collect();
+        for r in [0usize, 1, 2, 5, 9] {
+            let (bu, bl) = envelope(&q, r).unwrap();
+            let mut smax = SlidingExtremum::new_max(2 * r + 1);
+            let mut smin = SlidingExtremum::new_min(2 * r + 1);
+            for (s, &x) in q.iter().enumerate() {
+                smax.push(s as u64, x);
+                smin.push(s as u64, x);
+                if s >= 2 * r && s < q.len() {
+                    let c = s - r;
+                    assert_eq!(smax.extremum().unwrap().to_bits(), bu[c].to_bits());
+                    assert_eq!(smin.extremum().unwrap().to_bits(), bl[c].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slice_extremum_matches_envelope_borders() {
+        let q = [2.0, -0.0, 0.0, 2.0, -3.0, 2.0, 0.5];
+        for r in [0usize, 1, 2, 3, 10] {
+            let (bu, bl) = envelope(&q, r).unwrap();
+            for i in 0..q.len() {
+                let lo = i.saturating_sub(r);
+                let hi = (i + r).min(q.len() - 1);
+                let w = &q[lo..=hi];
+                assert_eq!(slice_extremum(w, true).to_bits(), bu[i].to_bits());
+                assert_eq!(slice_extremum(w, false).to_bits(), bl[i].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_envelope_cascade_matches_plain_cascade() {
+        let mut scratch_a = DpScratch::new();
+        let mut scratch_b = DpScratch::new();
+        for phase in 0..12 {
+            let p: Vec<f64> = (0..24)
+                .map(|i| (i as f64 * 0.35 + phase as f64).sin() * 2.0)
+                .collect();
+            let q: Vec<f64> = (0..24)
+                .map(|i| (i as f64 * 0.33 + phase as f64 * 0.5).cos() * 1.5)
+                .collect();
+            for r in [0usize, 1, 3, 6] {
+                for best in [0.1, 2.0, 25.0, f64::INFINITY] {
+                    let (cu, cl) = envelope(&q, r).unwrap();
+                    let with_env = cascading_dtw_with_candidate_envelope(
+                        &p,
+                        &q,
+                        r,
+                        best,
+                        &cu,
+                        &cl,
+                        &mut scratch_a,
+                    )
+                    .unwrap();
+                    let plain = cascading_dtw_with(&p, &q, r, best, &mut scratch_b).unwrap();
+                    assert_eq!(with_env, plain, "phase={phase} r={r} best={best}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_envelope_length_mismatch_is_typed() {
+        let p = [0.0, 1.0];
+        let q = [0.0, 2.0];
+        let err = cascading_dtw_with_candidate_envelope(
+            &p,
+            &q,
+            1,
+            f64::INFINITY,
+            &[0.0],
+            &[0.0],
+            &mut DpScratch::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, DistanceError::LengthMismatch { .. }));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! [`Client::list_datasets`] / [`Client::drop_dataset`] and then referenced
 //! from queries via [`DatasetRef`].
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -21,7 +21,7 @@ use mda_routing::Sla;
 use crate::protocol::{
     decode_reply, encode_request, read_frame, write_frame, DatasetEntry, DatasetRef,
     DatasetSummary, Envelope, ErrorCode, ProtocolError, Reply, Request, ResponseBody, RouteInfo,
-    TrainInstance, DEFAULT_MAX_FRAME_BYTES,
+    StreamEventBody, TrainInstance, DEFAULT_MAX_FRAME_BYTES,
 };
 
 /// A failed client call.
@@ -214,12 +214,45 @@ pub struct SearchOutcome {
     pub distance: f64,
 }
 
+/// A successfully opened push-mode stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamOpen {
+    /// Server-assigned stream id — quote it on every subsequent verb.
+    pub stream_id: u64,
+    /// Consistent-hash shard the stream is pinned to.
+    pub shard: u32,
+    /// Points the stream must see before subscribers get ready frames.
+    pub burn_in: u64,
+}
+
+/// A `push_points` acknowledgement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PushedPoints {
+    /// Points the server accepted (all-or-nothing per call).
+    pub accepted: u64,
+    /// The stream's epoch (total accepted points) after this push.
+    pub epoch: u64,
+}
+
+/// A subscription acknowledgement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Subscription {
+    /// Stream epoch at subscription time — the first event's epoch is
+    /// `epoch + 1`; any larger gap means events were missed.
+    pub epoch: u64,
+    /// `true` once the stream has completed burn-in.
+    pub warm: bool,
+}
+
 /// One blocking connection to an `mda-server`.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     next_id: u64,
     max_frame_bytes: usize,
+    /// Subscription events that arrived while waiting for a synchronous
+    /// reply; consumed by [`Client::next_event`] in arrival order.
+    pending_events: VecDeque<StreamEventBody>,
 }
 
 impl Client {
@@ -237,7 +270,22 @@ impl Client {
             writer: BufWriter::new(stream),
             next_id: 1,
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            pending_events: VecDeque::new(),
         })
+    }
+
+    /// Reads the next non-event reply, buffering any stream events that
+    /// arrive in between (a subscribed connection receives unsolicited
+    /// `stream_event` frames interleaved with its synchronous replies).
+    fn read_reply(&mut self) -> Result<Reply, ClientError> {
+        loop {
+            let payload = read_frame(&mut self.reader, self.max_frame_bytes)?;
+            let reply = decode_reply(&payload)?;
+            match reply.body {
+                ResponseBody::StreamEvent(event) => self.pending_events.push_back(event),
+                _ => return Ok(reply),
+            }
+        }
     }
 
     /// Issues one request and waits for its reply, keeping the routing
@@ -250,12 +298,11 @@ impl Client {
         self.next_id += 1;
         let env = Envelope { id, req };
         write_frame(&mut self.writer, &encode_request(&env))?;
-        let payload = read_frame(&mut self.reader, self.max_frame_bytes)?;
         let Reply {
             id: got,
             body,
             route,
-        } = decode_reply(&payload)?;
+        } = self.read_reply()?;
         if got != id {
             return Err(ClientError::UnexpectedReply(format!(
                 "reply id {got} does not match request id {id}"
@@ -645,6 +692,122 @@ impl Client {
         }
     }
 
+    /// Opens a push-mode stream: an incremental operator DAG matching
+    /// `query` against every window of the live series under banded DTW.
+    ///
+    /// `threshold`, when set, must be finite and positive; it caps the
+    /// match cascade's pruning threshold (best-so-far tightens it further).
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures or a server error reply
+    /// (`invalid_parameter` for a rejected configuration).
+    pub fn open_stream(
+        &mut self,
+        window: usize,
+        band: usize,
+        query: &[f64],
+        threshold: Option<f64>,
+    ) -> Result<StreamOpen, ClientError> {
+        match self.call(Request::OpenStream {
+            window,
+            band,
+            query: query.to_vec(),
+            threshold,
+        })? {
+            ResponseBody::StreamOpened {
+                stream_id,
+                shard,
+                burn_in,
+            } => Ok(StreamOpen {
+                stream_id,
+                shard,
+                burn_in,
+            }),
+            other => Err(ClientError::UnexpectedReply(format!("{other:?}"))),
+        }
+    }
+
+    /// Pushes points to an open stream. All-or-nothing: a non-finite point
+    /// rejects the whole batch (`invalid_parameter`) without mutating the
+    /// stream.
+    ///
+    /// On a subscribed connection the acknowledgement always precedes the
+    /// events this push caused, so `push_points` then [`Client::next_event`]
+    /// never deadlocks.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures or a server error reply (`not_found`
+    /// for an unknown or closed stream).
+    pub fn push_points(
+        &mut self,
+        stream_id: u64,
+        points: &[f64],
+    ) -> Result<PushedPoints, ClientError> {
+        match self.call(Request::PushPoints {
+            stream_id,
+            points: points.to_vec(),
+        })? {
+            ResponseBody::PointsPushed {
+                accepted, epoch, ..
+            } => Ok(PushedPoints { accepted, epoch }),
+            other => Err(ClientError::UnexpectedReply(format!("{other:?}"))),
+        }
+    }
+
+    /// Subscribes this connection to a stream: every subsequent accepted
+    /// push produces one [`StreamEventBody`], delivered in push order and
+    /// consumed with [`Client::next_event`].
+    ///
+    /// Events carry the stream epoch; compare consecutive epochs against
+    /// [`Subscription::epoch`] to detect gaps.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures or a server error reply (`not_found`
+    /// for an unknown or closed stream).
+    pub fn subscribe(&mut self, stream_id: u64) -> Result<Subscription, ClientError> {
+        match self.call(Request::Subscribe { stream_id })? {
+            ResponseBody::Subscribed { epoch, warm, .. } => Ok(Subscription { epoch, warm }),
+            other => Err(ClientError::UnexpectedReply(format!("{other:?}"))),
+        }
+    }
+
+    /// Returns the next subscription event: buffered ones first (events
+    /// that arrived interleaved with synchronous replies), then blocking
+    /// on the socket.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures, or a non-event frame arriving with no
+    /// request outstanding.
+    pub fn next_event(&mut self) -> Result<StreamEventBody, ClientError> {
+        if let Some(event) = self.pending_events.pop_front() {
+            return Ok(event);
+        }
+        let payload = read_frame(&mut self.reader, self.max_frame_bytes)?;
+        let reply = decode_reply(&payload)?;
+        match reply.body {
+            ResponseBody::StreamEvent(event) => Ok(event),
+            other => Err(ClientError::UnexpectedReply(format!("{other:?}"))),
+        }
+    }
+
+    /// Closes a stream, dropping its state and every subscription to it.
+    /// Returns how many points the stream accepted over its lifetime.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures or a server error reply (`not_found`
+    /// for an unknown or already-closed stream).
+    pub fn close_stream(&mut self, stream_id: u64) -> Result<u64, ClientError> {
+        match self.call(Request::CloseStream { stream_id })? {
+            ResponseBody::StreamClosed { pushed, .. } => Ok(pushed),
+            other => Err(ClientError::UnexpectedReply(format!("{other:?}"))),
+        }
+    }
+
     /// Issues a burst of requests **pipelined** on this connection: every
     /// request is written (one flush) before any reply is read, then all
     /// replies are collected and returned in request order.
@@ -694,8 +857,9 @@ impl Client {
         self.writer.flush()?;
         let mut by_id: HashMap<u64, Reply> = HashMap::with_capacity(ids.len());
         for _ in 0..ids.len() {
-            let payload = read_frame(&mut self.reader, self.max_frame_bytes)?;
-            let reply = decode_reply(&payload)?;
+            // Events caused by pushes inside the burst are buffered for
+            // `next_event`, not counted against the expected replies.
+            let reply = self.read_reply()?;
             let id = reply.id;
             if !ids.contains(&id) || by_id.insert(id, reply).is_some() {
                 return Err(ClientError::UnexpectedReply(format!(

@@ -32,6 +32,7 @@
 //! stream is beyond resync), and drain-then-shutdown — every admitted job's
 //! reply is flushed before its socket closes.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -51,6 +52,8 @@ use crate::protocol::{
     ResponseBody, RouteInfo,
 };
 use crate::queue::{Coalescer, Job, ReplySink};
+use crate::streams::StreamRegistry;
+use mda_streaming::{StreamConfig, StreamError};
 
 // ---------------------------------------------------------------------------
 // Raw epoll / eventfd FFI (Linux). No libc crate: these are the same thin
@@ -366,6 +369,14 @@ pub(crate) struct EventLoop {
     pub(crate) shutdown: Arc<AtomicBool>,
     pub(crate) finish: Arc<AtomicBool>,
     pub(crate) router: Arc<Router>,
+    /// Push-mode stream state. `RefCell`, not `Mutex`: streams live and
+    /// die on this thread only (`Send` because operators are `Send`).
+    pub(crate) streams: RefCell<StreamRegistry>,
+    /// Subscription events produced while one connection was mutably
+    /// borrowed, waiting to be fanned out to their target connections.
+    /// Unlike [`Completions`], draining these must NOT touch `in_flight`:
+    /// events are unsolicited, nothing was submitted for them.
+    pub(crate) stream_events: RefCell<Vec<(u64, Reply)>>,
 }
 
 /// Builds the wake/completion pair shared between loop and dispatcher.
@@ -446,6 +457,18 @@ impl EventLoop {
                 self.advance(token, conn);
             }
 
+            // Fan out stream subscription events queued while handling
+            // pushes this iteration. Drained AFTER completions and after
+            // the push's own reply was buffered, so a subscriber that is
+            // also the pusher always sees its `points_pushed` reply before
+            // the events it caused. No `in_flight` bookkeeping: events are
+            // unsolicited.
+            for (token, reply) in self.stream_events.borrow_mut().drain(..) {
+                if let Some(conn) = conns.get_mut(&token) {
+                    conn.push_reply(&reply);
+                }
+            }
+
             // Stop accepting the moment shutdown begins.
             if self.shutdown.load(Ordering::SeqCst) {
                 if let Some(l) = listener.take() {
@@ -493,6 +516,11 @@ impl EventLoop {
                 if let Some(conn) = conns.remove(&token) {
                     poller.delete(conn.fd);
                     self.metrics.open_connections.dec();
+                    // A dead connection's stream subscriptions die with it;
+                    // its opened streams stay (another client may push).
+                    if self.streams.borrow_mut().drop_token(token) > 0 {
+                        self.sync_stream_gauges();
+                    }
                 }
             }
 
@@ -743,6 +771,118 @@ impl EventLoop {
                 self.sync_dataset_gauges();
                 conn.push_reply(&Reply::new(id, body));
             }
+            Request::OpenStream {
+                window,
+                band,
+                query,
+                threshold,
+            } => {
+                let body = match self.streams.borrow_mut().open(StreamConfig {
+                    window,
+                    band,
+                    query,
+                    threshold,
+                }) {
+                    Ok(out) => {
+                        self.metrics.replies_ok.inc();
+                        self.metrics.streams_opened.inc();
+                        ResponseBody::StreamOpened {
+                            stream_id: out.stream_id,
+                            shard: out.shard,
+                            burn_in: out.burn_in,
+                        }
+                    }
+                    Err(e) => {
+                        self.metrics.replies_error.inc();
+                        ResponseBody::Error {
+                            code: match e {
+                                StreamError::InvalidParameter(_) => ErrorCode::InvalidParameter,
+                                _ => ErrorCode::BadRequest,
+                            },
+                            message: e.to_string(),
+                        }
+                    }
+                };
+                self.sync_stream_gauges();
+                conn.push_reply(&Reply::new(id, body));
+            }
+            Request::PushPoints { stream_id, points } => {
+                let started = Instant::now();
+                let body = match self.streams.borrow_mut().push(stream_id, &points) {
+                    Ok(out) => {
+                        self.metrics.stream_points.add(out.accepted);
+                        self.metrics.stream_evictions.add(out.evictions);
+                        self.metrics.stream_events.add(out.events.len() as u64);
+                        let mut queued = self.stream_events.borrow_mut();
+                        for (target, sub_id, event) in out.events {
+                            queued.push((
+                                target,
+                                Reply::new(sub_id, ResponseBody::StreamEvent(event)),
+                            ));
+                        }
+                        self.metrics.replies_ok.inc();
+                        ResponseBody::PointsPushed {
+                            stream_id,
+                            accepted: out.accepted,
+                            epoch: out.epoch,
+                        }
+                    }
+                    Err(e) => {
+                        self.metrics.replies_error.inc();
+                        ResponseBody::Error {
+                            code: e.code(),
+                            message: e.to_string(),
+                        }
+                    }
+                };
+                self.metrics
+                    .stream_push
+                    .record_us(started.elapsed().as_micros() as u64);
+                conn.push_reply(&Reply::new(id, body));
+            }
+            Request::Subscribe { stream_id } => {
+                // Events for this subscription carry the subscribe request's
+                // id, so a pipelining client can correlate them.
+                let body = match self.streams.borrow_mut().subscribe(stream_id, token, id) {
+                    Ok(out) => {
+                        self.metrics.replies_ok.inc();
+                        ResponseBody::Subscribed {
+                            stream_id,
+                            epoch: out.epoch,
+                            warm: out.warm,
+                        }
+                    }
+                    Err(e) => {
+                        self.metrics.replies_error.inc();
+                        ResponseBody::Error {
+                            code: e.code(),
+                            message: e.to_string(),
+                        }
+                    }
+                };
+                self.sync_stream_gauges();
+                conn.push_reply(&Reply::new(id, body));
+            }
+            Request::CloseStream { stream_id } => {
+                let body = match self.streams.borrow_mut().close(stream_id) {
+                    Ok(out) => {
+                        self.metrics.replies_ok.inc();
+                        ResponseBody::StreamClosed {
+                            stream_id,
+                            pushed: out.pushed,
+                        }
+                    }
+                    Err(e) => {
+                        self.metrics.replies_error.inc();
+                        ResponseBody::Error {
+                            code: e.code(),
+                            message: e.to_string(),
+                        }
+                    }
+                };
+                self.sync_stream_gauges();
+                conn.push_reply(&Reply::new(id, body));
+            }
             req => {
                 let used_dataset = matches!(
                     &req,
@@ -850,6 +990,14 @@ impl EventLoop {
                 lease: None,
             },
         }
+    }
+
+    fn sync_stream_gauges(&self) {
+        let streams = self.streams.borrow();
+        self.metrics.streams_open.set(streams.open_count() as u64);
+        self.metrics
+            .stream_subscriptions
+            .set(streams.subscriber_count() as u64);
     }
 
     fn sync_dataset_gauges(&self) {

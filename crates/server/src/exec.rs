@@ -153,7 +153,11 @@ pub fn decompose(req: Request, store: &DatasetStore) -> Result<Option<Decomposed
         | Request::Metrics
         | Request::UploadDataset { .. }
         | Request::ListDatasets
-        | Request::DropDataset { .. } => Ok(None),
+        | Request::DropDataset { .. }
+        | Request::OpenStream { .. }
+        | Request::PushPoints { .. }
+        | Request::Subscribe { .. }
+        | Request::CloseStream { .. } => Ok(None),
         Request::Distance {
             kind,
             p,
@@ -487,6 +491,9 @@ mod tests {
         assert!(decompose(Request::Ping, &store).unwrap().is_none());
         assert!(decompose(Request::Metrics, &store).unwrap().is_none());
         assert!(decompose(Request::ListDatasets, &store).unwrap().is_none());
+        assert!(decompose(Request::Subscribe { stream_id: 1 }, &store)
+            .unwrap()
+            .is_none());
     }
 
     #[test]

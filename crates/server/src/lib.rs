@@ -18,6 +18,12 @@
 //! * `upload_dataset` / `list_datasets` / `drop_dataset` — resident
 //!   dataset management ([`datasets`]): upload a corpus once, then query it
 //!   by content-addressed id so the wire carries queries, not corpora;
+//! * `open_stream` / `push_points` / `subscribe` / `close_stream` —
+//!   push-mode mining ([`streams`]): points fan through `mda-streaming`'s
+//!   incremental operator DAG and every accepted point emits one
+//!   epoch-tagged event per subscriber (epoch contiguity is the
+//!   gap-detection contract; a push reply always precedes the events it
+//!   caused on the same connection);
 //! * `ping` / `metrics` — control plane.
 //!
 //! ## Architecture
@@ -85,16 +91,24 @@ pub mod metrics;
 pub mod protocol;
 pub mod queue;
 pub mod server;
+pub mod streams;
 
-pub use client::{Client, ClientError, KnnOutcome, QueryOptions, QueryOpts, Routed, SearchOutcome};
+pub use client::{
+    Client, ClientError, KnnOutcome, PushedPoints, QueryOptions, QueryOpts, Routed, SearchOutcome,
+    StreamOpen, Subscription,
+};
 pub use config::{ConfigError, ServerConfig};
 pub use datasets::{DatasetStore, ResolveError};
 pub use metrics::Metrics;
 pub use protocol::{
-    DatasetEntry, DatasetRef, DatasetSummary, ErrorCode, ProtocolError, Request, ResponseBody,
-    RouteInfo, TrainInstance,
+    DatasetEntry, DatasetRef, DatasetSummary, ErrorCode, MatchRecord, ProtocolError, Request,
+    ResponseBody, RouteInfo, StreamEventBody, StreamEventState, TrainInstance,
 };
 pub use server::{Server, ServerError};
+pub use streams::{
+    CloseOutcome, ConsistentRing, OpenOutcome, PushOutcome, RegistryError, StreamRegistry,
+    SubscribeOutcome,
+};
 
 // Routing vocabulary used by the request surface, re-exported so clients
 // need only this crate to express accuracy SLAs and read routing reports.

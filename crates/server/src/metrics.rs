@@ -141,7 +141,7 @@ impl Gauge {
 #[derive(Debug, Default)]
 pub struct Metrics {
     /// Requests received, by operation (indexed like [`Metrics::OPS`]).
-    pub requests: [Counter; 9],
+    pub requests: [Counter; 13],
     /// Successful replies sent.
     pub replies_ok: Counter,
     /// Error replies sent (all codes).
@@ -203,11 +203,25 @@ pub struct Metrics {
     /// Analog fleet power currently reserved, microwatts (sampled at
     /// routing time, so it can lag lease releases by one submission).
     pub fleet_in_use_uw: Gauge,
+    /// Push-mode streams currently open on the event loop.
+    pub streams_open: Gauge,
+    /// Streams opened over the server's lifetime.
+    pub streams_opened: Counter,
+    /// Points accepted across all streams.
+    pub stream_points: Counter,
+    /// Active stream subscriptions (fan-out width).
+    pub stream_subscriptions: Gauge,
+    /// Subscription events fanned out to subscribers.
+    pub stream_events: Counter,
+    /// Pushes that evicted a window point (pushes past burn-in).
+    pub stream_evictions: Counter,
+    /// Inline `push_points` handling latency (whole batch, incl. fan-out).
+    pub stream_push: Histogram,
 }
 
 impl Metrics {
     /// Operation labels, index-aligned with [`Metrics::requests`].
-    pub const OPS: [&'static str; 9] = [
+    pub const OPS: [&'static str; 13] = [
         "ping",
         "metrics",
         "distance",
@@ -217,6 +231,10 @@ impl Metrics {
         "upload_dataset",
         "list_datasets",
         "drop_dataset",
+        "open_stream",
+        "push_points",
+        "subscribe",
+        "close_stream",
     ];
 
     /// Creates an empty registry.
@@ -347,10 +365,32 @@ impl Metrics {
             "mda_dataset_misses_total {}\n",
             self.dataset_misses.get()
         ));
+        out.push_str(&format!("mda_streams_open {}\n", self.streams_open.get()));
+        out.push_str(&format!(
+            "mda_streams_opened_total {}\n",
+            self.streams_opened.get()
+        ));
+        out.push_str(&format!(
+            "mda_stream_points_total {}\n",
+            self.stream_points.get()
+        ));
+        out.push_str(&format!(
+            "mda_stream_subscriptions {}\n",
+            self.stream_subscriptions.get()
+        ));
+        out.push_str(&format!(
+            "mda_stream_events_total {}\n",
+            self.stream_events.get()
+        ));
+        out.push_str(&format!(
+            "mda_stream_evictions_total {}\n",
+            self.stream_evictions.get()
+        ));
         for (name, h) in [
             ("queue_wait", &self.queue_wait),
             ("conn_wait", &self.conn_wait),
             ("latency", &self.latency),
+            ("stream_push", &self.stream_push),
         ] {
             out.push_str(&format!("mda_{name}_us_count {}\n", h.count()));
             out.push_str(&format!("mda_{name}_us_mean {:.1}\n", h.mean_us()));
@@ -439,6 +479,15 @@ mod tests {
         m.count_backend(BackendId::Analog);
         m.route_fallbacks.inc();
         m.fleet_in_use_uw.set(580_000);
+        m.count_request("open_stream");
+        m.count_request("push_points");
+        m.streams_open.set(1);
+        m.streams_opened.inc();
+        m.stream_points.add(7);
+        m.stream_subscriptions.set(2);
+        m.stream_events.add(14);
+        m.stream_evictions.add(3);
+        m.stream_push.record_us(60);
         let text = m.render_text();
         for needle in [
             "mda_requests_total{op=\"distance\"} 1",
@@ -458,6 +507,15 @@ mod tests {
             "mda_backend_selected_total{backend=\"digital_exact\"} 0",
             "mda_route_fallbacks_total 1",
             "mda_fleet_in_use_watts 0.580000",
+            "mda_requests_total{op=\"open_stream\"} 1",
+            "mda_requests_total{op=\"push_points\"} 1",
+            "mda_streams_open 1",
+            "mda_streams_opened_total 1",
+            "mda_stream_points_total 7",
+            "mda_stream_subscriptions 2",
+            "mda_stream_events_total 14",
+            "mda_stream_evictions_total 3",
+            "mda_stream_push_us_count 1",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }

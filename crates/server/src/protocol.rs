@@ -69,6 +69,39 @@
 //! pinned `version`. Referencing an unknown id/name yields `not_found`;
 //! pinning a superseded version yields `stale_version`.
 //!
+//! ## Push-mode streams
+//!
+//! Live series are mined incrementally: open a stream (fixing the window,
+//! band, query, and optional match threshold), push points as they
+//! arrive, and subscribe to per-push operator frames:
+//!
+//! ```json
+//! {"id": 20, "op": "open_stream", "window": 16, "band": 2, "query": [0,1, "…"]}
+//! {"id": 21, "op": "push_points", "stream_id": 1, "points": [0.5, 0.25]}
+//! {"id": 22, "op": "subscribe", "stream_id": 1}
+//! {"id": 23, "op": "close_stream", "stream_id": 1}
+//! ```
+//!
+//! `open_stream` replies with the assigned `stream_id`, the consistent-hash
+//! `shard` the stream is pinned to, and its `burn_in` (pushes before the
+//! first ready frame). After `subscribe`, every accepted push produces one
+//! unsolicited event frame on the subscriber's connection, carrying the
+//! **subscribe request's id** and the operator `epoch` so consumers detect
+//! gaps:
+//!
+//! ```json
+//! {"id": 22, "ok": true, "result": {"event": {"stream_id": 1, "epoch": 4,
+//!  "state": "warming", "seen": 4, "burn_in": 16}}}
+//! {"id": 22, "ok": true, "result": {"event": {"stream_id": 1, "epoch": 17,
+//!  "state": "ready", "mean": 0.5, "std_dev": 1.25, "decision": "pruned_keogh",
+//!  "bound": 9.0, "threshold": 4.0, "motif": {"epoch": 16, "distance": 2.5}}}}
+//! ```
+//!
+//! Pushing to an unknown or closed stream yields `not_found`; non-finite
+//! points yield `invalid_parameter`; both are in-band replies and the
+//! connection survives. A connection that subscribes and also pushes
+//! receives each push's direct reply **before** the events it triggered.
+//!
 //! ## Replies
 //!
 //! ```json
@@ -388,6 +421,35 @@ pub enum Request {
         /// way, but the reply then reports its backend and bound).
         accuracy: Option<Sla>,
     },
+    /// Open a push-mode stream: fixes the sliding window, band, query, and
+    /// optional match threshold for the stream's operator DAG.
+    OpenStream {
+        /// Sliding-window length (≥ 1); also the burn-in.
+        window: usize,
+        /// Sakoe–Chiba radius for the online matcher.
+        band: usize,
+        /// The query subsequence (length must equal `window`).
+        query: Vec<f64>,
+        /// Optional match threshold (finite, positive).
+        threshold: Option<f64>,
+    },
+    /// Append points to an open stream.
+    PushPoints {
+        /// The stream to push to.
+        stream_id: u64,
+        /// The points, oldest first.
+        points: Vec<f64>,
+    },
+    /// Subscribe this connection to a stream's per-push events.
+    Subscribe {
+        /// The stream to follow.
+        stream_id: u64,
+    },
+    /// Close a stream, dropping its state and subscriptions.
+    CloseStream {
+        /// The stream to close.
+        stream_id: u64,
+    },
     /// Upload a resident dataset; replies with its content-addressed id.
     UploadDataset {
         /// Name the dataset is versioned under.
@@ -414,6 +476,10 @@ impl Request {
             Request::Batch { .. } => "batch",
             Request::Knn { .. } => "knn",
             Request::Search { .. } => "search",
+            Request::OpenStream { .. } => "open_stream",
+            Request::PushPoints { .. } => "push_points",
+            Request::Subscribe { .. } => "subscribe",
+            Request::CloseStream { .. } => "close_stream",
             Request::UploadDataset { .. } => "upload_dataset",
             Request::ListDatasets => "list_datasets",
             Request::DropDataset { .. } => "drop_dataset",
@@ -515,6 +581,58 @@ impl fmt::Display for ErrorCode {
     }
 }
 
+/// A best-so-far motif/discord record on a stream event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchRecord {
+    /// The push epoch the record was set at.
+    pub epoch: u64,
+    /// Its distance (motif: computed DTW; discord: certified lower bound).
+    pub distance: f64,
+}
+
+/// What a subscribed connection receives after each accepted push.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamEventBody {
+    /// The stream the event belongs to.
+    pub stream_id: u64,
+    /// The operator epoch (push count) — consecutive per stream, so a gap
+    /// tells the subscriber it missed events.
+    pub epoch: u64,
+    /// Warming progress or the ready frame.
+    pub state: StreamEventState,
+}
+
+/// The operator DAG's state carried on one stream event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamEventState {
+    /// The window has not filled yet; no frames are emitted.
+    Warming {
+        /// Points seen so far.
+        seen: u64,
+        /// Points required before the first ready frame.
+        burn_in: u64,
+    },
+    /// One ready frame from the incremental operators.
+    Ready {
+        /// Sliding-window mean.
+        mean: f64,
+        /// Sliding-window standard deviation.
+        std_dev: f64,
+        /// Cascade outcome: `computed`, `pruned_kim`, `pruned_keogh`, or
+        /// `abandoned`.
+        decision: String,
+        /// The certified lower bound on this window's distance.
+        bound: f64,
+        /// Effective pruning threshold ([`f64::INFINITY`] = unbounded;
+        /// omitted from the wire then).
+        threshold: f64,
+        /// Best (smallest computed) match so far.
+        motif: Option<MatchRecord>,
+        /// Largest certified lower bound so far.
+        discord: Option<MatchRecord>,
+    },
+}
+
 /// The body of a reply (success variants mirror the request ops).
 #[derive(Debug, Clone, PartialEq)]
 pub enum ResponseBody {
@@ -569,6 +687,43 @@ pub enum ResponseBody {
         /// Number of datasets removed (0 or 1).
         count: usize,
     },
+    /// Reply to `open_stream`.
+    StreamOpened {
+        /// The assigned stream id — use it in every later stream op.
+        stream_id: u64,
+        /// The consistent-hash shard the stream is pinned to.
+        shard: u32,
+        /// Pushes before the first ready frame.
+        burn_in: u64,
+    },
+    /// Reply to `push_points`.
+    PointsPushed {
+        /// Echo of the stream id.
+        stream_id: u64,
+        /// Points accepted by this push.
+        accepted: u64,
+        /// The stream's epoch after the push.
+        epoch: u64,
+    },
+    /// Reply to `subscribe`.
+    Subscribed {
+        /// Echo of the stream id.
+        stream_id: u64,
+        /// The stream's epoch at subscription time.
+        epoch: u64,
+        /// `true` once burn-in has completed.
+        warm: bool,
+    },
+    /// Reply to `close_stream`.
+    StreamClosed {
+        /// Echo of the stream id.
+        stream_id: u64,
+        /// Total points the stream accepted over its lifetime.
+        pushed: u64,
+    },
+    /// An unsolicited per-push event on a subscribed connection (carries
+    /// the subscribe request's id).
+    StreamEvent(StreamEventBody),
     /// Any failure.
     Error {
         /// Machine-readable class.
@@ -657,6 +812,12 @@ fn req_series(v: &Json, key: &str) -> Result<Vec<f64>, ProtocolError> {
 fn req_usize(v: &Json, key: &str) -> Result<usize, ProtocolError> {
     v.get(key)
         .and_then(Json::as_usize)
+        .ok_or_else(|| ProtocolError::Schema(format!("`{key}` must be a non-negative integer")))
+}
+
+fn req_u64(v: &Json, key: &str) -> Result<u64, ProtocolError> {
+    v.get(key)
+        .and_then(Json::as_u64)
         .ok_or_else(|| ProtocolError::Schema(format!("`{key}` must be a non-negative integer")))
 }
 
@@ -884,6 +1045,36 @@ pub fn decode_request(payload: &[u8]) -> Result<Envelope, ProtocolError> {
                 accuracy: opt_accuracy(&v)?,
             }
         }
+        "open_stream" => {
+            let window = req_usize(&v, "window")?;
+            if window == 0 {
+                return Err(ProtocolError::Schema("`window` must be at least 1".into()));
+            }
+            let threshold = opt_f64(&v, "threshold")?;
+            if let Some(t) = threshold {
+                if !t.is_finite() || t <= 0.0 {
+                    return Err(ProtocolError::InvalidParameter(
+                        "`threshold` must be finite and positive".into(),
+                    ));
+                }
+            }
+            Request::OpenStream {
+                window,
+                band: opt_usize(&v, "band")?.unwrap_or(0),
+                query: req_series(&v, "query")?,
+                threshold,
+            }
+        }
+        "push_points" => Request::PushPoints {
+            stream_id: req_u64(&v, "stream_id")?,
+            points: req_series(&v, "points")?,
+        },
+        "subscribe" => Request::Subscribe {
+            stream_id: req_u64(&v, "stream_id")?,
+        },
+        "close_stream" => Request::CloseStream {
+            stream_id: req_u64(&v, "stream_id")?,
+        },
         "upload_dataset" => {
             let name = opt_str(&v, "name")?
                 .filter(|n| !n.is_empty())
@@ -1068,6 +1259,26 @@ pub fn encode_request(env: &Envelope) -> Vec<u8> {
             }
             pairs.push(("window".into(), Json::Num(*window as f64)));
         }
+        Request::OpenStream {
+            window,
+            band,
+            query,
+            threshold,
+        } => {
+            if let Some(t) = threshold {
+                pairs.push(("threshold".into(), Json::Num(*t)));
+            }
+            pairs.push(("window".into(), Json::Num(*window as f64)));
+            pairs.push(("band".into(), Json::Num(*band as f64)));
+            pairs.push(("query".into(), Json::from_f64s(query)));
+        }
+        Request::PushPoints { stream_id, points } => {
+            pairs.push(("stream_id".into(), Json::Num(*stream_id as f64)));
+            pairs.push(("points".into(), Json::from_f64s(points)));
+        }
+        Request::Subscribe { stream_id } | Request::CloseStream { stream_id } => {
+            pairs.push(("stream_id".into(), Json::Num(*stream_id as f64)));
+        }
         Request::UploadDataset { name, entries } => {
             pairs.push(("name".into(), Json::Str(name.clone())));
             pairs.push((
@@ -1163,6 +1374,42 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
                 ResponseBody::Dropped { count } => {
                     Json::Obj(vec![("dropped".into(), Json::Num(*count as f64))])
                 }
+                ResponseBody::StreamOpened {
+                    stream_id,
+                    shard,
+                    burn_in,
+                } => Json::Obj(vec![
+                    ("stream_id".into(), Json::Num(*stream_id as f64)),
+                    ("shard".into(), Json::Num(*shard as f64)),
+                    ("burn_in".into(), Json::Num(*burn_in as f64)),
+                ]),
+                ResponseBody::PointsPushed {
+                    stream_id,
+                    accepted,
+                    epoch,
+                } => Json::Obj(vec![
+                    ("stream_id".into(), Json::Num(*stream_id as f64)),
+                    ("accepted".into(), Json::Num(*accepted as f64)),
+                    ("epoch".into(), Json::Num(*epoch as f64)),
+                ]),
+                ResponseBody::Subscribed {
+                    stream_id,
+                    epoch,
+                    warm,
+                } => Json::Obj(vec![
+                    ("subscribed".into(), Json::Bool(true)),
+                    ("stream_id".into(), Json::Num(*stream_id as f64)),
+                    ("epoch".into(), Json::Num(*epoch as f64)),
+                    ("warm".into(), Json::Bool(*warm)),
+                ]),
+                ResponseBody::StreamClosed { stream_id, pushed } => Json::Obj(vec![
+                    ("closed".into(), Json::Bool(true)),
+                    ("stream_id".into(), Json::Num(*stream_id as f64)),
+                    ("pushed".into(), Json::Num(*pushed as f64)),
+                ]),
+                ResponseBody::StreamEvent(event) => {
+                    Json::Obj(vec![("event".into(), encode_stream_event(event))])
+                }
                 ResponseBody::Error { .. } => unreachable!("handled above"),
             };
             pairs.push(("result".into(), result));
@@ -1179,6 +1426,115 @@ pub fn encode_reply(reply: &Reply) -> Vec<u8> {
         ));
     }
     Json::Obj(pairs).to_string().into_bytes()
+}
+
+fn encode_stream_event(event: &StreamEventBody) -> Json {
+    let mut fields: Vec<(String, Json)> = vec![
+        ("stream_id".into(), Json::Num(event.stream_id as f64)),
+        ("epoch".into(), Json::Num(event.epoch as f64)),
+    ];
+    match &event.state {
+        StreamEventState::Warming { seen, burn_in } => {
+            fields.push(("state".into(), Json::Str("warming".into())));
+            fields.push(("seen".into(), Json::Num(*seen as f64)));
+            fields.push(("burn_in".into(), Json::Num(*burn_in as f64)));
+        }
+        StreamEventState::Ready {
+            mean,
+            std_dev,
+            decision,
+            bound,
+            threshold,
+            motif,
+            discord,
+        } => {
+            fields.push(("state".into(), Json::Str("ready".into())));
+            fields.push(("mean".into(), Json::Num(*mean)));
+            fields.push(("std_dev".into(), Json::Num(*std_dev)));
+            fields.push(("decision".into(), Json::Str(decision.clone())));
+            fields.push(("bound".into(), Json::Num(*bound)));
+            // An unbounded (infinite) threshold is not representable in
+            // JSON: omitted on the wire, restored at decode.
+            if threshold.is_finite() {
+                fields.push(("threshold".into(), Json::Num(*threshold)));
+            }
+            for (key, record) in [("motif", motif), ("discord", discord)] {
+                if let Some(r) = record {
+                    fields.push((
+                        key.into(),
+                        Json::Obj(vec![
+                            ("epoch".into(), Json::Num(r.epoch as f64)),
+                            ("distance".into(), Json::Num(r.distance)),
+                        ]),
+                    ));
+                }
+            }
+        }
+    }
+    Json::Obj(fields)
+}
+
+fn decode_match_record(v: &Json, key: &str) -> Result<Option<MatchRecord>, ProtocolError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(r) => {
+            let epoch = r
+                .get("epoch")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ProtocolError::Schema(format!("`{key}` lacks `epoch`")))?;
+            let distance = r
+                .get("distance")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| ProtocolError::Schema(format!("`{key}` lacks `distance`")))?;
+            Ok(Some(MatchRecord { epoch, distance }))
+        }
+    }
+}
+
+fn decode_stream_event(ev: &Json) -> Result<StreamEventBody, ProtocolError> {
+    let stream_id = req_u64(ev, "stream_id")?;
+    let epoch = req_u64(ev, "epoch")?;
+    let state = match ev.get("state").and_then(Json::as_str) {
+        Some("warming") => StreamEventState::Warming {
+            seen: req_u64(ev, "seen")?,
+            burn_in: req_u64(ev, "burn_in")?,
+        },
+        Some("ready") => StreamEventState::Ready {
+            mean: ev
+                .get("mean")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| ProtocolError::Schema("event lacks numeric `mean`".into()))?,
+            std_dev: ev
+                .get("std_dev")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| ProtocolError::Schema("event lacks numeric `std_dev`".into()))?,
+            decision: ev
+                .get("decision")
+                .and_then(Json::as_str)
+                .ok_or_else(|| ProtocolError::Schema("event lacks `decision`".into()))?
+                .to_string(),
+            bound: ev
+                .get("bound")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| ProtocolError::Schema("event lacks numeric `bound`".into()))?,
+            threshold: ev
+                .get("threshold")
+                .and_then(Json::as_f64)
+                .unwrap_or(f64::INFINITY),
+            motif: decode_match_record(ev, "motif")?,
+            discord: decode_match_record(ev, "discord")?,
+        },
+        _ => {
+            return Err(ProtocolError::Schema(
+                "event `state` must be \"warming\" or \"ready\"".into(),
+            ))
+        }
+    };
+    Ok(StreamEventBody {
+        stream_id,
+        epoch,
+        state,
+    })
 }
 
 /// Decodes a reply from a frame payload. The reply shape is inferred from
@@ -1280,6 +1636,31 @@ pub fn decode_reply(payload: &[u8]) -> Result<Reply, ProtocolError> {
         ResponseBody::Datasets { items }
     } else if let Some(count) = result.get("dropped").and_then(Json::as_usize) {
         ResponseBody::Dropped { count }
+    } else if let Some(ev) = result.get("event") {
+        ResponseBody::StreamEvent(decode_stream_event(ev)?)
+    } else if result.get("subscribed").is_some() {
+        ResponseBody::Subscribed {
+            stream_id: req_u64(result, "stream_id")?,
+            epoch: req_u64(result, "epoch")?,
+            warm: matches!(result.get("warm"), Some(Json::Bool(true))),
+        }
+    } else if result.get("closed").is_some() {
+        ResponseBody::StreamClosed {
+            stream_id: req_u64(result, "stream_id")?,
+            pushed: req_u64(result, "pushed")?,
+        }
+    } else if result.get("burn_in").is_some() {
+        ResponseBody::StreamOpened {
+            stream_id: req_u64(result, "stream_id")?,
+            shard: req_u64(result, "shard")? as u32,
+            burn_in: req_u64(result, "burn_in")?,
+        }
+    } else if result.get("accepted").is_some() {
+        ResponseBody::PointsPushed {
+            stream_id: req_u64(result, "stream_id")?,
+            accepted: req_u64(result, "accepted")?,
+            epoch: req_u64(result, "epoch")?,
+        }
     } else if let Some(value) = result.get("value").and_then(Json::as_f64) {
         ResponseBody::Distance { value }
     } else if let Some(values) = result.get("values").and_then(Json::as_f64_vec) {
@@ -1511,6 +1892,181 @@ mod tests {
         for env in envs {
             let decoded = decode_request(&encode_request(&env)).unwrap();
             assert_eq!(decoded, env);
+        }
+    }
+
+    #[test]
+    fn stream_request_roundtrip() {
+        let envs = vec![
+            Envelope {
+                id: 20,
+                req: Request::OpenStream {
+                    window: 16,
+                    band: 2,
+                    query: (0..16).map(|i| i as f64 * 0.5).collect(),
+                    threshold: Some(4.0),
+                },
+            },
+            Envelope {
+                id: 21,
+                req: Request::OpenStream {
+                    window: 1,
+                    band: 0,
+                    query: vec![0.0],
+                    threshold: None,
+                },
+            },
+            Envelope {
+                id: 22,
+                req: Request::PushPoints {
+                    stream_id: 3,
+                    points: vec![0.5, -0.25, 1e9],
+                },
+            },
+            Envelope {
+                id: 23,
+                req: Request::Subscribe { stream_id: 3 },
+            },
+            Envelope {
+                id: 24,
+                req: Request::CloseStream { stream_id: 3 },
+            },
+        ];
+        for env in envs {
+            assert_eq!(decode_request(&encode_request(&env)).unwrap(), env);
+        }
+    }
+
+    #[test]
+    fn stream_request_schema_and_domain_violations() {
+        // Structural problems are schema errors (bad_request)…
+        for bad in [
+            &br#"{"id":1,"op":"open_stream","window":0,"query":[1.0]}"#[..],
+            br#"{"id":1,"op":"open_stream","query":[1.0]}"#,
+            br#"{"id":1,"op":"open_stream","window":2}"#,
+            br#"{"id":1,"op":"push_points","points":[1.0]}"#,
+            br#"{"id":1,"op":"push_points","stream_id":1,"points":[true]}"#,
+            br#"{"id":1,"op":"subscribe"}"#,
+            br#"{"id":1,"op":"close_stream","stream_id":-1}"#,
+        ] {
+            let err = decode_request(bad).unwrap_err();
+            assert!(
+                matches!(err, ProtocolError::Schema(_)),
+                "{}: {err}",
+                String::from_utf8_lossy(bad)
+            );
+        }
+        // …while an out-of-domain threshold is the typed invalid_parameter.
+        for bad in [
+            &br#"{"id":1,"op":"open_stream","window":2,"query":[0.0,1.0],"threshold":-1.0}"#[..],
+            br#"{"id":1,"op":"open_stream","window":2,"query":[0.0,1.0],"threshold":0}"#,
+            br#"{"id":1,"op":"open_stream","window":2,"query":[0.0,1.0],"threshold":1e999}"#,
+        ] {
+            let err = decode_request(bad).unwrap_err();
+            assert!(
+                matches!(err, ProtocolError::InvalidParameter(_)),
+                "{}: {err}",
+                String::from_utf8_lossy(bad)
+            );
+        }
+    }
+
+    #[test]
+    fn stream_reply_roundtrip_all_shapes() {
+        let replies = vec![
+            Reply::new(
+                30,
+                ResponseBody::StreamOpened {
+                    stream_id: 7,
+                    shard: 2,
+                    burn_in: 16,
+                },
+            ),
+            Reply::new(
+                31,
+                ResponseBody::PointsPushed {
+                    stream_id: 7,
+                    accepted: 3,
+                    epoch: 19,
+                },
+            ),
+            Reply::new(
+                32,
+                ResponseBody::Subscribed {
+                    stream_id: 7,
+                    epoch: 19,
+                    warm: true,
+                },
+            ),
+            Reply::new(
+                33,
+                ResponseBody::Subscribed {
+                    stream_id: 8,
+                    epoch: 0,
+                    warm: false,
+                },
+            ),
+            Reply::new(
+                34,
+                ResponseBody::StreamClosed {
+                    stream_id: 7,
+                    pushed: 19,
+                },
+            ),
+            Reply::new(
+                32,
+                ResponseBody::StreamEvent(StreamEventBody {
+                    stream_id: 7,
+                    epoch: 4,
+                    state: StreamEventState::Warming {
+                        seen: 4,
+                        burn_in: 16,
+                    },
+                }),
+            ),
+            Reply::new(
+                32,
+                ResponseBody::StreamEvent(StreamEventBody {
+                    stream_id: 7,
+                    epoch: 20,
+                    state: StreamEventState::Ready {
+                        mean: 0.5,
+                        std_dev: 1.25,
+                        decision: "pruned_keogh".into(),
+                        bound: 9.0,
+                        threshold: 4.0,
+                        motif: Some(MatchRecord {
+                            epoch: 17,
+                            distance: 2.5,
+                        }),
+                        discord: None,
+                    },
+                }),
+            ),
+            // An unbounded threshold survives the omit-then-restore rule.
+            Reply::new(
+                32,
+                ResponseBody::StreamEvent(StreamEventBody {
+                    stream_id: 7,
+                    epoch: 21,
+                    state: StreamEventState::Ready {
+                        mean: -0.0,
+                        std_dev: 0.0,
+                        decision: "computed".into(),
+                        bound: 1.5,
+                        threshold: f64::INFINITY,
+                        motif: None,
+                        discord: Some(MatchRecord {
+                            epoch: 20,
+                            distance: 8.0,
+                        }),
+                    },
+                }),
+            ),
+        ];
+        for reply in replies {
+            let decoded = decode_reply(&encode_reply(&reply)).unwrap();
+            assert_eq!(decoded, reply);
         }
     }
 

@@ -126,6 +126,9 @@ impl Server {
         }));
 
         let dispatcher = queue.spawn_dispatcher(engine);
+        // Streams shard over the same worker count the engine uses; the
+        // ring is the routing seam a multi-worker deployment will honour.
+        let stream_shards = config.workers.unwrap_or(4).max(1) as u32;
         let event_loop = EventLoop {
             config,
             metrics: Arc::clone(&metrics),
@@ -136,6 +139,8 @@ impl Server {
             shutdown: Arc::clone(&shutdown),
             finish: Arc::clone(&finish),
             router: Arc::clone(&router),
+            streams: std::cell::RefCell::new(crate::streams::StreamRegistry::new(stream_shards)),
+            stream_events: std::cell::RefCell::new(Vec::new()),
         };
         let serve = std::thread::Builder::new()
             .name("mda-event-loop".into())

@@ -196,6 +196,42 @@ const PAYLOAD_CORPUS: &[(&str, &[u8], Expect)] = &[
         include_bytes!("corpus/payload_huge_exponent.json"),
         Expect::DecodeOk,
     ),
+    // Push-mode stream verbs. Structural breakage is a schema error …
+    (
+        "payload_push_points_missing_stream",
+        include_bytes!("corpus/payload_push_points_missing_stream.json"),
+        Expect::DecodeError,
+    ),
+    (
+        "payload_push_points_bool_points",
+        include_bytes!("corpus/payload_push_points_bool_points.json"),
+        Expect::DecodeError,
+    ),
+    (
+        "payload_open_stream_window_zero",
+        include_bytes!("corpus/payload_open_stream_window_zero.json"),
+        Expect::DecodeError,
+    ),
+    // … a threshold outside its domain is a typed in-band
+    // `invalid_parameter` …
+    (
+        "payload_open_stream_negative_threshold",
+        include_bytes!("corpus/payload_open_stream_negative_threshold.json"),
+        Expect::InvalidParameter,
+    ),
+    // … and well-formed verbs naming a stream that does not exist decode
+    // fine; the live server answers a typed `not_found` and keeps the
+    // connection (pinned in `stream_misuse_answers_typed_in_band`).
+    (
+        "payload_push_points_unknown_stream",
+        include_bytes!("corpus/payload_push_points_unknown_stream.json"),
+        Expect::DecodeOk,
+    ),
+    (
+        "payload_subscribe_unknown_stream",
+        include_bytes!("corpus/payload_subscribe_unknown_stream.json"),
+        Expect::DecodeOk,
+    ),
 ];
 
 /// Runs one frame-level fixture through `read_frame` (+ `decode_request`
@@ -318,6 +354,100 @@ fn invalid_accuracy_payloads_answer_typed_invalid_parameter() {
             "fixture {name}: connection unusable after invalid_parameter"
         );
     }
+
+    server.shutdown_and_join();
+}
+
+/// Stream-verb misuse on a live server: every failure is a typed in-band
+/// reply and the connection keeps serving — pushing to an unknown or
+/// already-closed stream answers `not_found`, subscribing before burn-in
+/// succeeds with `warm: false`, and a non-finite push answers
+/// `invalid_parameter` without mutating the stream.
+#[test]
+fn stream_misuse_answers_typed_in_band() {
+    use mda_server::{ErrorCode, ResponseBody};
+
+    let server = Server::start(ServerConfig::default()).expect("server start");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Unknown stream: typed not_found, connection survives.
+    match client.push_points(424_242, &[1.0]) {
+        Err(mda_server::ClientError::Server { code, .. }) => {
+            assert_eq!(code, ErrorCode::NotFound);
+        }
+        other => panic!("push to unknown stream: expected not_found, got {other:?}"),
+    }
+    match client.subscribe(31_337) {
+        Err(mda_server::ClientError::Server { code, .. }) => {
+            assert_eq!(code, ErrorCode::NotFound);
+        }
+        other => panic!("subscribe to unknown stream: expected not_found, got {other:?}"),
+    }
+    client.ping().expect("connection must survive not_found");
+
+    // Subscribe before burn-in: a valid, cold subscription.
+    let opened = client
+        .open_stream(8, 1, &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0], None)
+        .expect("open stream");
+    assert_eq!(opened.burn_in, 8);
+    let sub = client.subscribe(opened.stream_id).expect("cold subscribe");
+    assert!(!sub.warm, "no points pushed yet");
+    assert_eq!(sub.epoch, 0);
+
+    // Malformed push (JSON cannot carry NaN; a `null` point is the wire
+    // equivalent): typed in-band schema error on a raw second connection,
+    // which keeps serving — and the stream's epoch is untouched.
+    client.push_points(opened.stream_id, &[1.0, 2.0]).unwrap();
+    {
+        use mda_server::protocol::decode_reply;
+        let mut raw = TcpStream::connect(server.local_addr()).expect("raw connect");
+        let payload = format!(
+            r#"{{"id":5,"op":"push_points","stream_id":{},"points":[3.0,null]}}"#,
+            opened.stream_id
+        );
+        let mut framed = Vec::new();
+        write_frame(&mut framed, payload.as_bytes()).expect("frame payload");
+        raw.write_all(&framed).expect("send malformed push");
+        raw.flush().expect("flush");
+        let reply_bytes = read_frame(&mut raw, DEFAULT_MAX_FRAME_BYTES).expect("in-band reply");
+        let reply = decode_reply(&reply_bytes).expect("typed reply");
+        assert!(
+            matches!(reply.body, ResponseBody::Error { .. }),
+            "malformed push must answer an in-band error, got {:?}",
+            reply.body
+        );
+        let mut framed = Vec::new();
+        write_frame(&mut framed, br#"{"id":6,"op":"ping"}"#).expect("frame ping");
+        raw.write_all(&framed).expect("send ping");
+        raw.flush().expect("flush ping");
+        let pong = read_frame(&mut raw, DEFAULT_MAX_FRAME_BYTES).expect("pong frame");
+        let pong = decode_reply(&pong).expect("pong reply");
+        assert!(
+            matches!(pong.body, ResponseBody::Pong),
+            "connection unusable after malformed push"
+        );
+    }
+    let pushed = client.push_points(opened.stream_id, &[4.0]).expect("push");
+    assert_eq!(pushed.epoch, 3, "rejected batch must not advance the epoch");
+
+    // Closed stream: subsequent verbs answer not_found; connection lives.
+    let lifetime = client.close_stream(opened.stream_id).expect("close");
+    assert_eq!(lifetime, 3);
+    match client.push_points(opened.stream_id, &[5.0]) {
+        Err(mda_server::ClientError::Server { code, .. }) => {
+            assert_eq!(code, ErrorCode::NotFound);
+        }
+        other => panic!("push to closed stream: expected not_found, got {other:?}"),
+    }
+    match client.close_stream(opened.stream_id) {
+        Err(mda_server::ClientError::Server { code, .. }) => {
+            assert_eq!(code, ErrorCode::NotFound);
+        }
+        other => panic!("double close: expected not_found, got {other:?}"),
+    }
+    client
+        .ping()
+        .expect("connection must survive the whole gauntlet");
 
     server.shutdown_and_join();
 }

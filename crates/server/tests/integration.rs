@@ -848,3 +848,97 @@ fn http_scrape_on_the_same_port_returns_metrics_text() {
     assert!(response.contains("mda_requests_total"), "{response}");
     server.shutdown_and_join();
 }
+
+#[test]
+fn live_subscriptions_deliver_gap_free_differential_events() {
+    use mda_distance::znorm;
+    use mda_server::StreamEventState;
+
+    let server = start(ServerConfig::default());
+    let addr = server.local_addr();
+    let mut pusher = Client::connect(addr).expect("pusher connect");
+    let mut subscriber = Client::connect(addr).expect("subscriber connect");
+
+    let window = 4usize;
+    let query: Vec<f64> = (0..window).map(|i| (i as f64 * 0.7).sin()).collect();
+    let opened = pusher
+        .open_stream(window, 1, &query, None)
+        .expect("open stream");
+    assert_eq!(opened.burn_in, window as u64);
+
+    let sub = subscriber.subscribe(opened.stream_id).expect("subscribe");
+    assert!(!sub.warm, "stream is cold before any push");
+    assert_eq!(sub.epoch, 0);
+
+    let points: Vec<f64> = (0..10).map(|i| (i as f64 * 0.31).cos() * 3.0).collect();
+    let ack = pusher
+        .push_points(opened.stream_id, &points)
+        .expect("push batch");
+    assert_eq!((ack.accepted, ack.epoch), (10, 10));
+
+    // One event per push, in push order, with contiguous epochs — the gap
+    // detector a consumer would run. Warming until the window fills, then
+    // ready frames whose statistics are **bitwise** the batch z-norm of
+    // the exact window the stream slid through.
+    let mut last_epoch = sub.epoch;
+    for i in 0..10 {
+        let event = subscriber.next_event().expect("subscription event");
+        assert_eq!(event.stream_id, opened.stream_id);
+        assert_eq!(event.epoch, last_epoch + 1, "epoch gap at event {i}");
+        last_epoch = event.epoch;
+        let epoch = event.epoch as usize;
+        match event.state {
+            StreamEventState::Warming { seen, burn_in } => {
+                assert!(epoch < window, "warming after burn-in at epoch {epoch}");
+                assert_eq!(seen, event.epoch);
+                assert_eq!(burn_in, window as u64);
+            }
+            StreamEventState::Ready {
+                mean,
+                std_dev,
+                decision,
+                bound,
+                ..
+            } => {
+                assert!(epoch >= window, "ready before burn-in at epoch {epoch}");
+                let win = &points[epoch - window..epoch];
+                assert_eq!(mean.to_bits(), znorm::mean(win).to_bits());
+                assert_eq!(std_dev.to_bits(), znorm::std_dev(win).to_bits());
+                assert!(
+                    ["computed", "pruned_kim", "pruned_keogh", "abandoned"]
+                        .contains(&decision.as_str()),
+                    "unknown cascade decision {decision:?}"
+                );
+                assert!(bound.is_finite(), "certified bound must be finite");
+            }
+        }
+    }
+
+    // A subscriber that pushes: the acknowledgement always precedes the
+    // events that push caused, so push-then-next_event cannot deadlock.
+    let sub2 = subscriber
+        .subscribe(opened.stream_id)
+        .expect("second subscription");
+    assert!(sub2.warm, "stream is warm after ten pushes");
+    assert_eq!(sub2.epoch, 10);
+    let ack = subscriber
+        .push_points(opened.stream_id, &[1.25])
+        .expect("self-push");
+    assert_eq!(ack.epoch, 11);
+    for sub_no in 0..2 {
+        let event = subscriber.next_event().expect("own event");
+        assert_eq!(event.epoch, 11, "subscription {sub_no}");
+    }
+
+    let text = pusher.metrics_text().expect("metrics");
+    assert!(text.contains("mda_streams_open 1"), "{text}");
+    assert!(text.contains("mda_stream_points_total 11"), "{text}");
+    assert!(text.contains("mda_stream_subscriptions 2"), "{text}");
+
+    assert_eq!(
+        pusher.close_stream(opened.stream_id).expect("close"),
+        11,
+        "lifetime push count"
+    );
+    server.shutdown_and_join();
+}

@@ -1,0 +1,201 @@
+//! The dependency DAG: typed operator nodes with topological,
+//! single-pass propagation.
+//!
+//! A node's parents must already exist when it is added, so insertion
+//! order *is* a topological order and cycles are unrepresentable — one
+//! pushed point fans out through the whole graph in a single pass, each
+//! node seeing its parents' outputs for the same push.
+
+use crate::error::StreamError;
+use crate::ops::{Operator, Output, PushCtx};
+
+/// Handle to a node inside a [`Dag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// Position of the node in insertion (= topological) order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+struct Node {
+    op: Box<dyn Operator>,
+    parents: Vec<NodeId>,
+}
+
+/// One node's output for one pushed point.
+#[derive(Debug)]
+pub struct NodeOutput {
+    /// Which node emitted it.
+    pub id: NodeId,
+    /// The node's stable label.
+    pub name: &'static str,
+    /// Warming marker or typed frame.
+    pub output: Output,
+}
+
+/// A dependency DAG of incremental operators.
+#[derive(Default)]
+pub struct Dag {
+    nodes: Vec<Node>,
+    pushed: u64,
+}
+
+impl Dag {
+    /// An empty DAG.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` before any node is added.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Points pushed so far (the current epoch).
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Adds a node wired to `parents`, which must already exist — the
+    /// check that keeps the graph acyclic by construction.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::UnknownNode`] if a parent id is not in the DAG.
+    pub fn add(
+        &mut self,
+        op: Box<dyn Operator>,
+        parents: &[NodeId],
+    ) -> Result<NodeId, StreamError> {
+        for p in parents {
+            if p.0 >= self.nodes.len() {
+                return Err(StreamError::UnknownNode(p.0));
+            }
+        }
+        self.nodes.push(Node {
+            op,
+            parents: parents.to_vec(),
+        });
+        Ok(NodeId(self.nodes.len() - 1))
+    }
+
+    /// Pushes one point through every node in topological order,
+    /// returning each node's output for this epoch (insertion order).
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::InvalidParameter`] for non-finite points (state is
+    /// untouched — a rejected push never advances the epoch), or any
+    /// typed error an operator raises.
+    pub fn push(&mut self, point: f64) -> Result<Vec<NodeOutput>, StreamError> {
+        if !point.is_finite() {
+            return Err(StreamError::InvalidParameter(format!(
+                "pushed point must be finite, got {point}"
+            )));
+        }
+        self.pushed += 1;
+        let ctx = PushCtx {
+            epoch: self.pushed,
+            point,
+        };
+        let mut outs: Vec<NodeOutput> = Vec::with_capacity(self.nodes.len());
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            let inputs: Vec<&Output> = node.parents.iter().map(|p| &outs[p.0].output).collect();
+            let output = node.op.apply(&ctx, &inputs)?;
+            outs.push(NodeOutput {
+                id: NodeId(i),
+                name: node.op.name(),
+                output,
+            });
+        }
+        Ok(outs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{Value, WindowOp};
+
+    /// Counts how many of its parents were ready this push.
+    struct ReadyCounter {
+        burn_in: u64,
+    }
+
+    impl Operator for ReadyCounter {
+        fn name(&self) -> &'static str {
+            "ready-counter"
+        }
+        fn burn_in(&self) -> u64 {
+            self.burn_in
+        }
+        fn apply(&mut self, ctx: &PushCtx, inputs: &[&Output]) -> Result<Output, StreamError> {
+            if inputs.iter().all(|o| o.is_ready()) {
+                Ok(Output::Ready(Value::Window(crate::ops::WindowFrame {
+                    points: std::sync::Arc::new(vec![inputs.len() as f64]),
+                    appended: ctx.point,
+                    evicted: None,
+                })))
+            } else {
+                Ok(Output::Warming {
+                    seen: ctx.epoch,
+                    burn_in: self.burn_in,
+                })
+            }
+        }
+    }
+
+    #[test]
+    fn parents_must_exist_before_wiring() {
+        let mut dag = Dag::new();
+        let err = dag
+            .add(Box::new(ReadyCounter { burn_in: 1 }), &[NodeId(0)])
+            .unwrap_err();
+        assert_eq!(err, StreamError::UnknownNode(0));
+    }
+
+    #[test]
+    fn one_push_fans_through_the_whole_graph() {
+        // Diamond: window → {a, b} → join.
+        let mut dag = Dag::new();
+        let w = dag.add(Box::new(WindowOp::new(2)), &[]).unwrap();
+        let a = dag
+            .add(Box::new(ReadyCounter { burn_in: 2 }), &[w])
+            .unwrap();
+        let b = dag
+            .add(Box::new(ReadyCounter { burn_in: 2 }), &[w])
+            .unwrap();
+        let join = dag
+            .add(Box::new(ReadyCounter { burn_in: 2 }), &[a, b])
+            .unwrap();
+        let outs = dag.push(1.0).unwrap();
+        assert_eq!(outs.len(), 4);
+        assert!(outs.iter().all(|o| !o.output.is_ready()), "warming first");
+        let outs = dag.push(2.0).unwrap();
+        assert!(
+            outs.iter().all(|o| o.output.is_ready()),
+            "every node warm in one pass: {outs:?}"
+        );
+        assert_eq!(outs[join.index()].name, "ready-counter");
+    }
+
+    #[test]
+    fn non_finite_push_is_rejected_without_advancing() {
+        let mut dag = Dag::new();
+        dag.add(Box::new(WindowOp::new(2)), &[]).unwrap();
+        dag.push(1.0).unwrap();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = dag.push(bad).unwrap_err();
+            assert!(matches!(err, StreamError::InvalidParameter(_)), "{bad}");
+        }
+        assert_eq!(dag.pushed(), 1, "rejected pushes must not tick the epoch");
+    }
+}

@@ -25,8 +25,12 @@
 //!   the four answer paths (digital exact, pruned, behavioural analog,
 //!   SPICE) behind one backend trait;
 //! * [`server`] — the batching distance-query network service (request
-//!   coalescing, admission control, accuracy-aware routing, live
-//!   metrics).
+//!   coalescing, admission control, accuracy-aware routing, push-mode
+//!   stream verbs, live metrics);
+//! * [`streaming`] — push-mode mining: the incremental operator DAG
+//!   (sliding z-norm, incremental envelopes, online UCR matching,
+//!   motif/discord tracking), differential-gated bitwise against the
+//!   batch kernels, with deterministic replay.
 //!
 //! ## Quickstart
 //!
@@ -57,3 +61,4 @@ pub use mda_power as power;
 pub use mda_routing as routing;
 pub use mda_server as server;
 pub use mda_spice as spice;
+pub use mda_streaming as streaming;
