@@ -1,0 +1,153 @@
+//! A word of aCAM cells sharing one match line.
+//!
+//! The match line is precharged high and discharged by any cell whose
+//! input falls outside its window by more than the sensing margin — a
+//! logical AND across the word, evaluated in one cycle regardless of word
+//! length. Two readouts are modelled: the binary match-line verdict
+//! ([`AcamWord::matches`]) and the mismatch *count* ([`AcamWord::
+//! reject_count`]), the thresholded-Hamming readout an ADC on the match
+//! line's discharge rate provides.
+
+use mda_memristor::CellFault;
+
+use crate::cell::{AcamCell, Interval, MarginPolicy};
+
+/// One programmed word: a row of interval cells on a shared match line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcamWord {
+    cells: Vec<AcamCell>,
+}
+
+impl AcamWord {
+    /// Programs a healthy word to the given ideal windows.
+    pub fn program(intervals: &[Interval], policy: &MarginPolicy) -> AcamWord {
+        let faults = vec![None; intervals.len()];
+        AcamWord::program_with_faults(intervals, policy, &faults)
+    }
+
+    /// Programs a word with one optional fault per cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `faults` and `intervals` disagree in length.
+    pub fn program_with_faults(
+        intervals: &[Interval],
+        policy: &MarginPolicy,
+        faults: &[Option<CellFault>],
+    ) -> AcamWord {
+        assert_eq!(
+            intervals.len(),
+            faults.len(),
+            "one fault slot per programmed cell"
+        );
+        AcamWord {
+            cells: intervals
+                .iter()
+                .zip(faults)
+                .enumerate()
+                .map(|(i, (&ideal, &fault))| AcamCell::program(ideal, i as u64, policy, fault))
+                .collect(),
+        }
+    }
+
+    /// Word length in cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` for a zero-cell word (matches everything vacuously).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The programmed cells.
+    pub fn cells(&self) -> &[AcamCell] {
+        &self.cells
+    }
+
+    /// The match-line verdict: AND over every cell's acceptance at
+    /// sensing margin `delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` and the word disagree in length — a word can only
+    /// ever be presented its own wordline width.
+    pub fn matches(&self, input: &[f64], delta: f64) -> bool {
+        self.first_reject(input, delta).is_none()
+    }
+
+    /// The index of the first rejecting cell (the certified-prune witness),
+    /// or `None` on a match-line hit.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`AcamWord::matches`].
+    pub fn first_reject(&self, input: &[f64], delta: f64) -> Option<usize> {
+        assert_eq!(input.len(), self.cells.len(), "input must fill the word");
+        self.cells
+            .iter()
+            .zip(input)
+            .position(|(cell, &x)| !cell.accepts(x, delta))
+    }
+
+    /// How many cells reject at sensing margin `delta` — the match-line
+    /// discharge-rate readout behind one-shot thresholded Hamming.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`AcamWord::matches`].
+    pub fn reject_count(&self, input: &[f64], delta: f64) -> usize {
+        assert_eq!(input.len(), self.cells.len(), "input must fill the word");
+        self.cells
+            .iter()
+            .zip(input)
+            .filter(|(cell, &x)| !cell.accepts(x, delta))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn intervals() -> Vec<Interval> {
+        vec![
+            Interval::new(-0.5, 0.5),
+            Interval::new(0.0, 1.0),
+            Interval::new(2.0, 2.0),
+        ]
+    }
+
+    #[test]
+    fn match_line_is_an_and_across_cells() {
+        let word = AcamWord::program(&intervals(), &MarginPolicy::ideal());
+        assert!(word.matches(&[0.0, 0.5, 2.0], 0.0));
+        assert!(!word.matches(&[0.0, 0.5, 2.1], 0.0));
+        assert_eq!(word.first_reject(&[0.0, 0.5, 2.1], 0.0), Some(2));
+        // The same input passes once the sensing margin absorbs it.
+        assert!(word.matches(&[0.0, 0.5, 2.1], 0.2));
+    }
+
+    #[test]
+    fn reject_count_counts_every_miss() {
+        let word = AcamWord::program(&intervals(), &MarginPolicy::ideal());
+        assert_eq!(word.reject_count(&[9.0, -9.0, 2.0], 0.0), 2);
+        assert_eq!(word.reject_count(&[0.0, 0.5, 2.0], 0.0), 0);
+    }
+
+    #[test]
+    fn faulted_cells_never_reject() {
+        let faults = vec![None, Some(CellFault::StuckAtHrs), None];
+        let word = AcamWord::program_with_faults(&intervals(), &MarginPolicy::ideal(), &faults);
+        // Cell 1 would reject -9.0; transparent, it cannot.
+        assert_eq!(word.reject_count(&[0.0, -9.0, 2.0], 0.0), 0);
+        assert!(word.matches(&[0.0, -9.0, 2.0], 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "fill the word")]
+    fn wrong_width_input_panics() {
+        let word = AcamWord::program(&intervals(), &MarginPolicy::ideal());
+        let _ = word.matches(&[0.0], 0.0);
+    }
+}

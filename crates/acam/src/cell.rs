@@ -1,0 +1,274 @@
+//! The 6T2M aCAM cell: an interval `[lo, hi]` stored as two memristor
+//! conductances, compared against an analog input on both edges at once.
+//!
+//! ## Margin calibration
+//!
+//! Process variation (±25 % absolute, <1 % matched — see
+//! [`mda_memristor::ProcessVariation`]) makes the *realized* window edges
+//! wander around their programmed targets, which would narrow the sensing
+//! margin and — fatally for a pruning filter — could reject an input the
+//! ideal window accepts. The programming compiler therefore targets
+//! *widened* edges: each cell carries a non-negative **guard band** at
+//! least as large as its worst-case edge wander, so the realized window
+//! always contains the ideal one. Faulty cells go further: a stuck-at or
+//! drifted memristor is detected by the post-programming verify read and
+//! its lane's match-line pull-down is disabled, so the cell degrades to
+//! **always-match**. Both mechanisms only ever *widen* acceptance —
+//! false-accept-only degradation, never a false reject.
+
+use mda_memristor::{CellFault, ProcessVariation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A closed acceptance interval `[lo, hi]` in value units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower acceptance edge.
+    pub lo: f64,
+    /// Upper acceptance edge.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// An interval with `lo <= hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edges are non-finite or inverted.
+    pub fn new(lo: f64, hi: f64) -> Interval {
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "interval edges must be finite and ordered: [{lo}, {hi}]"
+        );
+        Interval { lo, hi }
+    }
+
+    /// How far `x` falls outside the interval (`0.0` inside it).
+    ///
+    /// This is, term for term, the per-element summand of
+    /// `mda_distance::lower_bounds::lb_keogh_envelope` — the same branch
+    /// structure and the same floating-point subtractions — so a word of
+    /// envelope-programmed cells reports exactly the LB_Keogh terms the
+    /// digital cascade computes. The bitwise-identity guarantee of the
+    /// aCAM pre-filter rests on this equality.
+    pub fn exceedance(&self, x: f64) -> f64 {
+        if x > self.hi {
+            x - self.hi
+        } else if x < self.lo {
+            self.lo - x
+        } else {
+            0.0
+        }
+    }
+}
+
+/// How a cell's guard band is calibrated at programming time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarginPolicy {
+    /// Deterministic widening applied to every healthy cell, value units.
+    /// Negative values are clamped to zero — the compiler never narrows.
+    pub base_margin: f64,
+    /// Process-variation model driving the per-cell wander compensation;
+    /// `None` models a fully tuned array (guard = `base_margin` exactly).
+    pub variation: Option<ProcessVariation>,
+    /// Seed for the per-cell variation draws, so a programmed array is
+    /// reproducible.
+    pub seed: u64,
+}
+
+impl MarginPolicy {
+    /// A fully tuned array: the closed-loop program-and-verify step has
+    /// shrunk every cell's residual below resolution, so windows are
+    /// ideal and the match plane equals the digital comparator's.
+    pub fn ideal() -> MarginPolicy {
+        MarginPolicy {
+            base_margin: 0.0,
+            variation: None,
+            seed: 0,
+        }
+    }
+
+    /// Paper-default variation (±25 % absolute, 1 % matched) with no
+    /// extra deterministic margin.
+    pub fn paper_defaults(seed: u64) -> MarginPolicy {
+        MarginPolicy {
+            base_margin: 0.0,
+            variation: Some(ProcessVariation::paper_defaults()),
+            seed,
+        }
+    }
+
+    /// The realized guard band for the cell at `index` whose largest edge
+    /// magnitude is `edge_scale`. Always `>= 0`: variation wander is
+    /// compensated by widening, never by narrowing.
+    pub fn realized_guard(&self, index: u64, edge_scale: f64) -> f64 {
+        let mut guard = self.base_margin.max(0.0);
+        if let Some(v) = self.variation {
+            let mut rng = StdRng::seed_from_u64(
+                self.seed
+                    ^ index
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_add(index),
+            );
+            // The two edge devices are a matched pair; the verify read
+            // measures their as-programmed wander and the compiler widens
+            // the window by at least that much (plus the matched residue
+            // even a perfect common-mode cancellation leaves behind).
+            let (a, b) = v.sample_pair(1.0, 1.0, &mut rng);
+            let wander = (a - 1.0).abs().max((b - 1.0).abs()) + v.matched_tolerance;
+            guard += wander * edge_scale.abs().max(1.0);
+        }
+        guard
+    }
+}
+
+/// One programmed 6T2M cell: its ideal window, the realized guard band,
+/// and an optional injected fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcamCell {
+    ideal: Interval,
+    guard: f64,
+    fault: Option<CellFault>,
+}
+
+impl AcamCell {
+    /// Programs a cell to the ideal window under a margin policy. A
+    /// faulted cell (stuck-at rail, drift, dead programming) fails the
+    /// post-programming verify read and is degraded to always-match.
+    pub fn program(
+        ideal: Interval,
+        index: u64,
+        policy: &MarginPolicy,
+        fault: Option<CellFault>,
+    ) -> AcamCell {
+        let edge_scale = ideal.lo.abs().max(ideal.hi.abs());
+        AcamCell {
+            ideal,
+            guard: policy.realized_guard(index, edge_scale),
+            fault,
+        }
+    }
+
+    /// The ideal (pre-guard) window.
+    pub fn ideal(&self) -> Interval {
+        self.ideal
+    }
+
+    /// The realized widening beyond the ideal window, value units.
+    pub fn guard(&self) -> f64 {
+        self.guard
+    }
+
+    /// The injected fault, if any.
+    pub fn fault(&self) -> Option<CellFault> {
+        self.fault
+    }
+
+    /// Whether this cell's match-line pull-down is disabled (always-match).
+    pub fn is_transparent(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// How far `x` falls outside the *ideal* window (`0.0` for a
+    /// transparent cell — it certifies nothing).
+    pub fn exceedance(&self, x: f64) -> f64 {
+        if self.is_transparent() {
+            0.0
+        } else {
+            self.ideal.exceedance(x)
+        }
+    }
+
+    /// The cell's match verdict at sensing margin `delta >= 0`: accept
+    /// unless the input exceeds the ideal window by more than
+    /// `delta + guard`. A rejection therefore certifies
+    /// `exceedance(x) > delta` (the guard only ever widens), which is the
+    /// admissibility invariant every caller relies on.
+    pub fn accepts(&self, x: f64, delta: f64) -> bool {
+        if self.is_transparent() {
+            return true;
+        }
+        debug_assert!(delta >= 0.0, "sensing margin must be non-negative");
+        self.ideal.exceedance(x) <= delta + self.guard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_distance::lower_bounds::{envelope, lb_keogh_envelope};
+
+    #[test]
+    fn exceedance_mirrors_the_lb_keogh_summand_bitwise() {
+        let q: Vec<f64> = (0..16).map(|i| (i as f64 * 0.7).sin() * 2.0).collect();
+        let p: Vec<f64> = (0..16)
+            .map(|i| (i as f64 * 0.9 + 0.3).cos() * 2.5)
+            .collect();
+        let (upper, lower) = envelope(&q, 2).unwrap();
+        let by_cells: f64 = p
+            .iter()
+            .zip(upper.iter().zip(&lower))
+            .map(|(&x, (&u, &l))| Interval::new(l, u).exceedance(x))
+            .sum();
+        let by_kernel = lb_keogh_envelope(&p, &upper, &lower);
+        assert_eq!(by_cells.to_bits(), by_kernel.to_bits());
+    }
+
+    #[test]
+    fn ideal_policy_has_zero_guard() {
+        let cell = AcamCell::program(Interval::new(-1.0, 1.0), 7, &MarginPolicy::ideal(), None);
+        assert_eq!(cell.guard(), 0.0);
+        assert!(cell.accepts(1.0, 0.0));
+        assert!(!cell.accepts(1.0 + 1e-12, 0.0));
+    }
+
+    #[test]
+    fn variation_guard_is_always_non_negative_and_reproducible() {
+        let policy = MarginPolicy::paper_defaults(42);
+        for index in 0..256 {
+            let g = policy.realized_guard(index, 2.5);
+            assert!(g >= 0.0, "guard {g} at {index}");
+            assert_eq!(g, policy.realized_guard(index, 2.5), "reproducible");
+        }
+    }
+
+    #[test]
+    fn guard_only_widens_acceptance() {
+        let ideal = Interval::new(0.0, 1.0);
+        let tuned = AcamCell::program(ideal, 3, &MarginPolicy::ideal(), None);
+        let varied = AcamCell::program(ideal, 3, &MarginPolicy::paper_defaults(9), None);
+        for x in [-2.0, -0.5, 0.0, 0.5, 1.0, 1.3, 3.0] {
+            for delta in [0.0, 0.25, 2.0] {
+                if tuned.accepts(x, delta) {
+                    assert!(varied.accepts(x, delta), "x={x} delta={delta}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_fault_degrades_to_always_match() {
+        for fault in [
+            CellFault::StuckAtHrs,
+            CellFault::StuckAtLrs,
+            CellFault::Drift(1.4),
+            CellFault::DeadProgramming,
+        ] {
+            let cell = AcamCell::program(
+                Interval::new(0.0, 0.1),
+                0,
+                &MarginPolicy::ideal(),
+                Some(fault),
+            );
+            assert!(cell.is_transparent());
+            assert!(cell.accepts(1e9, 0.0), "{fault:?}");
+            assert_eq!(cell.exceedance(1e9), 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "interval edges")]
+    fn inverted_interval_panics() {
+        let _ = Interval::new(1.0, 0.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Envelope encoder: compiles a query into a programmable word of
+//! interval cells.
+//!
+//! The Lemire envelope of a query `q` at band radius `r` gives, per
+//! position `i`, the running max/min of `q` over `[i-r, i+r]`. A
+//! candidate `c` with `LB_Keogh(c, q) = 0` sits inside the envelope at
+//! every position — exactly the condition a word of `[lower_i, upper_i]`
+//! cells tests in one match-line cycle. At sensing margin δ, a match-line
+//! *miss* certifies some per-cell exceedance is `> δ`, hence
+//! `LB_Keogh(c, q) > δ ≥` any DTW distance bound of interest — a
+//! certified prune.
+
+use mda_distance::lower_bounds::envelope;
+use mda_distance::DistanceError;
+
+use crate::cell::Interval;
+
+/// The per-position acceptance windows for `query` at band radius
+/// `radius` (clamped to the query length, matching the envelope kernel).
+///
+/// # Errors
+///
+/// Propagates [`DistanceError`] from the envelope kernel (empty or
+/// non-finite query).
+pub fn envelope_intervals(query: &[f64], radius: usize) -> Result<Vec<Interval>, DistanceError> {
+    let (upper, lower) = envelope(query, radius)?;
+    Ok(lower
+        .into_iter()
+        .zip(upper)
+        .map(|(lo, hi)| Interval::new(lo, hi))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::AcamWord;
+    use crate::cell::MarginPolicy;
+    use mda_distance::lower_bounds::lb_keogh_envelope;
+
+    #[test]
+    fn cells_bracket_the_query_itself() {
+        let q: Vec<f64> = (0..32).map(|i| (i as f64 * 0.31).sin()).collect();
+        let cells = envelope_intervals(&q, 4).unwrap();
+        assert_eq!(cells.len(), q.len());
+        let word = AcamWord::program(&cells, &MarginPolicy::ideal());
+        // The query is inside its own envelope: a match at zero margin.
+        assert!(word.matches(&q, 0.0));
+    }
+
+    #[test]
+    fn a_miss_certifies_positive_lb_keogh() {
+        let q: Vec<f64> = (0..24).map(|i| (i as f64 * 0.5).cos()).collect();
+        let c: Vec<f64> = (0..24).map(|i| (i as f64 * 0.5).cos() + 3.0).collect();
+        let cells = envelope_intervals(&q, 2).unwrap();
+        let word = AcamWord::program(&cells, &MarginPolicy::ideal());
+        let delta = 1.5;
+        assert!(!word.matches(&c, delta));
+        let (upper, lower) = envelope(&q, 2).unwrap();
+        assert!(lb_keogh_envelope(&c, &upper, &lower) > delta);
+    }
+
+    #[test]
+    fn empty_query_is_rejected() {
+        assert!(envelope_intervals(&[], 1).is_err());
+    }
+}

@@ -1,0 +1,221 @@
+//! The aCAM candidate pre-filter: one match-line cycle per window, wired
+//! into subsequence search and kNN via
+//! [`mda_distance::mining::CandidateFilter`].
+//!
+//! ## Why filtered runs are bitwise-identical
+//!
+//! A programmed word holds the query's envelope; cell `i` reports the
+//! exceedance `e_i` of the window's `i`-th sample — term for term the same
+//! floating-point expression as the `lb_keogh_envelope` summand (see
+//! [`crate::cell::Interval::exceedance`]). The word *rejects* only when
+//! some `e_i > δ + g_i` with guard `g_i ≥ 0`, i.e. only when `e_i > δ`.
+//! For non-negative terms, a floating-point partial sum is `≥` every one
+//! of its terms, so `LB_Keogh = Σ e_i ≥ e_i > δ`. In search, δ is the
+//! fixed scout threshold `best_ub ≥` every chunk-local threshold the
+//! cascade ever holds — so each rejected window is one the cascade's
+//! LB_Keogh layer (or LB_Kim before it) would have discarded anyway, and
+//! discarded windows never update the cascade's running best. Skipping
+//! them therefore changes no state any surviving window observes: the
+//! match, its distance, and every tie-break come out bitwise-identical.
+//!
+//! Variation widens guards ([`MarginPolicy`]) and faults make cells
+//! transparent — both push the word toward *accepting*, so a degraded
+//! array only filters less, never incorrectly.
+
+use mda_distance::mining::{CandidateFilter, CandidatePredicate};
+use mda_distance::DistanceKind;
+use mda_memristor::CellFault;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::array::AcamWord;
+use crate::cell::MarginPolicy;
+use crate::encoder::envelope_intervals;
+
+/// Which fault pattern to inject into programmed words.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultPlan {
+    /// Every cell healthy.
+    Healthy,
+    /// Each cell independently faulted with probability `rate`, drawn
+    /// reproducibly from `seed`; the fault mode cycles through all four
+    /// [`CellFault`] variants.
+    Seeded {
+        /// RNG seed for the per-cell draws.
+        seed: u64,
+        /// Per-cell fault probability in `[0, 1]`.
+        rate: f64,
+    },
+}
+
+impl FaultPlan {
+    /// One optional fault per cell of a `word_len`-cell word.
+    pub fn faults_for(&self, word_len: usize) -> Vec<Option<CellFault>> {
+        match *self {
+            FaultPlan::Healthy => vec![None; word_len],
+            FaultPlan::Seeded { seed, rate } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                (0..word_len)
+                    .map(|_| {
+                        if rng.gen_bool(rate.clamp(0.0, 1.0)) {
+                            Some(match rng.gen_range(0..4u32) {
+                                0 => CellFault::StuckAtHrs,
+                                1 => CellFault::StuckAtLrs,
+                                2 => CellFault::Drift(1.0 + rng.gen::<f64>()),
+                                _ => CellFault::DeadProgramming,
+                            })
+                        } else {
+                            None
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// An aCAM array used as a stage-0 candidate filter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcamPrefilter {
+    policy: MarginPolicy,
+    fault_plan: FaultPlan,
+}
+
+impl AcamPrefilter {
+    /// A filter programmed under `policy`, with healthy cells.
+    pub fn new(policy: MarginPolicy) -> AcamPrefilter {
+        AcamPrefilter {
+            policy,
+            fault_plan: FaultPlan::Healthy,
+        }
+    }
+
+    /// A fully tuned, healthy array — the sharpest filter.
+    pub fn tuned() -> AcamPrefilter {
+        AcamPrefilter::new(MarginPolicy::ideal())
+    }
+
+    /// Replaces the fault plan.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> AcamPrefilter {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// The margin policy words are programmed under.
+    pub fn policy(&self) -> &MarginPolicy {
+        &self.policy
+    }
+}
+
+struct ProgrammedWord {
+    word: AcamWord,
+    delta: f64,
+}
+
+impl CandidatePredicate for ProgrammedWord {
+    fn admit(&self, candidate: &[f64]) -> bool {
+        // A candidate that doesn't fill the word can't be sensed — admit
+        // it and let the exact pipeline handle (or reject) it.
+        if candidate.len() != self.word.len() {
+            return true;
+        }
+        self.word.matches(candidate, self.delta)
+    }
+}
+
+impl CandidateFilter for AcamPrefilter {
+    fn program(
+        &self,
+        kind: DistanceKind,
+        query: &[f64],
+        band_radius: usize,
+        prune_threshold: f64,
+    ) -> Option<Box<dyn CandidatePredicate>> {
+        if !prune_threshold.is_finite() || prune_threshold < 0.0 {
+            return None;
+        }
+        // DTW admits the envelope bound at the caller's band radius;
+        // Manhattan is the radius-0 special case (the envelope degenerates
+        // to the query itself and LB_Keogh *is* the Manhattan distance).
+        // The remaining kinds have no envelope bound — stay out of the way.
+        let radius = match kind {
+            DistanceKind::Dtw => band_radius,
+            DistanceKind::Manhattan => 0,
+            _ => return None,
+        };
+        let intervals = envelope_intervals(query, radius).ok()?;
+        let faults = self.fault_plan.faults_for(intervals.len());
+        let word = AcamWord::program_with_faults(&intervals, &self.policy, &faults);
+        Some(Box::new(ProgrammedWord {
+            word,
+            delta: prune_threshold,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsupported_kinds_and_bad_thresholds_yield_none() {
+        let f = AcamPrefilter::tuned();
+        let q = [0.0, 1.0, 0.5];
+        for kind in [
+            DistanceKind::Lcs,
+            DistanceKind::Edit,
+            DistanceKind::Hausdorff,
+            DistanceKind::Hamming,
+        ] {
+            assert!(f.program(kind, &q, 1, 1.0).is_none(), "{kind}");
+        }
+        assert!(f.program(DistanceKind::Dtw, &q, 1, f64::NAN).is_none());
+        assert!(f.program(DistanceKind::Dtw, &q, 1, -1.0).is_none());
+        assert!(f.program(DistanceKind::Dtw, &[], 1, 1.0).is_none());
+    }
+
+    #[test]
+    fn manhattan_rejection_is_exact() {
+        let f = AcamPrefilter::tuned();
+        let q = [0.0, 1.0, 2.0];
+        let pred = f.program(DistanceKind::Manhattan, &q, 999, 1.0).unwrap();
+        // MD([0,1,2],[0,1,2]) = 0 <= 1 -> admit.
+        assert!(pred.admit(&[0.0, 1.0, 2.0]));
+        // A single sample 1.5 beyond its window certifies MD > 1.
+        assert!(!pred.admit(&[0.0, 1.0, 3.5]));
+        // Wrong-width candidates are always admitted.
+        assert!(pred.admit(&[0.0, 1.0]));
+    }
+
+    #[test]
+    fn faults_only_ever_admit_more() {
+        let q: Vec<f64> = (0..32).map(|i| (i as f64 * 0.4).sin()).collect();
+        let healthy = AcamPrefilter::tuned();
+        let faulty =
+            AcamPrefilter::tuned().with_fault_plan(FaultPlan::Seeded { seed: 7, rate: 0.5 });
+        let ph = healthy.program(DistanceKind::Dtw, &q, 3, 0.5).unwrap();
+        let pf = faulty.program(DistanceKind::Dtw, &q, 3, 0.5).unwrap();
+        for shift in 0..16 {
+            let cand: Vec<f64> = (0..32)
+                .map(|i| ((i + shift) as f64 * 0.45).sin() + shift as f64 * 0.1)
+                .collect();
+            if ph.admit(&cand) {
+                assert!(pf.admit(&cand), "shift {shift}");
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_fault_plan_is_reproducible_and_rate_bounded() {
+        let plan = FaultPlan::Seeded {
+            seed: 11,
+            rate: 0.25,
+        };
+        let a = plan.faults_for(512);
+        assert_eq!(a, plan.faults_for(512));
+        let hits = a.iter().filter(|f| f.is_some()).count();
+        assert!(hits > 0 && hits < 512, "hits {hits}");
+        assert!(FaultPlan::Healthy.faults_for(8).iter().all(|f| f.is_none()));
+    }
+}

@@ -1,0 +1,303 @@
+//! One-shot evaluation of the thresholded distance kinds from the aCAM
+//! match plane.
+//!
+//! The thresholded kinds (HamD, and EdD/LCS with threshold matching) never
+//! consume the *magnitude* of an element difference — only the boolean
+//! `|p_i - q_j| <= threshold`. That boolean is exactly what an aCAM cell
+//! programmed to the window `[q_j - t, q_j + t]` answers in one sense
+//! cycle: HamD reads the mismatch count straight off one match line
+//! ([`crate::array::AcamWord::reject_count`]), and EdD/LCS run their DP
+//! recurrence over the pre-sensed match plane, with every comparator
+//! already resolved in analog.
+//!
+//! On a tuned array ([`MarginPolicy::ideal`]) the plane equals the digital
+//! comparator's bit for bit, so all three evaluators return values
+//! **bitwise-identical** to `mda_distance`'s kernels. Variation guards and
+//! cell faults can only flip plane bits from *mismatch* to *match* —
+//! widening — which moves HamD and EdD down and LCS up, monotonically:
+//! false-accept-only degradation, never the other direction.
+
+use std::collections::BTreeMap;
+
+use mda_distance::{DistanceError, DistanceKind};
+use mda_memristor::CellFault;
+
+use crate::cell::MarginPolicy;
+
+/// One-shot matcher for the thresholded kinds, parameterised like the
+/// digital kernels (`threshold`, unit step 1, uniform weights).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OneShotMatcher {
+    threshold: f64,
+    policy: MarginPolicy,
+    faults: BTreeMap<(usize, usize), CellFault>,
+}
+
+impl OneShotMatcher {
+    /// A matcher over a tuned (ideal-margin, fault-free) array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is negative or non-finite — the same contract
+    /// as the digital constructors (`Hamming::new` etc.), because the
+    /// threshold is a physical voltage `Vthre` on the accelerator.
+    pub fn new(threshold: f64) -> OneShotMatcher {
+        assert!(
+            threshold.is_finite() && threshold >= 0.0,
+            "threshold must be finite and non-negative"
+        );
+        OneShotMatcher {
+            threshold,
+            policy: MarginPolicy::ideal(),
+            faults: BTreeMap::new(),
+        }
+    }
+
+    /// Replaces the margin policy the match plane is sensed under.
+    #[must_use]
+    pub fn with_policy(mut self, policy: MarginPolicy) -> OneShotMatcher {
+        self.policy = policy;
+        self
+    }
+
+    /// Injects a fault into the plane cell at `(i, j)` (always-match).
+    #[must_use]
+    pub fn with_fault(mut self, i: usize, j: usize, fault: CellFault) -> OneShotMatcher {
+        self.faults.insert((i, j), fault);
+        self
+    }
+
+    /// The configured match threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The match-plane bit at `(i, j)` for elements `a = p[i]`, `b = q[j]`.
+    ///
+    /// A faulted cell reads as *match* (its pull-down is disabled); a
+    /// healthy cell widens its `[b - t, b + t]` window by the realized
+    /// guard band, which is exactly `0.0` under the ideal policy — making
+    /// the comparison `|a - b| <= t`, bitwise the digital comparator.
+    fn cell_matches(&self, i: usize, j: usize, a: f64, b: f64) -> bool {
+        if self.faults.contains_key(&(i, j)) {
+            return true;
+        }
+        let index = ((i as u64) << 32) | j as u64;
+        let guard = self.policy.realized_guard(index, b.abs() + self.threshold);
+        (a - b).abs() <= self.threshold + guard
+    }
+
+    /// One-shot thresholded Hamming distance: the mismatch count read off
+    /// a single match line.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors `Hamming::distance`: [`DistanceError::LengthMismatch`] for
+    /// unequal lengths, then [`DistanceError::EmptySequence`].
+    pub fn hamming(&self, p: &[f64], q: &[f64]) -> Result<f64, DistanceError> {
+        if p.len() != q.len() {
+            return Err(DistanceError::LengthMismatch {
+                left: p.len(),
+                right: q.len(),
+            });
+        }
+        if p.is_empty() {
+            return Err(DistanceError::EmptySequence);
+        }
+        let contributions: Vec<f64> = p
+            .iter()
+            .zip(q)
+            .enumerate()
+            .map(|(j, (&a, &b))| {
+                if self.cell_matches(0, j, a, b) {
+                    0.0
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Ok(contributions.iter().sum())
+    }
+
+    /// One-shot thresholded edit distance: the Levenshtein recurrence over
+    /// the pre-sensed match plane (row-major, the digital reference order).
+    ///
+    /// # Errors
+    ///
+    /// Mirrors `EditDistance::distance`: [`DistanceError::EmptySequence`]
+    /// for empty inputs.
+    pub fn edit(&self, p: &[f64], q: &[f64]) -> Result<f64, DistanceError> {
+        if p.is_empty() || q.is_empty() {
+            return Err(DistanceError::EmptySequence);
+        }
+        let n = q.len();
+        let mut prev: Vec<f64> = (0..=n).map(|j| j as f64).collect();
+        let mut curr = vec![0.0; n + 1];
+        for (i, &a) in p.iter().enumerate() {
+            curr[0] = (i + 1) as f64;
+            for (j, &b) in q.iter().enumerate() {
+                let del = prev[j + 1] + 1.0;
+                let ins = curr[j] + 1.0;
+                let diag = if self.cell_matches(i, j, a, b) {
+                    prev[j]
+                } else {
+                    prev[j] + 1.0
+                };
+                curr[j + 1] = del.min(ins).min(diag);
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        Ok(prev[n])
+    }
+
+    /// One-shot thresholded LCS similarity over the pre-sensed match plane.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors `Lcs::similarity`: [`DistanceError::EmptySequence`] for
+    /// empty inputs.
+    pub fn lcs(&self, p: &[f64], q: &[f64]) -> Result<f64, DistanceError> {
+        if p.is_empty() || q.is_empty() {
+            return Err(DistanceError::EmptySequence);
+        }
+        let n = q.len();
+        let mut prev = vec![0.0f64; n + 1];
+        let mut curr = vec![0.0f64; n + 1];
+        for (i, &a) in p.iter().enumerate() {
+            curr[0] = 0.0;
+            for (j, &b) in q.iter().enumerate() {
+                curr[j + 1] = if self.cell_matches(i, j, a, b) {
+                    prev[j] + 1.0
+                } else {
+                    // The reference evaluates left.max(up) in this order.
+                    curr[j].max(prev[j + 1])
+                };
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        Ok(prev[n])
+    }
+
+    /// Dispatches to the one-shot evaluator for `kind`.
+    ///
+    /// # Errors
+    ///
+    /// [`DistanceError::InvalidParameter`] for the non-thresholded kinds,
+    /// plus the per-kind validation errors above.
+    pub fn evaluate(&self, kind: DistanceKind, p: &[f64], q: &[f64]) -> Result<f64, DistanceError> {
+        match kind {
+            DistanceKind::Hamming => self.hamming(p, q),
+            DistanceKind::Edit => self.edit(p, q),
+            DistanceKind::Lcs => self.lcs(p, q),
+            _ => Err(DistanceError::InvalidParameter {
+                name: "kind",
+                reason: format!("{kind} has no one-shot aCAM evaluation"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mda_distance::{Distance, EditDistance, Hamming, Lcs};
+
+    fn series(n: usize, phase: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.37 + phase).sin() * 1.5)
+            .collect()
+    }
+
+    #[test]
+    fn tuned_array_is_bitwise_identical_to_digital_kernels() {
+        let t = 0.1;
+        let m = OneShotMatcher::new(t);
+        for (np, nq) in [(1, 1), (5, 5), (9, 4), (4, 9), (17, 17)] {
+            let p = series(np, 0.0);
+            let q = series(nq, 0.8);
+            if np == nq {
+                let dig = Hamming::new(t).evaluate(&p, &q).unwrap();
+                assert_eq!(m.hamming(&p, &q).unwrap().to_bits(), dig.to_bits());
+            }
+            let dig = EditDistance::new(t).evaluate(&p, &q).unwrap();
+            assert_eq!(m.edit(&p, &q).unwrap().to_bits(), dig.to_bits());
+            let dig = Lcs::new(t).evaluate(&p, &q).unwrap();
+            assert_eq!(m.lcs(&p, &q).unwrap().to_bits(), dig.to_bits());
+        }
+    }
+
+    #[test]
+    fn validation_mirrors_digital_order() {
+        let m = OneShotMatcher::new(0.1);
+        assert_eq!(
+            m.hamming(&[0.0], &[0.0, 1.0]).unwrap_err(),
+            DistanceError::LengthMismatch { left: 1, right: 2 }
+        );
+        assert_eq!(
+            m.hamming(&[], &[]).unwrap_err(),
+            DistanceError::EmptySequence
+        );
+        assert_eq!(
+            m.edit(&[], &[1.0]).unwrap_err(),
+            DistanceError::EmptySequence
+        );
+        assert_eq!(
+            m.lcs(&[1.0], &[]).unwrap_err(),
+            DistanceError::EmptySequence
+        );
+    }
+
+    #[test]
+    fn faults_only_move_results_toward_match() {
+        let p = series(8, 0.0);
+        let q = series(8, 1.1);
+        let tuned = OneShotMatcher::new(0.1);
+        for i in 0..8 {
+            for j in 0..8 {
+                let faulty = tuned.clone().with_fault(i, j, CellFault::StuckAtLrs);
+                assert!(faulty.hamming(&p, &q).unwrap() <= tuned.hamming(&p, &q).unwrap());
+                assert!(faulty.edit(&p, &q).unwrap() <= tuned.edit(&p, &q).unwrap());
+                assert!(faulty.lcs(&p, &q).unwrap() >= tuned.lcs(&p, &q).unwrap());
+            }
+        }
+        // A HamD fault on the sensed row actually flips a bit.
+        let all_far = OneShotMatcher::new(0.1);
+        assert_eq!(all_far.hamming(&[0.0, 0.0], &[9.0, 9.0]).unwrap(), 2.0);
+        let one_dead = all_far.with_fault(0, 1, CellFault::DeadProgramming);
+        assert_eq!(one_dead.hamming(&[0.0, 0.0], &[9.0, 9.0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn variation_guards_only_move_results_toward_match() {
+        let p = series(12, 0.0);
+        let q = series(12, 0.9);
+        let tuned = OneShotMatcher::new(0.1);
+        for seed in 0..16 {
+            let varied = OneShotMatcher::new(0.1).with_policy(MarginPolicy::paper_defaults(seed));
+            assert!(varied.hamming(&p, &q).unwrap() <= tuned.hamming(&p, &q).unwrap());
+            assert!(varied.edit(&p, &q).unwrap() <= tuned.edit(&p, &q).unwrap());
+            assert!(varied.lcs(&p, &q).unwrap() >= tuned.lcs(&p, &q).unwrap());
+        }
+    }
+
+    #[test]
+    fn evaluate_dispatches_and_rejects_unsupported_kinds() {
+        let m = OneShotMatcher::new(0.1);
+        let p = series(6, 0.0);
+        assert_eq!(m.evaluate(DistanceKind::Hamming, &p, &p).unwrap(), 0.0);
+        assert_eq!(m.evaluate(DistanceKind::Lcs, &p, &p).unwrap(), 6.0);
+        for kind in [
+            DistanceKind::Dtw,
+            DistanceKind::Hausdorff,
+            DistanceKind::Manhattan,
+        ] {
+            assert!(m.evaluate(kind, &p, &p).is_err(), "{kind}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn negative_threshold_panics() {
+        let _ = OneShotMatcher::new(-0.5);
+    }
+}

@@ -1,0 +1,173 @@
+//! The match plane's admissibility contract, as properties:
+//!
+//! * a **cell** rejection certifies the input exceeds the *ideal* window
+//!   by more than the sensing margin, whatever guard the policy realized
+//!   and only ever from a healthy cell;
+//! * a **pre-filter** miss certifies the candidate's exact distance
+//!   (banded DTW at the programmed radius, or Manhattan) is strictly
+//!   above the programmed threshold — proven by recomputing the exact
+//!   kernel for every rejected candidate, under tuned, variation-widened
+//!   and fault-seeded arrays alike;
+//! * **degradation is one-directional**: variation guards and cell faults
+//!   only ever widen acceptance (filter) and only ever move one-shot
+//!   values toward *match* (HamD/EdD down, LCS up), with the tuned plane
+//!   pinned bitwise to the digital kernels so the direction is measured
+//!   against ground truth, not against another approximation.
+
+use proptest::prelude::*;
+
+use mda_acam::{AcamCell, AcamPrefilter, FaultPlan, Interval, MarginPolicy, OneShotMatcher};
+use mda_distance::dtw::Band;
+use mda_distance::mining::CandidateFilter;
+use mda_distance::{Distance, DistanceKind, Dtw, EditDistance, Hamming, Lcs, Manhattan};
+use mda_memristor::CellFault;
+
+const FAULTS: [CellFault; 4] = [
+    CellFault::StuckAtHrs,
+    CellFault::StuckAtLrs,
+    CellFault::Drift(1.4),
+    CellFault::DeadProgramming,
+];
+
+/// The three array conditions every property sweeps.
+fn filters() -> [AcamPrefilter; 3] {
+    [
+        AcamPrefilter::tuned(),
+        AcamPrefilter::new(MarginPolicy::paper_defaults(17)),
+        AcamPrefilter::tuned().with_fault_plan(FaultPlan::Seeded { seed: 5, rate: 0.2 }),
+    ]
+}
+
+/// Equal-length (query, candidate) pairs.
+fn pairs() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((-3.0f64..3.0, -3.0f64..3.0), 2..24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn cell_rejection_certifies_ideal_exceedance(
+        lo in -4.0f64..4.0,
+        width in 0.0f64..3.0,
+        x in -8.0f64..8.0,
+        delta in 0.0f64..2.0,
+        seed in 0u64..64,
+        policy_kind in 0usize..3,
+        faulted in 0usize..2,
+    ) {
+        let ideal = Interval::new(lo, lo + width);
+        let policy = match policy_kind {
+            0 => MarginPolicy::ideal(),
+            1 => MarginPolicy::paper_defaults(seed),
+            _ => MarginPolicy { base_margin: 0.3, variation: None, seed },
+        };
+        let fault = if faulted == 1 {
+            Some(FAULTS[(seed % 4) as usize])
+        } else {
+            None
+        };
+        let cell = AcamCell::program(ideal, seed, &policy, fault);
+        if !cell.accepts(x, delta) {
+            // Only a healthy cell may reject, and only past the margin on
+            // its IDEAL window — the realized guard can't have narrowed it.
+            prop_assert!(fault.is_none(), "a transparent cell rejected");
+            prop_assert!(ideal.exceedance(x) > delta);
+        }
+        if fault.is_some() {
+            prop_assert!(cell.accepts(x, delta), "faulted cells always match");
+        }
+    }
+
+    #[test]
+    fn prefilter_miss_certifies_banded_dtw_above_threshold(
+        pair in pairs(),
+        radius in 0usize..8,
+        threshold in 0.0f64..8.0,
+    ) {
+        let (query, candidate): (Vec<f64>, Vec<f64>) = pair.into_iter().unzip();
+        let dtw = Dtw::new().with_band(Band::SakoeChiba(radius));
+        for filter in filters() {
+            let Some(pred) = filter.program(DistanceKind::Dtw, &query, radius, threshold)
+            else { continue };
+            if !pred.admit(&candidate) {
+                // The rejection claims LB_Keogh > threshold; the banded DTW
+                // at the SAME radius dominates that bound, so the exact
+                // kernel must sit strictly above too — a false reject here
+                // would silently corrupt every pruned search.
+                let exact = dtw.evaluate(&query, &candidate).expect("equal lengths");
+                prop_assert!(
+                    exact > threshold,
+                    "false reject: DTW {exact} <= {threshold} (radius {radius})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefilter_miss_certifies_manhattan_above_threshold(
+        pair in pairs(),
+        threshold in 0.0f64..8.0,
+    ) {
+        let (query, candidate): (Vec<f64>, Vec<f64>) = pair.into_iter().unzip();
+        for filter in filters() {
+            let Some(pred) = filter.program(DistanceKind::Manhattan, &query, 0, threshold)
+            else { continue };
+            if !pred.admit(&candidate) {
+                let exact = Manhattan::new().evaluate(&query, &candidate).expect("equal lengths");
+                prop_assert!(exact > threshold, "false reject: MD {exact} <= {threshold}");
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_arrays_only_widen_acceptance(
+        pair in pairs(),
+        radius in 0usize..6,
+        threshold in 0.0f64..4.0,
+    ) {
+        let (query, candidate): (Vec<f64>, Vec<f64>) = pair.into_iter().unzip();
+        let [tuned, varied, faulty] = filters();
+        let t = tuned.program(DistanceKind::Dtw, &query, radius, threshold).unwrap();
+        let v = varied.program(DistanceKind::Dtw, &query, radius, threshold).unwrap();
+        let f = faulty.program(DistanceKind::Dtw, &query, radius, threshold).unwrap();
+        if t.admit(&candidate) {
+            prop_assert!(v.admit(&candidate), "variation narrowed a window");
+            prop_assert!(f.admit(&candidate), "a fault narrowed a window");
+        }
+    }
+
+    #[test]
+    fn one_shot_tuned_is_bitwise_exact_and_degradation_is_false_accept_only(
+        pair in pairs(),
+        threshold in 0.0f64..2.0,
+        seed in 0u64..64,
+        i in 0usize..24,
+        j in 0usize..24,
+    ) {
+        let (p, q): (Vec<f64>, Vec<f64>) = pair.into_iter().unzip();
+        let tuned = OneShotMatcher::new(threshold);
+        let varied = OneShotMatcher::new(threshold)
+            .with_policy(MarginPolicy::paper_defaults(seed));
+        let faulty = tuned
+            .clone()
+            .with_fault(i % p.len(), j % q.len(), FAULTS[(seed % 4) as usize]);
+
+        // Pin the tuned plane to the exact digital kernels bitwise, so the
+        // degradation direction below is measured against ground truth.
+        let ham = Hamming::new(threshold).evaluate(&p, &q).expect("equal lengths");
+        let edd = EditDistance::new(threshold).evaluate(&p, &q).expect("non-empty");
+        let lcs = Lcs::new(threshold).evaluate(&p, &q).expect("non-empty");
+        prop_assert_eq!(tuned.hamming(&p, &q).unwrap().to_bits(), ham.to_bits());
+        prop_assert_eq!(tuned.edit(&p, &q).unwrap().to_bits(), edd.to_bits());
+        prop_assert_eq!(tuned.lcs(&p, &q).unwrap().to_bits(), lcs.to_bits());
+
+        // Widening may only move values toward MATCH: distances down,
+        // similarity up — never a false reject in any evaluator.
+        for degraded in [&varied, &faulty] {
+            prop_assert!(degraded.hamming(&p, &q).unwrap() <= ham);
+            prop_assert!(degraded.edit(&p, &q).unwrap() <= edd);
+            prop_assert!(degraded.lcs(&p, &q).unwrap() >= lcs);
+        }
+    }
+}

@@ -160,7 +160,9 @@ fn main() {
             }
         } else {
             tolerance_pair_queries += 1;
-            if route.backend == BackendId::Analog {
+            // Both analog planes count: the DP fabric and the aCAM one-shot
+            // match plane (which undercuts it on the thresholded kinds).
+            if matches!(route.backend, BackendId::Analog | BackendId::Acam) {
                 tolerance_analog += 1;
             } else {
                 tally.fallback_like += 1;

@@ -5,7 +5,7 @@
 //! module re-exports them under their historical path. See the source
 //! module for the calibration story.
 
-pub use mda_core::bounds::{behavioural, spice, Bound};
+pub use mda_core::bounds::{acam, behavioural, spice, Bound};
 
 #[cfg(test)]
 mod tests {

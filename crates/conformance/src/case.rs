@@ -10,14 +10,26 @@
 //!
 //! Value domains keep the analog fabric honest rather than comfortable:
 //! magnitudes stay within the encodable window (±2.5 units against a
-//! 25-unit ceiling), but thresholded comparisons are generated *decisive*.
-//! The matrix DPs (LCS/EdD) compare every cross pair `(i, j)`, not just
-//! aligned elements, so for the thresholded kinds all values are snapped
-//! to a lattice of spacing `3·threshold`: any two values are then either
-//! identical (decisive match) or at least three thresholds apart (decisive
-//! mismatch). A difference right at the threshold is a knife-edge where
-//! the digital reference itself flips on sub-LSB noise and no analog bound
-//! is meaningful.
+//! 25-unit ceiling), but thresholded comparisons are generated *decisive*
+//! by default. The matrix DPs (LCS/EdD) compare every cross pair `(i, j)`,
+//! not just aligned elements, so for the thresholded kinds all values are
+//! snapped to a lattice of spacing `3·threshold`: any two values are then
+//! either identical (decisive match) or at least three thresholds apart
+//! (decisive mismatch). A difference right at the threshold is a
+//! knife-edge where an *analog* comparator flips on sub-LSB noise and no
+//! analog bound is meaningful.
+//!
+//! That snap used to be unconditional, which left a coverage hole: the
+//! digital layers (reference, server, one-shot aCAM) resolve the inclusive
+//! `|a − b| ≤ threshold` comparator deterministically even *exactly at*
+//! the boundary, and nothing exercised that. A **boundary stratum** now
+//! covers it: about a quarter of thresholded cases pin the threshold to an
+//! exactly-representable 0.5, snap values to a lattice of spacing exactly
+//! `threshold`, and force at least one aligned pair to sit precisely on
+//! the boundary. Such cases are flagged by [`CaseSpec::knife_edge`] and
+//! exempted from the analog layers (behavioural, SPICE), where a boundary
+//! flip is physics rather than a finding — every digital layer still must
+//! agree bitwise on them.
 
 use mda_distance::DistanceKind;
 use rand::Rng;
@@ -127,6 +139,20 @@ impl CaseSpec {
             "row"
         }
     }
+
+    /// `true` when some cross pair of a thresholded case sits exactly on
+    /// the match boundary (`|a − b| == threshold`, bitwise). The digital
+    /// layers resolve the inclusive comparator deterministically there and
+    /// must agree to the bit; an analog comparator legitimately flips on
+    /// sub-LSB noise, so the harness exempts these cases from the
+    /// behavioural and SPICE layers.
+    pub fn knife_edge(&self) -> bool {
+        if !self.thresholded() {
+            return false;
+        }
+        let all = || self.p.iter().chain(&self.q);
+        all().any(|&a| all().any(|&b| (a - b).abs() == self.threshold))
+    }
 }
 
 /// Hard ceiling on generated values: well inside the 25-unit encodable
@@ -199,7 +225,18 @@ pub fn generate(seed: u64, id: u64) -> CaseSpec {
         3 => Family::Spike,
         _ => Family::Offset,
     };
-    let threshold = [0.3, 0.5, 0.8][rng.gen_range(0..3u32) as usize];
+    let mut threshold = [0.3, 0.5, 0.8][rng.gen_range(0..3u32) as usize];
+    let is_thresholded = matches!(
+        kind,
+        DistanceKind::Lcs | DistanceKind::Edit | DistanceKind::Hamming
+    );
+    // Boundary stratum: pin the threshold to an exactly-representable 0.5
+    // so lattice differences can land *precisely on* the match boundary
+    // (see module docs).
+    let boundary = is_thresholded && rng.gen_bool(0.25);
+    if boundary {
+        threshold = 0.5;
+    }
 
     let (m, n) = match class {
         LengthClass::Tiny => {
@@ -248,14 +285,13 @@ pub fn generate(seed: u64, id: u64) -> CaseSpec {
         base_series(family, n, &mut rng)
     };
 
-    let is_thresholded = matches!(
-        kind,
-        DistanceKind::Lcs | DistanceKind::Edit | DistanceKind::Hamming
-    );
     if is_thresholded {
-        // Snap to the decisive lattice so *every* cross pair is either an
-        // exact match or ≥ 3 thresholds apart (see module docs).
-        let lattice = 3.0 * threshold;
+        // Decisive mode snaps to a 3·threshold lattice so *every* cross
+        // pair is either an exact match or ≥ 3 thresholds apart; boundary
+        // mode snaps to a lattice of exactly `threshold`, where adjacent
+        // lattice points differ by precisely the threshold (see module
+        // docs).
+        let lattice = if boundary { threshold } else { 3.0 * threshold };
         let snap = |v: f64| {
             let s = (v / lattice).round() * lattice;
             if s == 0.0 {
@@ -266,6 +302,15 @@ pub fn generate(seed: u64, id: u64) -> CaseSpec {
         };
         p.iter_mut().for_each(|v| *v = snap(*v));
         q.iter_mut().for_each(|v| *v = snap(*v));
+        if boundary {
+            // Guarantee at least one pair exactly on the boundary (toward
+            // the interior so the step cannot leave the value window).
+            q[0] = if p[0] >= 0.0 {
+                p[0] - threshold
+            } else {
+                p[0] + threshold
+            };
+        }
     }
 
     // A band stresses the DTW configuration path; only meaningful for
@@ -353,7 +398,9 @@ mod tests {
     fn thresholded_kinds_have_fully_decisive_cross_pairs() {
         for id in 0..300 {
             let c = generate(17, id);
-            if !c.thresholded() {
+            if !c.thresholded() || c.knife_edge() {
+                // Boundary-stratum cases are deliberately indecisive; the
+                // `boundary_stratum_*` tests cover them.
                 continue;
             }
             for &a in c.p.iter().chain(&c.q) {
@@ -365,6 +412,46 @@ mod tests {
                         c.threshold
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_stratum_emits_exact_threshold_pairs_for_every_thresholded_kind() {
+        // Regression test for the coverage hole the stratum closes: the
+        // 3·threshold snap alone can never produce a cross pair exactly on
+        // the match boundary, so without the stratum no generated case
+        // exercises the inclusive comparator's equality arm.
+        let mut boundary_kinds = std::collections::BTreeSet::new();
+        for id in 0..600 {
+            let c = generate(23, id);
+            if !c.knife_edge() {
+                continue;
+            }
+            // Flagged cases really carry a bitwise-exact boundary pair...
+            let exact = c.p.iter().chain(&c.q).any(|&a| {
+                c.p.iter()
+                    .chain(&c.q)
+                    .any(|&b| (a - b).abs() == c.threshold)
+            });
+            assert!(exact, "case {id}");
+            // ...at an exactly-representable threshold.
+            assert_eq!(c.threshold, 0.5, "case {id}");
+            boundary_kinds.insert(c.kind.abbrev());
+        }
+        assert_eq!(
+            boundary_kinds.into_iter().collect::<Vec<_>>(),
+            vec!["EdD", "HamD", "LCS"],
+            "every thresholded kind must hit the boundary stratum"
+        );
+    }
+
+    #[test]
+    fn non_thresholded_kinds_are_never_knife_edge() {
+        for id in 0..120 {
+            let c = generate(29, id);
+            if !c.thresholded() {
+                assert!(!c.knife_edge(), "case {id}");
             }
         }
     }

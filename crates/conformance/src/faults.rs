@@ -13,7 +13,16 @@
 //!    distance computed from a failed weight) at the harness layer, and
 //!    come back as in-band `bad_request` errors over the server wire —
 //!    never a panic, never a silently wrong value.
+//!
+//! The aCAM match plane adds a third, direction-only claim: a faulty or
+//! variation-widened interval cell degrades to *always-match* (the
+//! match-line AND loses one input), so under any fault or variation sweep
+//! the one-shot values may only move in the false-accept direction —
+//! mismatch counts (HamD, EdD) can only fall, match counts (LCS) can only
+//! rise — never the reverse. A cell that could false-*reject* would break
+//! the admissibility contract the search pre-filter is built on.
 
+use mda_acam::{MarginPolicy, OneShotMatcher};
 use mda_core::{pe, AcceleratorConfig};
 use mda_distance::DistanceKind;
 use mda_memristor::tuning::{try_tune_ratio, PulseSchedule, TuningError};
@@ -239,6 +248,71 @@ fn untunable_suite(seed: u64, failures: &mut Vec<String>) -> Json {
     Json::Arr(entries)
 }
 
+/// aCAM degradation sweep: for each thresholded kind, the one-shot value
+/// from variation-widened and hard-faulted arrays must only ever move in
+/// the false-accept direction against the tuned (digital-exact) value.
+fn acam_degradation(seed: u64, failures: &mut Vec<String>) -> Json {
+    let p = [0.0, 0.5, -1.0, 1.5, -2.0, 0.5];
+    let q = [0.5, 0.5, -2.5, 0.0, -2.0, -1.0];
+    let threshold = 0.5;
+    let kinds: [(DistanceKind, bool); 3] = [
+        (DistanceKind::Hamming, false),
+        (DistanceKind::Edit, false),
+        (DistanceKind::Lcs, true), // similarity: faults can only raise it
+    ];
+    let faults = [
+        CellFault::StuckAtHrs,
+        CellFault::StuckAtLrs,
+        CellFault::DeadProgramming,
+        CellFault::Drift(1.4),
+    ];
+    let mut entries = Vec::new();
+    for (kind, is_similarity) in kinds {
+        let tuned = match OneShotMatcher::new(threshold).evaluate(kind, &p, &q) {
+            Ok(v) => v,
+            Err(e) => {
+                failures.push(format!("acam {kind}: tuned evaluation failed: {e}"));
+                continue;
+            }
+        };
+        let mut sweeps = 0u64;
+        let mut max_shift: f64 = 0.0;
+        let mut check = |label: &str, matcher: &OneShotMatcher| match matcher.evaluate(kind, &p, &q)
+        {
+            Ok(v) => {
+                sweeps += 1;
+                let shift = if is_similarity { v - tuned } else { tuned - v };
+                max_shift = max_shift.max(shift);
+                if shift < 0.0 {
+                    failures.push(format!(
+                        "acam {kind} {label}: value {v} moved in the false-reject \
+                         direction against tuned {tuned}"
+                    ));
+                }
+            }
+            Err(e) => failures.push(format!("acam {kind} {label}: evaluation failed: {e}")),
+        };
+        for s in 0..8u64 {
+            let matcher =
+                OneShotMatcher::new(threshold).with_policy(MarginPolicy::paper_defaults(seed ^ s));
+            check("variation", &matcher);
+        }
+        for (i, fault) in faults.iter().enumerate() {
+            let matcher = OneShotMatcher::new(threshold)
+                .with_fault(i % p.len(), (2 * i + 1) % q.len(), *fault)
+                .with_fault((i + 3) % p.len(), i % q.len(), *fault);
+            check(fault.label(), &matcher);
+        }
+        entries.push(Json::Obj(vec![
+            ("function".into(), Json::Str(kind.abbrev().into())),
+            ("tuned".into(), Json::Num(tuned)),
+            ("sweeps".into(), Json::Num(sweeps as f64)),
+            ("max_false_accept_shift".into(), Json::Num(max_shift)),
+        ]));
+    }
+    Json::Arr(entries)
+}
+
 /// Server round-trip: the degraded-query path (a stuck column excluded
 /// from a row function's lanes leaves mismatched series lengths) must
 /// come back as a typed in-band error, and the connection must remain
@@ -288,6 +362,7 @@ pub fn run_fault_suite(seed: u64, client: Option<&mut Client>) -> FaultSuiteOutc
     let recovery = recovery_sweep(seed, &mut failures);
     let weighted = weighted_end_to_end(seed, &mut failures);
     let untunable = untunable_suite(seed, &mut failures);
+    let acam = acam_degradation(seed, &mut failures);
     let server = match client {
         Some(c) => server_roundtrip(c, &mut failures),
         None => Json::Null,
@@ -296,6 +371,7 @@ pub fn run_fault_suite(seed: u64, client: Option<&mut Client>) -> FaultSuiteOutc
         ("recovery_sweep".into(), recovery),
         ("weighted_end_to_end".into(), weighted),
         ("untunable".into(), untunable),
+        ("acam_degradation".into(), acam),
         ("server_roundtrip".into(), server),
         ("failures".into(), Json::Num(failures.len() as f64)),
     ]);

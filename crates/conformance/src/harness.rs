@@ -113,6 +113,7 @@ struct KindStats {
     cases: u64,
     behavioural: LayerStats,
     spice: LayerStats,
+    acam: LayerStats,
     server: LayerStats,
     server_resident: LayerStats,
     server_routed: LayerStats,
@@ -163,30 +164,38 @@ fn check_case(
     let ceiling = layers::encodable_ceiling();
     let analog_reference = reference.clamp(-ceiling, ceiling);
 
+    // Knife-edge (boundary-stratum) cases sit exactly on a thresholded
+    // comparator's boundary: an analog comparator flips there on sub-LSB
+    // noise, so the analog layers are exempt. Every digital layer — and
+    // the tuned aCAM match plane below — still must agree bitwise.
+    let knife_edge = case.knife_edge();
+
     let behavioural_bound =
         bounds::behavioural(case.kind, case.p.len().max(case.q.len())).scaled(bound_scale);
-    match layers::behavioural(case) {
-        Ok(v) => {
-            if let Some(s) = stats.as_deref_mut() {
-                s.behavioural.record(v, analog_reference);
+    if !knife_edge {
+        match layers::behavioural(case) {
+            Ok(v) => {
+                if let Some(s) = stats.as_deref_mut() {
+                    s.behavioural.record(v, analog_reference);
+                }
+                if !behavioural_bound.allows(v, analog_reference) {
+                    failures.push(Failure {
+                        layer: "behavioural",
+                        value: v,
+                        reference: analog_reference,
+                        margin: behavioural_bound.margin(analog_reference),
+                        error: None,
+                    });
+                }
             }
-            if !behavioural_bound.allows(v, analog_reference) {
-                failures.push(Failure {
-                    layer: "behavioural",
-                    value: v,
-                    reference: analog_reference,
-                    margin: behavioural_bound.margin(analog_reference),
-                    error: None,
-                });
-            }
+            Err(e) => failures.push(Failure {
+                layer: "behavioural",
+                value: f64::NAN,
+                reference: analog_reference,
+                margin: behavioural_bound.margin(analog_reference),
+                error: Some(e.to_string()),
+            }),
         }
-        Err(e) => failures.push(Failure {
-            layer: "behavioural",
-            value: f64::NAN,
-            reference: analog_reference,
-            margin: behavioural_bound.margin(analog_reference),
-            error: Some(e.to_string()),
-        }),
     }
 
     if with_spice && layers::spice_eligibility(case).is_ok() {
@@ -211,6 +220,39 @@ fn check_case(
                 value: f64::NAN,
                 reference: analog_reference,
                 margin: bound.margin(analog_reference),
+                error: Some(e.to_string()),
+            }),
+        }
+    }
+
+    // The one-shot aCAM match plane, judged under its calibrated bound
+    // against the *raw* reference (the match plane counts comparator
+    // outcomes; it has no output-ceiling saturation). A tuned array is in
+    // fact expected bitwise-identical, so this layer runs on knife-edge
+    // cases too — that's where the inclusive comparator's equality arm is
+    // exercised.
+    if layers::acam_eligibility(case).is_ok() {
+        let bound = bounds::acam(case.kind, case.p.len().max(case.q.len())).scaled(bound_scale);
+        match layers::acam(case) {
+            Ok(v) => {
+                if let Some(s) = stats.as_deref_mut() {
+                    s.acam.record(v, reference);
+                }
+                if !bound.allows(v, reference) {
+                    failures.push(Failure {
+                        layer: "acam",
+                        value: v,
+                        reference,
+                        margin: bound.margin(reference),
+                        error: None,
+                    });
+                }
+            }
+            Err(e) => failures.push(Failure {
+                layer: "acam",
+                value: f64::NAN,
+                reference,
+                margin: bound.margin(reference),
                 error: Some(e.to_string()),
             }),
         }
@@ -496,6 +538,12 @@ pub fn run(config: &HarnessConfig) -> RunOutcome {
         }
         // The weighted end-to-end check drives a row PE with tuned weights.
         ledger.insert(("MD", "row", "short", "variation"), (1, 1));
+        // The aCAM degradation sweep covers each thresholded kind under
+        // variation (8 seeds) and every hard-fault class (4 plans).
+        for kind in ["HamD", "EdD", "LCS"] {
+            let structure = if kind == "HamD" { "row" } else { "matrix" };
+            ledger.insert((kind, structure, "short", "acam_fault"), (12, 0));
+        }
         failures.extend(outcome.failures);
         outcome.json
     } else {
@@ -517,6 +565,7 @@ pub fn run(config: &HarnessConfig) -> RunOutcome {
                         ("cases".into(), Json::Num(s.cases as f64)),
                         ("behavioural".into(), s.behavioural.json()),
                         ("spice".into(), s.spice.json()),
+                        ("acam".into(), s.acam.json()),
                         ("server".into(), s.server.json()),
                         ("server_resident".into(), s.server_resident.json()),
                         ("server_routed".into(), s.server_routed.json()),
@@ -558,6 +607,7 @@ pub fn run(config: &HarnessConfig) -> RunOutcome {
                 ("reference".into(), Json::Bool(true)),
                 ("behavioural".into(), Json::Bool(true)),
                 ("spice".into(), Json::Bool(config.with_spice)),
+                ("acam".into(), Json::Bool(true)),
                 ("server".into(), Json::Bool(config.with_server)),
                 ("server_resident".into(), Json::Bool(config.with_server)),
                 ("server_routed".into(), Json::Bool(config.with_server)),

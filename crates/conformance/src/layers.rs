@@ -17,8 +17,13 @@
 //!   tolerance SLA wide enough to admit the analog fabric: whatever
 //!   backend the router picks, the reply must report it, the reported
 //!   bound must fit the SLA, and the served value must land within the
-//!   tolerance of the digital reference.
+//!   tolerance of the digital reference;
+//! * **acam** — the one-shot aCAM match plane for the thresholded kinds
+//!   (HamD, thresholded EdD/LCS): a tuned array's interval comparators
+//!   must reproduce the digital comparator on every cell, including the
+//!   boundary-stratum cases that sit exactly on `|a − b| = threshold`.
 
+use mda_acam::OneShotMatcher;
 use mda_core::accelerator::FunctionParams;
 use mda_core::{pe, AcceleratorConfig, AcceleratorError, DistanceAccelerator};
 use mda_distance::dtw::Band;
@@ -105,6 +110,11 @@ pub fn spice_eligibility(case: &CaseSpec) -> Result<(), &'static str> {
     if case.band.is_some() {
         // The device netlists hard-wire the full recurrence fabric.
         return Err("banded DTW has no SPICE netlist");
+    }
+    if case.knife_edge() {
+        // A boundary-stratum pair flips an analog comparator on sub-LSB
+        // noise; no device-level bound is meaningful there.
+        return Err("knife-edge case has no meaningful analog bound");
     }
     let (m, n) = (case.p.len(), case.q.len());
     if case.kind.uses_matrix_structure() {
@@ -205,6 +215,28 @@ pub fn server_resident(client: &mut Client, case: &CaseSpec) -> Result<f64, Clie
     })
 }
 
+/// Whether the one-shot aCAM layer runs this case, and if not, why not.
+pub fn acam_eligibility(case: &CaseSpec) -> Result<(), &'static str> {
+    if !case.thresholded() {
+        return Err("no one-shot aCAM evaluation for non-thresholded kinds");
+    }
+    Ok(())
+}
+
+/// The one-shot aCAM match-plane value for an eligible case: a tuned
+/// array (every comparator programmed exactly on the digital threshold, no
+/// guard band), so the value is judged under [`mda_core::bounds::acam`]
+/// but is in fact expected bitwise-identical to the reference — including
+/// on knife-edge cases, where the inclusive comparator's equality arm is
+/// exercised directly.
+///
+/// # Errors
+///
+/// Shape errors from the distance definitions.
+pub fn acam(case: &CaseSpec) -> Result<f64, DistanceError> {
+    OneShotMatcher::new(case.threshold).evaluate(case.kind, &case.p, &case.q)
+}
+
 /// Whether the streaming differential layer runs this case, and if not,
 /// why not.
 pub fn streaming_eligibility(case: &CaseSpec) -> Result<(), &'static str> {
@@ -303,5 +335,37 @@ mod tests {
         let a = behavioural(&case).unwrap();
         let b = behavioural(&case).unwrap();
         assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn acam_layer_is_bitwise_identical_to_the_reference() {
+        let mut eligible = 0;
+        let mut knife_edges = 0;
+        for id in 0..240 {
+            let case = generate(31, id);
+            if acam_eligibility(&case).is_err() {
+                continue;
+            }
+            eligible += 1;
+            if case.knife_edge() {
+                knife_edges += 1;
+            }
+            let one_shot = acam(&case).unwrap();
+            let reference = reference(&case).unwrap();
+            assert_eq!(one_shot.to_bits(), reference.to_bits(), "case {id}");
+        }
+        assert!(eligible > 0);
+        // The identity must have been exercised on boundary cases too.
+        assert!(knife_edges > 0, "no knife-edge case in {eligible} eligible");
+    }
+
+    #[test]
+    fn knife_edge_cases_are_excluded_from_the_spice_layer() {
+        for id in 0..400 {
+            let case = generate(23, id);
+            if case.knife_edge() {
+                assert!(spice_eligibility(&case).is_err(), "case {id}");
+            }
+        }
     }
 }

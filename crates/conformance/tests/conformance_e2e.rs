@@ -92,14 +92,15 @@ fn report_ledger_covers_every_reachable_cell() {
         other => panic!("ledger missing: {other:?}"),
     };
     // 6 kinds × 4 classes, minus Mixed for the two equal-length row
-    // functions, plus the fault-plane rows (4 device + 1 end-to-end).
+    // functions, plus the fault-plane rows (4 device + 1 end-to-end +
+    // 3 aCAM degradation sweeps).
     let differential = ledger
         .iter()
         .filter(|row| row.get("fault").and_then(|f| f.as_str()) == Some("none"))
         .count();
     assert_eq!(differential, 6 * 4 - 2);
     let fault_rows = ledger.len() - differential;
-    assert_eq!(fault_rows, 5);
+    assert_eq!(fault_rows, 8);
     // Structure axis is present and correct on every differential row.
     for row in &ledger {
         let structure = row.get("structure").and_then(|s| s.as_str()).unwrap();

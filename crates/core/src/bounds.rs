@@ -79,6 +79,31 @@ pub fn behavioural(kind: DistanceKind, len: usize) -> Bound {
     }
 }
 
+/// Bound for the aCAM one-shot matching plane — the thresholded kinds
+/// (HamD, thresholded EdD/LCS) whose comparators the match plane resolves
+/// in analog.
+///
+/// A *tuned* array (closed-loop program-and-verify) reproduces the digital
+/// comparator exactly, and the routed backend models a tuned array — but
+/// the contract deliberately keeps analog headroom (one residual
+/// comparator flip at the floor, gain error at the top) rather than
+/// claiming [`Bound::EXACT`]: an exact claim would put aCAM on the
+/// digital, lease-free routing path, and the router must keep accounting
+/// for it as analog fleet capacity with the saturation guard armed. The
+/// non-thresholded kinds have no one-shot evaluation; an infinite bound
+/// keeps them un-routable even if a capability check is bypassed.
+pub fn acam(kind: DistanceKind, _len: usize) -> Bound {
+    match kind {
+        DistanceKind::Hamming | DistanceKind::Edit | DistanceKind::Lcs => {
+            Bound { abs: 0.5, rel: 0.1 }
+        }
+        _ => Bound {
+            abs: f64::INFINITY,
+            rel: 0.0,
+        },
+    }
+}
+
 /// Bound for the device-level SPICE layer. Only evaluated on the sizes the
 /// PE netlists support (see the conformance harness's `spice_eligibility`),
 /// so no length term is needed: the caps keep the netlists in the regime
@@ -147,6 +172,25 @@ mod tests {
         for kind in DistanceKind::ALL {
             assert!(behavioural(kind, 1).abs > 0.0);
             assert!(spice(kind).abs > 0.0);
+        }
+    }
+
+    #[test]
+    fn acam_bound_covers_exactly_the_thresholded_kinds() {
+        for kind in [DistanceKind::Hamming, DistanceKind::Edit, DistanceKind::Lcs] {
+            let b = acam(kind, 64);
+            // Non-exact (so the router leases and guards it as analog) but
+            // admissible at the fabric's 25-unit output ceiling.
+            assert!(b != Bound::EXACT, "{kind}");
+            assert!(b.margin(25.0) < 25.0, "{kind}");
+        }
+        for kind in [
+            DistanceKind::Dtw,
+            DistanceKind::Hausdorff,
+            DistanceKind::Manhattan,
+        ] {
+            // Infinite margin: never admitted by the tolerance scan.
+            assert!(acam(kind, 64).margin(25.0).is_infinite(), "{kind}");
         }
     }
 

@@ -7,6 +7,8 @@
 
 use crate::batch::BatchEngine;
 use crate::error::DistanceError;
+use crate::mining::prefilter::CandidateFilter;
+use crate::scratch::DpScratch;
 use crate::validate::ensure_finite;
 use crate::Distance;
 
@@ -48,6 +50,7 @@ pub struct KnnClassifier {
     k: usize,
     train: Vec<Instance>,
     engine: BatchEngine,
+    prefilter: Option<Box<dyn CandidateFilter>>,
 }
 
 impl std::fmt::Debug for KnnClassifier {
@@ -57,6 +60,7 @@ impl std::fmt::Debug for KnnClassifier {
             .field("k", &self.k)
             .field("train_size", &self.train.len())
             .field("engine", &self.engine)
+            .field("prefilter", &self.prefilter.is_some())
             .finish()
     }
 }
@@ -75,6 +79,7 @@ impl KnnClassifier {
             k,
             train: Vec::new(),
             engine: BatchEngine::new(),
+            prefilter: None,
         }
     }
 
@@ -84,6 +89,18 @@ impl KnnClassifier {
     #[must_use]
     pub fn with_engine(mut self, engine: BatchEngine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Installs a stage-0 candidate pre-filter (e.g. an aCAM array model),
+    /// consulted per training instance before its distance is evaluated.
+    /// The first `k` instances seed a certified pruning threshold; a
+    /// filter rejection then proves the instance is outside the final
+    /// neighbour set, so the classification (label, score, nearest index)
+    /// stays bitwise-identical with or without a filter.
+    #[must_use]
+    pub fn with_candidate_filter(mut self, filter: Box<dyn CandidateFilter>) -> Self {
+        self.prefilter = Some(filter);
         self
     }
 
@@ -124,12 +141,48 @@ impl KnnClassifier {
             ensure_finite("train", &inst.series)?;
         }
         let invert = self.distance.is_similarity();
+        // Stage 0: with a pre-filter installed (and scores that are plain
+        // distances), the first k instances are evaluated up front and the
+        // largest of their distances becomes the programmed threshold. The
+        // final k-th best score can only be <= that threshold, so a filter
+        // rejection — certified `distance > threshold` — proves the
+        // instance lands strictly past position k in the sort below and
+        // its exact score is never consulted.
+        let head = self.k.min(self.train.len());
+        let predicate = match &self.prefilter {
+            Some(filter) if !invert && self.train.len() > head => {
+                let mut scratch = DpScratch::new();
+                let mut threshold = f64::NEG_INFINITY;
+                for inst in &self.train[..head] {
+                    let raw = self
+                        .distance
+                        .evaluate_with(query, &inst.series, &mut scratch)?;
+                    threshold = threshold.max(raw);
+                }
+                if threshold.is_finite() && threshold >= 0.0 {
+                    filter.program(self.distance.kind(), query, query.len(), threshold)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
         // One distance per training instance, sharded over the engine's
         // workers; scores come back in training-index order, so the stable
         // sort below breaks ties by index exactly as the serial loop did.
         let scores = self
             .engine
-            .try_map_scratch(&self.train, |scratch, _, inst| {
+            .try_map_scratch(&self.train, |scratch, idx, inst| {
+                if idx >= head {
+                    if let Some(p) = &predicate {
+                        if !p.admit(&inst.series) {
+                            // Certified out of the neighbour set: an +inf
+                            // placeholder sorts after every finite score, of
+                            // which the k head instances guarantee at least k.
+                            return Ok(f64::INFINITY);
+                        }
+                    }
+                }
                 // `0.0 - raw` so a zero similarity negates to +0.0, keeping
                 // `total_cmp` ties identical to the old partial_cmp ordering.
                 let raw = self.distance.evaluate_with(query, &inst.series, scratch)?;
@@ -259,6 +312,26 @@ mod tests {
     #[should_panic(expected = "k must be")]
     fn zero_k_panics() {
         let _ = KnnClassifier::new(Box::new(Manhattan::new()), 0);
+    }
+
+    /// The identity filter must leave the classification bitwise as the
+    /// unfiltered run produced it.
+    #[test]
+    fn admit_all_filter_changes_nothing() {
+        use crate::mining::prefilter::AdmitAll;
+        for k in [1, 3] {
+            let mut plain = KnnClassifier::new(Box::new(Dtw::new()), k);
+            plain.fit_all(two_class_data());
+            let mut filtered = KnnClassifier::new(Box::new(Dtw::new()), k)
+                .with_candidate_filter(Box::new(AdmitAll));
+            filtered.fit_all(two_class_data());
+            for query in [[0.05, 0.05, 0.0, 0.0], [5.05, 4.95, 5.0, 5.0]] {
+                assert_eq!(
+                    plain.classify(&query).unwrap(),
+                    filtered.classify(&query).unwrap()
+                );
+            }
+        }
     }
 
     /// Regression: a NaN query or training series used to panic in the

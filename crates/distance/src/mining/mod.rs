@@ -10,14 +10,18 @@
 //! * [`motif`] — motif discovery, the primitive behind frequency pattern
 //!   mining;
 //! * [`search`] — subsequence similarity search with cascading lower-bound
-//!   pruning, the workload whose runtime is ">99% distance computation".
+//!   pruning, the workload whose runtime is ">99% distance computation";
+//! * [`prefilter`] — the pluggable stage-0 candidate filter (admissible,
+//!   certified-prune) that search and kNN consult before any digital work.
 
 pub mod kmedoids;
 pub mod knn;
 pub mod motif;
+pub mod prefilter;
 pub mod search;
 
 pub use kmedoids::{KMedoids, KMedoidsResult};
 pub use knn::{Classified, KnnClassifier};
 pub use motif::{Motif, MotifDiscovery, MotifStats};
+pub use prefilter::{AdmitAll, CandidateFilter, CandidatePredicate};
 pub use search::{SearchStats, SubsequenceSearch};

@@ -1,0 +1,99 @@
+//! Stage-0 candidate filtering: a pluggable admissible pre-filter that
+//! sits *ahead* of the cascading lower bounds.
+//!
+//! The mining workloads ([`crate::mining::search`], [`crate::mining::knn`])
+//! accept an optional [`CandidateFilter`]. Once a pruning threshold is
+//! known (the scout window's DTW in search, the running k-th best in kNN),
+//! the filter is *programmed* for the query and yields a
+//! [`CandidatePredicate`] that is consulted per candidate before any
+//! digital work.
+//!
+//! ## The admissibility contract
+//!
+//! A predicate rejection (`admit == false`) must **certify** that the
+//! candidate's true distance to the query is *strictly greater* than the
+//! programmed threshold. Under that contract the caller may skip the
+//! candidate without changing its final answer — not approximately, but
+//! bitwise: every rejected candidate is one the exact pipeline would have
+//! discarded anyway, and skipping it perturbs no intermediate state the
+//! surviving candidates observe. False *accepts* are always allowed (the
+//! candidate just proceeds to the exact pipeline); false *rejects* are
+//! never allowed.
+//!
+//! The motivating implementation is the aCAM array of the `mda-acam`
+//! crate, which answers the predicate for a whole window in one analog
+//! match-line cycle; the trait lives here so the mining layer stays free
+//! of any accelerator dependency.
+
+use crate::DistanceKind;
+
+/// A filter programmed for one (query, threshold) pair.
+pub trait CandidatePredicate: Send + Sync {
+    /// Whether the candidate may still beat the programmed threshold.
+    ///
+    /// `false` is a **certified rejection**: the candidate's true distance
+    /// is strictly above the threshold. Implementations must return `true`
+    /// whenever they cannot certify that — e.g. for a candidate whose
+    /// length does not fit the programmed word.
+    fn admit(&self, candidate: &[f64]) -> bool;
+}
+
+/// A factory of stage-0 predicates, programmable per query.
+pub trait CandidateFilter: Send + Sync {
+    /// Programs the filter for `query` under distance `kind`.
+    ///
+    /// `band_radius` is the Sakoe–Chiba radius the caller will use for DTW
+    /// (callers that cannot know the band pass `query.len()`, which is
+    /// always admissible); `prune_threshold` is the non-negative distance
+    /// above which candidates are discardable.
+    ///
+    /// Returns `None` when the filter cannot serve this kind/query/threshold
+    /// combination — the caller then runs completely unfiltered, which must
+    /// always remain correct.
+    fn program(
+        &self,
+        kind: DistanceKind,
+        query: &[f64],
+        band_radius: usize,
+        prune_threshold: f64,
+    ) -> Option<Box<dyn CandidatePredicate>>;
+}
+
+/// A trivial filter that admits everything — the identity element, useful
+/// for exercising the filtered code path without an accelerator model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdmitAll;
+
+struct AdmitAllPredicate;
+
+impl CandidatePredicate for AdmitAllPredicate {
+    fn admit(&self, _candidate: &[f64]) -> bool {
+        true
+    }
+}
+
+impl CandidateFilter for AdmitAll {
+    fn program(
+        &self,
+        _kind: DistanceKind,
+        _query: &[f64],
+        _band_radius: usize,
+        _prune_threshold: f64,
+    ) -> Option<Box<dyn CandidatePredicate>> {
+        Some(Box::new(AdmitAllPredicate))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admit_all_admits_everything() {
+        let pred = AdmitAll
+            .program(DistanceKind::Dtw, &[0.0, 1.0], 1, 0.5)
+            .unwrap();
+        assert!(pred.admit(&[9.0, -9.0]));
+        assert!(pred.admit(&[]));
+    }
+}

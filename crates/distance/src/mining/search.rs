@@ -5,13 +5,17 @@
 //! Slides a query over a long series and returns the best-matching window,
 //! using the cascading lower bounds of [`crate::lower_bounds`] to prune.
 
+use std::sync::Arc;
+
 use crate::batch::BatchEngine;
 use crate::dtw::{Band, Dtw};
 use crate::error::DistanceError;
 use crate::lower_bounds::{cascading_dtw_with, lb_kim, PruneDecision};
+use crate::mining::prefilter::CandidateFilter;
 use crate::scratch::DpScratch;
 use crate::validate::ensure_finite;
 use crate::znorm::{z_normalize_in_place, z_normalized};
+use crate::DistanceKind;
 
 /// Statistics from one search run — used by the benches to report pruning
 /// power alongside wall-clock numbers.
@@ -19,6 +23,9 @@ use crate::znorm::{z_normalize_in_place, z_normalized};
 pub struct SearchStats {
     /// Windows examined in total.
     pub windows: usize,
+    /// Windows rejected by the stage-0 candidate pre-filter (one analog
+    /// match-line cycle each), before any digital lower bound ran.
+    pub pruned_by_prefilter: usize,
     /// Windows discarded by LB_Kim (O(1) each).
     pub pruned_by_kim: usize,
     /// Windows discarded by LB_Keogh (O(n) each).
@@ -35,7 +42,10 @@ impl SearchStats {
         if self.windows == 0 {
             return 0.0;
         }
-        (self.pruned_by_kim + self.pruned_by_keogh + self.abandoned_early) as f64
+        (self.pruned_by_prefilter
+            + self.pruned_by_kim
+            + self.pruned_by_keogh
+            + self.abandoned_early) as f64
             / self.windows as f64
     }
 }
@@ -62,12 +72,25 @@ pub struct Match {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct SubsequenceSearch {
     window: usize,
     band_radius: usize,
     z_normalize: bool,
     engine: BatchEngine,
+    prefilter: Option<Arc<dyn CandidateFilter>>,
+}
+
+impl std::fmt::Debug for SubsequenceSearch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubsequenceSearch")
+            .field("window", &self.window)
+            .field("band_radius", &self.band_radius)
+            .field("z_normalize", &self.z_normalize)
+            .field("engine", &self.engine)
+            .field("prefilter", &self.prefilter.is_some())
+            .finish()
+    }
 }
 
 impl SubsequenceSearch {
@@ -85,6 +108,7 @@ impl SubsequenceSearch {
             band_radius,
             z_normalize: false,
             engine: BatchEngine::new(),
+            prefilter: None,
         }
     }
 
@@ -102,6 +126,18 @@ impl SubsequenceSearch {
     #[must_use]
     pub fn with_z_normalization(mut self, enabled: bool) -> Self {
         self.z_normalize = enabled;
+        self
+    }
+
+    /// Installs a stage-0 candidate pre-filter (e.g. an aCAM array model),
+    /// consulted per window before any digital lower bound. Because the
+    /// [`CandidateFilter`] contract only permits certified rejections, the
+    /// returned match and every surviving window's decision are
+    /// bitwise-identical with or without a filter; only the pruning
+    /// statistics shift between stages.
+    #[must_use]
+    pub fn with_prefilter(mut self, filter: Arc<dyn CandidateFilter>) -> Self {
+        self.prefilter = Some(filter);
         self
     }
 
@@ -194,6 +230,16 @@ impl SubsequenceSearch {
                 self.window_into(haystack, scout_off, &mut scout_buf),
             )?;
 
+        // Stage 1b: program the stage-0 pre-filter for the (z-normalized)
+        // query at the fixed scout threshold. A rejection certifies
+        // `LB_Keogh(window) > best_ub >= local_best`, i.e. a window the
+        // stage-2 cascade would have discarded at its Keogh layer without
+        // touching `local_best` — so skipping its cascade call leaves every
+        // other window's decision bitwise-unchanged.
+        let predicate = self.prefilter.as_ref().and_then(|filter| {
+            filter.program(DistanceKind::Dtw, &query_owned, self.band_radius, best_ub)
+        });
+
         // Stage 2: cascade every window against the fixed scout threshold,
         // tightening chunk-locally. The true best window always survives:
         // its distance is <= every threshold the cascade can hold.
@@ -222,6 +268,10 @@ impl SubsequenceSearch {
                             // is a real, fully evaluated window.
                             PruneDecision::Computed(best_ub)
                         } else {
+                            match &predicate {
+                                Some(p) if !p.admit(window) => return Ok(None),
+                                _ => {}
+                            }
                             cascading_dtw_with(
                                 &query_owned,
                                 window,
@@ -235,7 +285,7 @@ impl SubsequenceSearch {
                                 local_best = d;
                             }
                         }
-                        Ok(decision)
+                        Ok(Some(decision))
                     })
                     .collect()
             },
@@ -249,10 +299,11 @@ impl SubsequenceSearch {
         };
         for (&offset, decision) in offsets.iter().zip(decisions) {
             match decision {
-                PruneDecision::PrunedByKim(_) => stats.pruned_by_kim += 1,
-                PruneDecision::PrunedByKeogh(_) => stats.pruned_by_keogh += 1,
-                PruneDecision::AbandonedEarly => stats.abandoned_early += 1,
-                PruneDecision::Computed(d) => {
+                None => stats.pruned_by_prefilter += 1,
+                Some(PruneDecision::PrunedByKim(_)) => stats.pruned_by_kim += 1,
+                Some(PruneDecision::PrunedByKeogh(_)) => stats.pruned_by_keogh += 1,
+                Some(PruneDecision::AbandonedEarly) => stats.abandoned_early += 1,
+                Some(PruneDecision::Computed(d)) => {
                     stats.full_computations += 1;
                     if d < best.distance {
                         best = Match {
@@ -458,10 +509,29 @@ mod tests {
         let (_, stats) = SubsequenceSearch::new(16, 2).run(&query, &hay).unwrap();
         assert_eq!(
             stats.windows,
-            stats.pruned_by_kim
+            stats.pruned_by_prefilter
+                + stats.pruned_by_kim
                 + stats.pruned_by_keogh
                 + stats.abandoned_early
                 + stats.full_computations
         );
+        assert_eq!(stats.pruned_by_prefilter, 0, "no filter installed");
+    }
+
+    /// The identity filter must leave the match AND the statistics exactly
+    /// as the unfiltered run produced them — it admits everything, so every
+    /// window still flows through the cascade.
+    #[test]
+    fn admit_all_prefilter_changes_nothing() {
+        use crate::mining::prefilter::AdmitAll;
+        use std::sync::Arc;
+        let hay = haystack();
+        let query: Vec<f64> = (0..16).map(|i| (i as f64 * 0.31).cos()).collect();
+        let plain = SubsequenceSearch::new(16, 2);
+        let filtered = plain.clone().with_prefilter(Arc::new(AdmitAll));
+        let (m0, s0) = plain.run(&query, &hay).unwrap();
+        let (m1, s1) = filtered.run(&query, &hay).unwrap();
+        assert_eq!(m0, m1);
+        assert_eq!(s0, s1);
     }
 }

@@ -8,8 +8,12 @@
 //! scout computation — because any admissibility or identity bug in any
 //! layer shows up here as a wrong offset or distance.
 
+use std::sync::Arc;
+
 use proptest::prelude::*;
 
+use mda_acam::{AcamPrefilter, FaultPlan, MarginPolicy};
+use mda_distance::mining::prefilter::CandidateFilter;
 use mda_distance::mining::SubsequenceSearch;
 
 fn value() -> impl Strategy<Value = f64> {
@@ -18,6 +22,25 @@ fn value() -> impl Strategy<Value = f64> {
 
 fn series(len: impl prop::collection::IntoSizeRange) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(value(), len)
+}
+
+/// The aCAM pre-filter axis: a tuned array, a variation-widened array, and
+/// a fault-seeded array. All three may only ever reject certified-prunable
+/// windows, so every variant must reproduce the unfiltered run bitwise.
+fn filter_variants() -> Vec<(&'static str, Arc<dyn CandidateFilter>)> {
+    vec![
+        ("tuned", Arc::new(AcamPrefilter::tuned())),
+        (
+            "variation",
+            Arc::new(AcamPrefilter::new(MarginPolicy::paper_defaults(17))),
+        ),
+        (
+            "faulty",
+            Arc::new(
+                AcamPrefilter::tuned().with_fault_plan(FaultPlan::Seeded { seed: 5, rate: 0.2 }),
+            ),
+        ),
+    ]
 }
 
 fn check_agreement(query: &[f64], haystack: &[f64], window: usize, radius: usize) {
@@ -37,13 +60,43 @@ fn check_agreement(query: &[f64], haystack: &[f64], window: usize, radius: usize
     assert!(pruned.distance.is_finite(), "match must be real");
     assert_eq!(
         stats.windows,
-        stats.pruned_by_kim
+        stats.pruned_by_prefilter
+            + stats.pruned_by_kim
             + stats.pruned_by_keogh
             + stats.abandoned_early
             + stats.full_computations,
         "stats must partition the windows: {stats:?}"
     );
+    assert_eq!(stats.pruned_by_prefilter, 0, "no filter installed");
     assert_eq!(stats.windows, haystack.len() - window + 1);
+
+    for (name, filter) in filter_variants() {
+        let fs = SubsequenceSearch::new(window, radius).with_prefilter(filter);
+        let (fmatch, fstats) = fs.run(query, haystack).unwrap();
+        assert_eq!(
+            fmatch.offset, pruned.offset,
+            "{name}: filtered offset drifted (window {window}, radius {radius})"
+        );
+        assert_eq!(
+            fmatch.distance.to_bits(),
+            pruned.distance.to_bits(),
+            "{name}: filtered distance not bitwise-identical: {} vs {}",
+            fmatch.distance,
+            pruned.distance
+        );
+        // aCAM-rejected + cascade-examined windows must account for every
+        // window exactly once.
+        assert_eq!(
+            fstats.windows,
+            fstats.pruned_by_prefilter
+                + fstats.pruned_by_kim
+                + fstats.pruned_by_keogh
+                + fstats.abandoned_early
+                + fstats.full_computations,
+            "{name}: filtered stats must partition the windows: {fstats:?}"
+        );
+        assert_eq!(fstats.windows, stats.windows, "{name}");
+    }
 }
 
 proptest! {
@@ -71,6 +124,14 @@ proptest! {
         let brute = s.run_brute_force(&query, &haystack).unwrap();
         prop_assert_eq!(pruned.offset, brute.offset);
         prop_assert!((pruned.distance - brute.distance).abs() <= 1e-9);
+        // The pre-filter programs on the z-normalized query and senses
+        // z-normalized windows, so the identity must hold here too.
+        let fs = SubsequenceSearch::new(window, 1)
+            .with_z_normalization(true)
+            .with_prefilter(Arc::new(AcamPrefilter::tuned()));
+        let (fmatch, _) = fs.run(&query, &haystack).unwrap();
+        prop_assert_eq!(fmatch.offset, pruned.offset);
+        prop_assert_eq!(fmatch.distance.to_bits(), pruned.distance.to_bits());
     }
 
     #[test]
@@ -118,6 +179,78 @@ fn adversarial_shapes_agree_with_brute_force() {
     for (query, haystack) in &cases {
         for radius in [0, 1, 3] {
             check_agreement(query, haystack, query.len(), radius);
+        }
+    }
+}
+
+/// The tuned filter must actually reject windows on hostile data (the
+/// identity tests alone would pass for a filter that admits everything).
+#[test]
+fn tuned_prefilter_rejects_windows_on_hostile_haystack() {
+    let mut hay = vec![9.0; 64];
+    for (i, v) in hay.iter_mut().enumerate().skip(30).take(8) {
+        *v = (i as f64 * 0.5).sin();
+    }
+    let query: Vec<f64> = (30..38).map(|i| (i as f64 * 0.5).sin()).collect();
+    let s = SubsequenceSearch::new(8, 1).with_prefilter(Arc::new(AcamPrefilter::tuned()));
+    let (m, stats) = s.run(&query, &hay).unwrap();
+    assert_eq!(m.offset, 30);
+    assert_eq!(m.distance, 0.0);
+    assert!(
+        stats.pruned_by_prefilter > 0,
+        "the match line should have rejected far windows: {stats:?}"
+    );
+}
+
+/// kNN with the aCAM filter must classify bitwise-identically to the
+/// unfiltered classifier, for both supported kinds (DTW, MD) across k.
+#[test]
+fn filtered_knn_is_bitwise_identical() {
+    use mda_distance::mining::KnnClassifier;
+    use mda_distance::{Distance, Dtw, Manhattan};
+
+    let train: Vec<(usize, Vec<f64>)> = (0..24)
+        .map(|t| {
+            let label = t % 3;
+            let series = (0..12)
+                .map(|i| (i as f64 * (0.3 + label as f64 * 0.2) + t as f64 * 0.05).sin())
+                .collect();
+            (label, series)
+        })
+        .collect();
+    let queries: Vec<Vec<f64>> = (0..6)
+        .map(|qi| {
+            (0..12)
+                .map(|i| (i as f64 * 0.4 + qi as f64 * 0.31).sin())
+                .collect()
+        })
+        .collect();
+    let distances: Vec<fn() -> Box<dyn Distance + Send + Sync>> =
+        vec![|| Box::new(Dtw::new()), || Box::new(Manhattan::new())];
+    for make in &distances {
+        for k in [1, 3, 5] {
+            let mut plain = KnnClassifier::new(make(), k);
+            plain.fit_all(train.clone());
+            for (name, _) in filter_variants() {
+                // Rebuild per variant: filters are programmed per classify.
+                let filter: Box<dyn CandidateFilter> = match name {
+                    "tuned" => Box::new(AcamPrefilter::tuned()),
+                    "variation" => Box::new(AcamPrefilter::new(MarginPolicy::paper_defaults(17))),
+                    _ => Box::new(
+                        AcamPrefilter::tuned()
+                            .with_fault_plan(FaultPlan::Seeded { seed: 5, rate: 0.2 }),
+                    ),
+                };
+                let mut filtered = KnnClassifier::new(make(), k).with_candidate_filter(filter);
+                filtered.fit_all(train.clone());
+                for q in &queries {
+                    let a = plain.classify(q).unwrap();
+                    let b = filtered.classify(q).unwrap();
+                    assert_eq!(a.label, b.label, "{name} k={k}");
+                    assert_eq!(a.nearest_index, b.nearest_index, "{name} k={k}");
+                    assert_eq!(a.score.to_bits(), b.score.to_bits(), "{name} k={k}");
+                }
+            }
         }
     }
 }

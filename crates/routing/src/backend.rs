@@ -17,16 +17,22 @@ pub enum BackendId {
     DigitalPruned,
     /// The behavioural (array-level) analog accelerator model.
     Analog,
+    /// The aCAM one-shot matching plane — thresholded kinds only, one
+    /// precharge/sense cycle per word instead of a DP iteration.
+    Acam,
     /// The device-level SPICE-solved PE netlists.
     Spice,
 }
 
 impl BackendId {
-    /// All four backends, cheapest-to-validate first.
-    pub const ALL: [BackendId; 4] = [
+    /// All five backends, cheapest-to-validate first. Declaration order —
+    /// the server's metrics index counters by discriminant and label them
+    /// by this array, so the two must stay aligned.
+    pub const ALL: [BackendId; 5] = [
         BackendId::DigitalExact,
         BackendId::DigitalPruned,
         BackendId::Analog,
+        BackendId::Acam,
         BackendId::Spice,
     ];
 
@@ -36,6 +42,7 @@ impl BackendId {
             BackendId::DigitalExact => "digital_exact",
             BackendId::DigitalPruned => "digital_pruned",
             BackendId::Analog => "analog",
+            BackendId::Acam => "acam",
             BackendId::Spice => "spice",
         }
     }
@@ -57,7 +64,7 @@ impl fmt::Display for ParseBackendIdError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "unknown backend `{}` (expected digital_exact, digital_pruned, analog or spice)",
+            "unknown backend `{}` (expected digital_exact, digital_pruned, analog, acam or spice)",
             self.name
         )
     }

@@ -1,10 +1,11 @@
-//! The four [`DistanceBackend`] implementations, each wrapping one of the
+//! The five [`DistanceBackend`] implementations, each wrapping one of the
 //! repo's existing answer paths without changing its semantics.
 
 use std::sync::OnceLock;
 
+use mda_acam::OneShotMatcher;
 use mda_core::accelerator::FunctionParams;
-use mda_core::bounds::{behavioural, spice, Bound};
+use mda_core::bounds::{acam, behavioural, spice, Bound};
 use mda_core::{pe, AcceleratorConfig, DistanceAccelerator};
 use mda_distance::dtw::Band;
 use mda_distance::lower_bounds::cascading_dtw_with;
@@ -282,12 +283,96 @@ impl DistanceBackend for SpiceBackend {
     }
 }
 
-/// All four backends over one fabric configuration.
+/// The aCAM one-shot matching plane: thresholded kinds (HamD, thresholded
+/// EdD/LCS) answered by interval-comparator match lines instead of a DP
+/// iteration. The routed backend models a *tuned* array (closed-loop
+/// program-and-verify, so every comparator sits exactly on the digital
+/// threshold); variation- and fault-seeded arrays live in the pre-filter
+/// and the conformance fault plane, where their one-sided degradation is
+/// what's under test.
+#[derive(Debug)]
+pub struct AcamBackend {
+    budget: PowerBudget,
+}
+
+/// Largest word the match plane holds: one row of interval cells per
+/// element, sized to the paper's array geometry.
+const ACAM_MAX_LEN: usize = 1024;
+
+/// Duty factor of a one-shot search against the DP fabric's draw: the
+/// match plane fires one precharge/sense cycle per word where the DP
+/// fabric clocks a full wavefront, so its time-averaged draw is a small
+/// fraction of the analog budget for the same request.
+const ACAM_DUTY: f64 = 0.25;
+
+impl AcamBackend {
+    /// An aCAM backend drawing against the given fabric configuration's
+    /// power model.
+    pub fn new(config: AcceleratorConfig) -> AcamBackend {
+        AcamBackend {
+            budget: PowerBudget::new(config),
+        }
+    }
+}
+
+impl Default for AcamBackend {
+    fn default() -> Self {
+        AcamBackend::new(AcceleratorConfig::paper_defaults())
+    }
+}
+
+impl DistanceBackend for AcamBackend {
+    fn id(&self) -> BackendId {
+        BackendId::Acam
+    }
+
+    fn supports(&self, kind: DistanceKind, len: usize) -> bool {
+        matches!(
+            kind,
+            DistanceKind::Hamming | DistanceKind::Edit | DistanceKind::Lcs
+        ) && len <= ACAM_MAX_LEN
+    }
+
+    fn bound(&self, kind: DistanceKind, len: usize) -> Bound {
+        acam(kind, len)
+    }
+
+    fn power_w(&self, kind: DistanceKind, len: usize) -> f64 {
+        ACAM_DUTY
+            * self
+                .budget
+                .breakdown(kind, len.max(1), PAPER_ELEMENT_RATE)
+                .total_w()
+    }
+
+    fn evaluate(
+        &self,
+        req: &PairRequest,
+        p: &[f64],
+        q: &[f64],
+        _scratch: &mut DpScratch,
+    ) -> Result<f64, BackendError> {
+        if !self.supports(req.kind, p.len().max(q.len())) {
+            return Err(BackendError::Unsupported("non-thresholded one-shot kinds"));
+        }
+        let threshold = req.threshold.unwrap_or(DEFAULT_THRESHOLD);
+        if !threshold.is_finite() || threshold < 0.0 {
+            return Err(BackendError::Unsupported(
+                "non-finite or negative match thresholds",
+            ));
+        }
+        let value = OneShotMatcher::new(threshold).evaluate(req.kind, p, q)?;
+        Ok(value)
+    }
+}
+
+/// All five backends over one fabric configuration.
 #[derive(Debug, Default)]
 pub struct BackendSet {
     digital_exact: DigitalExactBackend,
     digital_pruned: DigitalPrunedBackend,
     analog: AnalogBackend,
+    acam: AcamBackend,
     spice: SpiceBackend,
 }
 
@@ -299,6 +384,7 @@ impl BackendSet {
             digital_exact: DigitalExactBackend,
             digital_pruned: DigitalPrunedBackend,
             analog: AnalogBackend::new(config.clone()),
+            acam: AcamBackend::new(config.clone()),
             spice: SpiceBackend::new(config),
         }
     }
@@ -309,6 +395,7 @@ impl BackendSet {
             BackendId::DigitalExact => &self.digital_exact,
             BackendId::DigitalPruned => &self.digital_pruned,
             BackendId::Analog => &self.analog,
+            BackendId::Acam => &self.acam,
             BackendId::Spice => &self.spice,
         }
     }
@@ -318,8 +405,8 @@ impl BackendSet {
         &self.analog
     }
 
-    /// All four backends in [`BackendId::ALL`] order.
-    pub fn all(&self) -> [&dyn DistanceBackend; 4] {
+    /// All five backends in [`BackendId::ALL`] order.
+    pub fn all(&self) -> [&dyn DistanceBackend; 5] {
         BackendId::ALL.map(|id| self.get(id))
     }
 }
@@ -404,6 +491,68 @@ mod tests {
             assert!(analog < digital, "{kind}: {analog} vs {digital}");
             assert!(spice > digital, "{kind}: {spice} vs {digital}");
         }
+        // The one-shot match plane undercuts even the DP fabric on the
+        // kinds it serves, so the cheapest-first scan reaches it first.
+        for kind in [DistanceKind::Hamming, DistanceKind::Edit, DistanceKind::Lcs] {
+            let acam_w = set.get(BackendId::Acam).power_w(kind, 128);
+            let analog = set.get(BackendId::Analog).power_w(kind, 128);
+            assert!(acam_w < analog, "{kind}: {acam_w} vs {analog}");
+        }
+    }
+
+    #[test]
+    fn acam_one_shot_is_bitwise_identical_to_the_digital_kernels() {
+        let mut scratch = DpScratch::new();
+        let set = default_backends();
+        let backend = set.get(BackendId::Acam);
+        for (lp, lq) in [(12usize, 12usize), (9, 14), (14, 9)] {
+            let p = series(lp, 0.0);
+            let q = series(lq, 0.7);
+            for kind in [DistanceKind::Hamming, DistanceKind::Edit, DistanceKind::Lcs] {
+                if kind == DistanceKind::Hamming && lp != lq {
+                    continue;
+                }
+                for threshold in [None, Some(0.05), Some(0.4)] {
+                    let req = PairRequest {
+                        kind,
+                        threshold,
+                        band: None,
+                    };
+                    let one_shot = backend.evaluate(&req, &p, &q, &mut scratch).unwrap();
+                    let digital = set
+                        .get(BackendId::DigitalExact)
+                        .evaluate(&req, &p, &q, &mut scratch)
+                        .unwrap();
+                    assert_eq!(
+                        one_shot.to_bits(),
+                        digital.to_bits(),
+                        "{kind} threshold {threshold:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn acam_supports_exactly_the_thresholded_kinds() {
+        let set = default_backends();
+        let backend = set.get(BackendId::Acam);
+        for kind in DistanceKind::ALL {
+            let thresholded = matches!(
+                kind,
+                DistanceKind::Hamming | DistanceKind::Edit | DistanceKind::Lcs
+            );
+            assert_eq!(backend.supports(kind, 16), thresholded, "{kind}");
+        }
+        assert!(!backend.supports(DistanceKind::Hamming, ACAM_MAX_LEN + 1));
+        // Unsupported requests report as such, not as a distance error.
+        let p = series(8, 0.0);
+        let q = series(8, 0.3);
+        let mut scratch = DpScratch::new();
+        let err = backend
+            .evaluate(&PairRequest::new(DistanceKind::Dtw), &p, &q, &mut scratch)
+            .unwrap_err();
+        assert!(matches!(err, BackendError::Unsupported(_)), "{err}");
     }
 
     #[test]

@@ -205,7 +205,7 @@ pub fn evaluate_routed(
                         fell_back: false,
                     })
                 }
-                BackendId::Analog | BackendId::Spice => value,
+                BackendId::Analog | BackendId::Acam | BackendId::Spice => value,
             };
             let ceiling = set.analog().ceiling();
             let len = p.len().max(q.len());

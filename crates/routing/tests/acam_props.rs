@@ -1,0 +1,146 @@
+//! Property tests for the aCAM one-shot backend's routing contract:
+//!
+//! * **exact never routes aCAM** — the one-shot plane declares a non-exact
+//!   bound, so an `exact` SLA must never reach it, whatever the kind;
+//! * **tolerance routed to aCAM is honoured** — whenever the router picks
+//!   the aCAM backend its declared bound fits ε at the fabric's output
+//!   ceiling, and the answer that comes back is within ε of the digital
+//!   reference (bitwise, in fact: the routed backend models a tuned array);
+//! * **tight tolerances fall back digitally** — below the aCAM bound's
+//!   ceiling margin the router must skip the match plane;
+//! * **the fleet ledger drains** — aCAM leases interleaved with DP-fabric
+//!   leases never oversubscribe the envelope and release to exactly zero.
+
+use proptest::prelude::*;
+
+use mda_distance::{DistanceKind, DpScratch};
+use mda_routing::{evaluate_routed, BackendId, PairRequest, Router, RouterConfig, Sla};
+
+const THRESHOLDED: [DistanceKind; 3] =
+    [DistanceKind::Hamming, DistanceKind::Edit, DistanceKind::Lcs];
+
+fn any_kind() -> impl Strategy<Value = DistanceKind> {
+    (0usize..DistanceKind::ALL.len()).prop_map(|i| DistanceKind::ALL[i])
+}
+
+fn thresholded_kind() -> impl Strategy<Value = DistanceKind> {
+    (0usize..THRESHOLDED.len()).prop_map(|i| THRESHOLDED[i])
+}
+
+fn series() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-6.25f64..6.25, 1..24)
+}
+
+fn reference(kind: DistanceKind, p: &[f64], q: &[f64]) -> f64 {
+    let mut scratch = DpScratch::new();
+    evaluate_routed(
+        BackendId::DigitalExact,
+        &PairRequest::new(kind),
+        p,
+        q,
+        &mut scratch,
+    )
+    .expect("equal-length series never shape-error")
+    .value
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exact_sla_never_routes_to_acam(
+        kind in any_kind(),
+        len in 1usize..2048,
+    ) {
+        let router = Router::new(RouterConfig::default());
+        let route = router.route_pair(kind, len, Sla::Exact);
+        prop_assert_ne!(route.backend, BackendId::Acam);
+        prop_assert_eq!(route.backend, BackendId::DigitalExact);
+    }
+
+    #[test]
+    fn tolerance_routed_to_acam_is_honoured_bitwise(
+        kind in thresholded_kind(),
+        p in series(),
+        q in series(),
+        epsilon in 4.0f64..64.0,
+    ) {
+        let n = p.len().min(q.len());
+        let (p, q) = (&p[..n], &q[..n]);
+        let router = Router::new(RouterConfig::default());
+        let route = router.route_pair(kind, n, Sla::Tolerance(epsilon));
+        // The match plane is the cheapest path for the thresholded kinds,
+        // and its ceiling margin (3.0 at paper defaults) fits every ε here,
+        // so the scan must reach it.
+        prop_assert_eq!(route.backend, BackendId::Acam);
+        prop_assert!(route.lease.is_some(), "analog capacity must be leased");
+        let ceiling = router.backends().analog().ceiling();
+        prop_assert!(route.bound.margin(ceiling) <= epsilon);
+
+        let mut scratch = DpScratch::new();
+        let routed = evaluate_routed(
+            route.backend,
+            &PairRequest::new(kind),
+            p,
+            q,
+            &mut scratch,
+        ).expect("equal-length series");
+        let reference = reference(kind, p, q);
+        prop_assert!((routed.value - reference).abs() <= epsilon);
+        if !routed.fell_back {
+            // A tuned array reproduces the digital comparator exactly.
+            prop_assert_eq!(routed.value.to_bits(), reference.to_bits());
+        }
+    }
+
+    #[test]
+    fn tight_tolerance_skips_the_match_plane(
+        kind in thresholded_kind(),
+        len in 1usize..256,
+        epsilon in 0.0f64..2.99,
+    ) {
+        // ε below acam's ceiling margin (0.5 + 0.1·25 = 3.0) — and below
+        // the behavioural bound's too — must fall back to digital exact.
+        let router = Router::new(RouterConfig::default());
+        let route = router.route_pair(kind, len, Sla::Tolerance(epsilon));
+        prop_assert_ne!(route.backend, BackendId::Acam);
+        prop_assert_eq!(route.backend, BackendId::DigitalExact);
+        prop_assert!(route.lease.is_none());
+    }
+
+    #[test]
+    fn fleet_drains_to_zero_with_acam_leases_interleaved(
+        requests in prop::collection::vec(
+            (0usize..DistanceKind::ALL.len(), 8usize..128, 0usize..2),
+            1..24,
+        ),
+    ) {
+        let router = Router::new(RouterConfig { fleet_power_w: 10.0 });
+        let mut held = Vec::new();
+        for (k, len, drop_now) in requests {
+            let route = router.route_pair(
+                DistanceKind::ALL[k],
+                len,
+                Sla::Tolerance(1e9),
+            );
+            prop_assert!(
+                router.fleet().in_use_w() <= router.fleet().cap_w() + 1e-9,
+                "fleet oversubscribed: {} W under a {} W cap",
+                router.fleet().in_use_w(),
+                router.fleet().cap_w()
+            );
+            if route.backend == BackendId::Acam {
+                prop_assert!(route.lease.is_some(), "aCAM answers must be leased");
+            }
+            if route.lease.is_some() {
+                if drop_now == 1 {
+                    drop(route);
+                } else {
+                    held.push(route);
+                }
+            }
+        }
+        drop(held);
+        prop_assert_eq!(router.fleet().in_use_w(), 0.0);
+    }
+}

@@ -196,7 +196,7 @@ pub struct Metrics {
     pub analog_busy_ns: Counter,
     /// Routed compute requests, by chosen backend (indexed by
     /// [`BackendId`] discriminant, labels from [`BackendId::ALL`]).
-    pub backend_selected: [Counter; 4],
+    pub backend_selected: [Counter; 5],
     /// Work items whose analog answer saturated (or failed to encode) and
     /// silently fell back to a digital recompute.
     pub route_fallbacks: Counter,
